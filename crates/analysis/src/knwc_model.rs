@@ -1,0 +1,169 @@
+//! Expected I/O of the kNWC algorithm (§4.2).
+
+use crate::nwc_model::NwcCostModel;
+use crate::special::ln_binomial;
+use crate::tree_model::TreeModel;
+
+/// Parameters of the kNWC cost model: the base NWC model plus the group
+/// count `k` and the compatibility probability `Pr(m, k)` — the paper
+/// leaves the latter symbolic, so it is an explicit input here (the
+/// probability that a qualified window's group shares at most `m`
+/// objects with every group currently kept).
+#[derive(Clone, Copy, Debug)]
+pub struct KnwcCostModel {
+    /// The underlying NWC model.
+    pub base: NwcCostModel,
+    /// Number of groups requested.
+    pub k: usize,
+    /// `Pr(m, k)` — group-compatibility probability in `[0, 1]`.
+    pub pr_compat: f64,
+}
+
+impl KnwcCostModel {
+    /// Builds the model.
+    pub fn new(base: NwcCostModel, k: usize, pr_compat: f64) -> Self {
+        assert!(k >= 1);
+        assert!((0.0..=1.0).contains(&pr_compat));
+        KnwcCostModel {
+            base,
+            k,
+            pr_compat,
+        }
+    }
+
+    /// `P'` — probability a window's group cannot be inserted into the
+    /// group list: `1 − (1 − P)·Pr(m, k)`.
+    pub fn p_not_insertable(&self) -> f64 {
+        1.0 - (1.0 - self.base.p_not_qualified()) * self.pr_compat
+    }
+
+    /// `R(i, a)` — probability that exactly `a` groups from levels
+    /// `1..=i` enter the list: binomial over the expected
+    /// `O(i)·λlw` windows with success probability `1 − P'`.
+    pub fn r_exact(&self, i: usize, a: usize) -> f64 {
+        if i == 0 {
+            return if a == 0 { 1.0 } else { 0.0 };
+        }
+        let trials = self.base.o_objects(i) * self.base.window_rate();
+        binom_pmf(trials, a as f64, 1.0 - self.p_not_insertable())
+    }
+
+    /// `S(i, b)` — probability that at least `b` groups from level `i`
+    /// windows enter the list.
+    pub fn s_at_least(&self, i: usize, b: usize) -> f64 {
+        let trials = self.base.n_rects(i) * self.base.window_rate() * self.base.window_rate();
+        let mut below = 0.0;
+        for d in 0..b {
+            below += binom_pmf(trials, d as f64, 1.0 - self.p_not_insertable());
+        }
+        (1.0 - below).clamp(0.0, 1.0)
+    }
+
+    /// Probability the k-th nearest group lives in a level-`i` window.
+    pub fn level_probability(&self, i: usize) -> f64 {
+        let mut total = 0.0;
+        for j in 0..self.k {
+            total += self.r_exact(i.saturating_sub(1), j) * self.s_at_least(i, self.k - j);
+        }
+        total.clamp(0.0, 1.0)
+    }
+
+    /// Expected I/O: `Σ_i levelProb(i)·[O(i)·WIN + KNN(O(i))]`, with the
+    /// residual mass charged a full sweep as in the NWC model.
+    pub fn expected_io(&self, tree: &TreeModel) -> f64 {
+        let win = tree.win_cost(self.base.l, self.base.w);
+        let mut total = 0.0;
+        let mut mass = 0.0;
+        for i in 1..=self.base.max_level {
+            let p = self.level_probability(i);
+            if p <= 0.0 {
+                continue;
+            }
+            mass += p;
+            let o = self.base.o_objects(i);
+            total += p * (o * win + tree.knn_cost(o));
+            if mass >= 1.0 {
+                break;
+            }
+        }
+        if mass < 1.0 {
+            let o = self.base.o_objects(self.base.max_level);
+            total += (1.0 - mass) * (o * win + tree.knn_cost(o));
+        }
+        total
+    }
+}
+
+/// Binomial pmf with a real-valued trial count (expected counts), in log
+/// space: `C(t, a) p^a (1−p)^(t−a)`.
+fn binom_pmf(trials: f64, successes: f64, p: f64) -> f64 {
+    if trials <= 0.0 {
+        return if successes == 0.0 { 1.0 } else { 0.0 };
+    }
+    if successes > trials {
+        return 0.0;
+    }
+    if p <= 0.0 {
+        return if successes == 0.0 { 1.0 } else { 0.0 };
+    }
+    if p >= 1.0 {
+        return if (trials - successes).abs() < 1e-9 { 1.0 } else { 0.0 };
+    }
+    let ln = ln_binomial(trials, successes)
+        + successes * p.ln()
+        + (trials - successes) * (1.0 - p).ln();
+    ln.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> NwcCostModel {
+        NwcCostModel::new(250_000, 10_000.0 * 10_000.0, 32.0, 32.0, 8)
+    }
+
+    #[test]
+    fn binom_pmf_sums_to_one_integer_case() {
+        let total: f64 = (0..=10).map(|a| binom_pmf(10.0, a as f64, 0.3)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn p_not_insertable_bounds() {
+        let m = KnwcCostModel::new(base(), 4, 0.9);
+        let p = m.p_not_insertable();
+        assert!((0.0..=1.0).contains(&p));
+        // Lower compatibility ⇒ harder to insert.
+        let m2 = KnwcCostModel::new(base(), 4, 0.1);
+        assert!(m2.p_not_insertable() > p);
+    }
+
+    #[test]
+    fn larger_k_costs_more() {
+        let tree = TreeModel::paper_default(250_000);
+        let small = KnwcCostModel::new(base(), 2, 0.9).expected_io(&tree);
+        let large = KnwcCostModel::new(base(), 16, 0.9).expected_io(&tree);
+        assert!(large >= small, "{large} < {small}");
+    }
+
+    #[test]
+    fn level_probabilities_bounded() {
+        let m = KnwcCostModel::new(base(), 4, 0.8);
+        for i in 1..=20 {
+            let p = m.level_probability(i);
+            assert!((0.0..=1.0).contains(&p), "level {i}: {p}");
+        }
+    }
+
+    #[test]
+    fn expected_io_finite() {
+        let tree = TreeModel::paper_default(250_000);
+        for k in [1usize, 4, 32] {
+            for pr in [0.1, 0.5, 1.0] {
+                let io = KnwcCostModel::new(base(), k, pr).expected_io(&tree);
+                assert!(io.is_finite() && io > 0.0, "k={k} pr={pr}: {io}");
+            }
+        }
+    }
+}

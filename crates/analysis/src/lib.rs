@@ -1,0 +1,35 @@
+//! Analytical I/O cost model for NWC and kNWC query processing,
+//! reproducing the paper's §4 ("Theoretical Analysis").
+//!
+//! The model assumes objects are Poisson-distributed with intensity `λ`
+//! and divides the space into concentric *levels* of `l × w` rectangles
+//! around the query point (Figure 7): level `i` contributes
+//! `N(i) = 8i − 4` rectangles, and the NWC algorithm is assumed to
+//! examine all objects up to the first level containing a qualified
+//! window. The expected I/O combines:
+//!
+//! - `P` — probability a window is not qualified (Equation 8, the
+//!   Poisson CDF at `n − 1`),
+//! - `Q(i)` — probability level `i` has no qualified window,
+//! - `O(i)` — expected objects retrieved through level `i` (Equation 10),
+//! - `WIN(l, w)` — expected cost of one window query, and `KNN(K)` — the
+//!   expected cost of distance-browsing `K` objects, both estimated from
+//!   a [`TreeModel`] via Minkowski-sum node-intersection probabilities
+//!   (standing in for the paper's citations \[18\] and \[10\]).
+//!
+//! The kNWC model (§4.2) layers binomial success counts (`R(i, a)`,
+//! `S(i, b)`) on the same machinery, using real-valued binomial
+//! coefficients through `lnΓ`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod knwc_model;
+mod nwc_model;
+mod special;
+mod tree_model;
+
+pub use knwc_model::KnwcCostModel;
+pub use nwc_model::NwcCostModel;
+pub use special::{ln_binomial, ln_gamma, poisson_cdf};
+pub use tree_model::TreeModel;

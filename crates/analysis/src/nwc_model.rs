@@ -1,0 +1,183 @@
+//! Expected I/O of the NWC algorithm (§4.1).
+
+use crate::special::poisson_cdf;
+use crate::tree_model::TreeModel;
+
+/// Parameters of the NWC cost model.
+#[derive(Clone, Copy, Debug)]
+pub struct NwcCostModel {
+    /// Poisson intensity of the objects (objects per unit area).
+    pub lambda: f64,
+    /// Window length.
+    pub l: f64,
+    /// Window width.
+    pub w: f64,
+    /// Desired number of objects `n`.
+    pub n: usize,
+    /// Largest level of rectangles the space holds (`MaxLV`).
+    pub max_level: usize,
+}
+
+impl NwcCostModel {
+    /// Model for a dataset of `n_objects` over area `area` and an
+    /// `NWC(·, l, w, n)` query; `MaxLV` derived from the space so that
+    /// level-`MaxLV` rectangles still fit.
+    pub fn new(n_objects: usize, area: f64, l: f64, w: f64, n: usize) -> Self {
+        let side = area.sqrt();
+        let max_level = ((side / (2.0 * l.max(w))).ceil() as usize).max(1);
+        NwcCostModel {
+            lambda: n_objects as f64 / area,
+            l,
+            w,
+            n,
+            max_level,
+        }
+    }
+
+    /// Expected objects per window, `λ·l·w`.
+    pub fn window_rate(&self) -> f64 {
+        self.lambda * self.l * self.w
+    }
+
+    /// `P` — probability a window is *not* qualified (Equation 8).
+    pub fn p_not_qualified(&self) -> f64 {
+        poisson_cdf(self.window_rate(), self.n - 1)
+    }
+
+    /// `N(i) = 8i − 4` — level-`i` rectangle count (Equation 9).
+    pub fn n_rects(&self, i: usize) -> f64 {
+        assert!(i >= 1);
+        8.0 * i as f64 - 4.0
+    }
+
+    /// `O(i) = 2 i² λ l w` — expected objects through level `i`
+    /// (Equation 10).
+    pub fn o_objects(&self, i: usize) -> f64 {
+        2.0 * (i * i) as f64 * self.window_rate()
+    }
+
+    /// `Q(i)` — probability that no level-`i` window is qualified:
+    /// `P^(N(i)·(λlw)²)`, with `Q(0) = 1`.
+    pub fn q_no_qualified(&self, i: usize) -> f64 {
+        if i == 0 {
+            return 1.0;
+        }
+        let exponent = self.n_rects(i) * self.window_rate() * self.window_rate();
+        // P^e in log space; P may be extremely close to 0 or 1.
+        let p = self.p_not_qualified();
+        if p <= 0.0 {
+            return 0.0;
+        }
+        (exponent * p.ln()).exp()
+    }
+
+    /// Probability the best objects sit in a level-`i` qualified window:
+    /// `(1 − Q(i)) · Π_{j<i} Q(j)`.
+    pub fn level_probability(&self, i: usize) -> f64 {
+        let mut prefix = 1.0;
+        for j in 1..i {
+            prefix *= self.q_no_qualified(j);
+        }
+        (1.0 - self.q_no_qualified(i)) * prefix
+    }
+
+    /// Expected I/O of the NWC algorithm against the given tree model:
+    ///
+    /// `Σ_i  levelProb(i) · [ O(i)·WIN(l, w) + KNN(O(i)) ]`.
+    pub fn expected_io(&self, tree: &TreeModel) -> f64 {
+        let win = tree.win_cost(self.l, self.w);
+        let mut total = 0.0;
+        let mut mass = 0.0;
+        // Iterative form of levelProb(i) = (1 − Q(i)) · Π_{j<i} Q(j),
+        // with P evaluated once (the CDF loop is the expensive part).
+        let p_nq = self.p_not_qualified();
+        let ln_p = if p_nq > 0.0 { p_nq.ln() } else { f64::NEG_INFINITY };
+        let rate2 = self.window_rate() * self.window_rate();
+        let mut prefix = 1.0;
+        for i in 1..=self.max_level {
+            let q_i = if p_nq <= 0.0 {
+                0.0
+            } else {
+                (self.n_rects(i) * rate2 * ln_p).exp()
+            };
+            let p = (1.0 - q_i) * prefix;
+            prefix *= q_i;
+            if p <= 0.0 {
+                if prefix <= 0.0 {
+                    break;
+                }
+                continue;
+            }
+            mass += p;
+            let o = self.o_objects(i);
+            total += p * (o * win + tree.knn_cost(o));
+            if 1.0 - mass < 1e-12 {
+                break;
+            }
+        }
+        // Residual mass (no qualified window anywhere): full scan of the
+        // space — every object issues a window query.
+        if mass < 1.0 {
+            let o = self.o_objects(self.max_level);
+            total += (1.0 - mass) * (o * win + tree.knn_cost(o));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(n_objects: usize, n: usize, wsize: f64) -> NwcCostModel {
+        NwcCostModel::new(n_objects, 10_000.0 * 10_000.0, wsize, wsize, n)
+    }
+
+    #[test]
+    fn probabilities_are_probabilities() {
+        let m = model(250_000, 8, 32.0);
+        assert!((0.0..=1.0).contains(&m.p_not_qualified()));
+        let mut sum = 0.0;
+        for i in 1..=m.max_level {
+            let p = m.level_probability(i);
+            assert!((0.0..=1.0).contains(&p), "level {i}: {p}");
+            sum += p;
+        }
+        assert!(sum <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn denser_data_qualifies_easier() {
+        let sparse = model(10_000, 8, 32.0);
+        let dense = model(1_000_000, 8, 32.0);
+        assert!(dense.p_not_qualified() < sparse.p_not_qualified());
+    }
+
+    #[test]
+    fn larger_n_is_harder() {
+        let easy = model(250_000, 4, 32.0);
+        let hard = model(250_000, 64, 32.0);
+        assert!(hard.p_not_qualified() >= easy.p_not_qualified());
+        let tree = TreeModel::paper_default(250_000);
+        assert!(hard.expected_io(&tree) >= easy.expected_io(&tree));
+    }
+
+    #[test]
+    fn rectangle_counts_match_equation9() {
+        let m = model(250_000, 8, 8.0);
+        assert_eq!(m.n_rects(1), 4.0);
+        assert_eq!(m.n_rects(2), 12.0);
+        assert_eq!(m.n_rects(3), 20.0);
+    }
+
+    #[test]
+    fn expected_io_is_finite_and_positive() {
+        for n in [2usize, 8, 32, 128] {
+            for wsize in [8.0, 32.0, 128.0] {
+                let m = model(250_000, n, wsize);
+                let io = m.expected_io(&TreeModel::paper_default(250_000));
+                assert!(io.is_finite() && io > 0.0, "n={n} w={wsize}: {io}");
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Special functions: `lnΓ`, real-valued binomial coefficients, and the
+//! Poisson CDF.
+
+/// Natural log of the gamma function via the Lanczos approximation
+/// (g = 7, n = 9 coefficients; |relative error| < 1e-13 for x > 0).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln C(x, a)` for real `x ≥ a ≥ 0` — the paper's §4.2 uses binomial
+/// coefficients whose upper index is an *expected count* and therefore
+/// non-integral.
+pub fn ln_binomial(x: f64, a: f64) -> f64 {
+    assert!(
+        x + 1.0 > 0.0 && a >= 0.0 && x - a + 1.0 > 0.0,
+        "ln_binomial out of domain: C({x}, {a})"
+    );
+    ln_gamma(x + 1.0) - ln_gamma(a + 1.0) - ln_gamma(x - a + 1.0)
+}
+
+/// `P{X ≤ k}` for `X ~ Poisson(rate)` (Equation 8 with `k = n − 1`).
+///
+/// Evaluated in log space to stay finite for large rates.
+pub fn poisson_cdf(rate: f64, k: usize) -> f64 {
+    assert!(rate >= 0.0, "Poisson rate must be non-negative");
+    if rate == 0.0 {
+        return 1.0;
+    }
+    let ln_rate = rate.ln();
+    let mut cdf = 0.0f64;
+    for i in 0..=k {
+        let ln_pmf = -rate + i as f64 * ln_rate - ln_gamma(i as f64 + 1.0);
+        cdf += ln_pmf.exp();
+    }
+    cdf.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n−1)!
+        let facts: [f64; 7] = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (n, &f) in facts.iter().enumerate() {
+            let got = ln_gamma(n as f64 + 1.0);
+            assert!(
+                (got - f.ln()).abs() < 1e-10,
+                "Γ({}) mismatch: {got}",
+                n + 1
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π.
+        let want = std::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - want).abs() < 1e-10);
+    }
+
+    #[test]
+    fn binomial_matches_integers() {
+        let cases = [(5.0, 2.0, 10.0), (10.0, 3.0, 120.0), (6.0, 0.0, 1.0), (6.0, 6.0, 1.0)];
+        for (x, a, want) in cases {
+            let got = ln_binomial(x, a).exp();
+            assert!((got - want).abs() < 1e-8, "C({x},{a}) = {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn poisson_cdf_small_rate() {
+        // rate 1.0: P{X ≤ 0} = e^{-1}, P{X ≤ 1} = 2e^{-1}.
+        let e = std::f64::consts::E;
+        assert!((poisson_cdf(1.0, 0) - 1.0 / e).abs() < 1e-12);
+        assert!((poisson_cdf(1.0, 1) - 2.0 / e).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_cdf_monotone_and_bounded() {
+        for rate in [0.1, 1.0, 10.0, 500.0] {
+            let mut prev = 0.0;
+            for k in 0..40 {
+                let c = poisson_cdf(rate, k);
+                assert!((0.0..=1.0).contains(&c), "rate {rate}, k {k}: {c}");
+                assert!(c >= prev);
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_cdf_large_rate_stays_finite() {
+        let c = poisson_cdf(10_000.0, 5);
+        assert!((0.0..1e-100).contains(&c), "{c}");
+    }
+
+    #[test]
+    fn zero_rate_is_certain() {
+        assert_eq!(poisson_cdf(0.0, 0), 1.0);
+        assert_eq!(poisson_cdf(0.0, 5), 1.0);
+    }
+}

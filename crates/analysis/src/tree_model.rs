@@ -1,0 +1,116 @@
+//! A coarse analytical model of an R\*-tree over uniformly-dense data,
+//! providing the `WIN(l, w)` and `KNN(K)` cost terms of §4.
+//!
+//! The paper obtains these from Proietti & Faloutsos [18] and Hjaltason &
+//! Samet [10]; both reduce, for square-ish nodes over uniform data, to
+//! Minkowski-sum intersection probabilities: a node whose MBR has side
+//! `s` intersects an `a × b` query window with probability
+//! `(s + a)(s + b) / Area`, and intersects a radius-`r` disc with
+//! probability `(s² + 4sr + πr²) / Area`.
+
+/// Shape parameters of the modeled tree.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeModel {
+    /// Number of indexed objects.
+    pub n_objects: f64,
+    /// Effective fanout (average entries per node, ~70 % of the maximum
+    /// for R\*-trees, 100 % for STR bulk-loaded trees).
+    pub fanout: f64,
+    /// Area of the data space.
+    pub area: f64,
+}
+
+impl TreeModel {
+    /// Model with the paper's defaults: effective fanout of a bulk-loaded
+    /// 50-entry tree over the 10,000² space.
+    pub fn paper_default(n_objects: usize) -> Self {
+        TreeModel {
+            n_objects: n_objects as f64,
+            fanout: 50.0,
+            area: 10_000.0 * 10_000.0,
+        }
+    }
+
+    /// Number of levels (leaf level = 1).
+    pub fn levels(&self) -> usize {
+        let mut nodes = self.n_objects / self.fanout;
+        let mut levels = 1;
+        while nodes > 1.0 {
+            nodes /= self.fanout;
+            levels += 1;
+        }
+        levels.max(1)
+    }
+
+    /// Expected node count at `level` (1 = leaves).
+    pub fn nodes_at(&self, level: usize) -> f64 {
+        (self.n_objects / self.fanout.powi(level as i32)).max(1.0)
+    }
+
+    /// Expected MBR side length at `level`, assuming square nodes tiling
+    /// the space: `side = sqrt(area / nodes)`.
+    pub fn side_at(&self, level: usize) -> f64 {
+        (self.area / self.nodes_at(level)).sqrt()
+    }
+
+    /// `WIN(l, w)`: expected node accesses of one window query.
+    pub fn win_cost(&self, l: f64, w: f64) -> f64 {
+        let mut cost = 1.0; // root
+        for level in 1..self.levels() {
+            let s = self.side_at(level);
+            let p = ((s + l) * (s + w) / self.area).min(1.0);
+            cost += self.nodes_at(level) * p;
+        }
+        cost
+    }
+
+    /// `KNN(K)`: expected node accesses to distance-browse the `K`
+    /// nearest objects — the nodes intersecting the disc that contains
+    /// `K` objects in expectation (`π r² λ = K`).
+    pub fn knn_cost(&self, k: f64) -> f64 {
+        let lambda = self.n_objects / self.area;
+        let r = (k.max(0.0) / (std::f64::consts::PI * lambda)).sqrt();
+        let mut cost = 1.0; // root
+        for level in 1..self.levels() {
+            let s = self.side_at(level);
+            let p = ((s * s + 4.0 * s * r + std::f64::consts::PI * r * r) / self.area).min(1.0);
+            cost += self.nodes_at(level) * p;
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_count_grows_with_data() {
+        assert_eq!(TreeModel::paper_default(40).levels(), 1);
+        assert_eq!(TreeModel::paper_default(2_000).levels(), 2);
+        assert!(TreeModel::paper_default(250_000).levels() >= 3);
+    }
+
+    #[test]
+    fn win_cost_monotone_in_window_size() {
+        let m = TreeModel::paper_default(250_000);
+        let small = m.win_cost(8.0, 8.0);
+        let large = m.win_cost(128.0, 128.0);
+        assert!(small >= 1.0);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn knn_cost_monotone_in_k() {
+        let m = TreeModel::paper_default(250_000);
+        assert!(m.knn_cost(1000.0) > m.knn_cost(10.0));
+        assert!(m.knn_cost(1.0) >= 1.0);
+    }
+
+    #[test]
+    fn full_scan_bounded_by_node_count() {
+        let m = TreeModel::paper_default(250_000);
+        let total_nodes: f64 = (1..=m.levels()).map(|l| m.nodes_at(l)).sum::<f64>() + 1.0;
+        assert!(m.knn_cost(250_000.0) <= total_nodes * 1.5);
+    }
+}

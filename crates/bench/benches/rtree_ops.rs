@@ -1,0 +1,108 @@
+//! Micro-benchmarks of the R\*-tree substrate: construction strategies,
+//! window queries (plain vs IWP-incremental), and distance browsing.
+//! These back the ablation entries in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nwc_datagen::Dataset;
+use nwc_geom::{Point, Rect};
+use nwc_rtree::{IwpIndex, RStarTree};
+use std::time::Duration;
+
+fn data(n: usize) -> Vec<Point> {
+    Dataset::clustered(n, 40, 10.0, 80.0, 0.1, 7).points
+}
+
+fn construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction");
+    for n in [2_000usize, 8_000] {
+        let pts = data(n);
+        g.bench_with_input(BenchmarkId::new("str_bulk_load", n), &pts, |b, pts| {
+            b.iter(|| RStarTree::bulk_load(pts))
+        });
+        g.bench_with_input(BenchmarkId::new("rstar_insert", n), &pts, |b, pts| {
+            b.iter(|| RStarTree::insert_all(pts))
+        });
+    }
+    g.finish();
+}
+
+fn window_queries(c: &mut Criterion) {
+    let pts = data(10_000);
+    let tree = RStarTree::bulk_load(&pts);
+    let iwp = IwpIndex::build(&tree);
+    // Representative local window around each probe object, queried
+    // through the probe's own leaf (the NWC access pattern).
+    let probes: Vec<(Point, nwc_rtree::NodeId)> = (0..64)
+        .map(|i| {
+            let p = pts[i * 311 % pts.len()];
+            let mut browser = tree.browse(p);
+            loop {
+                match browser.next().unwrap() {
+                    nwc_rtree::BrowseItem::Node { id, .. } => browser.expand(id),
+                    nwc_rtree::BrowseItem::Object { dist: 0.0, leaf, .. } => {
+                        break (p, leaf)
+                    }
+                    _ => {}
+                }
+            }
+        })
+        .collect();
+    let window_of = |p: &Point| {
+        Rect::new(
+            Point::new(p.x - 8.0, p.y - 8.0),
+            Point::new(p.x + 8.0, p.y + 8.0),
+        )
+    };
+
+    let mut g = c.benchmark_group("window_query");
+    g.bench_function("plain_root_descent", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (p, _) in &probes {
+                total += tree.window_query(&window_of(p)).len();
+            }
+            total
+        })
+    });
+    g.bench_function("iwp_incremental", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (p, leaf) in &probes {
+                total += iwp.window_query(&tree, *leaf, &window_of(p)).len();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+fn distance_browsing(c: &mut Criterion) {
+    let pts = data(10_000);
+    let tree = RStarTree::bulk_load(&pts);
+    let mut g = c.benchmark_group("distance_browsing");
+    for k in [10usize, 1_000] {
+        g.bench_with_input(BenchmarkId::new("knn", k), &k, |b, &k| {
+            b.iter(|| tree.knn(Point::new(5_000.0, 5_000.0), k))
+        });
+    }
+    g.bench_function("full_browse", |b| {
+        b.iter(|| tree.browse(Point::new(5_000.0, 5_000.0)).objects().count())
+    });
+    g.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .nresamples(1_000)
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = rtree;
+    config = fast_config();
+    targets = construction, window_queries, distance_browsing
+}
+criterion_main!(rtree);

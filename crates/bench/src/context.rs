@@ -1,0 +1,85 @@
+//! Experiment configuration (scale, query count, seed) from the
+//! environment.
+
+use nwc_datagen::{Dataset, CA_CARDINALITY, GAUSSIAN_CARDINALITY, NY_CARDINALITY};
+use nwc_geom::Point;
+
+/// Shared configuration for all experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentContext {
+    /// Fraction of the paper's dataset cardinalities (Table 2) to
+    /// generate. 1.0 = the paper's exact sizes.
+    pub scale: f64,
+    /// Queries per configuration (paper: 25, averaged).
+    pub queries: usize,
+    /// Seed for datasets and query points.
+    pub seed: u64,
+}
+
+impl ExperimentContext {
+    /// Reads `NWC_SCALE` (default 0.2), `NWC_QUERIES` (default 25) and
+    /// `NWC_SEED` (default 2016 — the paper's year) from the environment.
+    pub fn from_env() -> Self {
+        let scale = std::env::var("NWC_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.2);
+        let queries = std::env::var("NWC_QUERIES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(25);
+        let seed = std::env::var("NWC_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2016);
+        assert!(scale > 0.0 && scale <= 1.0, "NWC_SCALE must be in (0, 1]");
+        assert!(queries > 0, "NWC_QUERIES must be positive");
+        ExperimentContext {
+            scale,
+            queries,
+            seed,
+        }
+    }
+
+    /// A tiny context for Criterion micro-runs and smoke tests.
+    pub fn tiny() -> Self {
+        ExperimentContext {
+            scale: 0.01,
+            queries: 2,
+            seed: 2016,
+        }
+    }
+
+    /// Scaled cardinality of the CA dataset.
+    pub fn ca_n(&self) -> usize {
+        ((CA_CARDINALITY as f64 * self.scale) as usize).max(100)
+    }
+
+    /// Scaled cardinality of the NY dataset.
+    pub fn ny_n(&self) -> usize {
+        ((NY_CARDINALITY as f64 * self.scale) as usize).max(100)
+    }
+
+    /// Scaled cardinality of the Gaussian dataset.
+    pub fn gaussian_n(&self) -> usize {
+        ((GAUSSIAN_CARDINALITY as f64 * self.scale) as usize).max(100)
+    }
+
+    /// The three evaluation datasets at the configured scale.
+    pub fn datasets(&self) -> Vec<Dataset> {
+        Dataset::paper_trio_scaled(self.ca_n(), self.ny_n(), self.gaussian_n(), self.seed)
+    }
+
+    /// One dataset by paper name ("CA", "NY", "Gaussian").
+    pub fn dataset(&self, name: &str) -> Dataset {
+        self.datasets()
+            .into_iter()
+            .find(|d| d.name == name)
+            .unwrap_or_else(|| panic!("unknown dataset {name}"))
+    }
+
+    /// The query locations (paper: 25 uniform points).
+    pub fn query_points(&self) -> Vec<Point> {
+        Dataset::query_points(self.queries, self.seed)
+    }
+}

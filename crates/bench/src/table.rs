@@ -1,0 +1,91 @@
+//! Plain-text/markdown result tables.
+
+/// A labelled result table rendered as GitHub-flavored markdown.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment identifier ("Figure 11a", "Table 2", …).
+    pub id: String,
+    /// One-line description.
+    pub caption: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        caption: impl Into<String>,
+        header: Vec<impl Into<String>>,
+    ) -> Self {
+        Table {
+            id: id.into(),
+            caption: caption.into(),
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn push_row(&mut self, row: Vec<impl Into<String>>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch in {}", self.id);
+        self.rows.push(row);
+    }
+
+    /// Renders the table as markdown with a heading.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = format!("### {} — {}\n\n", self.id, self.caption);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            format!("| {} |\n", padded.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("| {} |\n", sep.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("Figure 0", "demo", vec!["a", "bbb"]);
+        t.push_row(vec!["1", "2"]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Figure 0 — demo"));
+        assert!(md.contains("| a | bbb |"));
+        assert!(md.contains("| 1 |   2 |"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_checked() {
+        let mut t = Table::new("x", "y", vec!["a", "b"]);
+        t.push_row(vec!["1"]);
+    }
+}

@@ -1,0 +1,321 @@
+//! The NWC algorithm (paper Algorithm 1), shared by NWC and kNWC.
+//!
+//! The search is a best-first traversal over the R\*-tree (priority queue
+//! holding both index nodes and objects in ascending `MINDIST`/distance
+//! order). Nodes are pruned by DIP/DEP before expansion; objects have
+//! their search region built (reduced/skipped by SRR, cancelled by DEP),
+//! queried (through IWP when enabled), and their candidate windows
+//! scanned. The sink abstraction lets the same loop serve the single-best
+//! NWC query and the top-k kNWC query.
+
+use crate::candidates::{scan_candidates, GroupSink};
+use crate::index::NwcIndex;
+use crate::query::NwcQuery;
+use crate::result::{NwcResult, SearchStats};
+use crate::scheme::Scheme;
+use nwc_geom::window::{
+    extended_mbr, node_window_lower_bound, reduced_search_region, search_region,
+};
+use nwc_geom::{Quadrant, Rect};
+use nwc_rtree::{BrowseItem, Entry};
+
+impl NwcIndex {
+    /// Answers `NWC(q, l, w, n)` under the given optimization scheme.
+    ///
+    /// Returns `None` when no `l × w` window anywhere contains `n`
+    /// objects. Every scheme returns a group with the same (optimal)
+    /// distance; they differ only in I/O cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scheme needs a structure the index was built
+    /// without (density grid for DEP, pointer augmentation for IWP).
+    pub fn nwc(&self, query: &NwcQuery, scheme: Scheme) -> Option<NwcResult> {
+        self.nwc_full(query, scheme).0
+    }
+
+    /// As [`NwcIndex::nwc`], also returning the search statistics even
+    /// when the query has no answer (the experiments need the I/O cost
+    /// of fruitless searches — e.g. Figure 12's smallest windows on the
+    /// Gaussian dataset).
+    pub fn nwc_full(&self, query: &NwcQuery, scheme: Scheme) -> (Option<NwcResult>, SearchStats) {
+        let mut sink = BestSink {
+            dist_best: f64::INFINITY,
+            best: None,
+        };
+        let stats = self.run_search(query, scheme, &mut sink);
+        let result = sink.best.map(|(objects, window)| NwcResult {
+            objects,
+            distance: sink.dist_best,
+            window,
+            stats,
+        });
+        (result, stats)
+    }
+
+    /// The shared traversal loop. Public within the crate for `knwc`.
+    pub(crate) fn run_search<S: GroupSink>(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+        sink: &mut S,
+    ) -> SearchStats {
+        let grid = if scheme.needs_grid() {
+            Some(self.grid().unwrap_or_else(|| {
+                panic!("scheme {scheme} needs the density grid; build the index with one")
+            }))
+        } else {
+            None
+        };
+        let iwp = if scheme.needs_iwp() {
+            Some(self.iwp().unwrap_or_else(|| {
+                panic!("scheme {scheme} needs the IWP augmentation; build the index with it")
+            }))
+        } else {
+            None
+        };
+
+        let tree = self.tree();
+        let io = tree.stats();
+        let mut stats = SearchStats::default();
+        let q = query.q;
+        let spec = query.spec;
+        let n = query.n;
+
+        let mut browser = tree.browse(q);
+        let mut neighbors: Vec<Entry> = Vec::new();
+        while let Some(item) = browser.next() {
+            match item {
+                BrowseItem::Node { id, mbr, .. } => {
+                    if scheme.dip
+                        && node_window_lower_bound(&q, &mbr, &spec) > sink.threshold()
+                    {
+                        stats.nodes_pruned_by_dip += 1;
+                        continue;
+                    }
+                    if let Some(grid) = grid {
+                        if grid.count_upper_bound(&extended_mbr(&q, &mbr, &spec)) < n {
+                            stats.nodes_pruned_by_dep += 1;
+                            continue;
+                        }
+                    }
+                    let snap = io.snapshot();
+                    browser.expand(id);
+                    stats.io_traversal += io.since(snap);
+                }
+                BrowseItem::Object { entry, leaf, .. } => {
+                    stats.objects_visited += 1;
+                    let quad = Quadrant::of(&q, &entry.point);
+                    // Algorithm 1 line 14: build SR_p (reduced when SRR on).
+                    let sr: Option<Rect> = if scheme.srr {
+                        reduced_search_region(&q, &entry.point, &spec, sink.threshold())
+                    } else {
+                        Some(search_region(&entry.point, quad, &spec))
+                    };
+                    let Some(sr) = sr else {
+                        stats.skipped_by_srr += 1;
+                        continue;
+                    };
+                    if let Some(grid) = grid {
+                        if grid.count_upper_bound(&sr) < n {
+                            stats.skipped_by_dep += 1;
+                            continue;
+                        }
+                    }
+                    stats.window_queries += 1;
+                    neighbors.clear();
+                    let snap = io.snapshot();
+                    match iwp {
+                        Some(iwp) => iwp.window_query_into(tree, leaf, &sr, &mut neighbors),
+                        None => tree.window_query_into(&sr, &mut neighbors),
+                    }
+                    stats.io_window_queries += io.since(snap);
+                    scan_candidates(
+                        &q,
+                        &spec,
+                        n,
+                        query.measure,
+                        &entry,
+                        quad,
+                        &mut neighbors,
+                        sink,
+                        &mut stats,
+                    );
+                }
+            }
+        }
+        // Attributed accounting: the tree counter is shared across
+        // concurrent queries, so the query's own total is the sum of its
+        // attributed phases, not a raw counter diff.
+        stats.io_total = stats.io_traversal + stats.io_window_queries;
+        stats
+    }
+}
+
+/// Sink keeping the single best group (`objs` / `dist_best` of the
+/// problem transformation, §2.1).
+struct BestSink {
+    dist_best: f64,
+    best: Option<(Vec<Entry>, Rect)>,
+}
+
+impl GroupSink for BestSink {
+    fn threshold(&self) -> f64 {
+        self.dist_best
+    }
+
+    fn offer(&mut self, group: Vec<Entry>, score: f64, window: Rect, stats: &mut SearchStats) {
+        if score < self.dist_best {
+            self.dist_best = score;
+            self.best = Some((group, window));
+            stats.best_updates += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DistanceMeasure, WindowSpec};
+    use nwc_geom::pt;
+
+    fn cluster_world() -> Vec<nwc_geom::Point> {
+        // Near cluster of 2 (too small for n=3), mid cluster of 3, far
+        // cluster of 5.
+        let mut pts = vec![pt(12.0, 10.0), pt(13.0, 11.0)];
+        pts.extend([pt(40.0, 40.0), pt(42.0, 41.0), pt(41.0, 43.0)]);
+        pts.extend([
+            pt(90.0, 90.0),
+            pt(91.0, 91.0),
+            pt(92.0, 90.5),
+            pt(90.5, 92.0),
+            pt(91.5, 89.5),
+        ]);
+        pts
+    }
+
+    #[test]
+    fn picks_nearest_sufficient_cluster() {
+        let idx = NwcIndex::build(cluster_world());
+        let query = NwcQuery::new(pt(10.0, 10.0), WindowSpec::square(8.0), 3);
+        for scheme in Scheme::TABLE3 {
+            let r = idx.nwc(&query, scheme).unwrap_or_else(|| {
+                panic!("{scheme} found nothing")
+            });
+            let mut ids = r.ids();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![2, 3, 4], "{scheme} picked the wrong cluster");
+        }
+    }
+
+    #[test]
+    fn small_n_uses_near_pair() {
+        let idx = NwcIndex::build(cluster_world());
+        let query = NwcQuery::new(pt(10.0, 10.0), WindowSpec::square(8.0), 2);
+        let r = idx.nwc(&query, Scheme::NWC_STAR).unwrap();
+        let mut ids = r.ids();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn n_larger_than_any_window_returns_none() {
+        let idx = NwcIndex::build(cluster_world());
+        let query = NwcQuery::new(pt(10.0, 10.0), WindowSpec::square(8.0), 6);
+        for scheme in Scheme::TABLE3 {
+            let (r, stats) = idx.nwc_full(&query, scheme);
+            assert!(r.is_none(), "{scheme}");
+            assert!(stats.io_total > 0);
+        }
+    }
+
+    #[test]
+    fn n_equals_one_degenerates_to_nearest_neighbor() {
+        let idx = NwcIndex::build(cluster_world());
+        let query = NwcQuery::new(pt(39.0, 39.0), WindowSpec::square(4.0), 1);
+        let r = idx.nwc(&query, Scheme::NWC_STAR).unwrap();
+        assert_eq!(r.ids(), vec![2]); // (40,40) is nearest
+        let (d, e) = idx.tree().nearest(pt(39.0, 39.0)).unwrap();
+        assert_eq!(e.id, 2);
+        assert!((r.distance - d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schemes_agree_on_distance() {
+        let idx = NwcIndex::build(cluster_world());
+        for n in [2usize, 3, 5] {
+            for measure in DistanceMeasure::ALL {
+                let query = NwcQuery::new(pt(15.0, 20.0), WindowSpec::square(6.0), n)
+                    .with_measure(measure);
+                let dists: Vec<Option<f64>> = Scheme::TABLE3
+                    .iter()
+                    .map(|&s| idx.nwc(&query, s).map(|r| r.distance))
+                    .collect();
+                for d in &dists[1..] {
+                    match (dists[0], *d) {
+                        (None, None) => {}
+                        (Some(a), Some(b)) => {
+                            assert!((a - b).abs() < 1e-9, "{measure:?} n={n}: {dists:?}")
+                        }
+                        _ => panic!("{measure:?} n={n}: disagreement {dists:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_schemes_cost_no_more_io() {
+        let pts: Vec<_> = (0..3000)
+            .map(|i| {
+                pt(
+                    ((i * 37) % 997) as f64 * 10.0,
+                    ((i * 61) % 991) as f64 * 10.0,
+                )
+            })
+            .collect();
+        let idx = NwcIndex::build(pts);
+        let query = NwcQuery::new(pt(5000.0, 5000.0), WindowSpec::square(200.0), 8);
+        let (_, base) = idx.nwc_full(&query, Scheme::NWC);
+        let (_, star) = idx.nwc_full(&query, Scheme::NWC_STAR);
+        assert!(
+            star.io_total < base.io_total,
+            "NWC* ({}) should beat NWC ({})",
+            star.io_total,
+            base.io_total
+        );
+    }
+
+    #[test]
+    fn result_window_contains_group() {
+        let idx = NwcIndex::build(cluster_world());
+        let query = NwcQuery::new(pt(0.0, 0.0), WindowSpec::square(8.0), 3);
+        let r = idx.nwc(&query, Scheme::NWC_PLUS).unwrap();
+        for e in &r.objects {
+            assert!(r.window.contains_point(&e.point));
+        }
+        assert!(r.window.width() <= query.spec.l + 1e-9);
+        assert!(r.window.height() <= query.spec.w + 1e-9);
+    }
+
+    #[test]
+    fn group_ordered_by_distance() {
+        let idx = NwcIndex::build(cluster_world());
+        let query = NwcQuery::new(pt(100.0, 100.0), WindowSpec::square(8.0), 4);
+        let r = idx.nwc(&query, Scheme::NWC_STAR).unwrap();
+        let d: Vec<f64> = r.objects.iter().map(|e| e.point.dist(&query.q)).collect();
+        assert!(d.windows(2).all(|w| w[0] <= w[1]), "{d:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "density grid")]
+    fn dep_without_grid_panics() {
+        let cfg = crate::IndexConfig {
+            grid_cell_size: None,
+            ..Default::default()
+        };
+        let idx = NwcIndex::build_with(cluster_world(), cfg);
+        let query = NwcQuery::new(pt(0.0, 0.0), WindowSpec::square(8.0), 3);
+        idx.nwc(&query, Scheme::DEP);
+    }
+}

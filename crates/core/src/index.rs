@@ -1,0 +1,290 @@
+//! The query index: R\*-tree + density grid + IWP augmentation.
+
+use nwc_geom::{Point, Rect};
+use nwc_grid::DensityGrid;
+use nwc_rtree::{IwpIndex, RStarTree, TreeParams};
+
+/// Construction options for an [`NwcIndex`].
+#[derive(Clone, Copy, Debug)]
+pub struct IndexConfig {
+    /// R\*-tree shape (default: the paper's 50 entries per node).
+    pub tree_params: TreeParams,
+    /// Density-grid cell size (default 25, per §5: "the grid cell size is
+    /// set to 25"); `None` skips building the grid (DEP unavailable).
+    pub grid_cell_size: Option<f64>,
+    /// Whether to build the IWP pointer augmentation (default true).
+    pub build_iwp: bool,
+    /// `true` (default) bulk-loads with STR; `false` builds by repeated
+    /// R\* insertion, as the original Java implementation would.
+    pub bulk_load: bool,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            tree_params: TreeParams::default(),
+            grid_cell_size: Some(25.0),
+            build_iwp: true,
+            bulk_load: true,
+        }
+    }
+}
+
+/// An immutable index over a point dataset, ready to answer NWC and kNWC
+/// queries under any [`Scheme`](crate::Scheme).
+///
+/// Owns the paper's three physical structures: the R\*-tree `T_P`, the
+/// `g × g` density grid of DEP, and the backward/overlapping pointers of
+/// IWP.
+pub struct NwcIndex {
+    points: Vec<Point>,
+    /// Liveness per id — `false` marks objects removed after build.
+    live: Vec<bool>,
+    live_count: usize,
+    bounds: Rect,
+    tree: RStarTree,
+    grid: Option<DensityGrid>,
+    iwp: Option<IwpIndex>,
+}
+
+impl NwcIndex {
+    /// Builds the index with default configuration (all structures, so
+    /// every scheme is available).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `points` is empty or contains non-finite coordinates.
+    pub fn build(points: Vec<Point>) -> Self {
+        NwcIndex::build_with(points, IndexConfig::default())
+    }
+
+    /// Builds with explicit configuration.
+    pub fn build_with(points: Vec<Point>, config: IndexConfig) -> Self {
+        assert!(!points.is_empty(), "cannot index an empty dataset");
+        let bounds = Rect::bounding(points.iter().copied()).expect("non-empty");
+        let tree = if config.bulk_load {
+            RStarTree::bulk_load_with_params(&points, config.tree_params)
+        } else {
+            let mut t = RStarTree::with_params(config.tree_params);
+            for (i, &p) in points.iter().enumerate() {
+                t.insert(i as u32, p);
+            }
+            t
+        };
+        let grid = config
+            .grid_cell_size
+            .map(|cell| DensityGrid::from_cell_size(grid_bounds(&bounds), cell, &points));
+        let iwp = config.build_iwp.then(|| IwpIndex::build(&tree));
+        NwcIndex {
+            live: vec![true; points.len()],
+            live_count: points.len(),
+            points,
+            bounds,
+            tree,
+            grid,
+            iwp,
+        }
+    }
+
+    /// The id → location table (object id = position). After removals
+    /// this still contains the removed locations; see
+    /// [`NwcIndex::is_live`].
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Whether the object with this id is currently indexed.
+    pub fn is_live(&self, id: u32) -> bool {
+        self.live.get(id as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of live indexed objects.
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// Whether the index is empty (never true — construction rejects
+    /// empty datasets — but kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// Tight bounding box of the dataset.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// The underlying instrumented R\*-tree.
+    pub fn tree(&self) -> &RStarTree {
+        &self.tree
+    }
+
+    /// The DEP density grid, when built.
+    pub fn grid(&self) -> Option<&DensityGrid> {
+        self.grid.as_ref()
+    }
+
+    /// The IWP augmentation, when built.
+    pub fn iwp(&self) -> Option<&IwpIndex> {
+        self.iwp.as_ref()
+    }
+
+    /// Replaces the density grid with one of a different cell size,
+    /// keeping the tree and IWP augmentation (used by the Figure 9
+    /// grid-size sweep, which varies only the grid).
+    pub fn rebuild_grid(&mut self, cell_size: f64) {
+        let live_points: Vec<Point> = self
+            .points
+            .iter()
+            .zip(&self.live)
+            .filter(|&(_, &alive)| alive)
+            .map(|(&p, _)| p)
+            .collect();
+        self.grid = Some(DensityGrid::from_cell_size(
+            grid_bounds(&self.bounds),
+            cell_size,
+            &live_points,
+        ));
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic updates.
+    //
+    // The NWC paper works over static datasets, but a deployed index
+    // must absorb churn (shops open and close). Updates keep the tree
+    // (R* insert/delete) and the density grid in sync; the IWP pointer
+    // augmentation is positional and is invalidated instead — call
+    // [`NwcIndex::rebuild_iwp`] before the next IWP/NWC* query.
+    // ------------------------------------------------------------------
+
+    /// Adds an object, returning its id. Invalidates the IWP
+    /// augmentation (if any) until [`NwcIndex::rebuild_iwp`].
+    pub fn insert(&mut self, point: Point) -> u32 {
+        assert!(point.is_finite(), "cannot index non-finite point {point:?}");
+        let id = u32::try_from(self.points.len()).expect("object id overflow");
+        self.points.push(point);
+        self.live.push(true);
+        self.live_count += 1;
+        self.bounds = self.bounds.expand_to(point);
+        self.tree.insert(id, point);
+        if let Some(grid) = &mut self.grid {
+            grid.add_point(&point);
+        }
+        self.iwp = None;
+        id
+    }
+
+    /// Removes the object with the given id. Returns `false` when the id
+    /// is unknown or was already removed. Invalidates the IWP
+    /// augmentation (if any).
+    pub fn remove(&mut self, id: u32) -> bool {
+        let Some(&point) = self.points.get(id as usize) else {
+            return false;
+        };
+        if !self.live[id as usize] {
+            return false;
+        }
+        if !self.tree.delete(id, point) {
+            return false; // should not happen for a live id
+        }
+        self.live[id as usize] = false;
+        self.live_count -= 1;
+        if let Some(grid) = &mut self.grid {
+            grid.remove_point(&point);
+        }
+        self.iwp = None;
+        true
+    }
+
+    /// Rebuilds the IWP augmentation after updates. A no-op cost-wise
+    /// compared to queries only when batched — rebuild once per update
+    /// batch, not per update.
+    pub fn rebuild_iwp(&mut self) {
+        self.iwp = Some(IwpIndex::build(&self.tree));
+    }
+}
+
+impl std::fmt::Debug for NwcIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NwcIndex")
+            .field("len", &self.len())
+            .field("tree_height", &self.tree.height())
+            .field("grid", &self.grid.as_ref().map(|g| g.cells_per_side()))
+            .field("iwp", &self.iwp.is_some())
+            .finish()
+    }
+}
+
+/// The grid covers the paper's normalized space when the data fits in
+/// it, else the data's own bounding box (slightly inflated so border
+/// points fall inside cells, not on the open edge).
+fn grid_bounds(data_bounds: &Rect) -> Rect {
+    let space = Rect::new(Point::new(0.0, 0.0), Point::new(10_000.0, 10_000.0));
+    if space.contains_rect(data_bounds) {
+        space
+    } else {
+        let pad_x = (data_bounds.width() * 1e-9).max(1e-9);
+        let pad_y = (data_bounds.height() * 1e-9).max(1e-9);
+        data_bounds.inflate(pad_x, pad_y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwc_geom::pt;
+
+    fn pts() -> Vec<Point> {
+        (0..300)
+            .map(|i| pt(((i * 97) % 1000) as f64, ((i * 71) % 1000) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn default_build_has_everything() {
+        let idx = NwcIndex::build(pts());
+        assert_eq!(idx.len(), 300);
+        assert!(idx.grid().is_some());
+        assert!(idx.iwp().is_some());
+        nwc_rtree::validate::check_invariants(idx.tree()).unwrap();
+    }
+
+    #[test]
+    fn lean_build_skips_structures() {
+        let cfg = IndexConfig {
+            grid_cell_size: None,
+            build_iwp: false,
+            ..Default::default()
+        };
+        let idx = NwcIndex::build_with(pts(), cfg);
+        assert!(idx.grid().is_none());
+        assert!(idx.iwp().is_none());
+    }
+
+    #[test]
+    fn insertion_build_matches_bulk_contents() {
+        let cfg = IndexConfig {
+            bulk_load: false,
+            ..Default::default()
+        };
+        let idx = NwcIndex::build_with(pts(), cfg);
+        assert_eq!(idx.tree().len(), 300);
+        nwc_rtree::validate::check_invariants(idx.tree()).unwrap();
+        nwc_rtree::validate::check_fill(idx.tree()).unwrap();
+    }
+
+    #[test]
+    fn grid_covers_out_of_space_data() {
+        let points = vec![pt(-50.0, 0.0), pt(20_000.0, 30_000.0), pt(5.0, 5.0)];
+        let idx = NwcIndex::build(points);
+        let g = idx.grid().unwrap();
+        assert_eq!(g.total_objects(), 3);
+        assert_eq!(g.count_upper_bound(&idx.bounds()), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_dataset_rejected() {
+        NwcIndex::build(Vec::new());
+    }
+}

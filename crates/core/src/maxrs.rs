@@ -1,0 +1,276 @@
+//! The Maximizing Range Sum (MaxRS) baseline (Choi, Chung & Tao,
+//! PVLDB 2012) — the closest prior problem the paper positions NWC
+//! against (§2.2): *"the MaxRS problem does not consider any query
+//! location and thus is naturally different from the proposed NWC
+//! query"*.
+//!
+//! Given a window size `l × w`, MaxRS finds the window position covering
+//! the maximum number of objects, anywhere in space. Implementing it
+//! alongside NWC lets examples and benchmarks demonstrate the
+//! difference: MaxRS returns the globally densest area; NWC returns the
+//! *nearest sufficiently dense* one.
+//!
+//! # Algorithm
+//!
+//! The classic transformation: a window with min-corner `(x₀, y₀)`
+//! contains object `p` iff `x₀ ∈ [x_p − l, x_p]` and
+//! `y₀ ∈ [y_p − w, y_p]`, i.e. the min-corner lies in a rectangle dual
+//! to `p`. MaxRS thus reduces to *max-depth over axis-aligned
+//! rectangles*, solved by a plane sweep over `x` with a segment tree of
+//! `+1`/`−1` interval updates over compressed `y` coordinates —
+//! `O(N log N)`.
+
+use nwc_geom::{window::WindowSpec, Point, Rect};
+
+/// The result of a MaxRS computation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MaxRsResult {
+    /// Maximum number of objects any `l × w` window can cover.
+    pub count: usize,
+    /// A window achieving it (min-corner placement from the sweep).
+    pub window: Rect,
+}
+
+/// Computes MaxRS exactly over `points` for the given window size.
+///
+/// Returns `None` for an empty input. Ties are broken by the sweep
+/// order (the leftmost-lowest maximizing placement is reported).
+pub fn maxrs(points: &[Point], spec: &WindowSpec) -> Option<MaxRsResult> {
+    if points.is_empty() {
+        return None;
+    }
+    // Compressed y-interval endpoints: each object contributes the dual
+    // interval [y_p − w, y_p].
+    let mut ys: Vec<f64> = Vec::with_capacity(points.len() * 2);
+    for p in points {
+        ys.push(p.y - spec.w);
+        ys.push(p.y);
+    }
+    ys.sort_by(f64::total_cmp);
+    ys.dedup();
+    let index_of = |y: f64| ys.partition_point(|&v| v < y);
+
+    // Segment tree over the compressed y *points* (the max depth over
+    // closed dual rectangles is attained at an event coordinate, so
+    // point-depths suffice), with lazy additive interval updates.
+    let segs = ys.len();
+    let mut st = SegTree::new(segs);
+
+    // Sweep events over x: +1 at x_p − l, −1 just after x_p.
+    #[derive(Clone, Copy)]
+    struct Event {
+        x: f64,
+        add: i32,
+        lo: usize, // y-segment range [lo, hi) of the dual interval
+        hi: usize,
+    }
+    let mut events: Vec<Event> = Vec::with_capacity(points.len() * 2);
+    for p in points {
+        let lo = index_of(p.y - spec.w);
+        let hi = index_of(p.y) + 1; // half-open over point indices
+        events.push(Event {
+            x: p.x - spec.l,
+            add: 1,
+            lo,
+            hi,
+        });
+        events.push(Event {
+            x: p.x,
+            add: -1,
+            lo,
+            hi,
+        });
+    }
+    events.sort_by(|a, b| a.x.total_cmp(&b.x).then_with(|| b.add.cmp(&a.add)));
+
+    // At each distinct x: apply the opens, measure (the closed dual
+    // rectangles ending exactly at x still count there), then apply the
+    // closes.
+    let mut best = 0i32;
+    let mut best_corner = Point::new(points[0].x - spec.l, points[0].y - spec.w);
+    let mut i = 0usize;
+    while i < events.len() {
+        let x = events[i].x;
+        let mut closes_start = i;
+        while closes_start < events.len()
+            && events[closes_start].x == x
+            && events[closes_start].add > 0
+        {
+            let e = events[closes_start];
+            st.add(e.lo, e.hi, e.add);
+            closes_start += 1;
+        }
+        let (depth, seg) = st.max_with_pos();
+        if depth > best {
+            best = depth;
+            best_corner = Point::new(x, ys[seg]);
+        }
+        let mut j = closes_start;
+        while j < events.len() && events[j].x == x {
+            let e = events[j];
+            st.add(e.lo, e.hi, e.add);
+            j += 1;
+        }
+        i = j;
+    }
+    Some(MaxRsResult {
+        count: best.max(0) as usize,
+        window: Rect::new(
+            best_corner,
+            Point::new(best_corner.x + spec.l, best_corner.y + spec.w),
+        ),
+    })
+}
+
+/// Brute-force MaxRS over canonical placements (right/top edges on
+/// object coordinates) — `O(N³)`, for testing.
+pub fn maxrs_brute_force(points: &[Point], spec: &WindowSpec) -> Option<MaxRsResult> {
+    if points.is_empty() {
+        return None;
+    }
+    let mut best: Option<MaxRsResult> = None;
+    for a in points {
+        for b in points {
+            let win = Rect::new(
+                Point::new(a.x - spec.l, b.y - spec.w),
+                Point::new(a.x, b.y),
+            );
+            let count = points.iter().filter(|p| win.contains_point(p)).count();
+            if best.as_ref().is_none_or(|r| count > r.count) {
+                best = Some(MaxRsResult { count, window: win });
+            }
+        }
+    }
+    best
+}
+
+/// Max-segment tree with lazy additive updates.
+struct SegTree {
+    n: usize,
+    max: Vec<i32>,
+    lazy: Vec<i32>,
+    /// Leftmost leaf index achieving the subtree max.
+    arg: Vec<usize>,
+}
+
+impl SegTree {
+    fn new(n: usize) -> Self {
+        let mut arg = vec![0usize; 4 * n];
+        Self::init_args(&mut arg, 1, 0, n - 1);
+        SegTree {
+            n,
+            max: vec![0; 4 * n],
+            lazy: vec![0; 4 * n],
+            arg,
+        }
+    }
+
+    fn init_args(arg: &mut [usize], node: usize, lo: usize, hi: usize) {
+        if lo == hi {
+            arg[node] = lo;
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        Self::init_args(arg, node * 2, lo, mid);
+        Self::init_args(arg, node * 2 + 1, mid + 1, hi);
+        arg[node] = arg[node * 2];
+    }
+
+    /// Adds `v` over the segment range `[lo, hi)`.
+    fn add(&mut self, lo: usize, hi: usize, v: i32) {
+        debug_assert!(lo < hi && hi <= self.n);
+        self.add_rec(1, 0, self.n - 1, lo, hi - 1, v);
+    }
+
+    fn add_rec(&mut self, node: usize, nlo: usize, nhi: usize, lo: usize, hi: usize, v: i32) {
+        if lo <= nlo && nhi <= hi {
+            self.max[node] += v;
+            self.lazy[node] += v;
+            return;
+        }
+        let mid = (nlo + nhi) / 2;
+        if lo <= mid {
+            self.add_rec(node * 2, nlo, mid, lo, hi.min(mid), v);
+        }
+        if hi > mid {
+            self.add_rec(node * 2 + 1, mid + 1, nhi, lo.max(mid + 1), hi, v);
+        }
+        let (l, r) = (node * 2, node * 2 + 1);
+        if self.max[l] >= self.max[r] {
+            self.max[node] = self.max[l] + self.lazy[node];
+            self.arg[node] = self.arg[l];
+        } else {
+            self.max[node] = self.max[r] + self.lazy[node];
+            self.arg[node] = self.arg[r];
+        }
+    }
+
+    /// Global maximum and a leaf achieving it.
+    fn max_with_pos(&self) -> (i32, usize) {
+        (self.max[1], self.arg[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwc_geom::pt;
+
+    #[test]
+    fn empty_input() {
+        assert!(maxrs(&[], &WindowSpec::square(5.0)).is_none());
+    }
+
+    #[test]
+    fn single_point() {
+        let r = maxrs(&[pt(3.0, 4.0)], &WindowSpec::square(2.0)).unwrap();
+        assert_eq!(r.count, 1);
+        assert!(r.window.contains_point(&pt(3.0, 4.0)));
+    }
+
+    #[test]
+    fn dense_cluster_beats_scatter() {
+        let mut pts = vec![pt(50.0, 50.0), pt(51.0, 51.0), pt(52.0, 50.5), pt(50.5, 52.0)];
+        pts.extend([pt(0.0, 0.0), pt(100.0, 0.0), pt(0.0, 100.0)]);
+        let r = maxrs(&pts, &WindowSpec::square(4.0)).unwrap();
+        assert_eq!(r.count, 4);
+        for p in &pts[..4] {
+            assert!(r.window.contains_point(p), "{p:?} outside {:?}", r.window);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_grids() {
+        for (seed, n) in [(1u64, 20usize), (2, 45), (3, 70)] {
+            let pts: Vec<Point> = (0..n)
+                .map(|i| {
+                    let v = i as u64 * 2654435761 + seed * 97;
+                    pt((v % 40) as f64, ((v / 40) % 40) as f64)
+                })
+                .collect();
+            for size in [3.0, 7.5, 15.0] {
+                let spec = WindowSpec::square(size);
+                let fast = maxrs(&pts, &spec).unwrap();
+                let slow = maxrs_brute_force(&pts, &spec).unwrap();
+                assert_eq!(fast.count, slow.count, "seed {seed} n {n} size {size}");
+                // The returned window must actually achieve the count.
+                let achieved = pts.iter().filter(|p| fast.window.contains_point(p)).count();
+                assert_eq!(achieved, fast.count, "reported window does not achieve count");
+            }
+        }
+    }
+
+    #[test]
+    fn collinear_points() {
+        let pts: Vec<Point> = (0..10).map(|i| pt(i as f64, 5.0)).collect();
+        let r = maxrs(&pts, &WindowSpec::new(4.0, 1.0)).unwrap();
+        assert_eq!(r.count, 5); // closed window [x, x+4] covers 5 integers
+    }
+
+    #[test]
+    fn duplicate_points_counted() {
+        let pts = vec![pt(1.0, 1.0); 7];
+        let r = maxrs(&pts, &WindowSpec::square(0.5)).unwrap();
+        assert_eq!(r.count, 7);
+    }
+}

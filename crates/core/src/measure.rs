@@ -1,0 +1,197 @@
+//! The distance measures of §2.1 (Equations 1–4).
+//!
+//! The problem transformation works for any measure lower-bounded by
+//! `MINDIST(q, qwin)`; all four measures proposed by the paper satisfy
+//! that bound and are supported interchangeably.
+
+use nwc_geom::{window::WindowSpec, Point, Rect};
+use nwc_rtree::Entry;
+
+/// How the distance between the query point and an object group is
+/// scored (paper §2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub enum DistanceMeasure {
+    /// Equation (1): distance to the closest of the `n` objects.
+    Min,
+    /// Equation (2): distance to the farthest of the `n` objects — the
+    /// default, because it bounds the user's total walking radius.
+    #[default]
+    Max,
+    /// Equation (3): average distance over the `n` objects.
+    Avg,
+    /// Equation (4): `MINDIST` to the nearest `l × w` window containing
+    /// all `n` objects (the "nearest window distance").
+    NearestWindow,
+}
+
+impl DistanceMeasure {
+    /// All measures, for exhaustive testing.
+    pub const ALL: [DistanceMeasure; 4] = [
+        DistanceMeasure::Min,
+        DistanceMeasure::Max,
+        DistanceMeasure::Avg,
+        DistanceMeasure::NearestWindow,
+    ];
+
+    /// Scores a group of objects against `q`.
+    ///
+    /// `spec` is needed only by [`DistanceMeasure::NearestWindow`], which
+    /// minimizes `MINDIST` over every `l × w` window containing the
+    /// group (computed in closed form from the group's bounding box).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty group.
+    pub fn score(&self, q: &Point, group: &[Entry], spec: &WindowSpec) -> f64 {
+        assert!(!group.is_empty(), "cannot score an empty object group");
+        match self {
+            DistanceMeasure::Min => group
+                .iter()
+                .map(|e| e.point.dist(q))
+                .fold(f64::INFINITY, f64::min),
+            DistanceMeasure::Max => group
+                .iter()
+                .map(|e| e.point.dist(q))
+                .fold(0.0, f64::max),
+            DistanceMeasure::Avg => {
+                group.iter().map(|e| e.point.dist(q)).sum::<f64>() / group.len() as f64
+            }
+            DistanceMeasure::NearestWindow => nearest_window_distance(q, group, spec),
+        }
+    }
+}
+
+/// `MINDIST(q, ·)` minimized over every `l × w` window containing all of
+/// `group` (Equation 4), in closed form.
+///
+/// Windows containing the group have their min corner `(x₀, y₀)` ranging
+/// over `[B.max.x − l, B.min.x] × [B.max.y − w, B.min.y]` where `B` is
+/// the group's bounding box; the horizontal and vertical `MINDIST`
+/// components minimize independently over those intervals.
+pub fn nearest_window_distance(q: &Point, group: &[Entry], spec: &WindowSpec) -> f64 {
+    let bbox = Rect::bounding(group.iter().map(|e| e.point)).expect("non-empty group");
+    debug_assert!(
+        bbox.width() <= spec.l + 1e-9 && bbox.height() <= spec.w + 1e-9,
+        "group does not fit in an {} × {} window: {bbox:?}",
+        spec.l,
+        spec.w
+    );
+    let hx = axis_gap(q.x, bbox.max.x - spec.l, bbox.min.x, spec.l);
+    let vy = axis_gap(q.y, bbox.max.y - spec.w, bbox.min.y, spec.w);
+    (hx * hx + vy * vy).sqrt()
+}
+
+/// Minimal 1-D `MINDIST` component for a window `[x₀, x₀ + len]` with
+/// `x₀` free over `[lo, hi]`.
+fn axis_gap(q: f64, lo: f64, hi: f64, len: f64) -> f64 {
+    debug_assert!(lo <= hi + 1e-9);
+    if q < lo {
+        // Window cannot slide left enough: gap from q to the leftmost
+        // possible window start.
+        lo - q
+    } else if q > hi + len {
+        // Window cannot slide right enough.
+        q - (hi + len)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwc_geom::pt;
+
+    fn entries(pts: &[(f64, f64)]) -> Vec<Entry> {
+        pts.iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Entry::new(i as u32, pt(x, y)))
+            .collect()
+    }
+
+    const SPEC: WindowSpec = WindowSpec { l: 10.0, w: 10.0 };
+
+    #[test]
+    fn min_max_avg_basic() {
+        let q = pt(0.0, 0.0);
+        let g = entries(&[(3.0, 4.0), (6.0, 8.0)]); // dists 5 and 10
+        assert_eq!(DistanceMeasure::Min.score(&q, &g, &SPEC), 5.0);
+        assert_eq!(DistanceMeasure::Max.score(&q, &g, &SPEC), 10.0);
+        assert_eq!(DistanceMeasure::Avg.score(&q, &g, &SPEC), 7.5);
+    }
+
+    #[test]
+    fn nearest_window_zero_when_window_can_reach_q() {
+        let q = pt(0.0, 0.0);
+        let g = entries(&[(3.0, 3.0), (5.0, 5.0)]);
+        // A 10×10 window can cover both the group and q.
+        assert_eq!(DistanceMeasure::NearestWindow.score(&q, &g, &SPEC), 0.0);
+    }
+
+    #[test]
+    fn nearest_window_far_group() {
+        let q = pt(0.0, 0.0);
+        let g = entries(&[(30.0, 0.0), (34.0, 0.0)]);
+        // Best window starts at x₀ = 24 (must reach x = 34): gap = 24.
+        assert_eq!(DistanceMeasure::NearestWindow.score(&q, &g, &SPEC), 24.0);
+    }
+
+    #[test]
+    fn nearest_window_is_min_over_sampled_windows() {
+        let q = pt(7.0, -3.0);
+        let g = entries(&[(20.0, 8.0), (24.0, 13.0), (22.0, 10.0)]);
+        let closed = DistanceMeasure::NearestWindow.score(&q, &g, &SPEC);
+        let bbox = Rect::bounding(g.iter().map(|e| e.point)).unwrap();
+        let mut best = f64::INFINITY;
+        for i in 0..=50 {
+            for j in 0..=50 {
+                let x0 = (bbox.max.x - SPEC.l)
+                    + (bbox.min.x - (bbox.max.x - SPEC.l)) * i as f64 / 50.0;
+                let y0 = (bbox.max.y - SPEC.w)
+                    + (bbox.min.y - (bbox.max.y - SPEC.w)) * j as f64 / 50.0;
+                let win = Rect::new(pt(x0, y0), pt(x0 + SPEC.l, y0 + SPEC.w));
+                best = best.min(win.mindist(&q));
+            }
+        }
+        assert!((closed - best).abs() < 1e-6, "closed {closed} vs sampled {best}");
+    }
+
+    #[test]
+    fn all_measures_lower_bounded_by_any_containing_window() {
+        // The problem transformation requires MINDIST(q, win) ≤ measure.
+        let q = pt(1.0, 2.0);
+        let g = entries(&[(15.0, 18.0), (18.0, 12.0), (12.0, 14.0)]);
+        let win = Rect::new(pt(10.0, 10.0), pt(20.0, 20.0));
+        for m in [DistanceMeasure::Min, DistanceMeasure::Max, DistanceMeasure::Avg] {
+            assert!(
+                m.score(&q, &g, &SPEC) + 1e-9 >= win.mindist(&q),
+                "{m:?} violates the MINDIST lower bound"
+            );
+        }
+        // NearestWindow is the *minimum* over containing windows, so it
+        // lower-bounds the MINDIST of this particular containing window
+        // and equals the MINDIST of the best one.
+        let nw = DistanceMeasure::NearestWindow.score(&q, &g, &SPEC);
+        assert!(nw <= win.mindist(&q) + 1e-9);
+    }
+
+    #[test]
+    fn singleton_group() {
+        let q = pt(0.0, 0.0);
+        let g = entries(&[(3.0, 4.0)]);
+        for m in DistanceMeasure::ALL {
+            let s = m.score(&q, &g, &SPEC);
+            if m == DistanceMeasure::NearestWindow {
+                assert_eq!(s, 0.0); // a window can slide to cover q
+            } else {
+                assert_eq!(s, 5.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_group_panics() {
+        DistanceMeasure::Max.score(&pt(0.0, 0.0), &[], &SPEC);
+    }
+}

@@ -1,0 +1,193 @@
+//! Query descriptions and validation.
+
+use crate::DistanceMeasure;
+use nwc_geom::{window::WindowSpec, Point};
+use std::fmt;
+
+/// A malformed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// `n` (or `k`) was zero.
+    ZeroCount(&'static str),
+    /// The query location is NaN/infinite.
+    NonFiniteLocation,
+    /// kNWC overlap bound `m` is at least `n`, which makes "distinct
+    /// groups" meaningless (any group duplicates are allowed).
+    OverlapBoundTooLarge {
+        /// Requested overlap bound.
+        m: usize,
+        /// Group size.
+        n: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::ZeroCount(what) => write!(f, "{what} must be at least 1"),
+            QueryError::NonFiniteLocation => write!(f, "query location must be finite"),
+            QueryError::OverlapBoundTooLarge { m, n } => {
+                write!(f, "overlap bound m = {m} must be smaller than group size n = {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// An `NWC(q, l, w, n)` query (paper Definition 1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NwcQuery {
+    /// The query location `q`.
+    pub q: Point,
+    /// The window dimensions `l × w`.
+    pub spec: WindowSpec,
+    /// The number of objects to retrieve, `n`.
+    pub n: usize,
+    /// The distance measure scoring object groups (default
+    /// [`DistanceMeasure::Max`]).
+    pub measure: DistanceMeasure,
+}
+
+impl NwcQuery {
+    /// Creates a query with the default distance measure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or `q` is non-finite (use
+    /// [`NwcQuery::try_new`] for fallible construction).
+    pub fn new(q: Point, spec: WindowSpec, n: usize) -> Self {
+        NwcQuery::try_new(q, spec, n, DistanceMeasure::default()).unwrap()
+    }
+
+    /// Fallible constructor with an explicit measure.
+    pub fn try_new(
+        q: Point,
+        spec: WindowSpec,
+        n: usize,
+        measure: DistanceMeasure,
+    ) -> Result<Self, QueryError> {
+        if n == 0 {
+            return Err(QueryError::ZeroCount("n"));
+        }
+        if !q.is_finite() {
+            return Err(QueryError::NonFiniteLocation);
+        }
+        Ok(NwcQuery { q, spec, n, measure })
+    }
+
+    /// Returns a copy using `measure` instead of the default.
+    pub fn with_measure(mut self, measure: DistanceMeasure) -> Self {
+        self.measure = measure;
+        self
+    }
+}
+
+/// A `kNWC(k, q, l, w, n, m)` query (paper Definition 3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KnwcQuery {
+    /// The underlying NWC parameters.
+    pub base: NwcQuery,
+    /// Number of object groups to retrieve.
+    pub k: usize,
+    /// Maximum number of identical objects allowed between any two
+    /// returned groups.
+    pub m: usize,
+}
+
+impl KnwcQuery {
+    /// Creates a kNWC query.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters; use [`KnwcQuery::try_new`] to
+    /// handle errors.
+    pub fn new(q: Point, spec: WindowSpec, n: usize, k: usize, m: usize) -> Self {
+        KnwcQuery::try_new(q, spec, n, k, m, DistanceMeasure::default()).unwrap()
+    }
+
+    /// Fallible constructor with an explicit measure.
+    pub fn try_new(
+        q: Point,
+        spec: WindowSpec,
+        n: usize,
+        k: usize,
+        m: usize,
+        measure: DistanceMeasure,
+    ) -> Result<Self, QueryError> {
+        let base = NwcQuery::try_new(q, spec, n, measure)?;
+        if k == 0 {
+            return Err(QueryError::ZeroCount("k"));
+        }
+        if m >= n {
+            return Err(QueryError::OverlapBoundTooLarge { m, n });
+        }
+        Ok(KnwcQuery { base, k, m })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwc_geom::pt;
+
+    #[test]
+    fn valid_query() {
+        let q = NwcQuery::new(pt(1.0, 2.0), WindowSpec::square(8.0), 8);
+        assert_eq!(q.n, 8);
+        assert_eq!(q.measure, DistanceMeasure::Max);
+        let q2 = q.with_measure(DistanceMeasure::Avg);
+        assert_eq!(q2.measure, DistanceMeasure::Avg);
+    }
+
+    #[test]
+    fn zero_n_rejected() {
+        let e = NwcQuery::try_new(pt(0.0, 0.0), WindowSpec::square(1.0), 0, DistanceMeasure::Max);
+        assert_eq!(e.unwrap_err(), QueryError::ZeroCount("n"));
+    }
+
+    #[test]
+    fn non_finite_location_rejected() {
+        let e = NwcQuery::try_new(
+            pt(f64::NAN, 0.0),
+            WindowSpec::square(1.0),
+            1,
+            DistanceMeasure::Max,
+        );
+        assert_eq!(e.unwrap_err(), QueryError::NonFiniteLocation);
+    }
+
+    #[test]
+    fn knwc_overlap_bound() {
+        let e = KnwcQuery::try_new(
+            pt(0.0, 0.0),
+            WindowSpec::square(1.0),
+            4,
+            2,
+            4,
+            DistanceMeasure::Max,
+        );
+        assert!(matches!(
+            e.unwrap_err(),
+            QueryError::OverlapBoundTooLarge { m: 4, n: 4 }
+        ));
+        assert!(KnwcQuery::try_new(
+            pt(0.0, 0.0),
+            WindowSpec::square(1.0),
+            4,
+            2,
+            3,
+            DistanceMeasure::Max
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn error_messages_render() {
+        assert!(QueryError::ZeroCount("n").to_string().contains('n'));
+        assert!(QueryError::NonFiniteLocation.to_string().contains("finite"));
+        assert!(QueryError::OverlapBoundTooLarge { m: 5, n: 4 }
+            .to_string()
+            .contains("m = 5"));
+    }
+}

@@ -1,0 +1,446 @@
+//! Weighted NWC queries — "nearest window with total weight ≥ W".
+//!
+//! A generalization the paper's machinery supports directly: objects
+//! carry non-negative weights (seats across restaurants, stock across
+//! shops) and a window is *qualified* when its total weight reaches a
+//! threshold `W`. Plain NWC is the all-weights-one special case
+//! (`W = n`).
+//!
+//! Everything from §3 carries over:
+//!
+//! - Lemma 1 and the quadrant rules are purely geometric — unchanged;
+//! - SRR and DIP depend only on `dist_best` geometry — unchanged;
+//! - DEP prunes with a *weight-sum* grid ([`nwc_grid::WeightGrid`]);
+//! - IWP is unchanged.
+//!
+//! The group returned from a qualified window takes objects in
+//! ascending distance until the weight threshold is met (the weighted
+//! analogue of "the n objects of the shortest distance"). The default
+//! measure is [`DistanceMeasure::Max`]; `Min` is also exactly optimal
+//! under this greedy rule, while `Avg`/`NearestWindow` inherit the
+//! greedy selection without a per-window optimality claim (same status
+//! as in the unweighted paper semantics).
+
+use crate::measure::DistanceMeasure;
+use crate::result::{NwcResult, SearchStats};
+use crate::scheme::Scheme;
+use nwc_geom::window::{
+    extended_mbr, node_window_lower_bound, reduced_search_region, search_region, WindowSpec,
+};
+use nwc_geom::{Point, Quadrant, Rect};
+use nwc_grid::WeightGrid;
+use nwc_rtree::{BrowseItem, Entry, IwpIndex, RStarTree, TreeParams};
+
+/// A weighted NWC query: `NWC_w(q, l, w, W)`.
+#[derive(Clone, Copy, Debug)]
+pub struct WeightedQuery {
+    /// Query location.
+    pub q: Point,
+    /// Window dimensions.
+    pub spec: WindowSpec,
+    /// Minimum total weight a window must hold to qualify.
+    pub min_weight: f64,
+    /// Distance measure over the selected group.
+    pub measure: DistanceMeasure,
+}
+
+impl WeightedQuery {
+    /// Creates a query with the default (`Max`) measure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min_weight` is not strictly positive and finite.
+    pub fn new(q: Point, spec: WindowSpec, min_weight: f64) -> Self {
+        assert!(
+            min_weight > 0.0 && min_weight.is_finite(),
+            "min_weight must be positive and finite"
+        );
+        WeightedQuery {
+            q,
+            spec,
+            min_weight,
+            measure: DistanceMeasure::Max,
+        }
+    }
+}
+
+/// An index over weighted points answering [`WeightedQuery`]s.
+pub struct WeightedNwcIndex {
+    points: Vec<Point>,
+    weights: Vec<f64>,
+    tree: RStarTree,
+    wgrid: Option<WeightGrid>,
+    iwp: Option<IwpIndex>,
+}
+
+impl WeightedNwcIndex {
+    /// Builds the index (STR bulk load, weight grid at the paper's cell
+    /// size 25, IWP augmentation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input, length mismatch, or invalid weights.
+    pub fn build(points: Vec<Point>, weights: Vec<f64>) -> Self {
+        assert!(!points.is_empty(), "cannot index an empty dataset");
+        assert_eq!(points.len(), weights.len(), "points/weights mismatch");
+        let bounds = Rect::bounding(points.iter().copied()).expect("non-empty");
+        let grid_bounds = {
+            let space = Rect::new(Point::new(0.0, 0.0), Point::new(10_000.0, 10_000.0));
+            if space.contains_rect(&bounds) {
+                space
+            } else {
+                bounds.inflate(bounds.width().max(1.0) * 1e-9, bounds.height().max(1.0) * 1e-9)
+            }
+        };
+        let tree = RStarTree::bulk_load_with_params(&points, TreeParams::default());
+        let wgrid = Some(WeightGrid::from_cell_size(grid_bounds, 25.0, &points, &weights));
+        let iwp = Some(IwpIndex::build(&tree));
+        WeightedNwcIndex {
+            points,
+            weights,
+            tree,
+            wgrid,
+            iwp,
+        }
+    }
+
+    /// The weight of one object.
+    pub fn weight(&self, id: u32) -> f64 {
+        self.weights[id as usize]
+    }
+
+    /// The indexed points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Answers the weighted query under a scheme. Returns the group and
+    /// its total weight, or `None` when no window reaches `min_weight`.
+    pub fn query(&self, query: &WeightedQuery, scheme: Scheme) -> Option<(NwcResult, f64)> {
+        let tree = &self.tree;
+        let io = tree.stats();
+        let mut stats = SearchStats::default();
+        let q = query.q;
+        let spec = query.spec;
+        let min_w = query.min_weight;
+
+        let grid = scheme.needs_grid().then(|| {
+            self.wgrid
+                .as_ref()
+                .expect("weighted DEP needs the weight grid")
+        });
+        let iwp = scheme.needs_iwp().then(|| {
+            self.iwp.as_ref().expect("weighted IWP needs the pointer augmentation")
+        });
+
+        let mut dist_best = f64::INFINITY;
+        let mut best: Option<(Vec<Entry>, Rect, f64)> = None;
+
+        let mut browser = tree.browse(q);
+        let mut neighbors: Vec<Entry> = Vec::new();
+        while let Some(item) = browser.next() {
+            match item {
+                BrowseItem::Node { id, mbr, .. } => {
+                    if scheme.dip && node_window_lower_bound(&q, &mbr, &spec) > dist_best {
+                        stats.nodes_pruned_by_dip += 1;
+                        continue;
+                    }
+                    if let Some(grid) = grid {
+                        if grid.weight_upper_bound(&extended_mbr(&q, &mbr, &spec)) < min_w {
+                            stats.nodes_pruned_by_dep += 1;
+                            continue;
+                        }
+                    }
+                    let snap = io.snapshot();
+                    browser.expand(id);
+                    stats.io_traversal += io.since(snap);
+                }
+                BrowseItem::Object { entry, leaf, .. } => {
+                    stats.objects_visited += 1;
+                    let quad = Quadrant::of(&q, &entry.point);
+                    let sr = if scheme.srr {
+                        reduced_search_region(&q, &entry.point, &spec, dist_best)
+                    } else {
+                        Some(search_region(&entry.point, quad, &spec))
+                    };
+                    let Some(sr) = sr else {
+                        stats.skipped_by_srr += 1;
+                        continue;
+                    };
+                    if let Some(grid) = grid {
+                        if grid.weight_upper_bound(&sr) < min_w {
+                            stats.skipped_by_dep += 1;
+                            continue;
+                        }
+                    }
+                    stats.window_queries += 1;
+                    neighbors.clear();
+                    let snap = io.snapshot();
+                    match iwp {
+                        Some(iwp) => iwp.window_query_into(tree, leaf, &sr, &mut neighbors),
+                        None => tree.window_query_into(&sr, &mut neighbors),
+                    }
+                    stats.io_window_queries += io.since(snap);
+                    self.scan_weighted(
+                        &q,
+                        &spec,
+                        min_w,
+                        query.measure,
+                        &entry,
+                        quad,
+                        &mut neighbors,
+                        &mut dist_best,
+                        &mut best,
+                        &mut stats,
+                    );
+                }
+            }
+        }
+        // Attributed accounting (see algo.rs): sum of phases, safe under
+        // concurrent queries on the shared counter.
+        stats.io_total = stats.io_traversal + stats.io_window_queries;
+        best.map(|(objects, window, total_weight)| {
+            (
+                NwcResult {
+                    objects,
+                    distance: dist_best,
+                    window,
+                    stats,
+                },
+                total_weight,
+            )
+        })
+    }
+
+    /// Weighted candidate-window scan: prefix weight sums over the
+    /// y-sorted search-region contents.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_weighted(
+        &self,
+        q: &Point,
+        spec: &WindowSpec,
+        min_w: f64,
+        measure: DistanceMeasure,
+        p: &Entry,
+        quad: Quadrant,
+        neighbors: &mut [Entry],
+        dist_best: &mut f64,
+        best: &mut Option<(Vec<Entry>, Rect, f64)>,
+        stats: &mut SearchStats,
+    ) {
+        neighbors.sort_by(|a, b| a.point.y.total_cmp(&b.point.y));
+        let prefix: Vec<f64> = std::iter::once(0.0)
+            .chain(neighbors.iter().scan(0.0, |acc, e| {
+                *acc += self.weights[e.id as usize];
+                Some(*acc)
+            }))
+            .collect();
+
+        let mut consider = |partner_y: f64| {
+            stats.candidate_windows += 1;
+            let win = nwc_geom::window::candidate_window(&p.point, partner_y, quad, spec);
+            let lo = neighbors.partition_point(|e| e.point.y < win.min.y);
+            let hi = neighbors.partition_point(|e| e.point.y <= win.max.y);
+            if prefix[hi] - prefix[lo] < min_w {
+                return;
+            }
+            stats.qualified_windows += 1;
+            if win.mindist(q) >= *dist_best {
+                return;
+            }
+            // Greedy: closest objects until the weight threshold is met.
+            let mut scored: Vec<(f64, Entry)> = neighbors[lo..hi]
+                .iter()
+                .map(|&e| (e.point.dist2(q), e))
+                .collect();
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.id.cmp(&b.1.id)));
+            let mut acc = 0.0;
+            let mut group: Vec<Entry> = Vec::new();
+            for (_, e) in scored {
+                acc += self.weights[e.id as usize];
+                group.push(e);
+                if acc >= min_w {
+                    break;
+                }
+            }
+            debug_assert!(acc >= min_w);
+            let score = measure.score(q, &group, spec);
+            if score < *dist_best {
+                *dist_best = score;
+                *best = Some((group, win, acc));
+                stats.best_updates += 1;
+            }
+        };
+
+        if quad.partner_on_top_edge() {
+            let start = neighbors.partition_point(|e| e.point.y < p.point.y);
+            let mut prev = f64::NAN;
+            for e in &neighbors[start..] {
+                if e.point.y != prev {
+                    prev = e.point.y;
+                    consider(e.point.y);
+                }
+            }
+        } else {
+            let end = neighbors.partition_point(|e| e.point.y <= p.point.y);
+            let mut prev = f64::NAN;
+            for e in neighbors[..end].iter().rev() {
+                if e.point.y != prev {
+                    prev = e.point.y;
+                    consider(e.point.y);
+                }
+            }
+        }
+    }
+}
+
+/// Brute-force weighted oracle over the same candidate-window family.
+pub fn weighted_brute_force(
+    points: &[Point],
+    weights: &[f64],
+    query: &WeightedQuery,
+) -> Option<(Vec<u32>, f64)> {
+    let entries: Vec<Entry> = points
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| Entry::new(i as u32, p))
+        .collect();
+    let mut best: Option<(Vec<u32>, f64)> = None;
+    for p in &entries {
+        let quad = Quadrant::of(&query.q, &p.point);
+        for partner in &entries {
+            let dy = partner.point.y - p.point.y;
+            let admissible = if quad.partner_on_top_edge() {
+                (0.0..=query.spec.w).contains(&dy)
+            } else {
+                (-query.spec.w..=0.0).contains(&dy)
+            };
+            if !admissible {
+                continue;
+            }
+            let win =
+                nwc_geom::window::candidate_window(&p.point, partner.point.y, quad, &query.spec);
+            if !win.contains_point(&partner.point) {
+                continue;
+            }
+            let mut inside: Vec<(f64, Entry)> = entries
+                .iter()
+                .filter(|e| win.contains_point(&e.point))
+                .map(|&e| (e.point.dist2(&query.q), e))
+                .collect();
+            let total: f64 = inside.iter().map(|(_, e)| weights[e.id as usize]).sum();
+            if total < query.min_weight {
+                continue;
+            }
+            inside.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.id.cmp(&b.1.id)));
+            let mut acc = 0.0;
+            let mut group: Vec<Entry> = Vec::new();
+            for (_, e) in inside {
+                acc += weights[e.id as usize];
+                group.push(e);
+                if acc >= query.min_weight {
+                    break;
+                }
+            }
+            let score = query.measure.score(&query.q, &group, &query.spec);
+            if best.as_ref().is_none_or(|&(_, s)| score < s) {
+                best = Some((group.iter().map(|e| e.id).collect(), score));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwc_geom::pt;
+
+    #[test]
+    fn unit_weights_match_plain_nwc() {
+        let pts: Vec<Point> = (0..80)
+            .map(|i| pt(((i * 13) % 60) as f64, ((i * 29) % 55) as f64))
+            .collect();
+        let widx = WeightedNwcIndex::build(pts.clone(), vec![1.0; pts.len()]);
+        let idx = crate::NwcIndex::build(pts.clone());
+        for n in [2usize, 4, 8] {
+            let wq = WeightedQuery::new(pt(30.0, 30.0), WindowSpec::square(12.0), n as f64);
+            let nq = crate::NwcQuery::new(pt(30.0, 30.0), WindowSpec::square(12.0), n);
+            let a = widx.query(&wq, Scheme::NWC_STAR).map(|(r, _)| r.distance);
+            let b = idx.nwc(&nq, Scheme::NWC_STAR).map(|r| r.distance);
+            match (a, b) {
+                (None, None) => {}
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9, "n={n}: {x} vs {y}"),
+                other => panic!("n={n}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn prefers_one_heavy_object_over_far_cluster() {
+        // A single weight-10 restaurant nearby beats five weight-1 ones
+        // far away when W = 8.
+        let pts = vec![
+            pt(10.0, 10.0), // heavy
+            pt(80.0, 80.0),
+            pt(81.0, 81.0),
+            pt(82.0, 80.5),
+            pt(80.5, 82.0),
+            pt(81.5, 79.5),
+        ];
+        let ws = vec![10.0, 2.0, 2.0, 2.0, 2.0, 2.0];
+        let widx = WeightedNwcIndex::build(pts, ws);
+        let q = WeightedQuery::new(pt(0.0, 0.0), WindowSpec::square(6.0), 8.0);
+        let (r, total) = widx.query(&q, Scheme::NWC_STAR).unwrap();
+        assert_eq!(r.ids(), vec![0]);
+        assert_eq!(total, 10.0);
+    }
+
+    #[test]
+    fn schemes_agree_weighted() {
+        let pts: Vec<Point> = (0..120)
+            .map(|i| pt(((i * 17) % 70) as f64, ((i * 41) % 65) as f64))
+            .collect();
+        let ws: Vec<f64> = (0..120).map(|i| 0.5 + (i % 4) as f64).collect();
+        let widx = WeightedNwcIndex::build(pts, ws);
+        let q = WeightedQuery::new(pt(35.0, 30.0), WindowSpec::square(10.0), 12.0);
+        let dists: Vec<Option<f64>> = Scheme::TABLE3
+            .iter()
+            .map(|&s| widx.query(&q, s).map(|(r, _)| r.distance))
+            .collect();
+        for d in &dists[1..] {
+            match (dists[0], *d) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "{dists:?}"),
+                _ => panic!("{dists:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let pts: Vec<Point> = (0..50)
+            .map(|i| pt(((i * 23) % 45) as f64, ((i * 31) % 40) as f64))
+            .collect();
+        let ws: Vec<f64> = (0..50).map(|i| 1.0 + (i % 3) as f64).collect();
+        let widx = WeightedNwcIndex::build(pts.clone(), ws.clone());
+        for min_w in [3.0, 8.0, 20.0] {
+            let q = WeightedQuery::new(pt(20.0, 18.0), WindowSpec::square(9.0), min_w);
+            let got = widx.query(&q, Scheme::NWC_STAR).map(|(r, _)| r.distance);
+            let want = weighted_brute_force(&pts, &ws, &q).map(|(_, s)| s);
+            match (got, want) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "W={min_w}: {a} vs {b}"),
+                other => panic!("W={min_w}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_weight_returns_none() {
+        let pts = vec![pt(1.0, 1.0), pt(2.0, 2.0)];
+        let widx = WeightedNwcIndex::build(pts, vec![1.0, 1.0]);
+        let q = WeightedQuery::new(pt(0.0, 0.0), WindowSpec::square(5.0), 100.0);
+        assert!(widx.query(&q, Scheme::NWC_STAR).is_none());
+    }
+}

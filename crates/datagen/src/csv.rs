@@ -1,0 +1,104 @@
+//! Plain-text persistence for datasets (one `x,y` pair per line).
+//!
+//! Keeping generated datasets on disk lets the experiment harness reuse
+//! them across runs and lets users drop in their own point files (e.g.
+//! the original CA/NY datasets, should they have access to them).
+
+use crate::Dataset;
+use nwc_geom::{Point, Rect};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+impl Dataset {
+    /// Writes the dataset as `x,y` lines.
+    pub fn save_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut out = BufWriter::new(std::fs::File::create(path)?);
+        for p in &self.points {
+            writeln!(out, "{},{}", p.x, p.y)?;
+        }
+        out.flush()
+    }
+
+    /// Reads a dataset from `x,y` lines. Lines that are empty or start
+    /// with `#` are skipped. The bounds are the tight bounding box of
+    /// the points expanded to include [`crate::SPACE`] when the data fits
+    /// inside it.
+    pub fn load_csv(name: impl Into<String>, path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let reader = BufReader::new(std::fs::File::open(path)?);
+        let mut points = Vec::new();
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut it = trimmed.split(',');
+            let parse = |s: Option<&str>| -> std::io::Result<f64> {
+                s.map(str::trim)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("line {}: expected `x,y`", lineno + 1),
+                        )
+                    })
+            };
+            let x = parse(it.next())?;
+            let y = parse(it.next())?;
+            points.push(Point::new(x, y));
+        }
+        let bounds = Rect::bounding(points.iter().copied())
+            .map(|tight| {
+                if crate::SPACE.contains_rect(&tight) {
+                    crate::SPACE
+                } else {
+                    tight
+                }
+            })
+            .unwrap_or(crate::SPACE);
+        Ok(Dataset::new(name, points, bounds))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let d = Dataset::gaussian(500, 5000.0, 1000.0, 77);
+        let dir = std::env::temp_dir().join("nwc_datagen_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        d.save_csv(&path).unwrap();
+        let back = Dataset::load_csv("Gaussian", &path).unwrap();
+        assert_eq!(back.len(), d.len());
+        for (a, b) in d.points.iter().zip(&back.points) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(back.bounds, crate::SPACE);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let dir = std::env::temp_dir().join("nwc_datagen_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("comments.csv");
+        std::fs::write(&path, "# header\n1.5, 2.5\n\n3.0,4.0\n").unwrap();
+        let d = Dataset::load_csv("x", &path).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.points[0], Point::new(1.5, 2.5));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn malformed_line_errors() {
+        let dir = std::env::temp_dir().join("nwc_datagen_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "1.0\n").unwrap();
+        assert!(Dataset::load_csv("x", &path).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,422 @@
+//! Seeded spatial dataset generators reproducing the NWC paper's
+//! workloads (§5, Table 2, Figure 8).
+//!
+//! The paper evaluates on two real datasets — **CA** (62,556 places in
+//! California) and **NY** (255,259 places in New York) — plus a synthetic
+//! **Gaussian** dataset (250,000 points, mean 5,000, σ 2,000), all
+//! normalized to a `10,000 × 10,000` space. The real datasets are not
+//! redistributable, so this crate builds seeded synthetic stand-ins that
+//! preserve the only properties the paper's analysis relies on:
+//!
+//! - `CA` — *moderately clustered*: place clusters of varied size strung
+//!   along corridor-shaped strips (coast/valley geography) over sparse
+//!   background noise; 62,556 points.
+//! - `NY` — *highly clustered*: "the objects in the NY dataset are highly
+//!   clustered in certain areas" (§5.1), modelled as a few hundred very
+//!   tight urban clusters holding nearly all points; 255,259 points.
+//! - `Gaussian` — exactly the paper's generator (Box–Muller, mean 5,000,
+//!   σ 2,000 by default, cardinality 250,000), clamped to the space.
+//!
+//! Every generator is deterministic given its seed, so experiments are
+//! reproducible run-to-run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csv;
+mod rng;
+
+pub use rng::SplitMix64;
+
+use nwc_geom::{rect, Point, Rect};
+
+/// The normalized object space used throughout the paper: a square of
+/// width 10,000.
+pub const SPACE: Rect = Rect {
+    min: Point { x: 0.0, y: 0.0 },
+    max: Point {
+        x: 10_000.0,
+        y: 10_000.0,
+    },
+};
+
+/// Cardinalities from the paper's Table 2.
+pub const CA_CARDINALITY: usize = 62_556;
+/// See [`CA_CARDINALITY`].
+pub const NY_CARDINALITY: usize = 255_259;
+/// See [`CA_CARDINALITY`].
+pub const GAUSSIAN_CARDINALITY: usize = 250_000;
+
+/// A named point dataset over [`SPACE`].
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Human-readable name ("CA", "NY", "Gaussian", …).
+    pub name: String,
+    /// The data objects.
+    pub points: Vec<Point>,
+    /// The object space (normally [`SPACE`]).
+    pub bounds: Rect,
+}
+
+impl Dataset {
+    /// Wraps existing points under a name.
+    pub fn new(name: impl Into<String>, points: Vec<Point>, bounds: Rect) -> Self {
+        Dataset {
+            name: name.into(),
+            points,
+            bounds,
+        }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Uniformly distributed points over the space.
+    pub fn uniform(n: usize, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let points = (0..n)
+            .map(|_| {
+                Point::new(
+                    rng.uniform(SPACE.min.x, SPACE.max.x),
+                    rng.uniform(SPACE.min.y, SPACE.max.y),
+                )
+            })
+            .collect();
+        Dataset::new("Uniform", points, SPACE)
+    }
+
+    /// The paper's synthetic dataset: isotropic Gaussian around
+    /// `(mean, mean)` with standard deviation `std`, clamped to the
+    /// space. Figure 10 sweeps `std` from 2,000 down to 1,000.
+    pub fn gaussian(n: usize, mean: f64, std: f64, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let points = (0..n)
+            .map(|_| {
+                let (gx, gy) = rng.gaussian_pair();
+                clamp_to_space(Point::new(mean + gx * std, mean + gy * std))
+            })
+            .collect();
+        Dataset::new(format!("Gaussian(σ={std})"), points, SPACE)
+    }
+
+    /// The paper's default Gaussian dataset: 250,000 points, mean 5,000,
+    /// σ 2,000 (Table 2).
+    pub fn gaussian_default(seed: u64) -> Self {
+        let mut d = Dataset::gaussian(GAUSSIAN_CARDINALITY, 5_000.0, 2_000.0, seed);
+        d.name = "Gaussian".into();
+        d
+    }
+
+    /// A generic cluster mixture: `clusters` Gaussian blobs with per-blob
+    /// spread sampled from `[min_spread, max_spread]`, plus a
+    /// `background` fraction of uniform noise.
+    pub fn clustered(
+        n: usize,
+        clusters: usize,
+        min_spread: f64,
+        max_spread: f64,
+        background: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(clusters > 0, "need at least one cluster");
+        assert!((0.0..=1.0).contains(&background));
+        let mut rng = SplitMix64::new(seed);
+        // Cluster centers and spreads; weights ~ Zipf-ish so some hot
+        // areas dominate, as in real place data.
+        let centers: Vec<(Point, f64, f64)> = (0..clusters)
+            .map(|i| {
+                let c = Point::new(
+                    rng.uniform(SPACE.min.x, SPACE.max.x),
+                    rng.uniform(SPACE.min.y, SPACE.max.y),
+                );
+                let spread = rng.uniform(min_spread, max_spread);
+                let weight = 1.0 / (i as f64 + 1.0).sqrt();
+                (c, spread, weight)
+            })
+            .collect();
+        let total_weight: f64 = centers.iter().map(|&(_, _, w)| w).sum();
+
+        let points = (0..n)
+            .map(|_| {
+                if rng.next_f64() < background {
+                    Point::new(
+                        rng.uniform(SPACE.min.x, SPACE.max.x),
+                        rng.uniform(SPACE.min.y, SPACE.max.y),
+                    )
+                } else {
+                    // Weighted cluster choice.
+                    let mut pick = rng.next_f64() * total_weight;
+                    let mut chosen = &centers[0];
+                    for c in &centers {
+                        pick -= c.2;
+                        if pick <= 0.0 {
+                            chosen = c;
+                            break;
+                        }
+                    }
+                    let (gx, gy) = rng.gaussian_pair();
+                    clamp_to_space(Point::new(
+                        chosen.0.x + gx * chosen.1,
+                        chosen.0.y + gy * chosen.1,
+                    ))
+                }
+            })
+            .collect();
+        Dataset::new("Clustered", points, SPACE)
+    }
+
+    /// CA stand-in (see crate docs): 62,556 points, moderately clustered
+    /// along corridors. Deterministic for a given `seed`.
+    pub fn ca_like(seed: u64) -> Self {
+        let mut d = Dataset::corridor_clustered(CA_CARDINALITY, 60, 25.0, 120.0, 0.20, seed);
+        d.name = "CA".into();
+        d
+    }
+
+    /// NY stand-in (see crate docs): 255,259 points, highly clustered.
+    pub fn ny_like(seed: u64) -> Self {
+        let mut d = Dataset::clustered(NY_CARDINALITY, 300, 8.0, 40.0, 0.05, seed ^ 0x9e37);
+        d.name = "NY".into();
+        d
+    }
+
+    /// Scaled-down variants of the three paper datasets for quick tests
+    /// and Criterion benches: same shapes, `n` points each.
+    pub fn paper_trio_scaled(n_ca: usize, n_ny: usize, n_gauss: usize, seed: u64) -> Vec<Dataset> {
+        let mut ca = Dataset::corridor_clustered(n_ca, 60, 25.0, 120.0, 0.20, seed);
+        ca.name = "CA".into();
+        let mut ny = Dataset::clustered(n_ny, 300, 8.0, 40.0, 0.05, seed ^ 0x9e37);
+        ny.name = "NY".into();
+        let mut ga = Dataset::gaussian(n_gauss, 5_000.0, 2_000.0, seed ^ 0x517c);
+        ga.name = "Gaussian".into();
+        vec![ca, ny, ga]
+    }
+
+    /// Clusters strung along a few linear corridors (simulating
+    /// coastline/valley geography) over uniform background noise.
+    pub fn corridor_clustered(
+        n: usize,
+        clusters: usize,
+        min_spread: f64,
+        max_spread: f64,
+        background: f64,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        // Three corridors: rough diagonals across the space.
+        let corridors = [
+            (Point::new(500.0, 500.0), Point::new(4_000.0, 9_500.0)),
+            (Point::new(2_500.0, 200.0), Point::new(9_500.0, 7_000.0)),
+            (Point::new(6_000.0, 8_000.0), Point::new(9_800.0, 9_800.0)),
+        ];
+        let centers: Vec<(Point, f64, f64)> = (0..clusters)
+            .map(|i| {
+                let (a, b) = corridors[i % corridors.len()];
+                let t = rng.next_f64();
+                let jitter = rng.uniform(-400.0, 400.0);
+                let c = clamp_to_space(Point::new(
+                    a.x + (b.x - a.x) * t + jitter,
+                    a.y + (b.y - a.y) * t - jitter,
+                ));
+                let spread = rng.uniform(min_spread, max_spread);
+                let weight = 1.0 / (i as f64 + 1.0).sqrt();
+                (c, spread, weight)
+            })
+            .collect();
+        let total_weight: f64 = centers.iter().map(|&(_, _, w)| w).sum();
+        let points = (0..n)
+            .map(|_| {
+                if rng.next_f64() < background {
+                    Point::new(
+                        rng.uniform(SPACE.min.x, SPACE.max.x),
+                        rng.uniform(SPACE.min.y, SPACE.max.y),
+                    )
+                } else {
+                    let mut pick = rng.next_f64() * total_weight;
+                    let mut chosen = &centers[0];
+                    for c in &centers {
+                        pick -= c.2;
+                        if pick <= 0.0 {
+                            chosen = c;
+                            break;
+                        }
+                    }
+                    let (gx, gy) = rng.gaussian_pair();
+                    clamp_to_space(Point::new(
+                        chosen.0.x + gx * chosen.1,
+                        chosen.0.y + gy * chosen.1,
+                    ))
+                }
+            })
+            .collect();
+        Dataset::new("Corridor", points, SPACE)
+    }
+
+    /// `count` uniformly random query locations over the space — the
+    /// paper runs 25 queries per experiment and reports the average.
+    pub fn query_points(count: usize, seed: u64) -> Vec<Point> {
+        let mut rng = SplitMix64::new(seed.wrapping_mul(0xc2b2_ae3d));
+        (0..count)
+            .map(|_| {
+                Point::new(
+                    rng.uniform(SPACE.min.x, SPACE.max.x),
+                    rng.uniform(SPACE.min.y, SPACE.max.y),
+                )
+            })
+            .collect()
+    }
+
+    /// ASCII density map (Figure 8 substitute): `cols × rows` cells
+    /// shaded by object count.
+    pub fn density_map(&self, cols: usize, rows: usize) -> String {
+        let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+        let mut counts = vec![0usize; cols * rows];
+        for p in &self.points {
+            let cx = (((p.x - self.bounds.min.x) / self.bounds.width()) * cols as f64)
+                .floor()
+                .clamp(0.0, cols as f64 - 1.0) as usize;
+            let cy = (((p.y - self.bounds.min.y) / self.bounds.height()) * rows as f64)
+                .floor()
+                .clamp(0.0, rows as f64 - 1.0) as usize;
+            counts[cy * cols + cx] += 1;
+        }
+        let max = counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::with_capacity((cols + 1) * rows);
+        for row in (0..rows).rev() {
+            for col in 0..cols {
+                let c = counts[row * cols + col];
+                // Log shading: real place data is heavy-tailed.
+                let level = if c == 0 {
+                    0
+                } else {
+                    let f = (c as f64).ln() / (max as f64).ln();
+                    1 + (f * (shades.len() - 2) as f64).round() as usize
+                };
+                out.push(shades[level.min(shades.len() - 1)]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn clamp_to_space(p: Point) -> Point {
+    Point::new(
+        p.x.clamp(SPACE.min.x, SPACE.max.x),
+        p.y.clamp(SPACE.min.y, SPACE.max.y),
+    )
+}
+
+/// Returns the standard bounds used by all generators. Convenience for
+/// callers building grids/trees.
+pub fn space() -> Rect {
+    rect(SPACE.min.x, SPACE.min.y, SPACE.max.x, SPACE.max.y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = Dataset::gaussian(1000, 5000.0, 2000.0, 7);
+        let b = Dataset::gaussian(1000, 5000.0, 2000.0, 7);
+        assert_eq!(a.points, b.points);
+        let c = Dataset::gaussian(1000, 5000.0, 2000.0, 8);
+        assert_ne!(a.points, c.points);
+    }
+
+    #[test]
+    fn cardinalities_match_table2() {
+        // Scaled-down shape checks run in tests; the full cardinalities
+        // are cheap enough to verify directly.
+        assert_eq!(Dataset::ca_like(1).len(), CA_CARDINALITY);
+        assert_eq!(Dataset::ny_like(1).len(), NY_CARDINALITY);
+        assert_eq!(Dataset::gaussian_default(1).len(), GAUSSIAN_CARDINALITY);
+    }
+
+    #[test]
+    fn points_stay_in_space() {
+        for d in Dataset::paper_trio_scaled(2000, 2000, 2000, 3) {
+            for p in &d.points {
+                assert!(SPACE.contains_point(p), "{} escaped: {p:?}", d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let d = Dataset::gaussian(50_000, 5000.0, 1000.0, 11);
+        let mean_x: f64 = d.points.iter().map(|p| p.x).sum::<f64>() / d.len() as f64;
+        let mean_y: f64 = d.points.iter().map(|p| p.y).sum::<f64>() / d.len() as f64;
+        assert!((mean_x - 5000.0).abs() < 50.0, "mean_x = {mean_x}");
+        assert!((mean_y - 5000.0).abs() < 50.0, "mean_y = {mean_y}");
+        let var_x: f64 =
+            d.points.iter().map(|p| (p.x - mean_x).powi(2)).sum::<f64>() / d.len() as f64;
+        let std_x = var_x.sqrt();
+        assert!((std_x - 1000.0).abs() < 50.0, "std_x = {std_x}");
+    }
+
+    #[test]
+    fn ny_is_more_clustered_than_gaussian() {
+        // Clustering proxy: fraction of occupied 100×100 grid cells —
+        // highly clustered data occupies fewer cells per point.
+        let occupied = |d: &Dataset| {
+            let mut cells = std::collections::HashSet::new();
+            for p in &d.points {
+                cells.insert(((p.x / 100.0) as i64, (p.y / 100.0) as i64));
+            }
+            cells.len() as f64 / d.len() as f64
+        };
+        let trio = Dataset::paper_trio_scaled(20_000, 20_000, 20_000, 5);
+        let ca = occupied(&trio[0]);
+        let ny = occupied(&trio[1]);
+        let ga = occupied(&trio[2]);
+        assert!(ny < ca, "NY ({ny}) should be more clustered than CA ({ca})");
+        assert!(ny < ga, "NY ({ny}) should be more clustered than Gaussian ({ga})");
+    }
+
+    #[test]
+    fn smaller_sigma_is_more_clustered() {
+        let wide = Dataset::gaussian(10_000, 5000.0, 2000.0, 9);
+        let tight = Dataset::gaussian(10_000, 5000.0, 1000.0, 9);
+        let spread = |d: &Dataset| {
+            d.points
+                .iter()
+                .map(|p| p.dist(&Point::new(5000.0, 5000.0)))
+                .sum::<f64>()
+                / d.len() as f64
+        };
+        assert!(spread(&tight) < spread(&wide));
+    }
+
+    #[test]
+    fn query_points_deterministic_and_in_space() {
+        let a = Dataset::query_points(25, 1);
+        let b = Dataset::query_points(25, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 25);
+        assert!(a.iter().all(|p| SPACE.contains_point(p)));
+    }
+
+    #[test]
+    fn density_map_shape() {
+        let d = Dataset::gaussian(5000, 5000.0, 1500.0, 2);
+        let map = d.density_map(40, 20);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 20);
+        assert!(lines.iter().all(|l| l.chars().count() == 40));
+        // Center should be denser than corners.
+        let center_char = lines[10].chars().nth(20).unwrap();
+        let corner_char = lines[0].chars().next().unwrap();
+        assert_ne!(center_char, ' ');
+        assert_eq!(corner_char, ' ');
+    }
+}

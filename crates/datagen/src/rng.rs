@@ -1,0 +1,118 @@
+//! A tiny, fully deterministic PRNG for dataset generation.
+//!
+//! SplitMix64 (Steele et al., "Fast Splittable Pseudorandom Number
+//! Generators") is used instead of an external RNG so that generated
+//! datasets are bit-identical across platforms, `rand` versions and
+//! compiler releases — experiment tables must be reproducible
+//! indefinitely. It is statistically more than adequate for spatial
+//! workload synthesis.
+
+/// SplitMix64 generator state.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    #[inline]
+    pub fn next_usize(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_f64() * n as f64) as usize % n
+    }
+
+    /// A pair of independent standard-normal samples (Box–Muller).
+    #[inline]
+    pub fn gaussian_pair(&mut self) -> (f64, f64) {
+        // Avoid ln(0) by nudging u1 away from zero.
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        (r * theta.cos(), r * theta.sin())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_range() {
+        let mut r = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            let v = r.uniform(3.0, 7.0);
+            assert!((3.0..7.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut r = SplitMix64::new(2);
+        let mean: f64 = (0..100_000).map(|_| r.next_f64()).sum::<f64>() / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = SplitMix64::new(3);
+        let samples: Vec<f64> = (0..50_000).flat_map(|_| {
+            let (a, b) = r.gaussian_pair();
+            [a, b]
+        }).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var: f64 =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+
+    #[test]
+    fn next_usize_in_range() {
+        let mut r = SplitMix64::new(4);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.next_usize(10);
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+}

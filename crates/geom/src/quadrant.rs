@@ -1,0 +1,100 @@
+//! Lying quadrants of data objects with respect to the query point.
+//!
+//! Lemma 1 of the paper shows the nearest qualified window (or an
+//! equivalent one) has an object on a vertical edge and an object on a
+//! horizontal edge. Section 3.1 refines this: *which* vertical/horizontal
+//! edge an object generates windows from is fully determined by the
+//! quadrant the object lies in when the query point is taken as origin.
+
+use crate::Point;
+
+/// The quadrant of a data object `p` with the query point `q` as origin.
+///
+/// Boundary convention: objects exactly on the axes are assigned to the
+/// quadrant as if they were infinitesimally inside the closed right/top
+/// half-planes (`x ≥ x_q` counts as right, `y ≥ y_q` counts as top). Any
+/// consistent convention yields a correct algorithm because windows are
+/// closed sets; this one matches the paper's "first quadrant" running
+/// example where `p = q` is treated as quadrant I.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Quadrant {
+    /// `x ≥ x_q, y ≥ y_q` — object generates windows with itself on the
+    /// **right** edge and partners on the **top** edge.
+    I,
+    /// `x < x_q, y ≥ y_q` — **left** edge, partners on the **top** edge.
+    II,
+    /// `x < x_q, y < y_q` — **left** edge, partners on the **bottom** edge.
+    III,
+    /// `x ≥ x_q, y < y_q` — **right** edge, partners on the **bottom** edge.
+    IV,
+}
+
+impl Quadrant {
+    /// Determines the lying quadrant of `p` with respect to origin `q`.
+    #[inline]
+    pub fn of(q: &Point, p: &Point) -> Quadrant {
+        match (p.x >= q.x, p.y >= q.y) {
+            (true, true) => Quadrant::I,
+            (false, true) => Quadrant::II,
+            (false, false) => Quadrant::III,
+            (true, false) => Quadrant::IV,
+        }
+    }
+
+    /// Whether objects in this quadrant sit on the **right** vertical edge
+    /// of the windows they generate (quadrants I and IV; paper §3.1
+    /// observation 1).
+    #[inline]
+    pub fn on_right_edge(&self) -> bool {
+        matches!(self, Quadrant::I | Quadrant::IV)
+    }
+
+    /// Whether partner objects in this quadrant's search region sit on the
+    /// **top** horizontal edge of candidate windows (quadrants I and II;
+    /// paper §3.1 observation 2).
+    #[inline]
+    pub fn partner_on_top_edge(&self) -> bool {
+        matches!(self, Quadrant::I | Quadrant::II)
+    }
+
+    /// All four quadrants, for exhaustive iteration in tests.
+    pub const ALL: [Quadrant; 4] = [Quadrant::I, Quadrant::II, Quadrant::III, Quadrant::IV];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: Point = Point::new(10.0, 10.0);
+
+    #[test]
+    fn strict_interior_points() {
+        assert_eq!(Quadrant::of(&Q, &Point::new(11.0, 12.0)), Quadrant::I);
+        assert_eq!(Quadrant::of(&Q, &Point::new(9.0, 12.0)), Quadrant::II);
+        assert_eq!(Quadrant::of(&Q, &Point::new(9.0, 8.0)), Quadrant::III);
+        assert_eq!(Quadrant::of(&Q, &Point::new(11.0, 8.0)), Quadrant::IV);
+    }
+
+    #[test]
+    fn axis_points_use_closed_right_top_convention() {
+        assert_eq!(Quadrant::of(&Q, &Point::new(10.0, 15.0)), Quadrant::I);
+        assert_eq!(Quadrant::of(&Q, &Point::new(10.0, 5.0)), Quadrant::IV);
+        assert_eq!(Quadrant::of(&Q, &Point::new(15.0, 10.0)), Quadrant::I);
+        assert_eq!(Quadrant::of(&Q, &Point::new(5.0, 10.0)), Quadrant::II);
+        assert_eq!(Quadrant::of(&Q, &Q), Quadrant::I);
+    }
+
+    #[test]
+    fn edge_assignment_matches_paper_observations() {
+        // Observation 1: quadrants I/IV → right edge, II/III → left edge.
+        assert!(Quadrant::I.on_right_edge());
+        assert!(Quadrant::IV.on_right_edge());
+        assert!(!Quadrant::II.on_right_edge());
+        assert!(!Quadrant::III.on_right_edge());
+        // Observation 2: quadrants I/II → top edge, III/IV → bottom edge.
+        assert!(Quadrant::I.partner_on_top_edge());
+        assert!(Quadrant::II.partner_on_top_edge());
+        assert!(!Quadrant::III.partner_on_top_edge());
+        assert!(!Quadrant::IV.partner_on_top_edge());
+    }
+}

@@ -1,0 +1,276 @@
+//! The density grid behind density-based pruning (DEP, paper §3.3.3).
+//!
+//! The object space is divided into a `g × g` grid and each cell stores
+//! the number of objects inside it. DEP then upper-bounds the number of
+//! objects inside any rectangle by summing the cells the rectangle
+//! intersects — if the bound is below the query's `n`, no window inside
+//! the rectangle can be qualified, so index nodes can be pruned and
+//! window queries cancelled without touching the R\*-tree.
+//!
+//! The paper's default is a cell size of 25 in the normalized
+//! `10,000 × 10,000` space (a `400 × 400` grid, ~312 KB at 2 bytes per
+//! cell); Figure 9 sweeps the cell size from 25 to 400.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod weight;
+
+pub use weight::WeightGrid;
+
+use nwc_geom::{Point, Rect};
+
+/// A `g × g` count grid over a bounded object space.
+#[derive(Clone, Debug)]
+pub struct DensityGrid {
+    bounds: Rect,
+    cells_per_side: usize,
+    cell_w: f64,
+    cell_h: f64,
+    counts: Vec<u32>,
+    total: usize,
+}
+
+impl DensityGrid {
+    /// Builds a grid with `cells_per_side × cells_per_side` cells over
+    /// `bounds`, counting `points`.
+    ///
+    /// Points outside `bounds` are clamped into the border cells, keeping
+    /// the grid's counts a valid upper bound for rectangles clipped to
+    /// the bounds (the generators in `nwc-datagen` already clamp, so this
+    /// is belt-and-braces).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cells_per_side == 0` or `bounds` is degenerate.
+    pub fn build(bounds: Rect, cells_per_side: usize, points: &[Point]) -> Self {
+        assert!(cells_per_side > 0, "grid needs at least one cell");
+        assert!(
+            bounds.width() > 0.0 && bounds.height() > 0.0,
+            "grid bounds must have positive area"
+        );
+        let mut grid = DensityGrid {
+            bounds,
+            cells_per_side,
+            cell_w: bounds.width() / cells_per_side as f64,
+            cell_h: bounds.height() / cells_per_side as f64,
+            counts: vec![0; cells_per_side * cells_per_side],
+            total: points.len(),
+        };
+        for p in points {
+            let (cx, cy) = grid.cell_of(p);
+            grid.counts[cy * cells_per_side + cx] += 1;
+        }
+        grid
+    }
+
+    /// Builds a grid whose cells are `cell_size × cell_size` (the paper's
+    /// parameterization: "the grid cell size is set to 25"). The number
+    /// of cells per side is `⌈side / cell_size⌉` over the wider axis.
+    pub fn from_cell_size(bounds: Rect, cell_size: f64, points: &[Point]) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        let side = bounds.width().max(bounds.height());
+        let cells = (side / cell_size).ceil().max(1.0) as usize;
+        DensityGrid::build(bounds, cells, points)
+    }
+
+    /// The grid's spatial bounds.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Cells per side (`g`).
+    pub fn cells_per_side(&self) -> usize {
+        self.cells_per_side
+    }
+
+    /// Total number of cells (`g²`).
+    pub fn cell_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of counted objects.
+    pub fn total_objects(&self) -> usize {
+        self.total
+    }
+
+    /// Storage overhead at the paper's accounting of one short integer
+    /// (2 bytes) per cell.
+    pub fn bytes(&self) -> usize {
+        self.cell_count() * 2
+    }
+
+    /// The cell indices containing point `p` (clamped into the grid).
+    fn cell_of(&self, p: &Point) -> (usize, usize) {
+        let cx = ((p.x - self.bounds.min.x) / self.cell_w).floor() as i64;
+        let cy = ((p.y - self.bounds.min.y) / self.cell_h).floor() as i64;
+        let max = self.cells_per_side as i64 - 1;
+        (cx.clamp(0, max) as usize, cy.clamp(0, max) as usize)
+    }
+
+    /// Upper bound on the number of objects inside the (closed)
+    /// rectangle `rect`: the sum of counts of every cell intersecting it
+    /// (paper Algorithm 2).
+    ///
+    /// The bound is *safe*: it never undercounts, because every object in
+    /// `rect` lies in some intersecting cell. It may overcount objects in
+    /// partially-covered border cells — a finer grid tightens it, which
+    /// is exactly the trade-off Figure 9 measures.
+    pub fn count_upper_bound(&self, rect: &Rect) -> usize {
+        // No early-out for rects beyond the bounds: points outside the
+        // bounds are clamped into border cells at registration, so such
+        // rects must still see the border-cell counts to stay an upper
+        // bound (this matters after dynamic inserts outside the
+        // original space).
+        let g = self.cells_per_side;
+        let max = g as i64 - 1;
+        let lo_x = (((rect.min.x - self.bounds.min.x) / self.cell_w).floor() as i64).clamp(0, max)
+            as usize;
+        let hi_x = (((rect.max.x - self.bounds.min.x) / self.cell_w).floor() as i64).clamp(0, max)
+            as usize;
+        let lo_y = (((rect.min.y - self.bounds.min.y) / self.cell_h).floor() as i64).clamp(0, max)
+            as usize;
+        let hi_y = (((rect.max.y - self.bounds.min.y) / self.cell_h).floor() as i64).clamp(0, max)
+            as usize;
+        let mut sum = 0usize;
+        for cy in lo_y..=hi_y {
+            let row = &self.counts[cy * g + lo_x..=cy * g + hi_x];
+            sum += row.iter().map(|&c| c as usize).sum::<usize>();
+        }
+        sum
+    }
+
+    /// Raw count of one cell, for inspection and rendering (`(col, row)`
+    /// with the origin at the bounds' bottom-left corner).
+    pub fn cell(&self, col: usize, row: usize) -> u32 {
+        self.counts[row * self.cells_per_side + col]
+    }
+
+    /// Registers one more object at `p` (dynamic datasets). Points
+    /// outside the bounds clamp into border cells, as at build time.
+    pub fn add_point(&mut self, p: &Point) {
+        let (cx, cy) = self.cell_of(p);
+        self.counts[cy * self.cells_per_side + cx] += 1;
+        self.total += 1;
+    }
+
+    /// Unregisters one object at `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell containing `p` has no objects recorded —
+    /// removing a point that was never added corrupts the upper-bound
+    /// guarantee, so it is refused loudly.
+    pub fn remove_point(&mut self, p: &Point) {
+        let (cx, cy) = self.cell_of(p);
+        let slot = &mut self.counts[cy * self.cells_per_side + cx];
+        assert!(*slot > 0, "removing {p:?} from an empty grid cell");
+        *slot -= 1;
+        self.total -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwc_geom::{pt, rect};
+
+    fn space() -> Rect {
+        rect(0.0, 0.0, 100.0, 100.0)
+    }
+
+    fn scatter() -> Vec<Point> {
+        (0..500)
+            .map(|i| pt(((i * 37) % 1000) as f64 / 10.0, ((i * 73) % 1000) as f64 / 10.0))
+            .collect()
+    }
+
+    #[test]
+    fn total_preserved() {
+        let pts = scatter();
+        let g = DensityGrid::build(space(), 10, &pts);
+        assert_eq!(g.total_objects(), 500);
+        assert_eq!(g.count_upper_bound(&space()), 500);
+    }
+
+    #[test]
+    fn upper_bound_is_safe() {
+        let pts = scatter();
+        for cells in [1usize, 3, 10, 40, 100] {
+            let g = DensityGrid::build(space(), cells, &pts);
+            for i in 0..50 {
+                let x = ((i * 13) % 90) as f64;
+                let y = ((i * 31) % 90) as f64;
+                let r = rect(x, y, x + ((i % 7) + 1) as f64, y + ((i % 5) + 1) as f64);
+                let actual = pts.iter().filter(|p| r.contains_point(p)).count();
+                let bound = g.count_upper_bound(&r);
+                assert!(
+                    bound >= actual,
+                    "grid {cells}: bound {bound} < actual {actual} for {r:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn finer_grids_are_tighter() {
+        let pts = scatter();
+        let coarse = DensityGrid::build(space(), 4, &pts);
+        let fine = DensityGrid::build(space(), 100, &pts);
+        let r = rect(10.0, 10.0, 12.0, 12.0);
+        assert!(fine.count_upper_bound(&r) <= coarse.count_upper_bound(&r));
+    }
+
+    #[test]
+    fn rect_outside_bounds_sees_border_cells() {
+        // Out-of-bounds rects clamp onto the border cells, because
+        // out-of-bounds points are clamped there at registration — the
+        // bound must stay safe for them. With no points near the border
+        // the bound is 0; with border mass it reflects it.
+        let g = DensityGrid::build(space(), 10, &[pt(50.0, 50.0)]);
+        assert_eq!(g.count_upper_bound(&rect(200.0, 200.0, 300.0, 300.0)), 0);
+        let mut g2 = g.clone();
+        g2.add_point(&pt(250.0, 250.0)); // clamped into cell (9, 9)
+        assert_eq!(g2.count_upper_bound(&rect(200.0, 200.0, 300.0, 300.0)), 1);
+    }
+
+    #[test]
+    fn rect_straddling_bounds_clamps() {
+        let pts = vec![pt(0.5, 0.5), pt(99.5, 99.5)];
+        let g = DensityGrid::build(space(), 10, &pts);
+        assert_eq!(g.count_upper_bound(&rect(-50.0, -50.0, 5.0, 5.0)), 1);
+        assert_eq!(g.count_upper_bound(&rect(95.0, 95.0, 500.0, 500.0)), 1);
+    }
+
+    #[test]
+    fn boundary_points_counted_once() {
+        let pts = vec![pt(50.0, 50.0), pt(10.0, 50.0), pt(50.0, 10.0)];
+        let g = DensityGrid::build(space(), 10, &pts);
+        assert_eq!(g.count_upper_bound(&space()), 3);
+    }
+
+    #[test]
+    fn top_edge_points_clamped_into_grid() {
+        let pts = vec![pt(100.0, 100.0)];
+        let g = DensityGrid::build(space(), 10, &pts);
+        assert_eq!(g.cell(9, 9), 1);
+        assert_eq!(g.count_upper_bound(&rect(99.0, 99.0, 100.0, 100.0)), 1);
+    }
+
+    #[test]
+    fn from_cell_size_matches_paper_config() {
+        // Cell size 25 in a 10,000-wide space ⇒ 400 × 400 = 160,000 cells
+        // ⇒ ~312 KB at 2 bytes/cell, as reported in §5.2.
+        let bounds = rect(0.0, 0.0, 10_000.0, 10_000.0);
+        let g = DensityGrid::from_cell_size(bounds, 25.0, &[]);
+        assert_eq!(g.cells_per_side(), 400);
+        assert_eq!(g.cell_count(), 160_000);
+        assert_eq!(g.bytes(), 320_000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cells_rejected() {
+        DensityGrid::build(space(), 0, &[]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Weighted density grid: per-cell *weight sums* instead of counts.
+//!
+//! The weighted NWC extension qualifies a window when the total weight
+//! of its objects reaches a threshold `W` (seats across restaurants,
+//! shelf space across shops, …). DEP pruning then needs an upper bound
+//! on the weight inside a rectangle; this is the [`DensityGrid`]
+//! (`crate::DensityGrid`) with `f64` sums.
+
+use nwc_geom::{Point, Rect};
+
+/// A `g × g` weight-sum grid over a bounded object space.
+#[derive(Clone, Debug)]
+pub struct WeightGrid {
+    bounds: Rect,
+    cells_per_side: usize,
+    cell_w: f64,
+    cell_h: f64,
+    sums: Vec<f64>,
+    total: f64,
+}
+
+impl WeightGrid {
+    /// Builds a grid from parallel point/weight slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices' lengths differ, a weight is negative or
+    /// non-finite, `cells_per_side == 0`, or `bounds` is degenerate.
+    pub fn build(bounds: Rect, cells_per_side: usize, points: &[Point], weights: &[f64]) -> Self {
+        assert_eq!(points.len(), weights.len(), "points/weights length mismatch");
+        assert!(cells_per_side > 0, "grid needs at least one cell");
+        assert!(
+            bounds.width() > 0.0 && bounds.height() > 0.0,
+            "grid bounds must have positive area"
+        );
+        let mut grid = WeightGrid {
+            bounds,
+            cells_per_side,
+            cell_w: bounds.width() / cells_per_side as f64,
+            cell_h: bounds.height() / cells_per_side as f64,
+            sums: vec![0.0; cells_per_side * cells_per_side],
+            total: 0.0,
+        };
+        for (p, &w) in points.iter().zip(weights) {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and ≥ 0, got {w}");
+            let (cx, cy) = grid.cell_of(p);
+            grid.sums[cy * cells_per_side + cx] += w;
+            grid.total += w;
+        }
+        grid
+    }
+
+    /// Builds with `cell_size × cell_size` cells, mirroring
+    /// [`DensityGrid::from_cell_size`](crate::DensityGrid::from_cell_size).
+    pub fn from_cell_size(bounds: Rect, cell_size: f64, points: &[Point], weights: &[f64]) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        let side = bounds.width().max(bounds.height());
+        let cells = (side / cell_size).ceil().max(1.0) as usize;
+        WeightGrid::build(bounds, cells, points, weights)
+    }
+
+    /// Total weight of all registered objects.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// Cells per side.
+    pub fn cells_per_side(&self) -> usize {
+        self.cells_per_side
+    }
+
+    fn cell_of(&self, p: &Point) -> (usize, usize) {
+        let cx = ((p.x - self.bounds.min.x) / self.cell_w).floor() as i64;
+        let cy = ((p.y - self.bounds.min.y) / self.cell_h).floor() as i64;
+        let max = self.cells_per_side as i64 - 1;
+        (cx.clamp(0, max) as usize, cy.clamp(0, max) as usize)
+    }
+
+    /// Upper bound on the total weight inside the (closed) rectangle:
+    /// the sum over every intersecting cell. Never undercounts.
+    pub fn weight_upper_bound(&self, rect: &Rect) -> f64 {
+        // No early-out beyond the bounds: clamped border-cell mass must
+        // remain visible (see DensityGrid::count_upper_bound).
+        let g = self.cells_per_side;
+        let max = g as i64 - 1;
+        let clamp = |v: f64, cell: f64, origin: f64| {
+            (((v - origin) / cell).floor() as i64).clamp(0, max) as usize
+        };
+        let lo_x = clamp(rect.min.x, self.cell_w, self.bounds.min.x);
+        let hi_x = clamp(rect.max.x, self.cell_w, self.bounds.min.x);
+        let lo_y = clamp(rect.min.y, self.cell_h, self.bounds.min.y);
+        let hi_y = clamp(rect.max.y, self.cell_h, self.bounds.min.y);
+        let mut sum = 0.0;
+        for cy in lo_y..=hi_y {
+            sum += self.sums[cy * g + lo_x..=cy * g + hi_x].iter().sum::<f64>();
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwc_geom::{pt, rect};
+
+    fn space() -> Rect {
+        rect(0.0, 0.0, 100.0, 100.0)
+    }
+
+    #[test]
+    fn totals_and_bounds() {
+        let pts = vec![pt(10.0, 10.0), pt(50.0, 50.0), pt(90.0, 90.0)];
+        let ws = vec![1.5, 2.5, 4.0];
+        let g = WeightGrid::build(space(), 10, &pts, &ws);
+        assert_eq!(g.total_weight(), 8.0);
+        assert_eq!(g.weight_upper_bound(&space()), 8.0);
+        assert!(g.weight_upper_bound(&rect(0.0, 0.0, 20.0, 20.0)) >= 1.5);
+        // Beyond-bounds rects clamp onto border cells (which are empty
+        // on that side here).
+        assert_eq!(g.weight_upper_bound(&rect(200.0, 0.0, 300.0, 10.0)), 0.0);
+    }
+
+    #[test]
+    fn bound_is_safe() {
+        let pts: Vec<_> = (0..200)
+            .map(|i| pt(((i * 37) % 100) as f64, ((i * 53) % 100) as f64))
+            .collect();
+        let ws: Vec<f64> = (0..200).map(|i| (i % 5) as f64 * 0.5).collect();
+        let g = WeightGrid::build(space(), 7, &pts, &ws);
+        for i in 0..30 {
+            let x = ((i * 11) % 80) as f64;
+            let y = ((i * 17) % 80) as f64;
+            let r = rect(x, y, x + 15.0, y + 10.0);
+            let actual: f64 = pts
+                .iter()
+                .zip(&ws)
+                .filter(|(p, _)| r.contains_point(p))
+                .map(|(_, &w)| w)
+                .sum();
+            assert!(g.weight_upper_bound(&r) >= actual - 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_weight_rejected() {
+        WeightGrid::build(space(), 4, &[pt(1.0, 1.0)], &[-1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_rejected() {
+        WeightGrid::build(space(), 4, &[pt(1.0, 1.0)], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,303 @@
+//! Best-first incremental distance browsing (Hjaltason & Samet).
+//!
+//! The NWC algorithm "visits all data objects based on their distance to
+//! the query location q in ascending order" while interleaving its own
+//! node pruning (DIP/DEP) with the traversal. [`Browser`] exposes exactly
+//! that control point: popping yields nodes *and* objects in ascending
+//! `MINDIST` order, and the caller decides per node whether to
+//! [`Browser::expand`] it (one charged node access) or drop it.
+//!
+//! The convenience kNN and full-ordering APIs are built on top.
+
+use crate::node::NodeKind;
+use crate::tree::RStarTree;
+use crate::{Entry, NodeId};
+use nwc_geom::{Point, Rect};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An item popped from the best-first priority queue.
+#[derive(Clone, Copy, Debug)]
+pub enum BrowseItem {
+    /// An index node, with its MBR's `MINDIST` to the query point. The
+    /// caller must call [`Browser::expand`] to descend into it.
+    Node {
+        /// Node id, usable with the tree's `node_*` accessors.
+        id: NodeId,
+        /// Node level (0 = leaf).
+        level: u32,
+        /// Node MBR.
+        mbr: Rect,
+        /// `MINDIST(q, mbr)`.
+        mindist: f64,
+    },
+    /// A data object, with its distance to the query point and the leaf
+    /// it was read from (needed by IWP's backward pointers).
+    Object {
+        /// The object entry.
+        entry: Entry,
+        /// `dist(q, entry.point)`.
+        dist: f64,
+        /// The leaf node that stored the entry.
+        leaf: NodeId,
+    },
+}
+
+impl BrowseItem {
+    /// The priority-queue key of this item.
+    pub fn key(&self) -> f64 {
+        match self {
+            BrowseItem::Node { mindist, .. } => *mindist,
+            BrowseItem::Object { dist, .. } => *dist,
+        }
+    }
+}
+
+/// Heap wrapper ordering items by ascending key. Ties prefer objects over
+/// nodes so an object at distance d surfaces before a node whose MINDIST
+/// is also d (matching the classic incremental-NN formulation).
+struct HeapItem {
+    key: f64,
+    object_first: bool,
+    item: BrowseItem,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: reverse for ascending keys.
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| self.object_first.cmp(&other.object_first))
+    }
+}
+
+/// A best-first traversal cursor over an [`RStarTree`].
+pub struct Browser<'t> {
+    tree: &'t RStarTree,
+    query: Point,
+    heap: BinaryHeap<HeapItem>,
+}
+
+impl<'t> Browser<'t> {
+    /// Starts a traversal from the root. The root node itself is the
+    /// first item popped (unless the tree is empty).
+    pub fn new(tree: &'t RStarTree, query: Point) -> Self {
+        let mut heap = BinaryHeap::new();
+        if !tree.is_empty() {
+            let root = tree.root();
+            heap.push(HeapItem {
+                key: tree.node_mbr(root).mindist(&query),
+                object_first: false,
+                item: BrowseItem::Node {
+                    id: root,
+                    level: tree.node_level(root),
+                    mbr: tree.node_mbr(root),
+                    mindist: tree.node_mbr(root).mindist(&query),
+                },
+            });
+        }
+        Browser { tree, query, heap }
+    }
+
+    /// The query point this browser orders by.
+    pub fn query(&self) -> Point {
+        self.query
+    }
+
+    /// Pops the next item in ascending distance order, or `None` when the
+    /// frontier is exhausted. Popping charges no I/O by itself; node
+    /// contents are only read by [`Browser::expand`].
+    #[allow(clippy::should_implement_trait)] // cursor, deliberately not an Iterator (expand() interleaves)
+    pub fn next(&mut self) -> Option<BrowseItem> {
+        self.heap.pop().map(|h| h.item)
+    }
+
+    /// Key of the next item without popping it.
+    pub fn peek_key(&self) -> Option<f64> {
+        self.heap.peek().map(|h| h.key)
+    }
+
+    /// Reads a node's children into the frontier, charging one node
+    /// access. Call after popping a `BrowseItem::Node` the caller chose
+    /// not to prune.
+    pub fn expand(&mut self, id: NodeId) {
+        let node = self.tree.read_node(id);
+        match &node.kind {
+            NodeKind::Leaf(entries) => {
+                for &e in entries {
+                    self.heap.push(HeapItem {
+                        key: e.point.dist(&self.query),
+                        object_first: true,
+                        item: BrowseItem::Object {
+                            entry: e,
+                            dist: e.point.dist(&self.query),
+                            leaf: id,
+                        },
+                    });
+                }
+            }
+            NodeKind::Internal(children) => {
+                for &c in children {
+                    let mbr = self.tree.node(c).mbr;
+                    let mindist = mbr.mindist(&self.query);
+                    self.heap.push(HeapItem {
+                        key: mindist,
+                        object_first: false,
+                        item: BrowseItem::Node {
+                            id: c,
+                            level: self.tree.node(c).level,
+                            mbr,
+                            mindist,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Drains the browser into a plain object stream, expanding every
+    /// node (no pruning). Equivalent to Hjaltason–Samet incremental NN.
+    pub fn objects(mut self) -> impl Iterator<Item = (f64, Entry)> + 't {
+        std::iter::from_fn(move || loop {
+            match self.next()? {
+                BrowseItem::Node { id, .. } => self.expand(id),
+                BrowseItem::Object { entry, dist, .. } => return Some((dist, entry)),
+            }
+        })
+    }
+}
+
+impl RStarTree {
+    /// Starts a best-first traversal ordered by distance from `query`.
+    pub fn browse(&self, query: Point) -> Browser<'_> {
+        Browser::new(self, query)
+    }
+
+    /// The `k` nearest entries to `query` in ascending distance order
+    /// (fewer when the tree is smaller). Charges the accesses of the
+    /// best-first search.
+    pub fn knn(&self, query: Point, k: usize) -> Vec<(f64, Entry)> {
+        self.browse(query).objects().take(k).collect()
+    }
+
+    /// The nearest entry to `query`, if any.
+    pub fn nearest(&self, query: Point) -> Option<(f64, Entry)> {
+        self.browse(query).objects().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwc_geom::pt;
+
+    fn sample() -> (RStarTree, Vec<Point>) {
+        let pts: Vec<Point> = (0..500)
+            .map(|i| pt(((i * 37) % 101) as f64, ((i * 61) % 97) as f64))
+            .collect();
+        (RStarTree::bulk_load(&pts), pts)
+    }
+
+    #[test]
+    fn knn_matches_sorting() {
+        let (t, pts) = sample();
+        let q = pt(40.0, 40.0);
+        let got: Vec<u32> = t.knn(q, 10).iter().map(|(_, e)| e.id).collect();
+        let mut want: Vec<(f64, u32)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.dist(&q), i as u32))
+            .collect();
+        want.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Distances must agree even when equidistant ids permute.
+        let want_d: Vec<f64> = want[..10].iter().map(|&(d, _)| d).collect();
+        let got_d: Vec<f64> = t.knn(q, 10).iter().map(|&(d, _)| d).collect();
+        assert_eq!(got_d, want_d);
+        assert_eq!(got.len(), 10);
+    }
+
+    #[test]
+    fn browse_yields_ascending_distances() {
+        let (t, _) = sample();
+        let q = pt(13.0, 77.0);
+        let mut last = 0.0;
+        let mut count = 0;
+        for (d, _) in t.browse(q).objects() {
+            assert!(d >= last, "distance order violated: {d} < {last}");
+            last = d;
+            count += 1;
+        }
+        assert_eq!(count, 500);
+    }
+
+    #[test]
+    fn nearest_on_exact_hit() {
+        let (t, pts) = sample();
+        let (d, e) = t.nearest(pts[42]).unwrap();
+        assert_eq!(d, 0.0);
+        assert_eq!(e.point, pts[42]);
+    }
+
+    #[test]
+    fn knn_more_than_len_returns_all() {
+        let (t, _) = sample();
+        assert_eq!(t.knn(pt(0.0, 0.0), 10_000).len(), 500);
+    }
+
+    #[test]
+    fn empty_tree_browse() {
+        let t = RStarTree::new();
+        assert!(t.nearest(pt(0.0, 0.0)).is_none());
+        assert!(t.browse(pt(0.0, 0.0)).next().is_none());
+    }
+
+    #[test]
+    fn pruned_nodes_cost_nothing() {
+        let (t, _) = sample();
+        t.stats().reset();
+        let mut b = t.browse(pt(0.0, 0.0));
+        // Expand only the root, prune everything else.
+        let mut expanded = 0;
+        while let Some(item) = b.next() {
+            if let BrowseItem::Node { id, .. } = item {
+                if expanded == 0 {
+                    b.expand(id);
+                    expanded += 1;
+                }
+            }
+        }
+        assert_eq!(t.stats().node_reads(), 1);
+    }
+
+    #[test]
+    fn object_leaf_ids_are_correct() {
+        let (t, _) = sample();
+        let mut b = t.browse(pt(50.0, 50.0));
+        let mut seen = 0;
+        while let Some(item) = b.next() {
+            match item {
+                BrowseItem::Node { id, .. } => b.expand(id),
+                BrowseItem::Object { entry, leaf, .. } => {
+                    assert!(t.node_mbr(leaf).contains_point(&entry.point));
+                    assert_eq!(t.node_level(leaf), 0);
+                    seen += 1;
+                    if seen > 20 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}

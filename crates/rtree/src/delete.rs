@@ -1,0 +1,179 @@
+//! Deletion with tree condensation (Guttman's `CondenseTree`).
+//!
+//! The NWC experiments run on static datasets, but a credible R\*-tree
+//! must support removal: underfull nodes are dissolved and their
+//! children reinserted at their original level, and a root with a single
+//! internal child is collapsed.
+
+use crate::insert::ChildItem;
+use crate::node::NodeKind;
+use crate::tree::RStarTree;
+use crate::{NodeId, ObjectId};
+use nwc_geom::Point;
+use std::collections::VecDeque;
+
+impl RStarTree {
+    /// Removes one entry matching `id` *and* `point`. Returns `true` when
+    /// an entry was found and removed.
+    pub fn delete(&mut self, id: ObjectId, point: Point) -> bool {
+        let Some(path) = self.find_leaf_path(self.root, id, &point) else {
+            return false;
+        };
+        let leaf = *path.last().unwrap();
+        let entries = self.node_mut(leaf).entries_mut();
+        let pos = entries
+            .iter()
+            .position(|e| e.id == id && e.point == point)
+            .expect("find_leaf_path returned a leaf without the entry");
+        entries.swap_remove(pos);
+        self.len -= 1;
+        self.condense(path);
+        true
+    }
+
+    /// Root-to-leaf path to a leaf containing the entry, if any.
+    fn find_leaf_path(&self, node: NodeId, id: ObjectId, point: &Point) -> Option<Vec<NodeId>> {
+        match &self.node(node).kind {
+            NodeKind::Leaf(entries) => entries
+                .iter()
+                .any(|e| e.id == id && e.point == *point)
+                .then(|| vec![node]),
+            NodeKind::Internal(children) => {
+                for &c in children {
+                    if self.node(c).mbr.contains_point(point) {
+                        if let Some(mut path) = self.find_leaf_path(c, id, point) {
+                            path.insert(0, node);
+                            return Some(path);
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Dissolves underfull nodes along `path` (leaf last), reinserts
+    /// their orphans, and collapses a single-child internal root.
+    fn condense(&mut self, path: Vec<NodeId>) {
+        let mut orphans: Vec<ChildItem> = Vec::new();
+        // Walk the path bottom-up, excluding the root.
+        for idx in (1..path.len()).rev() {
+            let nid = path[idx];
+            if self.node(nid).len() < self.params.min_entries {
+                // Remove from parent, orphan the children.
+                let parent = path[idx - 1];
+                let children = self.node_mut(parent).children_mut();
+                let pos = children.iter().position(|&c| c == nid).unwrap();
+                children.swap_remove(pos);
+                match &mut self.node_mut(nid).kind {
+                    NodeKind::Leaf(entries) => {
+                        orphans.extend(entries.drain(..).map(ChildItem::Entry));
+                    }
+                    NodeKind::Internal(children) => {
+                        let drained: Vec<NodeId> = std::mem::take(children);
+                        orphans.extend(drained.into_iter().map(ChildItem::Node));
+                    }
+                }
+                self.dealloc(nid);
+            } else {
+                self.recompute_mbr(nid);
+            }
+        }
+        self.recompute_mbr(self.root);
+
+        // Reinsert orphans, deepest (leaf entries) first so the tree
+        // regains height before higher-level subtrees are re-attached.
+        let mut items: Vec<ChildItem> = orphans;
+        items.sort_by_key(|i| match i {
+            ChildItem::Entry(_) => 0u32,
+            ChildItem::Node(n) => self.node(*n).level + 1,
+        });
+        for item in items {
+            let mut pending: VecDeque<ChildItem> = VecDeque::new();
+            pending.push_back(item);
+            let mut reinserted_levels: Vec<u32> = Vec::new();
+            while let Some(it) = pending.pop_front() {
+                self.insert_item(it, &mut reinserted_levels, &mut pending);
+            }
+        }
+
+        // Collapse a root chain: internal root with one child.
+        while self.node(self.root).level > 0 && self.node(self.root).len() == 1 {
+            let old = self.root;
+            self.root = self.node(old).children()[0];
+            self.dealloc(old);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::validate::check_invariants;
+    use crate::{RStarTree, TreeParams};
+    use nwc_geom::{pt, rect, Point};
+
+    fn pts(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| pt(((i * 13) % 89) as f64, ((i * 29) % 83) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn delete_missing_returns_false() {
+        let mut t = RStarTree::insert_all(&pts(50));
+        assert!(!t.delete(999, pt(0.0, 0.0)));
+        assert_eq!(t.len(), 50);
+    }
+
+    #[test]
+    fn delete_requires_matching_id() {
+        let mut t = RStarTree::insert_all(&pts(50));
+        let p = pts(50)[7];
+        assert!(!t.delete(999, p));
+        assert!(t.delete(7, p));
+        assert_eq!(t.len(), 49);
+    }
+
+    #[test]
+    fn delete_everything_small_fanout() {
+        let points = pts(300);
+        let mut t =
+            RStarTree::bulk_load_with_params(&points, TreeParams::with_max_entries(5));
+        for (i, &p) in points.iter().enumerate() {
+            assert!(t.delete(i as u32, p), "missing object {i}");
+            check_invariants(&t).unwrap();
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn delete_half_then_query() {
+        let points = pts(400);
+        let mut t = RStarTree::insert_all(&points);
+        for (i, &p) in points.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(t.delete(i as u32, p));
+            }
+        }
+        check_invariants(&t).unwrap();
+        assert_eq!(t.len(), 200);
+        let all = t.window_query(&rect(-1000.0, -1000.0, 1000.0, 1000.0));
+        assert_eq!(all.len(), 200);
+        assert!(all.iter().all(|e| e.id % 2 == 1));
+    }
+
+    #[test]
+    fn delete_then_reinsert() {
+        let points = pts(120);
+        let mut t = RStarTree::insert_all(&points);
+        for (i, &p) in points.iter().enumerate().take(60) {
+            t.delete(i as u32, p);
+        }
+        for (i, &p) in points.iter().enumerate().take(60) {
+            t.insert(i as u32, p);
+        }
+        check_invariants(&t).unwrap();
+        assert_eq!(t.len(), 120);
+    }
+}

@@ -1,0 +1,42 @@
+//! Leaf entries: indexed point objects.
+
+use nwc_geom::Point;
+
+/// Identifier of a data object, typically its index in the caller's
+/// dataset vector. `u32` keeps entries compact (16 bytes apiece).
+pub type ObjectId = u32;
+
+/// A leaf-level entry of the R\*-tree: a point object and its identifier.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Entry {
+    /// The object identifier.
+    pub id: ObjectId,
+    /// The object location.
+    pub point: Point,
+}
+
+impl Entry {
+    /// Creates an entry.
+    #[inline]
+    pub const fn new(id: ObjectId, point: Point) -> Self {
+        Entry { id, point }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_is_compact() {
+        // id + point + padding; the paper packs 50 of these per 4 KiB page.
+        assert!(std::mem::size_of::<Entry>() <= 24);
+    }
+
+    #[test]
+    fn construction() {
+        let e = Entry::new(7, Point::new(1.0, 2.0));
+        assert_eq!(e.id, 7);
+        assert_eq!(e.point, Point::new(1.0, 2.0));
+    }
+}

@@ -1,0 +1,320 @@
+//! R\* insertion: ChooseSubtree, forced reinsert, split propagation.
+
+use crate::node::{Node, NodeKind};
+use crate::split::{rstar_split, SplitItem};
+use crate::tree::RStarTree;
+use crate::{Entry, NodeId, ObjectId};
+use nwc_geom::{Point, Rect};
+use std::collections::VecDeque;
+
+/// A child awaiting (re)insertion: either a leaf entry or a whole subtree
+/// cut loose by forced reinsert.
+pub(crate) enum ChildItem {
+    Entry(Entry),
+    Node(NodeId),
+}
+
+impl RStarTree {
+    /// Inserts one object using the full R\* algorithm (overlap-driven
+    /// subtree choice, forced reinsert, R\* split).
+    ///
+    /// `id` is the caller-chosen object identifier; duplicates are not
+    /// detected (the tree is a multiset, like the original structure).
+    pub fn insert(&mut self, id: ObjectId, point: Point) {
+        assert!(point.is_finite(), "cannot index non-finite point {point:?}");
+        let mut pending: VecDeque<ChildItem> = VecDeque::new();
+        pending.push_back(ChildItem::Entry(Entry::new(id, point)));
+        // Forced reinsert fires at most once per level per insertion.
+        let mut reinserted_levels: Vec<u32> = Vec::new();
+        while let Some(item) = pending.pop_front() {
+            self.insert_item(item, &mut reinserted_levels, &mut pending);
+        }
+        self.len += 1;
+    }
+
+    /// Inserts every point of `points`, with ids `0..points.len()`.
+    pub fn insert_all(points: &[Point]) -> Self {
+        let mut tree = RStarTree::new();
+        for (i, &p) in points.iter().enumerate() {
+            tree.insert(i as ObjectId, p);
+        }
+        tree
+    }
+
+    fn item_mbr(&self, item: &ChildItem) -> Rect {
+        match item {
+            ChildItem::Entry(e) => Rect::from_point(e.point),
+            ChildItem::Node(n) => self.node(*n).mbr,
+        }
+    }
+
+    /// Level of the node that should receive this item as a child.
+    fn target_level(&self, item: &ChildItem) -> u32 {
+        match item {
+            ChildItem::Entry(_) => 0,
+            ChildItem::Node(n) => self.node(*n).level + 1,
+        }
+    }
+
+    pub(crate) fn insert_item(
+        &mut self,
+        item: ChildItem,
+        reinserted_levels: &mut Vec<u32>,
+        pending: &mut VecDeque<ChildItem>,
+    ) {
+        let into_level = self.target_level(&item);
+        let mbr = self.item_mbr(&item);
+        debug_assert!(
+            self.node(self.root).level >= into_level,
+            "root level sank below a pending item's level"
+        );
+
+        // Descend to the receiving node, remembering the path for MBR
+        // maintenance and overflow propagation.
+        let mut path = vec![self.root];
+        while self.node(*path.last().unwrap()).level > into_level {
+            let next = self.choose_subtree(*path.last().unwrap(), &mbr, into_level);
+            path.push(next);
+        }
+        let target = *path.last().unwrap();
+        match item {
+            ChildItem::Entry(e) => self.node_mut(target).entries_mut().push(e),
+            ChildItem::Node(n) => self.node_mut(target).children_mut().push(n),
+        }
+
+        // Overflow treatment, bottom-up along the insertion path.
+        let mut depth = path.len() - 1;
+        loop {
+            let nid = path[depth];
+            if self.node(nid).len() <= self.params.max_entries {
+                break;
+            }
+            let level = self.node(nid).level;
+            if nid != self.root && !reinserted_levels.contains(&level) {
+                reinserted_levels.push(level);
+                self.forced_reinsert(nid, pending);
+                break;
+            }
+            let sibling = self.split_node(nid);
+            if nid == self.root {
+                let new_root = self.alloc(Node::new_internal(level + 1));
+                self.node_mut(new_root).children_mut().extend([nid, sibling]);
+                self.recompute_mbr(new_root);
+                self.root = new_root;
+                break;
+            }
+            let parent = path[depth - 1];
+            self.node_mut(parent).children_mut().push(sibling);
+            depth -= 1;
+        }
+
+        // Refresh MBRs along the (possibly shortened) path, bottom-up.
+        for &nid in path.iter().rev() {
+            self.recompute_mbr(nid);
+        }
+    }
+
+    /// R\* ChooseSubtree: overlap-minimizing choice one level above the
+    /// destination, area-enlargement-minimizing above that.
+    fn choose_subtree(&self, node: NodeId, mbr: &Rect, into_level: u32) -> NodeId {
+        let n = self.node(node);
+        let children = n.children();
+        debug_assert!(!children.is_empty());
+
+        if n.level == into_level + 1 {
+            // Children receive the item directly: minimize overlap
+            // enlargement, tie-break on area enlargement, then area.
+            let child_mbrs: Vec<Rect> = children.iter().map(|&c| self.node(c).mbr).collect();
+            let mut best = 0usize;
+            let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+            for (i, cm) in child_mbrs.iter().enumerate() {
+                let grown = cm.union(mbr);
+                let mut overlap_delta = 0.0;
+                for (j, sm) in child_mbrs.iter().enumerate() {
+                    if i != j {
+                        overlap_delta += grown.overlap_area(sm) - cm.overlap_area(sm);
+                    }
+                }
+                let key = (overlap_delta, cm.enlargement(mbr), cm.area());
+                if key < best_key {
+                    best_key = key;
+                    best = i;
+                }
+            }
+            children[best]
+        } else {
+            // Minimize area enlargement, tie-break on area.
+            let mut best = children[0];
+            let mut best_key = (f64::INFINITY, f64::INFINITY);
+            for &c in children {
+                let cm = self.node(c).mbr;
+                let key = (cm.enlargement(mbr), cm.area());
+                if key < best_key {
+                    best_key = key;
+                    best = c;
+                }
+            }
+            best
+        }
+    }
+
+    /// Removes the `p` children farthest from the node's center and queues
+    /// them for reinsertion, closest first (the R\* "close reinsert").
+    fn forced_reinsert(&mut self, nid: NodeId, pending: &mut VecDeque<ChildItem>) {
+        let center = self.node(nid).mbr.center();
+        let p = self.params.reinsert_count;
+        let removed: Vec<ChildItem> = match &mut self.node_mut(nid).kind {
+            NodeKind::Leaf(entries) => {
+                entries.sort_by(|a, b| {
+                    a.point
+                        .dist2(&center)
+                        .partial_cmp(&b.point.dist2(&center))
+                        .unwrap()
+                });
+                entries
+                    .split_off(entries.len() - p)
+                    .into_iter()
+                    .map(ChildItem::Entry)
+                    .collect()
+            }
+            NodeKind::Internal(_) => {
+                // Sort child ids by their MBR center distance. Two passes
+                // because the sort key needs arena access.
+                let mut keyed: Vec<(f64, NodeId)> = self
+                    .node(nid)
+                    .children()
+                    .iter()
+                    .map(|&c| (self.node(c).mbr.center().dist2(&center), c))
+                    .collect();
+                keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                let keep: Vec<NodeId> = keyed[..keyed.len() - p].iter().map(|&(_, c)| c).collect();
+                let removed: Vec<ChildItem> = keyed[keyed.len() - p..]
+                    .iter()
+                    .map(|&(_, c)| ChildItem::Node(c))
+                    .collect();
+                *self.node_mut(nid).children_mut() = keep;
+                removed
+            }
+        };
+        self.recompute_mbr(nid);
+        // `removed` holds the p farthest children in ascending distance
+        // order; queueing front-to-back realizes the R* "close reinsert".
+        for item in removed {
+            pending.push_back(item);
+        }
+    }
+
+    /// Splits an overfull node in place; returns the new sibling holding
+    /// the second group.
+    fn split_node(&mut self, nid: NodeId) -> NodeId {
+        let level = self.node(nid).level;
+        let min = self.params.min_entries;
+        match &mut self.node_mut(nid).kind {
+            NodeKind::Leaf(entries) => {
+                let items: Vec<SplitItem<Entry>> = entries
+                    .drain(..)
+                    .map(|e| SplitItem {
+                        mbr: Rect::from_point(e.point),
+                        item: e,
+                    })
+                    .collect();
+                let result = rstar_split(items, min);
+                let node = self.node_mut(nid);
+                *node.entries_mut() = result.first;
+                node.mbr = result.first_mbr;
+                let mut sibling = Node::new_leaf();
+                sibling.kind = NodeKind::Leaf(result.second);
+                sibling.mbr = result.second_mbr;
+                self.alloc(sibling)
+            }
+            NodeKind::Internal(children) => {
+                let drained: Vec<NodeId> = std::mem::take(children);
+                let items: Vec<SplitItem<NodeId>> = drained
+                    .into_iter()
+                    .map(|c| SplitItem {
+                        mbr: self.nodes[c.index()].mbr,
+                        item: c,
+                    })
+                    .collect();
+                let result = rstar_split(items, min);
+                let node = self.node_mut(nid);
+                *node.children_mut() = result.first;
+                node.mbr = result.first_mbr;
+                let mut sibling = Node::new_internal(level);
+                sibling.kind = NodeKind::Internal(result.second);
+                sibling.mbr = result.second_mbr;
+                self.alloc(sibling)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_invariants;
+    use crate::TreeParams;
+    use nwc_geom::pt;
+
+    fn grid_points(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| pt((i % 37) as f64 * 3.1, (i / 37) as f64 * 2.7))
+            .collect()
+    }
+
+    #[test]
+    fn insert_single() {
+        let mut t = RStarTree::new();
+        t.insert(0, pt(5.0, 5.0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 1);
+        check_invariants(&t).unwrap();
+    }
+
+    #[test]
+    fn insert_grows_tree() {
+        let pts = grid_points(500);
+        let t = RStarTree::insert_all(&pts);
+        assert_eq!(t.len(), 500);
+        assert!(t.height() >= 2);
+        check_invariants(&t).unwrap();
+    }
+
+    #[test]
+    fn insert_small_fanout_deep_tree() {
+        let pts = grid_points(400);
+        let mut t = RStarTree::with_params(TreeParams::with_max_entries(4));
+        for (i, &p) in pts.iter().enumerate() {
+            t.insert(i as u32, p);
+            check_invariants(&t).unwrap();
+        }
+        assert!(t.height() >= 4);
+    }
+
+    #[test]
+    fn insert_duplicate_points_allowed() {
+        let mut t = RStarTree::with_params(TreeParams::with_max_entries(4));
+        for i in 0..100 {
+            t.insert(i, pt(1.0, 1.0));
+        }
+        assert_eq!(t.len(), 100);
+        check_invariants(&t).unwrap();
+    }
+
+    #[test]
+    #[should_panic]
+    fn insert_nan_rejected() {
+        let mut t = RStarTree::new();
+        t.insert(0, pt(f64::NAN, 0.0));
+    }
+
+    #[test]
+    fn all_entries_retrievable_after_inserts() {
+        let pts = grid_points(777);
+        let t = RStarTree::insert_all(&pts);
+        let mut ids: Vec<_> = t.iter_entries().map(|e| e.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids.len(), 777);
+        assert_eq!(ids, (0..777).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,102 @@
+//! Arena-allocated tree nodes.
+
+use crate::Entry;
+use nwc_geom::{Point, Rect};
+
+/// Index of a node in the tree's arena. Stable across queries; recycled
+/// by mutations through a free list.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The children of a node: leaf entries or child node ids.
+#[derive(Clone, Debug)]
+pub(crate) enum NodeKind {
+    /// Level-0 node holding point entries.
+    Leaf(Vec<Entry>),
+    /// Internal node holding child node ids (children live one level
+    /// below this node).
+    Internal(Vec<NodeId>),
+}
+
+/// A tree node. `level` is 0 for leaves and increases toward the root, so
+/// every leaf sits at the same level by construction (the R-tree
+/// balance invariant).
+#[derive(Clone, Debug)]
+pub(crate) struct Node {
+    pub level: u32,
+    pub mbr: Rect,
+    pub kind: NodeKind,
+}
+
+impl Node {
+    pub fn new_leaf() -> Self {
+        Node {
+            level: 0,
+            mbr: Rect::from_point(Point::ORIGIN),
+            kind: NodeKind::Leaf(Vec::new()),
+        }
+    }
+
+    pub fn new_internal(level: u32) -> Self {
+        Node {
+            level,
+            mbr: Rect::from_point(Point::ORIGIN),
+            kind: NodeKind::Internal(Vec::new()),
+        }
+    }
+
+    #[allow(dead_code)] // node API symmetry; exercised indirectly
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Number of direct children (entries or child nodes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.kind {
+            NodeKind::Leaf(e) => e.len(),
+            NodeKind::Internal(c) => c.len(),
+        }
+    }
+
+    #[allow(dead_code)] // node API symmetry; exercised indirectly
+    #[inline]
+    pub fn entries(&self) -> &[Entry] {
+        match &self.kind {
+            NodeKind::Leaf(e) => e,
+            NodeKind::Internal(_) => panic!("entries() on internal node"),
+        }
+    }
+
+    #[inline]
+    pub fn entries_mut(&mut self) -> &mut Vec<Entry> {
+        match &mut self.kind {
+            NodeKind::Leaf(e) => e,
+            NodeKind::Internal(_) => panic!("entries_mut() on internal node"),
+        }
+    }
+
+    #[inline]
+    pub fn children(&self) -> &[NodeId] {
+        match &self.kind {
+            NodeKind::Internal(c) => c,
+            NodeKind::Leaf(_) => panic!("children() on leaf node"),
+        }
+    }
+
+    #[inline]
+    pub fn children_mut(&mut self) -> &mut Vec<NodeId> {
+        match &mut self.kind {
+            NodeKind::Internal(c) => c,
+            NodeKind::Leaf(_) => panic!("children_mut() on leaf node"),
+        }
+    }
+}

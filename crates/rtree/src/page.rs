@@ -1,0 +1,370 @@
+//! Fixed-size disk-page serialization of the tree.
+//!
+//! The paper configures its R\*-tree with "the page size set to 4096
+//! bytes" and at most 50 entries per node, and measures I/O as page
+//! reads. The in-memory arena stands in for the buffer pool during
+//! query processing; this module makes the disk layout itself concrete:
+//! every node serializes into one fixed [`PAGE_SIZE`]-byte page, and a
+//! whole tree round-trips through a [`PageFile`].
+//!
+//! # Page layout (little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     tag: 0 = leaf, 1 = internal
+//! 1       4     level (u32)
+//! 5       4     entry count (u32)
+//! 9       32    node MBR (4 × f64: min.x, min.y, max.x, max.y)
+//! 41      …     entries
+//! ```
+//!
+//! Leaf entries are 20 bytes (`u32` id + 2 × `f64`); internal entries
+//! are 36 bytes (`u32` child page + 4 × `f64` child MBR). 50 internal
+//! entries need `41 + 50·36 = 1841 ≤ 4096` bytes, so the paper's fanout
+//! fits with room to spare (checked by [`TreeParams`]-aware asserts at
+//! write time).
+
+use crate::node::{Node, NodeKind};
+use crate::tree::RStarTree;
+use crate::{Entry, NodeId, TreeParams};
+use nwc_geom::{Point, Rect};
+use std::collections::HashMap;
+
+/// The simulated disk page size (bytes), as in the paper.
+pub const PAGE_SIZE: usize = 4096;
+
+const HEADER: usize = 1 + 4 + 4 + 32;
+const LEAF_ENTRY: usize = 4 + 16;
+const INTERNAL_ENTRY: usize = 4 + 32;
+
+/// Maximum entries per page for each node kind at [`PAGE_SIZE`].
+pub fn page_capacity_leaf() -> usize {
+    (PAGE_SIZE - HEADER) / LEAF_ENTRY
+}
+/// See [`page_capacity_leaf`].
+pub fn page_capacity_internal() -> usize {
+    (PAGE_SIZE - HEADER) / INTERNAL_ENTRY
+}
+
+/// An error produced while reading a page file.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PageError {
+    /// The page tag byte was neither 0 nor 1.
+    BadTag(u8),
+    /// A child pointer referenced a page beyond the file.
+    DanglingChild(u32),
+    /// The file is empty or the root page id is out of range.
+    BadRoot,
+    /// Entry count exceeds what fits in a page.
+    Overflow(u32),
+}
+
+impl std::fmt::Display for PageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageError::BadTag(t) => write!(f, "invalid page tag {t}"),
+            PageError::DanglingChild(p) => write!(f, "dangling child page {p}"),
+            PageError::BadRoot => write!(f, "invalid root page"),
+            PageError::Overflow(n) => write!(f, "page entry count {n} exceeds capacity"),
+        }
+    }
+}
+
+impl std::error::Error for PageError {}
+
+/// A serialized tree: fixed-size pages plus the root page id.
+pub struct PageFile {
+    pages: Vec<[u8; PAGE_SIZE]>,
+    root: u32,
+    params: TreeParams,
+    len: usize,
+}
+
+impl PageFile {
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total bytes of the simulated file.
+    pub fn bytes(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+
+    /// The root page id.
+    pub fn root_page(&self) -> u32 {
+        self.root
+    }
+
+    /// Raw access to one page (for inspection/corruption tests).
+    pub fn page(&self, id: u32) -> &[u8; PAGE_SIZE] {
+        &self.pages[id as usize]
+    }
+
+    /// Mutable raw access (corruption-injection in tests).
+    pub fn page_mut(&mut self, id: u32) -> &mut [u8; PAGE_SIZE] {
+        &mut self.pages[id as usize]
+    }
+}
+
+impl RStarTree {
+    /// Serializes the tree into fixed-size pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tree's `max_entries` exceeds the page capacity
+    /// (the paper's 50 always fits).
+    pub fn to_page_file(&self) -> PageFile {
+        assert!(
+            self.params.max_entries <= page_capacity_leaf().min(page_capacity_internal()),
+            "fanout {} does not fit a {PAGE_SIZE}-byte page",
+            self.params.max_entries
+        );
+        let mut pages: Vec<[u8; PAGE_SIZE]> = Vec::with_capacity(self.node_count());
+        let mut page_of: HashMap<NodeId, u32> = HashMap::new();
+        // Bottom-up: children serialized before parents so parents can
+        // embed child page ids. Post-order DFS.
+        let mut stack: Vec<(NodeId, bool)> = vec![(self.root(), false)];
+        while let Some((id, expanded)) = stack.pop() {
+            let node = self.node(id);
+            if !expanded {
+                stack.push((id, true));
+                if let NodeKind::Internal(children) = &node.kind {
+                    for &c in children {
+                        stack.push((c, false));
+                    }
+                }
+                continue;
+            }
+            let page_id = pages.len() as u32;
+            pages.push(self.encode_node(node, &page_of));
+            page_of.insert(id, page_id);
+        }
+        PageFile {
+            root: page_of[&self.root()],
+            pages,
+            params: self.params,
+            len: self.len(),
+        }
+    }
+
+    /// Reconstructs a tree from a page file.
+    pub fn from_page_file(file: &PageFile) -> Result<RStarTree, PageError> {
+        if file.pages.is_empty() || file.root as usize >= file.pages.len() {
+            return Err(PageError::BadRoot);
+        }
+        let mut tree = RStarTree::with_params(file.params);
+        let old_root = tree.root();
+        let root = decode_into(&mut tree, file, file.root)?;
+        tree.root = root;
+        tree.dealloc(old_root);
+        tree.len = file.len;
+        Ok(tree)
+    }
+}
+
+fn put_f64(buf: &mut [u8], off: &mut usize, v: f64) {
+    buf[*off..*off + 8].copy_from_slice(&v.to_le_bytes());
+    *off += 8;
+}
+fn put_u32(buf: &mut [u8], off: &mut usize, v: u32) {
+    buf[*off..*off + 4].copy_from_slice(&v.to_le_bytes());
+    *off += 4;
+}
+fn get_f64(buf: &[u8], off: &mut usize) -> f64 {
+    let v = f64::from_le_bytes(buf[*off..*off + 8].try_into().unwrap());
+    *off += 8;
+    v
+}
+fn get_u32(buf: &[u8], off: &mut usize) -> u32 {
+    let v = u32::from_le_bytes(buf[*off..*off + 4].try_into().unwrap());
+    *off += 4;
+    v
+}
+
+fn put_rect(buf: &mut [u8], off: &mut usize, r: &Rect) {
+    put_f64(buf, off, r.min.x);
+    put_f64(buf, off, r.min.y);
+    put_f64(buf, off, r.max.x);
+    put_f64(buf, off, r.max.y);
+}
+fn get_rect(buf: &[u8], off: &mut usize) -> Rect {
+    let min_x = get_f64(buf, off);
+    let min_y = get_f64(buf, off);
+    let max_x = get_f64(buf, off);
+    let max_y = get_f64(buf, off);
+    Rect::new(Point::new(min_x, min_y), Point::new(max_x, max_y))
+}
+
+impl RStarTree {
+    fn encode_node(&self, node: &Node, page_of: &HashMap<NodeId, u32>) -> [u8; PAGE_SIZE] {
+        let mut buf = [0u8; PAGE_SIZE];
+        let mut off;
+        match &node.kind {
+            NodeKind::Leaf(entries) => {
+                buf[0] = 0;
+                off = 1;
+                put_u32(&mut buf, &mut off, node.level);
+                put_u32(&mut buf, &mut off, entries.len() as u32);
+                put_rect(&mut buf, &mut off, &node.mbr);
+                for e in entries {
+                    put_u32(&mut buf, &mut off, e.id);
+                    put_f64(&mut buf, &mut off, e.point.x);
+                    put_f64(&mut buf, &mut off, e.point.y);
+                }
+            }
+            NodeKind::Internal(children) => {
+                buf[0] = 1;
+                off = 1;
+                put_u32(&mut buf, &mut off, node.level);
+                put_u32(&mut buf, &mut off, children.len() as u32);
+                put_rect(&mut buf, &mut off, &node.mbr);
+                for &c in children {
+                    put_u32(&mut buf, &mut off, page_of[&c]);
+                    // Child MBR kept in the parent page, as real R-trees
+                    // do, so a parent fetch suffices to route queries.
+                    put_rect(&mut buf, &mut off, &self.node(c).mbr);
+                }
+            }
+        }
+        debug_assert!(off <= PAGE_SIZE);
+        buf
+    }
+}
+
+/// Recursively decodes the subtree rooted at `page_id` into `tree`,
+/// returning the new arena node id.
+fn decode_into(tree: &mut RStarTree, file: &PageFile, page_id: u32) -> Result<NodeId, PageError> {
+    let buf = &file.pages[page_id as usize];
+    let tag = buf[0];
+    let mut off = 1usize;
+    let level = get_u32(buf, &mut off);
+    let count = get_u32(buf, &mut off);
+    let mbr = get_rect(buf, &mut off);
+    match tag {
+        0 => {
+            if count as usize > page_capacity_leaf() {
+                return Err(PageError::Overflow(count));
+            }
+            let mut entries = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let id = get_u32(buf, &mut off);
+                let x = get_f64(buf, &mut off);
+                let y = get_f64(buf, &mut off);
+                entries.push(Entry::new(id, Point::new(x, y)));
+            }
+            let mut node = Node::new_leaf();
+            node.kind = NodeKind::Leaf(entries);
+            node.mbr = mbr;
+            node.level = level;
+            Ok(tree.alloc(node))
+        }
+        1 => {
+            if count as usize > page_capacity_internal() {
+                return Err(PageError::Overflow(count));
+            }
+            let mut children = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let child_page = get_u32(buf, &mut off);
+                let child_mbr = get_rect(buf, &mut off);
+                if child_page as usize >= file.pages.len() {
+                    return Err(PageError::DanglingChild(child_page));
+                }
+                let child = decode_into(tree, file, child_page)?;
+                debug_assert_eq!(
+                    tree.node(child).mbr, child_mbr,
+                    "parent-held child MBR out of sync with child page"
+                );
+                children.push(child);
+            }
+            let mut node = Node::new_internal(level);
+            node.kind = NodeKind::Internal(children);
+            node.mbr = mbr;
+            Ok(tree.alloc(node))
+        }
+        t => Err(PageError::BadTag(t)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_invariants;
+    use nwc_geom::{pt, rect};
+
+    fn sample_tree(n: usize) -> RStarTree {
+        let pts: Vec<Point> = (0..n)
+            .map(|i| pt(((i * 31) % 499) as f64, ((i * 57) % 491) as f64))
+            .collect();
+        RStarTree::bulk_load(&pts)
+    }
+
+    #[test]
+    fn capacities_admit_paper_fanout() {
+        assert!(page_capacity_leaf() >= 50, "{}", page_capacity_leaf());
+        assert!(page_capacity_internal() >= 50, "{}", page_capacity_internal());
+    }
+
+    #[test]
+    fn roundtrip_preserves_queries() {
+        let tree = sample_tree(3000);
+        let file = tree.to_page_file();
+        assert_eq!(file.page_count(), tree.node_count());
+        let back = RStarTree::from_page_file(&file).unwrap();
+        check_invariants(&back).unwrap();
+        assert_eq!(back.len(), tree.len());
+        assert_eq!(back.height(), tree.height());
+        for wq in [
+            rect(0.0, 0.0, 100.0, 100.0),
+            rect(250.0, 250.0, 260.0, 300.0),
+            rect(-5.0, -5.0, 1000.0, 1000.0),
+        ] {
+            let mut a: Vec<u32> = tree.window_query(&wq).iter().map(|e| e.id).collect();
+            let mut b: Vec<u32> = back.window_query(&wq).iter().map(|e| e.id).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn roundtrip_single_leaf() {
+        let tree = sample_tree(5);
+        let back = RStarTree::from_page_file(&tree.to_page_file()).unwrap();
+        assert_eq!(back.len(), 5);
+        check_invariants(&back).unwrap();
+    }
+
+    #[test]
+    fn corrupted_tag_detected() {
+        let tree = sample_tree(500);
+        let mut file = tree.to_page_file();
+        file.page_mut(file.root_page())[0] = 7;
+        assert_eq!(
+            RStarTree::from_page_file(&file).unwrap_err(),
+            PageError::BadTag(7)
+        );
+    }
+
+    #[test]
+    fn corrupted_count_detected() {
+        let tree = sample_tree(500);
+        let mut file = tree.to_page_file();
+        let root = file.root_page();
+        // Overwrite the entry count with an impossible value.
+        file.page_mut(root)[5..9].copy_from_slice(&10_000u32.to_le_bytes());
+        assert!(matches!(
+            RStarTree::from_page_file(&file).unwrap_err(),
+            PageError::Overflow(10_000)
+        ));
+    }
+
+    #[test]
+    fn file_size_accounting() {
+        let tree = sample_tree(3000);
+        let file = tree.to_page_file();
+        assert_eq!(file.bytes(), file.page_count() * PAGE_SIZE);
+        // ~3000 points at 50/leaf ⇒ ~62 pages ≈ 254 KB.
+        assert!(file.page_count() >= 60 && file.page_count() <= 75);
+    }
+}

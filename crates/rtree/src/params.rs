@@ -1,0 +1,79 @@
+//! Tree shape parameters.
+
+/// Branching-factor and reinsertion parameters of the R\*-tree.
+///
+/// The defaults replicate the paper's setup: a 4096-byte page holding at
+/// most 50 entries, a 40 % minimum fill (the R\* recommendation), and a
+/// 30 % forced-reinsert fraction (Beckmann et al., SIGMOD 1990).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeParams {
+    /// Maximum number of entries per node (`M`).
+    pub max_entries: usize,
+    /// Minimum number of entries per non-root node (`m`).
+    pub min_entries: usize,
+    /// Number of entries removed and reinserted on the first overflow of
+    /// a level during one insertion (`p`, the R\* forced-reinsert count).
+    pub reinsert_count: usize,
+}
+
+impl TreeParams {
+    /// Parameters with the given maximum fanout, deriving `m = 40 % · M`
+    /// and `p = 30 % · M` per the R\*-tree paper.
+    pub fn with_max_entries(max_entries: usize) -> Self {
+        assert!(max_entries >= 4, "R*-tree needs a fanout of at least 4");
+        let min_entries = (max_entries * 2 / 5).max(2);
+        let reinsert_count = (max_entries * 3 / 10).max(1);
+        TreeParams {
+            max_entries,
+            min_entries,
+            reinsert_count,
+        }
+    }
+
+    /// Validates internal consistency (used by constructors and tests).
+    pub fn validate(&self) {
+        assert!(self.max_entries >= 4, "max_entries must be ≥ 4");
+        assert!(
+            self.min_entries >= 2 && self.min_entries <= self.max_entries / 2,
+            "min_entries must lie in [2, max_entries/2]"
+        );
+        assert!(
+            self.reinsert_count >= 1 && self.reinsert_count < self.max_entries - self.min_entries,
+            "reinsert_count must leave a legal node behind"
+        );
+    }
+}
+
+impl Default for TreeParams {
+    /// The paper's configuration: 50 entries per node.
+    fn default() -> Self {
+        TreeParams::with_max_entries(50)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let p = TreeParams::default();
+        assert_eq!(p.max_entries, 50);
+        assert_eq!(p.min_entries, 20);
+        assert_eq!(p.reinsert_count, 15);
+        p.validate();
+    }
+
+    #[test]
+    fn derived_params_are_valid_across_fanouts() {
+        for m in 4..=128 {
+            TreeParams::with_max_entries(m).validate();
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_fanout_rejected() {
+        TreeParams::with_max_entries(3);
+    }
+}

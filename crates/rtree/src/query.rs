@@ -1,0 +1,168 @@
+//! Window (range) queries and point lookups.
+
+use crate::node::NodeKind;
+use crate::tree::RStarTree;
+use crate::{Entry, NodeId};
+use nwc_geom::{Point, Rect};
+
+impl RStarTree {
+    /// Returns every entry whose point lies inside the (closed) window
+    /// `rect`, visiting the tree top-down and charging one node access
+    /// per visited node.
+    pub fn window_query(&self, rect: &Rect) -> Vec<Entry> {
+        let mut out = Vec::new();
+        self.window_query_into(rect, &mut out);
+        out
+    }
+
+    /// As [`RStarTree::window_query`], appending into a reusable buffer.
+    pub fn window_query_into(&self, rect: &Rect, out: &mut Vec<Entry>) {
+        if self.is_empty() {
+            return;
+        }
+        self.window_query_from_into(self.root, rect, out);
+    }
+
+    /// Window query rooted at an arbitrary node — the primitive behind
+    /// IWP's incremental window processing (paper Algorithm 3, line 12:
+    /// "perform traditional window query processing … starting from N").
+    ///
+    /// The starting node is visited (and charged) even when its MBR
+    /// does not intersect `rect`, mirroring a page read that turns out
+    /// empty.
+    pub fn window_query_from_into(&self, start: NodeId, rect: &Rect, out: &mut Vec<Entry>) {
+        let mut stack = vec![start];
+        while let Some(id) = stack.pop() {
+            let node = self.read_node(id);
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    out.extend(entries.iter().filter(|e| rect.contains_point(&e.point)));
+                }
+                NodeKind::Internal(children) => {
+                    stack.extend(
+                        children
+                            .iter()
+                            .copied()
+                            .filter(|&c| self.node(c).mbr.intersects(rect)),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Counts the entries inside `rect` without materializing them.
+    /// Charges the same node accesses as a full window query.
+    pub fn window_count(&self, rect: &Rect) -> usize {
+        if self.is_empty() {
+            return 0;
+        }
+        let mut count = 0usize;
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = self.read_node(id);
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    count += entries.iter().filter(|e| rect.contains_point(&e.point)).count();
+                }
+                NodeKind::Internal(children) => {
+                    stack.extend(
+                        children
+                            .iter()
+                            .copied()
+                            .filter(|&c| self.node(c).mbr.intersects(rect)),
+                    );
+                }
+            }
+        }
+        count
+    }
+
+    /// Whether any stored entry has exactly this point (ids ignored).
+    pub fn contains_point(&self, p: &Point) -> bool {
+        !self.window_query(&Rect::from_point(*p)).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwc_geom::{pt, rect};
+
+    fn sample_tree() -> (RStarTree, Vec<Point>) {
+        let pts: Vec<Point> = (0..400)
+            .map(|i| pt((i % 20) as f64, (i / 20) as f64))
+            .collect();
+        (RStarTree::bulk_load(&pts), pts)
+    }
+
+    #[test]
+    fn window_query_matches_linear_scan() {
+        let (t, pts) = sample_tree();
+        let windows = [
+            rect(0.0, 0.0, 5.0, 5.0),
+            rect(3.5, 3.5, 3.6, 3.6),
+            rect(-10.0, -10.0, -1.0, -1.0),
+            rect(0.0, 0.0, 19.0, 19.0),
+            rect(7.0, 7.0, 7.0, 7.0),
+        ];
+        for wq in windows {
+            let mut got: Vec<u32> = t.window_query(&wq).iter().map(|e| e.id).collect();
+            got.sort_unstable();
+            let want: Vec<u32> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| wq.contains_point(p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(got, want, "window {wq:?}");
+        }
+    }
+
+    #[test]
+    fn window_count_matches_query_len() {
+        let (t, _) = sample_tree();
+        for wq in [
+            rect(1.0, 1.0, 8.0, 4.0),
+            rect(0.0, 0.0, 19.0, 19.0),
+            rect(100.0, 100.0, 101.0, 101.0),
+        ] {
+            assert_eq!(t.window_count(&wq), t.window_query(&wq).len());
+        }
+    }
+
+    #[test]
+    fn boundary_points_included() {
+        let (t, _) = sample_tree();
+        let hits = t.window_query(&rect(5.0, 5.0, 6.0, 6.0));
+        assert_eq!(hits.len(), 4); // (5,5), (5,6), (6,5), (6,6)
+    }
+
+    #[test]
+    fn io_is_charged() {
+        let (t, _) = sample_tree();
+        t.stats().reset();
+        t.window_query(&rect(0.0, 0.0, 2.0, 2.0));
+        let small = t.stats().node_reads();
+        assert!(small >= 1);
+        t.stats().reset();
+        t.window_query(&rect(0.0, 0.0, 19.0, 19.0));
+        let full = t.stats().node_reads();
+        assert!(full > small, "full scan {full} should cost more than {small}");
+        assert_eq!(full as usize, t.node_count());
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t = RStarTree::new();
+        assert!(t.window_query(&rect(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert_eq!(t.window_count(&rect(0.0, 0.0, 1.0, 1.0)), 0);
+        assert!(!t.contains_point(&pt(0.0, 0.0)));
+    }
+
+    #[test]
+    fn contains_point_exact() {
+        let (t, _) = sample_tree();
+        assert!(t.contains_point(&pt(3.0, 3.0)));
+        assert!(!t.contains_point(&pt(3.5, 3.0)));
+    }
+}

@@ -1,0 +1,201 @@
+//! The R\*-tree split algorithm (Beckmann et al., §4.2).
+//!
+//! The split is generic over "things with an MBR" so the same code
+//! divides leaf entries and internal child pointers:
+//!
+//! 1. **ChooseSplitAxis** — for each axis, sort the `M+1` items by lower
+//!    and by upper rectangle coordinate and sum the margins of all legal
+//!    distributions; pick the axis with the smaller sum.
+//! 2. **ChooseSplitIndex** — along the chosen axis, pick the distribution
+//!    with minimal overlap area between the two groups, breaking ties by
+//!    minimal total area.
+
+use nwc_geom::Rect;
+
+/// One item participating in a split: its MBR plus an opaque payload.
+pub(crate) struct SplitItem<T> {
+    pub mbr: Rect,
+    pub item: T,
+}
+
+/// Outcome of a split: the two groups and their MBRs.
+pub(crate) struct SplitResult<T> {
+    pub first: Vec<T>,
+    pub first_mbr: Rect,
+    pub second: Vec<T>,
+    pub second_mbr: Rect,
+}
+
+/// Bounding rectangle of a slice of split items.
+fn group_mbr<T>(items: &[SplitItem<T>]) -> Rect {
+    let mut mbr = items[0].mbr;
+    for it in &items[1..] {
+        mbr = mbr.union(&it.mbr);
+    }
+    mbr
+}
+
+/// Margin sum over every legal distribution of the (already sorted)
+/// items, used to score a candidate axis.
+fn margin_sum<T>(items: &[SplitItem<T>], min_entries: usize) -> f64 {
+    let m = items.len();
+    let mut sum = 0.0;
+    // Prefix/suffix MBRs make each distribution O(1).
+    let (prefix, suffix) = prefix_suffix_mbrs(items);
+    for k in min_entries..=(m - min_entries) {
+        sum += prefix[k - 1].margin() + suffix[k].margin();
+    }
+    sum
+}
+
+/// `prefix[i]` bounds items `0..=i`; `suffix[i]` bounds items `i..`.
+fn prefix_suffix_mbrs<T>(items: &[SplitItem<T>]) -> (Vec<Rect>, Vec<Rect>) {
+    let m = items.len();
+    let mut prefix = Vec::with_capacity(m);
+    let mut acc = items[0].mbr;
+    prefix.push(acc);
+    for it in &items[1..] {
+        acc = acc.union(&it.mbr);
+        prefix.push(acc);
+    }
+    let mut suffix = vec![items[m - 1].mbr; m];
+    for i in (0..m - 1).rev() {
+        suffix[i] = items[i].mbr.union(&suffix[i + 1]);
+    }
+    (prefix, suffix)
+}
+
+/// Splits `items` (which must number at least `2 * min_entries`) into two
+/// groups per the R\* topology.
+pub(crate) fn rstar_split<T>(mut items: Vec<SplitItem<T>>, min_entries: usize) -> SplitResult<T> {
+    let m = items.len();
+    assert!(
+        m >= 2 * min_entries,
+        "cannot split {m} items with min fill {min_entries}"
+    );
+
+    // ChooseSplitAxis: score both axes with both sort orders, keep the
+    // best sort order per axis, pick the axis with the lower margin sum.
+    // Sorting by (lower, upper) lexicographically merges the paper's two
+    // sorts for point-like data and stays within its topology for MBRs.
+    let score_axis = |items: &mut Vec<SplitItem<T>>, by_x: bool| -> f64 {
+        if by_x {
+            items.sort_by(|a, b| {
+                (a.mbr.min.x, a.mbr.max.x)
+                    .partial_cmp(&(b.mbr.min.x, b.mbr.max.x))
+                    .unwrap()
+            });
+        } else {
+            items.sort_by(|a, b| {
+                (a.mbr.min.y, a.mbr.max.y)
+                    .partial_cmp(&(b.mbr.min.y, b.mbr.max.y))
+                    .unwrap()
+            });
+        }
+        margin_sum(items, min_entries)
+    };
+
+    let x_score = score_axis(&mut items, true);
+    let y_score = score_axis(&mut items, false);
+    if x_score < y_score {
+        // Re-sort by x (items are currently y-sorted).
+        score_axis(&mut items, true);
+    }
+
+    // ChooseSplitIndex: minimal overlap, tie-break on minimal total area.
+    let (prefix, suffix) = prefix_suffix_mbrs(&items);
+    let mut best_k = min_entries;
+    let mut best_overlap = f64::INFINITY;
+    let mut best_area = f64::INFINITY;
+    for k in min_entries..=(m - min_entries) {
+        let a = prefix[k - 1];
+        let b = suffix[k];
+        let overlap = a.overlap_area(&b);
+        let area = a.area() + b.area();
+        if overlap < best_overlap || (overlap == best_overlap && area < best_area) {
+            best_overlap = overlap;
+            best_area = area;
+            best_k = k;
+        }
+    }
+
+    let second: Vec<SplitItem<T>> = items.split_off(best_k);
+    let first_mbr = group_mbr(&items);
+    let second_mbr = group_mbr(&second);
+    SplitResult {
+        first: items.into_iter().map(|i| i.item).collect(),
+        first_mbr,
+        second: second.into_iter().map(|i| i.item).collect(),
+        second_mbr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwc_geom::{pt, Rect};
+
+    fn items_from_points(pts: &[(f64, f64)]) -> Vec<SplitItem<usize>> {
+        pts.iter()
+            .enumerate()
+            .map(|(i, &(x, y))| SplitItem {
+                mbr: Rect::from_point(pt(x, y)),
+                item: i,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_respects_min_fill() {
+        let pts: Vec<(f64, f64)> = (0..11).map(|i| (i as f64, 0.0)).collect();
+        let r = rstar_split(items_from_points(&pts), 4);
+        assert!(r.first.len() >= 4 && r.second.len() >= 4);
+        assert_eq!(r.first.len() + r.second.len(), 11);
+    }
+
+    #[test]
+    fn split_separates_clear_clusters() {
+        // Two tight clusters far apart must land in different groups.
+        let mut pts = vec![];
+        for i in 0..5 {
+            pts.push((i as f64 * 0.1, 0.0));
+        }
+        for i in 0..5 {
+            pts.push((100.0 + i as f64 * 0.1, 0.0));
+        }
+        let r = rstar_split(items_from_points(&pts), 4);
+        assert_eq!(r.first_mbr.overlap_area(&r.second_mbr), 0.0);
+        let left: Vec<usize> = if r.first_mbr.min.x < 50.0 { r.first } else { r.second };
+        assert!(left.iter().all(|&i| i < 5));
+    }
+
+    #[test]
+    fn split_mbrs_cover_groups() {
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| ((i * 13 % 17) as f64, (i * 7 % 11) as f64))
+            .collect();
+        let items = items_from_points(&pts);
+        let r = rstar_split(items, 8);
+        for &i in &r.first {
+            assert!(r.first_mbr.contains_point(&pt(pts[i].0, pts[i].1)));
+        }
+        for &i in &r.second {
+            assert!(r.second_mbr.contains_point(&pt(pts[i].0, pts[i].1)));
+        }
+    }
+
+    #[test]
+    fn split_prefers_low_overlap_axis() {
+        // Points on a vertical line: splitting by y gives zero overlap.
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (5.0, i as f64)).collect();
+        let r = rstar_split(items_from_points(&pts), 4);
+        assert_eq!(r.first_mbr.overlap_area(&r.second_mbr), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn split_too_few_items_panics() {
+        let pts: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, 0.0)).collect();
+        rstar_split(items_from_points(&pts), 4);
+    }
+}

@@ -1,0 +1,97 @@
+//! Node-access accounting.
+//!
+//! The paper's performance metric is "the number of R\*-tree nodes
+//! visited, since I/O cost dominates the total execution time". Every
+//! read of a node's contents during a query — whether by a window query,
+//! the best-first traversal or an IWP incremental window query — bumps
+//! the counter here. Queries take `&self` and may run from several
+//! threads at once, so the counters are relaxed atomics (the counter is
+//! a tally, not a synchronization point).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-tree I/O counters standing in for page reads.
+///
+/// Counters only ever grow; callers attribute costs to phases by taking
+/// [`IoStats::snapshot`]s and diffing. [`IoStats::reset`] rewinds to zero
+/// between queries. When multiple threads query one tree concurrently
+/// the counter aggregates across them — use per-thread snapshot diffs
+/// only under external coordination.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    node_reads: AtomicU64,
+}
+
+impl IoStats {
+    /// A fresh, zeroed counter set.
+    pub fn new() -> Self {
+        IoStats::default()
+    }
+
+    /// Records one node access.
+    #[inline]
+    pub fn record_node_read(&self) {
+        self.node_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total node accesses since construction or the last reset.
+    #[inline]
+    pub fn node_reads(&self) -> u64 {
+        self.node_reads.load(Ordering::Relaxed)
+    }
+
+    /// Current counter value, for diff-based attribution.
+    #[inline]
+    pub fn snapshot(&self) -> u64 {
+        self.node_reads.load(Ordering::Relaxed)
+    }
+
+    /// Node accesses since a previous [`IoStats::snapshot`].
+    #[inline]
+    pub fn since(&self, snapshot: u64) -> u64 {
+        self.node_reads.load(Ordering::Relaxed) - snapshot
+    }
+
+    /// Rewinds all counters to zero.
+    #[inline]
+    pub fn reset(&self) {
+        self.node_reads.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_reset() {
+        let s = IoStats::new();
+        assert_eq!(s.node_reads(), 0);
+        s.record_node_read();
+        s.record_node_read();
+        assert_eq!(s.node_reads(), 2);
+        let snap = s.snapshot();
+        s.record_node_read();
+        assert_eq!(s.since(snap), 1);
+        s.reset();
+        assert_eq!(s.node_reads(), 0);
+    }
+
+    #[test]
+    fn concurrent_counting_is_lossless() {
+        let s = std::sync::Arc::new(IoStats::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    s.record_node_read();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.node_reads(), 80_000);
+    }
+}

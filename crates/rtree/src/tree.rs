@@ -1,0 +1,238 @@
+//! The tree structure itself: arena management and shared plumbing.
+
+use crate::node::{Node, NodeKind};
+use crate::{Entry, IoStats, NodeId, TreeParams};
+use nwc_geom::{Point, Rect};
+
+/// An in-memory R\*-tree over 2-D point objects with node-access
+/// accounting.
+///
+/// Build one with [`RStarTree::bulk_load`] (STR packing, what the
+/// experiments use) or incrementally via [`RStarTree::new`] +
+/// [`RStarTree::insert`] (full R\* insertion with forced reinsert).
+///
+/// All query methods take `&self` and charge visited nodes to
+/// [`RStarTree::stats`].
+pub struct RStarTree {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) free: Vec<NodeId>,
+    pub(crate) root: NodeId,
+    pub(crate) len: usize,
+    pub(crate) params: TreeParams,
+    pub(crate) stats: IoStats,
+}
+
+impl RStarTree {
+    /// Creates an empty tree with the given parameters.
+    pub fn with_params(params: TreeParams) -> Self {
+        params.validate();
+        let mut tree = RStarTree {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NodeId(0),
+            len: 0,
+            params,
+            stats: IoStats::new(),
+        };
+        tree.root = tree.alloc(Node::new_leaf());
+        tree
+    }
+
+    /// Creates an empty tree with the paper's default parameters
+    /// (max 50 entries per node).
+    pub fn new() -> Self {
+        RStarTree::with_params(TreeParams::default())
+    }
+
+    /// Number of objects stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds no objects.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The tree's shape parameters.
+    #[inline]
+    pub fn params(&self) -> &TreeParams {
+        &self.params
+    }
+
+    /// The I/O counters of this tree.
+    #[inline]
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// The root node id (exposed for traversals layered on this crate).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Height of the tree in levels: 1 for a lone leaf root, 2 when the
+    /// root's children are leaves, and so on.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.node(self.root).level as usize + 1
+    }
+
+    /// The MBR of the whole dataset, or `None` when empty.
+    pub fn mbr(&self) -> Option<Rect> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.node(self.root).mbr)
+        }
+    }
+
+    /// Level of a node: 0 for leaves, increasing toward the root.
+    #[inline]
+    pub fn node_level(&self, id: NodeId) -> u32 {
+        self.node(id).level
+    }
+
+    /// MBR of a node.
+    #[inline]
+    pub fn node_mbr(&self, id: NodeId) -> Rect {
+        self.node(id).mbr
+    }
+
+    /// Number of direct children (entries or nodes) of a node.
+    #[inline]
+    pub fn node_len(&self, id: NodeId) -> usize {
+        self.node(id).len()
+    }
+
+    /// Total number of nodes currently allocated (for storage accounting).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Iterates over every stored entry (no I/O is charged; this is a
+    /// debugging/testing aid, not a simulated disk access path).
+    pub fn iter_entries(&self) -> impl Iterator<Item = Entry> + '_ {
+        let mut stack = vec![self.root];
+        let mut buf: Vec<Entry> = Vec::new();
+        std::iter::from_fn(move || loop {
+            if let Some(e) = buf.pop() {
+                return Some(e);
+            }
+            let id = stack.pop()?;
+            match &self.node(id).kind {
+                NodeKind::Leaf(entries) => buf.extend(entries.iter().copied()),
+                NodeKind::Internal(children) => stack.extend(children.iter().copied()),
+            }
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Arena plumbing (crate-internal).
+    // ------------------------------------------------------------------
+
+    #[inline]
+    pub(crate) fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    #[inline]
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Reads a node's contents for query purposes, charging one node
+    /// access to the stats.
+    #[inline]
+    pub(crate) fn read_node(&self, id: NodeId) -> &Node {
+        self.stats.record_node_read();
+        &self.nodes[id.index()]
+    }
+
+    pub(crate) fn alloc(&mut self, node: Node) -> NodeId {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id.index()] = node;
+            id
+        } else {
+            let id = NodeId(u32::try_from(self.nodes.len()).expect("node arena overflow"));
+            self.nodes.push(node);
+            id
+        }
+    }
+
+    pub(crate) fn dealloc(&mut self, id: NodeId) {
+        // Leave a recognizably-empty husk; the slot is recycled later.
+        self.nodes[id.index()] = Node::new_leaf();
+        self.free.push(id);
+    }
+
+    /// Recomputes a node's MBR from its children. Panics on an empty
+    /// non-root node (mutations must not leave those behind).
+    pub(crate) fn recompute_mbr(&mut self, id: NodeId) {
+        let mbr = match &self.node(id).kind {
+            NodeKind::Leaf(entries) => Rect::bounding(entries.iter().map(|e| e.point)),
+            NodeKind::Internal(children) => {
+                let mut it = children.iter();
+                it.next().map(|&first| {
+                    let mut r = self.node(first).mbr;
+                    for &c in it {
+                        r = r.union(&self.node(c).mbr);
+                    }
+                    r
+                })
+            }
+        };
+        match mbr {
+            Some(r) => self.node_mut(id).mbr = r,
+            None => {
+                assert_eq!(id, self.root, "non-root node left empty");
+                self.node_mut(id).mbr = Rect::from_point(Point::ORIGIN);
+            }
+        }
+    }
+}
+
+impl Default for RStarTree {
+    fn default() -> Self {
+        RStarTree::new()
+    }
+}
+
+impl std::fmt::Debug for RStarTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RStarTree")
+            .field("len", &self.len)
+            .field("height", &self.height())
+            .field("nodes", &self.node_count())
+            .field("params", &self.params)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwc_geom::pt;
+
+    #[test]
+    fn empty_tree_shape() {
+        let t = RStarTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.height(), 1);
+        assert!(t.mbr().is_none());
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn iter_entries_covers_everything() {
+        let pts: Vec<_> = (0..300).map(|i| pt(i as f64, (i * 7 % 50) as f64)).collect();
+        let t = RStarTree::bulk_load(&pts);
+        let mut ids: Vec<_> = t.iter_entries().map(|e| e.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..300).collect::<Vec<_>>());
+    }
+}

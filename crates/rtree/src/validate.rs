@@ -1,0 +1,160 @@
+//! Structural invariant checking, used pervasively by the test suites.
+
+use crate::node::NodeKind;
+use crate::tree::RStarTree;
+use crate::NodeId;
+
+/// A violated tree invariant, with a human-readable description.
+#[derive(Debug, PartialEq, Eq)]
+pub struct InvariantViolation(pub String);
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "R*-tree invariant violated: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+fn err(msg: String) -> Result<(), InvariantViolation> {
+    Err(InvariantViolation(msg))
+}
+
+/// Checks the structural invariants every R-tree must satisfy:
+///
+/// 1. every leaf sits at level 0 and all leaves share the same depth,
+/// 2. internal children sit exactly one level below their parent,
+/// 3. every node's MBR is exactly the union of its children,
+/// 4. no node (except a lone root) exceeds `max_entries` or is empty,
+/// 5. the stored length equals the number of reachable entries,
+/// 6. the arena leaks no nodes (allocated = reachable + free).
+///
+/// Minimum-fill is checked separately by [`check_fill`] because STR
+/// bulk loading legitimately leaves trailing nodes underfull.
+pub fn check_invariants(tree: &RStarTree) -> Result<(), InvariantViolation> {
+    let mut reachable = 0usize;
+    let mut entries = 0usize;
+    let mut stack: Vec<NodeId> = vec![tree.root()];
+    while let Some(id) = stack.pop() {
+        reachable += 1;
+        let node = tree.node(id);
+        if node.len() > tree.params().max_entries {
+            return err(format!(
+                "node {id:?} has {} children > max {}",
+                node.len(),
+                tree.params().max_entries
+            ));
+        }
+        if node.len() == 0 && id != tree.root() {
+            return err(format!("non-root node {id:?} is empty"));
+        }
+        match &node.kind {
+            NodeKind::Leaf(es) => {
+                if node.level != 0 {
+                    return err(format!("leaf {id:?} at level {}", node.level));
+                }
+                entries += es.len();
+                for e in es {
+                    if !node.mbr.contains_point(&e.point) {
+                        return err(format!("leaf {id:?} MBR misses entry {e:?}"));
+                    }
+                }
+                if !es.is_empty() {
+                    let exact =
+                        nwc_geom::Rect::bounding(es.iter().map(|e| e.point)).unwrap();
+                    if exact != node.mbr {
+                        return err(format!(
+                            "leaf {id:?} MBR {:?} is not tight (expected {exact:?})",
+                            node.mbr
+                        ));
+                    }
+                }
+            }
+            NodeKind::Internal(children) => {
+                let mut union: Option<nwc_geom::Rect> = None;
+                for &c in children {
+                    let child = tree.node(c);
+                    if child.level + 1 != node.level {
+                        return err(format!(
+                            "child {c:?} level {} under parent {id:?} level {}",
+                            child.level, node.level
+                        ));
+                    }
+                    union = Some(match union {
+                        None => child.mbr,
+                        Some(u) => u.union(&child.mbr),
+                    });
+                    stack.push(c);
+                }
+                if let Some(u) = union {
+                    if u != node.mbr {
+                        return err(format!(
+                            "internal {id:?} MBR {:?} is not tight (expected {u:?})",
+                            node.mbr
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if entries != tree.len() {
+        return err(format!(
+            "len() = {} but {entries} entries reachable",
+            tree.len()
+        ));
+    }
+    if reachable != tree.node_count() {
+        return err(format!(
+            "{} nodes allocated but {reachable} reachable (leak)",
+            tree.node_count()
+        ));
+    }
+    Ok(())
+}
+
+/// Checks the R\*-tree minimum-fill invariant (`min_entries` per non-root
+/// node). Applies to insertion-built trees; bulk-loaded trees may fail.
+pub fn check_fill(tree: &RStarTree) -> Result<(), InvariantViolation> {
+    let mut stack: Vec<NodeId> = vec![tree.root()];
+    while let Some(id) = stack.pop() {
+        let node = tree.node(id);
+        if id != tree.root() && node.len() < tree.params().min_entries {
+            return err(format!(
+                "node {id:?} has {} children < min {}",
+                node.len(),
+                tree.params().min_entries
+            ));
+        }
+        if let NodeKind::Internal(children) = &node.kind {
+            stack.extend(children.iter().copied());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RStarTree;
+    use nwc_geom::pt;
+
+    #[test]
+    fn valid_trees_pass() {
+        let pts: Vec<_> = (0..1000).map(|i| pt((i % 31) as f64, (i / 31) as f64)).collect();
+        let bulk = RStarTree::bulk_load(&pts);
+        check_invariants(&bulk).unwrap();
+        let incremental = RStarTree::insert_all(&pts);
+        check_invariants(&incremental).unwrap();
+        check_fill(&incremental).unwrap();
+    }
+
+    #[test]
+    fn corrupted_mbr_detected() {
+        let pts: Vec<_> = (0..200).map(|i| pt(i as f64, 0.0)).collect();
+        let mut t = RStarTree::bulk_load(&pts);
+        // Shrink the root MBR illegally.
+        let root = t.root();
+        t.node_mut(root).mbr = nwc_geom::rect(0.0, 0.0, 1.0, 1.0);
+        assert!(check_invariants(&t).is_err());
+    }
+}

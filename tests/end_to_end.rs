@@ -1,0 +1,161 @@
+//! End-to-end integration tests on realistic (scaled) datasets: scheme
+//! agreement, I/O orderings the paper's evaluation depends on, and
+//! storage accounting.
+
+use nwc::core::SearchStats;
+use nwc::prelude::*;
+
+fn trio() -> Vec<Dataset> {
+    Dataset::paper_trio_scaled(4_000, 6_000, 5_000, 1234)
+}
+
+fn avg_io(index: &NwcIndex, queries: &[Point], spec: WindowSpec, n: usize, scheme: Scheme) -> f64 {
+    let mut acc = SearchStats::default();
+    for &q in queries {
+        let query = NwcQuery::new(q, spec, n);
+        let (_, stats) = index.nwc_full(&query, scheme);
+        acc.accumulate(&stats);
+    }
+    acc.io_total as f64 / queries.len() as f64
+}
+
+#[test]
+fn all_schemes_agree_on_real_shaped_data() {
+    let queries = Dataset::query_points(5, 99);
+    for ds in trio() {
+        let index = NwcIndex::build(ds.points.clone());
+        for &q in &queries {
+            let query = NwcQuery::new(q, WindowSpec::square(64.0), 8);
+            let reference = index.nwc(&query, Scheme::NWC).map(|r| r.distance);
+            for scheme in &Scheme::TABLE3[1..] {
+                let got = index.nwc(&query, *scheme).map(|r| r.distance);
+                match (reference, got) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert!((a - b).abs() < 1e-9, "{}: {scheme} {b} vs NWC {a}", ds.name)
+                    }
+                    (a, b) => panic!("{}: {scheme} {b:?} vs NWC {a:?}", ds.name),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn optimizations_beat_baseline_on_average() {
+    let queries = Dataset::query_points(8, 7);
+    for ds in trio() {
+        let index = NwcIndex::build(ds.points.clone());
+        // Large enough that even the scaled Gaussian dataset has
+        // qualified windows — with none, SRR/DIP degenerate to the
+        // baseline by design (paper §5.3).
+        let spec = WindowSpec::square(256.0);
+        let base = avg_io(&index, &queries, spec, 8, Scheme::NWC);
+        let plus = avg_io(&index, &queries, spec, 8, Scheme::NWC_PLUS);
+        let star = avg_io(&index, &queries, spec, 8, Scheme::NWC_STAR);
+        assert!(plus < base, "{}: NWC+ {plus} !< NWC {base}", ds.name);
+        assert!(star < base, "{}: NWC* {star} !< NWC {base}", ds.name);
+        assert!(star <= plus * 1.05, "{}: NWC* {star} should be ≈≤ NWC+ {plus}", ds.name);
+    }
+}
+
+#[test]
+fn baseline_io_is_insensitive_to_n() {
+    // Figure 11's flat baseline: NWC visits every object regardless of n.
+    let ds = &trio()[0];
+    let index = NwcIndex::build(ds.points.clone());
+    let queries = Dataset::query_points(4, 5);
+    let spec = WindowSpec::square(16.0);
+    let io8 = avg_io(&index, &queries, spec, 8, Scheme::NWC);
+    let io64 = avg_io(&index, &queries, spec, 64, Scheme::NWC);
+    let ratio = io64 / io8;
+    assert!(
+        (0.9..=1.1).contains(&ratio),
+        "baseline should be ~flat in n: {io8} vs {io64}"
+    );
+}
+
+#[test]
+fn dep_is_stronger_on_uniformish_data_than_clustered() {
+    // §5.2: "DEP performs well in nearly uniformly distributed datasets,
+    // but achieves relatively poor performance when the object
+    // distribution is highly clustered."
+    let sets = trio();
+    let queries = Dataset::query_points(8, 21);
+    let spec = WindowSpec::square(64.0);
+    let reduction = |ds: &Dataset| {
+        let index = NwcIndex::build(ds.points.clone());
+        let base = avg_io(&index, &queries, spec, 8, Scheme::NWC);
+        let dep = avg_io(&index, &queries, spec, 8, Scheme::DEP);
+        1.0 - dep / base
+    };
+    let ny = reduction(&sets[1]); // highly clustered
+    let gauss = reduction(&sets[2]); // near-uniform hump
+    assert!(
+        gauss > ny,
+        "DEP reduction on Gaussian ({gauss:.2}) should exceed NY ({ny:.2})"
+    );
+}
+
+#[test]
+fn storage_overheads_are_reported() {
+    let ds = Dataset::gaussian(20_000, 5_000.0, 2_000.0, 3);
+    let index = NwcIndex::build(ds.points.clone());
+    // DEP grid: paper reports ~312 KB for the 400×400 grid.
+    let grid = index.grid().expect("grid built by default");
+    assert_eq!(grid.cell_count(), 160_000);
+    assert_eq!(grid.bytes(), 320_000);
+    // IWP pointers: a few per leaf plus overlaps.
+    let iwp = index.iwp().expect("iwp built by default");
+    let s = iwp.storage();
+    assert!(s.backward_pointers >= index.tree().node_count() / 2);
+    assert!(s.bytes() > 0);
+}
+
+#[test]
+fn knwc_runs_on_scaled_paper_datasets() {
+    use nwc::core::KnwcQuery;
+    for ds in &trio()[..2] {
+        // CA and NY, as in Figures 13–14.
+        let index = NwcIndex::build(ds.points.clone());
+        for &q in &Dataset::query_points(3, 17) {
+            let query = KnwcQuery::new(q, WindowSpec::square(64.0), 8, 4, 4);
+            let plus = index.knwc(&query, Scheme::NWC_PLUS);
+            let star = index.knwc(&query, Scheme::NWC_STAR);
+            assert_eq!(plus.groups.len(), star.groups.len(), "{}", ds.name);
+            for (a, b) in plus.groups.iter().zip(&star.groups) {
+                assert!((a.distance - b.distance).abs() < 1e-9, "{}", ds.name);
+            }
+            assert!(star.stats.io_total <= plus.stats.io_total, "{}", ds.name);
+        }
+    }
+}
+
+#[test]
+fn distance_measures_are_ordered() {
+    // For any query and group: min ≤ avg ≤ max, nearest-window ≤ min.
+    use nwc::core::DistanceMeasure;
+    let ds = &trio()[0];
+    let index = NwcIndex::build(ds.points.clone());
+    for &q in &Dataset::query_points(5, 41) {
+        let spec = WindowSpec::square(64.0);
+        let score = |m: DistanceMeasure| {
+            index
+                .nwc(&NwcQuery::new(q, spec, 8).with_measure(m), Scheme::NWC_STAR)
+                .map(|r| r.distance)
+        };
+        if let (Some(min), Some(avg), Some(max), Some(nw)) = (
+            score(DistanceMeasure::Min),
+            score(DistanceMeasure::Avg),
+            score(DistanceMeasure::Max),
+            score(DistanceMeasure::NearestWindow),
+        ) {
+            // Each is the optimum under its own measure, so the optimal
+            // min ≤ optimal avg ≤ optimal max, and the nearest-window
+            // optimum lower-bounds the min optimum.
+            assert!(min <= avg + 1e-9, "min {min} > avg {avg}");
+            assert!(avg <= max + 1e-9, "avg {avg} > max {max}");
+            assert!(nw <= min + 1e-9, "nearest-window {nw} > min {min}");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Property tests for the geometric foundations: the MBR algebra the
+//! R\*-tree relies on and the window constructions (search regions,
+//! SRR reduction, DEP extension, DIP bounds) the NWC algorithm's
+//! correctness rests on.
+
+use nwc::geom::window::{
+    candidate_window, extended_mbr, node_window_lower_bound, reduced_search_region,
+    search_region, window_lower_bound, WindowSpec,
+};
+use nwc::geom::{Point, Quadrant, Rect};
+use proptest::prelude::*;
+
+fn point_strategy() -> impl Strategy<Value = Point> {
+    (-500.0f64..500.0, -500.0f64..500.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (point_strategy(), 0.0f64..300.0, 0.0f64..300.0)
+        .prop_map(|(p, w, h)| Rect::new(p, Point::new(p.x + w, p.y + h)))
+}
+
+fn spec_strategy() -> impl Strategy<Value = WindowSpec> {
+    (0.5f64..100.0, 0.5f64..100.0).prop_map(|(l, w)| WindowSpec::new(l, w))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn union_contains_both(a in rect_strategy(), b in rect_strategy()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        // Union is the *smallest* such rect: each side is touched.
+        prop_assert!(u.min.x == a.min.x.min(b.min.x));
+        prop_assert!(u.max.y == a.max.y.max(b.max.y));
+    }
+
+    #[test]
+    fn overlap_area_symmetric_and_bounded(a in rect_strategy(), b in rect_strategy()) {
+        let o = a.overlap_area(&b);
+        prop_assert!((o - b.overlap_area(&a)).abs() < 1e-9);
+        prop_assert!(o >= 0.0);
+        prop_assert!(o <= a.area() + 1e-9);
+        prop_assert!(o <= b.area() + 1e-9);
+        prop_assert_eq!(o > 0.0 || a.intersection(&b).is_some_and(|i| i.is_degenerate()),
+                        a.intersects(&b));
+    }
+
+    #[test]
+    fn mindist_vs_sampled_points(r in rect_strategy(), p in point_strategy()) {
+        let md = r.mindist(&p);
+        // No sampled rect point may be closer than MINDIST; the best
+        // sample converges toward it.
+        let mut best = f64::INFINITY;
+        for i in 0..=8 {
+            for j in 0..=8 {
+                let s = Point::new(
+                    r.min.x + r.width() * i as f64 / 8.0,
+                    r.min.y + r.height() * j as f64 / 8.0,
+                );
+                prop_assert!(s.dist(&p) + 1e-9 >= md);
+                best = best.min(s.dist(&p));
+            }
+        }
+        // The clamp-based closest point achieves MINDIST exactly.
+        let closest = Point::new(p.x.clamp(r.min.x, r.max.x), p.y.clamp(r.min.y, r.max.y));
+        prop_assert!((closest.dist(&p) - md).abs() < 1e-9);
+        prop_assert!(best + 1e-9 >= md);
+    }
+
+    #[test]
+    fn maxdist_dominates_all_corners(r in rect_strategy(), p in point_strategy()) {
+        let mx = r.maxdist(&p);
+        for c in r.corners() {
+            prop_assert!(c.dist(&p) <= mx + 1e-9);
+        }
+        prop_assert!(mx + 1e-9 >= r.mindist(&p));
+    }
+
+    #[test]
+    fn search_region_covers_every_candidate_window(
+        q in point_strategy(),
+        p in point_strategy(),
+        spec in spec_strategy(),
+        t in 0.0f64..=1.0,
+    ) {
+        let quad = Quadrant::of(&q, &p);
+        let sr = search_region(&p, quad, &spec);
+        prop_assert!(sr.contains_point(&p));
+        let partner_y = if quad.partner_on_top_edge() {
+            p.y + t * spec.w
+        } else {
+            p.y - t * spec.w
+        };
+        let win = candidate_window(&p, partner_y, quad, &spec);
+        prop_assert!(sr.contains_rect(&win), "{win:?} ⊄ {sr:?}");
+        prop_assert!(win.contains_point(&p));
+        prop_assert!((win.width() - spec.l).abs() < 1e-9);
+        prop_assert!((win.height() - spec.w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_lower_bound_is_sound(
+        q in point_strategy(),
+        p in point_strategy(),
+        spec in spec_strategy(),
+        t in 0.0f64..=1.0,
+    ) {
+        let quad = Quadrant::of(&q, &p);
+        let lb = window_lower_bound(&q, &p, &spec);
+        let partner_y = if quad.partner_on_top_edge() {
+            p.y + t * spec.w
+        } else {
+            p.y - t * spec.w
+        };
+        let win = candidate_window(&p, partner_y, quad, &spec);
+        prop_assert!(win.mindist(&q) + 1e-9 >= lb,
+            "window {win:?} at {} beats bound {lb}", win.mindist(&q));
+    }
+
+    #[test]
+    fn srr_reduction_never_loses_close_windows(
+        q in point_strategy(),
+        p in point_strategy(),
+        spec in spec_strategy(),
+        dist_best in 0.0f64..500.0,
+        t in 0.0f64..=1.0,
+    ) {
+        let quad = Quadrant::of(&q, &p);
+        let partner_y = if quad.partner_on_top_edge() {
+            p.y + t * spec.w
+        } else {
+            p.y - t * spec.w
+        };
+        let win = candidate_window(&p, partner_y, quad, &spec);
+        if win.mindist(&q) <= dist_best {
+            let sr = reduced_search_region(&q, &p, &spec, dist_best);
+            let sr = sr.expect("SR' empty but a qualifying window exists");
+            prop_assert!(sr.contains_rect(&win),
+                "qualifying window {win:?} outside SR' {sr:?}");
+        }
+    }
+
+    #[test]
+    fn srr_reduction_shrinks_monotonically(
+        q in point_strategy(),
+        p in point_strategy(),
+        spec in spec_strategy(),
+        d1 in 0.0f64..400.0,
+        extra in 0.0f64..200.0,
+    ) {
+        let tight = reduced_search_region(&q, &p, &spec, d1);
+        let loose = reduced_search_region(&q, &p, &spec, d1 + extra);
+        match (tight, loose) {
+            (None, _) => {} // tighter bound may empty the region first
+            (Some(_), None) => prop_assert!(false, "looser bound emptied the region"),
+            (Some(t_), Some(l_)) => prop_assert!(l_.contains_rect(&t_)),
+        }
+    }
+
+    #[test]
+    fn dep_extension_covers_generated_windows(
+        q in point_strategy(),
+        mbr in rect_strategy(),
+        spec in spec_strategy(),
+        fx in 0.0f64..=1.0,
+        fy in 0.0f64..=1.0,
+        t in 0.0f64..=1.0,
+    ) {
+        let ext = extended_mbr(&q, &mbr, &spec);
+        let p = Point::new(
+            mbr.min.x + mbr.width() * fx,
+            mbr.min.y + mbr.height() * fy,
+        );
+        let quad = Quadrant::of(&q, &p);
+        let partner_y = if quad.partner_on_top_edge() {
+            p.y + t * spec.w
+        } else {
+            p.y - t * spec.w
+        };
+        let win = candidate_window(&p, partner_y, quad, &spec);
+        prop_assert!(ext.contains_rect(&win), "{win:?} escapes extension {ext:?}");
+    }
+
+    #[test]
+    fn dip_bound_lower_bounds_member_objects(
+        q in point_strategy(),
+        mbr in rect_strategy(),
+        spec in spec_strategy(),
+        fx in 0.0f64..=1.0,
+        fy in 0.0f64..=1.0,
+    ) {
+        let node_lb = node_window_lower_bound(&q, &mbr, &spec);
+        let p = Point::new(
+            mbr.min.x + mbr.width() * fx,
+            mbr.min.y + mbr.height() * fy,
+        );
+        prop_assert!(window_lower_bound(&q, &p, &spec) + 1e-9 >= node_lb);
+    }
+
+    #[test]
+    fn quadrant_partition_is_total(q in point_strategy(), p in point_strategy()) {
+        // Exactly one quadrant claims each point.
+        let quad = Quadrant::of(&q, &p);
+        let claims: Vec<Quadrant> = Quadrant::ALL
+            .into_iter()
+            .filter(|&c| {
+                let right = p.x >= q.x;
+                let top = p.y >= q.y;
+                match c {
+                    Quadrant::I => right && top,
+                    Quadrant::II => !right && top,
+                    Quadrant::III => !right && !top,
+                    Quadrant::IV => right && !top,
+                }
+            })
+            .collect();
+        prop_assert_eq!(claims.len(), 1);
+        prop_assert_eq!(claims[0], quad);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for kNWC queries (paper Definition 3).
+//!
+//! The kNWC insertion procedure (§3.4 Steps 1–5) is order-sensitive in
+//! rare eviction cascades, so these tests verify the *contract* of
+//! Definition 3 — group feasibility, ascending order, pairwise overlap,
+//! and optimality of the first group — rather than exact set equality
+//! with a particular greedy tie-breaking.
+
+use nwc::core::{oracle, KnwcQuery};
+use nwc::prelude::*;
+use proptest::prelude::*;
+
+fn point_strategy() -> impl Strategy<Value = Point> {
+    (0u32..80, 0u32..80).prop_map(|(x, y)| Point::new(x as f64, y as f64))
+}
+
+fn scenario() -> impl Strategy<Value = (Vec<Point>, Point, f64, usize, usize, usize)> {
+    (
+        proptest::collection::vec(point_strategy(), 10..40),
+        point_strategy(),
+        4.0f64..20.0,
+        2usize..5, // n
+        1usize..5, // k
+        0usize..3, // m (validated against n below)
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn knwc_satisfies_definition3((points, q, size, n, k, m) in scenario()) {
+        prop_assume!(m < n);
+        let index = NwcIndex::build(points.clone());
+        let query = KnwcQuery::new(q, WindowSpec::square(size), n, k, m);
+        for scheme in [Scheme::NWC, Scheme::NWC_PLUS, Scheme::NWC_STAR] {
+            let r = index.knwc(&query, scheme);
+            prop_assert!(r.groups.len() <= k);
+            // (1) every group: n distinct objects inside an l×w window.
+            for g in &r.groups {
+                prop_assert_eq!(g.objects.len(), n);
+                let ids = g.id_set();
+                prop_assert!(ids.windows(2).all(|w| w[0] < w[1]), "duplicate ids");
+                prop_assert!(g.window.width() <= size + 1e-9);
+                prop_assert!(g.window.height() <= size + 1e-9);
+                for e in &g.objects {
+                    prop_assert!(g.window.contains_point(&e.point));
+                }
+            }
+            // (3) ascending distances.
+            let d: Vec<f64> = r.groups.iter().map(|g| g.distance).collect();
+            prop_assert!(d.windows(2).all(|p| p[0] <= p[1]), "{scheme}: {d:?}");
+            // (2) pairwise overlap ≤ m.
+            for a in 0..r.groups.len() {
+                for b in a + 1..r.groups.len() {
+                    let ia = r.groups[a].id_set();
+                    let ib = r.groups[b].id_set();
+                    let shared = ia.iter().filter(|x| ib.binary_search(x).is_ok()).count();
+                    prop_assert!(shared <= m, "{scheme}: groups {a},{b} share {shared}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_group_is_the_nwc_optimum((points, q, size, n, k, m) in scenario()) {
+        prop_assume!(m < n);
+        let index = NwcIndex::build(points.clone());
+        let query = KnwcQuery::new(q, WindowSpec::square(size), n, k, m);
+        let r = index.knwc(&query, Scheme::NWC_STAR);
+        let nwc = index.nwc(&query.base, Scheme::NWC_STAR);
+        match (r.groups.first(), nwc) {
+            (None, None) => {}
+            (Some(g), Some(best)) => {
+                prop_assert!((g.distance - best.distance).abs() < 1e-9,
+                    "kNWC first group {} vs NWC {}", g.distance, best.distance);
+            }
+            (a, b) => prop_assert!(false, "{:?} vs {:?}",
+                a.map(|g| g.distance), b.map(|r| r.distance)),
+        }
+    }
+
+    #[test]
+    fn exact_mode_equals_brute_force_greedy((points, q, size, n, k, m) in scenario()) {
+        prop_assume!(m < n);
+        let index = NwcIndex::build(points.clone());
+        let query = KnwcQuery::new(q, WindowSpec::square(size), n, k, m);
+        let greedy = oracle::knwc_brute_force(&points, &query);
+        // knwc_exact disables distance pruning and must reproduce the
+        // brute-force greedy selection set-for-set, under every scheme
+        // (DEP/IWP never drop qualified windows).
+        for scheme in [Scheme::NWC, Scheme::DEP, Scheme::IWP, Scheme::NWC_STAR] {
+            let r = index.knwc_exact(&query, scheme);
+            prop_assert_eq!(r.groups.len(), greedy.len(), "{}", scheme);
+            for (g, o) in r.groups.iter().zip(&greedy) {
+                prop_assert!((g.distance - o.distance).abs() < 1e-9, "{}", scheme);
+                prop_assert_eq!(g.id_set(), o.id_set(), "{}", scheme);
+            }
+        }
+        // The pruned variant keeps the optimal first group and never
+        // violates Definition 3's structural conditions (checked in
+        // knwc_satisfies_definition3); its first group must agree.
+        let pruned = index.knwc(&query, Scheme::NWC_STAR);
+        if let (Some(g), Some(o)) = (pruned.groups.first(), greedy.first()) {
+            prop_assert!((g.distance - o.distance).abs() < 1e-9);
+        }
+        prop_assert_eq!(pruned.groups.is_empty(), greedy.is_empty());
+    }
+
+    #[test]
+    fn knwc_with_k1_equals_nwc((points, q, size, n, _k, m) in scenario()) {
+        prop_assume!(m < n);
+        let index = NwcIndex::build(points.clone());
+        let query = KnwcQuery::new(q, WindowSpec::square(size), n, 1, m);
+        let r = index.knwc(&query, Scheme::NWC_PLUS);
+        let nwc = index.nwc(&query.base, Scheme::NWC_PLUS);
+        match (r.groups.first(), nwc) {
+            (None, None) => {}
+            (Some(g), Some(best)) => prop_assert!((g.distance - best.distance).abs() < 1e-9),
+            (a, b) => prop_assert!(false, "{:?} vs {:?}",
+                a.map(|g| g.distance), b.map(|r| r.distance)),
+        }
+    }
+}

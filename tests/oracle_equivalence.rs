@@ -1,0 +1,115 @@
+//! Property tests: every optimization scheme returns the optimal group
+//! score, matching an exhaustive brute-force oracle, under every
+//! distance measure.
+//!
+//! This is the central correctness claim of the paper — the
+//! optimizations are *pruning-only* and must never change the answer
+//! (only the I/O cost).
+
+use nwc::core::oracle;
+use nwc::core::DistanceMeasure;
+use nwc::prelude::*;
+use proptest::prelude::*;
+
+fn point_strategy() -> impl Strategy<Value = Point> {
+    // A coarse lattice plus jitter provokes boundary ties (objects
+    // exactly on window edges) that uniform floats almost never hit.
+    (0u32..100, 0u32..100, 0u32..4, 0u32..4)
+        .prop_map(|(x, y, jx, jy)| Point::new(x as f64 + jx as f64 * 0.25, y as f64 + jy as f64 * 0.25))
+}
+
+fn scenario() -> impl Strategy<Value = (Vec<Point>, Point, f64, f64, usize)> {
+    (
+        proptest::collection::vec(point_strategy(), 8..48),
+        point_strategy(),
+        2.0f64..24.0,
+        2.0f64..24.0,
+        1usize..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_schemes_match_oracle((points, q, l, w, n) in scenario()) {
+        let index = NwcIndex::build(points.clone());
+        for measure in DistanceMeasure::ALL {
+            let query = NwcQuery::new(q, WindowSpec::new(l, w), n).with_measure(measure);
+            let want = oracle::nwc_brute_force(&points, &query);
+            for scheme in Scheme::TABLE3 {
+                let got = index.nwc(&query, scheme);
+                match (&want, &got) {
+                    (None, None) => {}
+                    (Some(w_), Some(g)) => {
+                        prop_assert!(
+                            (w_.distance - g.distance).abs() < 1e-9,
+                            "{scheme} {measure:?}: oracle {} vs algo {} (n={n})",
+                            w_.distance, g.distance
+                        );
+                        // The returned group must actually fit a window
+                        // and have the claimed score.
+                        let rescore = measure.score(&q, &g.objects, &query.spec);
+                        prop_assert!((rescore - g.distance).abs() < 1e-9);
+                    }
+                    _ => prop_assert!(
+                        false,
+                        "{scheme} {measure:?}: oracle {:?} vs algo {:?}",
+                        want.as_ref().map(|x| x.distance),
+                        got.as_ref().map(|x| x.distance)
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn result_groups_are_feasible((points, q, l, w, n) in scenario()) {
+        let index = NwcIndex::build(points.clone());
+        let query = NwcQuery::new(q, WindowSpec::new(l, w), n);
+        if let Some(r) = index.nwc(&query, Scheme::NWC_STAR) {
+            prop_assert_eq!(r.objects.len(), n);
+            // Distinct objects.
+            let mut ids = r.ids();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), n);
+            // All inside the reported window, which has legal dimensions.
+            prop_assert!(r.window.width() <= l + 1e-9);
+            prop_assert!(r.window.height() <= w + 1e-9);
+            for e in &r.objects {
+                prop_assert!(r.window.contains_point(&e.point));
+            }
+            // Ordered by ascending distance to q.
+            let d: Vec<f64> = r.objects.iter().map(|e| e.point.dist(&q)).collect();
+            prop_assert!(d.windows(2).all(|p| p[0] <= p[1]));
+        }
+    }
+
+    #[test]
+    fn none_only_when_nothing_qualifies((points, q, l, w, n) in scenario()) {
+        let index = NwcIndex::build(points.clone());
+        let query = NwcQuery::new(q, WindowSpec::new(l, w), n);
+        let got = index.nwc(&query, Scheme::NWC_STAR);
+        let want = oracle::nwc_brute_force(&points, &query);
+        prop_assert_eq!(got.is_some(), want.is_some());
+    }
+
+    #[test]
+    fn insertion_built_index_agrees((points, q, l, w, n) in scenario()) {
+        // The answer must not depend on how the tree was built.
+        let bulk = NwcIndex::build(points.clone());
+        let incremental = NwcIndex::build_with(
+            points,
+            nwc::core::IndexConfig { bulk_load: false, ..Default::default() },
+        );
+        let query = NwcQuery::new(q, WindowSpec::new(l, w), n);
+        let a = bulk.nwc(&query, Scheme::NWC_STAR).map(|r| r.distance);
+        let b = incremental.nwc(&query, Scheme::NWC_STAR).map(|r| r.distance);
+        match (a, b) {
+            (None, None) => {}
+            (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9),
+            _ => prop_assert!(false, "bulk {a:?} vs incremental {b:?}"),
+        }
+    }
+}
