@@ -15,6 +15,7 @@ pub mod context;
 pub mod figures;
 pub mod runner;
 pub mod table;
+pub mod throughput;
 
 pub use context::ExperimentContext;
 pub use table::Table;

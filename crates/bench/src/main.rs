@@ -6,7 +6,8 @@
 //! cargo run --release -p nwc-bench [--] [EXPERIMENT...]
 //!
 //! EXPERIMENT: all (default) | table2 | table3 | fig8 | fig9 | fig10 |
-//!             fig11 | fig12 | fig13 | fig14 | storage | model | ablations
+//!             fig11 | fig12 | fig13 | fig14 | storage | model |
+//!             ablations | throughput
 //!
 //! Environment:
 //!   NWC_SCALE    fraction of the paper's dataset cardinalities (0.2)
@@ -18,7 +19,7 @@
 //! `cargo run --release -p nwc-bench > EXPERIMENTS-run.md` captures a
 //! full report.
 
-use nwc_bench::{figures, ExperimentContext};
+use nwc_bench::{figures, throughput, ExperimentContext};
 
 fn main() {
     let ctx = ExperimentContext::from_env();
@@ -73,6 +74,9 @@ fn main() {
     }
     if want("model") {
         println!("{}", figures::model(&ctx));
+    }
+    if want("throughput") {
+        println!("{}", throughput::throughput(&ctx));
     }
     if want("ablations") {
         println!("{}", figures::ablation_measures(&ctx));

@@ -1,8 +1,12 @@
-//! Measurement helpers: build indexes and average I/O over query sets.
+//! Measurement helpers: build indexes and average I/O and wall-clock
+//! time over query sets.
 
-use nwc_core::{IndexConfig, KnwcQuery, NwcIndex, NwcQuery, Scheme, SearchStats, WindowSpec};
+use nwc_core::{
+    IndexConfig, KnwcQuery, NwcIndex, NwcQuery, QueryScratch, Scheme, SearchStats, WindowSpec,
+};
 use nwc_datagen::Dataset;
 use nwc_geom::Point;
+use std::time::Instant;
 
 /// Builds the full index (tree + default 25-unit grid + IWP) for a
 /// dataset.
@@ -35,6 +39,20 @@ pub struct Measurement {
     pub hit_rate: f64,
     /// Mean window queries issued.
     pub avg_window_queries: f64,
+    /// Mean wall-clock latency per query, microseconds.
+    pub avg_latency_us: f64,
+    /// Sequential throughput: queries / wall-clock second.
+    pub queries_per_sec: f64,
+}
+
+impl Measurement {
+    /// Fills the wall-clock fields from a measured run.
+    fn with_wall_clock(mut self, elapsed: std::time::Duration, count: usize) -> Self {
+        let secs = elapsed.as_secs_f64();
+        self.avg_latency_us = secs * 1e6 / count as f64;
+        self.queries_per_sec = if secs > 0.0 { count as f64 / secs } else { 0.0 };
+        self
+    }
 }
 
 /// Runs `NWC(q, spec, n)` for every query point and averages the stats.
@@ -47,12 +65,15 @@ pub fn measure_nwc(
 ) -> Measurement {
     let mut acc = SearchStats::default();
     let mut hits = 0usize;
+    let mut scratch = QueryScratch::new();
+    let start = Instant::now();
     for &q in queries {
         let query = NwcQuery::new(q, spec, n);
-        let (result, stats) = index.nwc_full(&query, scheme);
+        let (result, stats) = index.nwc_full_with(&query, scheme, &mut scratch);
         acc.accumulate(&stats);
         hits += usize::from(result.is_some());
     }
+    let elapsed = start.elapsed();
     let count = queries.len() as f64;
     Measurement {
         avg_io: acc.io_total as f64 / count,
@@ -60,7 +81,9 @@ pub fn measure_nwc(
         avg_io_windows: acc.io_window_queries as f64 / count,
         hit_rate: hits as f64 / count,
         avg_window_queries: acc.window_queries as f64 / count,
+        ..Default::default()
     }
+    .with_wall_clock(elapsed, queries.len())
 }
 
 /// Runs `kNWC` for every query point and averages the I/O.
@@ -75,12 +98,15 @@ pub fn measure_knwc(
 ) -> Measurement {
     let mut acc = SearchStats::default();
     let mut hits = 0usize;
+    let mut scratch = QueryScratch::new();
+    let start = Instant::now();
     for &q in queries {
         let query = KnwcQuery::new(q, spec, n, k, m);
-        let r = index.knwc(&query, scheme);
+        let r = index.knwc_with(&query, scheme, &mut scratch);
         acc.accumulate(&r.stats);
         hits += usize::from(!r.groups.is_empty());
     }
+    let elapsed = start.elapsed();
     let count = queries.len() as f64;
     Measurement {
         avg_io: acc.io_total as f64 / count,
@@ -88,7 +114,9 @@ pub fn measure_knwc(
         avg_io_windows: acc.io_window_queries as f64 / count,
         hit_rate: hits as f64 / count,
         avg_window_queries: acc.window_queries as f64 / count,
+        ..Default::default()
     }
+    .with_wall_clock(elapsed, queries.len())
 }
 
 /// `1 − opt/base` as a percentage string, the paper's "I/O cost
@@ -119,5 +147,7 @@ mod tests {
         assert!(m.avg_io > 0.0);
         assert!(m.hit_rate > 0.0);
         assert!((m.avg_io - m.avg_io_traversal - m.avg_io_windows).abs() < 1e-9);
+        assert!(m.avg_latency_us > 0.0);
+        assert!(m.queries_per_sec > 0.0);
     }
 }

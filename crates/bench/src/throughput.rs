@@ -1,0 +1,259 @@
+//! Wall-clock throughput experiment (not from the paper).
+//!
+//! The paper reports I/O cost; this experiment reports time. It answers
+//! two questions about the query hot path:
+//!
+//! 1. **Scratch reuse** — how much sequential wall-clock does the warm
+//!    zero-allocation path ([`NwcIndex::nwc_full_with`]) save over the
+//!    allocating API ([`NwcIndex::nwc_full`]) on the same query stream?
+//! 2. **Parallel scaling** — how does aggregate queries/sec scale when
+//!    the same batch is answered by a [`QueryEngine`] at 1, 2, 4 and
+//!    all-core worker counts?
+//!
+//! Besides the markdown table, the run writes machine-readable
+//! `results/BENCH_throughput.json` for tracking across commits.
+
+use crate::context::ExperimentContext;
+use crate::runner::build_index;
+use crate::table::Table;
+use nwc_core::{NwcIndex, NwcQuery, QueryEngine, QueryScratch, Scheme, WindowSpec};
+use std::time::Instant;
+
+/// One thread-count sweep point.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    /// Engine worker count.
+    pub threads: usize,
+    /// Wall-clock for the whole batch, seconds.
+    pub wall_s: f64,
+    /// Aggregate throughput, queries per second.
+    pub queries_per_sec: f64,
+    /// Mean per-query latency, microseconds.
+    pub avg_latency_us: f64,
+    /// Throughput relative to the 1-thread sweep point.
+    pub speedup: f64,
+}
+
+/// Everything the throughput experiment measured.
+#[derive(Clone, Debug)]
+pub struct ThroughputReport {
+    /// Dataset the index was built over.
+    pub dataset: String,
+    /// CPU cores the run had (`available_parallelism`). Parallel
+    /// speedup is bounded by this — on a 1-core machine the sweep can
+    /// only demonstrate correctness, not scaling.
+    pub cores: usize,
+    /// Number of queries in the batch.
+    pub queries: usize,
+    /// Sequential wall-clock of the allocating API, seconds.
+    pub cold_s: f64,
+    /// Sequential wall-clock of the warm scratch-reuse path, seconds.
+    pub warm_s: f64,
+    /// Thread-count sweep, ascending.
+    pub sweep: Vec<SweepPoint>,
+}
+
+/// Thread counts swept: {1, 2, 4, all cores}, deduplicated ascending.
+/// Counts above the core count are kept (the engine never spawns more
+/// workers than queries, and oversubscription is itself informative).
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut counts = vec![1usize, 2, 4, max];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Runs the experiment and renders the markdown table; also writes
+/// `results/BENCH_throughput.json` (errors writing the file are
+/// reported on stderr, not fatal — the measurement still prints).
+pub fn throughput(ctx: &ExperimentContext) -> String {
+    let report = measure(ctx);
+    let json = render_json(ctx, &report);
+    let path = "results/BENCH_throughput.json";
+    match std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write(path, &json))
+    {
+        Ok(()) => eprintln!("[throughput] wrote {path}"),
+        Err(e) => eprintln!("[throughput] could not write {path}: {e}"),
+    }
+    render_markdown(&report)
+}
+
+/// The measurement itself, separated from rendering for tests.
+pub fn measure(ctx: &ExperimentContext) -> ThroughputReport {
+    let ds = ctx.dataset("CA");
+    let index = build_index(&ds);
+    // A batch large enough to keep every worker busy: the configured
+    // query count, replicated across a grid of window sizes.
+    let specs = [100.0, 200.0, 400.0];
+    let queries: Vec<NwcQuery> = ctx
+        .query_points()
+        .iter()
+        .flat_map(|&q| {
+            specs
+                .iter()
+                .map(move |&s| NwcQuery::new(q, WindowSpec::square(s), 8))
+        })
+        .collect();
+    let scheme = Scheme::NWC_STAR;
+
+    // Warm the page cache / branch predictors once before timing.
+    run_cold(&index, &queries[..queries.len().min(4)], scheme);
+
+    let t = Instant::now();
+    run_cold(&index, &queries, scheme);
+    let cold_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let mut scratch = QueryScratch::new();
+    for q in &queries {
+        std::hint::black_box(index.nwc_full_with(q, scheme, &mut scratch));
+    }
+    let warm_s = t.elapsed().as_secs_f64();
+
+    let mut sweep = Vec::new();
+    let mut base_qps = 0.0f64;
+    for threads in thread_counts() {
+        let engine = QueryEngine::new(&index).with_threads(threads);
+        let t = Instant::now();
+        std::hint::black_box(engine.nwc_batch(&queries, scheme));
+        let wall_s = t.elapsed().as_secs_f64();
+        let qps = queries.len() as f64 / wall_s;
+        if threads == 1 {
+            base_qps = qps;
+        }
+        sweep.push(SweepPoint {
+            threads,
+            wall_s,
+            queries_per_sec: qps,
+            avg_latency_us: wall_s * 1e6 / queries.len() as f64,
+            speedup: if base_qps > 0.0 { qps / base_qps } else { 1.0 },
+        });
+    }
+
+    ThroughputReport {
+        dataset: ds.name.clone(),
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        queries: queries.len(),
+        cold_s,
+        warm_s,
+        sweep,
+    }
+}
+
+fn run_cold(index: &NwcIndex, queries: &[NwcQuery], scheme: Scheme) {
+    for q in queries {
+        std::hint::black_box(index.nwc_full(q, scheme));
+    }
+}
+
+fn render_markdown(r: &ThroughputReport) -> String {
+    let mut out = String::new();
+    let mut seq = Table::new(
+        "Throughput (sequential)",
+        format!(
+            "{} queries over {}: allocating API vs warm scratch reuse",
+            r.queries, r.dataset
+        ),
+        vec!["path", "wall (s)", "queries/s", "avg latency (µs)"],
+    );
+    for (label, secs) in [("nwc_full (cold)", r.cold_s), ("nwc_full_with (warm)", r.warm_s)] {
+        seq.push_row(vec![
+            label.to_string(),
+            format!("{secs:.3}"),
+            format!("{:.0}", r.queries as f64 / secs),
+            format!("{:.1}", secs * 1e6 / r.queries as f64),
+        ]);
+    }
+    out.push_str(&seq.to_markdown());
+    out.push('\n');
+
+    let mut par = Table::new(
+        "Throughput (parallel)",
+        format!(
+            "QueryEngine batch over shared index, by worker count ({} core(s) available)",
+            r.cores
+        ),
+        vec!["threads", "wall (s)", "queries/s", "avg latency (µs)", "speedup"],
+    );
+    for p in &r.sweep {
+        par.push_row(vec![
+            p.threads.to_string(),
+            format!("{:.3}", p.wall_s),
+            format!("{:.0}", p.queries_per_sec),
+            format!("{:.1}", p.avg_latency_us),
+            format!("{:.2}×", p.speedup),
+        ]);
+    }
+    out.push_str(&par.to_markdown());
+    out
+}
+
+/// Hand-rolled JSON (the workspace has no serde): stable field order,
+/// numbers via `format!` so the file diffs cleanly between runs.
+fn render_json(ctx: &ExperimentContext, r: &ThroughputReport) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"throughput\",\n");
+    s.push_str(&format!("  \"dataset\": \"{}\",\n", r.dataset));
+    s.push_str(&format!("  \"scale\": {},\n", ctx.scale));
+    s.push_str(&format!("  \"seed\": {},\n", ctx.seed));
+    s.push_str("  \"scheme\": \"NWC*\",\n");
+    s.push_str(&format!("  \"cores\": {},\n", r.cores));
+    s.push_str(&format!("  \"queries\": {},\n", r.queries));
+    s.push_str("  \"sequential\": {\n");
+    s.push_str(&format!("    \"cold_wall_s\": {:.6},\n", r.cold_s));
+    s.push_str(&format!("    \"warm_wall_s\": {:.6},\n", r.warm_s));
+    s.push_str(&format!(
+        "    \"warm_speedup\": {:.4}\n  }},\n",
+        if r.warm_s > 0.0 { r.cold_s / r.warm_s } else { 1.0 }
+    ));
+    s.push_str("  \"sweep\": [\n");
+    for (i, p) in r.sweep.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"threads\": {}, \"wall_s\": {:.6}, \"queries_per_sec\": {:.2}, \"avg_latency_us\": {:.2}, \"speedup\": {:.4}}}{}\n",
+            p.threads,
+            p.wall_s,
+            p.queries_per_sec,
+            p.avg_latency_us,
+            p.speedup,
+            if i + 1 == r.sweep.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_counts_ascend_and_start_at_one() {
+        let c = thread_counts();
+        assert_eq!(c[0], 1);
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn measure_smoke_and_json_shape() {
+        let ctx = ExperimentContext::tiny();
+        let r = measure(&ctx);
+        assert_eq!(r.queries, ctx.queries * 3);
+        assert!(r.cold_s > 0.0 && r.warm_s > 0.0);
+        assert!(!r.sweep.is_empty());
+        assert_eq!(r.sweep[0].threads, 1);
+        let json = render_json(&ctx, &r);
+        assert!(json.contains("\"experiment\": \"throughput\""));
+        assert!(json.contains("\"queries_per_sec\""));
+        // Crude balance check so the hand-rolled JSON stays well-formed.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let md = render_markdown(&r);
+        assert!(md.contains("QueryEngine"));
+    }
+}

@@ -13,6 +13,7 @@ use crate::index::NwcIndex;
 use crate::query::NwcQuery;
 use crate::result::{NwcResult, SearchStats};
 use crate::scheme::Scheme;
+use crate::scratch::QueryScratch;
 use nwc_geom::window::{
     extended_mbr, node_window_lower_bound, reduced_search_region, search_region,
 };
@@ -34,16 +35,40 @@ impl NwcIndex {
         self.nwc_full(query, scheme).0
     }
 
+    /// As [`NwcIndex::nwc`], reusing the buffers of `scratch` so a warm
+    /// query performs no per-node or per-visited-object heap allocation
+    /// (see [`QueryScratch`]). Results and I/O counts are identical to
+    /// [`NwcIndex::nwc`].
+    pub fn nwc_with(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+        scratch: &mut QueryScratch,
+    ) -> Option<NwcResult> {
+        self.nwc_full_with(query, scheme, scratch).0
+    }
+
     /// As [`NwcIndex::nwc`], also returning the search statistics even
     /// when the query has no answer (the experiments need the I/O cost
     /// of fruitless searches — e.g. Figure 12's smallest windows on the
     /// Gaussian dataset).
     pub fn nwc_full(&self, query: &NwcQuery, scheme: Scheme) -> (Option<NwcResult>, SearchStats) {
+        self.nwc_full_with(query, scheme, &mut QueryScratch::default())
+    }
+
+    /// As [`NwcIndex::nwc_full`] with scratch reuse (see
+    /// [`NwcIndex::nwc_with`]).
+    pub fn nwc_full_with(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+        scratch: &mut QueryScratch,
+    ) -> (Option<NwcResult>, SearchStats) {
         let mut sink = BestSink {
             dist_best: f64::INFINITY,
             best: None,
         };
-        let stats = self.run_search(query, scheme, &mut sink);
+        let stats = self.run_search_with(query, scheme, &mut sink, scratch);
         let result = sink.best.map(|(objects, window)| NwcResult {
             objects,
             distance: sink.dist_best,
@@ -59,6 +84,20 @@ impl NwcIndex {
         query: &NwcQuery,
         scheme: Scheme,
         sink: &mut S,
+    ) -> SearchStats {
+        self.run_search_with(query, scheme, sink, &mut QueryScratch::default())
+    }
+
+    /// [`NwcIndex::run_search`] with caller-provided working memory: the
+    /// frontier heap, neighbor buffer and distance ranking all come from
+    /// `scratch`, so the loop itself stays allocation-free once the
+    /// buffers are warm.
+    pub(crate) fn run_search_with<S: GroupSink>(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+        sink: &mut S,
+        scratch: &mut QueryScratch,
     ) -> SearchStats {
         let grid = if scheme.needs_grid() {
             Some(self.grid().unwrap_or_else(|| {
@@ -82,8 +121,8 @@ impl NwcIndex {
         let spec = query.spec;
         let n = query.n;
 
-        let mut browser = tree.browse(q);
-        let mut neighbors: Vec<Entry> = Vec::new();
+        let mut browser = tree.browse_with(q, &mut scratch.browser);
+        let neighbors = &mut scratch.neighbors;
         while let Some(item) = browser.next() {
             match item {
                 BrowseItem::Node { id, mbr, .. } => {
@@ -126,8 +165,8 @@ impl NwcIndex {
                     neighbors.clear();
                     let snap = io.snapshot();
                     match iwp {
-                        Some(iwp) => iwp.window_query_into(tree, leaf, &sr, &mut neighbors),
-                        None => tree.window_query_into(&sr, &mut neighbors),
+                        Some(iwp) => iwp.window_query_into(tree, leaf, &sr, neighbors),
+                        None => tree.window_query_into(&sr, neighbors),
                     }
                     stats.io_window_queries += io.since(snap);
                     scan_candidates(
@@ -137,13 +176,15 @@ impl NwcIndex {
                         query.measure,
                         &entry,
                         quad,
-                        &mut neighbors,
+                        neighbors,
+                        &mut scratch.by_dist,
                         sink,
                         &mut stats,
                     );
                 }
             }
         }
+        browser.recycle(&mut scratch.browser);
         // Attributed accounting: the tree counter is shared across
         // concurrent queries, so the query's own total is the sum of its
         // attributed phases, not a raw counter diff.

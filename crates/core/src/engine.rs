@@ -1,0 +1,240 @@
+//! Parallel batch query engine.
+//!
+//! An [`NwcIndex`] is immutable during querying and internally `Sync`
+//! (the tree's I/O counters are relaxed atomics), so any number of
+//! threads can answer queries over one shared index concurrently. The
+//! [`QueryEngine`] packages that: it fans a batch of NWC or kNWC
+//! queries out to scoped worker threads, each owning one
+//! [`QueryScratch`] so every worker runs the zero-allocation warm path,
+//! and returns results in input order.
+//!
+//! Work distribution is a single atomic cursor the workers pop from
+//! (work stealing degenerates to this when tasks come from one queue):
+//! expensive queries don't stall the batch behind a static partition.
+//! Built entirely on `std::thread::scope` — no extra dependencies, no
+//! `unsafe`.
+//!
+//! # Example
+//!
+//! ```
+//! use nwc_core::{engine::QueryEngine, NwcIndex, NwcQuery, Scheme, WindowSpec};
+//! use nwc_geom::pt;
+//!
+//! let pts: Vec<_> = (0..400)
+//!     .map(|i| pt(((i * 37) % 101) as f64, ((i * 61) % 97) as f64))
+//!     .collect();
+//! let index = NwcIndex::build(pts);
+//! let queries: Vec<_> = (0..8)
+//!     .map(|i| NwcQuery::new(pt(i as f64 * 10.0, 50.0), WindowSpec::square(12.0), 4))
+//!     .collect();
+//!
+//! let engine = QueryEngine::new(&index).with_threads(2);
+//! let results = engine.nwc_batch(&queries, Scheme::NWC_STAR);
+//! assert_eq!(results.len(), queries.len());
+//! ```
+
+use crate::index::NwcIndex;
+use crate::knwc::KnwcResult;
+use crate::query::{KnwcQuery, NwcQuery};
+use crate::result::{NwcResult, SearchStats};
+use crate::scheme::Scheme;
+use crate::scratch::QueryScratch;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Answers batches of NWC/kNWC queries over one shared index with a
+/// pool of scoped worker threads. See the module docs.
+#[derive(Clone, Copy)]
+pub struct QueryEngine<'i> {
+    index: &'i NwcIndex,
+    threads: usize,
+}
+
+impl<'i> QueryEngine<'i> {
+    /// An engine over `index` using one worker per available CPU
+    /// (falling back to 1 when parallelism cannot be determined).
+    pub fn new(index: &'i NwcIndex) -> Self {
+        let threads = thread::available_parallelism().map_or(1, |n| n.get());
+        QueryEngine { index, threads }
+    }
+
+    /// Sets the worker count. Zero is treated as one; a count above the
+    /// batch size spawns only as many workers as there are queries.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The index this engine queries.
+    pub fn index(&self) -> &'i NwcIndex {
+        self.index
+    }
+
+    /// Answers every NWC query in `queries` under `scheme`, returning
+    /// `(result, stats)` pairs in input order. Each pair is exactly what
+    /// [`NwcIndex::nwc_full`] returns for the same query — results and
+    /// attributed I/O counts are unaffected by batching, thread count,
+    /// or scratch reuse (asserted by `tests/engine_equivalence.rs`).
+    pub fn nwc_batch(
+        &self,
+        queries: &[NwcQuery],
+        scheme: Scheme,
+    ) -> Vec<(Option<NwcResult>, SearchStats)> {
+        let index = self.index;
+        self.run_batch(queries, move |q, scratch| {
+            index.nwc_full_with(q, scheme, scratch)
+        })
+    }
+
+    /// Answers every kNWC query in `queries` under `scheme`, returning
+    /// results in input order (each what [`NwcIndex::knwc`] returns).
+    pub fn knwc_batch(&self, queries: &[KnwcQuery], scheme: Scheme) -> Vec<KnwcResult> {
+        let index = self.index;
+        self.run_batch(queries, move |q, scratch| index.knwc_with(q, scheme, scratch))
+    }
+
+    /// Shared batch driver: an atomic cursor hands out query indices,
+    /// each worker owns one warm [`QueryScratch`], and per-worker
+    /// `(index, result)` pairs are merged back into input order.
+    fn run_batch<Q, R, F>(&self, queries: &[Q], run: F) -> Vec<R>
+    where
+        Q: Sync,
+        R: Send,
+        F: Fn(&Q, &mut QueryScratch) -> R + Sync,
+    {
+        let workers = self.threads.min(queries.len());
+        if workers <= 1 {
+            // Sequential fast path: still one warm scratch for the batch.
+            let mut scratch = QueryScratch::new();
+            return queries.iter().map(|q| run(q, &mut scratch)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut merged: Vec<(usize, R)> = Vec::with_capacity(queries.len());
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut scratch = QueryScratch::new();
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(query) = queries.get(i) else { break };
+                            out.push((i, run(query, &mut scratch)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                merged.extend(h.join().expect("query worker panicked"));
+            }
+        });
+        merged.sort_unstable_by_key(|&(i, _)| i);
+        merged.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WindowSpec;
+    use nwc_geom::pt;
+
+    fn world() -> NwcIndex {
+        let pts: Vec<_> = (0..600)
+            .map(|i| pt(((i * 37) % 211) as f64, ((i * 53) % 197) as f64))
+            .collect();
+        NwcIndex::build(pts)
+    }
+
+    fn queries() -> Vec<NwcQuery> {
+        (0..12)
+            .map(|i| {
+                NwcQuery::new(
+                    pt((i * 17 % 200) as f64, (i * 29 % 190) as f64),
+                    WindowSpec::square(14.0),
+                    5,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_api() {
+        let idx = world();
+        let qs = queries();
+        let engine = QueryEngine::new(&idx).with_threads(4);
+        let batch = engine.nwc_batch(&qs, Scheme::NWC_STAR);
+        assert_eq!(batch.len(), qs.len());
+        for (q, (got, stats)) in qs.iter().zip(&batch) {
+            let (want, want_stats) = idx.nwc_full(q, Scheme::NWC_STAR);
+            assert_eq!(*stats, want_stats);
+            match (got, &want) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.ids(), b.ids());
+                    assert!((a.distance - b.distance).abs() < 1e-12);
+                }
+                _ => panic!("batch/sequential disagreement"),
+            }
+        }
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let idx = world();
+        let qs = queries();
+        let one = QueryEngine::new(&idx).with_threads(1).nwc_batch(&qs, Scheme::NWC_PLUS);
+        let four = QueryEngine::new(&idx).with_threads(4).nwc_batch(&qs, Scheme::NWC_PLUS);
+        for ((a, sa), (b, sb)) in one.iter().zip(&four) {
+            assert_eq!(sa, sb);
+            assert_eq!(a.as_ref().map(|r| r.ids()), b.as_ref().map(|r| r.ids()));
+        }
+    }
+
+    #[test]
+    fn knwc_batch_matches_sequential() {
+        let idx = world();
+        let qs: Vec<KnwcQuery> = (0..6)
+            .map(|i| {
+                KnwcQuery::new(
+                    pt((i * 31 % 180) as f64, (i * 41 % 180) as f64),
+                    WindowSpec::square(16.0),
+                    3,
+                    4,
+                    1,
+                )
+            })
+            .collect();
+        let batch = QueryEngine::new(&idx).with_threads(3).knwc_batch(&qs, Scheme::NWC_STAR);
+        for (q, got) in qs.iter().zip(&batch) {
+            let want = idx.knwc(q, Scheme::NWC_STAR);
+            assert_eq!(got.stats, want.stats);
+            assert_eq!(got.groups.len(), want.groups.len());
+            for (a, b) in got.groups.iter().zip(&want.groups) {
+                assert_eq!(a.id_set(), b.id_set());
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_queries() {
+        let idx = world();
+        let qs = queries()[..2].to_vec();
+        let r = QueryEngine::new(&idx).with_threads(64).nwc_batch(&qs, Scheme::NWC);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let idx = world();
+        let r = QueryEngine::new(&idx).nwc_batch(&[], Scheme::NWC_STAR);
+        assert!(r.is_empty());
+    }
+}

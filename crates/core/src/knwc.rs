@@ -32,6 +32,7 @@ use crate::candidates::GroupSink;
 use crate::index::NwcIndex;
 use crate::query::KnwcQuery;
 use crate::result::SearchStats;
+use crate::scratch::QueryScratch;
 use nwc_geom::Rect;
 use nwc_rtree::{Entry, ObjectId};
 
@@ -71,7 +72,20 @@ impl NwcIndex {
     /// paper's experiments use `kNWC+` (= `Scheme::NWC_PLUS`) and `kNWC*`
     /// (= `Scheme::NWC_STAR`).
     pub fn knwc(&self, query: &KnwcQuery, scheme: crate::Scheme) -> KnwcResult {
-        self.knwc_impl(query, scheme, true)
+        self.knwc_impl(query, scheme, true, &mut QueryScratch::default())
+    }
+
+    /// As [`NwcIndex::knwc`], reusing the buffers of `scratch` so a warm
+    /// query's traversal performs no per-node or per-visited-object heap
+    /// allocation (see [`QueryScratch`]). Results and I/O counts are
+    /// identical to [`NwcIndex::knwc`].
+    pub fn knwc_with(
+        &self,
+        query: &KnwcQuery,
+        scheme: crate::Scheme,
+        scratch: &mut QueryScratch,
+    ) -> KnwcResult {
+        self.knwc_impl(query, scheme, true, scratch)
     }
 
     /// As [`NwcIndex::knwc`] but with distance pruning disabled: every
@@ -81,7 +95,7 @@ impl NwcIndex {
     /// DEP/IWP still apply if the scheme enables them — they never drop
     /// qualified windows.
     pub fn knwc_exact(&self, query: &KnwcQuery, scheme: crate::Scheme) -> KnwcResult {
-        self.knwc_impl(query, scheme, false)
+        self.knwc_impl(query, scheme, false, &mut QueryScratch::default())
     }
 
     /// Answers a kNWC query with the paper's §3.4 Steps 1–5 implemented
@@ -111,15 +125,25 @@ impl NwcIndex {
         }
     }
 
-    fn knwc_impl(&self, query: &KnwcQuery, scheme: crate::Scheme, prune: bool) -> KnwcResult {
+    fn knwc_impl(
+        &self,
+        query: &KnwcQuery,
+        scheme: crate::Scheme,
+        prune: bool,
+        scratch: &mut QueryScratch,
+    ) -> KnwcResult {
+        // The sink borrows the scratch's id buffer for its set-identity
+        // checks; the traversal buffers stay with the scratch. Returned
+        // below so the capacity survives into the next query.
         let mut sink = GroupsSink {
             k: query.k,
             m: query.m,
             prune,
             buffer: Vec::new(),
             selected: Vec::new(),
+            idbuf: std::mem::take(&mut scratch.ids),
         };
-        let stats = self.run_search(&query.base, scheme, &mut sink);
+        let stats = self.run_search_with(&query.base, scheme, &mut sink, scratch);
         let groups = sink
             .selected
             .iter()
@@ -132,6 +156,8 @@ impl NwcIndex {
                 }
             })
             .collect();
+        sink.idbuf.clear();
+        scratch.ids = sink.idbuf;
         KnwcResult { groups, stats }
     }
 }
@@ -152,6 +178,9 @@ struct GroupsSink {
     buffer: Vec<StoredGroup>,
     /// Indices into `buffer` forming the current greedy selection.
     selected: Vec<usize>,
+    /// Reused sorted-id buffer: duplicate offers (the common case near a
+    /// hot window) are rejected without allocating.
+    idbuf: Vec<ObjectId>,
 }
 
 impl GroupsSink {
@@ -193,20 +222,23 @@ impl GroupSink for GroupsSink {
         if self.prune && self.selected.len() == self.k && score >= self.threshold() {
             return;
         }
-        let mut ids: Vec<ObjectId> = group.iter().map(|e| e.id).collect();
-        ids.sort_unstable();
+        // Build the sorted id set in the reused buffer; only clone it
+        // into owned storage when the group is actually kept.
+        self.idbuf.clear();
+        self.idbuf.extend(group.iter().map(|e| e.id));
+        self.idbuf.sort_unstable();
         // Deduplicate by set identity (same place rediscovered through a
         // shifted window scores identically).
         let pos = self
             .buffer
-            .partition_point(|g| (g.score, &g.ids) < (score, &ids));
-        if self.buffer.get(pos).is_some_and(|g| g.ids == ids) {
+            .partition_point(|g| (g.score, &g.ids) < (score, &self.idbuf));
+        if self.buffer.get(pos).is_some_and(|g| g.ids == self.idbuf) {
             return;
         }
         self.buffer.insert(
             pos,
             StoredGroup {
-                ids,
+                ids: self.idbuf.clone(),
                 entries: group,
                 score,
                 window,

@@ -48,6 +48,7 @@
 mod algo;
 mod candidates;
 mod constrained;
+pub mod engine;
 mod index;
 mod knwc;
 pub mod maxrs;
@@ -56,14 +57,17 @@ pub mod oracle;
 mod query;
 mod result;
 mod scheme;
+mod scratch;
 pub mod weighted;
 
+pub use engine::QueryEngine;
 pub use index::{IndexConfig, NwcIndex};
 pub use knwc::{KnwcGroup, KnwcResult};
 pub use measure::DistanceMeasure;
 pub use query::{KnwcQuery, NwcQuery, QueryError};
 pub use result::{NwcResult, SearchStats};
 pub use scheme::Scheme;
+pub use scratch::QueryScratch;
 
 // Re-export the vocabulary types callers need to use the API.
 pub use nwc_geom::{window::WindowSpec, Point, Rect};

@@ -1,0 +1,323 @@
+//! A self-contained, offline stand-in for the `criterion` crate.
+//!
+//! The crates-io registry is unreachable in this repository's build
+//! environment (see README § Offline builds), so the workspace vendors
+//! the subset of criterion's API its benches use: `Criterion` with the
+//! builder knobs, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: per benchmark, the closure is
+//! warmed up for `warm_up_time`, then timed in batches until
+//! `measurement_time` elapses; the mean, minimum and iteration count
+//! are printed as one line per benchmark. There is no statistical
+//! resampling, plotting, or baseline persistence — this harness exists
+//! so `cargo bench` runs offline and still yields comparable wall-clock
+//! numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement markers (`criterion::measurement`). Only wall-clock time
+/// is supported.
+pub mod measurement {
+    /// Wall-clock time measurement (the default).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct WallTime;
+}
+
+/// Top-level benchmark harness handle.
+#[derive(Clone, Debug)]
+pub struct Criterion<M = measurement::WallTime> {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+            _measurement: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<M> Criterion<M> {
+    /// No-op: the shim never produces plots.
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// No-op: the shim does not bootstrap-resample.
+    pub fn nresamples(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent running the closure before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_, M> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let label = id.into().label;
+        run_benchmark(&label, self.sample_size, self.warm_up_time, self.measurement_time, f);
+        self
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a, M> {
+    criterion: &'a mut Criterion<M>,
+    name: String,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(
+            &label,
+            self.criterion.sample_size,
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (drop would do the same; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's two-part id.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iterations` times.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: F,
+) {
+    // Warm-up: run single iterations until the warm-up budget is spent,
+    // and estimate the per-iteration cost from them.
+    let mut one = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut warm_spent = Duration::ZERO;
+    while warm_start.elapsed() < warm_up || warm_iters == 0 {
+        f(&mut one);
+        warm_spent += one.elapsed;
+        warm_iters += 1;
+        if warm_iters >= 1_000_000 {
+            break;
+        }
+    }
+    let est = (warm_spent / u32::try_from(warm_iters).unwrap_or(u32::MAX)).max(Duration::from_nanos(1));
+
+    // Measurement: `sample_size` batches sized to fill the budget.
+    let per_sample = measurement / u32::try_from(sample_size).unwrap_or(u32::MAX);
+    let iters_per_sample = (per_sample.as_nanos() / est.as_nanos()).clamp(1, 1_000_000) as u64;
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    let mut iterations = 0u64;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iterations: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        best = best.min(b.elapsed / u32::try_from(iters_per_sample).unwrap_or(u32::MAX));
+        iterations += b.iterations;
+    }
+    let mean = if iterations > 0 {
+        total / u32::try_from(iterations).unwrap_or(u32::MAX)
+    } else {
+        Duration::ZERO
+    };
+    println!(
+        "{label:<60} mean {:>12} min {:>12} ({iterations} iters)",
+        format_duration(mean),
+        format_duration(best),
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_prints() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        {
+            let mut g = c.benchmark_group("smoke");
+            g.bench_function("incr", |b| b.iter(|| count += 1));
+            g.bench_with_input(BenchmarkId::new("with", 7), &7u64, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            g.finish();
+        }
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("a", 3).label, "a/3");
+        assert_eq!(BenchmarkId::from_parameter(25).label, "25");
+        assert_eq!(BenchmarkId::from("x").label, "x");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(format_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(format_duration(Duration::from_millis(12)).contains("ms"));
+        assert!(format_duration(Duration::from_secs(2)).contains(" s"));
+    }
+}

@@ -1,0 +1,559 @@
+//! A self-contained, offline stand-in for the `proptest` crate.
+//!
+//! The crates-io registry is unreachable in this repository's build
+//! environment (see README § Offline builds), so the workspace vendors
+//! the *subset* of proptest's API its test suites use: strategies built
+//! from ranges, tuples, `prop_map`/`prop_flat_map`, `Just`,
+//! `collection::vec`, `any::<bool>()`, `any::<sample::Index>()`, the
+//! `proptest!` macro with `#![proptest_config(...)]`, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways:
+//!
+//! - **No shrinking.** A failing case panics with its case number and
+//!   master seed; cases are fully deterministic (seeded by test name,
+//!   overridable via `PROPTEST_SEED`), so a failure reproduces exactly.
+//! - **Fixed case counts.** `ProptestConfig::with_cases(n)` runs `n`
+//!   accepted cases; `prop_assume!` rejections retry (bounded) instead
+//!   of shrinking the search space. `PROPTEST_CASES` caps the count for
+//!   quick smoke runs.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic RNG behind all strategies (SplitMix64 — the same
+/// generator `nwc-datagen` uses, duplicated here so the shim stays
+/// dependency-free).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Modulo bias is irrelevant at test-strategy ranges (« 2^64).
+        self.next_u64() % n
+    }
+}
+
+/// A value generator. The shim's `Strategy` produces values directly —
+/// there is no shrink tree.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns
+    /// for it (dependent strategies).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi - lo) as u64 + 1;
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // The closed upper endpoint is hit with probability ~2^-53;
+        // boundary coverage comes from the range interior anyway.
+        self.start() + (self.end() - self.start()) * rng.next_f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Types with a canonical random generator, usable via [`any`].
+pub trait Arbitrary {
+    /// Draws one value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for any [`Arbitrary`] type.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The canonical strategy for `T` (shim equivalent of
+/// `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive size bound for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Generates `Vec`s of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop` namespace re-exported by the prelude (`prop::sample::…`).
+pub mod prop {
+    /// Sampling helpers (`prop::sample`).
+    pub mod sample {
+        use super::super::{Arbitrary, TestRng};
+
+        /// An index into a collection whose length is unknown at
+        /// generation time: stores a fraction and resolves against the
+        /// actual length via [`Index::index`].
+        #[derive(Clone, Copy, Debug)]
+        pub struct Index {
+            fraction: f64,
+        }
+
+        impl Index {
+            /// Resolves against a collection of `len` elements.
+            ///
+            /// # Panics
+            ///
+            /// Panics when `len` is zero, like the real proptest.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "cannot index an empty collection");
+                ((self.fraction * len as f64) as usize).min(len - 1)
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                Index {
+                    fraction: rng.next_f64(),
+                }
+            }
+        }
+    }
+}
+
+/// Per-test configuration (`with_cases` is the only knob the workspace
+/// uses).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Support types used by the expansion of [`proptest!`].
+pub mod test_runner {
+    use super::{ProptestConfig, TestRng};
+
+    /// Outcome of one generated case.
+    pub enum CaseResult {
+        /// The case ran to completion.
+        Ok,
+        /// A `prop_assume!` rejected the inputs; retry with new ones.
+        Reject,
+    }
+
+    /// Drives the deterministic case loop for one `proptest!` test.
+    pub struct TestRunner {
+        cases: u32,
+        seed: u64,
+        master: TestRng,
+    }
+
+    impl TestRunner {
+        /// Seeds from the test name (stable across runs and platforms),
+        /// `PROPTEST_SEED` overriding, `PROPTEST_CASES` capping.
+        pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    // FNV-1a over the test name.
+                    test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+                    })
+                });
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .map_or(config.cases, |cap: u32| config.cases.min(cap));
+            TestRunner {
+                cases,
+                seed,
+                master: TestRng::new(seed),
+            }
+        }
+
+        /// Number of accepted cases to aim for.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// The master seed (for failure reports).
+        pub fn seed(&self) -> u64 {
+            self.seed
+        }
+
+        /// An independent RNG for the next case.
+        pub fn next_rng(&mut self) -> TestRng {
+            TestRng::new(self.master.next_u64())
+        }
+    }
+}
+
+/// Defines `#[test]` functions over generated inputs. Supports the
+/// real-proptest form used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn my_property(x in 0u32..100, (a, b) in pair_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(config, stringify!($name));
+            let mut accepted = 0u32;
+            let mut attempts = 0u32;
+            let max_attempts = runner.cases().saturating_mul(20).max(20);
+            while accepted < runner.cases() && attempts < max_attempts {
+                attempts += 1;
+                let mut rng = runner.next_rng();
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let case = std::panic::AssertUnwindSafe(
+                    || -> $crate::test_runner::CaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        $crate::test_runner::CaseResult::Ok
+                    },
+                );
+                match std::panic::catch_unwind(case) {
+                    Ok($crate::test_runner::CaseResult::Ok) => accepted += 1,
+                    Ok($crate::test_runner::CaseResult::Reject) => {}
+                    Err(panic) => {
+                        eprintln!(
+                            "proptest shim: {} failed on attempt {} (master seed {})",
+                            stringify!($name),
+                            attempts,
+                            runner.seed(),
+                        );
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+            assert!(
+                accepted > 0,
+                "proptest shim: every generated input was rejected by prop_assume!"
+            );
+        }
+        $crate::__proptest_tests! { $cfg; $($rest)* }
+    };
+}
+
+/// Asserts inside a `proptest!` body (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Rejects the current generated case, drawing a fresh one.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::test_runner::CaseResult::Reject;
+        }
+    };
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::prop;
+    pub use crate::{any, Any, Arbitrary, Just, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (2.0f64..4.0).generate(&mut rng);
+            assert!((2.0..4.0).contains(&f));
+            let i = (5usize..=5).generate(&mut rng);
+            assert_eq!(i, 5);
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let v = collection::vec(0u32..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = (0u32..1000, 0.0f64..1.0);
+        let a: Vec<_> = {
+            let mut rng = TestRng::new(99);
+            (0..50).map(|_| s.generate(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = TestRng::new(99);
+            (0..50).map(|_| s.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_index_resolves() {
+        let mut rng = TestRng::new(3);
+        for len in [1usize, 2, 17, 1000] {
+            for _ in 0..100 {
+                let idx = any::<prop::sample::Index>().generate(&mut rng);
+                assert!(idx.index(len) < len);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_and_rejects(x in 0u32..100, (a, b) in (0u32..10, 0u32..10)) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x < 100);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -83,6 +83,35 @@ impl Ord for HeapItem {
     }
 }
 
+/// Reusable storage for a [`Browser`]'s priority queue.
+///
+/// A best-first search grows its frontier heap to hundreds of entries;
+/// allocating it anew per query dominates the allocation profile of
+/// query-heavy workloads. A `BrowserScratch` keeps the heap's backing
+/// buffer alive between searches: start each search with
+/// [`RStarTree::browse_with`] and return the storage afterwards with
+/// [`Browser::recycle`]. A warm scratch makes the whole traversal
+/// allocation-free (until the frontier outgrows its previous high-water
+/// mark). Forgetting to recycle only loses the retained capacity — it
+/// never affects correctness.
+#[derive(Default)]
+pub struct BrowserScratch {
+    heap: BinaryHeap<HeapItem>,
+}
+
+impl BrowserScratch {
+    /// An empty scratch. The first search through it allocates; later
+    /// ones reuse the grown buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Heap slots currently retained (diagnostics / tests).
+    pub fn heap_capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+}
+
 /// A best-first traversal cursor over an [`RStarTree`].
 pub struct Browser<'t> {
     tree: &'t RStarTree,
@@ -94,7 +123,16 @@ impl<'t> Browser<'t> {
     /// Starts a traversal from the root. The root node itself is the
     /// first item popped (unless the tree is empty).
     pub fn new(tree: &'t RStarTree, query: Point) -> Self {
-        let mut heap = BinaryHeap::new();
+        Self::new_with(tree, query, &mut BrowserScratch::default())
+    }
+
+    /// As [`Browser::new`], but the frontier heap takes its backing
+    /// buffer from `scratch` instead of allocating. The scratch is left
+    /// empty; hand the storage back with [`Browser::recycle`] when the
+    /// search is over.
+    pub fn new_with(tree: &'t RStarTree, query: Point, scratch: &mut BrowserScratch) -> Self {
+        let mut heap = std::mem::take(&mut scratch.heap);
+        heap.clear();
         if !tree.is_empty() {
             let root = tree.root();
             heap.push(HeapItem {
@@ -109,6 +147,13 @@ impl<'t> Browser<'t> {
             });
         }
         Browser { tree, query, heap }
+    }
+
+    /// Ends the traversal and returns the heap's storage to `scratch`
+    /// for the next search.
+    pub fn recycle(mut self, scratch: &mut BrowserScratch) {
+        self.heap.clear();
+        scratch.heap = self.heap;
     }
 
     /// The query point this browser orders by.
@@ -183,6 +228,12 @@ impl RStarTree {
     /// Starts a best-first traversal ordered by distance from `query`.
     pub fn browse(&self, query: Point) -> Browser<'_> {
         Browser::new(self, query)
+    }
+
+    /// As [`RStarTree::browse`], reusing the heap storage held by
+    /// `scratch` (see [`BrowserScratch`]).
+    pub fn browse_with(&self, query: Point, scratch: &mut BrowserScratch) -> Browser<'_> {
+        Browser::new_with(self, query, scratch)
     }
 
     /// The `k` nearest entries to `query` in ascending distance order
@@ -279,6 +330,32 @@ mod tests {
             }
         }
         assert_eq!(t.stats().node_reads(), 1);
+    }
+
+    #[test]
+    fn scratch_reuse_keeps_results_and_capacity() {
+        let (t, _) = sample();
+        let q = pt(40.0, 40.0);
+        let plain: Vec<(f64, u32)> = t.browse(q).objects().map(|(d, e)| (d, e.id)).collect();
+
+        let mut scratch = BrowserScratch::new();
+        for _ in 0..3 {
+            let mut got = Vec::new();
+            let mut b = t.browse_with(q, &mut scratch);
+            loop {
+                match b.next() {
+                    Some(BrowseItem::Node { id, .. }) => b.expand(id),
+                    Some(BrowseItem::Object { entry, dist, .. }) => got.push((dist, entry.id)),
+                    None => break,
+                }
+            }
+            b.recycle(&mut scratch);
+            assert_eq!(got.len(), plain.len());
+            let gd: Vec<f64> = got.iter().map(|&(d, _)| d).collect();
+            let pd: Vec<f64> = plain.iter().map(|&(d, _)| d).collect();
+            assert_eq!(gd, pd);
+            assert!(scratch.heap_capacity() > 0, "storage must be recycled");
+        }
     }
 
     #[test]

@@ -54,7 +54,7 @@ mod stats;
 mod tree;
 pub mod validate;
 
-pub use browser::{BrowseItem, Browser};
+pub use browser::{BrowseItem, Browser, BrowserScratch};
 pub use entry::{Entry, ObjectId};
 pub use iwp::{IwpIndex, IwpStorage};
 pub use node::NodeId;

@@ -30,21 +30,22 @@ impl RStarTree {
     /// The starting node is visited (and charged) even when its MBR
     /// does not intersect `rect`, mirroring a page read that turns out
     /// empty.
+    ///
+    /// Recursive descent instead of an explicit stack: window queries
+    /// run once per visited object on the NWC hot path, and a per-call
+    /// stack allocation there would dominate the allocation profile.
+    /// The tree is shallow (fan-out ≥ 25), so recursion depth is tiny.
     pub fn window_query_from_into(&self, start: NodeId, rect: &Rect, out: &mut Vec<Entry>) {
-        let mut stack = vec![start];
-        while let Some(id) = stack.pop() {
-            let node = self.read_node(id);
-            match &node.kind {
-                NodeKind::Leaf(entries) => {
-                    out.extend(entries.iter().filter(|e| rect.contains_point(&e.point)));
-                }
-                NodeKind::Internal(children) => {
-                    stack.extend(
-                        children
-                            .iter()
-                            .copied()
-                            .filter(|&c| self.node(c).mbr.intersects(rect)),
-                    );
+        let node = self.read_node(start);
+        match &node.kind {
+            NodeKind::Leaf(entries) => {
+                out.extend(entries.iter().filter(|e| rect.contains_point(&e.point)));
+            }
+            NodeKind::Internal(children) => {
+                for &c in children {
+                    if self.node(c).mbr.intersects(rect) {
+                        self.window_query_from_into(c, rect, out);
+                    }
                 }
             }
         }
@@ -56,30 +57,42 @@ impl RStarTree {
         if self.is_empty() {
             return 0;
         }
-        let mut count = 0usize;
-        let mut stack = vec![self.root];
-        while let Some(id) = stack.pop() {
-            let node = self.read_node(id);
-            match &node.kind {
-                NodeKind::Leaf(entries) => {
-                    count += entries.iter().filter(|e| rect.contains_point(&e.point)).count();
-                }
-                NodeKind::Internal(children) => {
-                    stack.extend(
-                        children
-                            .iter()
-                            .copied()
-                            .filter(|&c| self.node(c).mbr.intersects(rect)),
-                    );
-                }
-            }
+        self.window_count_under(self.root, rect)
+    }
+
+    fn window_count_under(&self, id: NodeId, rect: &Rect) -> usize {
+        let node = self.read_node(id);
+        match &node.kind {
+            NodeKind::Leaf(entries) => entries
+                .iter()
+                .filter(|e| rect.contains_point(&e.point))
+                .count(),
+            NodeKind::Internal(children) => children
+                .iter()
+                .filter(|&&c| self.node(c).mbr.intersects(rect))
+                .map(|&c| self.window_count_under(c, rect))
+                .sum(),
         }
-        count
     }
 
     /// Whether any stored entry has exactly this point (ids ignored).
+    ///
+    /// Early-exit traversal: descends only into subtrees whose MBR
+    /// contains `p`, stops at the first hit, and allocates nothing
+    /// (recursion instead of an explicit stack; the tree is shallow).
+    /// Only the nodes actually read are charged.
     pub fn contains_point(&self, p: &Point) -> bool {
-        !self.window_query(&Rect::from_point(*p)).is_empty()
+        !self.is_empty() && self.contains_point_under(self.root, p)
+    }
+
+    fn contains_point_under(&self, id: NodeId, p: &Point) -> bool {
+        let node = self.read_node(id);
+        match &node.kind {
+            NodeKind::Leaf(entries) => entries.iter().any(|e| e.point == *p),
+            NodeKind::Internal(children) => children
+                .iter()
+                .any(|&c| self.node(c).mbr.contains_point(p) && self.contains_point_under(c, p)),
+        }
     }
 }
 
@@ -164,5 +177,20 @@ mod tests {
         let (t, _) = sample_tree();
         assert!(t.contains_point(&pt(3.0, 3.0)));
         assert!(!t.contains_point(&pt(3.5, 3.0)));
+    }
+
+    #[test]
+    fn contains_point_costs_no_more_than_window_query() {
+        let (t, pts) = sample_tree();
+        for p in [pts[0], pts[123], pt(-5.0, 2.0), pt(9.25, 9.25)] {
+            t.stats().reset();
+            let hit = t.contains_point(&p);
+            let direct = t.stats().node_reads();
+            t.stats().reset();
+            let via_window = !t.window_query(&rect(p.x, p.y, p.x, p.y)).is_empty();
+            let window = t.stats().node_reads();
+            assert_eq!(hit, via_window, "{p:?}");
+            assert!(direct <= window, "{p:?}: {direct} > {window}");
+        }
     }
 }

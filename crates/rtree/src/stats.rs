@@ -8,15 +8,23 @@
 //! threads at once, so the counters are relaxed atomics (the counter is
 //! a tally, not a synchronization point).
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    /// The calling thread's running node-read tally, across all trees.
+    /// Never reset — only diffed via snapshot pairs.
+    static THREAD_READS: Cell<u64> = const { Cell::new(0) };
+}
 
 /// Per-tree I/O counters standing in for page reads.
 ///
-/// Counters only ever grow; callers attribute costs to phases by taking
-/// [`IoStats::snapshot`]s and diffing. [`IoStats::reset`] rewinds to zero
-/// between queries. When multiple threads query one tree concurrently
-/// the counter aggregates across them — use per-thread snapshot diffs
-/// only under external coordination.
+/// The per-tree total ([`IoStats::node_reads`]) is a relaxed atomic that
+/// aggregates across every thread querying the tree. Phase attribution
+/// ([`IoStats::snapshot`] / [`IoStats::since`]) instead diffs a
+/// *thread-local* tally, so a query attributing its own phases sees
+/// exactly the reads it issued — identical whether it runs alone or
+/// concurrently with other queries on the same tree.
 #[derive(Debug, Default)]
 pub struct IoStats {
     node_reads: AtomicU64,
@@ -32,6 +40,7 @@ impl IoStats {
     #[inline]
     pub fn record_node_read(&self) {
         self.node_reads.fetch_add(1, Ordering::Relaxed);
+        THREAD_READS.with(|c| c.set(c.get() + 1));
     }
 
     /// Total node accesses since construction or the last reset.
@@ -40,16 +49,19 @@ impl IoStats {
         self.node_reads.load(Ordering::Relaxed)
     }
 
-    /// Current counter value, for diff-based attribution.
+    /// Current value of the calling thread's read tally, for diff-based
+    /// phase attribution (pair with [`IoStats::since`] on this thread).
     #[inline]
     pub fn snapshot(&self) -> u64 {
-        self.node_reads.load(Ordering::Relaxed)
+        THREAD_READS.with(Cell::get)
     }
 
-    /// Node accesses since a previous [`IoStats::snapshot`].
+    /// Node accesses *by the calling thread* since a previous
+    /// [`IoStats::snapshot`] taken on this thread. Reads issued by other
+    /// threads never leak into the diff.
     #[inline]
     pub fn since(&self, snapshot: u64) -> u64 {
-        self.node_reads.load(Ordering::Relaxed) - snapshot
+        THREAD_READS.with(Cell::get) - snapshot
     }
 
     /// Rewinds all counters to zero.
@@ -75,6 +87,30 @@ mod tests {
         assert_eq!(s.since(snap), 1);
         s.reset();
         assert_eq!(s.node_reads(), 0);
+    }
+
+    #[test]
+    fn attribution_ignores_other_threads() {
+        use std::sync::{Arc, Barrier};
+        let s = Arc::new(IoStats::new());
+        let barrier = Arc::new(Barrier::new(2));
+        let (s2, b2) = (s.clone(), barrier.clone());
+        let noisy = std::thread::spawn(move || {
+            b2.wait();
+            for _ in 0..50_000 {
+                s2.record_node_read();
+            }
+        });
+        barrier.wait();
+        // While the other thread hammers the shared counter, this
+        // thread's snapshot diff must count only its own reads.
+        let snap = s.snapshot();
+        for _ in 0..1_000 {
+            s.record_node_read();
+        }
+        assert_eq!(s.since(snap), 1_000);
+        noisy.join().unwrap();
+        assert_eq!(s.node_reads(), 51_000);
     }
 
     #[test]

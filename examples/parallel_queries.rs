@@ -1,57 +1,57 @@
-//! Concurrent query throughput: one shared index, many query threads.
+//! Concurrent query throughput: one shared index, one `QueryEngine`.
 //!
 //! The index is immutable during querying and its I/O counters are
 //! relaxed atomics, so `NwcIndex` is `Sync` — a server can answer NWC
-//! requests from a thread pool over a single shared instance. This
-//! example verifies answer stability under concurrency and reports the
-//! aggregate throughput per thread count (speedup appears only on
+//! requests from a thread pool over a single shared instance. The
+//! [`QueryEngine`] packages that pattern: scoped workers pull queries
+//! from an atomic cursor, each reuses one [`QueryScratch`] (the
+//! zero-allocation warm path), and results come back in input order.
+//!
+//! This example verifies answer stability across thread counts and
+//! reports the aggregate throughput per count (speedup appears only on
 //! multi-core machines, of course).
 //!
 //! Run with: `cargo run --release --example parallel_queries`
 
 use nwc::prelude::*;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 fn main() {
     let city = Dataset::clustered(10_000, 25, 15.0, 70.0, 0.1, 7);
     let index = NwcIndex::build(city.points.clone());
-    let queries = Dataset::query_points(128, 99);
     let spec = WindowSpec::square(80.0);
+    let queries: Vec<NwcQuery> = Dataset::query_points(128, 99)
+        .into_iter()
+        .map(|q| NwcQuery::new(q, spec, 8))
+        .collect();
 
-    // Sanity: concurrent answers must equal sequential ones.
+    // Sequential reference through the plain (allocating) API.
     let reference: Vec<Option<u64>> = queries
         .iter()
-        .map(|&q| {
+        .map(|q| {
             index
-                .nwc(&NwcQuery::new(q, spec, 8), Scheme::NWC_STAR)
+                .nwc(q, Scheme::NWC_STAR)
                 .map(|r| (r.distance * 1e6) as u64)
         })
         .collect();
 
     let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
-    for threads in [1usize, 2, hw.min(8)] {
-        let next = AtomicUsize::new(0);
-        let mismatches = AtomicUsize::new(0);
+    let mut counts = vec![1usize, 2, hw.min(8)];
+    counts.sort_unstable();
+    counts.dedup();
+    for threads in counts {
+        let engine = QueryEngine::new(&index).with_threads(threads);
         let t0 = Instant::now();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= queries.len() {
-                        break;
-                    }
-                    let got = index
-                        .nwc(&NwcQuery::new(queries[i], spec, 8), Scheme::NWC_STAR)
-                        .map(|r| (r.distance * 1e6) as u64);
-                    if got != reference[i] {
-                        mismatches.fetch_add(1, Ordering::Relaxed);
-                    }
-                });
-            }
-        });
+        let batch = engine.nwc_batch(&queries, Scheme::NWC_STAR);
         let secs = t0.elapsed().as_secs_f64();
-        assert_eq!(mismatches.load(Ordering::Relaxed), 0, "answers diverged");
+
+        // Batch answers (and their attributed I/O counts) must be
+        // exactly what the sequential API produced.
+        for (i, (result, stats)) in batch.iter().enumerate() {
+            let got = result.as_ref().map(|r| (r.distance * 1e6) as u64);
+            assert_eq!(got, reference[i], "answer diverged at query {i}");
+            assert!(stats.io_total > 0, "missing I/O accounting at query {i}");
+        }
         println!(
             "{threads:>2} thread(s): {:>7.0} queries/s  ({} queries in {:.2}s)",
             queries.len() as f64 / secs,

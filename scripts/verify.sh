@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repo verification gate: tier-1 build+test, lint wall, throughput smoke.
+#
+#   scripts/verify.sh          # full gate (~a few minutes on 1 core)
+#   SKIP_SMOKE=1 scripts/verify.sh   # build+test+clippy only
+#
+# Everything runs offline; see README § Offline builds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "tier-1: cargo build --release"
+cargo build --release
+
+step "tier-1: cargo test -q"
+cargo test -q
+
+step "lint: cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
+  step "smoke: throughput experiment (tiny scale)"
+  NWC_SCALE=0.02 NWC_QUERIES=3 cargo run --release -p nwc-bench -- throughput
+  test -s results/BENCH_throughput.json
+  echo "ok: results/BENCH_throughput.json written"
+fi
+
+step "verify: all checks passed"

@@ -48,8 +48,8 @@ pub use nwc_rtree as rtree;
 pub mod prelude {
     pub use nwc_core::weighted::{WeightedNwcIndex, WeightedQuery};
     pub use nwc_core::{
-        DistanceMeasure, KnwcQuery, KnwcResult, NwcIndex, NwcQuery, NwcResult, Scheme,
-        SearchStats,
+        DistanceMeasure, KnwcQuery, KnwcResult, NwcIndex, NwcQuery, NwcResult, QueryEngine,
+        QueryScratch, Scheme, SearchStats,
     };
     pub use nwc_datagen::Dataset;
     pub use nwc_geom::{window::WindowSpec, Point, Rect};
