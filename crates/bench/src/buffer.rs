@@ -1,0 +1,255 @@
+//! Buffer-pool capacity sweep over the disk-backed index (not from the
+//! paper).
+//!
+//! The paper reports I/O as R\*-tree node accesses with no buffering.
+//! This experiment puts a real buffer pool between the queries and a
+//! saved page file ([`NwcIndex::open_disk`]) and sweeps its capacity
+//! across {1 %, 5 %, 10 %, 25 %, 100 %} of the file's pages, for every
+//! Table-3 scheme. Per sweep point it reports the pool hit rate, the
+//! physical page reads that remain, and per-query latency.
+//!
+//! Because the pool uses exact LRU (a stack algorithm) and each scheme's
+//! page reference string is deterministic, the hit rate is
+//! non-decreasing — and physical reads non-increasing — in capacity;
+//! the smoke test asserts exactly that. The logical I/O (`avg_io`) is
+//! capacity-invariant by construction: buffering changes what a node
+//! access *costs*, never which nodes an algorithm visits.
+//!
+//! Besides the markdown table, the run writes machine-readable
+//! `results/BENCH_buffer.json`.
+
+use crate::context::ExperimentContext;
+use crate::runner::build_index;
+use crate::table::Table;
+use nwc_core::{
+    DiskIndexConfig, NwcIndex, NwcQuery, QueryScratch, Scheme, SearchStats, WindowSpec,
+};
+use std::time::Instant;
+
+/// Pool capacities swept, as fractions of the page file's page count.
+pub const CAPACITY_FRACTIONS: [f64; 5] = [0.01, 0.05, 0.10, 0.25, 1.0];
+
+/// One (capacity, scheme) cell of the sweep.
+#[derive(Clone, Debug)]
+pub struct BufferPoint {
+    /// Pool capacity as a fraction of the file's pages.
+    pub capacity_frac: f64,
+    /// Pool capacity in pages (`ceil(frac × pages)`, at least 1).
+    pub capacity_pages: usize,
+    /// Table-3 scheme name.
+    pub scheme: String,
+    /// Buffer pool hits across the query batch (cold start).
+    pub hits: u64,
+    /// Physical page reads (pool misses) across the batch.
+    pub physical_reads: u64,
+    /// Frames evicted across the batch.
+    pub evictions: u64,
+    /// `hits / (hits + physical_reads)`.
+    pub hit_rate: f64,
+    /// Mean logical node accesses per query (capacity-invariant).
+    pub avg_io: f64,
+    /// Mean wall-clock latency per query, microseconds.
+    pub avg_latency_us: f64,
+}
+
+/// Everything the buffer experiment measured.
+#[derive(Clone, Debug)]
+pub struct BufferReport {
+    /// Dataset the page file was built from.
+    pub dataset: String,
+    /// Pages in the saved file.
+    pub pages: usize,
+    /// Queries per (capacity, scheme) cell.
+    pub queries: usize,
+    /// Sweep cells, capacity-major, scheme-minor (Table-3 order).
+    pub points: Vec<BufferPoint>,
+}
+
+/// Runs the experiment and renders the markdown table; also writes
+/// `results/BENCH_buffer.json` (errors writing the file are reported on
+/// stderr, not fatal — the measurement still prints).
+pub fn buffer(ctx: &ExperimentContext) -> String {
+    let report = measure(ctx);
+    let json = render_json(ctx, &report);
+    let path = "results/BENCH_buffer.json";
+    match std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &json)) {
+        Ok(()) => eprintln!("[buffer] wrote {path}"),
+        Err(e) => eprintln!("[buffer] could not write {path}: {e}"),
+    }
+    render_markdown(&report)
+}
+
+/// The measurement itself, separated from rendering for tests.
+pub fn measure(ctx: &ExperimentContext) -> BufferReport {
+    let ds = ctx.dataset("CA");
+    // Build in memory once, persist, and from here on query the file.
+    let arena = build_index(&ds);
+    let path = std::env::temp_dir().join(format!("nwc-buffer-{}.pages", std::process::id()));
+    arena
+        .save_tree(&path)
+        .unwrap_or_else(|e| panic!("saving page file: {e}"));
+    let pages = arena.tree().to_page_file().page_count();
+    drop(arena);
+
+    let query_points = ctx.query_points();
+    let spec = WindowSpec::square(200.0);
+    let n = 8;
+
+    let mut points = Vec::new();
+    for &frac in &CAPACITY_FRACTIONS {
+        let capacity = ((pages as f64 * frac).ceil() as usize).max(1);
+        let index = NwcIndex::open_disk(
+            &path,
+            DiskIndexConfig {
+                pool_capacity: Some(capacity),
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("opening page file: {e}"));
+        let storage = index.tree().storage().expect("open_disk is disk-backed");
+
+        for scheme in Scheme::TABLE3 {
+            // Each scheme measures from a cold buffer.
+            storage.reset();
+            let mut acc = SearchStats::default();
+            let mut scratch = QueryScratch::new();
+            let start = Instant::now();
+            for &q in &query_points {
+                let query = NwcQuery::new(q, spec, n);
+                let (_, stats) = index.nwc_full_with(&query, scheme, &mut scratch);
+                acc.accumulate(&stats);
+            }
+            let elapsed = start.elapsed();
+            let pool = storage.pool_stats();
+            points.push(BufferPoint {
+                capacity_frac: frac,
+                capacity_pages: capacity,
+                scheme: scheme.to_string(),
+                hits: pool.hits,
+                physical_reads: pool.misses,
+                evictions: pool.evictions,
+                hit_rate: pool.hit_rate(),
+                avg_io: acc.io_total as f64 / query_points.len() as f64,
+                avg_latency_us: elapsed.as_secs_f64() * 1e6 / query_points.len() as f64,
+            });
+        }
+    }
+    std::fs::remove_file(&path).ok();
+
+    BufferReport {
+        dataset: ds.name.clone(),
+        pages,
+        queries: query_points.len(),
+        points,
+    }
+}
+
+fn render_markdown(r: &BufferReport) -> String {
+    let mut t = Table::new(
+        "Buffer-pool sweep",
+        format!(
+            "{} page file ({} pages), cold LRU pool per cell, {} queries, w = 200 × 200, n = 8",
+            r.dataset, r.pages, r.queries
+        ),
+        vec![
+            "capacity",
+            "scheme",
+            "hit rate",
+            "physical reads",
+            "evictions",
+            "avg IO",
+            "avg latency (µs)",
+        ],
+    );
+    for p in &r.points {
+        t.push_row(vec![
+            format!("{:.0}% ({} pg)", p.capacity_frac * 100.0, p.capacity_pages),
+            p.scheme.clone(),
+            format!("{:.1}%", p.hit_rate * 100.0),
+            p.physical_reads.to_string(),
+            p.evictions.to_string(),
+            format!("{:.1}", p.avg_io),
+            format!("{:.1}", p.avg_latency_us),
+        ]);
+    }
+    t.to_markdown()
+}
+
+/// Hand-rolled JSON (the workspace has no serde): stable field order,
+/// numbers via `format!` so the file diffs cleanly between runs.
+fn render_json(ctx: &ExperimentContext, r: &BufferReport) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"buffer\",\n");
+    s.push_str(&format!("  \"dataset\": \"{}\",\n", r.dataset));
+    s.push_str(&format!("  \"scale\": {},\n", ctx.scale));
+    s.push_str(&format!("  \"seed\": {},\n", ctx.seed));
+    s.push_str(&format!("  \"pages\": {},\n", r.pages));
+    s.push_str(&format!("  \"queries\": {},\n", r.queries));
+    s.push_str("  \"sweep\": [\n");
+    for (i, p) in r.points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"capacity_frac\": {}, \"capacity_pages\": {}, \"scheme\": \"{}\", \
+             \"hits\": {}, \"physical_reads\": {}, \"evictions\": {}, \
+             \"hit_rate\": {:.4}, \"avg_io\": {:.2}, \"avg_latency_us\": {:.2}}}{}\n",
+            p.capacity_frac,
+            p.capacity_pages,
+            p.scheme,
+            p.hits,
+            p.physical_reads,
+            p.evictions,
+            p.hit_rate,
+            p.avg_io,
+            p.avg_latency_us,
+            if i + 1 == r.points.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_monotone_and_json_well_formed() {
+        let ctx = ExperimentContext::tiny();
+        let r = measure(&ctx);
+        assert_eq!(r.points.len(), CAPACITY_FRACTIONS.len() * Scheme::TABLE3.len());
+        // Per scheme: hit rate non-decreasing, physical reads
+        // non-increasing, logical I/O identical as capacity grows.
+        for scheme in Scheme::TABLE3 {
+            let name = scheme.to_string();
+            let cells: Vec<&BufferPoint> =
+                r.points.iter().filter(|p| p.scheme == name).collect();
+            assert_eq!(cells.len(), CAPACITY_FRACTIONS.len());
+            for w in cells.windows(2) {
+                assert!(
+                    w[1].hit_rate >= w[0].hit_rate - 1e-12,
+                    "{name}: hit rate fell from {} to {} (caps {} -> {})",
+                    w[0].hit_rate,
+                    w[1].hit_rate,
+                    w[0].capacity_pages,
+                    w[1].capacity_pages
+                );
+                assert!(
+                    w[1].physical_reads <= w[0].physical_reads,
+                    "{name}: physical reads rose from {} to {}",
+                    w[0].physical_reads,
+                    w[1].physical_reads
+                );
+                assert_eq!(w[0].avg_io, w[1].avg_io, "{name}: logical I/O not invariant");
+            }
+            // The full-size pool never evicts and hits on every re-access.
+            let full = cells.last().unwrap();
+            assert_eq!(full.evictions, 0);
+            assert!(full.physical_reads as usize <= r.pages);
+        }
+        let json = render_json(&ctx, &r);
+        assert!(json.contains("\"experiment\": \"buffer\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let md = render_markdown(&r);
+        assert!(md.contains("Buffer-pool sweep"));
+    }
+}

@@ -11,6 +11,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod buffer;
 pub mod context;
 pub mod figures;
 pub mod runner;

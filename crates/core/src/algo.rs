@@ -117,6 +117,7 @@ impl NwcIndex {
         let tree = self.tree();
         let io = tree.stats();
         let mut stats = SearchStats::default();
+        let hits0 = io.hits_snapshot();
         let q = query.q;
         let spec = query.spec;
         let n = query.n;
@@ -189,6 +190,9 @@ impl NwcIndex {
         // concurrent queries, so the query's own total is the sum of its
         // attributed phases, not a raw counter diff.
         stats.io_total = stats.io_traversal + stats.io_window_queries;
+        // On a disk-backed tree some of those accesses were buffer hits
+        // (no physical I/O); on an arena tree this is always 0.
+        stats.buffer_hits = io.hits_since(hits0);
         stats
     }
 }

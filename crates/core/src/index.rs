@@ -2,7 +2,8 @@
 
 use nwc_geom::{Point, Rect};
 use nwc_grid::DensityGrid;
-use nwc_rtree::{IwpIndex, RStarTree, TreeParams};
+use nwc_rtree::{DiskError, IwpIndex, RStarTree, TreeParams};
+use std::path::Path;
 
 /// Construction options for an [`NwcIndex`].
 #[derive(Clone, Copy, Debug)]
@@ -27,6 +28,63 @@ impl Default for IndexConfig {
             build_iwp: true,
             bulk_load: true,
         }
+    }
+}
+
+/// Options for opening a disk-backed index ([`NwcIndex::open_disk`]).
+#[derive(Clone, Copy, Debug)]
+pub struct DiskIndexConfig {
+    /// Buffer pool capacity in pages; `None` = unbounded (every page
+    /// faults in once and stays resident).
+    pub pool_capacity: Option<usize>,
+    /// Density-grid cell size, as in [`IndexConfig::grid_cell_size`].
+    /// The grid is rebuilt in memory from the stored points.
+    pub grid_cell_size: Option<f64>,
+    /// Whether to rebuild the IWP pointer augmentation.
+    pub build_iwp: bool,
+}
+
+impl Default for DiskIndexConfig {
+    fn default() -> Self {
+        DiskIndexConfig {
+            pool_capacity: None,
+            grid_cell_size: Some(25.0),
+            build_iwp: true,
+        }
+    }
+}
+
+/// An error produced by [`NwcIndex::open_disk`].
+#[derive(Debug)]
+pub enum IndexOpenError {
+    /// The page file could not be opened or decoded.
+    Disk(DiskError),
+    /// The file holds a valid but empty tree; an index needs at least
+    /// one object.
+    EmptyDataset,
+}
+
+impl std::fmt::Display for IndexOpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexOpenError::Disk(e) => write!(f, "{e}"),
+            IndexOpenError::EmptyDataset => write!(f, "page file holds an empty tree"),
+        }
+    }
+}
+
+impl std::error::Error for IndexOpenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexOpenError::Disk(e) => Some(e),
+            IndexOpenError::EmptyDataset => None,
+        }
+    }
+}
+
+impl From<DiskError> for IndexOpenError {
+    fn from(e: DiskError) -> Self {
+        IndexOpenError::Disk(e)
     }
 }
 
@@ -84,6 +142,63 @@ impl NwcIndex {
             grid,
             iwp,
         }
+    }
+
+    /// Saves the R\*-tree to an on-disk page file (see
+    /// [`RStarTree::save_to_path`]). The density grid and IWP
+    /// augmentation are derived structures and are rebuilt at open.
+    pub fn save_tree(&self, path: impl AsRef<Path>) -> Result<(), DiskError> {
+        self.tree.save_to_path(path)
+    }
+
+    /// Opens a page file written by [`NwcIndex::save_tree`] as a
+    /// disk-backed index: node accesses run through a buffer pool
+    /// (misses are physical, checksum-verified page reads) and the tree
+    /// is read-only — [`NwcIndex::insert`] / [`NwcIndex::remove`] will
+    /// panic.
+    ///
+    /// The point table, bounds, density grid and IWP augmentation are
+    /// reconstructed from the stored tree; none of that setup work is
+    /// charged — the index is returned with cold, zeroed I/O and buffer
+    /// counters.
+    pub fn open_disk(
+        path: impl AsRef<Path>,
+        config: DiskIndexConfig,
+    ) -> Result<NwcIndex, IndexOpenError> {
+        let tree = RStarTree::open_from_path(path, config.pool_capacity)?;
+        if tree.is_empty() {
+            return Err(IndexOpenError::EmptyDataset);
+        }
+        // Rebuild the id → location table from the leaves (uncharged).
+        let entries: Vec<_> = tree.iter_entries().collect();
+        let max_id = entries.iter().map(|e| e.id).max().expect("non-empty") as usize;
+        let mut points = vec![Point::new(0.0, 0.0); max_id + 1];
+        let mut live = vec![false; max_id + 1];
+        for e in &entries {
+            points[e.id as usize] = e.point;
+            live[e.id as usize] = true;
+        }
+        let live_points: Vec<Point> = entries.iter().map(|e| e.point).collect();
+        let bounds = tree.mbr().expect("non-empty tree has an MBR");
+        let grid = config
+            .grid_cell_size
+            .map(|cell| DensityGrid::from_cell_size(grid_bounds(&bounds), cell, &live_points));
+        let iwp = config.build_iwp.then(|| IwpIndex::build(&tree));
+        // Whatever the derived-structure builds touched, the caller gets
+        // a cold index: zero I/O charged, empty buffer pool.
+        tree.stats().reset();
+        if let Some(storage) = tree.storage() {
+            storage.reset();
+        }
+        Ok(NwcIndex {
+            live_count: entries.len(),
+            points,
+            live,
+            bounds,
+            tree,
+            grid,
+            iwp,
+        })
     }
 
     /// The id → location table (object id = position). After removals

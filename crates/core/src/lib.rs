@@ -61,7 +61,7 @@ mod scratch;
 pub mod weighted;
 
 pub use engine::QueryEngine;
-pub use index::{IndexConfig, NwcIndex};
+pub use index::{DiskIndexConfig, IndexConfig, IndexOpenError, NwcIndex};
 pub use knwc::{KnwcGroup, KnwcResult};
 pub use measure::DistanceMeasure;
 pub use query::{KnwcQuery, NwcQuery, QueryError};
@@ -71,4 +71,4 @@ pub use scratch::QueryScratch;
 
 // Re-export the vocabulary types callers need to use the API.
 pub use nwc_geom::{window::WindowSpec, Point, Rect};
-pub use nwc_rtree::{Entry, ObjectId};
+pub use nwc_rtree::{DiskError, Entry, ObjectId};

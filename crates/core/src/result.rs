@@ -36,6 +36,11 @@ pub struct SearchStats {
     pub io_traversal: u64,
     /// Node accesses spent answering window queries for search regions.
     pub io_window_queries: u64,
+    /// Of `io_total`, accesses satisfied by the buffer pool without
+    /// physical I/O. Always 0 on an in-memory (arena) tree; on a
+    /// disk-backed tree, `io_total - buffer_hits` is the physical page
+    /// read count. The io counters themselves are buffering-independent.
+    pub buffer_hits: u64,
     /// Objects dequeued from the priority queue.
     pub objects_visited: u64,
     /// Window queries actually issued.
@@ -63,6 +68,7 @@ impl SearchStats {
         self.io_total += other.io_total;
         self.io_traversal += other.io_traversal;
         self.io_window_queries += other.io_window_queries;
+        self.buffer_hits += other.buffer_hits;
         self.objects_visited += other.objects_visited;
         self.window_queries += other.window_queries;
         self.skipped_by_srr += other.skipped_by_srr;

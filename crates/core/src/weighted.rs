@@ -120,6 +120,7 @@ impl WeightedNwcIndex {
         let tree = &self.tree;
         let io = tree.stats();
         let mut stats = SearchStats::default();
+        let hits0 = io.hits_snapshot();
         let q = query.q;
         let spec = query.spec;
         let min_w = query.min_weight;
@@ -199,6 +200,7 @@ impl WeightedNwcIndex {
         // Attributed accounting (see algo.rs): sum of phases, safe under
         // concurrent queries on the shared counter.
         stats.io_total = stats.io_traversal + stats.io_window_queries;
+        stats.buffer_hits = io.hits_since(hits0);
         best.map(|(objects, window, total_weight)| {
             (
                 NwcResult {

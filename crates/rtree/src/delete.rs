@@ -15,7 +15,16 @@ use std::collections::VecDeque;
 impl RStarTree {
     /// Removes one entry matching `id` *and* `point`. Returns `true` when
     /// an entry was found and removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a disk-backed tree (see [`crate::disk`]): the arena
+    /// would silently diverge from the page file.
     pub fn delete(&mut self, id: ObjectId, point: Point) -> bool {
+        assert!(
+            self.storage.is_none(),
+            "disk-backed trees are read-only: rebuild and save_to_path instead"
+        );
         let Some(path) = self.find_leaf_path(self.root, id, &point) else {
             return false;
         };

@@ -1,0 +1,366 @@
+//! Disk-backed storage mode: a [`PageStore`] + [`BufferPool`] under the
+//! tree.
+//!
+//! [`RStarTree::save_to_path`] serializes a tree into an on-disk page
+//! file ([`nwc_store::FileStore`] format: magic/version header,
+//! per-page CRC-32 checksums). [`RStarTree::open_from_path`] opens such
+//! a file and returns a tree whose node accesses run through a buffer
+//! pool:
+//!
+//! - a **pool miss** performs a real, checksum-verified page read from
+//!   the store and is charged to [`IoStats::node_reads`] — physical I/O;
+//! - a **pool hit** costs no I/O and is charged to
+//!   [`IoStats::buffer_hits`].
+//!
+//! Both count as one *logical* node access, so per-query I/O
+//! attribution (`snapshot`/`since` diffs) — and therefore every
+//! algorithm's "nodes visited" figure — is identical to the in-memory
+//! arena's. With an unbounded pool the physical + hit split is the only
+//! observable difference.
+//!
+//! # Residency model
+//!
+//! Nodes are decoded into the arena eagerly at open (the open scan also
+//! verifies every page checksum); at query time the pool governs *page
+//! residency* and drives the physical re-reads on misses, while node
+//! *decoding* is not repeated. This keeps the paper's I/O accounting
+//! exact under the crate's `&self`, multi-thread query API without a
+//! page-latching layer; the trade-off — resident memory is the full
+//! arena, not `pool capacity × page size` — is documented in DESIGN.md
+//! § Storage engine.
+//!
+//! Disk-backed trees are **read-only**: [`RStarTree::insert`] and
+//! [`RStarTree::delete`] panic rather than silently diverge from the
+//! file.
+
+use crate::page::decode_page_file;
+use crate::tree::RStarTree;
+use crate::{IoStats, NodeId, PageError, PageFile, TreeParams, PAGE_SIZE};
+use nwc_store::{Access, BufferPool, FileStore, PageStore, PoolStats, StoreError};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An error produced while saving or opening a disk-backed tree.
+#[derive(Debug)]
+pub enum DiskError {
+    /// The page store rejected the file (I/O failure, bad magic or
+    /// version, checksum mismatch, truncation, …).
+    Store(StoreError),
+    /// The pages were readable but do not decode into a valid tree.
+    Page(PageError),
+    /// The file header carries tree parameters this build rejects.
+    BadParams(&'static str),
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskError::Store(e) => write!(f, "page store error: {e}"),
+            DiskError::Page(e) => write!(f, "page decode error: {e}"),
+            DiskError::BadParams(what) => write!(f, "invalid tree parameters in header: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiskError::Store(e) => Some(e),
+            DiskError::Page(e) => Some(e),
+            DiskError::BadParams(_) => None,
+        }
+    }
+}
+
+impl From<StoreError> for DiskError {
+    fn from(e: StoreError) -> Self {
+        DiskError::Store(e)
+    }
+}
+
+impl From<PageError> for DiskError {
+    fn from(e: PageError) -> Self {
+        DiskError::Page(e)
+    }
+}
+
+/// The storage half of a disk-backed tree: the page store, the buffer
+/// pool in front of it, and the node → page map.
+pub struct TreeStorage {
+    store: Box<dyn PageStore>,
+    pool: BufferPool,
+    /// `page_of[node.index()]` = page id backing that arena node.
+    page_of: Vec<u32>,
+    /// Page reads that failed *after* a successful open (device errors,
+    /// post-open corruption). The access is still counted as a miss so
+    /// I/O totals stay comparable; queries proceed on the decoded node.
+    io_errors: AtomicU64,
+}
+
+impl TreeStorage {
+    /// Routes one node access through the buffer pool, charging `stats`
+    /// with a physical read (miss) or a buffer hit.
+    #[inline]
+    pub(crate) fn touch(&self, id: NodeId, stats: &IoStats) {
+        let page = self.page_of[id.index()];
+        match self.pool.access(page, |buf| self.store.read_page(page, buf)) {
+            Ok(Access::Hit) => stats.record_buffer_hit(),
+            Ok(Access::Miss) => stats.record_node_read(),
+            Err(_) => {
+                // The page bytes are unavailable but the decoded node is
+                // not: record the physical read attempt and the failure,
+                // and let the query finish.
+                stats.record_node_read();
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Buffer pool counters and occupancy.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Physical page reads issued to the backing store (page fetches on
+    /// pool misses; the open-time scan is excluded).
+    pub fn physical_reads(&self) -> u64 {
+        self.store.physical_reads()
+    }
+
+    /// Page reads that failed after open (0 on a healthy store).
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors.load(Ordering::Relaxed)
+    }
+
+    /// Drops every buffered page and zeroes the pool and store
+    /// counters: the next access sequence measures from a cold buffer.
+    pub fn reset(&self) {
+        self.pool.clear();
+        self.pool.reset_stats();
+        self.store.reset_counters();
+        self.io_errors.store(0, Ordering::Relaxed);
+    }
+}
+
+impl RStarTree {
+    /// Serializes this tree into an on-disk page file at `path`
+    /// (created or truncated), with header + per-page checksums, and
+    /// syncs it to stable storage.
+    pub fn save_to_path(&self, path: impl AsRef<Path>) -> Result<(), DiskError> {
+        let file = self.to_page_file();
+        let pages: Vec<[u8; PAGE_SIZE]> =
+            (0..file.page_count()).map(|i| *file.page(i as u32)).collect();
+        let user = [
+            self.params.max_entries as u64,
+            self.params.min_entries as u64,
+            self.params.reinsert_count as u64,
+            self.len() as u64,
+        ];
+        FileStore::create(path.as_ref(), file.root_page(), user, &pages)?;
+        Ok(())
+    }
+
+    /// Opens a page file written by [`RStarTree::save_to_path`] as a
+    /// disk-backed, read-only tree.
+    ///
+    /// `pool_capacity` bounds the buffer pool in pages; `None` means
+    /// unbounded (every page misses once, then always hits). The open
+    /// itself reads and checksum-verifies every page; those reads are
+    /// *not* counted — the store and pool counters start at zero so the
+    /// first query measures a cold buffer.
+    pub fn open_from_path(
+        path: impl AsRef<Path>,
+        pool_capacity: Option<usize>,
+    ) -> Result<RStarTree, DiskError> {
+        let store = FileStore::open(path.as_ref())?;
+        RStarTree::open_from_store(Box::new(store), pool_capacity)
+    }
+
+    /// As [`RStarTree::open_from_path`], over any [`PageStore`]
+    /// implementation (e.g. a [`nwc_store::MemStore`] in tests).
+    pub fn open_from_store(
+        store: Box<dyn PageStore>,
+        pool_capacity: Option<usize>,
+    ) -> Result<RStarTree, DiskError> {
+        let meta = store.meta();
+        let [max_entries, min_entries, reinsert_count, _len] = meta.user;
+        let params = TreeParams {
+            max_entries: usize::try_from(max_entries)
+                .map_err(|_| DiskError::BadParams("max_entries overflows usize"))?,
+            min_entries: usize::try_from(min_entries)
+                .map_err(|_| DiskError::BadParams("min_entries overflows usize"))?,
+            reinsert_count: usize::try_from(reinsert_count)
+                .map_err(|_| DiskError::BadParams("reinsert_count overflows usize"))?,
+        };
+        params.check().map_err(DiskError::BadParams)?;
+
+        let mut pages = vec![[0u8; PAGE_SIZE]; meta.page_count as usize];
+        for (i, page) in pages.iter_mut().enumerate() {
+            store.read_page(i as u32, page)?;
+        }
+        let file = PageFile::from_raw_pages(pages, meta.root_page, params);
+        let (mut tree, page_of) = decode_page_file(&file)?;
+        // The open scan is setup cost, not query I/O.
+        store.reset_counters();
+        tree.storage = Some(Box::new(TreeStorage {
+            store,
+            pool: match pool_capacity {
+                Some(cap) => BufferPool::new(cap),
+                None => BufferPool::unbounded(),
+            },
+            page_of,
+            io_errors: AtomicU64::new(0),
+        }));
+        Ok(tree)
+    }
+
+    /// The storage layer of a disk-backed tree, or `None` for an
+    /// arena-only tree.
+    pub fn storage(&self) -> Option<&TreeStorage> {
+        self.storage.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwc_geom::{pt, rect};
+    use nwc_store::MemStore;
+
+    fn sample_tree(n: usize) -> RStarTree {
+        let pts: Vec<_> = (0..n)
+            .map(|i| pt(((i * 31) % 499) as f64, ((i * 57) % 491) as f64))
+            .collect();
+        RStarTree::bulk_load(&pts)
+    }
+
+    fn mem_store_of(tree: &RStarTree) -> MemStore {
+        let file = tree.to_page_file();
+        let pages: Vec<[u8; PAGE_SIZE]> =
+            (0..file.page_count()).map(|i| *file.page(i as u32)).collect();
+        let user = [
+            tree.params().max_entries as u64,
+            tree.params().min_entries as u64,
+            tree.params().reinsert_count as u64,
+            tree.len() as u64,
+        ];
+        MemStore::new(pages, file.root_page(), user).unwrap()
+    }
+
+    #[test]
+    fn save_open_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join("nwc-disk-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tree.nwc");
+        let tree = sample_tree(2000);
+        tree.save_to_path(&path).unwrap();
+        let disk = RStarTree::open_from_path(&path, None).unwrap();
+        assert_eq!(disk.len(), tree.len());
+        assert_eq!(disk.height(), tree.height());
+        crate::validate::check_invariants(&disk).unwrap();
+        let w = rect(100.0, 100.0, 300.0, 280.0);
+        let mut a: Vec<u32> = tree.window_query(&w).iter().map(|e| e.id).collect();
+        let mut b: Vec<u32> = disk.window_query(&w).iter().map(|e| e.id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unbounded_pool_misses_each_page_once() {
+        let tree = sample_tree(3000);
+        let pages = tree.to_page_file().page_count();
+        let disk = RStarTree::open_from_store(Box::new(mem_store_of(&tree)), None).unwrap();
+        // Open-time scan must not pollute the counters.
+        assert_eq!(disk.storage().unwrap().physical_reads(), 0);
+        let w = rect(0.0, 0.0, 499.0, 491.0); // covers everything
+        disk.window_query(&w);
+        disk.window_query(&w);
+        let s = disk.storage().unwrap().pool_stats();
+        assert_eq!(s.misses as usize, pages, "each page faults exactly once");
+        assert_eq!(s.hits as usize, pages, "second pass all hits");
+        assert_eq!(disk.storage().unwrap().physical_reads(), s.misses);
+        // Logical access counts match the arena tree's.
+        tree.stats().reset();
+        tree.window_query(&w);
+        tree.window_query(&w);
+        assert_eq!(disk.stats().accesses(), tree.stats().node_reads());
+    }
+
+    #[test]
+    fn tiny_pool_thrashes_but_answers_identically() {
+        let tree = sample_tree(3000);
+        let disk = RStarTree::open_from_store(Box::new(mem_store_of(&tree)), Some(1)).unwrap();
+        for w in [
+            rect(0.0, 0.0, 120.0, 120.0),
+            rect(200.0, 150.0, 340.0, 400.0),
+        ] {
+            let mut a: Vec<u32> = tree.window_query(&w).iter().map(|e| e.id).collect();
+            let mut b: Vec<u32> = disk.window_query(&w).iter().map(|e| e.id).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+        let s = disk.storage().unwrap().pool_stats();
+        assert!(s.evictions > 0, "capacity 1 must evict");
+        assert_eq!(disk.storage().unwrap().io_errors(), 0);
+    }
+
+    #[test]
+    fn reset_restores_cold_buffer() {
+        let tree = sample_tree(1000);
+        let disk = RStarTree::open_from_store(Box::new(mem_store_of(&tree)), None).unwrap();
+        let w = rect(0.0, 0.0, 499.0, 491.0);
+        disk.window_query(&w);
+        let storage = disk.storage().unwrap();
+        let warm = storage.pool_stats();
+        assert!(warm.misses > 0);
+        storage.reset();
+        let cold = storage.pool_stats();
+        assert_eq!((cold.hits, cold.misses, cold.resident), (0, 0, 0));
+        disk.window_query(&w);
+        assert_eq!(storage.pool_stats().misses, warm.misses, "cold again");
+    }
+
+    #[test]
+    fn bad_params_in_header_rejected() {
+        let tree = sample_tree(100);
+        let file = tree.to_page_file();
+        let pages: Vec<[u8; PAGE_SIZE]> =
+            (0..file.page_count()).map(|i| *file.page(i as u32)).collect();
+        // max_entries = 1 is not a legal R*-tree fanout.
+        let store = MemStore::new(pages, file.root_page(), [1, 0, 0, 0]).unwrap();
+        match RStarTree::open_from_store(Box::new(store), None) {
+            Err(DiskError::BadParams(_)) => {}
+            other => panic!("expected BadParams, got {other:?}", other = other.err()),
+        }
+    }
+
+    #[test]
+    fn corrupt_page_rejected_at_open() {
+        let tree = sample_tree(500);
+        let mut store = mem_store_of(&tree);
+        store.page_mut(0)[0] = 9; // neither leaf nor internal
+        match RStarTree::open_from_store(Box::new(store), None) {
+            Err(DiskError::Page(PageError::BadTag(9))) => {}
+            other => panic!("expected BadTag, got {other:?}", other = other.err()),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn disk_backed_tree_rejects_insert() {
+        let tree = sample_tree(100);
+        let mut disk = RStarTree::open_from_store(Box::new(mem_store_of(&tree)), None).unwrap();
+        disk.insert(999, pt(1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn disk_backed_tree_rejects_delete() {
+        let tree = sample_tree(100);
+        let mut disk = RStarTree::open_from_store(Box::new(mem_store_of(&tree)), None).unwrap();
+        disk.delete(0, pt(0.0, 0.0));
+    }
+}

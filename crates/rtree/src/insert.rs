@@ -20,7 +20,16 @@ impl RStarTree {
     ///
     /// `id` is the caller-chosen object identifier; duplicates are not
     /// detected (the tree is a multiset, like the original structure).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a disk-backed tree (see [`crate::disk`]): the arena
+    /// would silently diverge from the page file.
     pub fn insert(&mut self, id: ObjectId, point: Point) {
+        assert!(
+            self.storage.is_none(),
+            "disk-backed trees are read-only: rebuild and save_to_path instead"
+        );
         assert!(point.is_finite(), "cannot index non-finite point {point:?}");
         let mut pending: VecDeque<ChildItem> = VecDeque::new();
         pending.push_back(ChildItem::Entry(Entry::new(id, point)));

@@ -42,6 +42,7 @@
 mod browser;
 mod bulk;
 mod delete;
+pub mod disk;
 mod entry;
 mod insert;
 mod iwp;
@@ -55,6 +56,7 @@ mod tree;
 pub mod validate;
 
 pub use browser::{BrowseItem, Browser, BrowserScratch};
+pub use disk::{DiskError, TreeStorage};
 pub use entry::{Entry, ObjectId};
 pub use iwp::{IwpIndex, IwpStorage};
 pub use node::NodeId;

@@ -33,6 +33,10 @@ use std::collections::HashMap;
 /// The simulated disk page size (bytes), as in the paper.
 pub const PAGE_SIZE: usize = 4096;
 
+// The page codec here and the page store underneath must agree on the
+// page size; a drift would corrupt every file.
+const _: () = assert!(PAGE_SIZE == nwc_store::PAGE_SIZE);
+
 const HEADER: usize = 1 + 4 + 4 + 32;
 const LEAF_ENTRY: usize = 4 + 16;
 const INTERNAL_ENTRY: usize = 4 + 32;
@@ -47,6 +51,12 @@ pub fn page_capacity_internal() -> usize {
 }
 
 /// An error produced while reading a page file.
+///
+/// Decoding is total: any byte sequence either reconstructs a valid
+/// tree or returns one of these variants. In particular a corrupt file
+/// can never send the decoder into unbounded recursion or allocation —
+/// child pointers forming a cycle (or a DAG: two parents sharing a
+/// page) are rejected via [`PageError::Cycle`].
 #[derive(Debug, PartialEq, Eq)]
 pub enum PageError {
     /// The page tag byte was neither 0 nor 1.
@@ -57,6 +67,12 @@ pub enum PageError {
     BadRoot,
     /// Entry count exceeds what fits in a page.
     Overflow(u32),
+    /// A page was referenced as a child more than once: the pointer
+    /// graph is not a tree.
+    Cycle(u32),
+    /// A structural invariant does not hold (level mismatch, leaf at a
+    /// nonzero level, childless internal node, …).
+    Invalid(&'static str),
 }
 
 impl std::fmt::Display for PageError {
@@ -66,6 +82,8 @@ impl std::fmt::Display for PageError {
             PageError::DanglingChild(p) => write!(f, "dangling child page {p}"),
             PageError::BadRoot => write!(f, "invalid root page"),
             PageError::Overflow(n) => write!(f, "page entry count {n} exceeds capacity"),
+            PageError::Cycle(p) => write!(f, "page {p} referenced by more than one parent"),
+            PageError::Invalid(what) => write!(f, "structurally invalid page file: {what}"),
         }
     }
 }
@@ -77,10 +95,17 @@ pub struct PageFile {
     pages: Vec<[u8; PAGE_SIZE]>,
     root: u32,
     params: TreeParams,
-    len: usize,
 }
 
 impl PageFile {
+    /// Wraps raw pages (e.g. read back from a
+    /// [`PageStore`](nwc_store::PageStore)) as a decodable page file.
+    /// No validation happens here; [`RStarTree::from_page_file`]
+    /// rejects corrupt content.
+    pub fn from_raw_pages(pages: Vec<[u8; PAGE_SIZE]>, root: u32, params: TreeParams) -> PageFile {
+        PageFile { pages, root, params }
+    }
+
     /// Number of pages.
     pub fn page_count(&self) -> usize {
         self.pages.len()
@@ -144,22 +169,13 @@ impl RStarTree {
             root: page_of[&self.root()],
             pages,
             params: self.params,
-            len: self.len(),
         }
     }
 
-    /// Reconstructs a tree from a page file.
+    /// Reconstructs a tree from a page file, rejecting corrupt content
+    /// with a typed [`PageError`].
     pub fn from_page_file(file: &PageFile) -> Result<RStarTree, PageError> {
-        if file.pages.is_empty() || file.root as usize >= file.pages.len() {
-            return Err(PageError::BadRoot);
-        }
-        let mut tree = RStarTree::with_params(file.params);
-        let old_root = tree.root();
-        let root = decode_into(&mut tree, file, file.root)?;
-        tree.root = root;
-        tree.dealloc(old_root);
-        tree.len = file.len;
-        Ok(tree)
+        decode_page_file(file).map(|(tree, _)| tree)
     }
 }
 
@@ -232,58 +248,104 @@ impl RStarTree {
     }
 }
 
-/// Recursively decodes the subtree rooted at `page_id` into `tree`,
-/// returning the new arena node id.
-fn decode_into(tree: &mut RStarTree, file: &PageFile, page_id: u32) -> Result<NodeId, PageError> {
-    let buf = &file.pages[page_id as usize];
-    let tag = buf[0];
-    let mut off = 1usize;
-    let level = get_u32(buf, &mut off);
-    let count = get_u32(buf, &mut off);
-    let mbr = get_rect(buf, &mut off);
-    match tag {
-        0 => {
-            if count as usize > page_capacity_leaf() {
-                return Err(PageError::Overflow(count));
-            }
-            let mut entries = Vec::with_capacity(count as usize);
-            for _ in 0..count {
-                let id = get_u32(buf, &mut off);
-                let x = get_f64(buf, &mut off);
-                let y = get_f64(buf, &mut off);
-                entries.push(Entry::new(id, Point::new(x, y)));
-            }
-            let mut node = Node::new_leaf();
-            node.kind = NodeKind::Leaf(entries);
-            node.mbr = mbr;
-            node.level = level;
-            Ok(tree.alloc(node))
-        }
-        1 => {
-            if count as usize > page_capacity_internal() {
-                return Err(PageError::Overflow(count));
-            }
-            let mut children = Vec::with_capacity(count as usize);
-            for _ in 0..count {
-                let child_page = get_u32(buf, &mut off);
-                let child_mbr = get_rect(buf, &mut off);
-                if child_page as usize >= file.pages.len() {
-                    return Err(PageError::DanglingChild(child_page));
-                }
-                let child = decode_into(tree, file, child_page)?;
-                debug_assert_eq!(
-                    tree.node(child).mbr, child_mbr,
-                    "parent-held child MBR out of sync with child page"
-                );
-                children.push(child);
-            }
-            let mut node = Node::new_internal(level);
-            node.kind = NodeKind::Internal(children);
-            node.mbr = mbr;
-            Ok(tree.alloc(node))
-        }
-        t => Err(PageError::BadTag(t)),
+/// Decodes a whole page file into a fresh tree, additionally returning
+/// the `NodeId`-indexed page map (`page_of[node.index()]` = the page the
+/// node was decoded from) that disk-backed trees use to route buffer
+/// pool requests.
+///
+/// The walk is iterative — an explicit stack, one placeholder arena slot
+/// allocated per discovered child — so adversarial pointer graphs cannot
+/// overflow the call stack, and a `node_of` occupancy map rejects any
+/// page reachable through two parents (cycles and DAGs) before the walk
+/// would revisit it. Entry totals are recomputed from the leaves rather
+/// than trusted from a header.
+pub(crate) fn decode_page_file(file: &PageFile) -> Result<(RStarTree, Vec<u32>), PageError> {
+    let n_pages = file.pages.len();
+    if n_pages == 0 || file.root as usize >= n_pages {
+        return Err(PageError::BadRoot);
     }
+    let mut tree = RStarTree::with_params(file.params);
+    // The constructor's empty root leaf doubles as the placeholder for
+    // the root page, so the arena ends up with no dead slots.
+    let root_id = tree.root();
+    let mut node_of: Vec<Option<NodeId>> = vec![None; n_pages];
+    node_of[file.root as usize] = Some(root_id);
+    let mut len = 0usize;
+    // (page to decode, its pre-allocated arena slot, level the parent
+    // says it must have — `None` only for the root).
+    let mut stack: Vec<(u32, NodeId, Option<u32>)> = vec![(file.root, root_id, None)];
+    while let Some((page_id, nid, expected_level)) = stack.pop() {
+        let buf = &file.pages[page_id as usize];
+        let tag = buf[0];
+        let mut off = 1usize;
+        let level = get_u32(buf, &mut off);
+        let count = get_u32(buf, &mut off);
+        let mbr = get_rect(buf, &mut off);
+        if expected_level.is_some_and(|exp| exp != level) {
+            return Err(PageError::Invalid("child level is not parent level - 1"));
+        }
+        match tag {
+            0 => {
+                if level != 0 {
+                    return Err(PageError::Invalid("leaf page at nonzero level"));
+                }
+                if count as usize > page_capacity_leaf() {
+                    return Err(PageError::Overflow(count));
+                }
+                let mut entries = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let id = get_u32(buf, &mut off);
+                    let x = get_f64(buf, &mut off);
+                    let y = get_f64(buf, &mut off);
+                    entries.push(Entry::new(id, Point::new(x, y)));
+                }
+                len += entries.len();
+                let mut node = Node::new_leaf();
+                node.kind = NodeKind::Leaf(entries);
+                node.mbr = mbr;
+                *tree.node_mut(nid) = node;
+            }
+            1 => {
+                if level == 0 {
+                    return Err(PageError::Invalid("internal page at level 0"));
+                }
+                if count == 0 {
+                    return Err(PageError::Invalid("internal page with no children"));
+                }
+                if count as usize > page_capacity_internal() {
+                    return Err(PageError::Overflow(count));
+                }
+                let mut children = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let child_page = get_u32(buf, &mut off);
+                    let _child_mbr = get_rect(buf, &mut off);
+                    if child_page as usize >= n_pages {
+                        return Err(PageError::DanglingChild(child_page));
+                    }
+                    if node_of[child_page as usize].is_some() {
+                        return Err(PageError::Cycle(child_page));
+                    }
+                    let child_id = tree.alloc(Node::new_leaf());
+                    node_of[child_page as usize] = Some(child_id);
+                    stack.push((child_page, child_id, Some(level - 1)));
+                    children.push(child_id);
+                }
+                let mut node = Node::new_internal(level);
+                node.kind = NodeKind::Internal(children);
+                node.mbr = mbr;
+                *tree.node_mut(nid) = node;
+            }
+            t => return Err(PageError::BadTag(t)),
+        }
+    }
+    tree.len = len;
+    let mut page_of = vec![u32::MAX; tree.nodes.len()];
+    for (page, nid) in node_of.iter().enumerate() {
+        if let Some(nid) = nid {
+            page_of[nid.index()] = page as u32;
+        }
+    }
+    Ok((tree, page_of))
 }
 
 #[cfg(test)]

@@ -32,15 +32,25 @@ impl TreeParams {
 
     /// Validates internal consistency (used by constructors and tests).
     pub fn validate(&self) {
-        assert!(self.max_entries >= 4, "max_entries must be ≥ 4");
-        assert!(
-            self.min_entries >= 2 && self.min_entries <= self.max_entries / 2,
-            "min_entries must lie in [2, max_entries/2]"
-        );
-        assert!(
-            self.reinsert_count >= 1 && self.reinsert_count < self.max_entries - self.min_entries,
-            "reinsert_count must leave a legal node behind"
-        );
+        if let Err(what) = self.check() {
+            panic!("{what}");
+        }
+    }
+
+    /// Non-panicking consistency check, for parameters read from
+    /// untrusted sources such as page-file headers.
+    pub fn check(&self) -> Result<(), &'static str> {
+        if self.max_entries < 4 {
+            return Err("max_entries must be ≥ 4");
+        }
+        if !(self.min_entries >= 2 && self.min_entries <= self.max_entries / 2) {
+            return Err("min_entries must lie in [2, max_entries/2]");
+        }
+        if !(self.reinsert_count >= 1 && self.reinsert_count < self.max_entries - self.min_entries)
+        {
+            return Err("reinsert_count must leave a legal node behind");
+        }
+        Ok(())
     }
 }
 

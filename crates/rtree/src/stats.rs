@@ -7,27 +7,45 @@
 //! the counter here. Queries take `&self` and may run from several
 //! threads at once, so the counters are relaxed atomics (the counter is
 //! a tally, not a synchronization point).
+//!
+//! # Physical reads vs. buffer hits
+//!
+//! With a disk-backed tree (see [`crate::disk`]) a node access either
+//! misses the buffer pool — a *physical* page read, recorded with
+//! [`IoStats::record_node_read`] — or hits it, recorded with
+//! [`IoStats::record_buffer_hit`]. The two are tallied separately at the
+//! tree level ([`IoStats::node_reads`] / [`IoStats::buffer_hits`]), but
+//! the per-thread attribution tallies ([`IoStats::snapshot`] /
+//! [`IoStats::since`]) count **logical accesses** (physical + hits), so
+//! a query's per-phase I/O breakdown is identical whether the tree runs
+//! from the in-memory arena (where every access counts as a read) or
+//! from disk — only the physical/hit split differs.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 thread_local! {
-    /// The calling thread's running node-read tally, across all trees.
-    /// Never reset — only diffed via snapshot pairs.
-    static THREAD_READS: Cell<u64> = const { Cell::new(0) };
+    /// The calling thread's running node-access tally (physical reads
+    /// plus buffer hits), across all trees. Never reset — only diffed
+    /// via snapshot pairs.
+    static THREAD_ACCESSES: Cell<u64> = const { Cell::new(0) };
+    /// The calling thread's running buffer-hit tally, across all trees.
+    static THREAD_HITS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Per-tree I/O counters standing in for page reads.
 ///
-/// The per-tree total ([`IoStats::node_reads`]) is a relaxed atomic that
-/// aggregates across every thread querying the tree. Phase attribution
+/// The per-tree totals ([`IoStats::node_reads`],
+/// [`IoStats::buffer_hits`]) are relaxed atomics that aggregate across
+/// every thread querying the tree. Phase attribution
 /// ([`IoStats::snapshot`] / [`IoStats::since`]) instead diffs a
 /// *thread-local* tally, so a query attributing its own phases sees
-/// exactly the reads it issued — identical whether it runs alone or
+/// exactly the accesses it issued — identical whether it runs alone or
 /// concurrently with other queries on the same tree.
 #[derive(Debug, Default)]
 pub struct IoStats {
     node_reads: AtomicU64,
+    buffer_hits: AtomicU64,
 }
 
 impl IoStats {
@@ -36,38 +54,80 @@ impl IoStats {
         IoStats::default()
     }
 
-    /// Records one node access.
+    /// Records one physical node read (arena access, or a buffer-pool
+    /// miss that fetched the page from the store).
     #[inline]
     pub fn record_node_read(&self) {
         self.node_reads.fetch_add(1, Ordering::Relaxed);
-        THREAD_READS.with(|c| c.set(c.get() + 1));
+        THREAD_ACCESSES.with(|c| c.set(c.get() + 1));
     }
 
-    /// Total node accesses since construction or the last reset.
+    /// Records one node access satisfied by the buffer pool: a logical
+    /// access with no physical I/O behind it.
+    #[inline]
+    pub fn record_buffer_hit(&self) {
+        self.buffer_hits.fetch_add(1, Ordering::Relaxed);
+        THREAD_ACCESSES.with(|c| c.set(c.get() + 1));
+        THREAD_HITS.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Physical node reads since construction or the last reset. For an
+    /// arena-only tree every access is counted here.
     #[inline]
     pub fn node_reads(&self) -> u64 {
         self.node_reads.load(Ordering::Relaxed)
     }
 
-    /// Current value of the calling thread's read tally, for diff-based
-    /// phase attribution (pair with [`IoStats::since`] on this thread).
+    /// Buffer-pool hits since construction or the last reset (always 0
+    /// for an arena-only tree).
+    #[inline]
+    pub fn buffer_hits(&self) -> u64 {
+        self.buffer_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total logical node accesses: physical reads plus buffer hits.
+    /// This is the paper's "nodes visited" metric, independent of
+    /// buffering.
+    #[inline]
+    pub fn accesses(&self) -> u64 {
+        self.node_reads() + self.buffer_hits()
+    }
+
+    /// Current value of the calling thread's access tally, for
+    /// diff-based phase attribution (pair with [`IoStats::since`] on
+    /// this thread). Counts logical accesses (physical + hits).
     #[inline]
     pub fn snapshot(&self) -> u64 {
-        THREAD_READS.with(Cell::get)
+        THREAD_ACCESSES.with(Cell::get)
     }
 
     /// Node accesses *by the calling thread* since a previous
-    /// [`IoStats::snapshot`] taken on this thread. Reads issued by other
-    /// threads never leak into the diff.
+    /// [`IoStats::snapshot`] taken on this thread. Accesses issued by
+    /// other threads never leak into the diff.
     #[inline]
     pub fn since(&self, snapshot: u64) -> u64 {
-        THREAD_READS.with(Cell::get) - snapshot
+        THREAD_ACCESSES.with(Cell::get) - snapshot
+    }
+
+    /// Current value of the calling thread's buffer-hit tally (pair
+    /// with [`IoStats::hits_since`] on this thread).
+    #[inline]
+    pub fn hits_snapshot(&self) -> u64 {
+        THREAD_HITS.with(Cell::get)
+    }
+
+    /// Buffer hits *by the calling thread* since a previous
+    /// [`IoStats::hits_snapshot`] taken on this thread.
+    #[inline]
+    pub fn hits_since(&self, snapshot: u64) -> u64 {
+        THREAD_HITS.with(Cell::get) - snapshot
     }
 
     /// Rewinds all counters to zero.
     #[inline]
     pub fn reset(&self) {
         self.node_reads.store(0, Ordering::Relaxed);
+        self.buffer_hits.store(0, Ordering::Relaxed);
     }
 }
 
@@ -87,6 +147,26 @@ mod tests {
         assert_eq!(s.since(snap), 1);
         s.reset();
         assert_eq!(s.node_reads(), 0);
+    }
+
+    #[test]
+    fn hits_and_reads_split_but_attribute_together() {
+        let s = IoStats::new();
+        let snap = s.snapshot();
+        let hits = s.hits_snapshot();
+        s.record_node_read();
+        s.record_buffer_hit();
+        s.record_buffer_hit();
+        // Tree-level: split.
+        assert_eq!(s.node_reads(), 1);
+        assert_eq!(s.buffer_hits(), 2);
+        assert_eq!(s.accesses(), 3);
+        // Thread-level: since() counts logical accesses; hits_since()
+        // isolates the buffered share.
+        assert_eq!(s.since(snap), 3);
+        assert_eq!(s.hits_since(hits), 2);
+        s.reset();
+        assert_eq!(s.accesses(), 0);
     }
 
     #[test]
@@ -122,6 +202,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for _ in 0..10_000 {
                     s.record_node_read();
+                    s.record_buffer_hit();
                 }
             }));
         }
@@ -129,5 +210,7 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(s.node_reads(), 80_000);
+        assert_eq!(s.buffer_hits(), 80_000);
+        assert_eq!(s.accesses(), 160_000);
     }
 }

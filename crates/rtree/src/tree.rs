@@ -20,6 +20,10 @@ pub struct RStarTree {
     pub(crate) len: usize,
     pub(crate) params: TreeParams,
     pub(crate) stats: IoStats,
+    /// `Some` for a disk-backed tree (see [`crate::disk`]): node
+    /// accesses then run through the buffer pool and the tree is
+    /// read-only.
+    pub(crate) storage: Option<Box<crate::disk::TreeStorage>>,
 }
 
 impl RStarTree {
@@ -33,6 +37,7 @@ impl RStarTree {
             len: 0,
             params,
             stats: IoStats::new(),
+            storage: None,
         };
         tree.root = tree.alloc(Node::new_leaf());
         tree
@@ -145,10 +150,15 @@ impl RStarTree {
     }
 
     /// Reads a node's contents for query purposes, charging one node
-    /// access to the stats.
+    /// access to the stats. On a disk-backed tree the access first runs
+    /// through the buffer pool: a miss performs (and charges) a real
+    /// page read, a hit charges [`IoStats::record_buffer_hit`] instead.
     #[inline]
     pub(crate) fn read_node(&self, id: NodeId) -> &Node {
-        self.stats.record_node_read();
+        match &self.storage {
+            Some(storage) => storage.touch(id, &self.stats),
+            None => self.stats.record_node_read(),
+        }
         &self.nodes[id.index()]
     }
 

@@ -1,0 +1,62 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! The workspace builds offline (no crates-io), so the checksum is
+//! implemented here rather than pulled in. CRC-32 is the classic
+//! page-checksum choice: cheap (one table lookup per byte), and it
+//! detects all burst errors up to 32 bits plus any odd number of bit
+//! flips — the failure modes torn or bit-rotted 4 KiB pages actually
+//! exhibit.
+
+/// The reflected IEEE polynomial, as used by zlib/PNG/ethernet.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The 256-entry lookup table, computed at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `data` (IEEE, reflected, init/final XOR `0xFFFF_FFFF`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut page = vec![0xA5u8; 4096];
+        let clean = crc32(&page);
+        for bit in [0usize, 1, 9, 4095 * 8 + 7] {
+            page[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32(&page), clean, "bit {bit} flip undetected");
+            page[bit / 8] ^= 1 << (bit % 8);
+        }
+        assert_eq!(crc32(&page), clean);
+    }
+}

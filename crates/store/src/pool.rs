@@ -1,0 +1,465 @@
+//! A fixed-capacity buffer pool with LRU eviction, pinning, and
+//! hit/miss/eviction accounting.
+//!
+//! The pool is the layer that turns the paper's I/O metric physical:
+//! query code asks the pool for a page; a resident page is a **buffer
+//! hit** (no I/O), a non-resident one is a **miss** that invokes the
+//! caller's loader (a real [`PageStore`](crate::PageStore) read) and may
+//! **evict** the least-recently-used unpinned frame.
+//!
+//! Eviction is *exact* LRU — not the CLOCK approximation — because LRU
+//! is a stack algorithm: for a fixed reference string its hit count is
+//! non-decreasing in capacity (the inclusion property). The buffer-sweep
+//! experiment relies on that monotonicity; CLOCK does not guarantee it.
+//! The LRU victim scan is `O(capacity)` per miss, which is noise next to
+//! the page read the miss already pays for.
+//!
+//! All methods take `&self`: the frame table lives behind a mutex (loads
+//! included — misses are serialized, as the metadata of a real pool's
+//! latching would be) and the counters are relaxed atomics, so one pool
+//! can serve every query thread of a
+//! [`QueryEngine`]-style batch runner.
+
+use crate::error::StoreError;
+use crate::PAGE_SIZE;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How the pool satisfied a page request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Access {
+    /// The page was resident: no physical I/O happened.
+    Hit,
+    /// The page was loaded by the supplied loader: one physical read.
+    Miss,
+}
+
+/// A snapshot of the pool's counters and occupancy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests satisfied without I/O.
+    pub hits: u64,
+    /// Requests that invoked the loader (physical reads).
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Maximum resident pages (`usize::MAX` for an unbounded pool).
+    pub capacity: usize,
+    /// Pages currently resident.
+    pub resident: usize,
+}
+
+impl PoolStats {
+    /// `hits / (hits + misses)`, or 0 when nothing was requested.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Frame {
+    page: u32,
+    pins: u32,
+    last_used: u64,
+    data: Box<[u8]>,
+}
+
+#[derive(Default)]
+struct Inner {
+    frames: Vec<Frame>,
+    /// page id → index into `frames`.
+    map: HashMap<u32, usize>,
+    /// Frame slots holding no page (after a failed load or `clear`).
+    free: Vec<usize>,
+    /// LRU clock: monotonically increasing use stamp.
+    tick: u64,
+}
+
+/// A fixed-capacity page buffer. See the module docs.
+pub struct BufferPool {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero — a pool that can hold nothing
+    /// cannot satisfy even a single load.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "buffer pool capacity must be at least 1");
+        BufferPool {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A pool that never evicts (capacity `usize::MAX`). Every page
+    /// misses exactly once and hits forever after.
+    pub fn unbounded() -> Self {
+        BufferPool::new(usize::MAX)
+    }
+
+    /// The configured capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests `page`, invoking `load` to fill the frame on a miss.
+    /// Returns whether the request was a [`Access::Hit`] or
+    /// [`Access::Miss`]; a failed load caches nothing and surfaces the
+    /// loader's error.
+    pub fn access(
+        &self,
+        page: u32,
+        load: impl FnOnce(&mut [u8]) -> Result<(), StoreError>,
+    ) -> Result<Access, StoreError> {
+        self.with_page(page, load, |_| ()).map(|(access, ())| access)
+    }
+
+    /// As [`BufferPool::access`], additionally running `read` over the
+    /// resident page bytes (under the pool lock) and returning its value.
+    pub fn with_page<R>(
+        &self,
+        page: u32,
+        load: impl FnOnce(&mut [u8]) -> Result<(), StoreError>,
+        read: impl FnOnce(&[u8]) -> R,
+    ) -> Result<(Access, R), StoreError> {
+        let mut inner = self.inner.lock().expect("buffer pool lock poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+
+        if let Some(&idx) = inner.map.get(&page) {
+            let frame = &mut inner.frames[idx];
+            frame.last_used = tick;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Access::Hit, read(&frame.data)));
+        }
+
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        match self.claim_frame(&mut inner) {
+            Some(idx) => {
+                let frame = &mut inner.frames[idx];
+                if let Err(e) = load(&mut frame.data) {
+                    // The frame holds partial bytes: leave it unmapped.
+                    inner.free.push(idx);
+                    return Err(e);
+                }
+                let frame = &mut inner.frames[idx];
+                frame.page = page;
+                frame.pins = 0;
+                frame.last_used = tick;
+                inner.map.insert(page, idx);
+                let r = read(&inner.frames[idx].data);
+                Ok((Access::Miss, r))
+            }
+            None => {
+                // Every frame is pinned: perform the read without
+                // caching it (still one physical read, no eviction).
+                let mut scratch = vec![0u8; PAGE_SIZE];
+                load(&mut scratch)?;
+                Ok((Access::Miss, read(&scratch)))
+            }
+        }
+    }
+
+    /// Finds a frame for a new page: a free slot, a new allocation under
+    /// capacity, or the LRU unpinned victim. `None` when every frame is
+    /// pinned.
+    fn claim_frame(&self, inner: &mut Inner) -> Option<usize> {
+        if let Some(idx) = inner.free.pop() {
+            return Some(idx);
+        }
+        if inner.frames.len() < self.capacity {
+            inner.frames.push(Frame {
+                page: u32::MAX,
+                pins: 0,
+                last_used: 0,
+                data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+            });
+            return Some(inner.frames.len() - 1);
+        }
+        let victim = inner
+            .frames
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.pins == 0)
+            .min_by_key(|(_, f)| f.last_used)
+            .map(|(i, _)| i)?;
+        let old_page = inner.frames[victim].page;
+        inner.map.remove(&old_page);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        Some(victim)
+    }
+
+    /// Loads (if needed) and pins `page`: a pinned page is never
+    /// evicted until every pin is released with [`BufferPool::unpin`].
+    /// Pins nest.
+    pub fn pin(
+        &self,
+        page: u32,
+        load: impl FnOnce(&mut [u8]) -> Result<(), StoreError>,
+    ) -> Result<Access, StoreError> {
+        let (access, pinned) = self.with_page(page, load, |_| ())?;
+        let mut inner = self.inner.lock().expect("buffer pool lock poisoned");
+        match inner.map.get(&page).copied() {
+            Some(idx) => inner.frames[idx].pins += 1,
+            // Unreachable in practice (with_page caches on success unless
+            // every frame is pinned); treat as a failed pin.
+            None => return Ok(access),
+        }
+        let () = pinned;
+        Ok(access)
+    }
+
+    /// Releases one pin on `page`. Returns `false` when the page is not
+    /// resident or not pinned.
+    pub fn unpin(&self, page: u32) -> bool {
+        let mut inner = self.inner.lock().expect("buffer pool lock poisoned");
+        match inner.map.get(&page).copied() {
+            Some(idx) if inner.frames[idx].pins > 0 => {
+                inner.frames[idx].pins -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Drops every resident page (pins included), returning the pool to
+    /// a cold state. Counters are unaffected; pair with
+    /// [`BufferPool::reset_stats`] for a fully fresh measurement.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("buffer pool lock poisoned");
+        inner.map.clear();
+        inner.free.clear();
+        inner.frames.clear();
+        inner.tick = 0;
+    }
+
+    /// Zeroes the hit/miss/eviction counters.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.inner.lock().expect("buffer pool lock poisoned");
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            capacity: self.capacity,
+            resident: inner.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A loader that stamps the page id into the buffer and counts calls.
+    fn stamping_loader(count: &std::cell::Cell<u32>, page: u32) -> impl FnOnce(&mut [u8]) -> Result<(), StoreError> + '_ {
+        move |buf: &mut [u8]| {
+            count.set(count.get() + 1);
+            buf[0..4].copy_from_slice(&page.to_le_bytes());
+            Ok(())
+        }
+    }
+
+    fn touch(pool: &BufferPool, page: u32) -> Access {
+        pool.access(page, |buf| {
+            buf[0..4].copy_from_slice(&page.to_le_bytes());
+            Ok(())
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn hits_after_first_miss() {
+        let pool = BufferPool::new(4);
+        assert_eq!(touch(&pool, 7), Access::Miss);
+        assert_eq!(touch(&pool, 7), Access::Hit);
+        assert_eq!(touch(&pool, 7), Access::Hit);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.resident), (2, 1, 0, 1));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reads_see_loaded_bytes() {
+        let pool = BufferPool::new(2);
+        let loads = std::cell::Cell::new(0u32);
+        let (a, first) = pool
+            .with_page(9, stamping_loader(&loads, 9), |b| {
+                u32::from_le_bytes(b[0..4].try_into().unwrap())
+            })
+            .unwrap();
+        assert_eq!((a, first, loads.get()), (Access::Miss, 9, 1));
+        let (a, again) = pool
+            .with_page(9, stamping_loader(&loads, 9), |b| {
+                u32::from_le_bytes(b[0..4].try_into().unwrap())
+            })
+            .unwrap();
+        assert_eq!((a, again, loads.get()), (Access::Hit, 9, 1), "hit must not reload");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let pool = BufferPool::new(2);
+        touch(&pool, 1); // miss
+        touch(&pool, 2); // miss
+        touch(&pool, 1); // hit — makes 2 the LRU
+        touch(&pool, 3); // miss, evicts 2
+        assert_eq!(touch(&pool, 1), Access::Hit, "1 was recently used");
+        assert_eq!(touch(&pool, 2), Access::Miss, "2 was the LRU victim");
+        assert_eq!(pool.stats().evictions, 2); // 3 evicted 2, then 2 evicted 3
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let pool = BufferPool::unbounded();
+        for p in 0..500u32 {
+            assert_eq!(touch(&pool, p), Access::Miss);
+        }
+        for p in 0..500u32 {
+            assert_eq!(touch(&pool, p), Access::Hit);
+        }
+        let s = pool.stats();
+        assert_eq!((s.misses, s.hits, s.evictions, s.resident), (500, 500, 0, 500));
+    }
+
+    #[test]
+    fn lru_inclusion_property_on_random_trace() {
+        // LRU is a stack algorithm: hits must be non-decreasing in
+        // capacity over the same reference string.
+        let mut x = 0x2545_F491u64;
+        let trace: Vec<u32> = (0..4000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                // Skewed working set over 64 pages.
+                ((x % 64) * (x >> 32 & 1) + x % 24) as u32
+            })
+            .collect();
+        let mut last_hits = 0u64;
+        for cap in [1usize, 2, 4, 8, 16, 32, 64] {
+            let pool = BufferPool::new(cap);
+            for &p in &trace {
+                touch(&pool, p);
+            }
+            let hits = pool.stats().hits;
+            assert!(
+                hits >= last_hits,
+                "cap {cap}: hits {hits} dropped below {last_hits}"
+            );
+            last_hits = hits;
+        }
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction_pressure() {
+        let pool = BufferPool::new(2);
+        pool.pin(1, |b| {
+            b[0] = 11;
+            Ok(())
+        })
+        .unwrap();
+        for p in 2..10u32 {
+            touch(&pool, p); // churns the one unpinned frame
+        }
+        let (access, byte) = pool
+            .with_page(1, |_| panic!("pinned page must not reload"), |b| b[0])
+            .unwrap();
+        assert_eq!((access, byte), (Access::Hit, 11));
+        assert!(pool.unpin(1));
+        assert!(!pool.unpin(1), "second unpin has nothing to release");
+    }
+
+    #[test]
+    fn all_pinned_pool_still_serves_misses() {
+        let pool = BufferPool::new(1);
+        pool.pin(1, |b| {
+            b[0] = 1;
+            Ok(())
+        })
+        .unwrap();
+        // Page 2 cannot be cached, but the access must still succeed.
+        assert_eq!(touch(&pool, 2), Access::Miss);
+        assert_eq!(touch(&pool, 2), Access::Miss, "uncacheable: misses again");
+        assert_eq!(pool.stats().resident, 1);
+        assert_eq!(pool.stats().evictions, 0);
+    }
+
+    #[test]
+    fn failed_load_caches_nothing() {
+        let pool = BufferPool::new(2);
+        let r = pool.access(5, |_| Err(StoreError::PageChecksum { page: 5 }));
+        assert!(matches!(r, Err(StoreError::PageChecksum { page: 5 })));
+        assert_eq!(pool.stats().resident, 0);
+        // The page is still loadable afterwards.
+        assert_eq!(touch(&pool, 5), Access::Miss);
+        assert_eq!(touch(&pool, 5), Access::Hit);
+    }
+
+    #[test]
+    fn clear_and_reset_stats() {
+        let pool = BufferPool::new(4);
+        touch(&pool, 1);
+        touch(&pool, 1);
+        pool.clear();
+        assert_eq!(pool.stats().resident, 0);
+        assert_eq!(touch(&pool, 1), Access::Miss, "cold after clear");
+        pool.reset_stats();
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (0, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_rejected() {
+        BufferPool::new(0);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        use std::sync::Arc;
+        let pool = Arc::new(BufferPool::new(8));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let pool = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000u32 {
+                    let page = (i * (t + 1)) % 16;
+                    pool.access(page, |buf| {
+                        buf[0..4].copy_from_slice(&page.to_le_bytes());
+                        Ok(())
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 8_000);
+        assert!(s.resident <= 8);
+    }
+}

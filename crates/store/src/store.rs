@@ -1,0 +1,521 @@
+//! The [`PageStore`] trait and its two backends.
+//!
+//! A page store is a flat array of fixed-size pages plus a small
+//! metadata record ([`StoreMeta`]). [`MemStore`] keeps the pages in a
+//! `Vec` (the arena behavior the reproduction started with, now behind
+//! the same interface); [`FileStore`] is a real on-disk page file with a
+//! magic/version header and a per-page CRC-32 checksum table, so every
+//! physical read is an actual `read` syscall verified against the
+//! checksum recorded at write time.
+//!
+//! # File layout (`FileStore`, little-endian)
+//!
+//! ```text
+//! offset            size              field
+//! 0                 4096              header page:
+//!   0                 8                 magic  b"NWCPAGE\x01"
+//!   8                 4                 format version (1)
+//!   12                4                 page size (4096)
+//!   16                4                 page count
+//!   20                4                 root page id
+//!   24                32                user metadata (4 × u64, opaque)
+//!   56                4                 CRC-32 of the checksum table
+//!   60                4                 CRC-32 of header bytes 0..60
+//! 4096              ⌈count·4 / 4096⌉·4096   checksum table (u32 per page)
+//! …                 count · 4096      data pages
+//! ```
+//!
+//! Data pages start on a page-aligned offset, so the operating system's
+//! own page cache and read-ahead behave as they would for any database
+//! file.
+
+use crate::checksum::crc32;
+use crate::error::StoreError;
+use crate::PAGE_SIZE;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const MAGIC: [u8; 8] = *b"NWCPAGE\x01";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 64;
+
+/// Metadata describing a page store: its shape plus 32 opaque bytes for
+/// the client (the R\*-tree packs its `TreeParams` and length there —
+/// the store itself never interprets them).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreMeta {
+    /// Size of every page, bytes. Always [`PAGE_SIZE`] in version 1.
+    pub page_size: u32,
+    /// Number of pages in the store.
+    pub page_count: u32,
+    /// The client's designated root page (must be `< page_count`).
+    pub root_page: u32,
+    /// Opaque client words, persisted verbatim.
+    pub user: [u64; 4],
+}
+
+impl StoreMeta {
+    /// Metadata for a store of `page_count` pages rooted at `root_page`.
+    pub fn new(page_count: u32, root_page: u32, user: [u64; 4]) -> Self {
+        StoreMeta {
+            page_size: PAGE_SIZE as u32,
+            page_count,
+            root_page,
+            user,
+        }
+    }
+
+    fn validate(&self) -> Result<(), StoreError> {
+        if self.page_size != PAGE_SIZE as u32 {
+            return Err(StoreError::BadPageSize(self.page_size));
+        }
+        if self.page_count == 0 {
+            return Err(StoreError::Empty);
+        }
+        if self.root_page >= self.page_count {
+            return Err(StoreError::BadRoot {
+                root: self.root_page,
+                page_count: self.page_count,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A read-only array of fixed-size pages with metadata.
+///
+/// Implementations are `Send + Sync`: queries run from many threads at
+/// once, and the buffer pool calls [`PageStore::read_page`] on misses
+/// from whichever thread missed. Every successful `read_page` counts as
+/// one physical read.
+pub trait PageStore: Send + Sync {
+    /// The store's metadata record.
+    fn meta(&self) -> StoreMeta;
+
+    /// Reads page `page` into `buf` (which must be exactly
+    /// [`PAGE_SIZE`] bytes), verifying integrity where the backend can.
+    fn read_page(&self, page: u32, buf: &mut [u8]) -> Result<(), StoreError>;
+
+    /// Number of successful physical page reads since construction or
+    /// the last [`PageStore::reset_counters`].
+    fn physical_reads(&self) -> u64;
+
+    /// Zeroes the physical-read counter (e.g. after a warm-up scan).
+    fn reset_counters(&self);
+
+    /// Flushes any buffered writes to durable storage. A no-op for
+    /// read-only and in-memory backends.
+    fn sync(&self) -> Result<(), StoreError>;
+}
+
+// ---------------------------------------------------------------------
+// MemStore
+// ---------------------------------------------------------------------
+
+/// An in-memory [`PageStore`]: pages live in a `Vec`. This is the
+/// pre-storage-engine behavior behind the storage interface — useful for
+/// tests and for buffer-pool experiments without touching a filesystem.
+pub struct MemStore {
+    meta: StoreMeta,
+    pages: Vec<[u8; PAGE_SIZE]>,
+    reads: AtomicU64,
+}
+
+impl MemStore {
+    /// Builds a store over `pages` rooted at `root_page`.
+    pub fn new(
+        pages: Vec<[u8; PAGE_SIZE]>,
+        root_page: u32,
+        user: [u64; 4],
+    ) -> Result<MemStore, StoreError> {
+        let meta = StoreMeta::new(
+            u32::try_from(pages.len()).expect("page count overflows u32"),
+            root_page,
+            user,
+        );
+        meta.validate()?;
+        Ok(MemStore {
+            meta,
+            pages,
+            reads: AtomicU64::new(0),
+        })
+    }
+
+    /// Mutable access to one page, for corruption-injection in tests.
+    pub fn page_mut(&mut self, page: u32) -> &mut [u8; PAGE_SIZE] {
+        &mut self.pages[page as usize]
+    }
+}
+
+impl PageStore for MemStore {
+    fn meta(&self) -> StoreMeta {
+        self.meta
+    }
+
+    fn read_page(&self, page: u32, buf: &mut [u8]) -> Result<(), StoreError> {
+        assert_eq!(buf.len(), PAGE_SIZE, "read buffer must be one page");
+        let src = self
+            .pages
+            .get(page as usize)
+            .ok_or(StoreError::PageOutOfRange {
+                page,
+                page_count: self.meta.page_count,
+            })?;
+        buf.copy_from_slice(src);
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn physical_reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    fn reset_counters(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+    }
+
+    fn sync(&self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// FileStore
+// ---------------------------------------------------------------------
+
+/// An on-disk [`PageStore`]: a page file with a checksummed header and a
+/// CRC-32 per page (see the module docs for the layout). Open with
+/// [`FileStore::open`], create with [`FileStore::create`].
+pub struct FileStore {
+    // The pool serializes loads anyway, so a mutex (portable) costs no
+    // extra contention over platform positioned-read APIs.
+    file: Mutex<File>,
+    meta: StoreMeta,
+    /// CRC-32 per page, loaded and verified at open.
+    checksums: Vec<u32>,
+    /// Byte offset of data page 0.
+    data_offset: u64,
+    reads: AtomicU64,
+}
+
+/// Bytes occupied by the checksum table, padded to whole pages.
+fn table_bytes(page_count: u32) -> u64 {
+    let raw = page_count as u64 * 4;
+    raw.div_ceil(PAGE_SIZE as u64) * PAGE_SIZE as u64
+}
+
+fn encode_header(meta: &StoreMeta, table_crc: u32) -> [u8; PAGE_SIZE] {
+    let mut h = [0u8; PAGE_SIZE];
+    h[0..8].copy_from_slice(&MAGIC);
+    h[8..12].copy_from_slice(&VERSION.to_le_bytes());
+    h[12..16].copy_from_slice(&meta.page_size.to_le_bytes());
+    h[16..20].copy_from_slice(&meta.page_count.to_le_bytes());
+    h[20..24].copy_from_slice(&meta.root_page.to_le_bytes());
+    for (i, w) in meta.user.iter().enumerate() {
+        h[24 + i * 8..32 + i * 8].copy_from_slice(&w.to_le_bytes());
+    }
+    h[56..60].copy_from_slice(&table_crc.to_le_bytes());
+    let header_crc = crc32(&h[0..60]);
+    h[60..64].copy_from_slice(&header_crc.to_le_bytes());
+    h
+}
+
+impl FileStore {
+    /// Writes a new page file at `path` (truncating any existing file)
+    /// and returns the opened store. The file is fsynced before this
+    /// returns.
+    pub fn create(
+        path: &Path,
+        root_page: u32,
+        user: [u64; 4],
+        pages: &[[u8; PAGE_SIZE]],
+    ) -> Result<FileStore, StoreError> {
+        let meta = StoreMeta::new(
+            u32::try_from(pages.len()).expect("page count overflows u32"),
+            root_page,
+            user,
+        );
+        meta.validate()?;
+
+        let checksums: Vec<u32> = pages.iter().map(|p| crc32(p)).collect();
+        let mut table = vec![0u8; table_bytes(meta.page_count) as usize];
+        for (i, c) in checksums.iter().enumerate() {
+            table[i * 4..i * 4 + 4].copy_from_slice(&c.to_le_bytes());
+        }
+        let table_crc = crc32(&table);
+
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(&encode_header(&meta, table_crc))?;
+        file.write_all(&table)?;
+        for p in pages {
+            file.write_all(p)?;
+        }
+        file.sync_all()?;
+
+        Ok(FileStore {
+            file: Mutex::new(file),
+            meta,
+            checksums,
+            data_offset: PAGE_SIZE as u64 + table_bytes(meta.page_count),
+            reads: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens an existing page file, validating the magic, version, page
+    /// size, header checksum, root page, file length, and checksum-table
+    /// checksum. Corrupt files are rejected with a typed [`StoreError`].
+    pub fn open(path: &Path) -> Result<FileStore, StoreError> {
+        let mut file = File::open(path)?;
+        let mut header = [0u8; HEADER_LEN];
+        if file.read_exact(&mut header).is_err() {
+            return Err(StoreError::BadMagic); // too short to be a page file
+        }
+        if header[0..8] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let stored_crc = u32::from_le_bytes(header[60..64].try_into().unwrap());
+        if crc32(&header[0..60]) != stored_crc {
+            return Err(StoreError::HeaderChecksum);
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(StoreError::BadVersion(version));
+        }
+        let meta = StoreMeta {
+            page_size: u32::from_le_bytes(header[12..16].try_into().unwrap()),
+            page_count: u32::from_le_bytes(header[16..20].try_into().unwrap()),
+            root_page: u32::from_le_bytes(header[20..24].try_into().unwrap()),
+            user: {
+                let mut user = [0u64; 4];
+                for (i, w) in user.iter_mut().enumerate() {
+                    *w = u64::from_le_bytes(header[24 + i * 8..32 + i * 8].try_into().unwrap());
+                }
+                user
+            },
+        };
+        meta.validate()?;
+
+        let data_offset = PAGE_SIZE as u64 + table_bytes(meta.page_count);
+        let expected = data_offset + meta.page_count as u64 * PAGE_SIZE as u64;
+        let actual = file.metadata()?.len();
+        if actual < expected {
+            return Err(StoreError::Truncated { expected, actual });
+        }
+
+        let mut table = vec![0u8; table_bytes(meta.page_count) as usize];
+        file.seek(SeekFrom::Start(PAGE_SIZE as u64))?;
+        file.read_exact(&mut table)?;
+        let table_crc = u32::from_le_bytes(header[56..60].try_into().unwrap());
+        if crc32(&table) != table_crc {
+            return Err(StoreError::HeaderChecksum);
+        }
+        let checksums: Vec<u32> = (0..meta.page_count as usize)
+            .map(|i| u32::from_le_bytes(table[i * 4..i * 4 + 4].try_into().unwrap()))
+            .collect();
+
+        Ok(FileStore {
+            file: Mutex::new(file),
+            meta,
+            checksums,
+            data_offset,
+            reads: AtomicU64::new(0),
+        })
+    }
+}
+
+impl PageStore for FileStore {
+    fn meta(&self) -> StoreMeta {
+        self.meta
+    }
+
+    fn read_page(&self, page: u32, buf: &mut [u8]) -> Result<(), StoreError> {
+        assert_eq!(buf.len(), PAGE_SIZE, "read buffer must be one page");
+        if page >= self.meta.page_count {
+            return Err(StoreError::PageOutOfRange {
+                page,
+                page_count: self.meta.page_count,
+            });
+        }
+        {
+            let mut file = self.file.lock().expect("file lock poisoned");
+            file.seek(SeekFrom::Start(
+                self.data_offset + page as u64 * PAGE_SIZE as u64,
+            ))?;
+            file.read_exact(buf)?;
+        }
+        if crc32(buf) != self.checksums[page as usize] {
+            return Err(StoreError::PageChecksum { page });
+        }
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn physical_reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    fn reset_counters(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+    }
+
+    fn sync(&self) -> Result<(), StoreError> {
+        Ok(self.file.lock().expect("file lock poisoned").sync_all()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_pages(n: usize) -> Vec<[u8; PAGE_SIZE]> {
+        (0..n)
+            .map(|i| {
+                let mut p = [0u8; PAGE_SIZE];
+                for (j, b) in p.iter_mut().enumerate() {
+                    *b = ((i * 131 + j * 7) % 251) as u8;
+                }
+                p
+            })
+            .collect()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("nwc_store_test_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn memstore_roundtrip_and_counting() {
+        let store = MemStore::new(sample_pages(5), 2, [9, 8, 7, 6]).unwrap();
+        assert_eq!(store.meta().page_count, 5);
+        assert_eq!(store.meta().root_page, 2);
+        assert_eq!(store.meta().user, [9, 8, 7, 6]);
+        let mut buf = [0u8; PAGE_SIZE];
+        store.read_page(4, &mut buf).unwrap();
+        assert_eq!(buf[..], sample_pages(5)[4][..]);
+        assert_eq!(store.physical_reads(), 1);
+        store.reset_counters();
+        assert_eq!(store.physical_reads(), 0);
+        assert!(matches!(
+            store.read_page(5, &mut buf),
+            Err(StoreError::PageOutOfRange { page: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn memstore_rejects_bad_root_and_empty() {
+        assert!(matches!(
+            MemStore::new(sample_pages(3), 3, [0; 4]),
+            Err(StoreError::BadRoot { .. })
+        ));
+        assert!(matches!(
+            MemStore::new(Vec::new(), 0, [0; 4]),
+            Err(StoreError::Empty)
+        ));
+    }
+
+    #[test]
+    fn filestore_create_open_read() {
+        let path = tmp("roundtrip");
+        let pages = sample_pages(7);
+        {
+            let store = FileStore::create(&path, 3, [1, 2, 3, 4], &pages).unwrap();
+            store.sync().unwrap();
+        }
+        let store = FileStore::open(&path).unwrap();
+        assert_eq!(store.meta().page_count, 7);
+        assert_eq!(store.meta().root_page, 3);
+        assert_eq!(store.meta().user, [1, 2, 3, 4]);
+        let mut buf = [0u8; PAGE_SIZE];
+        for (i, want) in pages.iter().enumerate() {
+            store.read_page(i as u32, &mut buf).unwrap();
+            assert_eq!(buf[..], want[..], "page {i}");
+        }
+        assert_eq!(store.physical_reads(), 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn filestore_rejects_garbage_and_truncation() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not a page file").unwrap();
+        assert!(matches!(FileStore::open(&path), Err(StoreError::BadMagic)));
+
+        let pages = sample_pages(4);
+        FileStore::create(&path, 0, [0; 4], &pages).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - PAGE_SIZE]).unwrap();
+        assert!(matches!(
+            FileStore::open(&path),
+            Err(StoreError::Truncated { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn filestore_detects_flipped_page_byte() {
+        let path = tmp("bitrot");
+        let pages = sample_pages(3);
+        FileStore::create(&path, 0, [0; 4], &pages).unwrap();
+        // Flip one byte in the middle of page 1's on-disk bytes.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let data_offset = PAGE_SIZE as u64 + table_bytes(3);
+        let victim = data_offset as usize + PAGE_SIZE + 100;
+        bytes[victim] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let store = FileStore::open(&path).unwrap(); // header+table still fine
+        let mut buf = [0u8; PAGE_SIZE];
+        store.read_page(0, &mut buf).unwrap(); // untouched page still reads
+        assert!(matches!(
+            store.read_page(1, &mut buf),
+            Err(StoreError::PageChecksum { page: 1 })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn filestore_detects_header_corruption() {
+        let path = tmp("badheader");
+        FileStore::create(&path, 0, [0; 4], &sample_pages(2)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[20] ^= 0x01; // root page field
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            FileStore::open(&path),
+            Err(StoreError::HeaderChecksum)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn filestore_rejects_future_version() {
+        let path = tmp("version");
+        FileStore::create(&path, 0, [0; 4], &sample_pages(2)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        // Re-stamp the header checksum so only the version is "wrong".
+        let crc = crc32(&bytes[0..60]);
+        bytes[60..64].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            FileStore::open(&path),
+            Err(StoreError::BadVersion(99))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn table_padding_is_page_aligned() {
+        assert_eq!(table_bytes(1), PAGE_SIZE as u64);
+        assert_eq!(table_bytes(1024), PAGE_SIZE as u64);
+        assert_eq!(table_bytes(1025), 2 * PAGE_SIZE as u64);
+    }
+}

@@ -24,6 +24,12 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
   NWC_SCALE=0.02 NWC_QUERIES=3 cargo run --release -p nwc-bench -- throughput
   test -s results/BENCH_throughput.json
   echo "ok: results/BENCH_throughput.json written"
+
+  step "smoke: disk mode (persist, reopen, buffer sweep)"
+  cargo run --release --example persist_and_query
+  NWC_SCALE=0.02 NWC_QUERIES=3 cargo run --release -p nwc-bench -- buffer
+  test -s results/BENCH_buffer.json
+  echo "ok: results/BENCH_buffer.json written"
 fi
 
 step "verify: all checks passed"

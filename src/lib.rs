@@ -14,6 +14,8 @@
 //! - [`geom`] — points, rectangles, quadrants, window geometry,
 //! - [`rtree`] — an instrumented R\*-tree with node-access accounting and
 //!   the paper's IWP pointer augmentation,
+//! - [`store`] — the disk layer: page files with per-page checksums and
+//!   the LRU buffer pool behind disk-backed trees,
 //! - [`grid`] — the density grid behind density-based pruning,
 //! - [`datagen`] — seeded dataset generators (Gaussian, CA-like, NY-like),
 //! - [`core`] — the NWC/kNWC algorithms with all optimization schemes,
@@ -43,13 +45,14 @@ pub use nwc_datagen as datagen;
 pub use nwc_geom as geom;
 pub use nwc_grid as grid;
 pub use nwc_rtree as rtree;
+pub use nwc_store as store;
 
 /// One-stop imports for typical library use.
 pub mod prelude {
     pub use nwc_core::weighted::{WeightedNwcIndex, WeightedQuery};
     pub use nwc_core::{
-        DistanceMeasure, KnwcQuery, KnwcResult, NwcIndex, NwcQuery, NwcResult, QueryEngine,
-        QueryScratch, Scheme, SearchStats,
+        DiskIndexConfig, DistanceMeasure, KnwcQuery, KnwcResult, NwcIndex, NwcQuery, NwcResult,
+        QueryEngine, QueryScratch, Scheme, SearchStats,
     };
     pub use nwc_datagen::Dataset;
     pub use nwc_geom::{window::WindowSpec, Point, Rect};
