@@ -46,6 +46,9 @@ pub struct BufferPoint {
     pub evictions: u64,
     /// `hits / (hits + physical_reads)`.
     pub hit_rate: f64,
+    /// Peak decoded nodes resident at once during the batch: the
+    /// demand pager's memory gauge, bounded by `capacity_pages`.
+    pub peak_resident_nodes: usize,
     /// Mean logical node accesses per query (capacity-invariant).
     pub avg_io: f64,
     /// Mean wall-clock latency per query, microseconds.
@@ -129,6 +132,7 @@ pub fn measure(ctx: &ExperimentContext) -> BufferReport {
                 physical_reads: pool.misses,
                 evictions: pool.evictions,
                 hit_rate: pool.hit_rate(),
+                peak_resident_nodes: storage.peak_resident_nodes(),
                 avg_io: acc.io_total as f64 / query_points.len() as f64,
                 avg_latency_us: elapsed.as_secs_f64() * 1e6 / query_points.len() as f64,
             });
@@ -157,6 +161,7 @@ fn render_markdown(r: &BufferReport) -> String {
             "hit rate",
             "physical reads",
             "evictions",
+            "peak resident",
             "avg IO",
             "avg latency (µs)",
         ],
@@ -168,6 +173,7 @@ fn render_markdown(r: &BufferReport) -> String {
             format!("{:.1}%", p.hit_rate * 100.0),
             p.physical_reads.to_string(),
             p.evictions.to_string(),
+            p.peak_resident_nodes.to_string(),
             format!("{:.1}", p.avg_io),
             format!("{:.1}", p.avg_latency_us),
         ]);
@@ -190,7 +196,8 @@ fn render_json(ctx: &ExperimentContext, r: &BufferReport) -> String {
         s.push_str(&format!(
             "    {{\"capacity_frac\": {}, \"capacity_pages\": {}, \"scheme\": \"{}\", \
              \"hits\": {}, \"physical_reads\": {}, \"evictions\": {}, \
-             \"hit_rate\": {:.4}, \"avg_io\": {:.2}, \"avg_latency_us\": {:.2}}}{}\n",
+             \"hit_rate\": {:.4}, \"peak_resident_nodes\": {}, \
+             \"avg_io\": {:.2}, \"avg_latency_us\": {:.2}}}{}\n",
             p.capacity_frac,
             p.capacity_pages,
             p.scheme,
@@ -198,6 +205,7 @@ fn render_json(ctx: &ExperimentContext, r: &BufferReport) -> String {
             p.physical_reads,
             p.evictions,
             p.hit_rate,
+            p.peak_resident_nodes,
             p.avg_io,
             p.avg_latency_us,
             if i + 1 == r.points.len() { "" } else { "," },
@@ -240,10 +248,22 @@ mod tests {
                 );
                 assert_eq!(w[0].avg_io, w[1].avg_io, "{name}: logical I/O not invariant");
             }
+            // The gauge always registers work; once the pool is big
+            // enough to never force a transient (unpooled) decode, it
+            // is bounded by the frame count.
+            for c in &cells {
+                assert!(c.peak_resident_nodes > 0, "{name}: gauge never moved");
+            }
             // The full-size pool never evicts and hits on every re-access.
             let full = cells.last().unwrap();
             assert_eq!(full.evictions, 0);
             assert!(full.physical_reads as usize <= r.pages);
+            assert!(
+                full.peak_resident_nodes <= full.capacity_pages,
+                "{name}: {} resident nodes in a {}-frame pool",
+                full.peak_resident_nodes,
+                full.capacity_pages
+            );
         }
         let json = render_json(&ctx, &r);
         assert!(json.contains("\"experiment\": \"buffer\""));

@@ -2,7 +2,7 @@
 
 use nwc_geom::{Point, Rect};
 use nwc_grid::DensityGrid;
-use nwc_rtree::{DiskError, IwpIndex, RStarTree, TreeParams};
+use nwc_rtree::{DiskError, IwpIndex, RStarTree, TreeError, TreeParams, PAGE_SIZE};
 use std::path::Path;
 
 /// Construction options for an [`NwcIndex`].
@@ -37,6 +37,13 @@ pub struct DiskIndexConfig {
     /// Buffer pool capacity in pages; `None` = unbounded (every page
     /// faults in once and stays resident).
     pub pool_capacity: Option<usize>,
+    /// Upper bound on the tree's resident memory, in bytes; `None` =
+    /// no budget. Converted into a pool capacity at roughly
+    /// 2 × [`PAGE_SIZE`] per frame (the raw page plus its decoded
+    /// node, which the demand pager keeps in lock-step) and combined
+    /// with [`DiskIndexConfig::pool_capacity`] by taking the smaller,
+    /// never below one frame.
+    pub memory_budget_bytes: Option<u64>,
     /// Density-grid cell size, as in [`IndexConfig::grid_cell_size`].
     /// The grid is rebuilt in memory from the stored points.
     pub grid_cell_size: Option<f64>,
@@ -48,8 +55,25 @@ impl Default for DiskIndexConfig {
     fn default() -> Self {
         DiskIndexConfig {
             pool_capacity: None,
+            memory_budget_bytes: None,
             grid_cell_size: Some(25.0),
             build_iwp: true,
+        }
+    }
+}
+
+impl DiskIndexConfig {
+    /// The pool capacity actually used: the stricter of the explicit
+    /// capacity and the memory budget (at ~2 × [`PAGE_SIZE`] resident
+    /// bytes per frame), `None` when neither bounds the pool.
+    pub fn effective_pool_capacity(&self) -> Option<usize> {
+        let budget_frames = self
+            .memory_budget_bytes
+            .map(|bytes| usize::try_from(bytes / (2 * PAGE_SIZE as u64)).unwrap_or(usize::MAX))
+            .map(|frames| frames.max(1));
+        match (self.pool_capacity, budget_frames) {
+            (None, None) => None,
+            (cap, budget) => Some(cap.unwrap_or(usize::MAX).min(budget.unwrap_or(usize::MAX))),
         }
     }
 }
@@ -85,6 +109,35 @@ impl std::error::Error for IndexOpenError {
 impl From<DiskError> for IndexOpenError {
     fn from(e: DiskError) -> Self {
         IndexOpenError::Disk(e)
+    }
+}
+
+/// An error produced by [`NwcIndex::insert`] / [`NwcIndex::remove`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum IndexUpdateError {
+    /// The index is disk-backed (see [`NwcIndex::open_disk`]) and
+    /// therefore read-only: rebuild in memory and
+    /// [`NwcIndex::save_tree`] instead. The index is unchanged.
+    ReadOnly,
+}
+
+impl std::fmt::Display for IndexUpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexUpdateError::ReadOnly => {
+                write!(f, "disk-backed indexes are read-only: rebuild and save_tree instead")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexUpdateError {}
+
+impl From<TreeError> for IndexUpdateError {
+    fn from(e: TreeError) -> Self {
+        match e {
+            TreeError::ReadOnly => IndexUpdateError::ReadOnly,
+        }
     }
 }
 
@@ -125,7 +178,8 @@ impl NwcIndex {
         } else {
             let mut t = RStarTree::with_params(config.tree_params);
             for (i, &p) in points.iter().enumerate() {
-                t.insert(i as u32, p);
+                t.insert(i as u32, p)
+                    .expect("fresh in-memory tree is never read-only");
             }
             t
         };
@@ -152,10 +206,12 @@ impl NwcIndex {
     }
 
     /// Opens a page file written by [`NwcIndex::save_tree`] as a
-    /// disk-backed index: node accesses run through a buffer pool
-    /// (misses are physical, checksum-verified page reads) and the tree
-    /// is read-only — [`NwcIndex::insert`] / [`NwcIndex::remove`] will
-    /// panic.
+    /// disk-backed index: node accesses fault pages in through a buffer
+    /// pool (misses are physical, checksum-verified page reads; the
+    /// pool capacity — possibly tightened by
+    /// [`DiskIndexConfig::memory_budget_bytes`] — bounds the resident
+    /// decoded nodes) and the tree is read-only — [`NwcIndex::insert`]
+    /// / [`NwcIndex::remove`] return [`IndexUpdateError::ReadOnly`].
     ///
     /// The point table, bounds, density grid and IWP augmentation are
     /// reconstructed from the stored tree; none of that setup work is
@@ -165,7 +221,7 @@ impl NwcIndex {
         path: impl AsRef<Path>,
         config: DiskIndexConfig,
     ) -> Result<NwcIndex, IndexOpenError> {
-        let tree = RStarTree::open_from_path(path, config.pool_capacity)?;
+        let tree = RStarTree::open_from_path(path, config.effective_pool_capacity())?;
         if tree.is_empty() {
             return Err(IndexOpenError::EmptyDataset);
         }
@@ -273,34 +329,40 @@ impl NwcIndex {
     // ------------------------------------------------------------------
 
     /// Adds an object, returning its id. Invalidates the IWP
-    /// augmentation (if any) until [`NwcIndex::rebuild_iwp`].
-    pub fn insert(&mut self, point: Point) -> u32 {
+    /// augmentation (if any) until [`NwcIndex::rebuild_iwp`]. On a
+    /// disk-backed index returns [`IndexUpdateError::ReadOnly`] with
+    /// every structure untouched.
+    pub fn insert(&mut self, point: Point) -> Result<u32, IndexUpdateError> {
         assert!(point.is_finite(), "cannot index non-finite point {point:?}");
         let id = u32::try_from(self.points.len()).expect("object id overflow");
+        // The tree mutates first: if it refuses, no derived structure
+        // has been touched and the index stays consistent.
+        self.tree.insert(id, point)?;
         self.points.push(point);
         self.live.push(true);
         self.live_count += 1;
         self.bounds = self.bounds.expand_to(point);
-        self.tree.insert(id, point);
         if let Some(grid) = &mut self.grid {
             grid.add_point(&point);
         }
         self.iwp = None;
-        id
+        Ok(id)
     }
 
-    /// Removes the object with the given id. Returns `false` when the id
-    /// is unknown or was already removed. Invalidates the IWP
-    /// augmentation (if any).
-    pub fn remove(&mut self, id: u32) -> bool {
+    /// Removes the object with the given id. Returns `Ok(false)` when
+    /// the id is unknown or was already removed, and
+    /// [`IndexUpdateError::ReadOnly`] — with every structure untouched —
+    /// on a disk-backed index. Invalidates the IWP augmentation (if
+    /// any).
+    pub fn remove(&mut self, id: u32) -> Result<bool, IndexUpdateError> {
         let Some(&point) = self.points.get(id as usize) else {
-            return false;
+            return Ok(false);
         };
         if !self.live[id as usize] {
-            return false;
+            return Ok(false);
         }
-        if !self.tree.delete(id, point) {
-            return false; // should not happen for a live id
+        if !self.tree.delete(id, point)? {
+            return Ok(false); // should not happen for a live id
         }
         self.live[id as usize] = false;
         self.live_count -= 1;
@@ -308,7 +370,7 @@ impl NwcIndex {
             grid.remove_point(&point);
         }
         self.iwp = None;
-        true
+        Ok(true)
     }
 
     /// Rebuilds the IWP augmentation after updates. A no-op cost-wise

@@ -61,7 +61,7 @@ mod scratch;
 pub mod weighted;
 
 pub use engine::QueryEngine;
-pub use index::{DiskIndexConfig, IndexConfig, IndexOpenError, NwcIndex};
+pub use index::{DiskIndexConfig, IndexConfig, IndexOpenError, IndexUpdateError, NwcIndex};
 pub use knwc::{KnwcGroup, KnwcResult};
 pub use measure::DistanceMeasure;
 pub use query::{KnwcQuery, NwcQuery, QueryError};

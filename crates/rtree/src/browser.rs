@@ -135,14 +135,16 @@ impl<'t> Browser<'t> {
         heap.clear();
         if !tree.is_empty() {
             let root = tree.root();
+            let mbr = tree.node_mbr(root);
+            let mindist = mbr.mindist(&query);
             heap.push(HeapItem {
-                key: tree.node_mbr(root).mindist(&query),
+                key: mindist,
                 object_first: false,
                 item: BrowseItem::Node {
                     id: root,
                     level: tree.node_level(root),
-                    mbr: tree.node_mbr(root),
-                    mindist: tree.node_mbr(root).mindist(&query),
+                    mbr,
+                    mindist,
                 },
             });
         }
@@ -176,7 +178,8 @@ impl<'t> Browser<'t> {
 
     /// Reads a node's children into the frontier, charging one node
     /// access. Call after popping a `BrowseItem::Node` the caller chose
-    /// not to prune.
+    /// not to prune. The parent's guard (and, disk-backed, its page pin)
+    /// is held until all children are enqueued.
     pub fn expand(&mut self, id: NodeId) {
         let node = self.tree.read_node(id);
         match &node.kind {
@@ -193,17 +196,17 @@ impl<'t> Browser<'t> {
                     });
                 }
             }
-            NodeKind::Internal(children) => {
-                for &c in children {
-                    let mbr = self.tree.node(c).mbr;
-                    let mindist = mbr.mindist(&self.query);
+            NodeKind::Internal(branches) => {
+                let child_level = node.level - 1;
+                for b in branches {
+                    let mindist = b.mbr.mindist(&self.query);
                     self.heap.push(HeapItem {
                         key: mindist,
                         object_first: false,
                         item: BrowseItem::Node {
-                            id: c,
-                            level: self.tree.node(c).level,
-                            mbr,
+                            id: b.child,
+                            level: child_level,
+                            mbr: b.mbr,
                             mindist,
                         },
                     });

@@ -7,7 +7,7 @@
 //! available through [`RStarTree::insert_all`] and is compared in the
 //! `ablation_build` benchmark.
 
-use crate::node::{Node, NodeKind};
+use crate::node::{Branch, Node, NodeKind};
 use crate::tree::RStarTree;
 use crate::{Entry, NodeId, ObjectId, TreeParams};
 use nwc_geom::Point;
@@ -81,7 +81,14 @@ impl RStarTree {
                 slab.sort_by(|a, b| a.0.y.partial_cmp(&b.0.y).unwrap());
                 for run in slab.chunks(cap) {
                     let mut node = Node::new_internal(level);
-                    node.kind = NodeKind::Internal(run.iter().map(|&(_, id)| id).collect());
+                    node.kind = NodeKind::Internal(
+                        run.iter()
+                            .map(|&(_, id)| Branch {
+                                child: id,
+                                mbr: tree.node(id).mbr,
+                            })
+                            .collect(),
+                    );
                     let id = tree.alloc(node);
                     tree.recompute_mbr(id);
                     next.push(id);

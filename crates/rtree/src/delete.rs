@@ -7,26 +7,21 @@
 
 use crate::insert::ChildItem;
 use crate::node::NodeKind;
-use crate::tree::RStarTree;
+use crate::tree::{RStarTree, TreeError};
 use crate::{NodeId, ObjectId};
 use nwc_geom::Point;
 use std::collections::VecDeque;
 
 impl RStarTree {
-    /// Removes one entry matching `id` *and* `point`. Returns `true` when
-    /// an entry was found and removed.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a disk-backed tree (see [`crate::disk`]): the arena
-    /// would silently diverge from the page file.
-    pub fn delete(&mut self, id: ObjectId, point: Point) -> bool {
-        assert!(
-            self.storage.is_none(),
-            "disk-backed trees are read-only: rebuild and save_to_path instead"
-        );
+    /// Removes one entry matching `id` *and* `point`. Returns
+    /// `Ok(true)` when an entry was found and removed, `Ok(false)` when
+    /// nothing matched, and [`TreeError::ReadOnly`] on a disk-backed
+    /// tree (see [`crate::disk`]): the cached nodes would silently
+    /// diverge from the page file. The tree is untouched on error.
+    pub fn delete(&mut self, id: ObjectId, point: Point) -> Result<bool, TreeError> {
+        self.check_mutable()?;
         let Some(path) = self.find_leaf_path(self.root, id, &point) else {
-            return false;
+            return Ok(false);
         };
         let leaf = *path.last().unwrap();
         let entries = self.node_mut(leaf).entries_mut();
@@ -37,7 +32,7 @@ impl RStarTree {
         entries.swap_remove(pos);
         self.len -= 1;
         self.condense(path);
-        true
+        Ok(true)
     }
 
     /// Root-to-leaf path to a leaf containing the entry, if any.
@@ -47,10 +42,10 @@ impl RStarTree {
                 .iter()
                 .any(|e| e.id == id && e.point == *point)
                 .then(|| vec![node]),
-            NodeKind::Internal(children) => {
-                for &c in children {
-                    if self.node(c).mbr.contains_point(point) {
-                        if let Some(mut path) = self.find_leaf_path(c, id, point) {
+            NodeKind::Internal(branches) => {
+                for b in branches {
+                    if b.mbr.contains_point(point) {
+                        if let Some(mut path) = self.find_leaf_path(b.child, id, point) {
                             path.insert(0, node);
                             return Some(path);
                         }
@@ -71,16 +66,15 @@ impl RStarTree {
             if self.node(nid).len() < self.params.min_entries {
                 // Remove from parent, orphan the children.
                 let parent = path[idx - 1];
-                let children = self.node_mut(parent).children_mut();
-                let pos = children.iter().position(|&c| c == nid).unwrap();
-                children.swap_remove(pos);
+                let branches = self.node_mut(parent).branches_mut();
+                let pos = branches.iter().position(|b| b.child == nid).unwrap();
+                branches.swap_remove(pos);
                 match &mut self.node_mut(nid).kind {
                     NodeKind::Leaf(entries) => {
                         orphans.extend(entries.drain(..).map(ChildItem::Entry));
                     }
-                    NodeKind::Internal(children) => {
-                        let drained: Vec<NodeId> = std::mem::take(children);
-                        orphans.extend(drained.into_iter().map(ChildItem::Node));
+                    NodeKind::Internal(branches) => {
+                        orphans.extend(branches.drain(..).map(|b| ChildItem::Node(b.child)));
                     }
                 }
                 self.dealloc(nid);
@@ -109,7 +103,7 @@ impl RStarTree {
         // Collapse a root chain: internal root with one child.
         while self.node(self.root).level > 0 && self.node(self.root).len() == 1 {
             let old = self.root;
-            self.root = self.node(old).children()[0];
+            self.root = self.node(old).branches()[0].child;
             self.dealloc(old);
         }
     }
@@ -130,7 +124,7 @@ mod tests {
     #[test]
     fn delete_missing_returns_false() {
         let mut t = RStarTree::insert_all(&pts(50));
-        assert!(!t.delete(999, pt(0.0, 0.0)));
+        assert!(!t.delete(999, pt(0.0, 0.0)).unwrap());
         assert_eq!(t.len(), 50);
     }
 
@@ -138,8 +132,8 @@ mod tests {
     fn delete_requires_matching_id() {
         let mut t = RStarTree::insert_all(&pts(50));
         let p = pts(50)[7];
-        assert!(!t.delete(999, p));
-        assert!(t.delete(7, p));
+        assert!(!t.delete(999, p).unwrap());
+        assert!(t.delete(7, p).unwrap());
         assert_eq!(t.len(), 49);
     }
 
@@ -149,7 +143,7 @@ mod tests {
         let mut t =
             RStarTree::bulk_load_with_params(&points, TreeParams::with_max_entries(5));
         for (i, &p) in points.iter().enumerate() {
-            assert!(t.delete(i as u32, p), "missing object {i}");
+            assert!(t.delete(i as u32, p).unwrap(), "missing object {i}");
             check_invariants(&t).unwrap();
         }
         assert!(t.is_empty());
@@ -162,7 +156,7 @@ mod tests {
         let mut t = RStarTree::insert_all(&points);
         for (i, &p) in points.iter().enumerate() {
             if i % 2 == 0 {
-                assert!(t.delete(i as u32, p));
+                assert!(t.delete(i as u32, p).unwrap());
             }
         }
         check_invariants(&t).unwrap();
@@ -177,10 +171,10 @@ mod tests {
         let points = pts(120);
         let mut t = RStarTree::insert_all(&points);
         for (i, &p) in points.iter().enumerate().take(60) {
-            t.delete(i as u32, p);
+            t.delete(i as u32, p).unwrap();
         }
         for (i, &p) in points.iter().enumerate().take(60) {
-            t.insert(i as u32, p);
+            t.insert(i as u32, p).unwrap();
         }
         check_invariants(&t).unwrap();
         assert_eq!(t.len(), 120);

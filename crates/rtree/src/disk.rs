@@ -18,27 +18,68 @@
 //! arena's. With an unbounded pool the physical + hit split is the only
 //! observable difference.
 //!
-//! # Residency model
+//! # Residency model: demand paging
 //!
-//! Nodes are decoded into the arena eagerly at open (the open scan also
-//! verifies every page checksum); at query time the pool governs *page
-//! residency* and drives the physical re-reads on misses, while node
-//! *decoding* is not repeated. This keeps the paper's I/O accounting
-//! exact under the crate's `&self`, multi-thread query API without a
-//! page-latching layer; the trade-off — resident memory is the full
-//! arena, not `pool capacity × page size` — is documented in DESIGN.md
-//! § Storage engine.
+//! The arena of a disk-backed tree is **empty**. Node ids are page ids
+//! (the identity map), and a node access faults its page in through the
+//! buffer pool and decodes the node *on the fault*:
+//!
+//! - a pool **hit** reuses the already-decoded node from the
+//!   [`NodeCache`] (one decoded node per resident page, invariantly);
+//! - a pool **miss** reads + decodes, caching both page and node;
+//! - **eviction** drops the page *and* its decoded node in the same
+//!   critical section (the pool's evict hook runs under the pool lock),
+//!   so `pool capacity × (page + decoded node)` truly bounds resident
+//!   memory. [`TreeStorage::peak_resident_nodes`] reports the high-water
+//!   mark.
+//!
+//! ## Pin protocol
+//!
+//! Query descent holds a parent's node while visiting its children
+//! (recursion, browser frontier expansion). Each charged node access
+//! therefore returns a guard ([`PagedNode`]) that **pins** the page
+//! until dropped; the decoded node is additionally kept alive by an
+//! `Arc`, so even a page dropped by [`BufferPool::clear`] cannot
+//! invalidate a live reference. When every frame is pinned (possible
+//! only when the pool capacity is below the tree height), the access
+//! falls back to an uncached scratch read: the node is decoded, used,
+//! and dropped — counted as *transient* residency in the peak gauge,
+//! never cached.
+//!
+//! Uncharged bookkeeping reads (validation, entry iteration,
+//! re-serialization, IWP builds) bypass the pool entirely: they reuse a
+//! cached node when one is resident and otherwise decode from an
+//! **uncounted** store read, leaving every pool and I/O counter
+//! untouched.
+//!
+//! ## Error policy after open
+//!
+//! The open-time scan is the integrity gate: it reads and
+//! checksum-verifies every page and validates the whole tree structure.
+//! After a successful open, a failed page read (device error, file
+//! truncated behind our back) is counted in
+//! [`TreeStorage::io_errors`], charged as a physical read, and retried
+//! once; a second failure panics — there is no arena copy to fall back
+//! on, and silently wrong answers are worse than a dead query thread.
+//! (The pool recovers poisoned locks, so one panicking query does not
+//! brick concurrent ones.) A page that passes its checksum but no
+//! longer decodes panics immediately: that is memory or store
+//! corruption, not transient I/O.
 //!
 //! Disk-backed trees are **read-only**: [`RStarTree::insert`] and
-//! [`RStarTree::delete`] panic rather than silently diverge from the
-//! file.
+//! [`RStarTree::delete`] return [`TreeError`](crate::TreeError)
+//! `::ReadOnly` rather than silently diverge from the file.
 
-use crate::page::decode_page_file;
+use crate::node::{Node, NodeKind};
+use crate::page::decode_node;
 use crate::tree::RStarTree;
-use crate::{IoStats, NodeId, PageError, PageFile, TreeParams, PAGE_SIZE};
+use crate::{IoStats, NodeId, PageError, TreeParams, PAGE_SIZE};
+use nwc_geom::{Point, Rect};
 use nwc_store::{Access, BufferPool, FileStore, PageStore, PoolStats, StoreError};
+use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// An error produced while saving or opening a disk-backed tree.
 #[derive(Debug)]
@@ -84,36 +125,220 @@ impl From<PageError> for DiskError {
     }
 }
 
+/// What dropping a [`PagedNode`] must release.
+enum Release {
+    /// A charged access pinned the page: unpin it.
+    Unpin,
+    /// Scratch fallback (all frames pinned): decrement the transient
+    /// residency counter.
+    Transient,
+    /// Uncharged peek: nothing to release.
+    None,
+}
+
+/// A guard over one decoded node of a disk-backed tree.
+///
+/// Keeps the node alive (`Arc`) and — for charged accesses — the
+/// backing page pinned in the buffer pool, so a parent's page cannot be
+/// evicted mid-descent while children are visited.
+pub(crate) struct PagedNode<'t> {
+    storage: &'t TreeStorage,
+    page: u32,
+    node: Arc<Node>,
+    release: Release,
+}
+
+impl PagedNode<'_> {
+    #[inline]
+    pub(crate) fn node(&self) -> &Node {
+        &self.node
+    }
+}
+
+impl Drop for PagedNode<'_> {
+    fn drop(&mut self) {
+        match self.release {
+            Release::Unpin => {
+                self.storage.pool.unpin(self.page);
+            }
+            Release::Transient => {
+                self.storage.cache.transient.fetch_sub(1, Ordering::Relaxed);
+            }
+            Release::None => {}
+        }
+    }
+}
+
+/// The decoded-node side of the demand pager: one `Arc<Node>` per
+/// pool-resident page, plus the residency gauges.
+///
+/// The map is mutated only in lock-step with pool residency: inserts
+/// happen inside the pool's `pin_with_page` critical section, removals
+/// inside the pool's evict hook (also under the pool lock). Lock order
+/// is therefore always pool → cache, and the cache lock alone (peeks)
+/// can never deadlock against it.
+struct NodeCache {
+    map: Mutex<HashMap<u32, Arc<Node>>>,
+    /// High-water mark of `map.len() + transient`.
+    resident_peak: AtomicUsize,
+    /// Live scratch-decoded nodes (all-frames-pinned fallback).
+    transient: AtomicUsize,
+}
+
+impl NodeCache {
+    fn new() -> Self {
+        NodeCache {
+            map: Mutex::new(HashMap::new()),
+            resident_peak: AtomicUsize::new(0),
+            transient: AtomicUsize::new(0),
+        }
+    }
+
+    /// Locks the map, recovering from poisoning (a panic elsewhere
+    /// leaves the map consistent: every entry is a finished insert).
+    fn lock_map(&self) -> MutexGuard<'_, HashMap<u32, Arc<Node>>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn note_peak(&self, resident: usize) {
+        self.resident_peak.fetch_max(resident, Ordering::Relaxed);
+    }
+}
+
 /// The storage half of a disk-backed tree: the page store, the buffer
-/// pool in front of it, and the node → page map.
+/// pool in front of it, the decoded-node cache evicted in lock-step
+/// with the pool, and the root metadata captured by the open scan.
 pub struct TreeStorage {
     store: Box<dyn PageStore>,
     pool: BufferPool,
-    /// `page_of[node.index()]` = page id backing that arena node.
-    page_of: Vec<u32>,
+    cache: Arc<NodeCache>,
+    n_pages: u32,
+    root_level: u32,
+    root_mbr: Rect,
+    node_count: usize,
     /// Page reads that failed *after* a successful open (device errors,
-    /// post-open corruption). The access is still counted as a miss so
-    /// I/O totals stay comparable; queries proceed on the decoded node.
+    /// post-open truncation). Each failed attempt is still charged as a
+    /// physical read so I/O totals stay aligned with the pool's miss
+    /// counter; the access is retried once, then panics.
     io_errors: AtomicU64,
 }
 
 impl TreeStorage {
-    /// Routes one node access through the buffer pool, charging `stats`
-    /// with a physical read (miss) or a buffer hit.
-    #[inline]
-    pub(crate) fn touch(&self, id: NodeId, stats: &IoStats) {
-        let page = self.page_of[id.index()];
-        match self.pool.access(page, |buf| self.store.read_page(page, buf)) {
-            Ok(Access::Hit) => stats.record_buffer_hit(),
-            Ok(Access::Miss) => stats.record_node_read(),
-            Err(_) => {
-                // The page bytes are unavailable but the decoded node is
-                // not: record the physical read attempt and the failure,
-                // and let the query finish.
-                stats.record_node_read();
-                self.io_errors.fetch_add(1, Ordering::Relaxed);
+    /// Faults one node in for a charged query access: pool hit reuses
+    /// the cached decode, miss reads + decodes + caches, and the
+    /// returned guard pins the page (see the module docs).
+    pub(crate) fn fetch(&self, page: u32, stats: &IoStats) -> PagedNode<'_> {
+        for attempt in 0..2 {
+            match self.pool.pin_with_page(
+                page,
+                |buf| self.store.read_page(page, buf),
+                |bytes, cached| self.decode_under_lock(page, bytes, cached),
+            ) {
+                Ok((access, _cached, Ok((node, release)))) => {
+                    match access {
+                        Access::Hit => stats.record_buffer_hit(),
+                        Access::Miss => stats.record_node_read(),
+                    }
+                    return PagedNode {
+                        storage: self,
+                        page,
+                        node,
+                        release,
+                    };
+                }
+                Ok((_, cached, Err(e))) => {
+                    // The bytes passed their checksum but do not decode:
+                    // corruption, not transient I/O. Release the pin the
+                    // failed access took, then refuse to continue.
+                    if cached {
+                        self.pool.unpin(page);
+                    }
+                    panic!("page {page} passed its checksum but does not decode: {e}");
+                }
+                Err(e) => {
+                    // Physical read failure after open. Charge the
+                    // attempt (the pool counted its miss), note the
+                    // error, retry once.
+                    stats.record_node_read();
+                    self.io_errors.fetch_add(1, Ordering::Relaxed);
+                    if attempt == 1 {
+                        panic!("page {page} unreadable after open (retried): {e}");
+                    }
+                }
             }
         }
+        unreachable!("fetch loop exits by return or panic");
+    }
+
+    /// Runs inside the pool's critical section: classify against the
+    /// node cache and decode on first touch, so page residency and node
+    /// residency can never diverge.
+    fn decode_under_lock(
+        &self,
+        page: u32,
+        bytes: &[u8],
+        cached: bool,
+    ) -> Result<(Arc<Node>, Release), PageError> {
+        if cached {
+            let mut map = self.cache.lock_map();
+            if let Some(node) = map.get(&page) {
+                return Ok((node.clone(), Release::Unpin));
+            }
+            let node = Arc::new(decode_node(bytes, self.n_pages)?);
+            map.insert(page, node.clone());
+            let resident = map.len() + self.cache.transient.load(Ordering::Relaxed);
+            self.cache.note_peak(resident);
+            Ok((node, Release::Unpin))
+        } else {
+            // All frames pinned: the bytes live in a scratch buffer and
+            // the decode is transient — alive only while the guard is.
+            let node = Arc::new(decode_node(bytes, self.n_pages)?);
+            let transient = self.cache.transient.fetch_add(1, Ordering::Relaxed) + 1;
+            let resident = self.cache.lock_map().len() + transient;
+            self.cache.note_peak(resident);
+            Ok((node, Release::Transient))
+        }
+    }
+
+    /// Reads a node for bookkeeping (uncharged, unpinned): reuses a
+    /// resident decode, otherwise decodes from an uncounted store read
+    /// without touching the pool.
+    pub(crate) fn peek(&self, page: u32) -> PagedNode<'_> {
+        if let Some(node) = self.cache.lock_map().get(&page).cloned() {
+            return PagedNode {
+                storage: self,
+                page,
+                node,
+                release: Release::None,
+            };
+        }
+        let mut buf = [0u8; PAGE_SIZE];
+        if let Err(e) = self.store.read_page_uncounted(page, &mut buf) {
+            panic!("page {page} unreadable during bookkeeping read: {e}");
+        }
+        let node = decode_node(&buf, self.n_pages)
+            .unwrap_or_else(|e| panic!("page {page} does not decode during bookkeeping read: {e}"));
+        PagedNode {
+            storage: self,
+            page,
+            node: Arc::new(node),
+            release: Release::None,
+        }
+    }
+
+    /// Level of the root node (captured at open; leaves are level 0).
+    pub(crate) fn root_level(&self) -> u32 {
+        self.root_level
+    }
+
+    /// MBR of the root node (captured at open).
+    pub(crate) fn root_mbr(&self) -> Rect {
+        self.root_mbr
+    }
+
+    /// Number of pages = nodes in the file (captured at open).
+    pub(crate) fn node_count(&self) -> usize {
+        self.node_count
     }
 
     /// Buffer pool counters and occupancy.
@@ -121,8 +346,17 @@ impl TreeStorage {
         self.pool.stats()
     }
 
+    /// High-water mark of simultaneously resident decoded nodes (cached
+    /// per pool residency + live transient decodes). With a pool of `C`
+    /// frames and `C ≥` tree height this never exceeds `C` — the bound
+    /// the demand pager exists to provide.
+    pub fn peak_resident_nodes(&self) -> usize {
+        self.cache.resident_peak.load(Ordering::Relaxed)
+    }
+
     /// Physical page reads issued to the backing store (page fetches on
-    /// pool misses; the open-time scan is excluded).
+    /// pool misses; the open-time scan and bookkeeping reads are
+    /// excluded).
     pub fn physical_reads(&self) -> u64 {
         self.store.physical_reads()
     }
@@ -132,20 +366,27 @@ impl TreeStorage {
         self.io_errors.load(Ordering::Relaxed)
     }
 
-    /// Drops every buffered page and zeroes the pool and store
-    /// counters: the next access sequence measures from a cold buffer.
+    /// Drops every buffered page (and with each its decoded node) and
+    /// zeroes the pool, store and residency counters: the next access
+    /// sequence measures from a cold buffer.
     pub fn reset(&self) {
         self.pool.clear();
+        // The evict hook emptied the map page-by-page; the explicit
+        // clear keeps the invariant obvious and drops nothing extra.
+        self.cache.lock_map().clear();
         self.pool.reset_stats();
         self.store.reset_counters();
         self.io_errors.store(0, Ordering::Relaxed);
+        self.cache.resident_peak.store(0, Ordering::Relaxed);
     }
 }
 
 impl RStarTree {
-    /// Serializes this tree into an on-disk page file at `path`
-    /// (created or truncated), with header + per-page checksums, and
-    /// syncs it to stable storage.
+    /// Serializes this tree into an on-disk page file at `path`,
+    /// with header + per-page checksums, and syncs it to stable
+    /// storage. The replacement is atomic: the pages are staged in a
+    /// sibling temp file and renamed over `path` only after a full
+    /// sync, so a crash mid-save leaves any previous file intact.
     pub fn save_to_path(&self, path: impl AsRef<Path>) -> Result<(), DiskError> {
         let file = self.to_page_file();
         let pages: Vec<[u8; PAGE_SIZE]> =
@@ -161,13 +402,15 @@ impl RStarTree {
     }
 
     /// Opens a page file written by [`RStarTree::save_to_path`] as a
-    /// disk-backed, read-only tree.
+    /// disk-backed, read-only, demand-paged tree.
     ///
-    /// `pool_capacity` bounds the buffer pool in pages; `None` means
+    /// `pool_capacity` bounds the buffer pool in pages — and with it
+    /// the resident decoded nodes (see the module docs); `None` means
     /// unbounded (every page misses once, then always hits). The open
-    /// itself reads and checksum-verifies every page; those reads are
-    /// *not* counted — the store and pool counters start at zero so the
-    /// first query measures a cold buffer.
+    /// itself reads and checksum-verifies every page and validates the
+    /// tree structure; those reads are *not* counted — the store and
+    /// pool counters start at zero so the first query measures a cold
+    /// buffer.
     pub fn open_from_path(
         path: impl AsRef<Path>,
         pool_capacity: Option<usize>,
@@ -183,7 +426,7 @@ impl RStarTree {
         pool_capacity: Option<usize>,
     ) -> Result<RStarTree, DiskError> {
         let meta = store.meta();
-        let [max_entries, min_entries, reinsert_count, _len] = meta.user;
+        let [max_entries, min_entries, reinsert_count, stored_len] = meta.user;
         let params = TreeParams {
             max_entries: usize::try_from(max_entries)
                 .map_err(|_| DiskError::BadParams("max_entries overflows usize"))?,
@@ -194,21 +437,98 @@ impl RStarTree {
         };
         params.check().map_err(DiskError::BadParams)?;
 
-        let mut pages = vec![[0u8; PAGE_SIZE]; meta.page_count as usize];
-        for (i, page) in pages.iter_mut().enumerate() {
-            store.read_page(i as u32, page)?;
+        let n_pages = meta.page_count;
+        if n_pages == 0 || meta.root_page >= n_pages {
+            return Err(DiskError::Page(PageError::BadRoot));
         }
-        let file = PageFile::from_raw_pages(pages, meta.root_page, params);
-        let (mut tree, page_of) = decode_page_file(&file)?;
+
+        // Validation scan: decode every reachable page once (checksummed
+        // read), checking the cross-page invariants the per-page decoder
+        // cannot — level succession, parent-declared child MBRs matching
+        // the child's header, acyclicity — and capturing the root
+        // metadata + entry count. Nothing is retained: the tree starts
+        // with zero resident nodes.
+        let mut seen = vec![false; n_pages as usize];
+        let mut buf = [0u8; PAGE_SIZE];
+        let mut len = 0usize;
+        let mut node_count = 0usize;
+        let mut root_level = 0u32;
+        let mut root_mbr = Rect::from_point(Point::ORIGIN);
+        // (page, what the parent's branch declared: level and MBR).
+        let mut stack: Vec<(u32, Option<(u32, Rect)>)> = vec![(meta.root_page, None)];
+        while let Some((page, declared)) = stack.pop() {
+            if seen[page as usize] {
+                return Err(DiskError::Page(PageError::Cycle(page)));
+            }
+            seen[page as usize] = true;
+            store.read_page(page, &mut buf)?;
+            let node = decode_node(&buf, n_pages)?;
+            match declared {
+                Some((level, mbr)) => {
+                    if node.level != level {
+                        return Err(DiskError::Page(PageError::Invalid(
+                            "child level is not parent level - 1",
+                        )));
+                    }
+                    if node.mbr != mbr {
+                        return Err(DiskError::Page(PageError::Invalid(
+                            "parent-declared child MBR mismatch",
+                        )));
+                    }
+                }
+                None => {
+                    root_level = node.level;
+                    root_mbr = node.mbr;
+                }
+            }
+            node_count += 1;
+            match &node.kind {
+                NodeKind::Leaf(entries) => len += entries.len(),
+                NodeKind::Internal(branches) => {
+                    for b in branches {
+                        stack.push((b.child.0, Some((node.level - 1, b.mbr))));
+                    }
+                }
+            }
+        }
+        // A page file written by `save_to_path` has no unreachable
+        // pages; checksum-verify any stragglers anyway so the open
+        // remains the integrity gate for the whole file.
+        for page in 0..n_pages {
+            if !seen[page as usize] {
+                store.read_page(page, &mut buf)?;
+            }
+        }
+        if stored_len != len as u64 {
+            return Err(DiskError::Page(PageError::Invalid(
+                "stored object count does not match leaf entries",
+            )));
+        }
         // The open scan is setup cost, not query I/O.
         store.reset_counters();
+
+        let mut tree = RStarTree::with_params(params);
+        tree.nodes.clear();
+        tree.free.clear();
+        tree.root = NodeId(meta.root_page);
+        tree.len = len;
+        let pool = match pool_capacity {
+            Some(cap) => BufferPool::new(cap),
+            None => BufferPool::unbounded(),
+        };
+        let cache = Arc::new(NodeCache::new());
+        let hook_cache = Arc::clone(&cache);
+        pool.set_evict_hook(Box::new(move |page| {
+            hook_cache.lock_map().remove(&page);
+        }));
         tree.storage = Some(Box::new(TreeStorage {
             store,
-            pool: match pool_capacity {
-                Some(cap) => BufferPool::new(cap),
-                None => BufferPool::unbounded(),
-            },
-            page_of,
+            pool,
+            cache,
+            n_pages,
+            root_level,
+            root_mbr,
+            node_count,
             io_errors: AtomicU64::new(0),
         }));
         Ok(tree)
@@ -224,6 +544,7 @@ impl RStarTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tree::TreeError;
     use nwc_geom::{pt, rect};
     use nwc_store::MemStore;
 
@@ -258,6 +579,10 @@ mod tests {
         assert_eq!(disk.len(), tree.len());
         assert_eq!(disk.height(), tree.height());
         crate::validate::check_invariants(&disk).unwrap();
+        // Validation peeks charge nothing: counters still pristine.
+        let s = disk.storage().unwrap().pool_stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+        assert_eq!(disk.storage().unwrap().physical_reads(), 0);
         let w = rect(100.0, 100.0, 300.0, 280.0);
         let mut a: Vec<u32> = tree.window_query(&w).iter().map(|e| e.id).collect();
         let mut b: Vec<u32> = disk.window_query(&w).iter().map(|e| e.id).collect();
@@ -290,8 +615,10 @@ mod tests {
 
     #[test]
     fn tiny_pool_thrashes_but_answers_identically() {
+        // Capacity 2: the pinned root occupies one frame, the second
+        // churns through the rest of this height-3 tree.
         let tree = sample_tree(3000);
-        let disk = RStarTree::open_from_store(Box::new(mem_store_of(&tree)), Some(1)).unwrap();
+        let disk = RStarTree::open_from_store(Box::new(mem_store_of(&tree)), Some(2)).unwrap();
         for w in [
             rect(0.0, 0.0, 120.0, 120.0),
             rect(200.0, 150.0, 340.0, 400.0),
@@ -303,8 +630,29 @@ mod tests {
             assert_eq!(a, b);
         }
         let s = disk.storage().unwrap().pool_stats();
-        assert!(s.evictions > 0, "capacity 1 must evict");
+        assert!(s.evictions > 0, "capacity 2 on a deep descent must evict");
         assert_eq!(disk.storage().unwrap().io_errors(), 0);
+    }
+
+    #[test]
+    fn pool_capacity_bounds_resident_nodes() {
+        let tree = sample_tree(3000);
+        assert!(tree.height() <= 4, "test assumes capacity >= height");
+        let cap = 4usize;
+        let disk =
+            RStarTree::open_from_store(Box::new(mem_store_of(&tree)), Some(cap)).unwrap();
+        for w in [
+            rect(0.0, 0.0, 499.0, 491.0),
+            rect(10.0, 10.0, 250.0, 250.0),
+            rect(300.0, 5.0, 480.0, 470.0),
+        ] {
+            disk.window_query(&w);
+        }
+        let storage = disk.storage().unwrap();
+        let peak = storage.peak_resident_nodes();
+        assert!(peak > 0, "queries must have decoded something");
+        assert!(peak <= cap, "peak resident nodes {peak} exceeds pool capacity {cap}");
+        assert!(storage.pool_stats().evictions > 0, "the tree outsizes the pool");
     }
 
     #[test]
@@ -316,9 +664,11 @@ mod tests {
         let storage = disk.storage().unwrap();
         let warm = storage.pool_stats();
         assert!(warm.misses > 0);
+        assert!(storage.peak_resident_nodes() > 0);
         storage.reset();
         let cold = storage.pool_stats();
         assert_eq!((cold.hits, cold.misses, cold.resident), (0, 0, 0));
+        assert_eq!(storage.peak_resident_nodes(), 0);
         disk.window_query(&w);
         assert_eq!(storage.pool_stats().misses, warm.misses, "cold again");
     }
@@ -349,18 +699,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "read-only")]
-    fn disk_backed_tree_rejects_insert() {
-        let tree = sample_tree(100);
-        let mut disk = RStarTree::open_from_store(Box::new(mem_store_of(&tree)), None).unwrap();
-        disk.insert(999, pt(1.0, 1.0));
+    fn wrong_stored_len_rejected_at_open() {
+        let tree = sample_tree(300);
+        let file = tree.to_page_file();
+        let pages: Vec<[u8; PAGE_SIZE]> =
+            (0..file.page_count()).map(|i| *file.page(i as u32)).collect();
+        let user = [
+            tree.params().max_entries as u64,
+            tree.params().min_entries as u64,
+            tree.params().reinsert_count as u64,
+            tree.len() as u64 + 1,
+        ];
+        let store = MemStore::new(pages, file.root_page(), user).unwrap();
+        match RStarTree::open_from_store(Box::new(store), None) {
+            Err(DiskError::Page(PageError::Invalid(_))) => {}
+            other => panic!("expected Invalid, got {other:?}", other = other.err()),
+        }
     }
 
     #[test]
-    #[should_panic(expected = "read-only")]
-    fn disk_backed_tree_rejects_delete() {
+    fn disk_backed_tree_rejects_insert_with_typed_error() {
         let tree = sample_tree(100);
         let mut disk = RStarTree::open_from_store(Box::new(mem_store_of(&tree)), None).unwrap();
-        disk.delete(0, pt(0.0, 0.0));
+        assert_eq!(disk.insert(999, pt(1.0, 1.0)), Err(TreeError::ReadOnly));
+        assert_eq!(disk.len(), 100, "failed insert must not change the tree");
+    }
+
+    #[test]
+    fn disk_backed_tree_rejects_delete_with_typed_error() {
+        let tree = sample_tree(100);
+        let mut disk = RStarTree::open_from_store(Box::new(mem_store_of(&tree)), None).unwrap();
+        assert_eq!(disk.delete(0, pt(0.0, 0.0)), Err(TreeError::ReadOnly));
+        assert_eq!(disk.len(), 100, "failed delete must not change the tree");
     }
 }

@@ -1,8 +1,8 @@
 //! R\* insertion: ChooseSubtree, forced reinsert, split propagation.
 
-use crate::node::{Node, NodeKind};
+use crate::node::{Branch, Node, NodeKind};
 use crate::split::{rstar_split, SplitItem};
-use crate::tree::RStarTree;
+use crate::tree::{RStarTree, TreeError};
 use crate::{Entry, NodeId, ObjectId};
 use nwc_geom::{Point, Rect};
 use std::collections::VecDeque;
@@ -21,15 +21,15 @@ impl RStarTree {
     /// `id` is the caller-chosen object identifier; duplicates are not
     /// detected (the tree is a multiset, like the original structure).
     ///
+    /// Returns [`TreeError::ReadOnly`] on a disk-backed tree (see
+    /// [`crate::disk`]): the cached nodes would silently diverge from
+    /// the page file. The tree is untouched in that case.
+    ///
     /// # Panics
     ///
-    /// Panics on a disk-backed tree (see [`crate::disk`]): the arena
-    /// would silently diverge from the page file.
-    pub fn insert(&mut self, id: ObjectId, point: Point) {
-        assert!(
-            self.storage.is_none(),
-            "disk-backed trees are read-only: rebuild and save_to_path instead"
-        );
+    /// Panics on a non-finite point.
+    pub fn insert(&mut self, id: ObjectId, point: Point) -> Result<(), TreeError> {
+        self.check_mutable()?;
         assert!(point.is_finite(), "cannot index non-finite point {point:?}");
         let mut pending: VecDeque<ChildItem> = VecDeque::new();
         pending.push_back(ChildItem::Entry(Entry::new(id, point)));
@@ -39,13 +39,15 @@ impl RStarTree {
             self.insert_item(item, &mut reinserted_levels, &mut pending);
         }
         self.len += 1;
+        Ok(())
     }
 
     /// Inserts every point of `points`, with ids `0..points.len()`.
     pub fn insert_all(points: &[Point]) -> Self {
         let mut tree = RStarTree::new();
         for (i, &p) in points.iter().enumerate() {
-            tree.insert(i as ObjectId, p);
+            tree.insert(i as ObjectId, p)
+                .expect("fresh tree is never read-only");
         }
         tree
     }
@@ -88,7 +90,10 @@ impl RStarTree {
         let target = *path.last().unwrap();
         match item {
             ChildItem::Entry(e) => self.node_mut(target).entries_mut().push(e),
-            ChildItem::Node(n) => self.node_mut(target).children_mut().push(n),
+            ChildItem::Node(n) => {
+                let branch = Branch { child: n, mbr };
+                self.node_mut(target).branches_mut().push(branch);
+            }
         }
 
         // Overflow treatment, bottom-up along the insertion path.
@@ -107,13 +112,29 @@ impl RStarTree {
             let sibling = self.split_node(nid);
             if nid == self.root {
                 let new_root = self.alloc(Node::new_internal(level + 1));
-                self.node_mut(new_root).children_mut().extend([nid, sibling]);
+                let halves = [nid, sibling].map(|c| Branch {
+                    child: c,
+                    mbr: self.node(c).mbr,
+                });
+                self.node_mut(new_root).branches_mut().extend(halves);
                 self.recompute_mbr(new_root);
                 self.root = new_root;
                 break;
             }
             let parent = path[depth - 1];
-            self.node_mut(parent).children_mut().push(sibling);
+            // The split shrank nid's MBR: refresh the parent's branch
+            // copy now, before the parent itself may split and carry
+            // the stale copy into a sibling off the refresh path.
+            let nid_mbr = self.node(nid).mbr;
+            let sibling_mbr = self.node(sibling).mbr;
+            let branches = self.node_mut(parent).branches_mut();
+            if let Some(b) = branches.iter_mut().find(|b| b.child == nid) {
+                b.mbr = nid_mbr;
+            }
+            branches.push(Branch {
+                child: sibling,
+                mbr: sibling_mbr,
+            });
             depth -= 1;
         }
 
@@ -127,21 +148,21 @@ impl RStarTree {
     /// destination, area-enlargement-minimizing above that.
     fn choose_subtree(&self, node: NodeId, mbr: &Rect, into_level: u32) -> NodeId {
         let n = self.node(node);
-        let children = n.children();
-        debug_assert!(!children.is_empty());
+        let branches = n.branches();
+        debug_assert!(!branches.is_empty());
 
         if n.level == into_level + 1 {
             // Children receive the item directly: minimize overlap
             // enlargement, tie-break on area enlargement, then area.
-            let child_mbrs: Vec<Rect> = children.iter().map(|&c| self.node(c).mbr).collect();
             let mut best = 0usize;
             let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
-            for (i, cm) in child_mbrs.iter().enumerate() {
+            for (i, b) in branches.iter().enumerate() {
+                let cm = &b.mbr;
                 let grown = cm.union(mbr);
                 let mut overlap_delta = 0.0;
-                for (j, sm) in child_mbrs.iter().enumerate() {
+                for (j, s) in branches.iter().enumerate() {
                     if i != j {
-                        overlap_delta += grown.overlap_area(sm) - cm.overlap_area(sm);
+                        overlap_delta += grown.overlap_area(&s.mbr) - cm.overlap_area(&s.mbr);
                     }
                 }
                 let key = (overlap_delta, cm.enlargement(mbr), cm.area());
@@ -150,17 +171,16 @@ impl RStarTree {
                     best = i;
                 }
             }
-            children[best]
+            branches[best].child
         } else {
             // Minimize area enlargement, tie-break on area.
-            let mut best = children[0];
+            let mut best = branches[0].child;
             let mut best_key = (f64::INFINITY, f64::INFINITY);
-            for &c in children {
-                let cm = self.node(c).mbr;
-                let key = (cm.enlargement(mbr), cm.area());
+            for b in branches {
+                let key = (b.mbr.enlargement(mbr), b.mbr.area());
                 if key < best_key {
                     best_key = key;
-                    best = c;
+                    best = b.child;
                 }
             }
             best
@@ -186,23 +206,21 @@ impl RStarTree {
                     .map(ChildItem::Entry)
                     .collect()
             }
-            NodeKind::Internal(_) => {
-                // Sort child ids by their MBR center distance. Two passes
-                // because the sort key needs arena access.
-                let mut keyed: Vec<(f64, NodeId)> = self
-                    .node(nid)
-                    .children()
-                    .iter()
-                    .map(|&c| (self.node(c).mbr.center().dist2(&center), c))
-                    .collect();
-                keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-                let keep: Vec<NodeId> = keyed[..keyed.len() - p].iter().map(|&(_, c)| c).collect();
-                let removed: Vec<ChildItem> = keyed[keyed.len() - p..]
-                    .iter()
-                    .map(|&(_, c)| ChildItem::Node(c))
-                    .collect();
-                *self.node_mut(nid).children_mut() = keep;
-                removed
+            NodeKind::Internal(branches) => {
+                // Sort branches by their MBR center distance; the MBR is
+                // right in the branch, no arena access needed.
+                branches.sort_by(|a, b| {
+                    a.mbr
+                        .center()
+                        .dist2(&center)
+                        .partial_cmp(&b.mbr.center().dist2(&center))
+                        .unwrap()
+                });
+                branches
+                    .split_off(branches.len() - p)
+                    .into_iter()
+                    .map(|b| ChildItem::Node(b.child))
+                    .collect()
             }
         };
         self.recompute_mbr(nid);
@@ -236,18 +254,14 @@ impl RStarTree {
                 sibling.mbr = result.second_mbr;
                 self.alloc(sibling)
             }
-            NodeKind::Internal(children) => {
-                let drained: Vec<NodeId> = std::mem::take(children);
-                let items: Vec<SplitItem<NodeId>> = drained
-                    .into_iter()
-                    .map(|c| SplitItem {
-                        mbr: self.nodes[c.index()].mbr,
-                        item: c,
-                    })
+            NodeKind::Internal(branches) => {
+                let items: Vec<SplitItem<Branch>> = branches
+                    .drain(..)
+                    .map(|b| SplitItem { mbr: b.mbr, item: b })
                     .collect();
                 let result = rstar_split(items, min);
                 let node = self.node_mut(nid);
-                *node.children_mut() = result.first;
+                *node.branches_mut() = result.first;
                 node.mbr = result.first_mbr;
                 let mut sibling = Node::new_internal(level);
                 sibling.kind = NodeKind::Internal(result.second);
@@ -274,7 +288,7 @@ mod tests {
     #[test]
     fn insert_single() {
         let mut t = RStarTree::new();
-        t.insert(0, pt(5.0, 5.0));
+        t.insert(0, pt(5.0, 5.0)).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.height(), 1);
         check_invariants(&t).unwrap();
@@ -294,7 +308,7 @@ mod tests {
         let pts = grid_points(400);
         let mut t = RStarTree::with_params(TreeParams::with_max_entries(4));
         for (i, &p) in pts.iter().enumerate() {
-            t.insert(i as u32, p);
+            t.insert(i as u32, p).unwrap();
             check_invariants(&t).unwrap();
         }
         assert!(t.height() >= 4);
@@ -304,7 +318,7 @@ mod tests {
     fn insert_duplicate_points_allowed() {
         let mut t = RStarTree::with_params(TreeParams::with_max_entries(4));
         for i in 0..100 {
-            t.insert(i, pt(1.0, 1.0));
+            t.insert(i, pt(1.0, 1.0)).unwrap();
         }
         assert_eq!(t.len(), 100);
         check_invariants(&t).unwrap();
@@ -314,7 +328,7 @@ mod tests {
     #[should_panic]
     fn insert_nan_rejected() {
         let mut t = RStarTree::new();
-        t.insert(0, pt(f64::NAN, 0.0));
+        let _ = t.insert(0, pt(f64::NAN, 0.0));
     }
 
     #[test]

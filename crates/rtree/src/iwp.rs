@@ -61,42 +61,46 @@ pub struct IwpIndex {
 
 impl IwpIndex {
     /// Builds the augmentation over `tree`. Construction walks the whole
-    /// tree but charges no query I/O (it models an offline index build).
+    /// tree but charges no query I/O (it models an offline index build),
+    /// reading nodes through the uncharged peek path so a disk-backed
+    /// tree's buffer counters stay untouched.
     pub fn build(tree: &RStarTree) -> Self {
         let h = tree.node_level(tree.root()) as usize; // leaf depth
         let depths = backward_depths(h);
 
         // Collect root-to-leaf paths (path[d] = ancestor at depth d) and
-        // per-level node lists for overlap computation.
+        // per-level node lists for overlap computation. The path carries
+        // each ancestor's MBR so backward pointers need no second read;
+        // pointed nodes remember (level, mbr) for the overlap phase (the
+        // ancestor at depth d sits at level h − d).
         let mut backward: HashMap<NodeId, Vec<(NodeId, Rect)>> = HashMap::new();
         let mut pointed: Vec<NodeId> = Vec::new();
+        let mut pointed_info: HashMap<NodeId, (u32, Rect)> = HashMap::new();
         let mut by_level: HashMap<u32, Vec<(NodeId, Rect)>> = HashMap::new();
 
-        let mut path: Vec<NodeId> = Vec::new();
+        let mut path: Vec<(NodeId, Rect)> = Vec::new();
         let mut stack: Vec<(NodeId, usize)> = vec![(tree.root(), 0)];
         while let Some((id, depth)) = stack.pop() {
             path.truncate(depth);
-            path.push(id);
-            let node = tree.node(id);
+            let node = tree.peek_node(id);
+            path.push((id, node.mbr));
             by_level
                 .entry(node.level)
                 .or_default()
                 .push((id, node.mbr));
             match &node.kind {
-                NodeKind::Internal(children) => {
-                    for &c in children {
-                        stack.push((c, depth + 1));
+                NodeKind::Internal(branches) => {
+                    for b in branches {
+                        stack.push((b.child, depth + 1));
                     }
                 }
                 NodeKind::Leaf(_) => {
                     debug_assert_eq!(depth, h, "leaf at unexpected depth");
-                    let bps: Vec<(NodeId, Rect)> = depths
-                        .iter()
-                        .map(|&d| (path[d], tree.node(path[d]).mbr))
-                        .collect();
-                    for &(n, _) in &bps {
+                    let bps: Vec<(NodeId, Rect)> = depths.iter().map(|&d| path[d]).collect();
+                    for (&d, &(n, mbr)) in depths.iter().zip(&bps) {
                         if n != tree.root() {
                             pointed.push(n);
+                            pointed_info.insert(n, ((h - d) as u32, mbr));
                         }
                     }
                     backward.insert(id, bps);
@@ -115,8 +119,7 @@ impl IwpIndex {
             level_nodes.sort_by(|a, b| a.1.min.x.total_cmp(&b.1.min.x));
         }
         for &n in &pointed {
-            let level = tree.node_level(n);
-            let mbr = tree.node_mbr(n);
+            let (level, mbr) = pointed_info[&n];
             let peers = &by_level[&level];
             // Candidates: peers whose min.x ≤ mbr.max.x, scanned from the
             // first index; early-exit once min.x exceeds mbr.max.x.

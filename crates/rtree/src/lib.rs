@@ -63,4 +63,4 @@ pub use node::NodeId;
 pub use page::{PageError, PageFile, PAGE_SIZE};
 pub use params::TreeParams;
 pub use stats::IoStats;
-pub use tree::RStarTree;
+pub use tree::{RStarTree, TreeError};

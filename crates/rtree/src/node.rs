@@ -15,14 +15,25 @@ impl NodeId {
     }
 }
 
-/// The children of a node: leaf entries or child node ids.
+/// One routing entry of an internal node: the child id plus the child's
+/// MBR, exactly as a real R-tree page stores them. Keeping the MBR in
+/// the parent means query descent can prune children without touching
+/// (or charging) the child node itself — and on a disk-backed tree,
+/// without faulting the child's page in at all.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Branch {
+    pub child: NodeId,
+    pub mbr: Rect,
+}
+
+/// The children of a node: leaf entries or child branches.
 #[derive(Clone, Debug)]
 pub(crate) enum NodeKind {
     /// Level-0 node holding point entries.
     Leaf(Vec<Entry>),
-    /// Internal node holding child node ids (children live one level
+    /// Internal node holding child branches (children live one level
     /// below this node).
-    Internal(Vec<NodeId>),
+    Internal(Vec<Branch>),
 }
 
 /// A tree node. `level` is 0 for leaves and increases toward the root, so
@@ -85,18 +96,18 @@ impl Node {
     }
 
     #[inline]
-    pub fn children(&self) -> &[NodeId] {
+    pub fn branches(&self) -> &[Branch] {
         match &self.kind {
-            NodeKind::Internal(c) => c,
-            NodeKind::Leaf(_) => panic!("children() on leaf node"),
+            NodeKind::Internal(b) => b,
+            NodeKind::Leaf(_) => panic!("branches() on leaf node"),
         }
     }
 
     #[inline]
-    pub fn children_mut(&mut self) -> &mut Vec<NodeId> {
+    pub fn branches_mut(&mut self) -> &mut Vec<Branch> {
         match &mut self.kind {
-            NodeKind::Internal(c) => c,
-            NodeKind::Leaf(_) => panic!("children_mut() on leaf node"),
+            NodeKind::Internal(b) => b,
+            NodeKind::Leaf(_) => panic!("branches_mut() on leaf node"),
         }
     }
 }

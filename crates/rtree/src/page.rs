@@ -24,7 +24,7 @@
 //! fits with room to spare (checked by [`TreeParams`]-aware asserts at
 //! write time).
 
-use crate::node::{Node, NodeKind};
+use crate::node::{Branch, Node, NodeKind};
 use crate::tree::RStarTree;
 use crate::{Entry, NodeId, TreeParams};
 use nwc_geom::{Point, Rect};
@@ -148,21 +148,23 @@ impl RStarTree {
         let mut pages: Vec<[u8; PAGE_SIZE]> = Vec::with_capacity(self.node_count());
         let mut page_of: HashMap<NodeId, u32> = HashMap::new();
         // Bottom-up: children serialized before parents so parents can
-        // embed child page ids. Post-order DFS.
+        // embed child page ids. Post-order DFS. Node access goes through
+        // `peek_node` (uncharged) so a disk-backed tree can be
+        // re-serialized too.
         let mut stack: Vec<(NodeId, bool)> = vec![(self.root(), false)];
         while let Some((id, expanded)) = stack.pop() {
-            let node = self.node(id);
+            let node = self.peek_node(id);
             if !expanded {
                 stack.push((id, true));
-                if let NodeKind::Internal(children) = &node.kind {
-                    for &c in children {
-                        stack.push((c, false));
+                if let NodeKind::Internal(branches) = &node.kind {
+                    for b in branches {
+                        stack.push((b.child, false));
                     }
                 }
                 continue;
             }
             let page_id = pages.len() as u32;
-            pages.push(self.encode_node(node, &page_of));
+            pages.push(encode_node(&node, &page_of));
             page_of.insert(id, page_id);
         }
         PageFile {
@@ -212,39 +214,100 @@ fn get_rect(buf: &[u8], off: &mut usize) -> Rect {
     Rect::new(Point::new(min_x, min_y), Point::new(max_x, max_y))
 }
 
-impl RStarTree {
-    fn encode_node(&self, node: &Node, page_of: &HashMap<NodeId, u32>) -> [u8; PAGE_SIZE] {
-        let mut buf = [0u8; PAGE_SIZE];
-        let mut off;
-        match &node.kind {
-            NodeKind::Leaf(entries) => {
-                buf[0] = 0;
-                off = 1;
-                put_u32(&mut buf, &mut off, node.level);
-                put_u32(&mut buf, &mut off, entries.len() as u32);
-                put_rect(&mut buf, &mut off, &node.mbr);
-                for e in entries {
-                    put_u32(&mut buf, &mut off, e.id);
-                    put_f64(&mut buf, &mut off, e.point.x);
-                    put_f64(&mut buf, &mut off, e.point.y);
-                }
-            }
-            NodeKind::Internal(children) => {
-                buf[0] = 1;
-                off = 1;
-                put_u32(&mut buf, &mut off, node.level);
-                put_u32(&mut buf, &mut off, children.len() as u32);
-                put_rect(&mut buf, &mut off, &node.mbr);
-                for &c in children {
-                    put_u32(&mut buf, &mut off, page_of[&c]);
-                    // Child MBR kept in the parent page, as real R-trees
-                    // do, so a parent fetch suffices to route queries.
-                    put_rect(&mut buf, &mut off, &self.node(c).mbr);
-                }
+fn encode_node(node: &Node, page_of: &HashMap<NodeId, u32>) -> [u8; PAGE_SIZE] {
+    let mut buf = [0u8; PAGE_SIZE];
+    let mut off;
+    match &node.kind {
+        NodeKind::Leaf(entries) => {
+            buf[0] = 0;
+            off = 1;
+            put_u32(&mut buf, &mut off, node.level);
+            put_u32(&mut buf, &mut off, entries.len() as u32);
+            put_rect(&mut buf, &mut off, &node.mbr);
+            for e in entries {
+                put_u32(&mut buf, &mut off, e.id);
+                put_f64(&mut buf, &mut off, e.point.x);
+                put_f64(&mut buf, &mut off, e.point.y);
             }
         }
-        debug_assert!(off <= PAGE_SIZE);
-        buf
+        NodeKind::Internal(branches) => {
+            buf[0] = 1;
+            off = 1;
+            put_u32(&mut buf, &mut off, node.level);
+            put_u32(&mut buf, &mut off, branches.len() as u32);
+            put_rect(&mut buf, &mut off, &node.mbr);
+            for b in branches {
+                put_u32(&mut buf, &mut off, page_of[&b.child]);
+                // Child MBR kept in the parent page, as real R-trees
+                // do, so a parent fetch suffices to route queries.
+                put_rect(&mut buf, &mut off, &b.mbr);
+            }
+        }
+    }
+    debug_assert!(off <= PAGE_SIZE);
+    buf
+}
+
+/// Decodes a single page into a [`Node`] whose branches reference child
+/// **pages** (`NodeId` ≡ page id — the identity a demand-paged tree
+/// runs on). Validation is per-page only: tag, level/kind consistency,
+/// capacity, and child pointers in `0..n_pages`. Cross-page invariants
+/// (acyclicity, level succession, parent-declared MBRs matching child
+/// headers) are enforced by the open-time scan in [`crate::disk`].
+pub(crate) fn decode_node(buf: &[u8], n_pages: u32) -> Result<Node, PageError> {
+    let tag = buf[0];
+    let mut off = 1usize;
+    let level = get_u32(buf, &mut off);
+    let count = get_u32(buf, &mut off);
+    let mbr = get_rect(buf, &mut off);
+    match tag {
+        0 => {
+            if level != 0 {
+                return Err(PageError::Invalid("leaf page at nonzero level"));
+            }
+            if count as usize > page_capacity_leaf() {
+                return Err(PageError::Overflow(count));
+            }
+            let mut entries = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let id = get_u32(buf, &mut off);
+                let x = get_f64(buf, &mut off);
+                let y = get_f64(buf, &mut off);
+                entries.push(Entry::new(id, Point::new(x, y)));
+            }
+            let mut node = Node::new_leaf();
+            node.kind = NodeKind::Leaf(entries);
+            node.mbr = mbr;
+            Ok(node)
+        }
+        1 => {
+            if level == 0 {
+                return Err(PageError::Invalid("internal page at level 0"));
+            }
+            if count == 0 {
+                return Err(PageError::Invalid("internal page with no children"));
+            }
+            if count as usize > page_capacity_internal() {
+                return Err(PageError::Overflow(count));
+            }
+            let mut branches = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let child_page = get_u32(buf, &mut off);
+                let child_mbr = get_rect(buf, &mut off);
+                if child_page >= n_pages {
+                    return Err(PageError::DanglingChild(child_page));
+                }
+                branches.push(Branch {
+                    child: NodeId(child_page),
+                    mbr: child_mbr,
+                });
+            }
+            let mut node = Node::new_internal(level);
+            node.kind = NodeKind::Internal(branches);
+            node.mbr = mbr;
+            Ok(node)
+        }
+        t => Err(PageError::BadTag(t)),
     }
 }
 
@@ -315,10 +378,10 @@ pub(crate) fn decode_page_file(file: &PageFile) -> Result<(RStarTree, Vec<u32>),
                 if count as usize > page_capacity_internal() {
                     return Err(PageError::Overflow(count));
                 }
-                let mut children = Vec::with_capacity(count as usize);
+                let mut branches = Vec::with_capacity(count as usize);
                 for _ in 0..count {
                     let child_page = get_u32(buf, &mut off);
-                    let _child_mbr = get_rect(buf, &mut off);
+                    let child_mbr = get_rect(buf, &mut off);
                     if child_page as usize >= n_pages {
                         return Err(PageError::DanglingChild(child_page));
                     }
@@ -328,14 +391,29 @@ pub(crate) fn decode_page_file(file: &PageFile) -> Result<(RStarTree, Vec<u32>),
                     let child_id = tree.alloc(Node::new_leaf());
                     node_of[child_page as usize] = Some(child_id);
                     stack.push((child_page, child_id, Some(level - 1)));
-                    children.push(child_id);
+                    branches.push(Branch {
+                        child: child_id,
+                        mbr: child_mbr,
+                    });
                 }
                 let mut node = Node::new_internal(level);
-                node.kind = NodeKind::Internal(children);
+                node.kind = NodeKind::Internal(branches);
                 node.mbr = mbr;
                 *tree.node_mut(nid) = node;
             }
             t => return Err(PageError::BadTag(t)),
+        }
+    }
+    // Every child is decoded by now: the MBR each parent declared for a
+    // branch must be the child's own header MBR, or routing decisions
+    // made from the parent would diverge from the child's contents.
+    for node in &tree.nodes {
+        if let NodeKind::Internal(branches) = &node.kind {
+            for b in branches {
+                if tree.nodes[b.child.index()].mbr != b.mbr {
+                    return Err(PageError::Invalid("parent-declared child MBR mismatch"));
+                }
+            }
         }
     }
     tree.len = len;

@@ -35,16 +35,19 @@ impl RStarTree {
     /// run once per visited object on the NWC hot path, and a per-call
     /// stack allocation there would dominate the allocation profile.
     /// The tree is shallow (fan-out ≥ 25), so recursion depth is tiny.
+    /// The `read_node` guard stays live across the child recursion, so
+    /// on a disk-backed tree the parent's page is pinned while its
+    /// children are visited.
     pub fn window_query_from_into(&self, start: NodeId, rect: &Rect, out: &mut Vec<Entry>) {
         let node = self.read_node(start);
         match &node.kind {
             NodeKind::Leaf(entries) => {
                 out.extend(entries.iter().filter(|e| rect.contains_point(&e.point)));
             }
-            NodeKind::Internal(children) => {
-                for &c in children {
-                    if self.node(c).mbr.intersects(rect) {
-                        self.window_query_from_into(c, rect, out);
+            NodeKind::Internal(branches) => {
+                for b in branches {
+                    if b.mbr.intersects(rect) {
+                        self.window_query_from_into(b.child, rect, out);
                     }
                 }
             }
@@ -67,10 +70,10 @@ impl RStarTree {
                 .iter()
                 .filter(|e| rect.contains_point(&e.point))
                 .count(),
-            NodeKind::Internal(children) => children
+            NodeKind::Internal(branches) => branches
                 .iter()
-                .filter(|&&c| self.node(c).mbr.intersects(rect))
-                .map(|&c| self.window_count_under(c, rect))
+                .filter(|b| b.mbr.intersects(rect))
+                .map(|b| self.window_count_under(b.child, rect))
                 .sum(),
         }
     }
@@ -89,9 +92,9 @@ impl RStarTree {
         let node = self.read_node(id);
         match &node.kind {
             NodeKind::Leaf(entries) => entries.iter().any(|e| e.point == *p),
-            NodeKind::Internal(children) => children
+            NodeKind::Internal(branches) => branches
                 .iter()
-                .any(|&c| self.node(c).mbr.contains_point(p) && self.contains_point_under(c, p)),
+                .any(|b| b.mbr.contains_point(p) && self.contains_point_under(b.child, p)),
         }
     }
 }

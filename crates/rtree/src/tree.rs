@@ -3,6 +3,58 @@
 use crate::node::{Node, NodeKind};
 use crate::{Entry, IoStats, NodeId, TreeParams};
 use nwc_geom::{Point, Rect};
+use std::ops::Deref;
+
+/// An error from mutating an [`RStarTree`] in a state that forbids it.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TreeError {
+    /// The tree is disk-backed (see [`crate::disk`]) and therefore
+    /// read-only: mutating the cached nodes would silently diverge from
+    /// the page file. Rebuild in memory and
+    /// [`RStarTree::save_to_path`] instead.
+    ReadOnly,
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::ReadOnly => write!(
+                f,
+                "disk-backed trees are read-only: rebuild and save_to_path instead"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// A guard over one node's contents, returned by the tree's internal
+/// `read_node`/`peek_node`.
+///
+/// On an arena tree this is a plain borrow (no allocation — the warm
+/// query path stays allocation-free). On a disk-backed tree it holds the
+/// decoded node alive (`Arc`) and — for charged reads — keeps the
+/// backing page **pinned** in the buffer pool until the guard drops, so
+/// a parent's page cannot be evicted while a query still descends
+/// through its children. Dereferences to [`Node`].
+pub(crate) enum NodeRef<'t> {
+    /// Direct arena borrow (in-memory tree).
+    Arena(&'t Node),
+    /// Demand-paged node (disk-backed tree); see
+    /// [`crate::disk::PagedNode`].
+    Paged(crate::disk::PagedNode<'t>),
+}
+
+impl Deref for NodeRef<'_> {
+    type Target = Node;
+    #[inline]
+    fn deref(&self) -> &Node {
+        match self {
+            NodeRef::Arena(n) => n,
+            NodeRef::Paged(p) => p.node(),
+        }
+    }
+}
 
 /// An in-memory R\*-tree over 2-D point objects with node-access
 /// accounting.
@@ -20,9 +72,9 @@ pub struct RStarTree {
     pub(crate) len: usize,
     pub(crate) params: TreeParams,
     pub(crate) stats: IoStats,
-    /// `Some` for a disk-backed tree (see [`crate::disk`]): node
-    /// accesses then run through the buffer pool and the tree is
-    /// read-only.
+    /// `Some` for a disk-backed tree (see [`crate::disk`]): the arena is
+    /// empty, node ids are page ids, node accesses fault pages in
+    /// through the buffer pool, and the tree is read-only.
     pub(crate) storage: Option<Box<crate::disk::TreeStorage>>,
 }
 
@@ -83,7 +135,10 @@ impl RStarTree {
     /// root's children are leaves, and so on.
     #[inline]
     pub fn height(&self) -> usize {
-        self.node(self.root).level as usize + 1
+        match &self.storage {
+            Some(s) => s.root_level() as usize + 1,
+            None => self.node(self.root).level as usize + 1,
+        }
     }
 
     /// The MBR of the whole dataset, or `None` when empty.
@@ -91,31 +146,45 @@ impl RStarTree {
         if self.is_empty() {
             None
         } else {
-            Some(self.node(self.root).mbr)
+            match &self.storage {
+                Some(s) => Some(s.root_mbr()),
+                None => Some(self.node(self.root).mbr),
+            }
         }
     }
 
     /// Level of a node: 0 for leaves, increasing toward the root.
+    /// Charges no I/O (bookkeeping read, like the arena's).
     #[inline]
     pub fn node_level(&self, id: NodeId) -> u32 {
-        self.node(id).level
+        match &self.storage {
+            Some(s) if id == self.root => s.root_level(),
+            _ => self.peek_node(id).level,
+        }
     }
 
-    /// MBR of a node.
+    /// MBR of a node. Charges no I/O.
     #[inline]
     pub fn node_mbr(&self, id: NodeId) -> Rect {
-        self.node(id).mbr
+        match &self.storage {
+            Some(s) if id == self.root => s.root_mbr(),
+            _ => self.peek_node(id).mbr,
+        }
     }
 
-    /// Number of direct children (entries or nodes) of a node.
+    /// Number of direct children (entries or nodes) of a node. Charges
+    /// no I/O.
     #[inline]
     pub fn node_len(&self, id: NodeId) -> usize {
-        self.node(id).len()
+        self.peek_node(id).len()
     }
 
     /// Total number of nodes currently allocated (for storage accounting).
     pub fn node_count(&self) -> usize {
-        self.nodes.len() - self.free.len()
+        match &self.storage {
+            Some(s) => s.node_count(),
+            None => self.nodes.len() - self.free.len(),
+        }
     }
 
     /// Iterates over every stored entry (no I/O is charged; this is a
@@ -128,9 +197,9 @@ impl RStarTree {
                 return Some(e);
             }
             let id = stack.pop()?;
-            match &self.node(id).kind {
+            match &self.peek_node(id).kind {
                 NodeKind::Leaf(entries) => buf.extend(entries.iter().copied()),
-                NodeKind::Internal(children) => stack.extend(children.iter().copied()),
+                NodeKind::Internal(branches) => stack.extend(branches.iter().map(|b| b.child)),
             }
         })
     }
@@ -150,16 +219,43 @@ impl RStarTree {
     }
 
     /// Reads a node's contents for query purposes, charging one node
-    /// access to the stats. On a disk-backed tree the access first runs
-    /// through the buffer pool: a miss performs (and charges) a real
-    /// page read, a hit charges [`IoStats::record_buffer_hit`] instead.
+    /// access to the stats. On a disk-backed tree the access faults the
+    /// node's page in through the buffer pool — a miss performs (and
+    /// charges) a real page read plus a decode, a hit charges
+    /// [`IoStats::record_buffer_hit`] and reuses the already-decoded
+    /// node — and the returned guard pins the page until dropped.
     #[inline]
-    pub(crate) fn read_node(&self, id: NodeId) -> &Node {
+    pub(crate) fn read_node(&self, id: NodeId) -> NodeRef<'_> {
         match &self.storage {
-            Some(storage) => storage.touch(id, &self.stats),
-            None => self.stats.record_node_read(),
+            Some(storage) => NodeRef::Paged(storage.fetch(id.0, &self.stats)),
+            None => {
+                self.stats.record_node_read();
+                NodeRef::Arena(&self.nodes[id.index()])
+            }
         }
-        &self.nodes[id.index()]
+    }
+
+    /// Reads a node's contents for bookkeeping purposes — builds,
+    /// validation, entry iteration — charging **no** I/O, pinning
+    /// nothing, and never touching the buffer pool counters. On a
+    /// disk-backed tree a non-resident node is decoded from an uncounted
+    /// store read; resident nodes are reused.
+    #[inline]
+    pub(crate) fn peek_node(&self, id: NodeId) -> NodeRef<'_> {
+        match &self.storage {
+            Some(storage) => NodeRef::Paged(storage.peek(id.0)),
+            None => NodeRef::Arena(&self.nodes[id.index()]),
+        }
+    }
+
+    /// `Err(TreeError::ReadOnly)` when this tree is disk-backed.
+    #[inline]
+    pub(crate) fn check_mutable(&self) -> Result<(), TreeError> {
+        if self.storage.is_some() {
+            Err(TreeError::ReadOnly)
+        } else {
+            Ok(())
+        }
     }
 
     pub(crate) fn alloc(&mut self, node: Node) -> NodeId {
@@ -179,20 +275,26 @@ impl RStarTree {
         self.free.push(id);
     }
 
-    /// Recomputes a node's MBR from its children. Panics on an empty
-    /// non-root node (mutations must not leave those behind).
+    /// Recomputes a node's MBR from its children, refreshing the child
+    /// MBR stored in each branch on the way (the branch copies are the
+    /// ones queries prune on, so every mutation sync point must keep
+    /// them exact). Panics on an empty non-root node (mutations must not
+    /// leave those behind).
     pub(crate) fn recompute_mbr(&mut self, id: NodeId) {
         let mbr = match &self.node(id).kind {
             NodeKind::Leaf(entries) => Rect::bounding(entries.iter().map(|e| e.point)),
-            NodeKind::Internal(children) => {
-                let mut it = children.iter();
-                it.next().map(|&first| {
-                    let mut r = self.node(first).mbr;
-                    for &c in it {
-                        r = r.union(&self.node(c).mbr);
-                    }
-                    r
-                })
+            NodeKind::Internal(branches) => {
+                let fresh: Vec<Rect> = branches
+                    .iter()
+                    .map(|b| self.nodes[b.child.index()].mbr)
+                    .collect();
+                let union = fresh.iter().skip(1).fold(fresh.first().copied(), |acc, r| {
+                    acc.map(|u| u.union(r))
+                });
+                for (b, m) in self.node_mut(id).branches_mut().iter_mut().zip(&fresh) {
+                    b.mbr = *m;
+                }
+                union
             }
         };
         match mbr {
@@ -244,5 +346,11 @@ mod tests {
         let mut ids: Vec<_> = t.iter_entries().map(|e| e.id).collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn read_only_error_displays_usefully() {
+        let msg = TreeError::ReadOnly.to_string();
+        assert!(msg.contains("read-only"), "{msg}");
     }
 }

@@ -24,20 +24,41 @@ fn err(msg: String) -> Result<(), InvariantViolation> {
 ///
 /// 1. every leaf sits at level 0 and all leaves share the same depth,
 /// 2. internal children sit exactly one level below their parent,
-/// 3. every node's MBR is exactly the union of its children,
+/// 3. every node's MBR is exactly the union of its children, and every
+///    branch's stored child MBR matches the child node it points to
+///    (queries prune on the branch copy, so a stale copy is corruption),
 /// 4. no node (except a lone root) exceeds `max_entries` or is empty,
 /// 5. the stored length equals the number of reachable entries,
 /// 6. the arena leaks no nodes (allocated = reachable + free).
 ///
 /// Minimum-fill is checked separately by [`check_fill`] because STR
 /// bulk loading legitimately leaves trailing nodes underfull.
+///
+/// Reads nodes through the uncharged peek path, so a disk-backed tree
+/// can be validated without disturbing its I/O counters.
 pub fn check_invariants(tree: &RStarTree) -> Result<(), InvariantViolation> {
     let mut reachable = 0usize;
     let mut entries = 0usize;
-    let mut stack: Vec<NodeId> = vec![tree.root()];
-    while let Some(id) = stack.pop() {
+    // Each frame carries what the parent's branch declared about the
+    // child: its level (parent level − 1) and its MBR copy.
+    let mut stack: Vec<(NodeId, Option<(u32, nwc_geom::Rect)>)> = vec![(tree.root(), None)];
+    while let Some((id, declared)) = stack.pop() {
         reachable += 1;
-        let node = tree.node(id);
+        let node = tree.peek_node(id);
+        if let Some((level, mbr)) = declared {
+            if node.level != level {
+                return err(format!(
+                    "node {id:?} at level {} but its parent declares level {level}",
+                    node.level
+                ));
+            }
+            if node.mbr != mbr {
+                return err(format!(
+                    "node {id:?} has MBR {:?} but its parent's branch declares {mbr:?}",
+                    node.mbr
+                ));
+            }
+        }
         if node.len() > tree.params().max_entries {
             return err(format!(
                 "node {id:?} has {} children > max {}",
@@ -70,21 +91,14 @@ pub fn check_invariants(tree: &RStarTree) -> Result<(), InvariantViolation> {
                     }
                 }
             }
-            NodeKind::Internal(children) => {
+            NodeKind::Internal(branches) => {
                 let mut union: Option<nwc_geom::Rect> = None;
-                for &c in children {
-                    let child = tree.node(c);
-                    if child.level + 1 != node.level {
-                        return err(format!(
-                            "child {c:?} level {} under parent {id:?} level {}",
-                            child.level, node.level
-                        ));
-                    }
+                for b in branches {
                     union = Some(match union {
-                        None => child.mbr,
-                        Some(u) => u.union(&child.mbr),
+                        None => b.mbr,
+                        Some(u) => u.union(&b.mbr),
                     });
-                    stack.push(c);
+                    stack.push((b.child, Some((node.level - 1, b.mbr))));
                 }
                 if let Some(u) = union {
                     if u != node.mbr {
@@ -117,7 +131,7 @@ pub fn check_invariants(tree: &RStarTree) -> Result<(), InvariantViolation> {
 pub fn check_fill(tree: &RStarTree) -> Result<(), InvariantViolation> {
     let mut stack: Vec<NodeId> = vec![tree.root()];
     while let Some(id) = stack.pop() {
-        let node = tree.node(id);
+        let node = tree.peek_node(id);
         if id != tree.root() && node.len() < tree.params().min_entries {
             return err(format!(
                 "node {id:?} has {} children < min {}",
@@ -125,8 +139,8 @@ pub fn check_fill(tree: &RStarTree) -> Result<(), InvariantViolation> {
                 tree.params().min_entries
             ));
         }
-        if let NodeKind::Internal(children) = &node.kind {
-            stack.extend(children.iter().copied());
+        if let NodeKind::Internal(branches) = &node.kind {
+            stack.extend(branches.iter().map(|b| b.child));
         }
     }
     Ok(())

@@ -11,20 +11,40 @@
 //! is a stack algorithm: for a fixed reference string its hit count is
 //! non-decreasing in capacity (the inclusion property). The buffer-sweep
 //! experiment relies on that monotonicity; CLOCK does not guarantee it.
-//! The LRU victim scan is `O(capacity)` per miss, which is noise next to
-//! the page read the miss already pays for.
+//! (Pinning can perturb the victim choice, but pinned pages are the
+//! most recently used ones on a traversal path, which plain LRU would
+//! not victimize either except at degenerate capacities.) The LRU
+//! victim scan is `O(capacity)` per miss, which is noise next to the
+//! page read the miss already pays for.
 //!
 //! All methods take `&self`: the frame table lives behind a mutex (loads
 //! included — misses are serialized, as the metadata of a real pool's
 //! latching would be) and the counters are relaxed atomics, so one pool
 //! can serve every query thread of a
 //! [`QueryEngine`]-style batch runner.
+//!
+//! # Panic safety
+//!
+//! A caller closure (`load`/`read`) that panics unwinds while the frame
+//! mutex is held and poisons it. The frame table has no invariant a
+//! mid-panic unwind can break (the worst case is one unmapped frame
+//! slot, which a later miss re-victimizes), so every lock site recovers
+//! with [`PoisonError::into_inner`] instead of propagating the panic:
+//! one crashing query thread never bricks the pool for the others.
+//!
+//! # Eviction hook
+//!
+//! [`BufferPool::set_evict_hook`] registers a callback fired — under the
+//! pool lock — whenever a page leaves the pool (LRU eviction or
+//! [`BufferPool::clear`]). Clients caching state keyed by page id (the
+//! R\*-tree's decoded-node cache) use it to drop their entry in the same
+//! critical section, so cached state never outlives page residency.
 
 use crate::error::StoreError;
 use crate::PAGE_SIZE;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// How the pool satisfied a page request.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -80,10 +100,14 @@ struct Inner {
     tick: u64,
 }
 
+/// Callback invoked (under the pool lock) when a page leaves the pool.
+pub type EvictHook = Box<dyn Fn(u32) + Send + Sync>;
+
 /// A fixed-capacity page buffer. See the module docs.
 pub struct BufferPool {
     capacity: usize,
     inner: Mutex<Inner>,
+    evict_hook: OnceLock<EvictHook>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -101,6 +125,7 @@ impl BufferPool {
         BufferPool {
             capacity,
             inner: Mutex::new(Inner::default()),
+            evict_hook: OnceLock::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -116,6 +141,34 @@ impl BufferPool {
     /// The configured capacity in pages.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Registers the eviction callback (at most once, before queries
+    /// start). Fired under the pool lock for every page dropped by LRU
+    /// eviction or [`BufferPool::clear`]; the hook must not call back
+    /// into the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a hook was already registered.
+    pub fn set_evict_hook(&self, hook: EvictHook) {
+        if self.evict_hook.set(hook).is_err() {
+            panic!("buffer pool evict hook already set");
+        }
+    }
+
+    /// Locks the frame table, recovering from poisoning: a panic in a
+    /// caller closure cannot corrupt the table (see the module docs), so
+    /// the lock stays usable for every other thread.
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[inline]
+    fn fire_evict_hook(&self, page: u32) {
+        if let Some(hook) = self.evict_hook.get() {
+            hook(page);
+        }
     }
 
     /// Requests `page`, invoking `load` to fill the frame on a miss.
@@ -138,15 +191,52 @@ impl BufferPool {
         load: impl FnOnce(&mut [u8]) -> Result<(), StoreError>,
         read: impl FnOnce(&[u8]) -> R,
     ) -> Result<(Access, R), StoreError> {
-        let mut inner = self.inner.lock().expect("buffer pool lock poisoned");
+        self.request(page, load, |bytes, _cached| read(bytes), false)
+            .map(|(access, _cached, r)| (access, r))
+    }
+
+    /// As [`BufferPool::with_page`], but the page is additionally
+    /// **pinned** when it is (or becomes) resident — release with
+    /// [`BufferPool::unpin`]. Pins nest. `read` runs under the pool lock
+    /// and receives `cached = false` only on the all-frames-pinned
+    /// fallback, where the bytes live in a throwaway scratch buffer and
+    /// no pin is taken (there is nothing resident to pin).
+    ///
+    /// This is the one-critical-section primitive behind demand paging:
+    /// hit/miss classification, loading, pinning and the caller's
+    /// decode-and-cache step all happen atomically with respect to
+    /// eviction, so a decoded node can never outlive its page's
+    /// residency unnoticed.
+    pub fn pin_with_page<R>(
+        &self,
+        page: u32,
+        load: impl FnOnce(&mut [u8]) -> Result<(), StoreError>,
+        read: impl FnOnce(&[u8], bool) -> R,
+    ) -> Result<(Access, bool, R), StoreError> {
+        self.request(page, load, read, true)
+    }
+
+    /// Shared hit/miss/scratch machinery for `with_page` and
+    /// `pin_with_page`.
+    fn request<R>(
+        &self,
+        page: u32,
+        load: impl FnOnce(&mut [u8]) -> Result<(), StoreError>,
+        read: impl FnOnce(&[u8], bool) -> R,
+        pin: bool,
+    ) -> Result<(Access, bool, R), StoreError> {
+        let mut inner = self.lock_inner();
         inner.tick += 1;
         let tick = inner.tick;
 
         if let Some(&idx) = inner.map.get(&page) {
             let frame = &mut inner.frames[idx];
             frame.last_used = tick;
+            if pin {
+                frame.pins += 1;
+            }
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((Access::Hit, read(&frame.data)));
+            return Ok((Access::Hit, true, read(&frame.data, true)));
         }
 
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -160,25 +250,25 @@ impl BufferPool {
                 }
                 let frame = &mut inner.frames[idx];
                 frame.page = page;
-                frame.pins = 0;
+                frame.pins = u32::from(pin);
                 frame.last_used = tick;
                 inner.map.insert(page, idx);
-                let r = read(&inner.frames[idx].data);
-                Ok((Access::Miss, r))
+                let r = read(&inner.frames[idx].data, true);
+                Ok((Access::Miss, true, r))
             }
             None => {
                 // Every frame is pinned: perform the read without
                 // caching it (still one physical read, no eviction).
                 let mut scratch = vec![0u8; PAGE_SIZE];
                 load(&mut scratch)?;
-                Ok((Access::Miss, read(&scratch)))
+                Ok((Access::Miss, false, read(&scratch, false)))
             }
         }
     }
 
     /// Finds a frame for a new page: a free slot, a new allocation under
-    /// capacity, or the LRU unpinned victim. `None` when every frame is
-    /// pinned.
+    /// capacity, or the LRU unpinned victim (firing the evict hook).
+    /// `None` when every frame is pinned.
     fn claim_frame(&self, inner: &mut Inner) -> Option<usize> {
         if let Some(idx) = inner.free.pop() {
             return Some(idx);
@@ -202,6 +292,7 @@ impl BufferPool {
         let old_page = inner.frames[victim].page;
         inner.map.remove(&old_page);
         self.evictions.fetch_add(1, Ordering::Relaxed);
+        self.fire_evict_hook(old_page);
         Some(victim)
     }
 
@@ -213,22 +304,14 @@ impl BufferPool {
         page: u32,
         load: impl FnOnce(&mut [u8]) -> Result<(), StoreError>,
     ) -> Result<Access, StoreError> {
-        let (access, pinned) = self.with_page(page, load, |_| ())?;
-        let mut inner = self.inner.lock().expect("buffer pool lock poisoned");
-        match inner.map.get(&page).copied() {
-            Some(idx) => inner.frames[idx].pins += 1,
-            // Unreachable in practice (with_page caches on success unless
-            // every frame is pinned); treat as a failed pin.
-            None => return Ok(access),
-        }
-        let () = pinned;
-        Ok(access)
+        self.pin_with_page(page, load, |_, _| ())
+            .map(|(access, _, ())| access)
     }
 
     /// Releases one pin on `page`. Returns `false` when the page is not
     /// resident or not pinned.
     pub fn unpin(&self, page: u32) -> bool {
-        let mut inner = self.inner.lock().expect("buffer pool lock poisoned");
+        let mut inner = self.lock_inner();
         match inner.map.get(&page).copied() {
             Some(idx) if inner.frames[idx].pins > 0 => {
                 inner.frames[idx].pins -= 1;
@@ -239,14 +322,19 @@ impl BufferPool {
     }
 
     /// Drops every resident page (pins included), returning the pool to
-    /// a cold state. Counters are unaffected; pair with
-    /// [`BufferPool::reset_stats`] for a fully fresh measurement.
+    /// a cold state and firing the evict hook for each dropped page.
+    /// Counters are unaffected; pair with [`BufferPool::reset_stats`]
+    /// for a fully fresh measurement.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("buffer pool lock poisoned");
+        let mut inner = self.lock_inner();
+        let dropped: Vec<u32> = inner.map.keys().copied().collect();
         inner.map.clear();
         inner.free.clear();
         inner.frames.clear();
         inner.tick = 0;
+        for page in dropped {
+            self.fire_evict_hook(page);
+        }
     }
 
     /// Zeroes the hit/miss/eviction counters.
@@ -258,7 +346,7 @@ impl BufferPool {
 
     /// Current counters and occupancy.
     pub fn stats(&self) -> PoolStats {
-        let inner = self.inner.lock().expect("buffer pool lock poisoned");
+        let inner = self.lock_inner();
         PoolStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -408,6 +496,25 @@ mod tests {
     }
 
     #[test]
+    fn pin_with_page_reports_scratch_fallback() {
+        let pool = BufferPool::new(1);
+        let (a, cached, ()) = pool
+            .pin_with_page(1, |b| { b[0] = 1; Ok(()) }, |_, _| ())
+            .unwrap();
+        assert_eq!((a, cached), (Access::Miss, true));
+        // Frame 1 is pinned: page 2 lands in scratch, uncached, unpinned.
+        let (a, cached, byte) = pool
+            .pin_with_page(2, |b| { b[0] = 22; Ok(()) }, |b, cached| {
+                assert!(!cached);
+                b[0]
+            })
+            .unwrap();
+        assert_eq!((a, cached, byte), (Access::Miss, false, 22));
+        assert!(!pool.unpin(2), "scratch reads take no pin");
+        assert!(pool.unpin(1));
+    }
+
+    #[test]
     fn failed_load_caches_nothing() {
         let pool = BufferPool::new(2);
         let r = pool.access(5, |_| Err(StoreError::PageChecksum { page: 5 }));
@@ -432,9 +539,54 @@ mod tests {
     }
 
     #[test]
+    fn evict_hook_sees_every_departure() {
+        use std::sync::Arc;
+        let evicted = Arc::new(Mutex::new(Vec::new()));
+        let pool = BufferPool::new(2);
+        let sink = evicted.clone();
+        pool.set_evict_hook(Box::new(move |page| {
+            sink.lock().unwrap().push(page);
+        }));
+        touch(&pool, 1);
+        touch(&pool, 2);
+        touch(&pool, 3); // evicts 1 (LRU)
+        assert_eq!(*evicted.lock().unwrap(), vec![1]);
+        pool.clear(); // drops 2 and 3, in some order
+        let mut rest = evicted.lock().unwrap().clone();
+        rest.sort_unstable();
+        assert_eq!(rest, vec![1, 2, 3]);
+    }
+
+    #[test]
     #[should_panic(expected = "at least 1")]
     fn zero_capacity_rejected() {
         BufferPool::new(0);
+    }
+
+    #[test]
+    fn panicking_loader_does_not_poison_the_pool() {
+        use std::sync::Arc;
+        let pool = Arc::new(BufferPool::new(2));
+        touch(&pool, 1);
+        // A query thread panics *inside* the pool's critical section.
+        let p2 = pool.clone();
+        let crashed = std::thread::spawn(move || {
+            p2.access(9, |_| panic!("simulated decode bug")).ok();
+        })
+        .join();
+        assert!(crashed.is_err(), "the panic must reach the thread join");
+        // Every later operation — from this and other threads — still
+        // works: the poisoned lock is recovered, not propagated.
+        assert_eq!(touch(&pool, 1), Access::Hit, "old page still resident");
+        assert_eq!(touch(&pool, 9), Access::Miss, "crashed page loadable");
+        assert_eq!(touch(&pool, 9), Access::Hit);
+        let p3 = pool.clone();
+        std::thread::spawn(move || {
+            assert_eq!(touch(&p3, 1), Access::Hit);
+        })
+        .join()
+        .unwrap();
+        assert!(pool.stats().resident <= 2);
     }
 
     #[test]

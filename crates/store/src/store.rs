@@ -32,11 +32,11 @@
 use crate::checksum::crc32;
 use crate::error::StoreError;
 use crate::PAGE_SIZE;
-use std::fs::{File, OpenOptions};
+use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 const MAGIC: [u8; 8] = *b"NWCPAGE\x01";
 const VERSION: u32 = 1;
@@ -99,6 +99,12 @@ pub trait PageStore: Send + Sync {
     /// [`PAGE_SIZE`] bytes), verifying integrity where the backend can.
     fn read_page(&self, page: u32, buf: &mut [u8]) -> Result<(), StoreError>;
 
+    /// As [`PageStore::read_page`], but the read is **not** charged to
+    /// the physical-read counter. For bookkeeping walks that the I/O
+    /// accounting deliberately excludes (entry iteration, index builds,
+    /// invariant checks) — never for query paths.
+    fn read_page_uncounted(&self, page: u32, buf: &mut [u8]) -> Result<(), StoreError>;
+
     /// Number of successful physical page reads since construction or
     /// the last [`PageStore::reset_counters`].
     fn physical_reads(&self) -> u64;
@@ -156,6 +162,12 @@ impl PageStore for MemStore {
     }
 
     fn read_page(&self, page: u32, buf: &mut [u8]) -> Result<(), StoreError> {
+        self.read_page_uncounted(page, buf)?;
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn read_page_uncounted(&self, page: u32, buf: &mut [u8]) -> Result<(), StoreError> {
         assert_eq!(buf.len(), PAGE_SIZE, "read buffer must be one page");
         let src = self
             .pages
@@ -165,7 +177,6 @@ impl PageStore for MemStore {
                 page_count: self.meta.page_count,
             })?;
         buf.copy_from_slice(src);
-        self.reads.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -223,10 +234,43 @@ fn encode_header(meta: &StoreMeta, table_crc: u32) -> [u8; PAGE_SIZE] {
     h
 }
 
+/// The sibling temp path `create` stages its writes in: `<name>.tmp`
+/// next to the target. Deterministic so [`FileStore::open`] can clean a
+/// stray one left by a crash (the layer assumes a single writer per
+/// path, which `save_to_path`-style callers satisfy).
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "pagefile".into());
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Fsyncs `path`'s parent directory so a just-renamed entry is durable.
+fn fsync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    // Directories cannot be opened for syncing on every platform; where
+    // they can't, the rename itself is the best available guarantee.
+    match File::open(parent) {
+        Ok(dir) => dir.sync_all(),
+        Err(_) => Ok(()),
+    }
+}
+
 impl FileStore {
-    /// Writes a new page file at `path` (truncating any existing file)
-    /// and returns the opened store. The file is fsynced before this
-    /// returns.
+    /// Writes a new page file at `path` (replacing any existing file)
+    /// and returns the opened store.
+    ///
+    /// The replacement is **all-or-nothing**: bytes are staged in a
+    /// sibling `<name>.tmp`, fsynced, then atomically renamed over
+    /// `path`, and the parent directory is fsynced so the rename itself
+    /// is durable. A crash at any point leaves either the old file or
+    /// the new one — never a truncated hybrid — plus at worst a stray
+    /// temp file that [`FileStore::open`] cleans up.
     pub fn create(
         path: &Path,
         root_page: u32,
@@ -247,18 +291,30 @@ impl FileStore {
         }
         let table_crc = crc32(&table);
 
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
-        file.write_all(&encode_header(&meta, table_crc))?;
-        file.write_all(&table)?;
-        for p in pages {
-            file.write_all(p)?;
-        }
-        file.sync_all()?;
+        let tmp = tmp_sibling(path);
+        let write_and_swap = |tmp: &Path| -> Result<File, StoreError> {
+            let mut file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(tmp)?;
+            file.write_all(&encode_header(&meta, table_crc))?;
+            file.write_all(&table)?;
+            for p in pages {
+                file.write_all(p)?;
+            }
+            file.sync_all()?;
+            // The handle stays valid across the rename (same inode).
+            fs::rename(tmp, path)?;
+            fsync_parent_dir(path)?;
+            Ok(file)
+        };
+        let file = write_and_swap(&tmp).inspect_err(|_| {
+            // Failed mid-stage: the target is untouched; drop the
+            // half-written temp file if one was created.
+            fs::remove_file(&tmp).ok();
+        })?;
 
         Ok(FileStore {
             file: Mutex::new(file),
@@ -273,6 +329,11 @@ impl FileStore {
     /// size, header checksum, root page, file length, and checksum-table
     /// checksum. Corrupt files are rejected with a typed [`StoreError`].
     pub fn open(path: &Path) -> Result<FileStore, StoreError> {
+        // A stray staging file here means a previous save crashed after
+        // writing it but before (or during) the rename. It is never the
+        // authoritative copy — remove it best-effort and ignore failure
+        // (e.g. something unrelated occupies the name).
+        fs::remove_file(tmp_sibling(path)).ok();
         let mut file = File::open(path)?;
         let mut header = [0u8; HEADER_LEN];
         if file.read_exact(&mut header).is_err() {
@@ -337,6 +398,12 @@ impl PageStore for FileStore {
     }
 
     fn read_page(&self, page: u32, buf: &mut [u8]) -> Result<(), StoreError> {
+        self.read_page_uncounted(page, buf)?;
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn read_page_uncounted(&self, page: u32, buf: &mut [u8]) -> Result<(), StoreError> {
         assert_eq!(buf.len(), PAGE_SIZE, "read buffer must be one page");
         if page >= self.meta.page_count {
             return Err(StoreError::PageOutOfRange {
@@ -345,7 +412,10 @@ impl PageStore for FileStore {
             });
         }
         {
-            let mut file = self.file.lock().expect("file lock poisoned");
+            // A panic while holding the file lock (it cannot happen in
+            // this body, but a caller's unwind could in principle cross
+            // it) leaves no broken invariant: recover, don't propagate.
+            let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
             file.seek(SeekFrom::Start(
                 self.data_offset + page as u64 * PAGE_SIZE as u64,
             ))?;
@@ -354,7 +424,6 @@ impl PageStore for FileStore {
         if crc32(buf) != self.checksums[page as usize] {
             return Err(StoreError::PageChecksum { page });
         }
-        self.reads.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -367,7 +436,11 @@ impl PageStore for FileStore {
     }
 
     fn sync(&self) -> Result<(), StoreError> {
-        Ok(self.file.lock().expect("file lock poisoned").sync_all()?)
+        Ok(self
+            .file
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .sync_all()?)
     }
 }
 
@@ -509,6 +582,101 @@ mod tests {
             FileStore::open(&path),
             Err(StoreError::BadVersion(99))
         ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_resave_leaves_previous_file_intact() {
+        let path = tmp("atomic_resave");
+        let tmp_path = tmp_sibling(&path);
+        std::fs::remove_dir_all(&tmp_path).ok();
+        std::fs::remove_file(&tmp_path).ok();
+        let good = sample_pages(3);
+        FileStore::create(&path, 1, [5; 4], &good).unwrap();
+
+        // Simulate a save that cannot complete: a directory squats on
+        // the staging path, so the temp file can't even be opened.
+        std::fs::create_dir(&tmp_path).unwrap();
+        assert!(FileStore::create(&path, 0, [9; 4], &sample_pages(8)).is_err());
+        std::fs::remove_dir_all(&tmp_path).unwrap();
+
+        // The original save is untouched and fully readable.
+        let store = FileStore::open(&path).unwrap();
+        assert_eq!(store.meta().page_count, 3);
+        assert_eq!(store.meta().root_page, 1);
+        assert_eq!(store.meta().user, [5; 4]);
+        let mut buf = [0u8; PAGE_SIZE];
+        for (i, want) in good.iter().enumerate() {
+            store.read_page(i as u32, &mut buf).unwrap();
+            assert_eq!(buf[..], want[..], "page {i}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_never_stages_in_the_target_path() {
+        // While `create` is mid-write, the *target* must hold either
+        // nothing or the complete previous file — verified here by
+        // checking the staged temp name is a sibling, not the target,
+        // and that no temp residue survives a successful save.
+        let path = tmp("atomic_fresh");
+        let staged = tmp_sibling(&path);
+        assert_ne!(staged, path);
+        assert_eq!(
+            staged.file_name().unwrap().to_string_lossy(),
+            format!("{}.tmp", path.file_name().unwrap().to_string_lossy())
+        );
+        FileStore::create(&path, 0, [0; 4], &sample_pages(2)).unwrap();
+        assert!(path.exists());
+        assert!(!staged.exists(), "no temp residue after a clean save");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stray_temp_file_is_cleaned_on_open() {
+        let path = tmp("stray_tmp");
+        FileStore::create(&path, 0, [0; 4], &sample_pages(2)).unwrap();
+        // A crashed writer left a half-written staging file behind.
+        let stray = tmp_sibling(&path);
+        std::fs::write(&stray, b"half-written wreckage").unwrap();
+        let store = FileStore::open(&path).unwrap();
+        assert_eq!(store.meta().page_count, 2);
+        assert!(!stray.exists(), "open cleans the stray staging file");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rename_keeps_open_handle_valid() {
+        // `create` returns a store backed by the handle it staged with;
+        // after the rename (and even after unlinking the file) reads
+        // must keep working through that handle.
+        let path = tmp("handle_valid");
+        let pages = sample_pages(4);
+        let store = FileStore::create(&path, 0, [0; 4], &pages).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        for (i, want) in pages.iter().enumerate() {
+            store.read_page(i as u32, &mut buf).unwrap();
+            assert_eq!(buf[..], want[..], "page {i}");
+        }
+    }
+
+    #[test]
+    fn uncounted_reads_do_not_move_the_counter() {
+        let store = MemStore::new(sample_pages(2), 0, [0; 4]).unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        store.read_page_uncounted(0, &mut buf).unwrap();
+        store.read_page_uncounted(1, &mut buf).unwrap();
+        assert_eq!(store.physical_reads(), 0);
+        store.read_page(0, &mut buf).unwrap();
+        assert_eq!(store.physical_reads(), 1);
+
+        let path = tmp("uncounted");
+        let fstore = FileStore::create(&path, 0, [0; 4], &sample_pages(2)).unwrap();
+        fstore.read_page_uncounted(1, &mut buf).unwrap();
+        assert_eq!(fstore.physical_reads(), 0);
+        fstore.read_page(1, &mut buf).unwrap();
+        assert_eq!(fstore.physical_reads(), 1);
         std::fs::remove_file(&path).ok();
     }
 

@@ -73,5 +73,11 @@ fn main() {
         "totals: {} physical reads, {} hits, {} evictions, {} pages resident",
         total.misses, total.hits, total.evictions, total.resident,
     );
+    println!(
+        "peak resident decoded nodes: {} (pool capacity {} bounds memory, \
+         not just pages)",
+        storage.peak_resident_nodes(),
+        total.capacity,
+    );
     std::fs::remove_file(&path).ok();
 }

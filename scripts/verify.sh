@@ -29,7 +29,12 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
   cargo run --release --example persist_and_query
   NWC_SCALE=0.02 NWC_QUERIES=3 cargo run --release -p nwc-bench -- buffer
   test -s results/BENCH_buffer.json
-  echo "ok: results/BENCH_buffer.json written"
+  grep -q '"peak_resident_nodes"' results/BENCH_buffer.json
+  echo "ok: results/BENCH_buffer.json written (with resident-node gauge)"
+
+  step "smoke: demand paging (tiny pool, answers match arena)"
+  cargo test -q --release --test demand_paging
+  echo "ok: pool capacity bounds resident decoded nodes"
 fi
 
 step "verify: all checks passed"

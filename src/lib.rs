@@ -51,10 +51,10 @@ pub use nwc_store as store;
 pub mod prelude {
     pub use nwc_core::weighted::{WeightedNwcIndex, WeightedQuery};
     pub use nwc_core::{
-        DiskIndexConfig, DistanceMeasure, KnwcQuery, KnwcResult, NwcIndex, NwcQuery, NwcResult,
-        QueryEngine, QueryScratch, Scheme, SearchStats,
+        DiskIndexConfig, DistanceMeasure, IndexUpdateError, KnwcQuery, KnwcResult, NwcIndex,
+        NwcQuery, NwcResult, QueryEngine, QueryScratch, Scheme, SearchStats,
     };
     pub use nwc_datagen::Dataset;
     pub use nwc_geom::{window::WindowSpec, Point, Rect};
-    pub use nwc_rtree::RStarTree;
+    pub use nwc_rtree::{RStarTree, TreeError};
 }

@@ -196,7 +196,7 @@ fn roundtrip_empty_tree_on_disk_but_index_rejects_it() {
 #[test]
 fn roundtrip_single_point() {
     let mut tree = RStarTree::new();
-    tree.insert(7, Point::new(3.5, -2.25));
+    tree.insert(7, Point::new(3.5, -2.25)).unwrap();
     let back = roundtrip(&tree);
     let hits = back.window_query(&Rect::new(Point::new(3.0, -3.0), Point::new(4.0, -2.0)));
     assert_eq!(hits.len(), 1);

@@ -32,7 +32,7 @@ proptest! {
             initial.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
 
         for &p in &inserts {
-            let id = index.insert(p);
+            let id = index.insert(p).unwrap();
             live.push((id, p));
         }
         for pick in &removals {
@@ -40,9 +40,9 @@ proptest! {
                 break; // keep enough objects for the query to make sense
             }
             let (id, _) = live.remove(pick.index(live.len()));
-            prop_assert!(index.remove(id));
+            prop_assert!(index.remove(id).unwrap());
             prop_assert!(!index.is_live(id));
-            prop_assert!(!index.remove(id), "double-remove must fail");
+            prop_assert!(!index.remove(id).unwrap(), "double-remove must fail");
         }
         prop_assert_eq!(index.len(), live.len());
         index.rebuild_iwp();
@@ -78,14 +78,14 @@ proptest! {
         let mut index = NwcIndex::build(initial.clone());
         let mut ids: Vec<u32> = (0..initial.len() as u32).collect();
         for &p in &inserts {
-            ids.push(index.insert(p));
+            ids.push(index.insert(p).unwrap());
         }
         for pick in &removals {
             if ids.len() <= 1 {
                 break;
             }
             let id = ids.remove(pick.index(ids.len()));
-            index.remove(id);
+            index.remove(id).unwrap();
         }
         let grid = index.grid().expect("grid built by default");
         prop_assert_eq!(grid.total_objects(), index.len());
@@ -113,7 +113,7 @@ fn removed_objects_never_appear_in_results() {
     assert_eq!(before.ids().iter().max().copied().unwrap(), 2);
 
     for id in 0..3 {
-        assert!(index.remove(id));
+        assert!(index.remove(id).unwrap());
     }
     let after = index.nwc(&query, Scheme::NWC_PLUS).unwrap();
     let mut ids = after.ids();
@@ -127,7 +127,7 @@ fn iwp_scheme_panics_until_rebuilt_after_update() {
         .map(|i| Point::new((i % 10) as f64, (i / 10) as f64))
         .collect();
     let mut index = NwcIndex::build(pts);
-    index.insert(Point::new(50.0, 50.0));
+    index.insert(Point::new(50.0, 50.0)).unwrap();
     assert!(index.iwp().is_none(), "update must invalidate IWP");
     let query = NwcQuery::new(Point::new(0.0, 0.0), WindowSpec::square(4.0), 2);
     let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -150,7 +150,7 @@ fn dep_stays_correct_for_inserts_outside_the_original_space() {
     let mut index = NwcIndex::build(base);
     // A tight cluster far outside the original bounding box.
     for d in 0..3 {
-        index.insert(Point::new(500.0 + d as f64, 500.0 + d as f64));
+        index.insert(Point::new(500.0 + d as f64, 500.0 + d as f64)).unwrap();
     }
     index.rebuild_iwp();
     let query = NwcQuery::new(Point::new(400.0, 400.0), WindowSpec::square(8.0), 3);

@@ -30,7 +30,7 @@ proptest! {
 
         let mut inc = RStarTree::with_params(params);
         for (i, &p) in points.iter().enumerate() {
-            inc.insert(i as u32, p);
+            inc.insert(i as u32, p).unwrap();
         }
         validate::check_invariants(&inc).unwrap();
         validate::check_fill(&inc).unwrap();
@@ -104,7 +104,7 @@ proptest! {
             .collect();
         for (i, &del) in selector.iter().enumerate() {
             if del && i < points.len() {
-                prop_assert!(tree.delete(i as u32, points[i]));
+                prop_assert!(tree.delete(i as u32, points[i]).unwrap());
                 expected.retain(|&(id, _)| id != i as u32);
             }
         }
