@@ -1,0 +1,134 @@
+//! Micro-benchmarks of the disk-path primitives behind the buffer
+//! sweep: buffer-pool hit/miss service time, lock-stripe contention
+//! under concurrent access, and the MINDIST kernel every best-first
+//! descent runs per branch.
+//!
+//! The container these benches usually run in has a single core, so the
+//! contention group understates what sharding buys on real multi-core
+//! hosts — treat its numbers as a lower bound (see DESIGN.md § 4e).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nwc_geom::{Point, Rect};
+use nwc_store::BufferPool;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fill(buf: &mut [u8]) -> Result<(), nwc_store::StoreError> {
+    buf[0] = 1;
+    Ok(())
+}
+
+/// Steady-state pool service time: a hit on a resident page, and the
+/// miss + eviction path when the working set is twice the pool.
+fn pool_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool");
+
+    let pool = BufferPool::new(64);
+    pool.access(7, fill).unwrap();
+    g.bench_function("get_hit", |b| {
+        b.iter(|| pool.access(black_box(7), fill).unwrap())
+    });
+
+    let pool = BufferPool::new(64);
+    let mut next = 0u32;
+    g.bench_function("get_miss_evict", |b| {
+        b.iter(|| {
+            next = (next + 1) % 128; // 2x capacity: every access evicts
+            pool.access(black_box(next), fill).unwrap()
+        })
+    });
+
+    let pool = BufferPool::new(64);
+    let page = [0u8; nwc_store::PAGE_SIZE];
+    let mut next = 0u32;
+    g.bench_function("admit_prefetched", |b| {
+        b.iter(|| {
+            next = (next + 1) % 128;
+            pool.admit_prefetched(black_box(next), &page)
+        })
+    });
+    g.finish();
+}
+
+/// Aggregate throughput of 4 threads hammering one pool, single-stripe
+/// vs sharded. Each iteration spawns the threads, so compare the two
+/// configurations against each other, not against `pool/get_hit`.
+fn contention(c: &mut Criterion) {
+    const THREADS: usize = 4;
+    const ACCESSES: usize = 4_096;
+    let mut g = c.benchmark_group("pool_contention");
+    for shards in [1usize, 4] {
+        // 4x headroom over the 256-page working set: the page→shard
+        // hash does not split exactly evenly, and a shard running at
+        // its capacity would evict and turn the loop into a miss
+        // benchmark.
+        let pool = Arc::new(BufferPool::with_shards(1024, shards));
+        // Pre-warm so the measured loop is all hits (pure lock traffic).
+        for p in 0..256u32 {
+            pool.access(p, fill).unwrap();
+        }
+        g.bench_with_input(
+            BenchmarkId::new("hits_4_threads", shards),
+            &pool,
+            |b, pool| {
+                b.iter(|| {
+                    let handles: Vec<_> = (0..THREADS)
+                        .map(|t| {
+                            let pool = Arc::clone(pool);
+                            std::thread::spawn(move || {
+                                for i in 0..ACCESSES {
+                                    let page = ((i * 131 + t * 977) % 256) as u32;
+                                    pool.access(black_box(page), fill).unwrap();
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// The MINDIST kernel: per-branch work of every best-first expansion
+/// and readahead ranking pass.
+fn mindist_kernel(c: &mut Criterion) {
+    let rects: Vec<Rect> = (0..256)
+        .map(|i| {
+            let x = ((i * 37) % 1000) as f64;
+            let y = ((i * 73) % 1000) as f64;
+            Rect::new(Point::new(x, y), Point::new(x + 40.0, y + 25.0))
+        })
+        .collect();
+    let q = Point::new(481.0, 517.0);
+    let mut g = c.benchmark_group("mindist");
+    g.bench_function("kernel_256_rects", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for r in &rects {
+                acc += black_box(r).mindist(black_box(&q));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .nresamples(1_000)
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = micro;
+    config = fast_config();
+    targets = pool_paths, contention, mindist_kernel
+}
+criterion_main!(micro);

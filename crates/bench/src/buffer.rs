@@ -5,15 +5,22 @@
 //! This experiment puts a real buffer pool between the queries and a
 //! saved page file ([`NwcIndex::open_disk`]) and sweeps its capacity
 //! across {1 %, 5 %, 10 %, 25 %, 100 %} of the file's pages, for every
-//! Table-3 scheme. Per sweep point it reports the pool hit rate, the
-//! physical page reads that remain, and per-query latency.
+//! Table-3 scheme — crossed with three storage configurations
+//! ([`LAYOUT_CONFIGS`]): the legacy bottom-up page layout with
+//! readahead off (the PR 3 baseline), bottom-up with readahead on, and
+//! the clustered (DFS/Hilbert) layout with readahead on. Per sweep cell
+//! it reports the pool hit rate, the physical page reads that remain,
+//! the readahead counters, and per-query latency.
 //!
 //! Because the pool uses exact LRU (a stack algorithm) and each scheme's
-//! page reference string is deterministic, the hit rate is
-//! non-decreasing — and physical reads non-increasing — in capacity;
-//! the smoke test asserts exactly that. The logical I/O (`avg_io`) is
-//! capacity-invariant by construction: buffering changes what a node
-//! access *costs*, never which nodes an algorithm visits.
+//! page reference string is deterministic, the readahead-off baseline's
+//! hit rate is non-decreasing — and physical reads non-increasing — in
+//! capacity; the smoke test asserts exactly that. (With readahead on,
+//! speculative admissions perturb the LRU stack, so the inclusion
+//! property no longer applies cell-to-cell.) The logical I/O (`avg_io`)
+//! is invariant across *every* cell of a scheme — capacity, layout and
+//! readahead change what a node access costs, never which nodes an
+//! algorithm visits; the test asserts that too.
 //!
 //! Besides the markdown table, the run writes machine-readable
 //! `results/BENCH_buffer.json`.
@@ -22,16 +29,36 @@ use crate::context::ExperimentContext;
 use crate::runner::build_index;
 use crate::table::Table;
 use nwc_core::{
-    DiskIndexConfig, NwcIndex, NwcQuery, QueryScratch, Scheme, SearchStats, WindowSpec,
+    DiskIndexConfig, NwcIndex, NwcQuery, PageLayout, QueryScratch, Scheme, SearchStats, WindowSpec,
 };
 use std::time::Instant;
 
 /// Pool capacities swept, as fractions of the page file's page count.
 pub const CAPACITY_FRACTIONS: [f64; 5] = [0.01, 0.05, 0.10, 0.25, 1.0];
 
-/// One (capacity, scheme) cell of the sweep.
+/// The (page layout, readahead width) configurations swept. The first
+/// entry is the PR 3 baseline; the last is the full locality stack.
+pub const LAYOUT_CONFIGS: [(PageLayout, usize); 3] = [
+    (PageLayout::BottomUp, 0),
+    (PageLayout::BottomUp, 16),
+    (PageLayout::Clustered, 16),
+];
+
+/// The JSON/report name of a layout.
+pub fn layout_name(layout: PageLayout) -> &'static str {
+    match layout {
+        PageLayout::BottomUp => "bottom_up",
+        PageLayout::Clustered => "clustered",
+    }
+}
+
+/// One (layout, prefetch, capacity, scheme) cell of the sweep.
 #[derive(Clone, Debug)]
 pub struct BufferPoint {
+    /// Page layout of the file queried ("bottom_up" / "clustered").
+    pub layout: String,
+    /// Readahead width the index was opened with (0 = off).
+    pub prefetch: usize,
     /// Pool capacity as a fraction of the file's pages.
     pub capacity_frac: f64,
     /// Pool capacity in pages (`ceil(frac × pages)`, at least 1).
@@ -40,16 +67,25 @@ pub struct BufferPoint {
     pub scheme: String,
     /// Buffer pool hits across the query batch (cold start).
     pub hits: u64,
-    /// Physical page reads (pool misses) across the batch.
+    /// Physical *demand* page reads (pool misses) across the batch.
     pub physical_reads: u64,
     /// Frames evicted across the batch.
     pub evictions: u64,
     /// `hits / (hits + physical_reads)`.
     pub hit_rate: f64,
+    /// Pages read speculatively by readahead (outside `physical_reads`).
+    pub prefetch_reads: u64,
+    /// Demand hits served from readahead-admitted frames.
+    pub prefetch_hits: u64,
+    /// Readahead-admitted frames evicted or dropped untouched.
+    pub prefetch_waste: u64,
+    /// Vectored readahead calls; `prefetch_reads / prefetch_batches` is
+    /// the mean run length the clustered layout exists to raise.
+    pub prefetch_batches: u64,
     /// Peak decoded nodes resident at once during the batch: the
     /// demand pager's memory gauge, bounded by `capacity_pages`.
     pub peak_resident_nodes: usize,
-    /// Mean logical node accesses per query (capacity-invariant).
+    /// Mean logical node accesses per query (invariant across cells).
     pub avg_io: f64,
     /// Mean wall-clock latency per query, microseconds.
     pub avg_latency_us: f64,
@@ -62,9 +98,10 @@ pub struct BufferReport {
     pub dataset: String,
     /// Pages in the saved file.
     pub pages: usize,
-    /// Queries per (capacity, scheme) cell.
+    /// Queries per cell.
     pub queries: usize,
-    /// Sweep cells, capacity-major, scheme-minor (Table-3 order).
+    /// Sweep cells, config-major, then capacity, then scheme
+    /// (Table-3 order).
     pub points: Vec<BufferPoint>,
 }
 
@@ -85,12 +122,18 @@ pub fn buffer(ctx: &ExperimentContext) -> String {
 /// The measurement itself, separated from rendering for tests.
 pub fn measure(ctx: &ExperimentContext) -> BufferReport {
     let ds = ctx.dataset("CA");
-    // Build in memory once, persist, and from here on query the file.
+    // Build in memory once, persist one file per layout, and from here
+    // on query the files.
     let arena = build_index(&ds);
-    let path = std::env::temp_dir().join(format!("nwc-buffer-{}.pages", std::process::id()));
-    arena
-        .save_tree(&path)
-        .unwrap_or_else(|e| panic!("saving page file: {e}"));
+    let pid = std::process::id();
+    let path_of = |layout: PageLayout| {
+        std::env::temp_dir().join(format!("nwc-buffer-{pid}-{}.pages", layout_name(layout)))
+    };
+    for layout in [PageLayout::BottomUp, PageLayout::Clustered] {
+        arena
+            .save_tree_with_layout(path_of(layout), layout)
+            .unwrap_or_else(|e| panic!("saving page file: {e}"));
+    }
     let pages = arena.tree().to_page_file().page_count();
     drop(arena);
 
@@ -99,46 +142,64 @@ pub fn measure(ctx: &ExperimentContext) -> BufferReport {
     let n = 8;
 
     let mut points = Vec::new();
-    for &frac in &CAPACITY_FRACTIONS {
-        let capacity = ((pages as f64 * frac).ceil() as usize).max(1);
-        let index = NwcIndex::open_disk(
-            &path,
-            DiskIndexConfig {
-                pool_capacity: Some(capacity),
-                ..Default::default()
-            },
-        )
-        .unwrap_or_else(|e| panic!("opening page file: {e}"));
-        let storage = index.tree().storage().expect("open_disk is disk-backed");
+    for &(layout, prefetch) in &LAYOUT_CONFIGS {
+        for &frac in &CAPACITY_FRACTIONS {
+            let capacity = ((pages as f64 * frac).ceil() as usize).max(1);
+            let index = NwcIndex::open_disk(
+                path_of(layout),
+                DiskIndexConfig {
+                    pool_capacity: Some(capacity),
+                    prefetch,
+                    // One stripe keeps LRU behavior exact and
+                    // machine-independent, so the baseline's inclusion
+                    // property holds wherever the sweep runs.
+                    pool_shards: Some(1),
+                    ..Default::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("opening page file: {e}"));
+            let storage = index.tree().storage().expect("open_disk is disk-backed");
 
-        for scheme in Scheme::TABLE3 {
-            // Each scheme measures from a cold buffer.
-            storage.reset();
-            let mut acc = SearchStats::default();
-            let mut scratch = QueryScratch::new();
-            let start = Instant::now();
-            for &q in &query_points {
-                let query = NwcQuery::new(q, spec, n);
-                let (_, stats) = index.nwc_full_with(&query, scheme, &mut scratch);
-                acc.accumulate(&stats);
+            for scheme in Scheme::TABLE3 {
+                // Each scheme measures from a cold buffer and zeroed
+                // counters (the storage reset covers pool/store/batch
+                // tallies, the stats reset the per-tree I/O ones).
+                storage.reset();
+                index.tree().stats().reset();
+                let mut acc = SearchStats::default();
+                let mut scratch = QueryScratch::new();
+                let start = Instant::now();
+                for &q in &query_points {
+                    let query = NwcQuery::new(q, spec, n);
+                    let (_, stats) = index.nwc_full_with(&query, scheme, &mut scratch);
+                    acc.accumulate(&stats);
+                }
+                let elapsed = start.elapsed();
+                let pool = storage.pool_stats();
+                points.push(BufferPoint {
+                    layout: layout_name(layout).to_string(),
+                    prefetch,
+                    capacity_frac: frac,
+                    capacity_pages: capacity,
+                    scheme: scheme.to_string(),
+                    hits: pool.hits,
+                    physical_reads: pool.misses,
+                    evictions: pool.evictions,
+                    hit_rate: pool.hit_rate(),
+                    prefetch_reads: index.tree().stats().prefetch_reads(),
+                    prefetch_hits: pool.prefetch_hits,
+                    prefetch_waste: pool.prefetch_waste,
+                    prefetch_batches: storage.prefetch_batches(),
+                    peak_resident_nodes: storage.peak_resident_nodes(),
+                    avg_io: acc.io_total as f64 / query_points.len() as f64,
+                    avg_latency_us: elapsed.as_secs_f64() * 1e6 / query_points.len() as f64,
+                });
             }
-            let elapsed = start.elapsed();
-            let pool = storage.pool_stats();
-            points.push(BufferPoint {
-                capacity_frac: frac,
-                capacity_pages: capacity,
-                scheme: scheme.to_string(),
-                hits: pool.hits,
-                physical_reads: pool.misses,
-                evictions: pool.evictions,
-                hit_rate: pool.hit_rate(),
-                peak_resident_nodes: storage.peak_resident_nodes(),
-                avg_io: acc.io_total as f64 / query_points.len() as f64,
-                avg_latency_us: elapsed.as_secs_f64() * 1e6 / query_points.len() as f64,
-            });
         }
     }
-    std::fs::remove_file(&path).ok();
+    for layout in [PageLayout::BottomUp, PageLayout::Clustered] {
+        std::fs::remove_file(path_of(layout)).ok();
+    }
 
     BufferReport {
         dataset: ds.name.clone(),
@@ -152,15 +213,18 @@ fn render_markdown(r: &BufferReport) -> String {
     let mut t = Table::new(
         "Buffer-pool sweep",
         format!(
-            "{} page file ({} pages), cold LRU pool per cell, {} queries, w = 200 × 200, n = 8",
+            "{} page file ({} pages), cold single-stripe LRU pool per cell, {} queries, \
+             w = 200 × 200, n = 8; pf = readahead width",
             r.dataset, r.pages, r.queries
         ),
         vec![
+            "layout/pf",
             "capacity",
             "scheme",
             "hit rate",
             "physical reads",
-            "evictions",
+            "pf reads (hit/waste)",
+            "batches",
             "peak resident",
             "avg IO",
             "avg latency (µs)",
@@ -168,11 +232,13 @@ fn render_markdown(r: &BufferReport) -> String {
     );
     for p in &r.points {
         t.push_row(vec![
+            format!("{}/{}", p.layout, p.prefetch),
             format!("{:.0}% ({} pg)", p.capacity_frac * 100.0, p.capacity_pages),
             p.scheme.clone(),
             format!("{:.1}%", p.hit_rate * 100.0),
             p.physical_reads.to_string(),
-            p.evictions.to_string(),
+            format!("{} ({}/{})", p.prefetch_reads, p.prefetch_hits, p.prefetch_waste),
+            p.prefetch_batches.to_string(),
             p.peak_resident_nodes.to_string(),
             format!("{:.1}", p.avg_io),
             format!("{:.1}", p.avg_latency_us),
@@ -194,10 +260,15 @@ fn render_json(ctx: &ExperimentContext, r: &BufferReport) -> String {
     s.push_str("  \"sweep\": [\n");
     for (i, p) in r.points.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"capacity_frac\": {}, \"capacity_pages\": {}, \"scheme\": \"{}\", \
+            "    {{\"layout\": \"{}\", \"prefetch\": {}, \
+             \"capacity_frac\": {}, \"capacity_pages\": {}, \"scheme\": \"{}\", \
              \"hits\": {}, \"physical_reads\": {}, \"evictions\": {}, \
-             \"hit_rate\": {:.4}, \"peak_resident_nodes\": {}, \
+             \"hit_rate\": {:.4}, \"prefetch_reads\": {}, \"prefetch_hits\": {}, \
+             \"prefetch_waste\": {}, \"prefetch_batches\": {}, \
+             \"peak_resident_nodes\": {}, \
              \"avg_io\": {:.2}, \"avg_latency_us\": {:.2}}}{}\n",
+            p.layout,
+            p.prefetch,
             p.capacity_frac,
             p.capacity_pages,
             p.scheme,
@@ -205,6 +276,10 @@ fn render_json(ctx: &ExperimentContext, r: &BufferReport) -> String {
             p.physical_reads,
             p.evictions,
             p.hit_rate,
+            p.prefetch_reads,
+            p.prefetch_hits,
+            p.prefetch_waste,
+            p.prefetch_batches,
             p.peak_resident_nodes,
             p.avg_io,
             p.avg_latency_us,
@@ -223,15 +298,34 @@ mod tests {
     fn sweep_is_monotone_and_json_well_formed() {
         let ctx = ExperimentContext::tiny();
         let r = measure(&ctx);
-        assert_eq!(r.points.len(), CAPACITY_FRACTIONS.len() * Scheme::TABLE3.len());
-        // Per scheme: hit rate non-decreasing, physical reads
-        // non-increasing, logical I/O identical as capacity grows.
+        assert_eq!(
+            r.points.len(),
+            LAYOUT_CONFIGS.len() * CAPACITY_FRACTIONS.len() * Scheme::TABLE3.len()
+        );
         for scheme in Scheme::TABLE3 {
             let name = scheme.to_string();
             let cells: Vec<&BufferPoint> =
                 r.points.iter().filter(|p| p.scheme == name).collect();
-            assert_eq!(cells.len(), CAPACITY_FRACTIONS.len());
-            for w in cells.windows(2) {
+            assert_eq!(cells.len(), LAYOUT_CONFIGS.len() * CAPACITY_FRACTIONS.len());
+            // Logical I/O is invariant across every cell of the scheme:
+            // capacity, layout and readahead never change which nodes a
+            // query visits.
+            for c in &cells {
+                assert_eq!(
+                    c.avg_io, cells[0].avg_io,
+                    "{name}: logical I/O not invariant ({}/{} cap {})",
+                    c.layout, c.prefetch, c.capacity_pages
+                );
+                assert!(c.peak_resident_nodes > 0, "{name}: gauge never moved");
+            }
+            // The readahead-off baseline is pure LRU: the inclusion
+            // property makes it monotone in capacity.
+            let baseline: Vec<&&BufferPoint> = cells
+                .iter()
+                .filter(|p| p.prefetch == 0 && p.layout == "bottom_up")
+                .collect();
+            assert_eq!(baseline.len(), CAPACITY_FRACTIONS.len());
+            for w in baseline.windows(2) {
                 assert!(
                     w[1].hit_rate >= w[0].hit_rate - 1e-12,
                     "{name}: hit rate fell from {} to {} (caps {} -> {})",
@@ -246,16 +340,17 @@ mod tests {
                     w[0].physical_reads,
                     w[1].physical_reads
                 );
-                assert_eq!(w[0].avg_io, w[1].avg_io, "{name}: logical I/O not invariant");
             }
-            // The gauge always registers work; once the pool is big
-            // enough to never force a transient (unpooled) decode, it
-            // is bounded by the frame count.
-            for c in &cells {
-                assert!(c.peak_resident_nodes > 0, "{name}: gauge never moved");
+            for c in &baseline {
+                assert_eq!(
+                    (c.prefetch_reads, c.prefetch_hits, c.prefetch_waste, c.prefetch_batches),
+                    (0, 0, 0, 0),
+                    "{name}: readahead-off cell has prefetch traffic"
+                );
             }
-            // The full-size pool never evicts and hits on every re-access.
-            let full = cells.last().unwrap();
+            // The full-size baseline pool never evicts and hits on
+            // every re-access.
+            let full = baseline.last().unwrap();
             assert_eq!(full.evictions, 0);
             assert!(full.physical_reads as usize <= r.pages);
             assert!(
@@ -264,9 +359,25 @@ mod tests {
                 full.peak_resident_nodes,
                 full.capacity_pages
             );
+            // Readahead cells keep the books consistent: every hit or
+            // wasted frame was admitted by a speculative read.
+            for c in cells.iter().filter(|p| p.prefetch > 0) {
+                assert!(
+                    c.prefetch_hits + c.prefetch_waste <= c.prefetch_reads,
+                    "{name}: {}h + {}w > {} admitted",
+                    c.prefetch_hits,
+                    c.prefetch_waste,
+                    c.prefetch_reads
+                );
+                if c.prefetch_reads > 0 {
+                    assert!(c.prefetch_batches > 0);
+                    assert!(c.prefetch_batches <= c.prefetch_reads);
+                }
+            }
         }
         let json = render_json(&ctx, &r);
         assert!(json.contains("\"experiment\": \"buffer\""));
+        assert!(json.contains("\"layout\": \"clustered\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         let md = render_markdown(&r);

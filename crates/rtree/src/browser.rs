@@ -211,6 +211,21 @@ impl<'t> Browser<'t> {
                         },
                     });
                 }
+                let readahead = self.tree.readahead();
+                if readahead > 0 {
+                    // Best-first pops children in ascending MINDIST, so
+                    // prefetch the nearest few now while the parent's
+                    // page is still warm. Advisory: logical I/O counters
+                    // never move.
+                    let mut ranked: Vec<(f64, u32)> = branches
+                        .iter()
+                        .map(|b| (b.mbr.mindist(&self.query), b.child.0))
+                        .collect();
+                    ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+                    let mut pages: Vec<u32> =
+                        ranked.into_iter().take(readahead).map(|(_, p)| p).collect();
+                    self.tree.prefetch_pages(&mut pages);
+                }
             }
         }
     }

@@ -49,11 +49,11 @@ impl RStarTree {
         let n_leaves = entries.len().div_ceil(cap);
         let slabs = (n_leaves as f64).sqrt().ceil() as usize;
         let per_slab = entries.len().div_ceil(slabs);
-        entries.sort_by(|a, b| a.point.x.partial_cmp(&b.point.x).unwrap());
+        entries.sort_by(|a, b| a.point.x.total_cmp(&b.point.x));
 
         let mut leaf_ids: Vec<NodeId> = Vec::with_capacity(n_leaves);
         for slab in entries.chunks_mut(per_slab) {
-            slab.sort_by(|a, b| a.point.y.partial_cmp(&b.point.y).unwrap());
+            slab.sort_by(|a, b| a.point.y.total_cmp(&b.point.y));
             for run in slab.chunks(cap) {
                 let mut node = Node::new_leaf();
                 node.kind = NodeKind::Leaf(run.to_vec());
@@ -74,11 +74,11 @@ impl RStarTree {
             let n_nodes = keyed.len().div_ceil(cap);
             let slabs = (n_nodes as f64).sqrt().ceil() as usize;
             let per_slab = keyed.len().div_ceil(slabs);
-            keyed.sort_by(|a, b| a.0.x.partial_cmp(&b.0.x).unwrap());
+            keyed.sort_by(|a, b| a.0.x.total_cmp(&b.0.x));
 
             let mut next: Vec<NodeId> = Vec::with_capacity(n_nodes);
             for slab in keyed.chunks_mut(per_slab) {
-                slab.sort_by(|a, b| a.0.y.partial_cmp(&b.0.y).unwrap());
+                slab.sort_by(|a, b| a.0.y.total_cmp(&b.0.y));
                 for run in slab.chunks(cap) {
                     let mut node = Node::new_internal(level);
                     node.kind = NodeKind::Internal(
@@ -159,6 +159,38 @@ mod tests {
         let mut ids: Vec<_> = t.iter_entries().map(|e| e.id).collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..20_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bulk_load_extreme_coordinates() {
+        // `bulk_load_entries` skips the finiteness assert, and even
+        // finite extremes can feed the sorts values `partial_cmp` used
+        // to choke on indirectly (the upper-level keys come from MBR
+        // centers, where huge magnitudes round and overflow). The sorts
+        // use `total_cmp`, so the build must succeed and stay sound.
+        let mut points = vec![
+            pt(1e150, -1e150),
+            pt(-1e150, 1e150),
+            pt(5e-324, -5e-324), // subnormals
+            pt(-0.0, 0.0),
+            pt(0.0, -0.0),
+            pt(f64::MAX, f64::MIN),
+        ];
+        for i in 0..120 {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            points.push(pt(sign * 10f64.powi(i as i32 - 60), (i as f64) * 1e100));
+        }
+        let entries: Vec<Entry> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Entry::new(i as ObjectId, p))
+            .collect();
+        let t = RStarTree::bulk_load_entries(entries, TreeParams::with_max_entries(8));
+        assert_eq!(t.len(), points.len());
+        check_invariants(&t).unwrap();
+        let mut ids: Vec<_> = t.iter_entries().map(|e| e.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..points.len() as u32).collect::<Vec<_>>());
     }
 
     #[test]

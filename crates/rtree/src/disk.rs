@@ -71,7 +71,7 @@
 //! `::ReadOnly` rather than silently diverge from the file.
 
 use crate::node::{Node, NodeKind};
-use crate::page::decode_node;
+use crate::page::{decode_node, PageLayout};
 use crate::tree::RStarTree;
 use crate::{IoStats, NodeId, PageError, TreeParams, PAGE_SIZE};
 use nwc_geom::{Point, Rect};
@@ -123,6 +123,36 @@ impl From<PageError> for DiskError {
     fn from(e: PageError) -> Self {
         DiskError::Page(e)
     }
+}
+
+/// Configuration for opening a disk-backed tree. The `Default` value
+/// reproduces `open_from_path(path, None)`: an unbounded single-shard
+/// pool with readahead off.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiskOptions {
+    /// Buffer pool capacity in pages; `None` = unbounded (every page
+    /// misses once, then always hits).
+    pub pool_capacity: Option<usize>,
+    /// Number of buffer-pool lock stripes; `None` picks automatically
+    /// (1 on small pools or single-core hosts, up to 8 otherwise).
+    /// Clamped so no shard ends up smaller than a root-to-leaf path.
+    pub pool_shards: Option<usize>,
+    /// Readahead width: on a query descent into an internal node, up to
+    /// this many of its most promising children are read ahead in
+    /// batched runs and admitted unpinned. 0 disables readahead.
+    /// Prefetch reads never touch the demand I/O counters (see
+    /// [`IoStats`]), so logical I/O is unaffected.
+    pub prefetch: usize,
+}
+
+/// The automatic shard count: one stripe per core up to 8, but never so
+/// many that a shard holds fewer than 16 frames — tiny shards turn the
+/// all-frames-pinned fallback from a degenerate case into a common one
+/// and break the `peak ≤ capacity` story users size pools by.
+fn auto_shards(capacity: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let by_capacity = if capacity == usize::MAX { 8 } else { capacity / 16 };
+    cores.min(by_capacity).clamp(1, 8)
 }
 
 /// What dropping a [`PagedNode`] must release.
@@ -216,6 +246,14 @@ pub struct TreeStorage {
     root_level: u32,
     root_mbr: Rect,
     node_count: usize,
+    /// Page-id assignment order recorded in the file header.
+    layout: PageLayout,
+    /// Max pages read ahead per faulting internal node (0 = off).
+    prefetch: usize,
+    /// Vectored readahead calls issued (each covers ≥ 1 contiguous
+    /// pages) — fewer batches per prefetched page means a better
+    /// clustered layout.
+    prefetch_batches: AtomicU64,
     /// Page reads that failed *after* a successful open (device errors,
     /// post-open truncation). Each failed attempt is still charged as a
     /// physical read so I/O totals stay aligned with the pool's miss
@@ -237,6 +275,12 @@ impl TreeStorage {
                 Ok((access, _cached, Ok((node, release)))) => {
                     match access {
                         Access::Hit => stats.record_buffer_hit(),
+                        Access::PrefetchHit => {
+                            // A logical hit like any other — plus an
+                            // attribution tick for the readahead report.
+                            stats.record_buffer_hit();
+                            stats.record_prefetch_hit();
+                        }
                         Access::Miss => stats.record_node_read(),
                     }
                     return PagedNode {
@@ -326,6 +370,70 @@ impl TreeStorage {
         }
     }
 
+    /// Reads up to [`DiskOptions::prefetch`] of the given candidate
+    /// pages ahead of demand and admits them into the pool as unpinned
+    /// prefetch frames. `candidates` must be in priority order (most
+    /// likely to be visited first); already-resident pages are skipped,
+    /// the survivors are coalesced into contiguous runs, and each run is
+    /// one vectored, **uncounted** store read — demand `physical_reads`
+    /// and the logical hit/miss accounting are untouched (the pages are
+    /// tallied in [`IoStats::prefetch_reads`] instead). Readahead is
+    /// advisory: a failed run is simply skipped (the demand path will
+    /// re-read — counted, checksummed, retried — if the page is ever
+    /// actually needed).
+    pub(crate) fn prefetch_pages(&self, candidates: &mut Vec<u32>, stats: &IoStats) {
+        // Cap by half the pool so readahead can never flush the frames
+        // the current descent path is actively using.
+        let limit = self.prefetch.min(self.pool.capacity() / 2);
+        if limit == 0 || candidates.is_empty() {
+            return;
+        }
+        candidates.truncate(limit);
+        candidates.retain(|&p| !self.pool.contains(p));
+        if candidates.is_empty() {
+            return;
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut buf = vec![0u8; candidates.len() * PAGE_SIZE];
+        let mut i = 0;
+        while i < candidates.len() {
+            let mut j = i + 1;
+            while j < candidates.len() && candidates[j] == candidates[j - 1] + 1 {
+                j += 1;
+            }
+            let run = &candidates[i..j];
+            let bytes = &mut buf[..run.len() * PAGE_SIZE];
+            if self.store.read_run_uncounted(run[0], bytes).is_ok() {
+                self.prefetch_batches.fetch_add(1, Ordering::Relaxed);
+                for (k, &page) in run.iter().enumerate() {
+                    stats.record_prefetch_read();
+                    self.pool
+                        .admit_prefetched(page, &bytes[k * PAGE_SIZE..(k + 1) * PAGE_SIZE]);
+                }
+            }
+            i = j;
+        }
+    }
+
+    /// The configured readahead width (0 = off).
+    pub(crate) fn prefetch_limit(&self) -> usize {
+        self.prefetch
+    }
+
+    /// The page-id assignment order recorded in the file header.
+    pub fn layout(&self) -> PageLayout {
+        self.layout
+    }
+
+    /// Vectored readahead reads issued since open or the last
+    /// [`TreeStorage::reset`]. Divide [`IoStats::prefetch_reads`] by
+    /// this for the mean run length — the figure a clustered layout
+    /// improves.
+    pub fn prefetch_batches(&self) -> u64 {
+        self.prefetch_batches.load(Ordering::Relaxed)
+    }
+
     /// Level of the root node (captured at open; leaves are level 0).
     pub(crate) fn root_level(&self) -> u32 {
         self.root_level
@@ -377,6 +485,7 @@ impl TreeStorage {
         self.pool.reset_stats();
         self.store.reset_counters();
         self.io_errors.store(0, Ordering::Relaxed);
+        self.prefetch_batches.store(0, Ordering::Relaxed);
         self.cache.resident_peak.store(0, Ordering::Relaxed);
     }
 }
@@ -388,13 +497,30 @@ impl RStarTree {
     /// sibling temp file and renamed over `path` only after a full
     /// sync, so a crash mid-save leaves any previous file intact.
     pub fn save_to_path(&self, path: impl AsRef<Path>) -> Result<(), DiskError> {
-        let file = self.to_page_file();
+        self.save_to_path_with_layout(path, PageLayout::BottomUp)
+    }
+
+    /// As [`RStarTree::save_to_path`], assigning page ids according to
+    /// `layout` (see [`PageLayout`]). The layout is recorded in the
+    /// file header and round-trips through
+    /// [`RStarTree::open_from_path`]; files written before the layout
+    /// existed decode as [`PageLayout::BottomUp`].
+    pub fn save_to_path_with_layout(
+        &self,
+        path: impl AsRef<Path>,
+        layout: PageLayout,
+    ) -> Result<(), DiskError> {
+        let file = self.to_page_file_with_layout(layout);
         let pages: Vec<[u8; PAGE_SIZE]> =
             (0..file.page_count()).map(|i| *file.page(i as u32)).collect();
         let user = [
             self.params.max_entries as u64,
             self.params.min_entries as u64,
-            self.params.reinsert_count as u64,
+            // The layout tag rides in the top byte of the
+            // reinsert-count word: reinsert counts are tiny (a fraction
+            // of the fanout), pre-layout files have a zero top byte
+            // (= BottomUp), and the format version stays 1.
+            self.params.reinsert_count as u64 | ((layout.tag() as u64) << 56),
             self.len() as u64,
         ];
         FileStore::create(path.as_ref(), file.root_page(), user, &pages)?;
@@ -415,8 +541,23 @@ impl RStarTree {
         path: impl AsRef<Path>,
         pool_capacity: Option<usize>,
     ) -> Result<RStarTree, DiskError> {
+        RStarTree::open_from_path_with(
+            path,
+            DiskOptions {
+                pool_capacity,
+                ..DiskOptions::default()
+            },
+        )
+    }
+
+    /// As [`RStarTree::open_from_path`], with full control over the
+    /// buffer pool and readahead (see [`DiskOptions`]).
+    pub fn open_from_path_with(
+        path: impl AsRef<Path>,
+        options: DiskOptions,
+    ) -> Result<RStarTree, DiskError> {
         let store = FileStore::open(path.as_ref())?;
-        RStarTree::open_from_store(Box::new(store), pool_capacity)
+        RStarTree::open_from_store_with(Box::new(store), options)
     }
 
     /// As [`RStarTree::open_from_path`], over any [`PageStore`]
@@ -425,8 +566,26 @@ impl RStarTree {
         store: Box<dyn PageStore>,
         pool_capacity: Option<usize>,
     ) -> Result<RStarTree, DiskError> {
+        RStarTree::open_from_store_with(
+            store,
+            DiskOptions {
+                pool_capacity,
+                ..DiskOptions::default()
+            },
+        )
+    }
+
+    /// As [`RStarTree::open_from_store`], with full control over the
+    /// buffer pool and readahead (see [`DiskOptions`]).
+    pub fn open_from_store_with(
+        store: Box<dyn PageStore>,
+        options: DiskOptions,
+    ) -> Result<RStarTree, DiskError> {
         let meta = store.meta();
-        let [max_entries, min_entries, reinsert_count, stored_len] = meta.user;
+        let [max_entries, min_entries, packed_reinsert, stored_len] = meta.user;
+        let layout = PageLayout::from_tag((packed_reinsert >> 56) as u8)
+            .ok_or(DiskError::BadParams("unknown page layout tag"))?;
+        let reinsert_count = packed_reinsert & ((1u64 << 56) - 1);
         let params = TreeParams {
             max_entries: usize::try_from(max_entries)
                 .map_err(|_| DiskError::BadParams("max_entries overflows usize"))?,
@@ -512,10 +671,9 @@ impl RStarTree {
         tree.free.clear();
         tree.root = NodeId(meta.root_page);
         tree.len = len;
-        let pool = match pool_capacity {
-            Some(cap) => BufferPool::new(cap),
-            None => BufferPool::unbounded(),
-        };
+        let capacity = options.pool_capacity.unwrap_or(usize::MAX);
+        let shards = options.pool_shards.unwrap_or_else(|| auto_shards(capacity));
+        let pool = BufferPool::with_shards(capacity, shards.max(1));
         let cache = Arc::new(NodeCache::new());
         let hook_cache = Arc::clone(&cache);
         pool.set_evict_hook(Box::new(move |page| {
@@ -529,6 +687,9 @@ impl RStarTree {
             root_level,
             root_mbr,
             node_count,
+            layout,
+            prefetch: options.prefetch,
+            prefetch_batches: AtomicU64::new(0),
             io_errors: AtomicU64::new(0),
         }));
         Ok(tree)
@@ -556,13 +717,17 @@ mod tests {
     }
 
     fn mem_store_of(tree: &RStarTree) -> MemStore {
-        let file = tree.to_page_file();
+        mem_store_of_layout(tree, PageLayout::BottomUp)
+    }
+
+    fn mem_store_of_layout(tree: &RStarTree, layout: PageLayout) -> MemStore {
+        let file = tree.to_page_file_with_layout(layout);
         let pages: Vec<[u8; PAGE_SIZE]> =
             (0..file.page_count()).map(|i| *file.page(i as u32)).collect();
         let user = [
             tree.params().max_entries as u64,
             tree.params().min_entries as u64,
-            tree.params().reinsert_count as u64,
+            tree.params().reinsert_count as u64 | ((layout.tag() as u64) << 56),
             tree.len() as u64,
         ];
         MemStore::new(pages, file.root_page(), user).unwrap()
@@ -715,6 +880,156 @@ mod tests {
             Err(DiskError::Page(PageError::Invalid(_))) => {}
             other => panic!("expected Invalid, got {other:?}", other = other.err()),
         }
+    }
+
+    #[test]
+    fn clustered_layout_roundtrips_through_store() {
+        let tree = sample_tree(3000);
+        let store = mem_store_of_layout(&tree, PageLayout::Clustered);
+        let disk = RStarTree::open_from_store(Box::new(store), None).unwrap();
+        assert_eq!(disk.storage().unwrap().layout(), PageLayout::Clustered);
+        crate::validate::check_invariants(&disk).unwrap();
+        let w = rect(50.0, 40.0, 350.0, 300.0);
+        let mut a: Vec<u32> = tree.window_query(&w).iter().map(|e| e.id).collect();
+        let mut b: Vec<u32> = disk.window_query(&w).iter().map(|e| e.id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // Relabeling pages must not change logical I/O.
+        tree.stats().reset();
+        tree.window_query(&w);
+        assert_eq!(disk.stats().accesses(), tree.stats().node_reads());
+    }
+
+    #[test]
+    fn readahead_converts_demand_misses_into_prefetch_hits() {
+        let tree = sample_tree(3000);
+        let w = rect(0.0, 0.0, 499.0, 491.0); // covers everything
+        tree.stats().reset();
+        tree.window_query(&w);
+        let arena_io = tree.stats().node_reads();
+
+        // Bounded pool (big enough not to thrash), readahead on, over a
+        // clustered file so runs coalesce.
+        let disk = RStarTree::open_from_store_with(
+            Box::new(mem_store_of_layout(&tree, PageLayout::Clustered)),
+            DiskOptions {
+                pool_capacity: Some(64),
+                pool_shards: Some(1),
+                prefetch: 16,
+            },
+        )
+        .unwrap();
+        let mut got: Vec<u32> = disk.window_query(&w).iter().map(|e| e.id).collect();
+        got.sort_unstable();
+        assert_eq!(got.len(), tree.len());
+
+        let storage = disk.storage().unwrap();
+        let s = storage.pool_stats();
+        // Logical I/O is bit-identical to the arena.
+        assert_eq!(disk.stats().accesses(), arena_io);
+        assert_eq!(s.hits + s.misses, arena_io);
+        // Demand physical reads stay aligned with pool misses (prefetch
+        // reads go through the uncounted store path).
+        assert_eq!(storage.physical_reads(), s.misses);
+        // The full-coverage scan visits every child it prefetched, so
+        // readahead must have converted a healthy share of would-be
+        // misses into hits.
+        assert!(s.prefetch_hits > 0, "readahead produced no hits: {s:?}");
+        assert_eq!(disk.stats().prefetch_hits(), s.prefetch_hits);
+        assert_eq!(disk.stats().buffer_hits(), s.hits);
+        assert!(
+            disk.stats().prefetch_reads() >= s.prefetched,
+            "every admitted frame was read by a prefetch batch"
+        );
+        // Clustered sibling leaves are contiguous: batches must coalesce
+        // (strictly fewer vectored calls than pages prefetched).
+        let batches = storage.prefetch_batches();
+        assert!(batches > 0);
+        assert!(
+            batches < disk.stats().prefetch_reads(),
+            "clustered runs should coalesce: {batches} batches for {} pages",
+            disk.stats().prefetch_reads()
+        );
+        // Fewer demand misses than a readahead-off open at the same
+        // capacity.
+        let baseline = RStarTree::open_from_store_with(
+            Box::new(mem_store_of_layout(&tree, PageLayout::Clustered)),
+            DiskOptions {
+                pool_capacity: Some(64),
+                pool_shards: Some(1),
+                prefetch: 0,
+            },
+        )
+        .unwrap();
+        baseline.window_query(&w);
+        let b = baseline.storage().unwrap().pool_stats();
+        assert_eq!(b.hits + b.misses, arena_io);
+        assert!(
+            s.misses < b.misses,
+            "readahead should cut demand misses: {} vs baseline {}",
+            s.misses,
+            b.misses
+        );
+        // The two resets rewind the readahead counters with everything
+        // else (storage owns the pool/batch tallies, IoStats the
+        // per-tree ones).
+        storage.reset();
+        disk.stats().reset();
+        let z = storage.pool_stats();
+        assert_eq!((z.prefetched, z.prefetch_hits, z.prefetch_waste), (0, 0, 0));
+        assert_eq!(storage.prefetch_batches(), 0);
+        assert_eq!(disk.stats().prefetch_reads(), 0);
+    }
+
+    #[test]
+    fn readahead_is_disabled_when_the_pool_is_too_small_to_share() {
+        let tree = sample_tree(3000);
+        let disk = RStarTree::open_from_store_with(
+            Box::new(mem_store_of(&tree)),
+            DiskOptions {
+                pool_capacity: Some(1),
+                pool_shards: Some(1),
+                prefetch: 16,
+            },
+        )
+        .unwrap();
+        let w = rect(10.0, 10.0, 200.0, 200.0);
+        let mut a: Vec<u32> = tree.window_query(&w).iter().map(|e| e.id).collect();
+        let mut b: Vec<u32> = disk.window_query(&w).iter().map(|e| e.id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // capacity/2 == 0: no speculative read may ever be issued.
+        assert_eq!(disk.stats().prefetch_reads(), 0);
+        assert_eq!(disk.storage().unwrap().pool_stats().prefetched, 0);
+        assert_eq!(disk.storage().unwrap().prefetch_batches(), 0);
+    }
+
+    #[test]
+    fn best_first_browse_prefetches_too() {
+        let tree = sample_tree(3000);
+        tree.stats().reset();
+        let arena_knn = tree.knn(pt(250.0, 250.0), 40);
+        let arena_io = tree.stats().node_reads();
+        let disk = RStarTree::open_from_store_with(
+            Box::new(mem_store_of_layout(&tree, PageLayout::Clustered)),
+            DiskOptions {
+                pool_capacity: Some(64),
+                pool_shards: Some(1),
+                prefetch: 8,
+            },
+        )
+        .unwrap();
+        let disk_knn = disk.knn(pt(250.0, 250.0), 40);
+        let ad: Vec<f64> = arena_knn.iter().map(|&(d, _)| d).collect();
+        let dd: Vec<f64> = disk_knn.iter().map(|&(d, _)| d).collect();
+        assert_eq!(ad, dd);
+        assert_eq!(disk.stats().accesses(), arena_io, "logical I/O unchanged");
+        assert!(
+            disk.stats().prefetch_reads() > 0,
+            "browser expansion should issue readahead"
+        );
     }
 
     #[test]

@@ -56,11 +56,11 @@ mod tree;
 pub mod validate;
 
 pub use browser::{BrowseItem, Browser, BrowserScratch};
-pub use disk::{DiskError, TreeStorage};
+pub use disk::{DiskError, DiskOptions, TreeStorage};
 pub use entry::{Entry, ObjectId};
 pub use iwp::{IwpIndex, IwpStorage};
 pub use node::NodeId;
-pub use page::{PageError, PageFile, PAGE_SIZE};
+pub use page::{PageError, PageFile, PageLayout, PAGE_SIZE};
 pub use params::TreeParams;
 pub use stats::IoStats;
 pub use tree::{RStarTree, TreeError};

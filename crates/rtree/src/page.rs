@@ -90,20 +90,78 @@ impl std::fmt::Display for PageError {
 
 impl std::error::Error for PageError {}
 
+/// How page ids are assigned to nodes when a tree is serialized.
+///
+/// The choice relabels pages only: the branch arrays inside every node
+/// keep their arena order, so traversal order — and with it the logical
+/// I/O reference string — is bit-identical across layouts. What changes
+/// is *where* on disk the pages a traversal touches together sit:
+/// [`PageLayout::Clustered`] makes the children of one parent (the very
+/// set readahead fetches on a fault) occupy consecutive page ids, so a
+/// batched readahead collapses into few contiguous runs instead of many
+/// scattered single-page reads. (Exactly contiguous for the leaf level,
+/// where most faults land — a pre-order DFS places a level-1 node's
+/// leaves back to back; higher siblings sit one subtree apart but stay
+/// Hilbert-local.)
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PageLayout {
+    /// The legacy bottom-up (post-order) assignment: children get lower
+    /// ids than their parents, siblings are separated by whole subtrees.
+    #[default]
+    BottomUp,
+    /// Locality-preserving: pre-order DFS from the root, visiting each
+    /// node's children in Hilbert-curve order of their MBR centers.
+    /// Siblings become consecutive pages, and spatially nearby subtrees
+    /// become nearby page ranges.
+    Clustered,
+}
+
+impl PageLayout {
+    /// The on-disk tag persisted in the file header (0 = bottom-up,
+    /// matching pre-layout files; 1 = clustered).
+    pub fn tag(self) -> u8 {
+        match self {
+            PageLayout::BottomUp => 0,
+            PageLayout::Clustered => 1,
+        }
+    }
+
+    /// Decodes a persisted tag; `None` for tags from the future.
+    pub fn from_tag(tag: u8) -> Option<PageLayout> {
+        match tag {
+            0 => Some(PageLayout::BottomUp),
+            1 => Some(PageLayout::Clustered),
+            _ => None,
+        }
+    }
+}
+
 /// A serialized tree: fixed-size pages plus the root page id.
 pub struct PageFile {
     pages: Vec<[u8; PAGE_SIZE]>,
     root: u32,
     params: TreeParams,
+    layout: PageLayout,
 }
 
 impl PageFile {
     /// Wraps raw pages (e.g. read back from a
     /// [`PageStore`](nwc_store::PageStore)) as a decodable page file.
     /// No validation happens here; [`RStarTree::from_page_file`]
-    /// rejects corrupt content.
+    /// rejects corrupt content. The layout is assumed bottom-up; it is
+    /// metadata only and does not affect decoding.
     pub fn from_raw_pages(pages: Vec<[u8; PAGE_SIZE]>, root: u32, params: TreeParams) -> PageFile {
-        PageFile { pages, root, params }
+        PageFile {
+            pages,
+            root,
+            params,
+            layout: PageLayout::BottomUp,
+        }
+    }
+
+    /// The id-assignment order the file was serialized with.
+    pub fn layout(&self) -> PageLayout {
+        self.layout
     }
 
     /// Number of pages.
@@ -140,38 +198,95 @@ impl RStarTree {
     /// Panics when the tree's `max_entries` exceeds the page capacity
     /// (the paper's 50 always fits).
     pub fn to_page_file(&self) -> PageFile {
+        self.to_page_file_with_layout(PageLayout::BottomUp)
+    }
+
+    /// As [`RStarTree::to_page_file`], assigning page ids according to
+    /// `layout`. Only the id assignment differs between layouts — every
+    /// node's content (branch order included) is byte-identical modulo
+    /// the embedded child page ids, so queries traverse both files in
+    /// the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tree's `max_entries` exceeds the page capacity
+    /// (the paper's 50 always fits).
+    pub fn to_page_file_with_layout(&self, layout: PageLayout) -> PageFile {
         assert!(
             self.params.max_entries <= page_capacity_leaf().min(page_capacity_internal()),
             "fanout {} does not fit a {PAGE_SIZE}-byte page",
             self.params.max_entries
         );
-        let mut pages: Vec<[u8; PAGE_SIZE]> = Vec::with_capacity(self.node_count());
+        // Pre-assign every node's page id, then encode: parents embed
+        // child page ids, so ids must be known before any encoding.
+        // Node access goes through `peek_node` (uncharged) so a
+        // disk-backed tree can be re-serialized too.
+        let page_of = match layout {
+            PageLayout::BottomUp => self.assign_pages_bottom_up(),
+            PageLayout::Clustered => self.assign_pages_clustered(),
+        };
+        let mut pages: Vec<[u8; PAGE_SIZE]> = vec![[0u8; PAGE_SIZE]; page_of.len()];
+        for (&id, &page_id) in &page_of {
+            pages[page_id as usize] = encode_node(&self.peek_node(id), &page_of);
+        }
+        PageFile {
+            root: page_of[&self.root()],
+            pages,
+            params: self.params,
+            layout,
+        }
+    }
+
+    /// Post-order DFS: children get lower page ids than their parents.
+    /// This reproduces the pre-layout serialization order exactly, so
+    /// old files and [`PageLayout::BottomUp`] files are byte-identical.
+    fn assign_pages_bottom_up(&self) -> HashMap<NodeId, u32> {
         let mut page_of: HashMap<NodeId, u32> = HashMap::new();
-        // Bottom-up: children serialized before parents so parents can
-        // embed child page ids. Post-order DFS. Node access goes through
-        // `peek_node` (uncharged) so a disk-backed tree can be
-        // re-serialized too.
+        let mut next = 0u32;
         let mut stack: Vec<(NodeId, bool)> = vec![(self.root(), false)];
         while let Some((id, expanded)) = stack.pop() {
-            let node = self.peek_node(id);
             if !expanded {
                 stack.push((id, true));
-                if let NodeKind::Internal(branches) = &node.kind {
+                if let NodeKind::Internal(branches) = &self.peek_node(id).kind {
                     for b in branches {
                         stack.push((b.child, false));
                     }
                 }
                 continue;
             }
-            let page_id = pages.len() as u32;
-            pages.push(encode_node(&node, &page_of));
-            page_of.insert(id, page_id);
+            page_of.insert(id, next);
+            next += 1;
         }
-        PageFile {
-            root: page_of[&self.root()],
-            pages,
-            params: self.params,
+        page_of
+    }
+
+    /// Pre-order DFS from the root, visiting each node's children in
+    /// Hilbert-curve order of their MBR centers (normalized to the root
+    /// MBR). A level-1 node's leaves land on consecutive page ids, and
+    /// spatially adjacent subtrees land on adjacent page ranges.
+    fn assign_pages_clustered(&self) -> HashMap<NodeId, u32> {
+        let root = self.root();
+        let frame = self.peek_node(root).mbr;
+        let mut page_of: HashMap<NodeId, u32> = HashMap::new();
+        let mut next = 0u32;
+        let mut stack: Vec<NodeId> = vec![root];
+        while let Some(id) = stack.pop() {
+            page_of.insert(id, next);
+            next += 1;
+            if let NodeKind::Internal(branches) = &self.peek_node(id).kind {
+                let mut order: Vec<(u64, NodeId)> = branches
+                    .iter()
+                    .map(|b| (hilbert_key(&frame, &b.mbr), b.child))
+                    .collect();
+                // Descending sort: the stack pops the smallest key —
+                // i.e. the curve-first child and its subtree — next.
+                order.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(b.1.index().cmp(&a.1.index())));
+                for (_, child) in order {
+                    stack.push(child);
+                }
+            }
         }
+        page_of
     }
 
     /// Reconstructs a tree from a page file, rejecting corrupt content
@@ -179,6 +294,55 @@ impl RStarTree {
     pub fn from_page_file(file: &PageFile) -> Result<RStarTree, PageError> {
         decode_page_file(file).map(|(tree, _)| tree)
     }
+}
+
+/// Bits per axis of the Hilbert grid: 2^16 cells per side is far finer
+/// than any fanout-50 tree's MBR population, so ties are rare and the
+/// curve order is effectively exact.
+const HILBERT_ORDER: u32 = 16;
+
+/// The Hilbert-curve index of `r`'s center within `frame` (normalized
+/// to a `2^HILBERT_ORDER`-per-side grid). Degenerate frames (zero
+/// extent, or the inverted MBR of an empty node) collapse an axis to
+/// the grid midline rather than producing garbage.
+fn hilbert_key(frame: &Rect, r: &Rect) -> u64 {
+    let side = 1u32 << HILBERT_ORDER;
+    let cell = |lo: f64, extent: f64, v: f64| -> u32 {
+        let f = if extent > 0.0 && extent.is_finite() {
+            ((v - lo) / extent).clamp(0.0, 1.0)
+        } else {
+            0.5
+        };
+        // `as` saturates, and NaN maps to 0 — both acceptable here: the
+        // key only orders siblings.
+        (f * (side - 1) as f64) as u32
+    };
+    let c = r.center();
+    let x = cell(frame.min.x, frame.width(), c.x);
+    let y = cell(frame.min.y, frame.height(), c.y);
+    hilbert_d(side, x, y)
+}
+
+/// Classic xy→d Hilbert mapping for an `n × n` grid (`n` a power of
+/// two): the index of cell `(x, y)` along the curve.
+fn hilbert_d(n: u32, mut x: u32, mut y: u32) -> u64 {
+    let mut d: u64 = 0;
+    let mut s = n / 2;
+    while s > 0 {
+        let rx = u32::from((x & s) > 0);
+        let ry = u32::from((y & s) > 0);
+        d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+        // Rotate the quadrant so the curve stays continuous.
+        if ry == 0 {
+            if rx == 1 {
+                x = (n - 1).wrapping_sub(x);
+                y = (n - 1).wrapping_sub(y);
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
 }
 
 fn put_f64(buf: &mut [u8], off: &mut usize, v: f64) {
@@ -473,6 +637,97 @@ mod tests {
         let back = RStarTree::from_page_file(&tree.to_page_file()).unwrap();
         assert_eq!(back.len(), 5);
         check_invariants(&back).unwrap();
+    }
+
+    #[test]
+    fn hilbert_curve_is_a_bijective_unit_step_walk() {
+        let n = 8u32;
+        let mut cells = vec![None; (n * n) as usize];
+        for x in 0..n {
+            for y in 0..n {
+                let d = hilbert_d(n, x, y) as usize;
+                assert!(cells[d].is_none(), "index {d} assigned twice");
+                cells[d] = Some((x, y));
+            }
+        }
+        for w in cells.windows(2) {
+            let (x0, y0) = w[0].unwrap();
+            let (x1, y1) = w[1].unwrap();
+            assert_eq!(
+                x0.abs_diff(x1) + y0.abs_diff(y1),
+                1,
+                "consecutive curve cells must be grid neighbors"
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_layout_roundtrips_and_packs_sibling_leaves() {
+        let tree = sample_tree(3000);
+        assert!(tree.height() >= 2, "need internal levels to exercise the layout");
+        let file = tree.to_page_file_with_layout(PageLayout::Clustered);
+        assert_eq!(file.layout(), PageLayout::Clustered);
+        assert_eq!(file.page_count(), tree.node_count());
+        assert_eq!(file.root_page(), 0, "pre-order assigns the root page 0");
+
+        let back = RStarTree::from_page_file(&file).unwrap();
+        check_invariants(&back).unwrap();
+        assert_eq!(back.len(), tree.len());
+        assert_eq!(back.height(), tree.height());
+        for wq in [
+            rect(0.0, 0.0, 100.0, 100.0),
+            rect(250.0, 250.0, 260.0, 300.0),
+        ] {
+            let mut a: Vec<u32> = tree.window_query(&wq).iter().map(|e| e.id).collect();
+            let mut b: Vec<u32> = back.window_query(&wq).iter().map(|e| e.id).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+
+        // The layout's promise: a level-1 node's leaves occupy the
+        // consecutive page-id range right after their parent.
+        let n_pages = file.page_count() as u32;
+        let mut level1 = 0;
+        for page in 0..n_pages {
+            let node = decode_node(file.page(page), n_pages).unwrap();
+            if node.level != 1 {
+                continue;
+            }
+            level1 += 1;
+            if let NodeKind::Internal(branches) = &node.kind {
+                let mut kids: Vec<u32> = branches.iter().map(|b| b.child.index() as u32).collect();
+                kids.sort_unstable();
+                assert_eq!(kids[0], page + 1, "first leaf follows its parent");
+                for w in kids.windows(2) {
+                    assert_eq!(w[1], w[0] + 1, "sibling leaves must be contiguous");
+                }
+            }
+        }
+        assert!(level1 > 1, "tree too small to check clustering");
+    }
+
+    #[test]
+    fn bottom_up_layout_is_unchanged_by_the_layout_seam() {
+        // `to_page_file()` must keep producing the exact legacy bytes.
+        let tree = sample_tree(700);
+        let legacy = tree.to_page_file();
+        assert_eq!(legacy.layout(), PageLayout::BottomUp);
+        let explicit = tree.to_page_file_with_layout(PageLayout::BottomUp);
+        assert_eq!(legacy.root_page(), explicit.root_page());
+        assert_eq!(legacy.page_count(), explicit.page_count());
+        for p in 0..legacy.page_count() as u32 {
+            assert_eq!(legacy.page(p)[..], explicit.page(p)[..], "page {p}");
+        }
+    }
+
+    #[test]
+    fn layout_tags_roundtrip_and_reject_the_future() {
+        for layout in [PageLayout::BottomUp, PageLayout::Clustered] {
+            assert_eq!(PageLayout::from_tag(layout.tag()), Some(layout));
+        }
+        assert_eq!(PageLayout::from_tag(2), None);
+        assert_eq!(PageLayout::from_tag(255), None);
     }
 
     #[test]

@@ -45,6 +45,7 @@ impl RStarTree {
                 out.extend(entries.iter().filter(|e| rect.contains_point(&e.point)));
             }
             NodeKind::Internal(branches) => {
+                self.prefetch_intersecting(branches, rect);
                 for b in branches {
                     if b.mbr.intersects(rect) {
                         self.window_query_from_into(b.child, rect, out);
@@ -52,6 +53,24 @@ impl RStarTree {
                 }
             }
         }
+    }
+
+    /// Readahead for window traversals: batch-read the children this
+    /// node is about to recurse into, in recursion order. Advisory — a
+    /// no-op on arena trees and when readahead is off, and logical I/O
+    /// counters never move.
+    fn prefetch_intersecting(&self, branches: &[crate::node::Branch], rect: &Rect) {
+        let readahead = self.readahead();
+        if readahead == 0 {
+            return;
+        }
+        let mut pages: Vec<u32> = branches
+            .iter()
+            .filter(|b| b.mbr.intersects(rect))
+            .take(readahead)
+            .map(|b| b.child.0)
+            .collect();
+        self.prefetch_pages(&mut pages);
     }
 
     /// Counts the entries inside `rect` without materializing them.
@@ -70,11 +89,14 @@ impl RStarTree {
                 .iter()
                 .filter(|e| rect.contains_point(&e.point))
                 .count(),
-            NodeKind::Internal(branches) => branches
-                .iter()
-                .filter(|b| b.mbr.intersects(rect))
-                .map(|b| self.window_count_under(b.child, rect))
-                .sum(),
+            NodeKind::Internal(branches) => {
+                self.prefetch_intersecting(branches, rect);
+                branches
+                    .iter()
+                    .filter(|b| b.mbr.intersects(rect))
+                    .map(|b| self.window_count_under(b.child, rect))
+                    .sum()
+            }
         }
     }
 

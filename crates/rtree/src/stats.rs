@@ -42,10 +42,20 @@ thread_local! {
 /// *thread-local* tally, so a query attributing its own phases sees
 /// exactly the accesses it issued — identical whether it runs alone or
 /// concurrently with other queries on the same tree.
+///
+/// Readahead counters ([`IoStats::prefetch_reads`] /
+/// [`IoStats::prefetch_hits`]) sit *outside* the logical-access
+/// accounting: a prefetch read is a speculative physical page read the
+/// query did not demand, so it moves neither [`IoStats::accesses`] nor
+/// the per-thread attribution tallies. Logical I/O therefore stays
+/// bit-identical with readahead on or off — only the demand
+/// physical/hit split shifts.
 #[derive(Debug, Default)]
 pub struct IoStats {
     node_reads: AtomicU64,
     buffer_hits: AtomicU64,
+    prefetch_reads: AtomicU64,
+    prefetch_hits: AtomicU64,
 }
 
 impl IoStats {
@@ -83,6 +93,37 @@ impl IoStats {
     #[inline]
     pub fn buffer_hits(&self) -> u64 {
         self.buffer_hits.load(Ordering::Relaxed)
+    }
+
+    /// Records one speculative page read issued by readahead. Not a
+    /// logical access: neither [`IoStats::accesses`] nor the per-thread
+    /// tallies move.
+    #[inline]
+    pub fn record_prefetch_read(&self) {
+        self.prefetch_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a demand access that landed on a page readahead had
+    /// admitted. The access itself is recorded separately (as a buffer
+    /// hit); this tally just attributes it to prefetching.
+    #[inline]
+    pub fn record_prefetch_hit(&self) {
+        self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pages read speculatively by readahead since construction or the
+    /// last reset. Outside [`IoStats::accesses`].
+    #[inline]
+    pub fn prefetch_reads(&self) -> u64 {
+        self.prefetch_reads.load(Ordering::Relaxed)
+    }
+
+    /// Demand accesses served from readahead-admitted pages since
+    /// construction or the last reset. A subset of
+    /// [`IoStats::buffer_hits`].
+    #[inline]
+    pub fn prefetch_hits(&self) -> u64 {
+        self.prefetch_hits.load(Ordering::Relaxed)
     }
 
     /// Total logical node accesses: physical reads plus buffer hits.
@@ -128,6 +169,8 @@ impl IoStats {
     pub fn reset(&self) {
         self.node_reads.store(0, Ordering::Relaxed);
         self.buffer_hits.store(0, Ordering::Relaxed);
+        self.prefetch_reads.store(0, Ordering::Relaxed);
+        self.prefetch_hits.store(0, Ordering::Relaxed);
     }
 }
 
@@ -167,6 +210,23 @@ mod tests {
         assert_eq!(s.hits_since(hits), 2);
         s.reset();
         assert_eq!(s.accesses(), 0);
+    }
+
+    #[test]
+    fn prefetch_counters_stay_outside_logical_accounting() {
+        let s = IoStats::new();
+        let snap = s.snapshot();
+        s.record_prefetch_read();
+        s.record_prefetch_read();
+        s.record_buffer_hit();
+        s.record_prefetch_hit();
+        assert_eq!(s.prefetch_reads(), 2);
+        assert_eq!(s.prefetch_hits(), 1);
+        // Only the demand buffer hit counts as a logical access.
+        assert_eq!(s.accesses(), 1);
+        assert_eq!(s.since(snap), 1);
+        s.reset();
+        assert_eq!((s.prefetch_reads(), s.prefetch_hits()), (0, 0));
     }
 
     #[test]

@@ -235,6 +235,29 @@ impl RStarTree {
         }
     }
 
+    /// The readahead width configured for this tree (0 for arena trees
+    /// and disk trees opened without prefetch). Query code checks this
+    /// before assembling prefetch candidates, so the hot path stays
+    /// allocation-free whenever readahead is off.
+    #[inline]
+    pub(crate) fn readahead(&self) -> usize {
+        match &self.storage {
+            Some(storage) => storage.prefetch_limit(),
+            None => 0,
+        }
+    }
+
+    /// Reads up to [`RStarTree::readahead`] of `candidates` (page ids in
+    /// priority order) ahead of demand — a no-op on arena trees. See
+    /// [`crate::disk::TreeStorage::prefetch_pages`] for the accounting
+    /// contract (demand counters untouched).
+    #[inline]
+    pub(crate) fn prefetch_pages(&self, candidates: &mut Vec<u32>) {
+        if let Some(storage) = &self.storage {
+            storage.prefetch_pages(candidates, &self.stats);
+        }
+    }
+
     /// Reads a node's contents for bookkeeping purposes — builds,
     /// validation, entry iteration — charging **no** I/O, pinning
     /// nothing, and never touching the buffer pool counters. On a

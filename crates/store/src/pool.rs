@@ -1,5 +1,5 @@
-//! A fixed-capacity buffer pool with LRU eviction, pinning, and
-//! hit/miss/eviction accounting.
+//! A fixed-capacity buffer pool with LRU eviction, pinning, lock-striped
+//! shards, prefetch admission, and hit/miss/eviction accounting.
 //!
 //! The pool is the layer that turns the paper's I/O metric physical:
 //! query code asks the pool for a page; a resident page is a **buffer
@@ -17,15 +17,41 @@
 //! victim scan is `O(capacity)` per miss, which is noise next to the
 //! page read the miss already pays for.
 //!
-//! All methods take `&self`: the frame table lives behind a mutex (loads
-//! included — misses are serialized, as the metadata of a real pool's
-//! latching would be) and the counters are relaxed atomics, so one pool
-//! can serve every query thread of a
+//! # Sharding
+//!
+//! [`BufferPool::with_shards`] splits the frame table into N lock
+//! striped shards. A page maps to a shard by a Fibonacci hash of its id,
+//! each shard runs its own exact LRU over its slice of the capacity, and
+//! the counters stay global atomics — so aggregate hit/miss/eviction
+//! accounting is identical in shape to the single-lock pool while batch
+//! query threads no longer serialize on one mutex. Because the reference
+//! string seen by each shard is a fixed subsequence of the global one
+//! (the page→shard map does not depend on capacity) and the per-shard
+//! capacities grow monotonically with the total, the inclusion property
+//! holds *per shard* and therefore in aggregate. [`BufferPool::new`]
+//! remains exactly the single-shard pool.
+//!
+//! # Prefetch frames
+//!
+//! [`BufferPool::admit_prefetched`] inserts a page that was read ahead
+//! of demand (readahead) as an ordinary unpinned frame, flagged
+//! `prefetched`. Admission touches **no** hit/miss counter — logical I/O
+//! accounting is reserved for demand accesses. The first demand access
+//! to such a frame returns [`Access::PrefetchHit`] (counted as a normal
+//! hit plus a `prefetch_hits` tick) and clears the flag; a prefetched
+//! frame that is evicted or cleared before any demand access counts as
+//! `prefetch_waste`. So `prefetched == prefetch_hits + prefetch_waste +
+//! still-resident-untouched` at all times.
+//!
+//! All methods take `&self`: the frame tables live behind mutexes (loads
+//! included — misses on one shard are serialized, as the metadata of a
+//! real pool's latching would be) and the counters are relaxed atomics,
+//! so one pool can serve every query thread of a
 //! [`QueryEngine`]-style batch runner.
 //!
 //! # Panic safety
 //!
-//! A caller closure (`load`/`read`) that panics unwinds while the frame
+//! A caller closure (`load`/`read`) that panics unwinds while a shard
 //! mutex is held and poisons it. The frame table has no invariant a
 //! mid-panic unwind can break (the worst case is one unmapped frame
 //! slot, which a later miss re-victimizes), so every lock site recovers
@@ -35,10 +61,10 @@
 //! # Eviction hook
 //!
 //! [`BufferPool::set_evict_hook`] registers a callback fired — under the
-//! pool lock — whenever a page leaves the pool (LRU eviction or
-//! [`BufferPool::clear`]). Clients caching state keyed by page id (the
-//! R\*-tree's decoded-node cache) use it to drop their entry in the same
-//! critical section, so cached state never outlives page residency.
+//! owning shard's lock — whenever a page leaves the pool (LRU eviction
+//! or [`BufferPool::clear`]). Clients caching state keyed by page id
+//! (the R\*-tree's decoded-node cache) use it to drop their entry in the
+//! same critical section, so cached state never outlives page residency.
 
 use crate::error::StoreError;
 use crate::PAGE_SIZE;
@@ -51,6 +77,11 @@ use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 pub enum Access {
     /// The page was resident: no physical I/O happened.
     Hit,
+    /// The page was resident because readahead admitted it and this is
+    /// the first demand access: no physical I/O happened *now* (the
+    /// prefetch already paid it, off the demand counters). Counted as a
+    /// hit.
+    PrefetchHit,
     /// The page was loaded by the supplied loader: one physical read.
     Miss,
 }
@@ -58,7 +89,7 @@ pub enum Access {
 /// A snapshot of the pool's counters and occupancy.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PoolStats {
-    /// Requests satisfied without I/O.
+    /// Requests satisfied without I/O (including prefetch hits).
     pub hits: u64,
     /// Requests that invoked the loader (physical reads).
     pub misses: u64,
@@ -68,6 +99,12 @@ pub struct PoolStats {
     pub capacity: usize,
     /// Pages currently resident.
     pub resident: usize,
+    /// Pages admitted by [`BufferPool::admit_prefetched`].
+    pub prefetched: u64,
+    /// Prefetched pages that later served a demand access.
+    pub prefetch_hits: u64,
+    /// Prefetched pages evicted or cleared before any demand access.
+    pub prefetch_waste: u64,
 }
 
 impl PoolStats {
@@ -86,6 +123,8 @@ struct Frame {
     page: u32,
     pins: u32,
     last_used: u64,
+    /// Admitted by readahead and not yet demanded.
+    prefetched: bool,
     data: Box<[u8]>,
 }
 
@@ -100,35 +139,73 @@ struct Inner {
     tick: u64,
 }
 
-/// Callback invoked (under the pool lock) when a page leaves the pool.
+/// One lock stripe: a slice of the capacity with its own LRU.
+struct Shard {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+/// Callback invoked (under the owning shard's lock) when a page leaves
+/// the pool.
 pub type EvictHook = Box<dyn Fn(u32) + Send + Sync>;
 
 /// A fixed-capacity page buffer. See the module docs.
 pub struct BufferPool {
     capacity: usize,
-    inner: Mutex<Inner>,
+    shards: Box<[Shard]>,
     evict_hook: OnceLock<EvictHook>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    prefetched: AtomicU64,
+    prefetch_hits: AtomicU64,
+    prefetch_waste: AtomicU64,
 }
 
 impl BufferPool {
-    /// A pool holding at most `capacity` pages.
+    /// A single-shard pool holding at most `capacity` pages — exactly
+    /// the classic one-lock exact-LRU pool.
     ///
     /// # Panics
     ///
     /// Panics when `capacity` is zero — a pool that can hold nothing
     /// cannot satisfy even a single load.
     pub fn new(capacity: usize) -> Self {
+        BufferPool::with_shards(capacity, 1)
+    }
+
+    /// A pool holding at most `capacity` pages split across `shards`
+    /// lock stripes. `shards` is clamped to `[1, capacity]`; the
+    /// capacity is divided as evenly as possible (shard `i` gets
+    /// `capacity/n`, plus one of the remainder for the first
+    /// `capacity % n` shards), which keeps every per-shard capacity
+    /// monotone in the total — the inclusion property survives
+    /// sharding.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
         assert!(capacity >= 1, "buffer pool capacity must be at least 1");
+        let n = shards.clamp(1, capacity);
+        let base = capacity / n;
+        let rem = capacity % n;
+        let shards: Box<[Shard]> = (0..n)
+            .map(|i| Shard {
+                capacity: base + usize::from(i < rem),
+                inner: Mutex::new(Inner::default()),
+            })
+            .collect();
         BufferPool {
             capacity,
-            inner: Mutex::new(Inner::default()),
+            shards,
             evict_hook: OnceLock::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            prefetched: AtomicU64::new(0),
+            prefetch_hits: AtomicU64::new(0),
+            prefetch_waste: AtomicU64::new(0),
         }
     }
 
@@ -138,15 +215,20 @@ impl BufferPool {
         BufferPool::new(usize::MAX)
     }
 
-    /// The configured capacity in pages.
+    /// The configured total capacity in pages.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
+    /// Number of lock stripes.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Registers the eviction callback (at most once, before queries
-    /// start). Fired under the pool lock for every page dropped by LRU
-    /// eviction or [`BufferPool::clear`]; the hook must not call back
-    /// into the pool.
+    /// start). Fired under the owning shard's lock for every page
+    /// dropped by LRU eviction or [`BufferPool::clear`]; the hook must
+    /// not call back into the pool.
     ///
     /// # Panics
     ///
@@ -157,11 +239,25 @@ impl BufferPool {
         }
     }
 
-    /// Locks the frame table, recovering from poisoning: a panic in a
-    /// caller closure cannot corrupt the table (see the module docs), so
-    /// the lock stays usable for every other thread.
-    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    /// The shard owning `page`: identity for a single stripe, a
+    /// Fibonacci hash of the page id otherwise (page ids are dense and
+    /// sequential, so plain modulo would stripe sibling pages — which a
+    /// clustered layout makes *consecutive* — onto the same few shards).
+    #[inline]
+    fn shard_for(&self, page: u32) -> &Shard {
+        let n = self.shards.len();
+        if n == 1 {
+            return &self.shards[0];
+        }
+        let h = (page as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+        &self.shards[(h as usize) % n]
+    }
+
+    /// Locks a shard's frame table, recovering from poisoning: a panic
+    /// in a caller closure cannot corrupt the table (see the module
+    /// docs), so the lock stays usable for every other thread.
+    fn lock_shard<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, Inner> {
+        shard.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     #[inline]
@@ -172,9 +268,8 @@ impl BufferPool {
     }
 
     /// Requests `page`, invoking `load` to fill the frame on a miss.
-    /// Returns whether the request was a [`Access::Hit`] or
-    /// [`Access::Miss`]; a failed load caches nothing and surfaces the
-    /// loader's error.
+    /// Returns whether the request was a hit or a [`Access::Miss`]; a
+    /// failed load caches nothing and surfaces the loader's error.
     pub fn access(
         &self,
         page: u32,
@@ -184,7 +279,8 @@ impl BufferPool {
     }
 
     /// As [`BufferPool::access`], additionally running `read` over the
-    /// resident page bytes (under the pool lock) and returning its value.
+    /// resident page bytes (under the shard lock) and returning its
+    /// value.
     pub fn with_page<R>(
         &self,
         page: u32,
@@ -197,10 +293,11 @@ impl BufferPool {
 
     /// As [`BufferPool::with_page`], but the page is additionally
     /// **pinned** when it is (or becomes) resident — release with
-    /// [`BufferPool::unpin`]. Pins nest. `read` runs under the pool lock
-    /// and receives `cached = false` only on the all-frames-pinned
-    /// fallback, where the bytes live in a throwaway scratch buffer and
-    /// no pin is taken (there is nothing resident to pin).
+    /// [`BufferPool::unpin`]. Pins nest. `read` runs under the shard
+    /// lock and receives `cached = false` only on the
+    /// all-frames-pinned fallback, where the bytes live in a throwaway
+    /// scratch buffer and no pin is taken (there is nothing resident to
+    /// pin).
     ///
     /// This is the one-critical-section primitive behind demand paging:
     /// hit/miss classification, loading, pinning and the caller's
@@ -225,7 +322,8 @@ impl BufferPool {
         read: impl FnOnce(&[u8], bool) -> R,
         pin: bool,
     ) -> Result<(Access, bool, R), StoreError> {
-        let mut inner = self.lock_inner();
+        let shard = self.shard_for(page);
+        let mut inner = self.lock_shard(shard);
         inner.tick += 1;
         let tick = inner.tick;
 
@@ -235,12 +333,19 @@ impl BufferPool {
             if pin {
                 frame.pins += 1;
             }
+            let access = if frame.prefetched {
+                frame.prefetched = false;
+                self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+                Access::PrefetchHit
+            } else {
+                Access::Hit
+            };
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((Access::Hit, true, read(&frame.data, true)));
+            return Ok((access, true, read(&frame.data, true)));
         }
 
         self.misses.fetch_add(1, Ordering::Relaxed);
-        match self.claim_frame(&mut inner) {
+        match self.claim_frame(shard.capacity, &mut inner) {
             Some(idx) => {
                 let frame = &mut inner.frames[idx];
                 if let Err(e) = load(&mut frame.data) {
@@ -252,6 +357,7 @@ impl BufferPool {
                 frame.page = page;
                 frame.pins = u32::from(pin);
                 frame.last_used = tick;
+                frame.prefetched = false;
                 inner.map.insert(page, idx);
                 let r = read(&inner.frames[idx].data, true);
                 Ok((Access::Miss, true, r))
@@ -266,18 +372,54 @@ impl BufferPool {
         }
     }
 
+    /// Admits a page read by readahead as an unpinned, `prefetched`
+    /// resident frame. No hit/miss counter moves — demand accounting is
+    /// untouched. Returns `false` (and admits nothing) when the page is
+    /// already resident or when every frame of its shard is pinned; an
+    /// eviction to make room is counted (and hooked) as usual.
+    pub fn admit_prefetched(&self, page: u32, bytes: &[u8]) -> bool {
+        assert_eq!(bytes.len(), PAGE_SIZE, "prefetch buffer must be one page");
+        let shard = self.shard_for(page);
+        let mut inner = self.lock_shard(shard);
+        if inner.map.contains_key(&page) {
+            return false;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        let Some(idx) = self.claim_frame(shard.capacity, &mut inner) else {
+            return false;
+        };
+        let frame = &mut inner.frames[idx];
+        frame.data.copy_from_slice(bytes);
+        frame.page = page;
+        frame.pins = 0;
+        frame.last_used = tick;
+        frame.prefetched = true;
+        inner.map.insert(page, idx);
+        self.prefetched.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Whether `page` is currently resident. Touches no counter and no
+    /// LRU stamp — this is the readahead path's duplicate filter, not a
+    /// demand access.
+    pub fn contains(&self, page: u32) -> bool {
+        self.lock_shard(self.shard_for(page)).map.contains_key(&page)
+    }
+
     /// Finds a frame for a new page: a free slot, a new allocation under
-    /// capacity, or the LRU unpinned victim (firing the evict hook).
-    /// `None` when every frame is pinned.
-    fn claim_frame(&self, inner: &mut Inner) -> Option<usize> {
+    /// the shard's capacity, or the LRU unpinned victim (firing the
+    /// evict hook). `None` when every frame is pinned.
+    fn claim_frame(&self, capacity: usize, inner: &mut Inner) -> Option<usize> {
         if let Some(idx) = inner.free.pop() {
             return Some(idx);
         }
-        if inner.frames.len() < self.capacity {
+        if inner.frames.len() < capacity {
             inner.frames.push(Frame {
                 page: u32::MAX,
                 pins: 0,
                 last_used: 0,
+                prefetched: false,
                 data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
             });
             return Some(inner.frames.len() - 1);
@@ -290,6 +432,9 @@ impl BufferPool {
             .min_by_key(|(_, f)| f.last_used)
             .map(|(i, _)| i)?;
         let old_page = inner.frames[victim].page;
+        if inner.frames[victim].prefetched {
+            self.prefetch_waste.fetch_add(1, Ordering::Relaxed);
+        }
         inner.map.remove(&old_page);
         self.evictions.fetch_add(1, Ordering::Relaxed);
         self.fire_evict_hook(old_page);
@@ -311,7 +456,7 @@ impl BufferPool {
     /// Releases one pin on `page`. Returns `false` when the page is not
     /// resident or not pinned.
     pub fn unpin(&self, page: u32) -> bool {
-        let mut inner = self.lock_inner();
+        let mut inner = self.lock_shard(self.shard_for(page));
         match inner.map.get(&page).copied() {
             Some(idx) if inner.frames[idx].pins > 0 => {
                 inner.frames[idx].pins -= 1;
@@ -323,36 +468,56 @@ impl BufferPool {
 
     /// Drops every resident page (pins included), returning the pool to
     /// a cold state and firing the evict hook for each dropped page.
-    /// Counters are unaffected; pair with [`BufferPool::reset_stats`]
-    /// for a fully fresh measurement.
+    /// Untouched prefetched frames count as waste. Counters are
+    /// otherwise unaffected; pair with [`BufferPool::reset_stats`] for a
+    /// fully fresh measurement.
     pub fn clear(&self) {
-        let mut inner = self.lock_inner();
-        let dropped: Vec<u32> = inner.map.keys().copied().collect();
-        inner.map.clear();
-        inner.free.clear();
-        inner.frames.clear();
-        inner.tick = 0;
-        for page in dropped {
-            self.fire_evict_hook(page);
+        for shard in self.shards.iter() {
+            let mut inner = self.lock_shard(shard);
+            let dropped: Vec<(u32, bool)> = inner
+                .map
+                .iter()
+                .map(|(&page, &idx)| (page, inner.frames[idx].prefetched))
+                .collect();
+            inner.map.clear();
+            inner.free.clear();
+            inner.frames.clear();
+            inner.tick = 0;
+            for (page, was_prefetched) in dropped {
+                if was_prefetched {
+                    self.prefetch_waste.fetch_add(1, Ordering::Relaxed);
+                }
+                self.fire_evict_hook(page);
+            }
         }
     }
 
-    /// Zeroes the hit/miss/eviction counters.
+    /// Zeroes the hit/miss/eviction/prefetch counters.
     pub fn reset_stats(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+        self.prefetched.store(0, Ordering::Relaxed);
+        self.prefetch_hits.store(0, Ordering::Relaxed);
+        self.prefetch_waste.store(0, Ordering::Relaxed);
     }
 
-    /// Current counters and occupancy.
+    /// Current counters and occupancy (aggregated over every shard).
     pub fn stats(&self) -> PoolStats {
-        let inner = self.lock_inner();
+        let resident = self
+            .shards
+            .iter()
+            .map(|s| self.lock_shard(s).map.len())
+            .sum();
         PoolStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             capacity: self.capacity,
-            resident: inner.map.len(),
+            resident,
+            prefetched: self.prefetched.load(Ordering::Relaxed),
+            prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
+            prefetch_waste: self.prefetch_waste.load(Ordering::Relaxed),
         }
     }
 }
@@ -376,6 +541,12 @@ mod tests {
             Ok(())
         })
         .unwrap()
+    }
+
+    fn stamped(page: u32) -> Vec<u8> {
+        let mut bytes = vec![0u8; PAGE_SIZE];
+        bytes[0..4].copy_from_slice(&page.to_le_bytes());
+        bytes
     }
 
     #[test]
@@ -462,6 +633,120 @@ mod tests {
     }
 
     #[test]
+    fn sharded_inclusion_property_on_random_trace() {
+        // With a fixed shard count, the page→shard map is capacity
+        // independent and every per-shard capacity grows with the
+        // total, so aggregate hits stay monotone in capacity.
+        let mut x = 0x9E37_79B9u64;
+        let trace: Vec<u32> = (0..4000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                ((x % 64) * (x >> 32 & 1) + x % 24) as u32
+            })
+            .collect();
+        let mut last_hits = 0u64;
+        for cap in [4usize, 8, 16, 32, 64] {
+            let pool = BufferPool::with_shards(cap, 4);
+            assert_eq!(pool.shards(), 4);
+            for &p in &trace {
+                touch(&pool, p);
+            }
+            let hits = pool.stats().hits;
+            assert!(
+                hits >= last_hits,
+                "cap {cap} x4 shards: hits {hits} dropped below {last_hits}"
+            );
+            last_hits = hits;
+        }
+    }
+
+    #[test]
+    fn sharded_pool_aggregates_match_single_shard_when_unbounded() {
+        // With no eviction, hit/miss totals are layout-independent:
+        // every page misses once and hits thereafter, whatever shard
+        // it hashed to.
+        for shards in [1usize, 2, 4, 8] {
+            let pool = BufferPool::with_shards(usize::MAX, shards);
+            for p in 0..300u32 {
+                assert_eq!(touch(&pool, p), Access::Miss, "{shards} shards");
+            }
+            for p in 0..300u32 {
+                assert_eq!(touch(&pool, p), Access::Hit, "{shards} shards");
+            }
+            let s = pool.stats();
+            assert_eq!((s.misses, s.hits, s.evictions, s.resident), (300, 300, 0, 300));
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_capacity() {
+        let pool = BufferPool::with_shards(3, 16);
+        assert_eq!(pool.shards(), 3);
+        let pool = BufferPool::with_shards(5, 0);
+        assert_eq!(pool.shards(), 1);
+    }
+
+    #[test]
+    fn prefetch_admission_hit_and_waste_accounting() {
+        let pool = BufferPool::new(2);
+        assert!(pool.admit_prefetched(5, &stamped(5)));
+        assert!(pool.contains(5));
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.prefetched), (0, 0, 1), "admission is not a demand access");
+
+        // First demand access: a prefetch hit (counted as a hit), and
+        // the bytes are the admitted ones — no loader call.
+        let (a, byte) = pool
+            .with_page(5, |_| panic!("prefetched page must not reload"), |b| b[0])
+            .unwrap();
+        assert_eq!((a, byte), (Access::PrefetchHit, 5));
+        // Second access is an ordinary hit: the flag was consumed.
+        assert_eq!(touch(&pool, 5), Access::Hit);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.prefetch_hits, s.prefetch_waste), (2, 1, 0));
+
+        // An admitted page that is evicted before any demand access is
+        // waste. Page 5 was just used, so 6 is the LRU victim.
+        assert!(pool.admit_prefetched(6, &stamped(6)));
+        touch(&pool, 5);
+        touch(&pool, 7); // evicts 6, untouched
+        let s = pool.stats();
+        assert_eq!((s.prefetched, s.prefetch_hits, s.prefetch_waste), (2, 1, 1));
+
+        // Re-admitting a resident page is refused.
+        assert!(!pool.admit_prefetched(5, &stamped(5)));
+        assert_eq!(pool.stats().prefetched, 2);
+    }
+
+    #[test]
+    fn prefetch_admission_never_displaces_pinned_frames() {
+        let pool = BufferPool::new(1);
+        pool.pin(1, |b| {
+            b[0] = 1;
+            Ok(())
+        })
+        .unwrap();
+        assert!(!pool.admit_prefetched(2, &stamped(2)), "all frames pinned");
+        assert!(!pool.contains(2));
+        assert_eq!(pool.stats().prefetched, 0);
+        assert!(pool.unpin(1));
+    }
+
+    #[test]
+    fn clear_counts_untouched_prefetched_frames_as_waste() {
+        let pool = BufferPool::new(4);
+        assert!(pool.admit_prefetched(1, &stamped(1)));
+        assert!(pool.admit_prefetched(2, &stamped(2)));
+        touch(&pool, 1); // consumes 1's prefetch flag
+        pool.clear();
+        let s = pool.stats();
+        assert_eq!((s.prefetched, s.prefetch_hits, s.prefetch_waste), (2, 1, 1));
+        assert_eq!(s.resident, 0);
+    }
+
+    #[test]
     fn pinned_pages_survive_eviction_pressure() {
         let pool = BufferPool::new(2);
         pool.pin(1, |b| {
@@ -536,6 +821,7 @@ mod tests {
         pool.reset_stats();
         let s = pool.stats();
         assert_eq!((s.hits, s.misses, s.evictions), (0, 0, 0));
+        assert_eq!((s.prefetched, s.prefetch_hits, s.prefetch_waste), (0, 0, 0));
     }
 
     #[test]
@@ -555,6 +841,20 @@ mod tests {
         let mut rest = evicted.lock().unwrap().clone();
         rest.sort_unstable();
         assert_eq!(rest, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn evict_hook_sees_prefetched_departures_too() {
+        use std::sync::Arc;
+        let evicted = Arc::new(Mutex::new(Vec::new()));
+        let pool = BufferPool::new(1);
+        let sink = evicted.clone();
+        pool.set_evict_hook(Box::new(move |page| {
+            sink.lock().unwrap().push(page);
+        }));
+        assert!(pool.admit_prefetched(4, &stamped(4)));
+        touch(&pool, 9); // evicts the prefetched frame
+        assert_eq!(*evicted.lock().unwrap(), vec![4]);
     }
 
     #[test]
@@ -613,5 +913,38 @@ mod tests {
         let s = pool.stats();
         assert_eq!(s.hits + s.misses, 8_000);
         assert!(s.resident <= 8);
+    }
+
+    #[test]
+    fn concurrent_sharded_access_is_consistent() {
+        use std::sync::Arc;
+        let pool = Arc::new(BufferPool::with_shards(8, 4));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let pool = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2_000u32 {
+                    let page = (i * (t + 1)) % 16;
+                    if i % 37 == 0 {
+                        pool.admit_prefetched(page, &stamped(page));
+                        continue;
+                    }
+                    pool.access(page, |buf| {
+                        buf[0..4].copy_from_slice(&page.to_le_bytes());
+                        Ok(())
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = pool.stats();
+        // 4 threads × 2000 iterations, of which ⌈2000/37⌉ = 55 are
+        // prefetch admissions, not demand accesses.
+        assert_eq!(s.hits + s.misses, 4 * (2_000 - 55));
+        assert!(s.resident <= 8);
+        assert!(s.prefetch_hits + s.prefetch_waste <= s.prefetched);
     }
 }

@@ -105,6 +105,23 @@ pub trait PageStore: Send + Sync {
     /// invariant checks) — never for query paths.
     fn read_page_uncounted(&self, page: u32, buf: &mut [u8]) -> Result<(), StoreError>;
 
+    /// Reads `buf.len() / PAGE_SIZE` consecutive pages starting at
+    /// `first` into `buf` — the readahead primitive. Like
+    /// [`PageStore::read_page_uncounted`] this is **not** charged to the
+    /// physical-read counter: readahead accounting is the caller's job
+    /// (the demand counter must keep meaning "reads the queries forced",
+    /// so prefetch cannot pollute it). `buf` must be a whole number of
+    /// pages. The default implementation loops single-page reads;
+    /// backends with a cheaper batched path (one seek + one contiguous
+    /// read for [`FileStore`]) override it.
+    fn read_run_uncounted(&self, first: u32, buf: &mut [u8]) -> Result<(), StoreError> {
+        assert_eq!(buf.len() % PAGE_SIZE, 0, "run buffer must be whole pages");
+        for (i, chunk) in buf.chunks_mut(PAGE_SIZE).enumerate() {
+            self.read_page_uncounted(first + i as u32, chunk)?;
+        }
+        Ok(())
+    }
+
     /// Number of successful physical page reads since construction or
     /// the last [`PageStore::reset_counters`].
     fn physical_reads(&self) -> u64;
@@ -427,6 +444,37 @@ impl PageStore for FileStore {
         Ok(())
     }
 
+    fn read_run_uncounted(&self, first: u32, buf: &mut [u8]) -> Result<(), StoreError> {
+        assert_eq!(buf.len() % PAGE_SIZE, 0, "run buffer must be whole pages");
+        let count = (buf.len() / PAGE_SIZE) as u32;
+        if count == 0 {
+            return Ok(());
+        }
+        let last = first.saturating_add(count - 1);
+        if first.checked_add(count - 1).is_none() || last >= self.meta.page_count {
+            return Err(StoreError::PageOutOfRange {
+                page: last,
+                page_count: self.meta.page_count,
+            });
+        }
+        {
+            // One seek + one contiguous read for the whole run — this is
+            // the syscall batching a clustered page layout buys.
+            let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+            file.seek(SeekFrom::Start(
+                self.data_offset + first as u64 * PAGE_SIZE as u64,
+            ))?;
+            file.read_exact(buf)?;
+        }
+        for (i, chunk) in buf.chunks(PAGE_SIZE).enumerate() {
+            let page = first + i as u32;
+            if crc32(chunk) != self.checksums[page as usize] {
+                return Err(StoreError::PageChecksum { page });
+            }
+        }
+        Ok(())
+    }
+
     fn physical_reads(&self) -> u64 {
         self.reads.load(Ordering::Relaxed)
     }
@@ -677,6 +725,44 @@ mod tests {
         assert_eq!(fstore.physical_reads(), 0);
         fstore.read_page(1, &mut buf).unwrap();
         assert_eq!(fstore.physical_reads(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_reads_match_single_page_reads_and_stay_uncounted() {
+        let pages = sample_pages(6);
+        let mem = MemStore::new(pages.clone(), 0, [0; 4]).unwrap();
+        let path = tmp("run_read");
+        let fstore = FileStore::create(&path, 0, [0; 4], &pages).unwrap();
+        for store in [&mem as &dyn PageStore, &fstore as &dyn PageStore] {
+            let mut buf = vec![0u8; 3 * PAGE_SIZE];
+            store.read_run_uncounted(2, &mut buf).unwrap();
+            for i in 0..3 {
+                assert_eq!(
+                    buf[i * PAGE_SIZE..(i + 1) * PAGE_SIZE],
+                    pages[2 + i][..],
+                    "run page {i}"
+                );
+            }
+            assert_eq!(store.physical_reads(), 0, "run reads are uncounted");
+            // A run past the end is rejected, not truncated.
+            assert!(matches!(
+                store.read_run_uncounted(4, &mut buf),
+                Err(StoreError::PageOutOfRange { .. })
+            ));
+        }
+        // A corrupt page inside a run is still caught by its checksum.
+        drop(fstore);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let data_offset = PAGE_SIZE as u64 + table_bytes(6);
+        bytes[data_offset as usize + 3 * PAGE_SIZE + 17] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let fstore = FileStore::open(&path).unwrap();
+        let mut buf = vec![0u8; 3 * PAGE_SIZE];
+        assert!(matches!(
+            fstore.read_run_uncounted(2, &mut buf),
+            Err(StoreError::PageChecksum { page: 3 })
+        ));
         std::fs::remove_file(&path).ok();
     }
 

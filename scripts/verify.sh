@@ -32,9 +32,18 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
   grep -q '"peak_resident_nodes"' results/BENCH_buffer.json
   echo "ok: results/BENCH_buffer.json written (with resident-node gauge)"
 
+  step "smoke: readahead + clustered layout (sweep covers both, counters present)"
+  grep -q '"layout": "clustered"' results/BENCH_buffer.json
+  grep -q '"prefetch_batches"' results/BENCH_buffer.json
+  echo "ok: layout/readahead cells recorded in the sweep"
+
   step "smoke: demand paging (tiny pool, answers match arena)"
   cargo test -q --release --test demand_paging
   echo "ok: pool capacity bounds resident decoded nodes"
+
+  step "smoke: sharded pool under concurrent batches"
+  cargo test -q --release --test pool_stress
+  echo "ok: concurrent accounting exact across shards and readahead"
 fi
 
 step "verify: all checks passed"

@@ -56,5 +56,5 @@ pub mod prelude {
     };
     pub use nwc_datagen::Dataset;
     pub use nwc_geom::{window::WindowSpec, Point, Rect};
-    pub use nwc_rtree::{RStarTree, TreeError};
+    pub use nwc_rtree::{PageLayout, RStarTree, TreeError};
 }

@@ -106,6 +106,81 @@ fn disk_results_and_io_match_arena_for_all_schemes() {
 }
 
 #[test]
+fn clustered_layout_and_readahead_keep_answers_and_logical_io_bit_identical() {
+    // The locality stack (clustered page layout + readahead) only
+    // rearranges physical I/O. Saved clustered, reopened with and
+    // without readahead, every scheme must return the same answers and
+    // the same per-query logical I/O as the arena — the acceptance bar
+    // for the whole optimization.
+    let points = seeded_points(1500, 59);
+    let arena = NwcIndex::build(points);
+    let path = temp_pages("clustered");
+    arena
+        .save_tree_with_layout(&path, PageLayout::Clustered)
+        .expect("save clustered");
+    let configs = [
+        ("plain", DiskIndexConfig::default()),
+        (
+            "readahead",
+            DiskIndexConfig {
+                pool_capacity: Some(64),
+                prefetch: 16,
+                pool_shards: Some(2),
+                ..DiskIndexConfig::default()
+            },
+        ),
+    ];
+    for (tag, config) in configs {
+        let disk = NwcIndex::open_disk(&path, config).expect("open clustered");
+        assert_eq!(
+            disk.tree().storage().expect("disk-backed").layout(),
+            PageLayout::Clustered,
+            "{tag}: layout must round-trip through the header"
+        );
+        let queries = Dataset::query_points(4, 59);
+        for scheme in Scheme::TABLE3 {
+            for (qi, &q) in queries.iter().enumerate() {
+                let query = NwcQuery::new(q, WindowSpec::square(70.0), 4);
+                let (ra, sa) = arena.nwc_full(&query, scheme);
+                let (rd, sd) = disk.nwc_full(&query, scheme);
+                match (&ra, &rd) {
+                    (None, None) => {}
+                    (Some(a), Some(d)) => {
+                        assert_eq!(a.ids(), d.ids(), "{tag}/{scheme}/q{qi}");
+                        assert_eq!(a.distance, d.distance, "{tag}/{scheme}/q{qi}");
+                    }
+                    _ => panic!("{tag}/{scheme}/q{qi}: one mode found a result, one did not"),
+                }
+                assert_eq!(
+                    SearchStats { buffer_hits: 0, ..sd },
+                    sa,
+                    "{tag}/{scheme}/q{qi}: logical stats diverge"
+                );
+            }
+        }
+        // Demand accounting is unchanged by readahead: prefetch reads
+        // go through an uncounted path, so physical demand reads still
+        // equal pool misses exactly.
+        let storage = disk.tree().storage().expect("disk-backed");
+        let io = disk.tree().stats();
+        let pool = storage.pool_stats();
+        assert_eq!(pool.hits, io.buffer_hits(), "{tag}");
+        assert_eq!(pool.misses, io.node_reads(), "{tag}");
+        assert_eq!(storage.physical_reads(), pool.misses, "{tag}");
+        assert_eq!(io.prefetch_hits(), pool.prefetch_hits, "{tag}");
+        if config.prefetch == 0 {
+            assert_eq!(io.prefetch_reads(), 0, "{tag}: no readahead configured");
+        } else {
+            assert!(
+                io.prefetch_reads() > 0,
+                "{tag}: a 64-frame pool over this tree should prefetch"
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn disk_knwc_matches_arena() {
     let arena = NwcIndex::build(seeded_points(700, 43));
     let disk = reopen_disk(&arena, "knwc");

@@ -1,0 +1,119 @@
+//! Concurrency stress for the sharded buffer pool: parallel
+//! [`QueryEngine`] batches hammer one shared disk-backed tree (clustered
+//! layout, bounded sharded pool, readahead on) and every answer must
+//! match the in-memory arena, with the aggregate pool / I/O accounting
+//! exact afterwards — no access lost or double-counted across threads,
+//! shards, or speculative readahead admissions.
+
+use nwc::prelude::*;
+use std::path::PathBuf;
+
+fn temp_pages(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nwc-stress-{tag}-{}.pages", std::process::id()))
+}
+
+fn stress_points(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let s = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            Point::new((s % 9_000) as f64 + 500.0, ((s >> 13) % 9_000) as f64 + 500.0)
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_engine_batches_on_a_shared_disk_tree_stay_consistent() {
+    let points = stress_points(6_000);
+    let arena = NwcIndex::build(points);
+    let path = temp_pages("engine");
+    arena
+        .save_tree_with_layout(&path, PageLayout::Clustered)
+        .expect("save clustered");
+    let disk = NwcIndex::open_disk(
+        &path,
+        DiskIndexConfig {
+            pool_capacity: Some(48),
+            prefetch: 8,
+            pool_shards: Some(4),
+            ..DiskIndexConfig::default()
+        },
+    )
+    .expect("open");
+    std::fs::remove_file(&path).ok();
+
+    let queries: Vec<NwcQuery> = Dataset::query_points(24, 7)
+        .into_iter()
+        .map(|q| NwcQuery::new(q, WindowSpec::square(400.0), 4))
+        .collect();
+    let expected: Vec<_> = queries
+        .iter()
+        .map(|q| arena.nwc_full(q, Scheme::NWC_STAR))
+        .collect();
+
+    // Several rounds so later ones run against a warm, already-churned
+    // pool — eviction, readahead admission and demand faulting all
+    // interleave across the 4 worker threads.
+    let engine = QueryEngine::new(&disk).with_threads(4);
+    for round in 0..3 {
+        let batch = engine.nwc_batch(&queries, Scheme::NWC_STAR);
+        assert_eq!(batch.len(), queries.len());
+        for (qi, ((want, ws), (got, gs))) in expected.iter().zip(&batch).enumerate() {
+            match (want, got) {
+                (None, None) => {}
+                (Some(a), Some(d)) => {
+                    assert_eq!(a.ids(), d.ids(), "round {round} q{qi}");
+                    assert_eq!(a.distance, d.distance, "round {round} q{qi}");
+                }
+                _ => panic!("round {round} q{qi}: one mode found a result, one did not"),
+            }
+            // Per-query logical I/O attribution survives both the
+            // thread pool and speculative readahead.
+            assert_eq!(
+                SearchStats { buffer_hits: 0, ..*gs },
+                *ws,
+                "round {round} q{qi}: stats diverge"
+            );
+        }
+    }
+
+    // Aggregate accounting after all the concurrency.
+    let io = disk.tree().stats();
+    let storage = disk.tree().storage().expect("disk-backed");
+    let pool = storage.pool_stats();
+    assert_eq!(
+        io.accesses(),
+        io.node_reads() + io.buffer_hits(),
+        "logical accesses must decompose exactly"
+    );
+    assert_eq!(pool.hits, io.buffer_hits(), "pool and stats disagree on hits");
+    assert_eq!(pool.misses, io.node_reads(), "pool and stats disagree on misses");
+    assert_eq!(
+        storage.physical_reads(),
+        pool.misses,
+        "readahead must not leak into demand physical reads"
+    );
+    assert_eq!(io.prefetch_hits(), pool.prefetch_hits);
+    assert!(
+        pool.prefetch_hits + pool.prefetch_waste <= pool.prefetched,
+        "{}h + {}w > {} admitted",
+        pool.prefetch_hits,
+        pool.prefetch_waste,
+        pool.prefetched
+    );
+    assert!(
+        io.prefetch_reads() >= pool.prefetched,
+        "every admission came from a speculative read"
+    );
+    assert!(io.prefetch_reads() > 0, "readahead never fired");
+    assert!(pool.evictions > 0, "a 48-frame pool over this tree must churn");
+    // Decoded-node residency stays bounded: pool capacity plus, at
+    // worst, one transient (all-frames-pinned fallback) decode per
+    // concurrently descending thread and level.
+    let height = disk.tree().height() as usize;
+    assert!(
+        storage.peak_resident_nodes() <= 48 + 4 * height,
+        "peak resident {} far exceeds the pool bound",
+        storage.peak_resident_nodes()
+    );
+    assert_eq!(storage.io_errors(), 0);
+}
