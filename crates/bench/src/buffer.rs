@@ -82,6 +82,9 @@ pub struct BufferPoint {
     /// Vectored readahead calls; `prefetch_reads / prefetch_batches` is
     /// the mean run length the clustered layout exists to raise.
     pub prefetch_batches: u64,
+    /// Readahead runs abandoned on a read error (always 0 on a healthy
+    /// device; the faults sweep is where this moves).
+    pub prefetch_errors: u64,
     /// Peak decoded nodes resident at once during the batch: the
     /// demand pager's memory gauge, bounded by `capacity_pages`.
     pub peak_resident_nodes: usize,
@@ -190,6 +193,7 @@ pub fn measure(ctx: &ExperimentContext) -> BufferReport {
                     prefetch_hits: pool.prefetch_hits,
                     prefetch_waste: pool.prefetch_waste,
                     prefetch_batches: storage.prefetch_batches(),
+                    prefetch_errors: index.tree().stats().prefetch_errors(),
                     peak_resident_nodes: storage.peak_resident_nodes(),
                     avg_io: acc.io_total as f64 / query_points.len() as f64,
                     avg_latency_us: elapsed.as_secs_f64() * 1e6 / query_points.len() as f64,
@@ -225,6 +229,7 @@ fn render_markdown(r: &BufferReport) -> String {
             "physical reads",
             "pf reads (hit/waste)",
             "batches",
+            "pf errors",
             "peak resident",
             "avg IO",
             "avg latency (µs)",
@@ -239,6 +244,7 @@ fn render_markdown(r: &BufferReport) -> String {
             p.physical_reads.to_string(),
             format!("{} ({}/{})", p.prefetch_reads, p.prefetch_hits, p.prefetch_waste),
             p.prefetch_batches.to_string(),
+            p.prefetch_errors.to_string(),
             p.peak_resident_nodes.to_string(),
             format!("{:.1}", p.avg_io),
             format!("{:.1}", p.avg_latency_us),
@@ -265,7 +271,7 @@ fn render_json(ctx: &ExperimentContext, r: &BufferReport) -> String {
              \"hits\": {}, \"physical_reads\": {}, \"evictions\": {}, \
              \"hit_rate\": {:.4}, \"prefetch_reads\": {}, \"prefetch_hits\": {}, \
              \"prefetch_waste\": {}, \"prefetch_batches\": {}, \
-             \"peak_resident_nodes\": {}, \
+             \"prefetch_errors\": {}, \"peak_resident_nodes\": {}, \
              \"avg_io\": {:.2}, \"avg_latency_us\": {:.2}}}{}\n",
             p.layout,
             p.prefetch,
@@ -280,6 +286,7 @@ fn render_json(ctx: &ExperimentContext, r: &BufferReport) -> String {
             p.prefetch_hits,
             p.prefetch_waste,
             p.prefetch_batches,
+            p.prefetch_errors,
             p.peak_resident_nodes,
             p.avg_io,
             p.avg_latency_us,
@@ -347,6 +354,9 @@ mod tests {
                     (0, 0, 0, 0),
                     "{name}: readahead-off cell has prefetch traffic"
                 );
+            }
+            for c in &cells {
+                assert_eq!(c.prefetch_errors, 0, "{name}: healthy device erred");
             }
             // The full-size baseline pool never evicts and hits on
             // every re-access.

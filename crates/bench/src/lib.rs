@@ -13,6 +13,7 @@
 
 pub mod buffer;
 pub mod context;
+pub mod faults;
 pub mod figures;
 pub mod runner;
 pub mod table;

@@ -10,7 +10,7 @@
 
 use crate::candidates::{scan_candidates, GroupSink};
 use crate::index::NwcIndex;
-use crate::query::NwcQuery;
+use crate::query::{NwcQuery, QueryError};
 use crate::result::{NwcResult, SearchStats};
 use crate::scheme::Scheme;
 use crate::scratch::QueryScratch;
@@ -64,18 +64,63 @@ impl NwcIndex {
         scheme: Scheme,
         scratch: &mut QueryScratch,
     ) -> (Option<NwcResult>, SearchStats) {
+        match self.try_nwc_full_with(query, scheme, scratch) {
+            Ok(r) => r,
+            Err(e) => unrecoverable(e),
+        }
+    }
+
+    /// As [`NwcIndex::nwc`], surfacing disk read failures as
+    /// [`QueryError::Io`] instead of panicking. On an arena-backed index
+    /// this never errs; on a disk-backed index an error leaves the index
+    /// fully usable (pins released, failing page quarantined).
+    pub fn try_nwc(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+    ) -> Result<Option<NwcResult>, QueryError> {
+        Ok(self.try_nwc_full(query, scheme)?.0)
+    }
+
+    /// As [`NwcIndex::try_nwc`] with scratch reuse.
+    pub fn try_nwc_with(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+        scratch: &mut QueryScratch,
+    ) -> Result<Option<NwcResult>, QueryError> {
+        Ok(self.try_nwc_full_with(query, scheme, scratch)?.0)
+    }
+
+    /// As [`NwcIndex::nwc_full`], surfacing disk read failures as
+    /// [`QueryError::Io`] (see [`NwcIndex::try_nwc`]).
+    pub fn try_nwc_full(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+    ) -> Result<(Option<NwcResult>, SearchStats), QueryError> {
+        self.try_nwc_full_with(query, scheme, &mut QueryScratch::default())
+    }
+
+    /// As [`NwcIndex::try_nwc_full`] with scratch reuse.
+    pub fn try_nwc_full_with(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+        scratch: &mut QueryScratch,
+    ) -> Result<(Option<NwcResult>, SearchStats), QueryError> {
         let mut sink = BestSink {
             dist_best: f64::INFINITY,
             best: None,
         };
-        let stats = self.run_search_with(query, scheme, &mut sink, scratch);
+        let stats = self.try_run_search_with(query, scheme, &mut sink, scratch)?;
         let result = sink.best.map(|(objects, window)| NwcResult {
             objects,
             distance: sink.dist_best,
             window,
             stats,
         });
-        (result, stats)
+        Ok((result, stats))
     }
 
     /// The shared traversal loop. Public within the crate for `knwc`.
@@ -99,6 +144,25 @@ impl NwcIndex {
         sink: &mut S,
         scratch: &mut QueryScratch,
     ) -> SearchStats {
+        match self.try_run_search_with(query, scheme, sink, scratch) {
+            Ok(stats) => stats,
+            Err(e) => unrecoverable(e),
+        }
+    }
+
+    /// The fallible traversal loop behind every query API. An `Err`
+    /// means a disk read exhausted its retries (or hit corruption)
+    /// mid-search: the traversal stops where it was, every page pin is
+    /// already released, and the per-thread error counters the loop
+    /// would have folded into [`SearchStats`] stay on the tree's
+    /// [`IoStats`](nwc_rtree::IoStats).
+    pub(crate) fn try_run_search_with<S: GroupSink>(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+        sink: &mut S,
+        scratch: &mut QueryScratch,
+    ) -> Result<SearchStats, QueryError> {
         let grid = if scheme.needs_grid() {
             Some(self.grid().unwrap_or_else(|| {
                 panic!("scheme {scheme} needs the density grid; build the index with one")
@@ -118,6 +182,7 @@ impl NwcIndex {
         let io = tree.stats();
         let mut stats = SearchStats::default();
         let hits0 = io.hits_snapshot();
+        let errors0 = io.error_snapshot();
         let q = query.q;
         let spec = query.spec;
         let n = query.n;
@@ -140,7 +205,7 @@ impl NwcIndex {
                         }
                     }
                     let snap = io.snapshot();
-                    browser.expand(id);
+                    browser.try_expand(id)?;
                     stats.io_traversal += io.since(snap);
                 }
                 BrowseItem::Object { entry, leaf, .. } => {
@@ -166,8 +231,8 @@ impl NwcIndex {
                     neighbors.clear();
                     let snap = io.snapshot();
                     match iwp {
-                        Some(iwp) => iwp.window_query_into(tree, leaf, &sr, neighbors),
-                        None => tree.window_query_into(&sr, neighbors),
+                        Some(iwp) => iwp.try_window_query_into(tree, leaf, &sr, neighbors)?,
+                        None => tree.try_window_query_into(&sr, neighbors)?,
                     }
                     stats.io_window_queries += io.since(snap);
                     scan_candidates(
@@ -193,8 +258,22 @@ impl NwcIndex {
         // On a disk-backed tree some of those accesses were buffer hits
         // (no physical I/O); on an arena tree this is always 0.
         stats.buffer_hits = io.hits_since(hits0);
-        stats
+        // Degradation profile: retries issued and transient failures
+        // recovered from, attributed to this query like the I/O split.
+        let errors = io.errors_since(errors0);
+        stats.retries = errors.retries;
+        stats.transient_errors = errors.transient_errors;
+        Ok(stats)
     }
+}
+
+/// The infallible query APIs keep their historical panic on a disk read
+/// that survives the whole retry budget — callers that can handle the
+/// failure use the `try_*` twins.
+#[cold]
+#[inline(never)]
+pub(crate) fn unrecoverable(e: QueryError) -> ! {
+    panic!("unrecoverable disk read failure during search (use the try_* query APIs to handle this): {e}")
 }
 
 /// Sink keeping the single best group (`objs` / `dist_best` of the

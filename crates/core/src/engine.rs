@@ -35,7 +35,7 @@
 
 use crate::index::NwcIndex;
 use crate::knwc::KnwcResult;
-use crate::query::{KnwcQuery, NwcQuery};
+use crate::query::{KnwcQuery, NwcQuery, QueryError};
 use crate::result::{NwcResult, SearchStats};
 use crate::scheme::Scheme;
 use crate::scratch::QueryScratch;
@@ -97,6 +97,35 @@ impl<'i> QueryEngine<'i> {
     pub fn knwc_batch(&self, queries: &[KnwcQuery], scheme: Scheme) -> Vec<KnwcResult> {
         let index = self.index;
         self.run_batch(queries, move |q, scratch| index.knwc_with(q, scheme, scratch))
+    }
+
+    /// As [`QueryEngine::nwc_batch`], collecting per-query disk read
+    /// failures instead of panicking: a query that hits an unrecoverable
+    /// page gets its own `Err` slot while every other query in the batch
+    /// completes normally — one bad page never tears down the worker
+    /// scope. Slots are in input order.
+    pub fn try_nwc_batch(
+        &self,
+        queries: &[NwcQuery],
+        scheme: Scheme,
+    ) -> Vec<Result<(Option<NwcResult>, SearchStats), QueryError>> {
+        let index = self.index;
+        self.run_batch(queries, move |q, scratch| {
+            index.try_nwc_full_with(q, scheme, scratch)
+        })
+    }
+
+    /// As [`QueryEngine::knwc_batch`] with per-query error collection
+    /// (see [`QueryEngine::try_nwc_batch`]).
+    pub fn try_knwc_batch(
+        &self,
+        queries: &[KnwcQuery],
+        scheme: Scheme,
+    ) -> Vec<Result<KnwcResult, QueryError>> {
+        let index = self.index;
+        self.run_batch(queries, move |q, scratch| {
+            index.try_knwc_with(q, scheme, scratch)
+        })
     }
 
     /// Shared batch driver: an atomic cursor hands out query indices,

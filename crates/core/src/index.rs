@@ -2,7 +2,10 @@
 
 use nwc_geom::{Point, Rect};
 use nwc_grid::DensityGrid;
-use nwc_rtree::{DiskError, DiskOptions, IwpIndex, PageLayout, RStarTree, TreeError, TreeParams, PAGE_SIZE};
+use nwc_rtree::{
+    DiskError, DiskOptions, DiskReadError, IwpIndex, PageLayout, PageStore, RStarTree,
+    RetryPolicy, TreeError, TreeParams, PAGE_SIZE,
+};
 use std::path::Path;
 
 /// Construction options for an [`NwcIndex`].
@@ -60,6 +63,11 @@ pub struct DiskIndexConfig {
     pub grid_cell_size: Option<f64>,
     /// Whether to rebuild the IWP pointer augmentation.
     pub build_iwp: bool,
+    /// How page reads behave under transient failures (default: 4
+    /// attempts with bounded exponential backoff; see [`RetryPolicy`]).
+    /// Exhausting the budget quarantines the page and surfaces a typed
+    /// error through the `try_*` query APIs.
+    pub retry: RetryPolicy,
 }
 
 impl Default for DiskIndexConfig {
@@ -71,6 +79,7 @@ impl Default for DiskIndexConfig {
             pool_shards: None,
             grid_cell_size: Some(25.0),
             build_iwp: true,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -87,6 +96,16 @@ impl DiskIndexConfig {
         match (self.pool_capacity, budget_frames) {
             (None, None) => None,
             (cap, budget) => Some(cap.unwrap_or(usize::MAX).min(budget.unwrap_or(usize::MAX))),
+        }
+    }
+
+    /// The tree-layer options this configuration resolves to.
+    fn disk_options(&self) -> DiskOptions {
+        DiskOptions {
+            pool_capacity: self.effective_pool_capacity(),
+            pool_shards: self.pool_shards,
+            prefetch: self.prefetch,
+            retry: self.retry,
         }
     }
 }
@@ -132,6 +151,10 @@ pub enum IndexUpdateError {
     /// therefore read-only: rebuild in memory and
     /// [`NwcIndex::save_tree`] instead. The index is unchanged.
     ReadOnly,
+    /// A page read failed during the update. Unreachable today — updates
+    /// are refused on disk-backed indexes before any read — but kept so
+    /// every [`TreeError`] converts losslessly.
+    Io(DiskReadError),
 }
 
 impl std::fmt::Display for IndexUpdateError {
@@ -140,6 +163,7 @@ impl std::fmt::Display for IndexUpdateError {
             IndexUpdateError::ReadOnly => {
                 write!(f, "disk-backed indexes are read-only: rebuild and save_tree instead")
             }
+            IndexUpdateError::Io(e) => write!(f, "disk read failed: {e}"),
         }
     }
 }
@@ -150,6 +174,7 @@ impl From<TreeError> for IndexUpdateError {
     fn from(e: TreeError) -> Self {
         match e {
             TreeError::ReadOnly => IndexUpdateError::ReadOnly,
+            TreeError::Io(e) => IndexUpdateError::Io(e),
         }
     }
 }
@@ -248,14 +273,24 @@ impl NwcIndex {
         path: impl AsRef<Path>,
         config: DiskIndexConfig,
     ) -> Result<NwcIndex, IndexOpenError> {
-        let tree = RStarTree::open_from_path_with(
-            path,
-            DiskOptions {
-                pool_capacity: config.effective_pool_capacity(),
-                pool_shards: config.pool_shards,
-                prefetch: config.prefetch,
-            },
-        )?;
+        let tree = RStarTree::open_from_path_with(path, config.disk_options())?;
+        Self::finish_open(tree, config)
+    }
+
+    /// As [`NwcIndex::open_disk`], over any [`PageStore`] implementation
+    /// — an in-memory store in tests, or a fault-injecting wrapper in
+    /// chaos suites. The open path itself has no retry machinery in
+    /// front of it; arm rate-based fault plans only after the index is
+    /// open.
+    pub fn open_disk_from_store(
+        store: Box<dyn PageStore>,
+        config: DiskIndexConfig,
+    ) -> Result<NwcIndex, IndexOpenError> {
+        let tree = RStarTree::open_from_store_with(store, config.disk_options())?;
+        Self::finish_open(tree, config)
+    }
+
+    fn finish_open(tree: RStarTree, config: DiskIndexConfig) -> Result<NwcIndex, IndexOpenError> {
         if tree.is_empty() {
             return Err(IndexOpenError::EmptyDataset);
         }

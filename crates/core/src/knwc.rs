@@ -88,6 +88,27 @@ impl NwcIndex {
         self.knwc_impl(query, scheme, true, scratch)
     }
 
+    /// As [`NwcIndex::knwc`], surfacing disk read failures as
+    /// [`QueryError`](crate::QueryError) instead of panicking (see
+    /// [`NwcIndex::try_nwc`]). On an error the index remains usable.
+    pub fn try_knwc(
+        &self,
+        query: &KnwcQuery,
+        scheme: crate::Scheme,
+    ) -> Result<KnwcResult, crate::QueryError> {
+        self.try_knwc_impl(query, scheme, true, &mut QueryScratch::default())
+    }
+
+    /// As [`NwcIndex::try_knwc`] with scratch reuse.
+    pub fn try_knwc_with(
+        &self,
+        query: &KnwcQuery,
+        scheme: crate::Scheme,
+        scratch: &mut QueryScratch,
+    ) -> Result<KnwcResult, crate::QueryError> {
+        self.try_knwc_impl(query, scheme, true, scratch)
+    }
+
     /// As [`NwcIndex::knwc`] but with distance pruning disabled: every
     /// qualified window is considered, so the answer is exactly the
     /// greedy Definition-3 selection (matching
@@ -132,6 +153,19 @@ impl NwcIndex {
         prune: bool,
         scratch: &mut QueryScratch,
     ) -> KnwcResult {
+        match self.try_knwc_impl(query, scheme, prune, scratch) {
+            Ok(r) => r,
+            Err(e) => crate::algo::unrecoverable(e),
+        }
+    }
+
+    fn try_knwc_impl(
+        &self,
+        query: &KnwcQuery,
+        scheme: crate::Scheme,
+        prune: bool,
+        scratch: &mut QueryScratch,
+    ) -> Result<KnwcResult, crate::QueryError> {
         // The sink borrows the scratch's id buffer for its set-identity
         // checks; the traversal buffers stay with the scratch. Returned
         // below so the capacity survives into the next query.
@@ -143,7 +177,12 @@ impl NwcIndex {
             selected: Vec::new(),
             idbuf: std::mem::take(&mut scratch.ids),
         };
-        let stats = self.run_search_with(&query.base, scheme, &mut sink, scratch);
+        let searched = self.try_run_search_with(&query.base, scheme, &mut sink, scratch);
+        // Failed or not, the id buffer goes back to the scratch so its
+        // capacity survives into the next query.
+        sink.idbuf.clear();
+        scratch.ids = std::mem::take(&mut sink.idbuf);
+        let stats = searched?;
         let groups = sink
             .selected
             .iter()
@@ -156,9 +195,7 @@ impl NwcIndex {
                 }
             })
             .collect();
-        sink.idbuf.clear();
-        scratch.ids = sink.idbuf;
-        KnwcResult { groups, stats }
+        Ok(KnwcResult { groups, stats })
     }
 }
 

@@ -71,4 +71,4 @@ pub use scratch::QueryScratch;
 
 // Re-export the vocabulary types callers need to use the API.
 pub use nwc_geom::{window::WindowSpec, Point, Rect};
-pub use nwc_rtree::{DiskError, Entry, ObjectId, PageLayout};
+pub use nwc_rtree::{DiskError, DiskReadError, Entry, ObjectId, PageLayout, PageStore, RetryPolicy};

@@ -2,9 +2,11 @@
 
 use crate::DistanceMeasure;
 use nwc_geom::{window::WindowSpec, Point};
+use nwc_rtree::DiskReadError;
 use std::fmt;
 
-/// A malformed query.
+/// A malformed query, or (for the `try_*` query APIs over a disk-backed
+/// index) a query whose evaluation hit an unrecoverable disk read.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryError {
     /// `n` (or `k`) was zero.
@@ -19,6 +21,11 @@ pub enum QueryError {
         /// Group size.
         n: usize,
     },
+    /// A page read failed (and exhausted its retry budget) while the
+    /// search was running over a disk-backed index. The index remains
+    /// usable — the failing page is quarantined, every pin taken by the
+    /// search has been released — but this query has no answer.
+    Io(DiskReadError),
 }
 
 impl fmt::Display for QueryError {
@@ -29,11 +36,27 @@ impl fmt::Display for QueryError {
             QueryError::OverlapBoundTooLarge { m, n } => {
                 write!(f, "overlap bound m = {m} must be smaller than group size n = {n}")
             }
+            QueryError::Io(e) => write!(f, "disk read failed during search: {e}"),
         }
     }
 }
 
 impl std::error::Error for QueryError {}
+
+impl From<nwc_rtree::TreeError> for QueryError {
+    fn from(e: nwc_rtree::TreeError) -> Self {
+        match e {
+            nwc_rtree::TreeError::Io(e) => QueryError::Io(e),
+            // The search path never mutates; a ReadOnly refusal cannot
+            // reach a query. Map it to its page-less Io shape rather
+            // than panicking so the conversion stays total.
+            other => QueryError::Io(DiskReadError {
+                page: u32::MAX,
+                detail: other.to_string(),
+            }),
+        }
+    }
+}
 
 /// An `NWC(q, l, w, n)` query (paper Definition 1).
 #[derive(Clone, Copy, Debug, PartialEq)]

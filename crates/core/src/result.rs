@@ -59,6 +59,13 @@ pub struct SearchStats {
     pub qualified_windows: u64,
     /// Times `dist_best` (or the kNWC group set) improved.
     pub best_updates: u64,
+    /// Page-read re-attempts this query issued on a disk-backed tree
+    /// (always 0 on an arena tree or a healthy store). Retries sit
+    /// outside the `io_*` counters: logical I/O is identical with and
+    /// without faults.
+    pub retries: u64,
+    /// Failed page-read attempts this query recovered from by retrying.
+    pub transient_errors: u64,
 }
 
 impl SearchStats {
@@ -78,6 +85,8 @@ impl SearchStats {
         self.candidate_windows += other.candidate_windows;
         self.qualified_windows += other.qualified_windows;
         self.best_updates += other.best_updates;
+        self.retries += other.retries;
+        self.transient_errors += other.transient_errors;
     }
 }
 

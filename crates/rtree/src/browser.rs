@@ -181,7 +181,18 @@ impl<'t> Browser<'t> {
     /// not to prune. The parent's guard (and, disk-backed, its page pin)
     /// is held until all children are enqueued.
     pub fn expand(&mut self, id: NodeId) {
-        let node = self.tree.read_node(id);
+        if let Err(e) = self.try_expand(id) {
+            crate::tree::read_failure(e)
+        }
+    }
+
+    /// As [`Browser::expand`], surfacing a disk read failure as a typed
+    /// error instead of panicking. On `Err`, no child was enqueued, no
+    /// pin is held, and the browser remains usable — the caller can
+    /// drop the failed subtree and keep draining the frontier, or abort
+    /// the whole search.
+    pub fn try_expand(&mut self, id: NodeId) -> Result<(), crate::TreeError> {
+        let node = self.tree.try_read_node(id)?;
         match &node.kind {
             NodeKind::Leaf(entries) => {
                 for &e in entries {
@@ -228,6 +239,7 @@ impl<'t> Browser<'t> {
                 }
             }
         }
+        Ok(())
     }
 
     /// Drains the browser into a plain object stream, expanding every

@@ -57,14 +57,26 @@
 //! The open-time scan is the integrity gate: it reads and
 //! checksum-verifies every page and validates the whole tree structure.
 //! After a successful open, a failed page read (device error, file
-//! truncated behind our back) is counted in
-//! [`TreeStorage::io_errors`], charged as a physical read, and retried
-//! once; a second failure panics — there is no arena copy to fall back
-//! on, and silently wrong answers are worse than a dead query thread.
-//! (The pool recovers poisoned locks, so one panicking query does not
-//! brick concurrent ones.) A page that passes its checksum but no
-//! longer decodes panics immediately: that is memory or store
-//! corruption, not transient I/O.
+//! truncated behind our back) is handled by the configured
+//! [`RetryPolicy`] ([`DiskOptions::retry`]): the read is re-attempted
+//! with bounded, deterministically-jittered backoff, and every failed
+//! attempt is counted in [`TreeStorage::io_errors`]. A read that
+//! eventually succeeds records its failures as *transient*
+//! ([`IoStats::transient_errors`], with the re-attempts in
+//! [`IoStats::retries`]); failed attempts are **not** charged as node
+//! accesses, so a query's logical I/O stays bit-identical to a
+//! fault-free run. A read that exhausts its budget — or bytes that pass
+//! their checksum but no longer decode (corruption, never retried) —
+//! **quarantines** the page (id + last error, see
+//! [`TreeStorage::quarantine`]) and surfaces as a typed
+//! [`DiskReadError`] through the fallible `try_*` query APIs; later
+//! accesses to a quarantined page fail fast without touching the
+//! device. Nothing on this path panics: error returns release their
+//! pins as the guards unwind, so the pool and node cache stay exact and
+//! concurrent queries continue unharmed. The legacy infallible query
+//! APIs funnel any surviving [`DiskReadError`] through one crate-level
+//! adapter that panics — code that must keep serving under faults uses
+//! the `try_*` variants instead.
 //!
 //! Disk-backed trees are **read-only**: [`RStarTree::insert`] and
 //! [`RStarTree::delete`] return [`TreeError`](crate::TreeError)
@@ -75,7 +87,7 @@ use crate::page::{decode_node, PageLayout};
 use crate::tree::RStarTree;
 use crate::{IoStats, NodeId, PageError, TreeParams, PAGE_SIZE};
 use nwc_geom::{Point, Rect};
-use nwc_store::{Access, BufferPool, FileStore, PageStore, PoolStats, StoreError};
+use nwc_store::{Access, BufferPool, FileStore, PageStore, PoolStats, RetryPolicy, StoreError};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -125,6 +137,31 @@ impl From<PageError> for DiskError {
     }
 }
 
+/// A page read that failed *after* a successful open: the retry budget
+/// was exhausted, the page is corrupt, or it was already quarantined by
+/// an earlier failure.
+///
+/// Carries the page id and a rendered description of the last
+/// underlying error (a `String` rather than the source error, so the
+/// type stays `Clone + Eq` and can ride inside query errors that batch
+/// engines collect and compare). Surfaced by the tree's fallible
+/// `try_*` query APIs via [`TreeError::Io`](crate::TreeError).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiskReadError {
+    /// The page (= node id) that could not be read.
+    pub page: u32,
+    /// Human-readable description of the last failure.
+    pub detail: String,
+}
+
+impl std::fmt::Display for DiskReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page {}: {}", self.page, self.detail)
+    }
+}
+
+impl std::error::Error for DiskReadError {}
+
 /// Configuration for opening a disk-backed tree. The `Default` value
 /// reproduces `open_from_path(path, None)`: an unbounded single-shard
 /// pool with readahead off.
@@ -143,6 +180,11 @@ pub struct DiskOptions {
     /// Prefetch reads never touch the demand I/O counters (see
     /// [`IoStats`]), so logical I/O is unaffected.
     pub prefetch: usize,
+    /// Retry budget and backoff shape for post-open page reads (see the
+    /// module docs, "Error policy after open"). The default retries
+    /// transient failures a few times with capped backoff;
+    /// [`RetryPolicy::no_retries`] restores fail-on-first-error.
+    pub retry: RetryPolicy,
 }
 
 /// The automatic shard count: one stripe per core up to 8, but never so
@@ -255,18 +297,49 @@ pub struct TreeStorage {
     /// clustered layout.
     prefetch_batches: AtomicU64,
     /// Page reads that failed *after* a successful open (device errors,
-    /// post-open truncation). Each failed attempt is still charged as a
-    /// physical read so I/O totals stay aligned with the pool's miss
-    /// counter; the access is retried once, then panics.
+    /// post-open truncation). Counts every failed attempt, whether or
+    /// not a retry later recovered it. Failed attempts are *not*
+    /// charged as node accesses — logical I/O stays fault-independent.
     io_errors: AtomicU64,
+    /// Retry budget for post-open page reads.
+    retry: RetryPolicy,
+    /// Pages that exhausted their retry budget or failed to decode,
+    /// with the rendered last error. Accesses fail fast here without
+    /// touching the device; cleared by [`TreeStorage::reset`].
+    quarantine: Mutex<HashMap<u32, String>>,
 }
 
 impl TreeStorage {
     /// Faults one node in for a charged query access: pool hit reuses
     /// the cached decode, miss reads + decodes + caches, and the
     /// returned guard pins the page (see the module docs).
-    pub(crate) fn fetch(&self, page: u32, stats: &IoStats) -> PagedNode<'_> {
-        for attempt in 0..2 {
+    ///
+    /// Read failures follow the configured [`RetryPolicy`]: transient
+    /// errors are re-attempted with backoff (counted in
+    /// [`IoStats::retries`] / [`IoStats::transient_errors`], never as
+    /// node accesses); a read that exhausts its budget — or a page that
+    /// passes its checksum but no longer decodes, which is corruption
+    /// and never retried — quarantines the page and returns a typed
+    /// error with no pin held.
+    pub(crate) fn try_fetch(
+        &self,
+        page: u32,
+        stats: &IoStats,
+    ) -> Result<PagedNode<'_>, DiskReadError> {
+        if let Some(detail) = self.quarantined_detail(page) {
+            return Err(DiskReadError { page, detail });
+        }
+        let attempts = self.retry.attempts();
+        let mut failed = 0u64;
+        let mut last_error = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                stats.record_retry();
+                let wait = self.retry.backoff(attempt - 1, u64::from(page));
+                if !wait.is_zero() {
+                    std::thread::sleep(wait);
+                }
+            }
             match self.pool.pin_with_page(
                 page,
                 |buf| self.store.read_page(page, buf),
@@ -283,35 +356,42 @@ impl TreeStorage {
                         }
                         Access::Miss => stats.record_node_read(),
                     }
-                    return PagedNode {
+                    stats.record_transient_errors(failed);
+                    return Ok(PagedNode {
                         storage: self,
                         page,
                         node,
                         release,
-                    };
+                    });
                 }
                 Ok((_, cached, Err(e))) => {
                     // The bytes passed their checksum but do not decode:
                     // corruption, not transient I/O. Release the pin the
-                    // failed access took, then refuse to continue.
+                    // failed access took, quarantine, and refuse further
+                    // attempts (retrying a deterministic decode cannot
+                    // help).
                     if cached {
                         self.pool.unpin(page);
                     }
-                    panic!("page {page} passed its checksum but does not decode: {e}");
+                    self.io_errors.fetch_add(1, Ordering::Relaxed);
+                    let detail = format!("passed its checksum but does not decode: {e}");
+                    self.quarantine_page(page, &detail, stats);
+                    return Err(DiskReadError { page, detail });
                 }
                 Err(e) => {
-                    // Physical read failure after open. Charge the
-                    // attempt (the pool counted its miss), note the
-                    // error, retry once.
-                    stats.record_node_read();
+                    // Physical read failure after open. The pool counted
+                    // its miss but released the frame unmapped; no pin is
+                    // held and nothing was charged to the stats — failed
+                    // attempts are not node accesses.
+                    failed += 1;
                     self.io_errors.fetch_add(1, Ordering::Relaxed);
-                    if attempt == 1 {
-                        panic!("page {page} unreadable after open (retried): {e}");
-                    }
+                    last_error = e.to_string();
                 }
             }
         }
-        unreachable!("fetch loop exits by return or panic");
+        let detail = format!("unreadable after {attempts} attempts: {last_error}");
+        self.quarantine_page(page, &detail, stats);
+        Err(DiskReadError { page, detail })
     }
 
     /// Runs inside the pool's critical section: classify against the
@@ -347,27 +427,100 @@ impl TreeStorage {
     /// Reads a node for bookkeeping (uncharged, unpinned): reuses a
     /// resident decode, otherwise decodes from an uncounted store read
     /// without touching the pool.
-    pub(crate) fn peek(&self, page: u32) -> PagedNode<'_> {
+    ///
+    /// Failures follow the same [`RetryPolicy`] + quarantine discipline
+    /// as [`TreeStorage::try_fetch`]: uncharged does not mean
+    /// unprotected — a transient blip during validation or IWP builds
+    /// is retried, and a dead page surfaces as a typed error, never a
+    /// panic. Retries are tallied in `stats` (the error counters sit
+    /// outside the logical-access accounting, so the peek stays
+    /// uncharged).
+    pub(crate) fn try_peek(
+        &self,
+        page: u32,
+        stats: &IoStats,
+    ) -> Result<PagedNode<'_>, DiskReadError> {
         if let Some(node) = self.cache.lock_map().get(&page).cloned() {
-            return PagedNode {
+            return Ok(PagedNode {
                 storage: self,
                 page,
                 node,
                 release: Release::None,
-            };
+            });
         }
+        if let Some(detail) = self.quarantined_detail(page) {
+            return Err(DiskReadError { page, detail });
+        }
+        let attempts = self.retry.attempts();
+        let mut failed = 0u64;
+        let mut last_error = String::new();
         let mut buf = [0u8; PAGE_SIZE];
-        if let Err(e) = self.store.read_page_uncounted(page, &mut buf) {
-            panic!("page {page} unreadable during bookkeeping read: {e}");
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                stats.record_retry();
+                let wait = self.retry.backoff(attempt - 1, u64::from(page));
+                if !wait.is_zero() {
+                    std::thread::sleep(wait);
+                }
+            }
+            match self.store.read_page_uncounted(page, &mut buf) {
+                Ok(()) => {
+                    let node = match decode_node(&buf, self.n_pages) {
+                        Ok(node) => node,
+                        Err(e) => {
+                            self.io_errors.fetch_add(1, Ordering::Relaxed);
+                            let detail =
+                                format!("passed its checksum but does not decode: {e}");
+                            self.quarantine_page(page, &detail, stats);
+                            return Err(DiskReadError { page, detail });
+                        }
+                    };
+                    stats.record_transient_errors(failed);
+                    return Ok(PagedNode {
+                        storage: self,
+                        page,
+                        node: Arc::new(node),
+                        release: Release::None,
+                    });
+                }
+                Err(e) => {
+                    failed += 1;
+                    self.io_errors.fetch_add(1, Ordering::Relaxed);
+                    last_error = e.to_string();
+                }
+            }
         }
-        let node = decode_node(&buf, self.n_pages)
-            .unwrap_or_else(|e| panic!("page {page} does not decode during bookkeeping read: {e}"));
-        PagedNode {
-            storage: self,
-            page,
-            node: Arc::new(node),
-            release: Release::None,
+        let detail = format!("unreadable after {attempts} attempts: {last_error}");
+        self.quarantine_page(page, &detail, stats);
+        Err(DiskReadError { page, detail })
+    }
+
+    /// Locks the quarantine map, recovering from poisoning (entries are
+    /// only ever whole inserts).
+    fn lock_quarantine(&self) -> MutexGuard<'_, HashMap<u32, String>> {
+        self.quarantine.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The quarantine entry for `page`, if any.
+    fn quarantined_detail(&self, page: u32) -> Option<String> {
+        self.lock_quarantine().get(&page).cloned()
+    }
+
+    /// Quarantines `page` with its last error, counting the page in
+    /// [`IoStats::quarantined_pages`] on first entry only.
+    fn quarantine_page(&self, page: u32, detail: &str, stats: &IoStats) {
+        if self.lock_quarantine().insert(page, detail.to_string()).is_none() {
+            stats.record_quarantined();
         }
+    }
+
+    /// The quarantined pages (id + last error), sorted by page id.
+    /// Empty on a healthy store; cleared by [`TreeStorage::reset`].
+    pub fn quarantine(&self) -> Vec<(u32, String)> {
+        let mut q: Vec<(u32, String)> =
+            self.lock_quarantine().iter().map(|(&p, d)| (p, d.clone())).collect();
+        q.sort_unstable_by_key(|&(p, _)| p);
+        q
     }
 
     /// Reads up to [`DiskOptions::prefetch`] of the given candidate
@@ -411,6 +564,11 @@ impl TreeStorage {
                     self.pool
                         .admit_prefetched(page, &bytes[k * PAGE_SIZE..(k + 1) * PAGE_SIZE]);
                 }
+            } else {
+                // Swallowed by design, but never silently: the failed
+                // batch is tallied so a flaky device shows up in the
+                // readahead report even though no query failed.
+                stats.record_prefetch_error();
             }
             i = j;
         }
@@ -487,6 +645,7 @@ impl TreeStorage {
         self.io_errors.store(0, Ordering::Relaxed);
         self.prefetch_batches.store(0, Ordering::Relaxed);
         self.cache.resident_peak.store(0, Ordering::Relaxed);
+        self.lock_quarantine().clear();
     }
 }
 
@@ -691,6 +850,8 @@ impl RStarTree {
             prefetch: options.prefetch,
             prefetch_batches: AtomicU64::new(0),
             io_errors: AtomicU64::new(0),
+            retry: options.retry,
+            quarantine: Mutex::new(HashMap::new()),
         }));
         Ok(tree)
     }
@@ -917,6 +1078,7 @@ mod tests {
                 pool_capacity: Some(64),
                 pool_shards: Some(1),
                 prefetch: 16,
+                ..DiskOptions::default()
             },
         )
         .unwrap();
@@ -942,6 +1104,8 @@ mod tests {
             disk.stats().prefetch_reads() >= s.prefetched,
             "every admitted frame was read by a prefetch batch"
         );
+        // A healthy store swallows nothing.
+        assert_eq!(disk.stats().prefetch_errors(), 0);
         // Clustered sibling leaves are contiguous: batches must coalesce
         // (strictly fewer vectored calls than pages prefetched).
         let batches = storage.prefetch_batches();
@@ -959,6 +1123,7 @@ mod tests {
                 pool_capacity: Some(64),
                 pool_shards: Some(1),
                 prefetch: 0,
+                ..DiskOptions::default()
             },
         )
         .unwrap();
@@ -991,6 +1156,7 @@ mod tests {
                 pool_capacity: Some(1),
                 pool_shards: Some(1),
                 prefetch: 16,
+                ..DiskOptions::default()
             },
         )
         .unwrap();
@@ -1018,6 +1184,7 @@ mod tests {
                 pool_capacity: Some(64),
                 pool_shards: Some(1),
                 prefetch: 8,
+                ..DiskOptions::default()
             },
         )
         .unwrap();
@@ -1029,6 +1196,193 @@ mod tests {
         assert!(
             disk.stats().prefetch_reads() > 0,
             "browser expansion should issue readahead"
+        );
+    }
+
+    #[test]
+    fn transient_fault_is_retried_and_recovered() {
+        use nwc_store::{FaultPlan, FaultStore, RetryPolicy};
+        let tree = sample_tree(2000);
+        let fault = std::sync::Arc::new(FaultStore::new(mem_store_of(&tree), FaultPlan::default()));
+        let disk = RStarTree::open_from_store_with(
+            Box::new(std::sync::Arc::clone(&fault)),
+            DiskOptions {
+                retry: RetryPolicy { base_backoff: std::time::Duration::ZERO, ..RetryPolicy::default() },
+                ..DiskOptions::default()
+            },
+        )
+        .unwrap();
+        // Fail the root page twice: attempts 1 and 2 error, attempt 3
+        // succeeds within the default budget of 4.
+        let root = disk.root().0;
+        fault.fail_page_transiently(root, 2);
+        let w = rect(0.0, 0.0, 499.0, 491.0);
+        let mut got: Vec<u32> = disk.window_query(&w).iter().map(|e| e.id).collect();
+        got.sort_unstable();
+        assert_eq!(got.len(), tree.len(), "answers survive transient faults");
+        assert_eq!(disk.stats().retries(), 2);
+        assert_eq!(disk.stats().transient_errors(), 2);
+        assert_eq!(disk.stats().quarantined_pages(), 0);
+        assert_eq!(disk.storage().unwrap().io_errors(), 2);
+        assert!(disk.storage().unwrap().quarantine().is_empty());
+        // Logical I/O is what the arena charges — failed attempts are
+        // not node accesses.
+        tree.stats().reset();
+        tree.window_query(&w);
+        assert_eq!(disk.stats().accesses(), tree.stats().node_reads());
+    }
+
+    #[test]
+    fn permanent_fault_returns_typed_error_and_quarantines() {
+        use nwc_store::{FaultPlan, FaultStore, RetryPolicy};
+        let tree = sample_tree(2000);
+        let fault = std::sync::Arc::new(FaultStore::new(mem_store_of(&tree), FaultPlan::default()));
+        let disk = RStarTree::open_from_store_with(
+            Box::new(std::sync::Arc::clone(&fault)),
+            DiskOptions {
+                retry: RetryPolicy {
+                    max_attempts: 3,
+                    base_backoff: std::time::Duration::ZERO,
+                    max_backoff: std::time::Duration::ZERO,
+                },
+                ..DiskOptions::default()
+            },
+        )
+        .unwrap();
+        let root = disk.root().0;
+        fault.fail_page_permanently(root);
+        let w = rect(0.0, 0.0, 499.0, 491.0);
+        let err = disk.try_window_query(&w).unwrap_err();
+        match &err {
+            TreeError::Io(e) => {
+                assert_eq!(e.page, root);
+                assert!(e.detail.contains("after 3 attempts"), "{}", e.detail);
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        // Budget: 1 first attempt + 2 retries, all failed, none
+        // recovered; the page is quarantined.
+        assert_eq!(disk.stats().retries(), 2);
+        assert_eq!(disk.stats().transient_errors(), 0);
+        assert_eq!(disk.stats().quarantined_pages(), 1);
+        assert_eq!(disk.storage().unwrap().io_errors(), 3);
+        let q = disk.storage().unwrap().quarantine();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].0, root);
+        // A second query fails fast: no new device attempts, no new
+        // quarantine tick.
+        let before = fault.stats().errors();
+        assert!(disk.try_window_query(&w).is_err());
+        assert_eq!(fault.stats().errors(), before, "quarantine fails fast");
+        assert_eq!(disk.stats().quarantined_pages(), 1);
+        // No pins leaked on the error path.
+        assert_eq!(disk.storage().unwrap().pool_stats().pinned, 0);
+        // reset() lifts the quarantine; with the fault cleared the tree
+        // serves again.
+        fault.clear_faults();
+        disk.storage().unwrap().reset();
+        disk.stats().reset();
+        assert!(disk.storage().unwrap().quarantine().is_empty());
+        let mut got: Vec<u32> = disk.window_query(&w).iter().map(|e| e.id).collect();
+        got.sort_unstable();
+        assert_eq!(got.len(), tree.len());
+    }
+
+    #[test]
+    fn bit_rot_is_quarantined_without_retry() {
+        use nwc_store::{FaultPlan, FaultStore, RetryPolicy};
+        let tree = sample_tree(2000);
+        let fault = std::sync::Arc::new(FaultStore::new(mem_store_of(&tree), FaultPlan::default()));
+        let disk = RStarTree::open_from_store_with(
+            Box::new(std::sync::Arc::clone(&fault)),
+            DiskOptions {
+                retry: RetryPolicy { base_backoff: std::time::Duration::ZERO, ..RetryPolicy::default() },
+                ..DiskOptions::default()
+            },
+        )
+        .unwrap();
+        let root = disk.root().0;
+        fault.rot_page(root);
+        let err = disk.try_window_query(&rect(0.0, 0.0, 499.0, 491.0)).unwrap_err();
+        match &err {
+            TreeError::Io(e) => {
+                assert_eq!(e.page, root);
+                assert!(e.detail.contains("does not decode"), "{}", e.detail);
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        // Corruption is deterministic: no retry spent on it.
+        assert_eq!(disk.stats().retries(), 0);
+        assert_eq!(disk.stats().quarantined_pages(), 1);
+        assert_eq!(disk.storage().unwrap().pool_stats().pinned, 0, "pin released");
+    }
+
+    #[test]
+    fn bookkeeping_peek_retries_instead_of_panicking() {
+        // Regression: the peek path used to fail on the first error with
+        // no retry. IWP builds and validation go through peek, so a
+        // single transient blip would have killed them.
+        use nwc_store::{FaultPlan, FaultStore, RetryPolicy};
+        let tree = sample_tree(2000);
+        let fault = std::sync::Arc::new(FaultStore::new(mem_store_of(&tree), FaultPlan::default()));
+        let disk = RStarTree::open_from_store_with(
+            Box::new(std::sync::Arc::clone(&fault)),
+            DiskOptions {
+                retry: RetryPolicy { base_backoff: std::time::Duration::ZERO, ..RetryPolicy::default() },
+                ..DiskOptions::default()
+            },
+        )
+        .unwrap();
+        let root = disk.root().0;
+        // Nothing is resident (no query ran), so the peek must hit the
+        // store — and survive two transient failures.
+        fault.fail_page_transiently(root, 2);
+        // `node_len` always goes through the peek path (unlike
+        // `node_level`, which answers for the root from bookkeeping).
+        assert!(disk.node_len(disk.root()) > 0);
+        assert_eq!(disk.stats().retries(), 2);
+        assert_eq!(disk.stats().transient_errors(), 2);
+        // Peeks stay uncharged even when they retry.
+        assert_eq!(disk.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn failed_prefetch_runs_are_counted_not_fatal() {
+        use nwc_store::{FaultPlan, FaultStore};
+        let tree = sample_tree(3000);
+        // A 30% seeded transient rate fails a healthy share of the
+        // readahead runs (each run spends one decision and is never
+        // retried) while the demand reads behind them recover via the
+        // 8-attempt budget. Deterministic: the seed fixes the schedule.
+        let fault = std::sync::Arc::new(FaultStore::new(
+            mem_store_of_layout(&tree, PageLayout::Clustered),
+            FaultPlan::default(),
+        ));
+        // Open clean (the open path has no retry in front of it), then
+        // arm the rate before the first query.
+        let disk = RStarTree::open_from_store_with(
+            Box::new(std::sync::Arc::clone(&fault)),
+            DiskOptions {
+                pool_capacity: Some(64),
+                pool_shards: Some(1),
+                prefetch: 16,
+                retry: nwc_store::RetryPolicy {
+                    max_attempts: 8,
+                    base_backoff: std::time::Duration::ZERO,
+                    max_backoff: std::time::Duration::ZERO,
+                },
+                ..DiskOptions::default()
+            },
+        )
+        .unwrap();
+        fault.set_plan(FaultPlan { transient_rate: 0.3, transient_burst: 1, ..FaultPlan::default() });
+        let w = rect(0.0, 0.0, 499.0, 491.0);
+        let mut got: Vec<u32> = disk.window_query(&w).iter().map(|e| e.id).collect();
+        got.sort_unstable();
+        assert_eq!(got.len(), tree.len());
+        assert!(
+            disk.stats().prefetch_errors() > 0,
+            "swallowed readahead failures must be tallied"
         );
     }
 

@@ -172,26 +172,45 @@ impl IwpIndex {
         rect: &Rect,
         out: &mut Vec<Entry>,
     ) {
-        let bps = self
-            .backward
-            .get(&leaf)
-            .expect("IWP index does not know this leaf (tree mutated after build?)");
-        // Smallest i whose MBR covers the query; the root covers
-        // everything by convention (objects outside it do not exist).
-        let (start, _) = bps
-            .iter()
-            .find(|(_, mbr)| mbr.contains_rect(rect))
-            .copied()
-            .unwrap_or(*bps.last().expect("backward pointer list is never empty"));
+        if let Err(e) = self.try_window_query_into(tree, leaf, rect, out) {
+            crate::tree::read_failure(e)
+        }
+    }
 
-        tree.window_query_from_into(start, rect, out);
+    /// As [`IwpIndex::window_query_into`], surfacing disk read failures
+    /// as a typed error instead of panicking. On `Err`, `out` may hold
+    /// a partial result; every page pin the traversal took has been
+    /// released.
+    pub fn try_window_query_into(
+        &self,
+        tree: &RStarTree,
+        leaf: NodeId,
+        rect: &Rect,
+        out: &mut Vec<Entry>,
+    ) -> Result<(), crate::TreeError> {
+        let Some(bps) = self.backward.get(&leaf).filter(|b| !b.is_empty()) else {
+            crate::tree::stale_iwp(leaf)
+        };
+        // Smallest i whose MBR covers the query; the root (always last)
+        // covers everything by convention (objects outside it do not
+        // exist).
+        let mut start = bps[bps.len() - 1].0;
+        for &(n, mbr) in bps {
+            if mbr.contains_rect(rect) {
+                start = n;
+                break;
+            }
+        }
+
+        tree.try_window_query_from_into(start, rect, out)?;
         if let Some(ops) = self.overlaps.get(&start) {
             for &(op, op_mbr) in ops {
                 if op_mbr.intersects(rect) {
-                    tree.window_query_from_into(op, rect, out);
+                    tree.try_window_query_from_into(op, rect, out)?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Convenience wrapper returning a fresh vector.

@@ -56,11 +56,16 @@ mod tree;
 pub mod validate;
 
 pub use browser::{BrowseItem, Browser, BrowserScratch};
-pub use disk::{DiskError, DiskOptions, TreeStorage};
+pub use disk::{DiskError, DiskOptions, DiskReadError, TreeStorage};
 pub use entry::{Entry, ObjectId};
 pub use iwp::{IwpIndex, IwpStorage};
 pub use node::NodeId;
 pub use page::{PageError, PageFile, PageLayout, PAGE_SIZE};
 pub use params::TreeParams;
-pub use stats::IoStats;
+pub use stats::{ErrorCounters, IoStats};
 pub use tree::{RStarTree, TreeError};
+
+// Re-exported so downstream crates can configure [`DiskOptions::retry`]
+// and supply custom page stores (fault injection, in-memory tests)
+// without depending on `nwc-store` directly.
+pub use nwc_store::{PageStore, RetryPolicy};

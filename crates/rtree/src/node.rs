@@ -13,6 +13,14 @@ impl NodeId {
     pub(crate) fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The raw identifier: on a disk-backed tree this is the page id
+    /// backing the node (usable with a page store's fault-injection
+    /// hooks); on an arena tree, the arena slot index.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
 }
 
 /// One routing entry of an internal node: the child id plus the child's

@@ -1,7 +1,14 @@
 //! Window (range) queries and point lookups.
+//!
+//! Every query comes in two flavors: the legacy infallible form (the
+//! right call on arena trees, where reads cannot fail) and a `try_*`
+//! form that surfaces disk read failures as
+//! [`TreeError::Io`](crate::TreeError) instead of panicking. The
+//! infallible forms are thin wrappers that funnel any error through one
+//! crate-level abort adapter — this module itself contains no panics.
 
 use crate::node::NodeKind;
-use crate::tree::RStarTree;
+use crate::tree::{read_failure, RStarTree, TreeError};
 use crate::{Entry, NodeId};
 use nwc_geom::{Point, Rect};
 
@@ -10,17 +17,36 @@ impl RStarTree {
     /// `rect`, visiting the tree top-down and charging one node access
     /// per visited node.
     pub fn window_query(&self, rect: &Rect) -> Vec<Entry> {
+        match self.try_window_query(rect) {
+            Ok(out) => out,
+            Err(e) => read_failure(e),
+        }
+    }
+
+    /// As [`RStarTree::window_query`], surfacing disk read failures as
+    /// a typed error instead of panicking.
+    pub fn try_window_query(&self, rect: &Rect) -> Result<Vec<Entry>, TreeError> {
         let mut out = Vec::new();
-        self.window_query_into(rect, &mut out);
-        out
+        self.try_window_query_into(rect, &mut out)?;
+        Ok(out)
     }
 
     /// As [`RStarTree::window_query`], appending into a reusable buffer.
     pub fn window_query_into(&self, rect: &Rect, out: &mut Vec<Entry>) {
-        if self.is_empty() {
-            return;
+        if let Err(e) = self.try_window_query_into(rect, out) {
+            read_failure(e)
         }
-        self.window_query_from_into(self.root, rect, out);
+    }
+
+    /// As [`RStarTree::window_query_into`], surfacing disk read
+    /// failures as a typed error. On `Err`, `out` may hold a partial
+    /// result (the entries found before the failed page); every page
+    /// pin taken by the descent has been released.
+    pub fn try_window_query_into(&self, rect: &Rect, out: &mut Vec<Entry>) -> Result<(), TreeError> {
+        if self.is_empty() {
+            return Ok(());
+        }
+        self.try_window_query_from_into(self.root, rect, out)
     }
 
     /// Window query rooted at an arbitrary node — the primitive behind
@@ -30,6 +56,16 @@ impl RStarTree {
     /// The starting node is visited (and charged) even when its MBR
     /// does not intersect `rect`, mirroring a page read that turns out
     /// empty.
+    pub fn window_query_from_into(&self, start: NodeId, rect: &Rect, out: &mut Vec<Entry>) {
+        if let Err(e) = self.try_window_query_from_into(start, rect, out) {
+            read_failure(e)
+        }
+    }
+
+    /// As [`RStarTree::window_query_from_into`], surfacing disk read
+    /// failures as a typed error (see
+    /// [`RStarTree::try_window_query_into`] for the partial-result
+    /// contract).
     ///
     /// Recursive descent instead of an explicit stack: window queries
     /// run once per visited object on the NWC hot path, and a per-call
@@ -37,9 +73,15 @@ impl RStarTree {
     /// The tree is shallow (fan-out ≥ 25), so recursion depth is tiny.
     /// The `read_node` guard stays live across the child recursion, so
     /// on a disk-backed tree the parent's page is pinned while its
-    /// children are visited.
-    pub fn window_query_from_into(&self, start: NodeId, rect: &Rect, out: &mut Vec<Entry>) {
-        let node = self.read_node(start);
+    /// children are visited — and dropped on unwind, so an `Err` from a
+    /// child leaves no pin behind.
+    pub fn try_window_query_from_into(
+        &self,
+        start: NodeId,
+        rect: &Rect,
+        out: &mut Vec<Entry>,
+    ) -> Result<(), TreeError> {
+        let node = self.try_read_node(start)?;
         match &node.kind {
             NodeKind::Leaf(entries) => {
                 out.extend(entries.iter().filter(|e| rect.contains_point(&e.point)));
@@ -48,11 +90,12 @@ impl RStarTree {
                 self.prefetch_intersecting(branches, rect);
                 for b in branches {
                     if b.mbr.intersects(rect) {
-                        self.window_query_from_into(b.child, rect, out);
+                        self.try_window_query_from_into(b.child, rect, out)?;
                     }
                 }
             }
         }
+        Ok(())
     }
 
     /// Readahead for window traversals: batch-read the children this
@@ -76,26 +119,37 @@ impl RStarTree {
     /// Counts the entries inside `rect` without materializing them.
     /// Charges the same node accesses as a full window query.
     pub fn window_count(&self, rect: &Rect) -> usize {
+        match self.try_window_count(rect) {
+            Ok(n) => n,
+            Err(e) => read_failure(e),
+        }
+    }
+
+    /// As [`RStarTree::window_count`], surfacing disk read failures as
+    /// a typed error instead of panicking.
+    pub fn try_window_count(&self, rect: &Rect) -> Result<usize, TreeError> {
         if self.is_empty() {
-            return 0;
+            return Ok(0);
         }
         self.window_count_under(self.root, rect)
     }
 
-    fn window_count_under(&self, id: NodeId, rect: &Rect) -> usize {
-        let node = self.read_node(id);
+    fn window_count_under(&self, id: NodeId, rect: &Rect) -> Result<usize, TreeError> {
+        let node = self.try_read_node(id)?;
         match &node.kind {
-            NodeKind::Leaf(entries) => entries
+            NodeKind::Leaf(entries) => Ok(entries
                 .iter()
                 .filter(|e| rect.contains_point(&e.point))
-                .count(),
+                .count()),
             NodeKind::Internal(branches) => {
                 self.prefetch_intersecting(branches, rect);
-                branches
-                    .iter()
-                    .filter(|b| b.mbr.intersects(rect))
-                    .map(|b| self.window_count_under(b.child, rect))
-                    .sum()
+                let mut total = 0;
+                for b in branches {
+                    if b.mbr.intersects(rect) {
+                        total += self.window_count_under(b.child, rect)?;
+                    }
+                }
+                Ok(total)
             }
         }
     }
@@ -107,16 +161,33 @@ impl RStarTree {
     /// (recursion instead of an explicit stack; the tree is shallow).
     /// Only the nodes actually read are charged.
     pub fn contains_point(&self, p: &Point) -> bool {
-        !self.is_empty() && self.contains_point_under(self.root, p)
+        match self.try_contains_point(p) {
+            Ok(hit) => hit,
+            Err(e) => read_failure(e),
+        }
     }
 
-    fn contains_point_under(&self, id: NodeId, p: &Point) -> bool {
-        let node = self.read_node(id);
+    /// As [`RStarTree::contains_point`], surfacing disk read failures
+    /// as a typed error instead of panicking.
+    pub fn try_contains_point(&self, p: &Point) -> Result<bool, TreeError> {
+        if self.is_empty() {
+            return Ok(false);
+        }
+        self.contains_point_under(self.root, p)
+    }
+
+    fn contains_point_under(&self, id: NodeId, p: &Point) -> Result<bool, TreeError> {
+        let node = self.try_read_node(id)?;
         match &node.kind {
-            NodeKind::Leaf(entries) => entries.iter().any(|e| e.point == *p),
-            NodeKind::Internal(branches) => branches
-                .iter()
-                .any(|b| b.mbr.contains_point(p) && self.contains_point_under(b.child, p)),
+            NodeKind::Leaf(entries) => Ok(entries.iter().any(|e| e.point == *p)),
+            NodeKind::Internal(branches) => {
+                for b in branches {
+                    if b.mbr.contains_point(p) && self.contains_point_under(b.child, p)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
         }
     }
 }

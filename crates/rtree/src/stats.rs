@@ -31,6 +31,31 @@ thread_local! {
     static THREAD_ACCESSES: Cell<u64> = const { Cell::new(0) };
     /// The calling thread's running buffer-hit tally, across all trees.
     static THREAD_HITS: Cell<u64> = const { Cell::new(0) };
+    /// The calling thread's running retry tally (re-attempted page
+    /// reads), across all trees.
+    static THREAD_RETRIES: Cell<u64> = const { Cell::new(0) };
+    /// The calling thread's running recovered-transient-failure tally.
+    static THREAD_TRANSIENT: Cell<u64> = const { Cell::new(0) };
+    /// The calling thread's running quarantined-page tally.
+    static THREAD_QUARANTINED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A point-in-time copy of the calling thread's error-path tallies, for
+/// diff-based per-query attribution (pair [`IoStats::error_snapshot`]
+/// with [`IoStats::errors_since`] on the same thread).
+///
+/// All three sit *outside* the logical-access accounting: a failed read
+/// attempt is not a node visit, so injecting transient faults leaves a
+/// query's logical I/O bit-identical to a fault-free run — only these
+/// counters (and wall-clock time) move.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ErrorCounters {
+    /// Re-attempted page reads (attempt 2 and beyond of a retry loop).
+    pub retries: u64,
+    /// Failed read attempts that a later attempt recovered from.
+    pub transient_errors: u64,
+    /// Pages newly quarantined (retry budget exhausted, or corruption).
+    pub quarantined_pages: u64,
 }
 
 /// Per-tree I/O counters standing in for page reads.
@@ -56,6 +81,10 @@ pub struct IoStats {
     buffer_hits: AtomicU64,
     prefetch_reads: AtomicU64,
     prefetch_hits: AtomicU64,
+    retries: AtomicU64,
+    transient_errors: AtomicU64,
+    quarantined_pages: AtomicU64,
+    prefetch_errors: AtomicU64,
 }
 
 impl IoStats {
@@ -126,6 +155,92 @@ impl IoStats {
         self.prefetch_hits.load(Ordering::Relaxed)
     }
 
+    /// Records one re-attempted page read (the retry loop going around
+    /// again). Not a logical access.
+    #[inline]
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        THREAD_RETRIES.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Records `n` failed read attempts that a later attempt of the same
+    /// read recovered from. Called once, on the eventual success, so the
+    /// counter never includes the failures of a read that ultimately
+    /// gave up (those end in a quarantine instead).
+    #[inline]
+    pub fn record_transient_errors(&self, n: u64) {
+        if n > 0 {
+            self.transient_errors.fetch_add(n, Ordering::Relaxed);
+            THREAD_TRANSIENT.with(|c| c.set(c.get() + n));
+        }
+    }
+
+    /// Records one page entering quarantine (first time only — a
+    /// fast-failed access to an already-quarantined page records
+    /// nothing).
+    #[inline]
+    pub fn record_quarantined(&self) {
+        self.quarantined_pages.fetch_add(1, Ordering::Relaxed);
+        THREAD_QUARANTINED.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Records one failed readahead batch (swallowed by design — the
+    /// demand path re-reads, counted and retried, if the pages are ever
+    /// needed). No thread-local attribution: prefetching is advisory
+    /// background work, not part of any query's I/O.
+    #[inline]
+    pub fn record_prefetch_error(&self) {
+        self.prefetch_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Re-attempted page reads since construction or the last reset.
+    #[inline]
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Failed-then-recovered read attempts since construction or the
+    /// last reset.
+    #[inline]
+    pub fn transient_errors(&self) -> u64 {
+        self.transient_errors.load(Ordering::Relaxed)
+    }
+
+    /// Pages quarantined since construction or the last reset.
+    #[inline]
+    pub fn quarantined_pages(&self) -> u64 {
+        self.quarantined_pages.load(Ordering::Relaxed)
+    }
+
+    /// Failed (and swallowed) readahead batches since construction or
+    /// the last reset.
+    #[inline]
+    pub fn prefetch_errors(&self) -> u64 {
+        self.prefetch_errors.load(Ordering::Relaxed)
+    }
+
+    /// Current values of the calling thread's error-path tallies (pair
+    /// with [`IoStats::errors_since`] on this thread).
+    #[inline]
+    pub fn error_snapshot(&self) -> ErrorCounters {
+        ErrorCounters {
+            retries: THREAD_RETRIES.with(Cell::get),
+            transient_errors: THREAD_TRANSIENT.with(Cell::get),
+            quarantined_pages: THREAD_QUARANTINED.with(Cell::get),
+        }
+    }
+
+    /// Error-path events *by the calling thread* since a previous
+    /// [`IoStats::error_snapshot`] taken on this thread.
+    #[inline]
+    pub fn errors_since(&self, snapshot: ErrorCounters) -> ErrorCounters {
+        ErrorCounters {
+            retries: THREAD_RETRIES.with(Cell::get) - snapshot.retries,
+            transient_errors: THREAD_TRANSIENT.with(Cell::get) - snapshot.transient_errors,
+            quarantined_pages: THREAD_QUARANTINED.with(Cell::get) - snapshot.quarantined_pages,
+        }
+    }
+
     /// Total logical node accesses: physical reads plus buffer hits.
     /// This is the paper's "nodes visited" metric, independent of
     /// buffering.
@@ -171,6 +286,10 @@ impl IoStats {
         self.buffer_hits.store(0, Ordering::Relaxed);
         self.prefetch_reads.store(0, Ordering::Relaxed);
         self.prefetch_hits.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.transient_errors.store(0, Ordering::Relaxed);
+        self.quarantined_pages.store(0, Ordering::Relaxed);
+        self.prefetch_errors.store(0, Ordering::Relaxed);
     }
 }
 
@@ -227,6 +346,58 @@ mod tests {
         assert_eq!(s.since(snap), 1);
         s.reset();
         assert_eq!((s.prefetch_reads(), s.prefetch_hits()), (0, 0));
+    }
+
+    #[test]
+    fn error_counters_stay_outside_logical_accounting() {
+        let s = IoStats::new();
+        let snap = s.snapshot();
+        let errs = s.error_snapshot();
+        s.record_retry();
+        s.record_retry();
+        s.record_transient_errors(2);
+        s.record_transient_errors(0); // no-op
+        s.record_quarantined();
+        s.record_prefetch_error();
+        assert_eq!(s.retries(), 2);
+        assert_eq!(s.transient_errors(), 2);
+        assert_eq!(s.quarantined_pages(), 1);
+        assert_eq!(s.prefetch_errors(), 1);
+        // None of it is a logical access.
+        assert_eq!(s.accesses(), 0);
+        assert_eq!(s.since(snap), 0);
+        let d = s.errors_since(errs);
+        assert_eq!(
+            d,
+            ErrorCounters { retries: 2, transient_errors: 2, quarantined_pages: 1 }
+        );
+        s.reset();
+        assert_eq!((s.retries(), s.transient_errors()), (0, 0));
+        assert_eq!((s.quarantined_pages(), s.prefetch_errors()), (0, 0));
+    }
+
+    #[test]
+    fn error_attribution_ignores_other_threads() {
+        use std::sync::{Arc, Barrier};
+        let s = Arc::new(IoStats::new());
+        let barrier = Arc::new(Barrier::new(2));
+        let (s2, b2) = (s.clone(), barrier.clone());
+        let noisy = std::thread::spawn(move || {
+            b2.wait();
+            for _ in 0..10_000 {
+                s2.record_retry();
+                s2.record_transient_errors(1);
+            }
+        });
+        barrier.wait();
+        let errs = s.error_snapshot();
+        for _ in 0..100 {
+            s.record_retry();
+        }
+        assert_eq!(s.errors_since(errs).retries, 100);
+        assert_eq!(s.errors_since(errs).transient_errors, 0);
+        noisy.join().unwrap();
+        assert_eq!(s.retries(), 10_100);
     }
 
     #[test]

@@ -5,14 +5,19 @@ use crate::{Entry, IoStats, NodeId, TreeParams};
 use nwc_geom::{Point, Rect};
 use std::ops::Deref;
 
-/// An error from mutating an [`RStarTree`] in a state that forbids it.
-#[derive(Debug, PartialEq, Eq)]
+/// An error from an [`RStarTree`] operation that could not proceed: a
+/// mutation of a read-only tree, or a disk-backed read that failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TreeError {
     /// The tree is disk-backed (see [`crate::disk`]) and therefore
     /// read-only: mutating the cached nodes would silently diverge from
     /// the page file. Rebuild in memory and
     /// [`RStarTree::save_to_path`] instead.
     ReadOnly,
+    /// A disk-backed page read failed after open (retry budget
+    /// exhausted, corruption, or a quarantined page). Returned by the
+    /// fallible `try_*` query APIs; never produced by an arena tree.
+    Io(crate::disk::DiskReadError),
 }
 
 impl std::fmt::Display for TreeError {
@@ -22,11 +27,41 @@ impl std::fmt::Display for TreeError {
                 f,
                 "disk-backed trees are read-only: rebuild and save_to_path instead"
             ),
+            TreeError::Io(e) => write!(f, "disk read failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for TreeError {}
+
+impl From<crate::disk::DiskReadError> for TreeError {
+    fn from(e: crate::disk::DiskReadError) -> Self {
+        TreeError::Io(e)
+    }
+}
+
+/// The one funnel through which the legacy *infallible* query APIs
+/// (`window_query`, `Browser::expand`, …) abort on a disk read failure
+/// the fallible `try_*` variants would have returned. Keeping the
+/// `panic!` here — and only here — means the disk query read path
+/// (`disk.rs`, `query.rs`, `browser.rs`, `iwp.rs`) contains no panics
+/// at all, which `scripts/verify.sh` enforces by grep.
+#[cold]
+#[inline(never)]
+pub(crate) fn read_failure(e: impl std::fmt::Display) -> ! {
+    panic!("unrecoverable tree read failure (use the try_* APIs to handle this): {e}")
+}
+
+/// Companion funnel for an [`crate::IwpIndex`] used with a leaf it was
+/// not built over (the tree mutated after the build).
+#[cold]
+#[inline(never)]
+pub(crate) fn stale_iwp(leaf: NodeId) -> ! {
+    panic!(
+        "IWP index does not know leaf {} (tree mutated after build?)",
+        leaf.0
+    )
+}
 
 /// A guard over one node's contents, returned by the tree's internal
 /// `read_node`/`peek_node`.
@@ -223,14 +258,17 @@ impl RStarTree {
     /// node's page in through the buffer pool — a miss performs (and
     /// charges) a real page read plus a decode, a hit charges
     /// [`IoStats::record_buffer_hit`] and reuses the already-decoded
-    /// node — and the returned guard pins the page until dropped.
+    /// node — and the returned guard pins the page until dropped. A
+    /// disk read failure (retry budget exhausted, corruption, or a
+    /// quarantined page) surfaces as [`TreeError::Io`]; arena reads are
+    /// infallible and always return `Ok`.
     #[inline]
-    pub(crate) fn read_node(&self, id: NodeId) -> NodeRef<'_> {
+    pub(crate) fn try_read_node(&self, id: NodeId) -> Result<NodeRef<'_>, TreeError> {
         match &self.storage {
-            Some(storage) => NodeRef::Paged(storage.fetch(id.0, &self.stats)),
+            Some(storage) => Ok(NodeRef::Paged(storage.try_fetch(id.0, &self.stats)?)),
             None => {
                 self.stats.record_node_read();
-                NodeRef::Arena(&self.nodes[id.index()])
+                Ok(NodeRef::Arena(&self.nodes[id.index()]))
             }
         }
     }
@@ -265,9 +303,20 @@ impl RStarTree {
     /// store read; resident nodes are reused.
     #[inline]
     pub(crate) fn peek_node(&self, id: NodeId) -> NodeRef<'_> {
+        match self.try_peek_node(id) {
+            Ok(node) => node,
+            Err(e) => read_failure(e),
+        }
+    }
+
+    /// Fallible twin of `peek_node`: still uncharged and unpinned, but
+    /// a disk-backed read failure surfaces as [`TreeError::Io`] after
+    /// the storage layer's retry budget instead of panicking.
+    #[inline]
+    pub(crate) fn try_peek_node(&self, id: NodeId) -> Result<NodeRef<'_>, TreeError> {
         match &self.storage {
-            Some(storage) => NodeRef::Paged(storage.peek(id.0)),
-            None => NodeRef::Arena(&self.nodes[id.index()]),
+            Some(storage) => Ok(NodeRef::Paged(storage.try_peek(id.0, &self.stats)?)),
+            None => Ok(NodeRef::Arena(&self.nodes[id.index()])),
         }
     }
 

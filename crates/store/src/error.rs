@@ -49,6 +49,14 @@ pub enum StoreError {
     },
     /// The store holds no pages (a page file must at least hold a root).
     Empty,
+    /// Another live process holds the advisory lock on this page file:
+    /// opening (or re-creating) it now could corrupt a reader. The lock
+    /// is a `<name>.lock` sibling; a crashed holder's stale lock is
+    /// reclaimed automatically when its process is gone.
+    Locked {
+        /// Path of the lock file that is held.
+        lock_path: std::path::PathBuf,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -72,6 +80,13 @@ impl std::fmt::Display for StoreError {
                 write!(f, "page {page} out of range (store holds {page_count} pages)")
             }
             StoreError::Empty => write!(f, "page store holds no pages"),
+            StoreError::Locked { lock_path } => {
+                write!(
+                    f,
+                    "page file is locked by another process (lock file {})",
+                    lock_path.display()
+                )
+            }
         }
     }
 }

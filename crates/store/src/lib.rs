@@ -13,6 +13,11 @@
 //!     header and a per-page CRC-32 checksum table; corrupt or
 //!     truncated files are rejected with typed [`StoreError`]s, never
 //!     panics.
+//! - [`FaultStore`] — a seeded, scriptable fault-injection wrapper over
+//!   any backend (transient errors, dead pages, bit-rot, torn reads,
+//!   latency) with exact injected-fault counters, plus [`RetryPolicy`]:
+//!   the bounded, deterministically-jittered retry budget the tree's
+//!   read path consumes.
 //! - [`BufferPool`] — a fixed-capacity page cache with **exact LRU**
 //!   eviction, pin/unpin, and hit/miss/eviction counters. LRU (a stack
 //!   algorithm) makes hit rate provably non-decreasing in capacity,
@@ -28,7 +33,9 @@
 
 mod checksum;
 mod error;
+mod fault;
 mod pool;
+mod retry;
 mod store;
 
 /// Bytes per page. Matches the paper's 4 KiB R\*-tree page size and the
@@ -37,5 +44,7 @@ pub const PAGE_SIZE: usize = 4096;
 
 pub use checksum::crc32;
 pub use error::StoreError;
+pub use fault::{FaultPlan, FaultStats, FaultStore};
 pub use pool::{Access, BufferPool, PoolStats};
+pub use retry::RetryPolicy;
 pub use store::{FileStore, MemStore, PageStore, StoreMeta};

@@ -99,6 +99,10 @@ pub struct PoolStats {
     pub capacity: usize,
     /// Pages currently resident.
     pub resident: usize,
+    /// Resident pages with at least one outstanding pin. A steady-state
+    /// value above zero after all guards have dropped indicates a pin
+    /// leak.
+    pub pinned: usize,
     /// Pages admitted by [`BufferPool::admit_prefetched`].
     pub prefetched: u64,
     /// Prefetched pages that later served a demand access.
@@ -504,17 +508,23 @@ impl BufferPool {
 
     /// Current counters and occupancy (aggregated over every shard).
     pub fn stats(&self) -> PoolStats {
-        let resident = self
-            .shards
-            .iter()
-            .map(|s| self.lock_shard(s).map.len())
-            .sum();
+        let (mut resident, mut pinned) = (0usize, 0usize);
+        for shard in self.shards.iter() {
+            let inner = self.lock_shard(shard);
+            resident += inner.map.len();
+            pinned += inner
+                .map
+                .values()
+                .filter(|&&idx| inner.frames[idx].pins > 0)
+                .count();
+        }
         PoolStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             capacity: self.capacity,
             resident,
+            pinned,
             prefetched: self.prefetched.load(Ordering::Relaxed),
             prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
             prefetch_waste: self.prefetch_waste.load(Ordering::Relaxed),
@@ -731,7 +741,9 @@ mod tests {
         assert!(!pool.admit_prefetched(2, &stamped(2)), "all frames pinned");
         assert!(!pool.contains(2));
         assert_eq!(pool.stats().prefetched, 0);
+        assert_eq!(pool.stats().pinned, 1);
         assert!(pool.unpin(1));
+        assert_eq!(pool.stats().pinned, 0);
     }
 
     #[test]

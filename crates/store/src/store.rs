@@ -33,10 +33,10 @@ use crate::checksum::crc32;
 use crate::error::StoreError;
 use crate::PAGE_SIZE;
 use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
 const MAGIC: [u8; 8] = *b"NWCPAGE\x01";
 const VERSION: u32 = 1;
@@ -134,6 +134,39 @@ pub trait PageStore: Send + Sync {
     fn sync(&self) -> Result<(), StoreError>;
 }
 
+// A shared handle is a store: callers keep an `Arc` to a wrapped store
+// (e.g. a `FaultStore`) for scripting and counters while the tree owns
+// another clone of the same handle.
+impl<S: PageStore + ?Sized> PageStore for Arc<S> {
+    fn meta(&self) -> StoreMeta {
+        (**self).meta()
+    }
+
+    fn read_page(&self, page: u32, buf: &mut [u8]) -> Result<(), StoreError> {
+        (**self).read_page(page, buf)
+    }
+
+    fn read_page_uncounted(&self, page: u32, buf: &mut [u8]) -> Result<(), StoreError> {
+        (**self).read_page_uncounted(page, buf)
+    }
+
+    fn read_run_uncounted(&self, first: u32, buf: &mut [u8]) -> Result<(), StoreError> {
+        (**self).read_run_uncounted(first, buf)
+    }
+
+    fn physical_reads(&self) -> u64 {
+        (**self).physical_reads()
+    }
+
+    fn reset_counters(&self) {
+        (**self).reset_counters()
+    }
+
+    fn sync(&self) -> Result<(), StoreError> {
+        (**self).sync()
+    }
+}
+
 // ---------------------------------------------------------------------
 // MemStore
 // ---------------------------------------------------------------------
@@ -227,6 +260,8 @@ pub struct FileStore {
     /// Byte offset of data page 0.
     data_offset: u64,
     reads: AtomicU64,
+    /// Advisory path lock, released when the store drops.
+    _lock: PathLock,
 }
 
 /// Bytes occupied by the checksum table, padded to whole pages.
@@ -264,6 +299,78 @@ fn tmp_sibling(path: &Path) -> PathBuf {
     path.with_file_name(name)
 }
 
+/// The advisory lock sibling `<name>.lock` next to a page file.
+fn lock_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "pagefile".into());
+    name.push(".lock");
+    path.with_file_name(name)
+}
+
+/// An exclusive advisory lock on a page-file path, held for the life of
+/// a [`FileStore`] (reader or writer alike): a second process cannot
+/// re-create a file an open reader is using, and a reader cannot open a
+/// file mid-rewrite. Implemented as an `O_EXCL`-created `<name>.lock`
+/// sibling holding the owner's pid; released (unlinked) on drop.
+struct PathLock {
+    path: PathBuf,
+}
+
+/// Whether the lock file's recorded owner is provably dead. Only
+/// trustworthy where `/proc` exposes live pids (Linux); elsewhere be
+/// conservative and treat the lock as held.
+fn lock_holder_is_gone(lock_path: &Path) -> bool {
+    if !Path::new("/proc/self").exists() {
+        return false;
+    }
+    match fs::read_to_string(lock_path) {
+        Ok(s) => match s.trim().parse::<u32>() {
+            Ok(pid) => !Path::new(&format!("/proc/{pid}")).exists(),
+            Err(_) => false,
+        },
+        Err(_) => false,
+    }
+}
+
+impl PathLock {
+    fn acquire(target: &Path) -> Result<PathLock, StoreError> {
+        let lock_path = lock_sibling(target);
+        // Two rounds: the second exists solely to grab a stale lock the
+        // first round reclaimed from a crashed holder.
+        for _ in 0..2 {
+            match OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&lock_path)
+            {
+                Ok(mut f) => {
+                    // Best-effort pid tag — stale-lock reclaim reads it;
+                    // the lock is valid even if the write fails.
+                    let _ = f.write_all(std::process::id().to_string().as_bytes());
+                    return Ok(PathLock { path: lock_path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if lock_holder_is_gone(&lock_path) {
+                        fs::remove_file(&lock_path).ok();
+                        continue;
+                    }
+                    return Err(StoreError::Locked { lock_path });
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(StoreError::Locked { lock_path })
+    }
+}
+
+impl Drop for PathLock {
+    fn drop(&mut self) {
+        fs::remove_file(&self.path).ok();
+    }
+}
+
 /// Fsyncs `path`'s parent directory so a just-renamed entry is durable.
 fn fsync_parent_dir(path: &Path) -> std::io::Result<()> {
     let parent = match path.parent() {
@@ -288,12 +395,18 @@ impl FileStore {
     /// is durable. A crash at any point leaves either the old file or
     /// the new one — never a truncated hybrid — plus at worst a stray
     /// temp file that [`FileStore::open`] cleans up.
+    ///
+    /// The path's advisory lock is taken first and held until the
+    /// returned store drops: while another process has the file open
+    /// (reading or writing), `create` returns [`StoreError::Locked`]
+    /// instead of rewriting pages under an active reader.
     pub fn create(
         path: &Path,
         root_page: u32,
         user: [u64; 4],
         pages: &[[u8; PAGE_SIZE]],
     ) -> Result<FileStore, StoreError> {
+        let lock = PathLock::acquire(path)?;
         let meta = StoreMeta::new(
             u32::try_from(pages.len()).expect("page count overflows u32"),
             root_page,
@@ -339,13 +452,19 @@ impl FileStore {
             checksums,
             data_offset: PAGE_SIZE as u64 + table_bytes(meta.page_count),
             reads: AtomicU64::new(0),
+            _lock: lock,
         })
     }
 
     /// Opens an existing page file, validating the magic, version, page
     /// size, header checksum, root page, file length, and checksum-table
     /// checksum. Corrupt files are rejected with a typed [`StoreError`].
+    ///
+    /// Holds the path's advisory lock for the store's lifetime, so a
+    /// concurrent [`FileStore::create`] cannot rewrite the file under
+    /// this reader — it gets [`StoreError::Locked`] instead.
     pub fn open(path: &Path) -> Result<FileStore, StoreError> {
+        let lock = PathLock::acquire(path)?;
         // A stray staging file here means a previous save crashed after
         // writing it but before (or during) the rename. It is never the
         // authoritative copy — remove it best-effort and ignore failure
@@ -405,6 +524,7 @@ impl FileStore {
             checksums,
             data_offset,
             reads: AtomicU64::new(0),
+            _lock: lock,
         })
     }
 }
@@ -764,6 +884,97 @@ mod tests {
             Err(StoreError::PageChecksum { page: 3 })
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lock_blocks_writer_while_reader_is_open() {
+        let path = tmp("lock_writer_out");
+        FileStore::create(&path, 0, [0; 4], &sample_pages(2)).unwrap();
+        let reader = FileStore::open(&path).unwrap();
+        // A second writer must not rewrite pages under the open reader.
+        assert!(matches!(
+            FileStore::create(&path, 0, [0; 4], &sample_pages(3)),
+            Err(StoreError::Locked { .. })
+        ));
+        // The reader is fully usable throughout.
+        let mut buf = [0u8; PAGE_SIZE];
+        reader.read_page(1, &mut buf).unwrap();
+        assert_eq!(buf[..], sample_pages(2)[1][..]);
+        drop(reader);
+        // Lock released with the reader: the rewrite now goes through.
+        let store = FileStore::create(&path, 0, [0; 4], &sample_pages(3)).unwrap();
+        assert_eq!(store.meta().page_count, 3);
+        drop(store);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lock_blocks_reader_while_writer_holds_the_file() {
+        let path = tmp("lock_reader_out");
+        let writer = FileStore::create(&path, 0, [0; 4], &sample_pages(2)).unwrap();
+        // A reader opening mid-write (the writer's store is still live)
+        // is refused rather than handed a file that may be rewritten.
+        assert!(matches!(
+            FileStore::open(&path),
+            Err(StoreError::Locked { .. })
+        ));
+        drop(writer);
+        let reader = FileStore::open(&path).unwrap();
+        assert_eq!(reader.meta().page_count, 2);
+        drop(reader);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_lock_from_dead_process_is_reclaimed() {
+        let path = tmp("lock_stale");
+        FileStore::create(&path, 0, [0; 4], &sample_pages(2)).unwrap();
+        // Forge a lock owned by an impossible pid (Linux pid_max is far
+        // below u32::MAX), as a crashed holder would leave behind.
+        std::fs::write(lock_sibling(&path), u32::MAX.to_string()).unwrap();
+        if Path::new("/proc/self").exists() {
+            let store = FileStore::open(&path).expect("stale lock reclaimed");
+            assert_eq!(store.meta().page_count, 2);
+            drop(store);
+        } else {
+            // Without /proc there is no liveness oracle: stay locked.
+            assert!(matches!(
+                FileStore::open(&path),
+                Err(StoreError::Locked { .. })
+            ));
+            std::fs::remove_file(lock_sibling(&path)).ok();
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_create_releases_the_lock() {
+        let path = tmp("lock_failed_create");
+        let tmp_path = tmp_sibling(&path);
+        std::fs::remove_dir_all(&tmp_path).ok();
+        // Make the staging write fail: a directory squats on the path.
+        std::fs::create_dir(&tmp_path).unwrap();
+        assert!(FileStore::create(&path, 0, [0; 4], &sample_pages(2)).is_err());
+        std::fs::remove_dir_all(&tmp_path).unwrap();
+        assert!(
+            !lock_sibling(&path).exists(),
+            "a failed create must not leave the path locked"
+        );
+        FileStore::create(&path, 0, [0; 4], &sample_pages(2)).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn arc_handle_is_a_store() {
+        let shared = Arc::new(MemStore::new(sample_pages(2), 0, [0; 4]).unwrap());
+        let handle: Arc<MemStore> = Arc::clone(&shared);
+        let mut buf = [0u8; PAGE_SIZE];
+        handle.read_page(1, &mut buf).unwrap();
+        assert_eq!(buf[..], sample_pages(2)[1][..]);
+        assert_eq!(shared.physical_reads(), 1, "counters shared across clones");
+        let mut run = vec![0u8; 2 * PAGE_SIZE];
+        handle.read_run_uncounted(0, &mut run).unwrap();
+        assert_eq!(shared.physical_reads(), 1);
     }
 
     #[test]

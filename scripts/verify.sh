@@ -19,6 +19,20 @@ cargo test -q
 step "lint: cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+# The disk query read path must stay panic-free: every failure routes
+# through TreeError::Io / QueryError::Io (tests below the #[cfg(test)]
+# marker are exempt; the infallible wrappers in tree.rs are the one
+# deliberate panic site and are not query-read-path code).
+step "lint: no panic paths in the disk query read path"
+for f in crates/rtree/src/disk.rs crates/rtree/src/browser.rs \
+         crates/rtree/src/query.rs crates/rtree/src/iwp.rs; do
+  if sed '/#\[cfg(test)\]/,$d' "$f" | grep -nE 'panic!|unwrap\(\)|\.expect\(|unreachable!'; then
+    echo "error: panic-capable call in non-test section of $f" >&2
+    exit 1
+  fi
+done
+echo "ok: disk query read path is panic-free outside tests"
+
 if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
   step "smoke: throughput experiment (tiny scale)"
   NWC_SCALE=0.02 NWC_QUERIES=3 cargo run --release -p nwc-bench -- throughput
@@ -44,6 +58,16 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
   step "smoke: sharded pool under concurrent batches"
   cargo test -q --release --test pool_stress
   echo "ok: concurrent accounting exact across shards and readahead"
+
+  step "smoke: chaos (fault injection, typed errors, recovery)"
+  cargo test -q --release --test chaos
+  echo "ok: transient faults invisible, permanent faults typed and recoverable"
+
+  step "smoke: fault-injection sweep (tiny scale)"
+  NWC_SCALE=0.02 NWC_QUERIES=3 cargo run --release -p nwc-bench -- faults
+  test -s results/BENCH_faults.json
+  grep -q '"prefetch_errors"' results/BENCH_faults.json
+  echo "ok: results/BENCH_faults.json written (with retry/readahead-error counters)"
 fi
 
 step "verify: all checks passed"

@@ -1,0 +1,283 @@
+//! Chaos tests: the Table-3 schemes under injected disk faults.
+//!
+//! Under **transient-only** faults every scheme must return answers and
+//! logical I/O bit-identical to the in-memory arena baseline — retries
+//! are invisible to the paper's metric, they only show up in the new
+//! `retries`/`transient_errors` counters. Under **permanent** faults the
+//! `try_*` APIs must surface typed errors (no panic, no poisoned state):
+//! the failing page is quarantined, every pin is released, and the index
+//! keeps answering queries that avoid the dead page — including from the
+//! 4-thread batch engine, where one bad page must never tear down the
+//! worker scope.
+
+use nwc::prelude::*;
+use nwc_core::QueryError;
+use nwc_rtree::BrowseItem;
+use nwc_store::{FaultPlan, FaultStore, FileStore, RetryPolicy};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_pages(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nwc-chaos-{tag}-{}.pages", std::process::id()))
+}
+
+fn chaos_points(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let s = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            Point::new((s % 9_000) as f64 + 500.0, ((s >> 13) % 9_000) as f64 + 500.0)
+        })
+        .collect()
+}
+
+/// A zero-backoff retry policy so fault-heavy tests don't sleep.
+fn fast_retry(max_attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+    }
+}
+
+/// Saves `arena`'s tree and reopens it through a [`FaultStore`] the test
+/// keeps a scripting handle to. The store starts transparent (the open
+/// path has no retry in front of it); arm a plan with
+/// [`FaultStore::set_plan`] or script pages after open.
+fn fault_backed(
+    arena: &NwcIndex,
+    tag: &str,
+    config: DiskIndexConfig,
+) -> (NwcIndex, Arc<FaultStore<FileStore>>) {
+    let path = temp_pages(tag);
+    arena
+        .save_tree_with_layout(&path, PageLayout::Clustered)
+        .expect("save clustered");
+    let store = FileStore::open(&path).expect("reopen page file");
+    let fault = Arc::new(FaultStore::new(store, FaultPlan::default()));
+    let disk = NwcIndex::open_disk_from_store(Box::new(Arc::clone(&fault)), config)
+        .expect("open through a transparent fault store");
+    std::fs::remove_file(&path).ok();
+    (disk, fault)
+}
+
+fn chaos_queries() -> Vec<NwcQuery> {
+    Dataset::query_points(12, 11)
+        .into_iter()
+        .map(|q| NwcQuery::new(q, WindowSpec::square(400.0), 4))
+        .collect()
+}
+
+/// The page id of the leaf holding the entry nearest to `q` (found by
+/// browsing, which charges I/O — reset counters afterwards).
+fn leaf_page_near(disk: &NwcIndex, q: Point) -> u32 {
+    let mut browser = disk.tree().browse(q);
+    let leaf = loop {
+        match browser.next() {
+            Some(BrowseItem::Node { id, .. }) => browser.expand(id),
+            Some(BrowseItem::Object { leaf, .. }) => break leaf,
+            None => panic!("non-empty tree browsed dry without yielding an object"),
+        }
+    };
+    disk.tree().stats().reset();
+    disk.tree().storage().expect("disk-backed").reset();
+    leaf.raw()
+}
+
+#[test]
+fn transient_faults_keep_every_scheme_bit_identical_to_arena() {
+    let arena = NwcIndex::build(chaos_points(4_000));
+    let (disk, fault) = fault_backed(
+        &arena,
+        "transient",
+        DiskIndexConfig {
+            pool_capacity: Some(64),
+            pool_shards: Some(2),
+            prefetch: 8,
+            retry: fast_retry(12),
+            ..DiskIndexConfig::default()
+        },
+    );
+    // 2% of reads start a 2-failure burst; the 12-attempt budget makes
+    // non-recovery astronomically unlikely and the seed makes the
+    // sequential schedule reproducible.
+    fault.set_plan(FaultPlan {
+        transient_rate: 0.02,
+        transient_burst: 2,
+        seed: 0xDEC0_DE5E,
+        ..FaultPlan::default()
+    });
+
+    let queries = chaos_queries();
+    let mut total_retries = 0;
+    let mut total_transient = 0;
+    for &scheme in Scheme::TABLE3.iter() {
+        for (qi, q) in queries.iter().enumerate() {
+            let (want, ws) = arena.nwc_full(q, scheme);
+            let (got, gs) = disk
+                .try_nwc_full(q, scheme)
+                .unwrap_or_else(|e| panic!("{scheme} q{qi}: transient fault leaked: {e}"));
+            match (&want, &got) {
+                (None, None) => {}
+                (Some(a), Some(d)) => {
+                    assert_eq!(a.ids(), d.ids(), "{scheme} q{qi}");
+                    assert_eq!(a.distance, d.distance, "{scheme} q{qi}");
+                }
+                _ => panic!("{scheme} q{qi}: one mode found a result, one did not"),
+            }
+            // Logical I/O is bit-identical: faults and retries live
+            // entirely outside the paper's metric.
+            assert_eq!(
+                SearchStats { buffer_hits: 0, retries: 0, transient_errors: 0, ..gs },
+                ws,
+                "{scheme} q{qi}: logical I/O diverged under transient faults"
+            );
+            total_retries += gs.retries;
+            total_transient += gs.transient_errors;
+        }
+    }
+    assert!(total_retries > 0, "the fault schedule never fired");
+    assert!(total_transient > 0, "no failure was attributed to a query");
+    assert!(fault.stats().transient > 0, "the store never injected");
+    assert!(
+        disk.tree().storage().expect("disk-backed").quarantine().is_empty(),
+        "transient faults must never quarantine a page"
+    );
+
+    // Same index, same plan, 4-thread engine: every slot still Ok and
+    // identical to the arena (which reads fail now depends on thread
+    // interleaving; answers and logical I/O must not).
+    let engine = QueryEngine::new(&disk).with_threads(4);
+    let batch = engine.try_nwc_batch(&queries, Scheme::NWC_STAR);
+    for (qi, (q, slot)) in queries.iter().zip(&batch).enumerate() {
+        let (got, gs) = slot
+            .as_ref()
+            .unwrap_or_else(|e| panic!("engine q{qi}: transient fault leaked: {e}"));
+        let (want, ws) = arena.nwc_full(q, Scheme::NWC_STAR);
+        assert_eq!(
+            want.map(|r| r.ids()),
+            got.as_ref().map(|r| r.ids()),
+            "engine q{qi}"
+        );
+        assert_eq!(
+            SearchStats { buffer_hits: 0, retries: 0, transient_errors: 0, ..*gs },
+            ws,
+            "engine q{qi}: logical I/O diverged"
+        );
+    }
+}
+
+#[test]
+fn permanent_fault_returns_typed_errors_and_leaves_the_index_usable() {
+    let arena = NwcIndex::build(chaos_points(3_000));
+    let (disk, fault) = fault_backed(
+        &arena,
+        "permanent",
+        DiskIndexConfig {
+            pool_capacity: Some(64),
+            retry: fast_retry(3),
+            ..DiskIndexConfig::default()
+        },
+    );
+    let root = disk.tree().root().raw();
+    fault.fail_page_permanently(root);
+
+    let queries = chaos_queries();
+    for &scheme in Scheme::TABLE3.iter() {
+        match disk.try_nwc(&queries[0], scheme) {
+            Err(QueryError::Io(e)) => assert_eq!(e.page, root, "{scheme}"),
+            other => panic!("{scheme}: expected Io error, got {other:?}"),
+        }
+    }
+    let storage = disk.tree().storage().expect("disk-backed");
+    let quarantined = storage.quarantine();
+    assert_eq!(quarantined.len(), 1);
+    assert_eq!(quarantined[0].0, root);
+    // Invariants intact after every failed descent: nothing left pinned,
+    // quarantined re-queries fail fast without touching the device.
+    assert_eq!(storage.pool_stats().pinned, 0, "error path leaked a pin");
+    let device_errors = fault.stats().errors();
+    assert!(disk.try_nwc(&queries[1], Scheme::NWC_STAR).is_err());
+    assert_eq!(fault.stats().errors(), device_errors, "quarantine must fail fast");
+
+    // Lifting the fault and resetting restores full service.
+    fault.clear_faults();
+    storage.reset();
+    disk.tree().stats().reset();
+    for (qi, q) in queries.iter().enumerate() {
+        let want = arena.nwc(q, Scheme::NWC_STAR);
+        let got = disk.try_nwc(q, Scheme::NWC_STAR).expect("healthy again");
+        assert_eq!(want.map(|r| r.ids()), got.map(|r| r.ids()), "q{qi} after recovery");
+    }
+}
+
+#[test]
+fn engine_collects_per_query_errors_without_tearing_down_the_batch() {
+    let arena = NwcIndex::build(chaos_points(5_000));
+    let (disk, fault) = fault_backed(
+        &arena,
+        "engine",
+        DiskIndexConfig {
+            pool_capacity: Some(48),
+            pool_shards: Some(4),
+            prefetch: 8,
+            retry: fast_retry(3),
+            ..DiskIndexConfig::default()
+        },
+    );
+    // Kill the leaf under one corner of the space: queries aimed there
+    // must fail, queries in the opposite corner never read that page.
+    let near = Point::new(700.0, 700.0);
+    let far = Point::new(9_200.0, 9_200.0);
+    let dead_leaf = leaf_page_near(&disk, near);
+    fault.fail_page_permanently(dead_leaf);
+
+    let queries: Vec<NwcQuery> = (0..8)
+        .map(|i| {
+            let q = if i % 2 == 0 { near } else { far };
+            NwcQuery::new(q, WindowSpec::square(300.0), 3)
+        })
+        .collect();
+    let engine = QueryEngine::new(&disk).with_threads(4);
+    let batch = engine.try_nwc_batch(&queries, Scheme::NWC_STAR);
+    assert_eq!(batch.len(), queries.len());
+
+    let (mut failed, mut served) = (0, 0);
+    for (qi, (q, slot)) in queries.iter().zip(&batch).enumerate() {
+        match slot {
+            Err(QueryError::Io(e)) => {
+                assert_eq!(e.page, dead_leaf, "q{qi} failed on an unexpected page");
+                failed += 1;
+            }
+            Err(other) => panic!("q{qi}: expected Io, got {other}"),
+            Ok((got, _)) => {
+                let want = arena.nwc(q, Scheme::NWC_STAR);
+                assert_eq!(
+                    want.map(|r| r.ids()),
+                    got.as_ref().map(|r| r.ids()),
+                    "q{qi} served a wrong answer next to a dead page"
+                );
+                served += 1;
+            }
+        }
+    }
+    assert_eq!(failed, 4, "every near-corner query descends into the dead leaf");
+    assert_eq!(served, 4, "far-corner queries never touch it");
+
+    // The failures left the shared pool coherent under 4 threads.
+    let storage = disk.tree().storage().expect("disk-backed");
+    assert_eq!(storage.pool_stats().pinned, 0, "a worker leaked a pin");
+    let io = disk.tree().stats();
+    assert_eq!(
+        io.accesses(),
+        io.node_reads() + io.buffer_hits(),
+        "logical accesses must still decompose exactly"
+    );
+
+    // kNWC error collection rides the same machinery.
+    let kq = KnwcQuery::new(near, WindowSpec::square(300.0), 3, 2, 1);
+    match engine.try_knwc_batch(&[kq], Scheme::NWC_STAR).remove(0) {
+        Err(QueryError::Io(e)) => assert_eq!(e.page, dead_leaf),
+        other => panic!("expected Io, got {other:?}"),
+    }
+}

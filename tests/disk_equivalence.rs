@@ -260,6 +260,8 @@ fn roundtrip_empty_tree_on_disk_but_index_rejects_it() {
     tree.save_to_path(&path).unwrap();
     let back = RStarTree::open_from_path(&path, None).unwrap();
     assert!(back.is_empty());
+    // Release the advisory lock before reopening the same file.
+    drop(back);
     // An index over zero objects is meaningless: typed error, no panic.
     match NwcIndex::open_disk(&path, DiskIndexConfig::default()) {
         Err(IndexOpenError::EmptyDataset) => {}

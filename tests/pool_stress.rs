@@ -6,7 +6,10 @@
 //! shards, or speculative readahead admissions.
 
 use nwc::prelude::*;
+use nwc_store::{FaultPlan, FaultStore, FileStore, RetryPolicy};
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn temp_pages(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("nwc-stress-{tag}-{}.pages", std::process::id()))
@@ -116,4 +119,79 @@ fn concurrent_engine_batches_on_a_shared_disk_tree_stay_consistent() {
         storage.peak_resident_nodes()
     );
     assert_eq!(storage.io_errors(), 0);
+}
+
+/// Mid-descent faults must not poison the sharded pool: after a round in
+/// which ~half the 4-thread batch dies on a permanently bad page, the
+/// pool holds no leaked pins, the accounting still decomposes exactly,
+/// and — once the fault is lifted and counters reset — a healthy re-run
+/// restores the strict pool/stats equalities of the test above.
+#[test]
+fn pool_survives_mid_descent_faults_under_concurrency() {
+    let arena = NwcIndex::build(stress_points(6_000));
+    let path = temp_pages("faulted");
+    arena
+        .save_tree_with_layout(&path, PageLayout::Clustered)
+        .expect("save clustered");
+    let fault = Arc::new(FaultStore::new(
+        FileStore::open(&path).expect("reopen page file"),
+        FaultPlan::default(),
+    ));
+    let disk = NwcIndex::open_disk_from_store(
+        Box::new(Arc::clone(&fault)),
+        DiskIndexConfig {
+            pool_capacity: Some(48),
+            prefetch: 8,
+            pool_shards: Some(4),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::ZERO,
+                max_backoff: Duration::ZERO,
+            },
+            ..DiskIndexConfig::default()
+        },
+    )
+    .expect("open");
+    std::fs::remove_file(&path).ok();
+
+    let queries: Vec<NwcQuery> = Dataset::query_points(24, 7)
+        .into_iter()
+        .map(|q| NwcQuery::new(q, WindowSpec::square(400.0), 4))
+        .collect();
+    let engine = QueryEngine::new(&disk).with_threads(4);
+    let storage = disk.tree().storage().expect("disk-backed");
+
+    // Round 1: kill the root — every query errors, across all 4 workers.
+    let root = disk.tree().root().raw();
+    fault.fail_page_permanently(root);
+    let batch = engine.try_nwc_batch(&queries, Scheme::NWC_STAR);
+    assert!(batch.iter().all(|r| r.is_err()), "root is unreadable");
+    assert_eq!(storage.pool_stats().pinned, 0, "a failed descent leaked a pin");
+    let io = disk.tree().stats();
+    // Failed load attempts bump pool misses but never logical accesses,
+    // so the decomposition must still hold (the strict pool == stats
+    // equalities intentionally don't during a faulted round).
+    assert_eq!(io.accesses(), io.node_reads() + io.buffer_hits());
+    assert!(storage.io_errors() > 0, "the fault never reached the device");
+
+    // Round 2: lift the fault, reset, and demand the healthy-run
+    // invariants — the failed round must leave no residue behind.
+    fault.clear_faults();
+    storage.reset();
+    io.reset();
+    for q in &queries {
+        let want = arena.nwc(q, Scheme::NWC_STAR);
+        let got = disk.try_nwc(q, Scheme::NWC_STAR).expect("healthy again");
+        assert_eq!(want.map(|r| r.ids()), got.map(|r| r.ids()));
+    }
+    let batch = engine.try_nwc_batch(&queries, Scheme::NWC_STAR);
+    assert!(batch.iter().all(|r| r.is_ok()));
+    let pool = storage.pool_stats();
+    assert_eq!(pool.hits, io.buffer_hits(), "pool/stats hit accounting diverged");
+    assert_eq!(pool.misses, io.node_reads(), "pool/stats miss accounting diverged");
+    assert_eq!(storage.physical_reads(), pool.misses);
+    assert_eq!(pool.pinned, 0);
+    assert_eq!(storage.io_errors(), 0);
+    assert_eq!(io.retries(), 0);
+    assert!(storage.quarantine().is_empty());
 }
