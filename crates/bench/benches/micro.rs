@@ -8,8 +8,8 @@
 //! hosts — treat its numbers as a lower bound (see DESIGN.md § 4e).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use nwc_geom::{Point, Rect};
-use nwc_store::BufferPool;
+use nwc_geom::{MbrSoa, Point, Rect};
+use nwc_store::{BufferPool, IoExecutor, MemStore, PageStore};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -94,7 +94,9 @@ fn contention(c: &mut Criterion) {
 }
 
 /// The MINDIST kernel: per-branch work of every best-first expansion
-/// and readahead ranking pass.
+/// and readahead ranking pass — scalar loop vs the batched SoA kernel
+/// (the `mindist/batched_over_scalar` ratio is what BENCH_kernels.json
+/// reports as the microbench speedup).
 fn mindist_kernel(c: &mut Criterion) {
     let rects: Vec<Rect> = (0..256)
         .map(|i| {
@@ -114,6 +116,66 @@ fn mindist_kernel(c: &mut Criterion) {
             acc
         })
     });
+
+    let soa: MbrSoa = rects.iter().copied().collect();
+    let mut out = vec![0.0f64; rects.len()];
+    g.bench_function("batched_256_rects", |b| {
+        b.iter(|| {
+            black_box(&soa).mindist_into(black_box(&q), &mut out);
+            out[0]
+        })
+    });
+
+    let w = Rect::new(Point::new(200.0, 200.0), Point::new(700.0, 650.0));
+    g.bench_function("intersects_scalar_256", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for r in &rects {
+                n += usize::from(black_box(r).intersects(black_box(&w)));
+            }
+            n
+        })
+    });
+    let mut mask = vec![false; rects.len()];
+    g.bench_function("intersects_batched_256", |b| {
+        b.iter(|| {
+            black_box(&soa).intersects_into(black_box(&w), &mut mask);
+            mask[0]
+        })
+    });
+    g.finish();
+}
+
+/// Submit→complete round trip through the I/O executor: the fixed
+/// overhead a readahead run pays to leave the query thread. Submitting
+/// a no-op job and waiting for idle bounds the queue+wakeup cost; the
+/// read-run variant adds the buffer allocation and MemStore copy.
+fn executor_round_trip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor");
+    let exec = IoExecutor::new(1);
+    g.bench_function("submit_complete_noop", |b| {
+        b.iter(|| {
+            exec.submit(Box::new(|| {}));
+            exec.wait_idle();
+        })
+    });
+
+    const RUN_PAGES: usize = 8;
+    let pages: Vec<[u8; nwc_store::PAGE_SIZE]> = (0..64).map(|_| [0u8; nwc_store::PAGE_SIZE]).collect();
+    let store: Arc<dyn PageStore> = Arc::new(MemStore::new(pages, 0, [0; 4]).unwrap());
+    g.bench_function("submit_complete_read_run_8p", |b| {
+        b.iter(|| {
+            exec.submit_read_run(
+                Arc::clone(&store),
+                0,
+                RUN_PAGES,
+                Box::new(|res, _| {
+                    res.unwrap();
+                }),
+            );
+            exec.wait_idle();
+        })
+    });
     g.finish();
 }
 
@@ -129,6 +191,6 @@ fn fast_config() -> Criterion {
 criterion_group! {
     name = micro;
     config = fast_config();
-    targets = pool_paths, contention, mindist_kernel
+    targets = pool_paths, contention, mindist_kernel, executor_round_trip
 }
 criterion_main!(micro);

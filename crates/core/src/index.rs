@@ -68,6 +68,13 @@ pub struct DiskIndexConfig {
     /// Exhausting the budget quarantines the page and surfaces a typed
     /// error through the `try_*` query APIs.
     pub retry: RetryPolicy,
+    /// I/O worker threads for overlapped readahead (default 0 =
+    /// readahead stays synchronous on the query thread). With ≥ 1,
+    /// readahead runs are submitted to a completion thread pool and the
+    /// query keeps descending while the device is busy; answers and
+    /// logical I/O are bit-identical either way. No effect when
+    /// [`DiskIndexConfig::prefetch`] is 0.
+    pub io_threads: usize,
 }
 
 impl Default for DiskIndexConfig {
@@ -80,6 +87,7 @@ impl Default for DiskIndexConfig {
             grid_cell_size: Some(25.0),
             build_iwp: true,
             retry: RetryPolicy::default(),
+            io_threads: 0,
         }
     }
 }
@@ -106,6 +114,7 @@ impl DiskIndexConfig {
             pool_shards: self.pool_shards,
             prefetch: self.prefetch,
             retry: self.retry,
+            io_threads: self.io_threads,
         }
     }
 }

@@ -1,0 +1,558 @@
+//! Batched geometry kernels over structure-of-arrays rectangle sets.
+//!
+//! The NWC best-first search is bound by `MINDIST` evaluations over
+//! branch MBRs, and window descent by rectangle-intersection tests —
+//! both evaluated per branch of every visited node. This module
+//! provides the same two predicates as data-parallel kernels over a
+//! [`MbrSoa`]: four contiguous coordinate arrays (`min_x`, `min_y`,
+//! `max_x`, `max_y`) instead of an array of [`Rect`] structs, so one
+//! kernel call prunes a whole node.
+//!
+//! Two implementations sit behind one dispatch:
+//!
+//! - a **portable** path written as chunked lane-width-4 loops over
+//!   fixed-size arrays, which LLVM autovectorizes on stable Rust;
+//! - an **AVX2** path (x86_64 only, runtime-detected) using 4-wide
+//!   `f64` intrinsics.
+//!
+//! Both are **bit-identical** to the scalar [`Rect::mindist`] /
+//! [`Rect::intersects`] on the finite coordinates the index admits: the
+//! kernels use the exact same operation sequence (`sub`, `max`, `mul`,
+//! `add`, `sqrt` — all correctly rounded, never fused into FMA), so
+//! swapping kernels can never change an answer or a traversal order.
+//! `tests/kernel_equivalence.rs` proves this property over the paper's
+//! query shapes, extreme coordinates and remainder lanes.
+//!
+//! Set `NWC_KERNELS=portable` in the environment to pin the portable
+//! path (e.g. to A/B the dispatch); [`kernel_backend`] reports what the
+//! dispatch resolved to.
+
+use crate::{Point, Rect};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Lane width of the portable kernels. Four `f64`s = one AVX2 register;
+/// narrower SIMD ISAs simply split each chunk into more instructions.
+const LANES: usize = 4;
+
+/// A structure-of-arrays set of rectangles: the coordinate layout the
+/// batched kernels consume. Built once (e.g. at page-decode time) and
+/// queried many times.
+#[derive(Clone, Debug, Default)]
+pub struct MbrSoa {
+    min_x: Vec<f64>,
+    min_y: Vec<f64>,
+    max_x: Vec<f64>,
+    max_y: Vec<f64>,
+}
+
+impl MbrSoa {
+    /// An empty set with room for `n` rectangles.
+    pub fn with_capacity(n: usize) -> Self {
+        MbrSoa {
+            min_x: Vec::with_capacity(n),
+            min_y: Vec::with_capacity(n),
+            max_x: Vec::with_capacity(n),
+            max_y: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends one rectangle.
+    pub fn push(&mut self, r: &Rect) {
+        self.min_x.push(r.min.x);
+        self.min_y.push(r.min.y);
+        self.max_x.push(r.max.x);
+        self.max_y.push(r.max.y);
+    }
+
+    /// Number of rectangles in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.min_x.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min_x.is_empty()
+    }
+
+    /// The min-x column, for callers driving the free kernels directly.
+    #[inline]
+    pub fn min_xs(&self) -> &[f64] {
+        &self.min_x
+    }
+
+    /// The min-y column.
+    #[inline]
+    pub fn min_ys(&self) -> &[f64] {
+        &self.min_y
+    }
+
+    /// The max-x column.
+    #[inline]
+    pub fn max_xs(&self) -> &[f64] {
+        &self.max_x
+    }
+
+    /// The max-y column.
+    #[inline]
+    pub fn max_ys(&self) -> &[f64] {
+        &self.max_y
+    }
+
+    /// The `i`-th rectangle, reassembled (tests and diagnostics).
+    pub fn rect(&self, i: usize) -> Rect {
+        Rect::new(
+            Point::new(self.min_x[i], self.min_y[i]),
+            Point::new(self.max_x[i], self.max_y[i]),
+        )
+    }
+
+    /// `MINDIST(q, rect)` for every rectangle, written into `out`
+    /// (which must hold at least [`MbrSoa::len`] values).
+    #[inline]
+    pub fn mindist_into(&self, q: &Point, out: &mut [f64]) {
+        mindist_batch(&self.min_x, &self.min_y, &self.max_x, &self.max_y, q, out);
+    }
+
+    /// As [`MbrSoa::mindist_into`] over the sub-range
+    /// `[start, start + out.len())`.
+    #[inline]
+    pub fn mindist_range_into(&self, start: usize, q: &Point, out: &mut [f64]) {
+        let end = start + out.len();
+        mindist_batch(
+            &self.min_x[start..end],
+            &self.min_y[start..end],
+            &self.max_x[start..end],
+            &self.max_y[start..end],
+            q,
+            out,
+        );
+    }
+
+    /// Closed-rectangle intersection with the window `w` for every
+    /// rectangle, written into `out` (at least [`MbrSoa::len`] values).
+    #[inline]
+    pub fn intersects_into(&self, w: &Rect, out: &mut [bool]) {
+        intersects_window_batch(&self.min_x, &self.min_y, &self.max_x, &self.max_y, w, out);
+    }
+
+    /// As [`MbrSoa::intersects_into`] over the sub-range
+    /// `[start, start + out.len())`.
+    #[inline]
+    pub fn intersects_range_into(&self, start: usize, w: &Rect, out: &mut [bool]) {
+        let end = start + out.len();
+        intersects_window_batch(
+            &self.min_x[start..end],
+            &self.min_y[start..end],
+            &self.max_x[start..end],
+            &self.max_y[start..end],
+            w,
+            out,
+        );
+    }
+}
+
+impl FromIterator<Rect> for MbrSoa {
+    fn from_iter<I: IntoIterator<Item = Rect>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut soa = MbrSoa::with_capacity(iter.size_hint().0);
+        for r in iter {
+            soa.push(&r);
+        }
+        soa
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------
+
+/// Cached dispatch decision: 0 = undecided, 1 = AVX2, 2 = portable.
+static BACKEND: AtomicU8 = AtomicU8::new(0);
+
+#[inline]
+fn backend() -> u8 {
+    match BACKEND.load(Ordering::Relaxed) {
+        0 => {
+            let choice = detect_backend();
+            BACKEND.store(choice, Ordering::Relaxed);
+            choice
+        }
+        b => b,
+    }
+}
+
+#[cold]
+fn detect_backend() -> u8 {
+    if matches!(
+        std::env::var("NWC_KERNELS").as_deref(),
+        Ok("portable") | Ok("scalar")
+    ) {
+        return 2;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return 1;
+        }
+    }
+    2
+}
+
+/// The kernel implementation the runtime dispatch resolved to:
+/// `"avx2"` or `"portable"`. Recorded by the kernels experiment so runs
+/// on different hardware stay comparable.
+pub fn kernel_backend() -> &'static str {
+    match backend() {
+        1 => "avx2",
+        _ => "portable",
+    }
+}
+
+/// `MINDIST(q, rect_i)` for each rectangle `i` of a structure-of-arrays
+/// set. All five slices must have equal lengths (`out` may be longer;
+/// only the first `min_x.len()` values are written).
+///
+/// Bit-identical to calling [`Rect::mindist`] per rectangle on finite
+/// coordinates (see the module docs).
+pub fn mindist_batch(
+    min_x: &[f64],
+    min_y: &[f64],
+    max_x: &[f64],
+    max_y: &[f64],
+    q: &Point,
+    out: &mut [f64],
+) {
+    let n = min_x.len();
+    debug_assert!(min_y.len() == n && max_x.len() == n && max_y.len() == n && out.len() >= n);
+    #[cfg(target_arch = "x86_64")]
+    if backend() == 1 {
+        avx2::mindist_batch(min_x, min_y, max_x, max_y, q, out);
+        return;
+    }
+    portable_mindist(min_x, min_y, max_x, max_y, q, out);
+}
+
+/// Whether each rectangle of a structure-of-arrays set intersects the
+/// (closed) window `w`. Same slice-length contract as
+/// [`mindist_batch`]; bit-identical to [`Rect::intersects`].
+pub fn intersects_window_batch(
+    min_x: &[f64],
+    min_y: &[f64],
+    max_x: &[f64],
+    max_y: &[f64],
+    w: &Rect,
+    out: &mut [bool],
+) {
+    let n = min_x.len();
+    debug_assert!(min_y.len() == n && max_x.len() == n && max_y.len() == n && out.len() >= n);
+    #[cfg(target_arch = "x86_64")]
+    if backend() == 1 {
+        avx2::intersects_batch(min_x, min_y, max_x, max_y, w, out);
+        return;
+    }
+    portable_intersects(min_x, min_y, max_x, max_y, w, out);
+}
+
+// ---------------------------------------------------------------------
+// Portable lane-width-4 kernels (autovectorized on stable Rust)
+// ---------------------------------------------------------------------
+
+/// One `MINDIST` lane: the exact operation sequence of
+/// [`Rect::mindist2`] followed by `sqrt`, kept in a single `#[inline]`
+/// function so every path (portable chunk, portable remainder, tests)
+/// shares it.
+#[inline(always)]
+fn mindist_lane(min_x: f64, min_y: f64, max_x: f64, max_y: f64, q: &Point) -> f64 {
+    let dx = (min_x - q.x).max(0.0).max(q.x - max_x);
+    let dy = (min_y - q.y).max(0.0).max(q.y - max_y);
+    (dx * dx + dy * dy).sqrt()
+}
+
+fn portable_mindist(
+    min_x: &[f64],
+    min_y: &[f64],
+    max_x: &[f64],
+    max_y: &[f64],
+    q: &Point,
+    out: &mut [f64],
+) {
+    let n = min_x.len();
+    let chunks = n / LANES;
+    // Fixed-width inner loops over array chunks: the trip count is a
+    // compile-time constant and the slices are bounds-checked once per
+    // chunk, which is the shape LLVM's autovectorizer reliably turns
+    // into SIMD on stable Rust.
+    for c in 0..chunks {
+        let base = c * LANES;
+        let mnx: &[f64; LANES] = min_x[base..base + LANES].try_into().expect("chunk width");
+        let mny: &[f64; LANES] = min_y[base..base + LANES].try_into().expect("chunk width");
+        let mxx: &[f64; LANES] = max_x[base..base + LANES].try_into().expect("chunk width");
+        let mxy: &[f64; LANES] = max_y[base..base + LANES].try_into().expect("chunk width");
+        let o: &mut [f64; LANES] = (&mut out[base..base + LANES]).try_into().expect("chunk width");
+        for l in 0..LANES {
+            o[l] = mindist_lane(mnx[l], mny[l], mxx[l], mxy[l], q);
+        }
+    }
+    for i in chunks * LANES..n {
+        out[i] = mindist_lane(min_x[i], min_y[i], max_x[i], max_y[i], q);
+    }
+}
+
+/// One intersection lane: the exact comparison of [`Rect::intersects`]
+/// with `self` = the rectangle and `other` = the window.
+#[inline(always)]
+fn intersects_lane(min_x: f64, min_y: f64, max_x: f64, max_y: f64, w: &Rect) -> bool {
+    min_x <= w.max.x && w.min.x <= max_x && min_y <= w.max.y && w.min.y <= max_y
+}
+
+fn portable_intersects(
+    min_x: &[f64],
+    min_y: &[f64],
+    max_x: &[f64],
+    max_y: &[f64],
+    w: &Rect,
+    out: &mut [bool],
+) {
+    let n = min_x.len();
+    let chunks = n / LANES;
+    for c in 0..chunks {
+        let base = c * LANES;
+        let mnx: &[f64; LANES] = min_x[base..base + LANES].try_into().expect("chunk width");
+        let mny: &[f64; LANES] = min_y[base..base + LANES].try_into().expect("chunk width");
+        let mxx: &[f64; LANES] = max_x[base..base + LANES].try_into().expect("chunk width");
+        let mxy: &[f64; LANES] = max_y[base..base + LANES].try_into().expect("chunk width");
+        let o: &mut [bool; LANES] =
+            (&mut out[base..base + LANES]).try_into().expect("chunk width");
+        for l in 0..LANES {
+            o[l] = intersects_lane(mnx[l], mny[l], mxx[l], mxy[l], w);
+        }
+    }
+    for i in chunks * LANES..n {
+        out[i] = intersects_lane(min_x[i], min_y[i], max_x[i], max_y[i], w);
+    }
+}
+
+// ---------------------------------------------------------------------
+// AVX2 kernels (x86_64, runtime-detected)
+// ---------------------------------------------------------------------
+
+/// The one `unsafe` island of the crate: 4-wide `f64` intrinsics. The
+/// operation sequence mirrors the portable lanes exactly — separate
+/// `mul`/`add` (never FMA) and the correctly-rounded `sqrt`/`max`, so
+/// results stay bit-identical on the finite inputs the index admits.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx2 {
+    use super::{intersects_lane, mindist_lane, LANES};
+    use crate::{Point, Rect};
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_and_pd, _mm256_cmp_pd, _mm256_loadu_pd, _mm256_max_pd,
+        _mm256_movemask_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_setzero_pd, _mm256_sqrt_pd,
+        _mm256_storeu_pd, _mm256_sub_pd, _CMP_LE_OQ,
+    };
+
+    /// Safe entry point: asserts the dispatch contract (AVX2 verified
+    /// at runtime) and forwards to the `#[target_feature]` body.
+    pub(super) fn mindist_batch(
+        min_x: &[f64],
+        min_y: &[f64],
+        max_x: &[f64],
+        max_y: &[f64],
+        q: &Point,
+        out: &mut [f64],
+    ) {
+        debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+        // SAFETY: the dispatch in `backend()` only selects this path
+        // after `is_x86_feature_detected!("avx2")` returned true.
+        unsafe { mindist_batch_avx2(min_x, min_y, max_x, max_y, q, out) }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support at runtime. Slice lengths
+    /// follow the contract of [`super::mindist_batch`].
+    #[target_feature(enable = "avx2")]
+    unsafe fn mindist_batch_avx2(
+        min_x: &[f64],
+        min_y: &[f64],
+        max_x: &[f64],
+        max_y: &[f64],
+        q: &Point,
+        out: &mut [f64],
+    ) {
+        let n = min_x.len();
+        let chunks = n / LANES;
+        let qx = _mm256_set1_pd(q.x);
+        let qy = _mm256_set1_pd(q.y);
+        let zero = _mm256_setzero_pd();
+        for c in 0..chunks {
+            let base = c * LANES;
+            // SAFETY: base + LANES <= n for every chunk index.
+            let mnx = unsafe { _mm256_loadu_pd(min_x.as_ptr().add(base)) };
+            let mny = unsafe { _mm256_loadu_pd(min_y.as_ptr().add(base)) };
+            let mxx = unsafe { _mm256_loadu_pd(max_x.as_ptr().add(base)) };
+            let mxy = unsafe { _mm256_loadu_pd(max_y.as_ptr().add(base)) };
+            // dx = max(max(min_x - qx, 0), qx - max_x); dy likewise.
+            // max_pd picks lane-wise maxima exactly like f64::max on the
+            // NaN-free inputs the tree admits.
+            let dx = _mm256_max_pd(
+                _mm256_max_pd(_mm256_sub_pd(mnx, qx), zero),
+                _mm256_sub_pd(qx, mxx),
+            );
+            let dy = _mm256_max_pd(
+                _mm256_max_pd(_mm256_sub_pd(mny, qy), zero),
+                _mm256_sub_pd(qy, mxy),
+            );
+            let d2 = _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+            // SAFETY: same in-bounds argument as the loads.
+            unsafe { _mm256_storeu_pd(out.as_mut_ptr().add(base), _mm256_sqrt_pd(d2)) };
+        }
+        for i in chunks * LANES..n {
+            out[i] = mindist_lane(min_x[i], min_y[i], max_x[i], max_y[i], q);
+        }
+    }
+
+    /// Safe entry point: asserts the dispatch contract (AVX2 verified
+    /// at runtime) and forwards to the `#[target_feature]` body.
+    pub(super) fn intersects_batch(
+        min_x: &[f64],
+        min_y: &[f64],
+        max_x: &[f64],
+        max_y: &[f64],
+        w: &Rect,
+        out: &mut [bool],
+    ) {
+        debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+        // SAFETY: the dispatch in `backend()` only selects this path
+        // after `is_x86_feature_detected!("avx2")` returned true.
+        unsafe { intersects_batch_avx2(min_x, min_y, max_x, max_y, w, out) }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support at runtime. Slice lengths
+    /// follow the contract of [`super::intersects_window_batch`].
+    #[target_feature(enable = "avx2")]
+    unsafe fn intersects_batch_avx2(
+        min_x: &[f64],
+        min_y: &[f64],
+        max_x: &[f64],
+        max_y: &[f64],
+        w: &Rect,
+        out: &mut [bool],
+    ) {
+        let n = min_x.len();
+        let chunks = n / LANES;
+        let wminx = _mm256_set1_pd(w.min.x);
+        let wminy = _mm256_set1_pd(w.min.y);
+        let wmaxx = _mm256_set1_pd(w.max.x);
+        let wmaxy = _mm256_set1_pd(w.max.y);
+        for c in 0..chunks {
+            let base = c * LANES;
+            // SAFETY: base + LANES <= n for every chunk index.
+            let mnx = unsafe { _mm256_loadu_pd(min_x.as_ptr().add(base)) };
+            let mny = unsafe { _mm256_loadu_pd(min_y.as_ptr().add(base)) };
+            let mxx = unsafe { _mm256_loadu_pd(max_x.as_ptr().add(base)) };
+            let mxy = unsafe { _mm256_loadu_pd(max_y.as_ptr().add(base)) };
+            // Closed-interval overlap on both axes, `<=` throughout —
+            // ordered comparisons, false on NaN, matching `f64::le`.
+            let x_ok = _mm256_and_pd(
+                _mm256_cmp_pd::<_CMP_LE_OQ>(mnx, wmaxx),
+                _mm256_cmp_pd::<_CMP_LE_OQ>(wminx, mxx),
+            );
+            let y_ok = _mm256_and_pd(
+                _mm256_cmp_pd::<_CMP_LE_OQ>(mny, wmaxy),
+                _mm256_cmp_pd::<_CMP_LE_OQ>(wminy, mxy),
+            );
+            let mask = _mm256_movemask_pd(_mm256_and_pd(x_ok, y_ok));
+            for l in 0..LANES {
+                out[base + l] = mask & (1 << l) != 0;
+            }
+        }
+        for i in chunks * LANES..n {
+            out[i] = intersects_lane(min_x[i], min_y[i], max_x[i], max_y[i], w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect;
+
+    fn sample_soa(n: usize) -> MbrSoa {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 37) % 997) as f64 - 300.0;
+                let y = ((i * 61) % 991) as f64 - 150.0;
+                rect(x, y, x + ((i % 13) as f64), y + ((i % 7) as f64))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mindist_matches_scalar_every_length() {
+        let q = Point::new(123.5, -42.25);
+        for n in 0..=19 {
+            let soa = sample_soa(n);
+            let mut out = vec![0.0f64; n];
+            soa.mindist_into(&q, &mut out);
+            for (i, got) in out.iter().enumerate() {
+                let want = soa.rect(i).mindist(&q);
+                assert_eq!(got.to_bits(), want.to_bits(), "lane {i} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn intersects_matches_scalar_every_length() {
+        let w = rect(-10.0, -10.0, 350.0, 410.0);
+        for n in 0..=19 {
+            let soa = sample_soa(n);
+            let mut out = vec![false; n];
+            soa.intersects_into(&w, &mut out);
+            for (i, &got) in out.iter().enumerate() {
+                assert_eq!(got, soa.rect(i).intersects(&w), "lane {i} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_kernels_match_full_kernels() {
+        let q = Point::new(5.0, 7.0);
+        let w = rect(0.0, 0.0, 100.0, 100.0);
+        let soa = sample_soa(23);
+        let mut full_d = vec![0.0f64; 23];
+        let mut full_i = vec![false; 23];
+        soa.mindist_into(&q, &mut full_d);
+        soa.intersects_into(&w, &mut full_i);
+        let mut part_d = vec![0.0f64; 9];
+        let mut part_i = vec![false; 9];
+        soa.mindist_range_into(7, &q, &mut part_d);
+        soa.intersects_range_into(7, &w, &mut part_i);
+        assert_eq!(&full_d[7..16], &part_d[..]);
+        assert_eq!(&full_i[7..16], &part_i[..]);
+    }
+
+    #[test]
+    fn touching_boundary_is_inside() {
+        // Lemma 1 cases: the window edge touches the rectangle exactly.
+        let mut soa = MbrSoa::default();
+        soa.push(&rect(5.0, 5.0, 9.0, 9.0));
+        soa.push(&rect(9.0 + f64::EPSILON * 16.0, 5.0, 12.0, 9.0));
+        let w = rect(0.0, 0.0, 5.0, 5.0); // corner-touches the first only
+        let mut out = [false; 2];
+        soa.intersects_into(&w, &mut out);
+        assert_eq!(out, [true, false]);
+        let mut d = [0.0f64; 2];
+        soa.mindist_into(&Point::new(5.0, 5.0), &mut d);
+        assert_eq!(d[0], 0.0, "touching point has MINDIST 0");
+    }
+
+    #[test]
+    fn backend_reports_a_known_name() {
+        assert!(matches!(kernel_backend(), "avx2" | "portable"));
+    }
+}

@@ -16,6 +16,11 @@ use nwc_geom::{Point, Rect};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Stack-buffer width for batched per-node MINDIST evaluation. A disk
+/// page holds at most 112 branches, so one chunk covers a whole page;
+/// wider arena nodes simply take several chunks.
+const MINDIST_CHUNK: usize = 128;
+
 /// An item popped from the best-first priority queue.
 #[derive(Clone, Copy, Debug)]
 pub enum BrowseItem {
@@ -209,29 +214,56 @@ impl<'t> Browser<'t> {
             }
             NodeKind::Internal(branches) => {
                 let child_level = node.level - 1;
-                for b in branches {
-                    let mindist = b.mbr.mindist(&self.query);
-                    self.heap.push(HeapItem {
-                        key: mindist,
-                        object_first: false,
-                        item: BrowseItem::Node {
-                            id: b.child,
-                            level: child_level,
-                            mbr: b.mbr,
-                            mindist,
-                        },
-                    });
-                }
                 let readahead = self.tree.readahead();
+                // MINDIST for the whole node in chunked batches: the
+                // kernel runs over the page's SoA MBR view when present
+                // (disk nodes build one at decode time), falling back to
+                // the scalar predicate on arena nodes. Each distance is
+                // computed exactly once and reused for both the heap
+                // push and prefetch ranking. The chunk buffer lives on
+                // the stack so arena traversals stay allocation-free.
+                let mut ranked: Vec<(f64, u32)> = if readahead > 0 {
+                    Vec::with_capacity(branches.len())
+                } else {
+                    Vec::new()
+                };
+                let mut dists = [0.0f64; MINDIST_CHUNK];
+                let mut base = 0;
+                while base < branches.len() {
+                    let len = MINDIST_CHUNK.min(branches.len() - base);
+                    match &node.soa {
+                        Some(soa) => {
+                            soa.mindist_range_into(base, &self.query, &mut dists[..len])
+                        }
+                        None => {
+                            for (i, b) in branches[base..base + len].iter().enumerate() {
+                                dists[i] = b.mbr.mindist(&self.query);
+                            }
+                        }
+                    }
+                    for (i, b) in branches[base..base + len].iter().enumerate() {
+                        let mindist = dists[i];
+                        self.heap.push(HeapItem {
+                            key: mindist,
+                            object_first: false,
+                            item: BrowseItem::Node {
+                                id: b.child,
+                                level: child_level,
+                                mbr: b.mbr,
+                                mindist,
+                            },
+                        });
+                        if readahead > 0 {
+                            ranked.push((mindist, b.child.0));
+                        }
+                    }
+                    base += len;
+                }
                 if readahead > 0 {
                     // Best-first pops children in ascending MINDIST, so
                     // prefetch the nearest few now while the parent's
                     // page is still warm. Advisory: logical I/O counters
                     // never move.
-                    let mut ranked: Vec<(f64, u32)> = branches
-                        .iter()
-                        .map(|b| (b.mbr.mindist(&self.query), b.child.0))
-                        .collect();
                     ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
                     let mut pages: Vec<u32> =
                         ranked.into_iter().take(readahead).map(|(_, p)| p).collect();

@@ -178,7 +178,7 @@ mod tests {
         ];
         for i in 0..120 {
             let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
-            points.push(pt(sign * 10f64.powi(i as i32 - 60), (i as f64) * 1e100));
+            points.push(pt(sign * 10f64.powi(i - 60), (i as f64) * 1e100));
         }
         let entries: Vec<Entry> = points
             .iter()

@@ -24,8 +24,22 @@
 use crate::node::NodeKind;
 use crate::tree::RStarTree;
 use crate::{Entry, NodeId};
-use nwc_geom::Rect;
+use nwc_geom::{MbrSoa, Rect};
 use std::collections::HashMap;
+
+/// Stack-buffer width for the batched overlap-target intersection test
+/// (matches the chunk width of the window-query kernels).
+const MASK_CHUNK: usize = 128;
+
+/// The overlapping pointers of one pointed node, stored as a
+/// structure-of-arrays pair so the per-query "which overlap targets
+/// intersect the window?" test runs as one batched kernel call.
+struct OverlapList {
+    /// Overlap targets (`op_j`), in sweep order.
+    targets: Vec<NodeId>,
+    /// The targets' MBRs (`mbr_j^o`), SoA-indexed in step with `targets`.
+    mbrs: MbrSoa,
+}
 
 /// Storage overhead of the IWP augmentation, mirroring the paper's §5.2
 /// accounting (4 bytes per pointer plus an MBR per pointer entry).
@@ -55,7 +69,7 @@ pub struct IwpIndex {
     /// carries the pointed node's MBR (the `mbr_i^b` of the paper).
     backward: HashMap<NodeId, Vec<(NodeId, Rect)>>,
     /// Overlapping pointers per pointed node (the `(op_j, mbr_j^o)`).
-    overlaps: HashMap<NodeId, Vec<(NodeId, Rect)>>,
+    overlaps: HashMap<NodeId, OverlapList>,
     storage: IwpStorage,
 }
 
@@ -113,7 +127,7 @@ impl IwpIndex {
 
         // Overlapping pointers: same-level nodes with intersecting MBRs.
         // A per-level x-interval sweep keeps this near-linear.
-        let mut overlaps: HashMap<NodeId, Vec<(NodeId, Rect)>> = HashMap::new();
+        let mut overlaps: HashMap<NodeId, OverlapList> = HashMap::new();
         let mut overlap_count = 0usize;
         for level_nodes in by_level.values_mut() {
             level_nodes.sort_by(|a, b| a.1.min.x.total_cmp(&b.1.min.x));
@@ -123,16 +137,20 @@ impl IwpIndex {
             let peers = &by_level[&level];
             // Candidates: peers whose min.x ≤ mbr.max.x, scanned from the
             // first index; early-exit once min.x exceeds mbr.max.x.
-            let mut ops: Vec<(NodeId, Rect)> = Vec::new();
+            let mut ops = OverlapList {
+                targets: Vec::new(),
+                mbrs: MbrSoa::default(),
+            };
             for &(peer, peer_mbr) in peers {
                 if peer_mbr.min.x > mbr.max.x {
                     break;
                 }
                 if peer != n && peer_mbr.intersects(&mbr) {
-                    ops.push((peer, peer_mbr));
+                    ops.targets.push(peer);
+                    ops.mbrs.push(&peer_mbr);
                 }
             }
-            overlap_count += ops.len();
+            overlap_count += ops.targets.len();
             overlaps.insert(n, ops);
         }
 
@@ -204,10 +222,19 @@ impl IwpIndex {
 
         tree.try_window_query_from_into(start, rect, out)?;
         if let Some(ops) = self.overlaps.get(&start) {
-            for &(op, op_mbr) in ops {
-                if op_mbr.intersects(rect) {
-                    tree.try_window_query_from_into(op, rect, out)?;
+            // One batched kernel call per chunk decides which overlap
+            // targets the window reaches; only those are traversed.
+            let mut mask = [false; MASK_CHUNK];
+            let mut base = 0;
+            while base < ops.targets.len() {
+                let len = MASK_CHUNK.min(ops.targets.len() - base);
+                ops.mbrs.intersects_range_into(base, rect, &mut mask[..len]);
+                for (i, &op) in ops.targets[base..base + len].iter().enumerate() {
+                    if mask[i] {
+                        tree.try_window_query_from_into(op, rect, out)?;
+                    }
                 }
+                base += len;
             }
         }
         Ok(())

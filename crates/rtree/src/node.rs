@@ -1,7 +1,7 @@
 //! Arena-allocated tree nodes.
 
 use crate::Entry;
-use nwc_geom::{Point, Rect};
+use nwc_geom::{MbrSoa, Point, Rect};
 
 /// Index of a node in the tree's arena. Stable across queries; recycled
 /// by mutations through a free list.
@@ -52,6 +52,11 @@ pub(crate) struct Node {
     pub level: u32,
     pub mbr: Rect,
     pub kind: NodeKind,
+    /// Structure-of-arrays view of the branch MBRs, built once at page
+    /// decode time so per-node pruning runs as one batched kernel call.
+    /// `None` on arena nodes (which mutate) and on leaves; disk-backed
+    /// nodes are immutable after decode, so the view can never go stale.
+    pub soa: Option<MbrSoa>,
 }
 
 impl Node {
@@ -60,6 +65,7 @@ impl Node {
             level: 0,
             mbr: Rect::from_point(Point::ORIGIN),
             kind: NodeKind::Leaf(Vec::new()),
+            soa: None,
         }
     }
 
@@ -68,6 +74,20 @@ impl Node {
             level,
             mbr: Rect::from_point(Point::ORIGIN),
             kind: NodeKind::Internal(Vec::new()),
+            soa: None,
+        }
+    }
+
+    /// Builds the structure-of-arrays MBR view for an internal node.
+    /// Called exactly once, by the page decoder, after the branch list
+    /// is final.
+    pub fn build_branch_soa(&mut self) {
+        if let NodeKind::Internal(branches) = &self.kind {
+            let mut soa = MbrSoa::with_capacity(branches.len());
+            for b in branches {
+                soa.push(&b.mbr);
+            }
+            self.soa = Some(soa);
         }
     }
 
@@ -113,6 +133,9 @@ impl Node {
 
     #[inline]
     pub fn branches_mut(&mut self) -> &mut Vec<Branch> {
+        // Mutation would desynchronize the SoA view; drop it. Arena
+        // nodes never have one, disk nodes never reach here.
+        self.soa = None;
         match &mut self.kind {
             NodeKind::Internal(b) => b,
             NodeKind::Leaf(_) => panic!("branches_mut() on leaf node"),

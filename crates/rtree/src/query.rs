@@ -7,10 +7,31 @@
 //! infallible forms are thin wrappers that funnel any error through one
 //! crate-level abort adapter — this module itself contains no panics.
 
-use crate::node::NodeKind;
+use crate::node::{Branch, Node, NodeKind};
 use crate::tree::{read_failure, RStarTree, TreeError};
 use crate::{Entry, NodeId};
 use nwc_geom::{Point, Rect};
+
+/// Stack-buffer width for batched per-node intersection tests. A disk
+/// page holds at most 112 branches, so one chunk covers a whole page.
+const MASK_CHUNK: usize = 128;
+
+/// Window-intersection flags for `branches[base..base + mask.len()]`,
+/// written into `mask`: one batched kernel call over the node's SoA MBR
+/// view when present (disk nodes), the scalar predicate otherwise.
+/// Bit-identical either way, so traversal order and logical I/O never
+/// depend on which path ran.
+#[inline]
+fn fill_intersect_mask(node: &Node, branches: &[Branch], base: usize, rect: &Rect, mask: &mut [bool]) {
+    match &node.soa {
+        Some(soa) => soa.intersects_range_into(base, rect, mask),
+        None => {
+            for (i, b) in branches[base..base + mask.len()].iter().enumerate() {
+                mask[i] = b.mbr.intersects(rect);
+            }
+        }
+    }
+}
 
 impl RStarTree {
     /// Returns every entry whose point lies inside the (closed) window
@@ -87,11 +108,19 @@ impl RStarTree {
                 out.extend(entries.iter().filter(|e| rect.contains_point(&e.point)));
             }
             NodeKind::Internal(branches) => {
-                self.prefetch_intersecting(branches, rect);
-                for b in branches {
-                    if b.mbr.intersects(rect) {
-                        self.try_window_query_from_into(b.child, rect, out)?;
+                let mut budget = self.readahead();
+                let mut mask = [false; MASK_CHUNK];
+                let mut base = 0;
+                while base < branches.len() {
+                    let len = MASK_CHUNK.min(branches.len() - base);
+                    fill_intersect_mask(&node, branches, base, rect, &mut mask[..len]);
+                    self.prefetch_masked(&branches[base..base + len], &mask[..len], &mut budget);
+                    for (i, b) in branches[base..base + len].iter().enumerate() {
+                        if mask[i] {
+                            self.try_window_query_from_into(b.child, rect, out)?;
+                        }
                     }
+                    base += len;
                 }
             }
         }
@@ -99,21 +128,25 @@ impl RStarTree {
     }
 
     /// Readahead for window traversals: batch-read the children this
-    /// node is about to recurse into, in recursion order. Advisory — a
+    /// node is about to recurse into (the masked-intersecting branches,
+    /// in recursion order, up to the remaining `budget`). Advisory — a
     /// no-op on arena trees and when readahead is off, and logical I/O
     /// counters never move.
-    fn prefetch_intersecting(&self, branches: &[crate::node::Branch], rect: &Rect) {
-        let readahead = self.readahead();
-        if readahead == 0 {
+    fn prefetch_masked(&self, branches: &[Branch], mask: &[bool], budget: &mut usize) {
+        if *budget == 0 {
             return;
         }
         let mut pages: Vec<u32> = branches
             .iter()
-            .filter(|b| b.mbr.intersects(rect))
-            .take(readahead)
-            .map(|b| b.child.0)
+            .zip(mask)
+            .filter(|(_, &hit)| hit)
+            .take(*budget)
+            .map(|(b, _)| b.child.0)
             .collect();
-        self.prefetch_pages(&mut pages);
+        *budget -= pages.len();
+        if !pages.is_empty() {
+            self.prefetch_pages(&mut pages);
+        }
     }
 
     /// Counts the entries inside `rect` without materializing them.
@@ -142,12 +175,20 @@ impl RStarTree {
                 .filter(|e| rect.contains_point(&e.point))
                 .count()),
             NodeKind::Internal(branches) => {
-                self.prefetch_intersecting(branches, rect);
+                let mut budget = self.readahead();
+                let mut mask = [false; MASK_CHUNK];
                 let mut total = 0;
-                for b in branches {
-                    if b.mbr.intersects(rect) {
-                        total += self.window_count_under(b.child, rect)?;
+                let mut base = 0;
+                while base < branches.len() {
+                    let len = MASK_CHUNK.min(branches.len() - base);
+                    fill_intersect_mask(&node, branches, base, rect, &mut mask[..len]);
+                    self.prefetch_masked(&branches[base..base + len], &mask[..len], &mut budget);
+                    for (i, b) in branches[base..base + len].iter().enumerate() {
+                        if mask[i] {
+                            total += self.window_count_under(b.child, rect)?;
+                        }
                     }
+                    base += len;
                 }
                 Ok(total)
             }

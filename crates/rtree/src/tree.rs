@@ -4,6 +4,7 @@ use crate::node::{Node, NodeKind};
 use crate::{Entry, IoStats, NodeId, TreeParams};
 use nwc_geom::{Point, Rect};
 use std::ops::Deref;
+use std::sync::Arc;
 
 /// An error from an [`RStarTree`] operation that could not proceed: a
 /// mutation of a read-only tree, or a disk-backed read that failed.
@@ -106,7 +107,10 @@ pub struct RStarTree {
     pub(crate) root: NodeId,
     pub(crate) len: usize,
     pub(crate) params: TreeParams,
-    pub(crate) stats: IoStats,
+    /// Shared (`Arc`) so overlapped-readahead completions can keep
+    /// tallying into the same counters after the submitting call
+    /// returned; everything else reaches it through `&`.
+    pub(crate) stats: Arc<IoStats>,
     /// `Some` for a disk-backed tree (see [`crate::disk`]): the arena is
     /// empty, node ids are page ids, node accesses fault pages in
     /// through the buffer pool, and the tree is read-only.
@@ -123,7 +127,7 @@ impl RStarTree {
             root: NodeId(0),
             len: 0,
             params,
-            stats: IoStats::new(),
+            stats: Arc::new(IoStats::new()),
             storage: None,
         };
         tree.root = tree.alloc(Node::new_leaf());

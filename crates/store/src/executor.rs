@@ -1,0 +1,374 @@
+//! A std-only completion thread pool for overlapped page reads.
+//!
+//! The readahead pipeline coalesces prefetch candidates into contiguous
+//! runs, but until now it issued those runs synchronously on the
+//! descending thread — the query stalled for the device even though the
+//! read was advisory. [`IoExecutor`] moves the physical read off the
+//! query thread: the tree submits a run plus a completion closure and
+//! keeps descending/decoding while a worker blocks on the device; the
+//! completion lands the pages in the buffer pool exactly like a
+//! synchronous prefetch would.
+//!
+//! [`InflightTable`] is the companion dedupe structure: a registry of
+//! page ids whose reads are currently in flight. Submitting a page that
+//! is already in flight is refused (no duplicate physical read), and a
+//! demand fault on an in-flight page can wait for the pending
+//! completion instead of re-reading the page itself.
+//!
+//! Both types are plain `std` (`Mutex` + `Condvar`); no async runtime,
+//! no new dependencies. Poisoned locks are recovered with
+//! [`PoisonError::into_inner`] like everywhere else in the workspace —
+//! all guarded state stays consistent under panic because every
+//! critical section only moves values in or out of collections.
+
+use crate::error::StoreError;
+use crate::store::PageStore;
+use crate::PAGE_SIZE;
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A queued unit of work: the boxed closure a worker runs to completion.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion callback of [`IoExecutor::submit_read_run`]: receives the
+/// read bytes (whole pages, in run order) or the first error, plus the
+/// wall-clock time the physical read spent on the worker — the
+/// device-overlap window the query thread did *not* wait for.
+pub type ReadRunCompletion =
+    Box<dyn FnOnce(Result<Vec<u8>, StoreError>, Duration) + Send + 'static>;
+
+struct ExecutorShared {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signals workers that the queue is non-empty (or shutting down).
+    work: Condvar,
+    /// Signals waiters that `in_flight` may have reached zero.
+    idle: Condvar,
+    /// Jobs queued or running. Guarded by `queue`'s mutex for the
+    /// condvar handshake in [`IoExecutor::wait_idle`].
+    in_flight: AtomicUsize,
+    /// Set under the queue lock at shutdown.
+    shutdown: Mutex<bool>,
+}
+
+/// A fixed-size worker pool that runs submitted I/O jobs to completion.
+///
+/// Dropping the executor drains the queue (every submitted job still
+/// runs), then joins the workers — so a completion closure can rely on
+/// running exactly once, and callers can rely on no completion firing
+/// after the executor is gone.
+pub struct IoExecutor {
+    shared: Arc<ExecutorShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl IoExecutor {
+    /// A pool of `threads` workers (`threads` ≥ 1). If the OS refuses a
+    /// thread (resource exhaustion), the pool keeps whatever workers it
+    /// got; with zero workers it degrades to running jobs inline at
+    /// submit time — synchronous, but still correct, since overlapping
+    /// is an optimization and never a requirement.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(ExecutorShared {
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            in_flight: AtomicUsize::new(0),
+            shutdown: Mutex::new(false),
+        });
+        let workers = (0..threads)
+            .map_while(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("nwc-io-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .ok()
+            })
+            .collect();
+        IoExecutor { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs queued or currently running.
+    pub fn pending(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Enqueues an arbitrary job. Never blocks on the device — only on
+    /// the (short) queue lock.
+    pub fn submit(&self, job: Job) {
+        // Degraded pool (no worker thread could be spawned): run the
+        // job inline so nothing queued is ever lost or left pending.
+        if self.workers.is_empty() {
+            job();
+            return;
+        }
+        let mut queue = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        queue.push_back(job);
+        drop(queue);
+        self.shared.work.notify_one();
+    }
+
+    /// Submits a coalesced read of `pages` whole pages starting at page
+    /// `first`: a worker allocates the buffer, times
+    /// [`PageStore::read_run_uncounted`], and hands the result to
+    /// `complete`. The submitting thread returns immediately.
+    pub fn submit_read_run(
+        &self,
+        store: Arc<dyn PageStore>,
+        first: u32,
+        pages: usize,
+        complete: ReadRunCompletion,
+    ) {
+        self.submit(Box::new(move || {
+            let mut buf = vec![0u8; pages * PAGE_SIZE];
+            let started = Instant::now();
+            let result = store.read_run_uncounted(first, &mut buf).map(|()| buf);
+            complete(result, started.elapsed());
+        }));
+    }
+
+    /// Blocks until every job submitted so far has completed. Used by
+    /// reset/teardown paths that need the pool and counters quiescent
+    /// before touching them.
+    pub fn wait_idle(&self) {
+        let mut queue = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while self.shared.in_flight.load(Ordering::Acquire) > 0 {
+            queue = self
+                .shared
+                .idle
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl Drop for IoExecutor {
+    fn drop(&mut self) {
+        {
+            let mut down = self
+                .shared
+                .shutdown
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            *down = true;
+        }
+        self.shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &ExecutorShared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if *shared
+                    .shutdown
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                {
+                    return;
+                }
+                queue = shared
+                    .work
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        job();
+        // Balance the submit-side increment; wake idle waiters when the
+        // last job lands. The lock round-trip makes the decrement and
+        // the notify atomic with respect to `wait_idle`'s check.
+        let queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        let left = shared.in_flight.fetch_sub(1, Ordering::AcqRel) - 1;
+        drop(queue);
+        if left == 0 {
+            shared.idle.notify_all();
+        }
+    }
+}
+
+/// A registry of page ids with physical reads currently in flight.
+///
+/// Two guarantees follow from funneling all overlapped reads through
+/// one table:
+///
+/// - **Dedupe:** [`InflightTable::begin`] admits a page id at most once
+///   at a time, so concurrent readahead for the same page issues one
+///   physical read, not several.
+/// - **Wait-not-reread:** a demand fault can call
+///   [`InflightTable::wait_done`] to block until the pending read
+///   completes and its bytes are in the pool, instead of issuing a
+///   second read for the same page.
+#[derive(Default)]
+pub struct InflightTable {
+    pages: Mutex<HashSet<u32>>,
+    done: Condvar,
+}
+
+impl InflightTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `page` as in flight. Returns `false` (and registers
+    /// nothing) if a read for the page is already pending — the caller
+    /// must then skip its own read.
+    pub fn begin(&self, page: u32) -> bool {
+        self.pages
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(page)
+    }
+
+    /// Marks `page`'s read complete and wakes every waiter. Call only
+    /// after the page's bytes are visible to waiters (e.g. admitted to
+    /// the buffer pool) — waiters re-check the pool, not this table.
+    pub fn complete(&self, page: u32) {
+        let mut pages = self.pages.lock().unwrap_or_else(PoisonError::into_inner);
+        pages.remove(&page);
+        drop(pages);
+        self.done.notify_all();
+    }
+
+    /// If `page` has a read in flight, blocks until it completes and
+    /// returns `true`; otherwise returns `false` immediately.
+    pub fn wait_done(&self, page: u32) -> bool {
+        let mut pages = self.pages.lock().unwrap_or_else(PoisonError::into_inner);
+        if !pages.contains(&page) {
+            return false;
+        }
+        while pages.contains(&page) {
+            pages = self
+                .done
+                .wait(pages)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        true
+    }
+
+    /// Number of reads currently in flight (diagnostics / tests).
+    pub fn len(&self) -> usize {
+        self.pages
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether no read is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn jobs_run_and_wait_idle_blocks_until_done() {
+        let ex = IoExecutor::new(2);
+        let hits = Arc::new(AtomicU32::new(0));
+        for _ in 0..32 {
+            let hits = Arc::clone(&hits);
+            ex.submit(Box::new(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        ex.wait_idle();
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+        assert_eq!(ex.pending(), 0);
+    }
+
+    #[test]
+    fn drop_drains_the_queue() {
+        let hits = Arc::new(AtomicU32::new(0));
+        {
+            let ex = IoExecutor::new(1);
+            for _ in 0..16 {
+                let hits = Arc::clone(&hits);
+                ex.submit(Box::new(move || {
+                    std::thread::sleep(Duration::from_micros(50));
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 16, "drop must drain");
+    }
+
+    #[test]
+    fn read_run_completion_gets_page_bytes() {
+        let pages: Vec<[u8; PAGE_SIZE]> = (0..4u8)
+            .map(|p| {
+                let mut page = [0u8; PAGE_SIZE];
+                page[0] = p + 10;
+                page
+            })
+            .collect();
+        let store: Arc<dyn PageStore> =
+            Arc::new(MemStore::new(pages, 0, [0; 4]).expect("valid store"));
+        let ex = IoExecutor::new(1);
+        let got: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&got);
+        ex.submit_read_run(
+            store,
+            1,
+            2,
+            Box::new(move |res, elapsed| {
+                assert!(elapsed <= Duration::from_secs(5));
+                *sink.lock().unwrap() = res.expect("read ok");
+            }),
+        );
+        ex.wait_idle();
+        let bytes = got.lock().unwrap();
+        assert_eq!(bytes.len(), 2 * PAGE_SIZE);
+        assert_eq!(bytes[0], 11, "page 1 first");
+        assert_eq!(bytes[PAGE_SIZE], 12, "then page 2");
+    }
+
+    #[test]
+    fn inflight_dedupes_and_wakes_waiters() {
+        let t = Arc::new(InflightTable::new());
+        assert!(t.begin(7));
+        assert!(!t.begin(7), "second begin must be refused");
+        assert!(t.begin(8));
+        assert_eq!(t.len(), 2);
+
+        let waiter = {
+            let t = Arc::clone(&t);
+            std::thread::spawn(move || t.wait_done(7))
+        };
+        // Give the waiter time to block, then complete.
+        std::thread::sleep(Duration::from_millis(10));
+        t.complete(7);
+        assert!(waiter.join().unwrap(), "waiter saw an in-flight read");
+        assert!(!t.wait_done(7), "completed page returns immediately");
+        t.complete(8);
+        assert!(t.is_empty());
+    }
+}

@@ -33,6 +33,7 @@
 
 mod checksum;
 mod error;
+mod executor;
 mod fault;
 mod pool;
 mod retry;
@@ -44,6 +45,7 @@ pub const PAGE_SIZE: usize = 4096;
 
 pub use checksum::crc32;
 pub use error::StoreError;
+pub use executor::{InflightTable, IoExecutor, ReadRunCompletion};
 pub use fault::{FaultPlan, FaultStats, FaultStore};
 pub use pool::{Access, BufferPool, PoolStats};
 pub use retry::RetryPolicy;

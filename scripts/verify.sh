@@ -22,10 +22,13 @@ cargo clippy --workspace -- -D warnings
 # The disk query read path must stay panic-free: every failure routes
 # through TreeError::Io / QueryError::Io (tests below the #[cfg(test)]
 # marker are exempt; the infallible wrappers in tree.rs are the one
-# deliberate panic site and are not query-read-path code).
+# deliberate panic site and are not query-read-path code). The I/O
+# executor is held to the same bar: its completion threads must never
+# unwind (a panicking worker would strand in-flight pages forever).
 step "lint: no panic paths in the disk query read path"
 for f in crates/rtree/src/disk.rs crates/rtree/src/browser.rs \
-         crates/rtree/src/query.rs crates/rtree/src/iwp.rs; do
+         crates/rtree/src/query.rs crates/rtree/src/iwp.rs \
+         crates/store/src/executor.rs; do
   if sed '/#\[cfg(test)\]/,$d' "$f" | grep -nE 'panic!|unwrap\(\)|\.expect\(|unreachable!'; then
     echo "error: panic-capable call in non-test section of $f" >&2
     exit 1
@@ -63,11 +66,24 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
   cargo test -q --release --test chaos
   echo "ok: transient faults invisible, permanent faults typed and recoverable"
 
+  step "smoke: chaos under the overlapped I/O backend (io_threads > 0)"
+  cargo test -q --release --test chaos overlapped_io
+  cargo test -q --release --test disk_equivalence overlapped_io
+  echo "ok: overlapped readahead bit-identical under faults and fault-free"
+
   step "smoke: fault-injection sweep (tiny scale)"
   NWC_SCALE=0.02 NWC_QUERIES=3 cargo run --release -p nwc-bench -- faults
   test -s results/BENCH_faults.json
   grep -q '"prefetch_errors"' results/BENCH_faults.json
   echo "ok: results/BENCH_faults.json written (with retry/readahead-error counters)"
+
+  step "smoke: kernel + overlapped-I/O sweep (tiny scale)"
+  cargo test -q --release --test kernel_equivalence
+  NWC_SCALE=0.02 NWC_QUERIES=3 cargo run --release -p nwc-bench -- kernels
+  test -s results/BENCH_kernels.json
+  grep -q '"backend"' results/BENCH_kernels.json
+  grep -q '"overlap_us"' results/BENCH_kernels.json
+  echo "ok: results/BENCH_kernels.json written (backend + overlap counters)"
 fi
 
 step "verify: all checks passed"

@@ -168,6 +168,125 @@ fn transient_faults_keep_every_scheme_bit_identical_to_arena() {
 }
 
 #[test]
+fn overlapped_io_stays_bit_identical_under_transient_faults() {
+    // Same contract as the sync chaos test, but with readahead running
+    // on completion threads: mid-descent transient faults on the demand
+    // path retry as before, failed readahead runs are swallowed and
+    // tallied (never retried), and answers plus logical I/O stay
+    // bit-identical to the arena at 1 and 4 I/O threads.
+    let arena = NwcIndex::build(chaos_points(4_000));
+    let queries = chaos_queries();
+    for io_threads in [1usize, 4] {
+        let (disk, fault) = fault_backed(
+            &arena,
+            &format!("overlap{io_threads}"),
+            DiskIndexConfig {
+                pool_capacity: Some(64),
+                pool_shards: Some(2),
+                prefetch: 8,
+                io_threads,
+                retry: fast_retry(12),
+                ..DiskIndexConfig::default()
+            },
+        );
+        fault.set_plan(FaultPlan {
+            transient_rate: 0.02,
+            transient_burst: 2,
+            seed: 0xDEC0_DE5E,
+            ..FaultPlan::default()
+        });
+
+        for &scheme in Scheme::TABLE3.iter() {
+            for (qi, q) in queries.iter().enumerate() {
+                let (want, ws) = arena.nwc_full(q, scheme);
+                let (got, gs) = disk.try_nwc_full(q, scheme).unwrap_or_else(|e| {
+                    panic!("io{io_threads}/{scheme} q{qi}: transient fault leaked: {e}")
+                });
+                match (&want, &got) {
+                    (None, None) => {}
+                    (Some(a), Some(d)) => {
+                        assert_eq!(a.ids(), d.ids(), "io{io_threads}/{scheme} q{qi}");
+                        assert_eq!(a.distance, d.distance, "io{io_threads}/{scheme} q{qi}");
+                    }
+                    _ => panic!("io{io_threads}/{scheme} q{qi}: one mode found a result, one did not"),
+                }
+                assert_eq!(
+                    SearchStats { buffer_hits: 0, retries: 0, transient_errors: 0, ..gs },
+                    ws,
+                    "io{io_threads}/{scheme} q{qi}: logical I/O diverged"
+                );
+            }
+        }
+
+        // 4-thread engine on top of the overlapped backend: workers and
+        // completion threads share the pool; every slot still Ok.
+        let engine = QueryEngine::new(&disk).with_threads(4);
+        let batch = engine.try_nwc_batch(&queries, Scheme::NWC_STAR);
+        for (qi, (q, slot)) in queries.iter().zip(&batch).enumerate() {
+            let (got, _) = slot.as_ref().unwrap_or_else(|e| {
+                panic!("io{io_threads}/engine q{qi}: transient fault leaked: {e}")
+            });
+            let (want, _) = arena.nwc_full(q, Scheme::NWC_STAR);
+            assert_eq!(
+                want.map(|r| r.ids()),
+                got.as_ref().map(|r| r.ids()),
+                "io{io_threads}/engine q{qi}"
+            );
+        }
+
+        let storage = disk.tree().storage().expect("disk-backed");
+        storage.wait_io_idle();
+        assert_eq!(storage.pool_stats().pinned, 0, "io{io_threads}: leaked a pin");
+        assert!(
+            storage.quarantine().is_empty(),
+            "io{io_threads}: transient faults must never quarantine"
+        );
+        assert!(fault.stats().transient > 0, "io{io_threads}: the store never injected");
+    }
+}
+
+#[test]
+fn overlapped_io_preserves_quarantine_on_permanent_faults() {
+    // A permanently dead leaf under the overlapped backend: typed error,
+    // quarantined once, no pins leaked by either the query threads or
+    // the completion threads, and recovery after clearing the fault.
+    let arena = NwcIndex::build(chaos_points(3_000));
+    let (disk, fault) = fault_backed(
+        &arena,
+        "overlap-perm",
+        DiskIndexConfig {
+            pool_capacity: Some(64),
+            prefetch: 8,
+            io_threads: 2,
+            retry: fast_retry(3),
+            ..DiskIndexConfig::default()
+        },
+    );
+    let near = Point::new(700.0, 700.0);
+    let dead_leaf = leaf_page_near(&disk, near);
+    fault.fail_page_permanently(dead_leaf);
+
+    let q = NwcQuery::new(near, WindowSpec::square(300.0), 3);
+    match disk.try_nwc(&q, Scheme::NWC_STAR) {
+        Err(QueryError::Io(e)) => assert_eq!(e.page, dead_leaf),
+        other => panic!("expected Io error, got {other:?}"),
+    }
+    let storage = disk.tree().storage().expect("disk-backed");
+    storage.wait_io_idle();
+    let quarantined = storage.quarantine();
+    assert_eq!(quarantined.len(), 1);
+    assert_eq!(quarantined[0].0, dead_leaf);
+    assert_eq!(storage.pool_stats().pinned, 0, "error path leaked a pin");
+
+    fault.clear_faults();
+    storage.reset();
+    disk.tree().stats().reset();
+    let want = arena.nwc(&q, Scheme::NWC_STAR);
+    let got = disk.try_nwc(&q, Scheme::NWC_STAR).expect("healthy again");
+    assert_eq!(want.map(|r| r.ids()), got.map(|r| r.ids()), "after recovery");
+}
+
+#[test]
 fn permanent_fault_returns_typed_errors_and_leaves_the_index_usable() {
     let arena = NwcIndex::build(chaos_points(3_000));
     let (disk, fault) = fault_backed(

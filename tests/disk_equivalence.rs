@@ -181,6 +181,72 @@ fn clustered_layout_and_readahead_keep_answers_and_logical_io_bit_identical() {
 }
 
 #[test]
+fn overlapped_io_keeps_answers_and_logical_io_bit_identical() {
+    // The overlapped backend moves readahead onto completion threads;
+    // nothing about the answers or the logical I/O may change. Run the
+    // full Table-3 sweep at 1 and 4 I/O threads against the arena and a
+    // sync readahead open, on a cold pool each time.
+    let points = seeded_points(1500, 59);
+    let arena = NwcIndex::build(points);
+    let path = temp_pages("overlapped");
+    arena
+        .save_tree_with_layout(&path, PageLayout::Clustered)
+        .expect("save clustered");
+    for io_threads in [1usize, 4] {
+        let disk = NwcIndex::open_disk(
+            &path,
+            DiskIndexConfig {
+                pool_capacity: Some(64),
+                pool_shards: Some(2),
+                prefetch: 16,
+                io_threads,
+                ..DiskIndexConfig::default()
+            },
+        )
+        .expect("open overlapped");
+        let storage = disk.tree().storage().expect("disk-backed");
+        assert_eq!(storage.io_threads(), io_threads);
+        let queries = Dataset::query_points(4, 59);
+        for scheme in Scheme::TABLE3 {
+            for (qi, &q) in queries.iter().enumerate() {
+                let query = NwcQuery::new(q, WindowSpec::square(70.0), 4);
+                let (ra, sa) = arena.nwc_full(&query, scheme);
+                let (rd, sd) = disk.nwc_full(&query, scheme);
+                match (&ra, &rd) {
+                    (None, None) => {}
+                    (Some(a), Some(d)) => {
+                        assert_eq!(a.ids(), d.ids(), "io{io_threads}/{scheme}/q{qi}");
+                        assert_eq!(a.distance, d.distance, "io{io_threads}/{scheme}/q{qi}");
+                    }
+                    _ => panic!("io{io_threads}/{scheme}/q{qi}: one mode found a result, one did not"),
+                }
+                assert_eq!(
+                    SearchStats { buffer_hits: 0, ..sd },
+                    sa,
+                    "io{io_threads}/{scheme}/q{qi}: logical stats diverge"
+                );
+            }
+        }
+        // Quiesce before inspecting counters: the logical decomposition
+        // must hold no matter which thread did the physical reads.
+        storage.wait_io_idle();
+        let io = disk.tree().stats();
+        let pool = storage.pool_stats();
+        assert_eq!(pool.hits, io.buffer_hits(), "io{io_threads}");
+        assert_eq!(pool.misses, io.node_reads(), "io{io_threads}");
+        assert_eq!(storage.physical_reads(), pool.misses, "io{io_threads}");
+        assert_eq!(io.prefetch_hits(), pool.prefetch_hits, "io{io_threads}");
+        assert_eq!(pool.pinned, 0, "io{io_threads}: query path leaked a pin");
+        assert!(
+            io.prefetch_reads() > 0,
+            "io{io_threads}: overlapped readahead never ran"
+        );
+        assert_eq!(io.prefetch_errors(), 0, "io{io_threads}: healthy store");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn disk_knwc_matches_arena() {
     let arena = NwcIndex::build(seeded_points(700, 43));
     let disk = reopen_disk(&arena, "knwc");

@@ -112,7 +112,7 @@ fn concurrent_engine_batches_on_a_shared_disk_tree_stay_consistent() {
     // Decoded-node residency stays bounded: pool capacity plus, at
     // worst, one transient (all-frames-pinned fallback) decode per
     // concurrently descending thread and level.
-    let height = disk.tree().height() as usize;
+    let height = disk.tree().height();
     assert!(
         storage.peak_resident_nodes() <= 48 + 4 * height,
         "peak resident {} far exceeds the pool bound",
