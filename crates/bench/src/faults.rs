@@ -20,8 +20,8 @@ use crate::context::ExperimentContext;
 use crate::runner::build_index;
 use crate::table::Table;
 use nwc_core::{
-    DiskIndexConfig, NwcIndex, NwcQuery, PageLayout, QueryScratch, RetryPolicy, Scheme,
-    SearchStats, WindowSpec,
+    DiskIndexConfig, MetricsSnapshot, NwcIndex, NwcQuery, PageLayout, QueryScratch, RetryPolicy,
+    Scheme, SearchStats, WindowSpec,
 };
 use nwc_store::{FaultPlan, FaultStore, FileStore};
 use std::sync::Arc;
@@ -159,17 +159,22 @@ pub fn measure(ctx: &ExperimentContext) -> FaultsReport {
                     acc.accumulate(&stats);
                 }
                 let elapsed = start.elapsed();
-                let io = index.tree().stats();
+                // One unified capture instead of plucking fields off
+                // IoStats / PoolStats / FaultStats by hand.
+                let snap = MetricsSnapshot::capture(&index)
+                    .with_search(acc)
+                    .with_faults(fault.stats());
+                let pool = snap.pool.expect("disk-backed index has a pool");
                 points.push(FaultsPoint {
                     latency_us: latency.map_or(0, |d| d.as_micros() as u64),
                     rate,
                     scheme: scheme.to_string(),
-                    retries: io.retries(),
-                    transient_errors: io.transient_errors(),
-                    injected: fault.stats().transient - injected0,
-                    prefetch_errors: io.prefetch_errors(),
-                    physical_reads: storage.pool_stats().misses,
-                    avg_io: acc.io_total as f64 / query_points.len() as f64,
+                    retries: snap.io.retries,
+                    transient_errors: snap.io.transient_errors,
+                    injected: snap.faults.map_or(0, |f| f.transient) - injected0,
+                    prefetch_errors: snap.io.prefetch_errors,
+                    physical_reads: pool.misses,
+                    avg_io: snap.search.io_total as f64 / query_points.len() as f64,
                     avg_latency_us: elapsed.as_secs_f64() * 1e6 / query_points.len() as f64,
                 });
             }

@@ -17,6 +17,7 @@ pub mod faults;
 pub mod figures;
 pub mod kernels;
 pub mod runner;
+pub mod serve;
 pub mod table;
 pub mod throughput;
 

@@ -7,7 +7,7 @@
 //!
 //! EXPERIMENT: all (default) | table2 | table3 | fig8 | fig9 | fig10 |
 //!             fig11 | fig12 | fig13 | fig14 | storage | model |
-//!             ablations | throughput | buffer | faults | kernels
+//!             ablations | throughput | buffer | faults | kernels | serve
 //!
 //! Environment:
 //!   NWC_SCALE    fraction of the paper's dataset cardinalities (0.2)
@@ -19,7 +19,7 @@
 //! `cargo run --release -p nwc-bench > EXPERIMENTS-run.md` captures a
 //! full report.
 
-use nwc_bench::{buffer, faults, figures, kernels, throughput, ExperimentContext};
+use nwc_bench::{buffer, faults, figures, kernels, serve, throughput, ExperimentContext};
 
 fn main() {
     let ctx = ExperimentContext::from_env();
@@ -86,6 +86,9 @@ fn main() {
     }
     if want("kernels") {
         println!("{}", kernels::kernels(&ctx));
+    }
+    if want("serve") {
+        println!("{}", serve::serve(&ctx));
     }
     if want("ablations") {
         println!("{}", figures::ablation_measures(&ctx));

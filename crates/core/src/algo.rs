@@ -18,7 +18,7 @@ use nwc_geom::window::{
     extended_mbr, node_window_lower_bound, reduced_search_region, search_region,
 };
 use nwc_geom::{Quadrant, Rect};
-use nwc_rtree::{BrowseItem, Entry};
+use nwc_rtree::{BrowseItem, CancelKind, CancelToken, Entry};
 
 impl NwcIndex {
     /// Answers `NWC(q, l, w, n)` under the given optimization scheme.
@@ -109,11 +109,29 @@ impl NwcIndex {
         scheme: Scheme,
         scratch: &mut QueryScratch,
     ) -> Result<(Option<NwcResult>, SearchStats), QueryError> {
+        self.try_nwc_full_cancel(query, scheme, scratch, &CancelToken::none())
+    }
+
+    /// As [`NwcIndex::try_nwc_full_with`], additionally observing a
+    /// cooperative [`CancelToken`]. Once the token fires the search
+    /// stops at its next cancellation point (a node expansion or a
+    /// window query — so cancellation latency is bounded by one node
+    /// access plus one window query) and returns
+    /// [`QueryError::Deadline`] or [`QueryError::Cancelled`]. The index
+    /// and the calling thread remain fully usable afterwards: every
+    /// page pin is released and the scratch buffers are intact.
+    pub fn try_nwc_full_cancel(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+        scratch: &mut QueryScratch,
+        cancel: &CancelToken,
+    ) -> Result<(Option<NwcResult>, SearchStats), QueryError> {
         let mut sink = BestSink {
             dist_best: f64::INFINITY,
             best: None,
         };
-        let stats = self.try_run_search_with(query, scheme, &mut sink, scratch)?;
+        let stats = self.try_run_search_cancel(query, scheme, &mut sink, scratch, cancel)?;
         let result = sink.best.map(|(objects, window)| NwcResult {
             objects,
             distance: sink.dist_best,
@@ -163,6 +181,21 @@ impl NwcIndex {
         sink: &mut S,
         scratch: &mut QueryScratch,
     ) -> Result<SearchStats, QueryError> {
+        self.try_run_search_cancel(query, scheme, sink, scratch, &CancelToken::none())
+    }
+
+    /// [`NwcIndex::try_run_search_with`] plus a cooperative
+    /// [`CancelToken`]: checked by the [`Browser`](nwc_rtree::Browser)
+    /// before every node expansion and by this loop before every window
+    /// query, the two I/O-bearing steps of the search.
+    pub(crate) fn try_run_search_cancel<S: GroupSink>(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+        sink: &mut S,
+        scratch: &mut QueryScratch,
+        cancel: &CancelToken,
+    ) -> Result<SearchStats, QueryError> {
         let grid = if scheme.needs_grid() {
             Some(self.grid().unwrap_or_else(|| {
                 panic!("scheme {scheme} needs the density grid; build the index with one")
@@ -188,6 +221,9 @@ impl NwcIndex {
         let n = query.n;
 
         let mut browser = tree.browse_with(q, &mut scratch.browser);
+        if cancel.is_armed() {
+            browser.set_cancel(cancel.clone());
+        }
         let neighbors = &mut scratch.neighbors;
         while let Some(item) = browser.next() {
             match item {
@@ -226,6 +262,12 @@ impl NwcIndex {
                             stats.skipped_by_dep += 1;
                             continue;
                         }
+                    }
+                    if let Some(kind) = cancel.cancelled() {
+                        return Err(match kind {
+                            CancelKind::Deadline => QueryError::Deadline,
+                            CancelKind::Stopped => QueryError::Cancelled,
+                        });
                     }
                     stats.window_queries += 1;
                     neighbors.clear();

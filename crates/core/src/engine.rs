@@ -39,8 +39,17 @@ use crate::query::{KnwcQuery, NwcQuery, QueryError};
 use crate::result::{NwcResult, SearchStats};
 use crate::scheme::Scheme;
 use crate::scratch::QueryScratch;
+use nwc_rtree::{CancelKind, CancelToken};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
+
+/// Maps a fired token to the per-query error a batch slot reports.
+fn cancel_error(kind: CancelKind) -> QueryError {
+    match kind {
+        CancelKind::Deadline => QueryError::Deadline,
+        CancelKind::Stopped => QueryError::Cancelled,
+    }
+}
 
 /// Answers batches of NWC/kNWC queries over one shared index with a
 /// pool of scoped worker threads. See the module docs.
@@ -125,6 +134,42 @@ impl<'i> QueryEngine<'i> {
         let index = self.index;
         self.run_batch(queries, move |q, scratch| {
             index.try_knwc_with(q, scheme, scratch)
+        })
+    }
+
+    /// As [`QueryEngine::try_nwc_batch`], additionally observing a
+    /// cooperative [`CancelToken`]. Once the token fires, in-flight
+    /// queries stop at their next cancellation point and every
+    /// not-yet-started query is skipped outright, so a shed or
+    /// disconnected request stops consuming worker time mid-batch.
+    /// Affected slots hold [`QueryError::Deadline`] /
+    /// [`QueryError::Cancelled`]; slots finished before the token fired
+    /// keep their answers. The workers and the index stay fully usable.
+    pub fn try_nwc_batch_cancel(
+        &self,
+        queries: &[NwcQuery],
+        scheme: Scheme,
+        cancel: &CancelToken,
+    ) -> Vec<Result<(Option<NwcResult>, SearchStats), QueryError>> {
+        let index = self.index;
+        self.run_batch(queries, move |q, scratch| match cancel.cancelled() {
+            Some(kind) => Err(cancel_error(kind)),
+            None => index.try_nwc_full_cancel(q, scheme, scratch, cancel),
+        })
+    }
+
+    /// As [`QueryEngine::try_knwc_batch`] with the cancellation contract
+    /// of [`QueryEngine::try_nwc_batch_cancel`].
+    pub fn try_knwc_batch_cancel(
+        &self,
+        queries: &[KnwcQuery],
+        scheme: Scheme,
+        cancel: &CancelToken,
+    ) -> Vec<Result<KnwcResult, QueryError>> {
+        let index = self.index;
+        self.run_batch(queries, move |q, scratch| match cancel.cancelled() {
+            Some(kind) => Err(cancel_error(kind)),
+            None => index.try_knwc_cancel(q, scheme, scratch, cancel),
         })
     }
 

@@ -184,6 +184,13 @@ impl From<TreeError> for IndexUpdateError {
         match e {
             TreeError::ReadOnly => IndexUpdateError::ReadOnly,
             TreeError::Io(e) => IndexUpdateError::Io(e),
+            // Updates never arm a cancellation token; keep the
+            // conversion total by reporting the cancellation as a
+            // page-less read failure rather than panicking.
+            TreeError::Cancelled(kind) => IndexUpdateError::Io(nwc_rtree::DiskReadError {
+                page: u32::MAX,
+                detail: kind.to_string(),
+            }),
         }
     }
 }

@@ -96,7 +96,13 @@ impl NwcIndex {
         query: &KnwcQuery,
         scheme: crate::Scheme,
     ) -> Result<KnwcResult, crate::QueryError> {
-        self.try_knwc_impl(query, scheme, true, &mut QueryScratch::default())
+        self.try_knwc_impl(
+            query,
+            scheme,
+            true,
+            &mut QueryScratch::default(),
+            &nwc_rtree::CancelToken::none(),
+        )
     }
 
     /// As [`NwcIndex::try_knwc`] with scratch reuse.
@@ -106,7 +112,20 @@ impl NwcIndex {
         scheme: crate::Scheme,
         scratch: &mut QueryScratch,
     ) -> Result<KnwcResult, crate::QueryError> {
-        self.try_knwc_impl(query, scheme, true, scratch)
+        self.try_knwc_impl(query, scheme, true, scratch, &nwc_rtree::CancelToken::none())
+    }
+
+    /// As [`NwcIndex::try_knwc_with`], additionally observing a
+    /// cooperative [`CancelToken`](nwc_rtree::CancelToken) — see
+    /// [`NwcIndex::try_nwc_full_cancel`] for the cancellation contract.
+    pub fn try_knwc_cancel(
+        &self,
+        query: &KnwcQuery,
+        scheme: crate::Scheme,
+        scratch: &mut QueryScratch,
+        cancel: &nwc_rtree::CancelToken,
+    ) -> Result<KnwcResult, crate::QueryError> {
+        self.try_knwc_impl(query, scheme, true, scratch, cancel)
     }
 
     /// As [`NwcIndex::knwc`] but with distance pruning disabled: every
@@ -153,7 +172,7 @@ impl NwcIndex {
         prune: bool,
         scratch: &mut QueryScratch,
     ) -> KnwcResult {
-        match self.try_knwc_impl(query, scheme, prune, scratch) {
+        match self.try_knwc_impl(query, scheme, prune, scratch, &nwc_rtree::CancelToken::none()) {
             Ok(r) => r,
             Err(e) => crate::algo::unrecoverable(e),
         }
@@ -165,6 +184,7 @@ impl NwcIndex {
         scheme: crate::Scheme,
         prune: bool,
         scratch: &mut QueryScratch,
+        cancel: &nwc_rtree::CancelToken,
     ) -> Result<KnwcResult, crate::QueryError> {
         // The sink borrows the scratch's id buffer for its set-identity
         // checks; the traversal buffers stay with the scratch. Returned
@@ -177,7 +197,7 @@ impl NwcIndex {
             selected: Vec::new(),
             idbuf: std::mem::take(&mut scratch.ids),
         };
-        let searched = self.try_run_search_with(&query.base, scheme, &mut sink, scratch);
+        let searched = self.try_run_search_cancel(&query.base, scheme, &mut sink, scratch, cancel);
         // Failed or not, the id buffer goes back to the scratch so its
         // capacity survives into the next query.
         sink.idbuf.clear();

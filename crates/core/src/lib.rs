@@ -53,6 +53,7 @@ mod index;
 mod knwc;
 pub mod maxrs;
 mod measure;
+pub mod metrics;
 pub mod oracle;
 mod query;
 mod result;
@@ -64,6 +65,7 @@ pub use engine::QueryEngine;
 pub use index::{DiskIndexConfig, IndexConfig, IndexOpenError, IndexUpdateError, NwcIndex};
 pub use knwc::{KnwcGroup, KnwcResult};
 pub use measure::DistanceMeasure;
+pub use metrics::MetricsSnapshot;
 pub use query::{KnwcQuery, NwcQuery, QueryError};
 pub use result::{NwcResult, SearchStats};
 pub use scheme::Scheme;
@@ -71,4 +73,7 @@ pub use scratch::QueryScratch;
 
 // Re-export the vocabulary types callers need to use the API.
 pub use nwc_geom::{window::WindowSpec, Point, Rect};
-pub use nwc_rtree::{DiskError, DiskReadError, Entry, ObjectId, PageLayout, PageStore, RetryPolicy};
+pub use nwc_rtree::{
+    CancelFlag, CancelKind, CancelToken, DiskError, DiskReadError, Entry, ObjectId, PageLayout,
+    PageStore, RetryPolicy,
+};

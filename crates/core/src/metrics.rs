@@ -1,0 +1,282 @@
+//! One unified observability snapshot over every stats surface.
+//!
+//! The stack already counts everything the paper (and a server) needs —
+//! per-query [`SearchStats`], the tree's [`IoStats`](nwc_rtree::IoStats),
+//! the buffer pool's [`PoolStats`], the injector's [`FaultStats`] — but
+//! each experiment used to pluck fields out of each surface by hand.
+//! [`MetricsSnapshot`] folds all of them into one plain-data struct with
+//! a **stable text serialization** (`name value` lines, fixed order) and
+//! a matching JSON object, shared by the `nwc-serve` stats endpoint and
+//! the experiment JSON writers.
+//!
+//! Everything here is a point-in-time copy: capturing never locks more
+//! than the pool's own stats path and never perturbs the counters.
+
+use crate::index::NwcIndex;
+use crate::result::SearchStats;
+use nwc_store::{FaultStats, PoolStats};
+
+/// Point-in-time copy of the tree/storage I/O counters (logical and
+/// physical sides). On an arena-backed index the storage-level gauges
+/// (`physical_reads`, `io_errors`, `prefetch_batches`,
+/// `peak_resident_nodes`) are zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoCounters {
+    /// Logical node accesses (physical reads + buffer hits) — the
+    /// paper's "nodes visited" metric.
+    pub accesses: u64,
+    /// Physical node reads (pool misses that hit the store; every
+    /// access on an arena tree).
+    pub node_reads: u64,
+    /// Accesses served by the buffer pool without physical I/O.
+    pub buffer_hits: u64,
+    /// Speculative pages read by readahead (outside `accesses`).
+    pub prefetch_reads: u64,
+    /// Demand accesses served from readahead-admitted pages.
+    pub prefetch_hits: u64,
+    /// Readahead batches that failed and were swallowed.
+    pub prefetch_errors: u64,
+    /// Readahead batches issued by the storage layer.
+    pub prefetch_batches: u64,
+    /// Demand faults that waited on an in-flight overlapped read.
+    pub inflight_hits: u64,
+    /// Microseconds of device time overlapped with query work.
+    pub overlap_us: u64,
+    /// Re-attempted page reads.
+    pub retries: u64,
+    /// Failed-then-recovered read attempts.
+    pub transient_errors: u64,
+    /// Pages quarantined after exhausting their retry budget.
+    pub quarantined_pages: u64,
+    /// Store-level physical page reads (demand + readahead).
+    pub physical_reads: u64,
+    /// Page reads that surfaced a hard error to a query.
+    pub io_errors: u64,
+    /// High-water mark of resident decoded nodes.
+    pub peak_resident_nodes: u64,
+}
+
+/// Every stats surface of the stack in one plain-data struct. See the
+/// module docs. Build one with [`MetricsSnapshot::capture`], fold
+/// accumulated query stats in with [`MetricsSnapshot::with_search`],
+/// attach injector counters with [`MetricsSnapshot::with_faults`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Accumulated per-query search counters (zeroed unless the caller
+    /// folds its own accumulator in via [`MetricsSnapshot::with_search`]
+    /// — the index does not keep per-query history).
+    pub search: SearchStats,
+    /// The tree/storage I/O counters at capture time.
+    pub io: IoCounters,
+    /// Buffer-pool gauges; `None` on an arena-backed index.
+    pub pool: Option<PoolStats>,
+    /// Fault-injection counters; `None` unless the caller queries
+    /// through a `FaultStore` and attaches its stats.
+    pub faults: Option<FaultStats>,
+}
+
+impl MetricsSnapshot {
+    /// Captures the index's I/O and (when disk-backed) pool counters.
+    pub fn capture(index: &NwcIndex) -> Self {
+        let io = index.tree().stats();
+        let mut c = IoCounters {
+            accesses: io.accesses(),
+            node_reads: io.node_reads(),
+            buffer_hits: io.buffer_hits(),
+            prefetch_reads: io.prefetch_reads(),
+            prefetch_hits: io.prefetch_hits(),
+            prefetch_errors: io.prefetch_errors(),
+            inflight_hits: io.inflight_hits(),
+            overlap_us: io.overlap_us(),
+            retries: io.retries(),
+            transient_errors: io.transient_errors(),
+            quarantined_pages: io.quarantined_pages(),
+            ..IoCounters::default()
+        };
+        let pool = index.tree().storage().map(|storage| {
+            c.prefetch_batches = storage.prefetch_batches();
+            c.physical_reads = storage.physical_reads();
+            c.io_errors = storage.io_errors();
+            c.peak_resident_nodes = storage.peak_resident_nodes() as u64;
+            storage.pool_stats()
+        });
+        MetricsSnapshot {
+            search: SearchStats::default(),
+            io: c,
+            pool,
+            faults: None,
+        }
+    }
+
+    /// Returns the snapshot with accumulated query counters folded in.
+    #[must_use]
+    pub fn with_search(mut self, search: SearchStats) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Returns the snapshot with fault-injection counters attached.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultStats) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Visits every metric as a `(name, value)` pair, in the stable
+    /// serialization order. Optional surfaces (pool, faults) are simply
+    /// absent when not captured, never emitted as zeros — a scrape can
+    /// tell "no pool" from "idle pool".
+    pub fn for_each(&self, mut f: impl FnMut(&'static str, u64)) {
+        let s = &self.search;
+        f("search_io_total", s.io_total);
+        f("search_io_traversal", s.io_traversal);
+        f("search_io_window_queries", s.io_window_queries);
+        f("search_buffer_hits", s.buffer_hits);
+        f("search_objects_visited", s.objects_visited);
+        f("search_window_queries", s.window_queries);
+        f("search_skipped_by_srr", s.skipped_by_srr);
+        f("search_skipped_by_dep", s.skipped_by_dep);
+        f("search_nodes_pruned_by_dip", s.nodes_pruned_by_dip);
+        f("search_nodes_pruned_by_dep", s.nodes_pruned_by_dep);
+        f("search_candidate_windows", s.candidate_windows);
+        f("search_qualified_windows", s.qualified_windows);
+        f("search_best_updates", s.best_updates);
+        f("search_retries", s.retries);
+        f("search_transient_errors", s.transient_errors);
+        let io = &self.io;
+        f("io_accesses", io.accesses);
+        f("io_node_reads", io.node_reads);
+        f("io_buffer_hits", io.buffer_hits);
+        f("io_prefetch_reads", io.prefetch_reads);
+        f("io_prefetch_hits", io.prefetch_hits);
+        f("io_prefetch_errors", io.prefetch_errors);
+        f("io_prefetch_batches", io.prefetch_batches);
+        f("io_inflight_hits", io.inflight_hits);
+        f("io_overlap_us", io.overlap_us);
+        f("io_retries", io.retries);
+        f("io_transient_errors", io.transient_errors);
+        f("io_quarantined_pages", io.quarantined_pages);
+        f("io_physical_reads", io.physical_reads);
+        f("io_errors", io.io_errors);
+        f("io_peak_resident_nodes", io.peak_resident_nodes);
+        if let Some(p) = &self.pool {
+            f("pool_hits", p.hits);
+            f("pool_misses", p.misses);
+            f("pool_evictions", p.evictions);
+            f("pool_capacity", pool_gauge(p.capacity));
+            f("pool_resident", p.resident as u64);
+            f("pool_pinned", p.pinned as u64);
+            f("pool_prefetched", p.prefetched);
+            f("pool_prefetch_hits", p.prefetch_hits);
+            f("pool_prefetch_waste", p.prefetch_waste);
+        }
+        if let Some(ft) = &self.faults {
+            f("fault_transient", ft.transient);
+            f("fault_torn", ft.torn);
+            f("fault_permanent", ft.permanent);
+            f("fault_bitrot", ft.bitrot);
+            f("fault_delayed", ft.delayed);
+        }
+    }
+
+    /// The stable text serialization: one `name value` line per metric,
+    /// in [`MetricsSnapshot::for_each`] order. This is what the
+    /// `nwc-serve` stats endpoint returns.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.for_each(|name, value| {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        });
+        out
+    }
+
+    /// The same metrics as one JSON object (hand-rolled — the workspace
+    /// has no serde), `{"name": value, ...}` in the stable order. Used
+    /// by the experiment JSON writers.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        self.for_each(|name, value| {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\": ");
+            out.push_str(&value.to_string());
+        });
+        out.push('}');
+        out
+    }
+}
+
+/// An unbounded pool reports `usize::MAX`; clamp the gauge so the text
+/// form stays readable and platform-independent.
+fn pool_gauge(v: usize) -> u64 {
+    if v == usize::MAX {
+        0
+    } else {
+        v as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwc_geom::pt;
+
+    fn arena_index() -> NwcIndex {
+        let pts: Vec<_> = (0..200)
+            .map(|i| pt(((i * 37) % 211) as f64, ((i * 53) % 197) as f64))
+            .collect();
+        NwcIndex::build(pts)
+    }
+
+    #[test]
+    fn arena_capture_has_no_pool_or_faults() {
+        let idx = arena_index();
+        let query = crate::NwcQuery::new(pt(50.0, 50.0), crate::WindowSpec::square(20.0), 4);
+        let (_, stats) = idx.nwc_full(&query, crate::Scheme::NWC_STAR);
+        let snap = MetricsSnapshot::capture(&idx).with_search(stats);
+        assert!(snap.pool.is_none());
+        assert!(snap.faults.is_none());
+        assert!(snap.io.accesses > 0);
+        assert_eq!(snap.io.buffer_hits, 0, "arena trees have no pool");
+        assert_eq!(snap.search.io_total, stats.io_total);
+        let text = snap.to_text();
+        assert!(text.contains("io_accesses "));
+        assert!(!text.contains("pool_hits"), "absent surface serialized");
+        assert!(!text.contains("fault_transient"));
+    }
+
+    #[test]
+    fn text_and_json_agree_on_order_and_values() {
+        let idx = arena_index();
+        let snap = MetricsSnapshot::capture(&idx).with_faults(FaultStats::default());
+        let text = snap.to_text();
+        let json = snap.to_json();
+        // Same metrics, same order, two encodings.
+        let text_names: Vec<&str> = text
+            .lines()
+            .map(|l| l.split(' ').next().unwrap_or(""))
+            .collect();
+        let mut json_names = Vec::new();
+        snap.for_each(|n, _| json_names.push(n));
+        assert_eq!(text_names, json_names);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('"').count(), 2 * json_names.len());
+        assert!(text.contains("fault_transient 0"));
+    }
+
+    #[test]
+    fn stable_order_is_deterministic() {
+        let idx = arena_index();
+        let a = MetricsSnapshot::capture(&idx).to_text();
+        let b = MetricsSnapshot::capture(&idx).to_text();
+        assert_eq!(a, b);
+    }
+}

@@ -26,6 +26,16 @@ pub enum QueryError {
     /// usable — the failing page is quarantined, every pin taken by the
     /// search has been released — but this query has no answer.
     Io(DiskReadError),
+    /// The query's deadline passed mid-search (cooperative cancellation
+    /// via [`CancelToken`](nwc_rtree::CancelToken)). The index and the
+    /// calling thread remain fully usable: every pin is released and no
+    /// state is torn down — the query simply has no answer.
+    Deadline,
+    /// The query was stopped by an external
+    /// [`CancelFlag`](nwc_rtree::CancelFlag) (client disconnect, load
+    /// shed mid-batch, server drain). Same guarantees as
+    /// [`QueryError::Deadline`].
+    Cancelled,
 }
 
 impl fmt::Display for QueryError {
@@ -37,6 +47,8 @@ impl fmt::Display for QueryError {
                 write!(f, "overlap bound m = {m} must be smaller than group size n = {n}")
             }
             QueryError::Io(e) => write!(f, "disk read failed during search: {e}"),
+            QueryError::Deadline => write!(f, "query deadline exceeded during search"),
+            QueryError::Cancelled => write!(f, "query cancelled by caller"),
         }
     }
 }
@@ -47,6 +59,12 @@ impl From<nwc_rtree::TreeError> for QueryError {
     fn from(e: nwc_rtree::TreeError) -> Self {
         match e {
             nwc_rtree::TreeError::Io(e) => QueryError::Io(e),
+            nwc_rtree::TreeError::Cancelled(nwc_rtree::CancelKind::Deadline) => {
+                QueryError::Deadline
+            }
+            nwc_rtree::TreeError::Cancelled(nwc_rtree::CancelKind::Stopped) => {
+                QueryError::Cancelled
+            }
             // The search path never mutates; a ReadOnly refusal cannot
             // reach a query. Map it to its page-less Io shape rather
             // than panicking so the conversion stays total.

@@ -122,6 +122,9 @@ pub struct Browser<'t> {
     tree: &'t RStarTree,
     query: Point,
     heap: BinaryHeap<HeapItem>,
+    /// Cooperative cancellation, checked at every [`Browser::try_expand`]
+    /// (the traversal's I/O boundary). Unarmed by default.
+    cancel: crate::CancelToken,
 }
 
 impl<'t> Browser<'t> {
@@ -153,7 +156,21 @@ impl<'t> Browser<'t> {
                 },
             });
         }
-        Browser { tree, query, heap }
+        Browser {
+            tree,
+            query,
+            heap,
+            cancel: crate::CancelToken::none(),
+        }
+    }
+
+    /// Arms cooperative cancellation: every subsequent
+    /// [`Browser::try_expand`] first checks `token` and returns
+    /// [`TreeError`](crate::TreeError)`::Cancelled` — with no pin held
+    /// and the frontier intact — once it fires. See
+    /// [`CancelToken`](crate::CancelToken).
+    pub fn set_cancel(&mut self, token: crate::CancelToken) {
+        self.cancel = token;
     }
 
     /// Ends the traversal and returns the heap's storage to `scratch`
@@ -197,6 +214,9 @@ impl<'t> Browser<'t> {
     /// drop the failed subtree and keep draining the frontier, or abort
     /// the whole search.
     pub fn try_expand(&mut self, id: NodeId) -> Result<(), crate::TreeError> {
+        if let Some(kind) = self.cancel.cancelled() {
+            return Err(crate::TreeError::Cancelled(kind));
+        }
         let node = self.tree.try_read_node(id)?;
         match &node.kind {
             NodeKind::Leaf(entries) => {

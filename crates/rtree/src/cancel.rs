@@ -1,0 +1,187 @@
+//! Cooperative cancellation for long-running traversals.
+//!
+//! A query over a disk-backed tree can run for an unbounded time (cold
+//! pool, slow device, retry backoff). A serving layer needs two ways to
+//! stop one without tearing anything down:
+//!
+//! - a **deadline** — the per-request latency budget, checked against
+//!   the monotonic clock, and
+//! - a **stop flag** — an external signal (client disconnected, request
+//!   shed mid-batch, server draining) shared by any number of queries.
+//!
+//! Both ride in a [`CancelToken`]. The token is *cooperative*: nothing
+//! is interrupted preemptively. The traversal checks it at its I/O
+//! boundaries — [`Browser::try_expand`](crate::Browser::try_expand)
+//! checks before every node expansion, and the NWC search loop in
+//! `nwc-core` additionally checks before every window query — so
+//! cancellation latency is bounded by one node access plus one window
+//! query, and a cancelled search unwinds through the ordinary error
+//! path: pins released, pool exact, the worker thread fully reusable.
+//!
+//! Checking costs one relaxed atomic load for the flag and one
+//! `Instant::now()` for the deadline; with neither armed
+//! ([`CancelToken::none`]) the check is two branch-predicted `None`
+//! tests, which keeps the token out of the hot path's way for the
+//! in-process batch workloads that never cancel.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a traversal was cancelled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelKind {
+    /// The token's deadline passed: the query exceeded its latency
+    /// budget.
+    Deadline,
+    /// The token's stop flag was raised: the caller no longer wants the
+    /// answer (disconnect, shed, shutdown).
+    Stopped,
+}
+
+impl std::fmt::Display for CancelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CancelKind::Deadline => write!(f, "deadline exceeded"),
+            CancelKind::Stopped => write!(f, "stopped by caller"),
+        }
+    }
+}
+
+/// A shared, clonable stop signal. Raise it once with
+/// [`CancelFlag::stop`] and every [`CancelToken`] carrying a clone
+/// observes it on its next check.
+#[derive(Clone, Debug, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, unraised flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag. Idempotent; never blocks.
+    pub fn stop(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_stopped(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A deadline and/or stop flag checked cooperatively by traversals.
+/// See the module docs. `CancelToken::default()` (= [`CancelToken::none`])
+/// never cancels.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    deadline: Option<Instant>,
+    flag: Option<CancelFlag>,
+}
+
+impl CancelToken {
+    /// A token that never cancels (the default for every in-process
+    /// query API).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A token that cancels once the monotonic clock passes `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            deadline: Some(deadline),
+            flag: None,
+        }
+    }
+
+    /// A token observing an external stop flag.
+    pub fn with_flag(flag: &CancelFlag) -> Self {
+        CancelToken {
+            deadline: None,
+            flag: Some(flag.clone()),
+        }
+    }
+
+    /// Adds (or replaces) a deadline on this token.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Adds (or replaces) a stop flag on this token.
+    #[must_use]
+    pub fn flag(mut self, flag: &CancelFlag) -> Self {
+        self.flag = Some(flag.clone());
+        self
+    }
+
+    /// Whether the token can ever cancel (false for [`CancelToken::none`]).
+    pub fn is_armed(&self) -> bool {
+        self.deadline.is_some() || self.flag.is_some()
+    }
+
+    /// The armed deadline, if any.
+    pub fn deadline_at(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Checks the token: `Some(kind)` when the traversal should stop.
+    /// The stop flag wins over the deadline when both fire (a stop is
+    /// an explicit instruction; the deadline is a budget).
+    #[inline]
+    pub fn cancelled(&self) -> Option<CancelKind> {
+        if let Some(flag) = &self.flag {
+            if flag.is_stopped() {
+                return Some(CancelKind::Stopped);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(CancelKind::Deadline);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unarmed_token_never_cancels() {
+        let t = CancelToken::none();
+        assert!(!t.is_armed());
+        assert_eq!(t.cancelled(), None);
+    }
+
+    #[test]
+    fn deadline_fires_once_passed() {
+        let t = CancelToken::with_deadline(Instant::now() + Duration::from_secs(600));
+        assert!(t.is_armed());
+        assert_eq!(t.cancelled(), None);
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(t.cancelled(), Some(CancelKind::Deadline));
+    }
+
+    #[test]
+    fn flag_fires_for_every_clone_and_wins_over_deadline() {
+        let flag = CancelFlag::new();
+        let t1 = CancelToken::with_flag(&flag);
+        let t2 = t1.clone().deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(t1.cancelled(), None);
+        flag.stop();
+        assert_eq!(t1.cancelled(), Some(CancelKind::Stopped));
+        // Both armed and fired: the explicit stop wins.
+        assert_eq!(t2.cancelled(), Some(CancelKind::Stopped));
+    }
+
+    #[test]
+    fn kinds_render() {
+        assert!(CancelKind::Deadline.to_string().contains("deadline"));
+        assert!(CancelKind::Stopped.to_string().contains("stopped"));
+    }
+}

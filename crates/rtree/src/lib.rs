@@ -41,6 +41,7 @@
 
 mod browser;
 mod bulk;
+mod cancel;
 mod delete;
 pub mod disk;
 mod entry;
@@ -56,6 +57,7 @@ mod tree;
 pub mod validate;
 
 pub use browser::{BrowseItem, Browser, BrowserScratch};
+pub use cancel::{CancelFlag, CancelKind, CancelToken};
 pub use disk::{DiskError, DiskOptions, DiskReadError, TreeStorage};
 pub use entry::{Entry, ObjectId};
 pub use iwp::{IwpIndex, IwpStorage};

@@ -19,6 +19,11 @@ pub enum TreeError {
     /// exhausted, corruption, or a quarantined page). Returned by the
     /// fallible `try_*` query APIs; never produced by an arena tree.
     Io(crate::disk::DiskReadError),
+    /// The traversal's [`CancelToken`](crate::CancelToken) fired: the
+    /// query's deadline passed or its stop flag was raised. The tree is
+    /// untouched — no pin is held, the traversal simply stopped at a
+    /// cancellation point.
+    Cancelled(crate::CancelKind),
 }
 
 impl std::fmt::Display for TreeError {
@@ -29,6 +34,7 @@ impl std::fmt::Display for TreeError {
                 "disk-backed trees are read-only: rebuild and save_to_path instead"
             ),
             TreeError::Io(e) => write!(f, "disk read failed: {e}"),
+            TreeError::Cancelled(kind) => write!(f, "traversal cancelled: {kind}"),
         }
     }
 }

@@ -1,0 +1,272 @@
+//! A synchronous client for the `nwc-serve` wire protocol.
+//!
+//! [`ServeClient`] issues one request at a time over a single
+//! connection and blocks for the matching response (the server may
+//! interleave responses across *pipelined* requests, but this client
+//! never pipelines, so the echoed `request_id` is just a sanity check).
+//! Load generators that want many outstanding queries open many
+//! clients — connections are cheap and the server gives each one a
+//! reader thread.
+//!
+//! Like the server side, this module is panic-free: every failure is a
+//! typed [`ClientError`].
+
+use crate::protocol::{
+    decode_response, encode_request, encode_scheme, read_frame, write_frame, OkShape, ProtoError,
+    QuerySpec, Request, Response, WireGroup,
+};
+use nwc_core::{Scheme, SearchStats};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// What a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket or framing failed.
+    Proto(ProtoError),
+    /// The server echoed a different `request_id` than the one sent —
+    /// the connection's framing is out of sync.
+    IdMismatch {
+        /// The id this client sent.
+        sent: u32,
+        /// The id the server echoed.
+        got: u32,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::IdMismatch { sent, got } => {
+                write!(f, "response id {got} does not match request id {sent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Proto(ProtoError::Io(e))
+    }
+}
+
+/// The typed outcome of one query request. `Answer` carries the wire
+/// groups (empty = NWC found nothing) plus the per-query search stats;
+/// every other variant is one of the server's typed refusals.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryOutcome {
+    /// The query ran to completion.
+    Answer {
+        /// The answer groups (0 or 1 for NWC, up to `k` for kNWC).
+        groups: Vec<WireGroup>,
+        /// What the search did.
+        stats: SearchStats,
+    },
+    /// The query exceeded its deadline mid-search.
+    Deadline,
+    /// Rejected at admission; retry after the given backoff.
+    Shed {
+        /// Suggested backoff before retrying.
+        retry_after_ms: u32,
+    },
+    /// The request was malformed or asked for an unavailable scheme.
+    BadRequest(String),
+    /// An unrecoverable page read failed under the query.
+    IoFailed(String),
+    /// The server is draining.
+    Stopped,
+}
+
+/// A blocking, one-request-at-a-time protocol client.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+    next_id: u32,
+    buf: Vec<u8>,
+}
+
+impl ServeClient {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(ServeClient {
+            stream,
+            next_id: 1,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sets a socket read timeout for responses (`None` = block
+    /// forever). A timeout surfaces as `ClientError::Proto(Io(_))`.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn roundtrip(&mut self, req: &Request, shape: OkShape) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        let payload = encode_request(id, req);
+        write_frame(&mut self.stream, &payload)?;
+        read_frame(&mut self.stream, &mut self.buf)?;
+        let (got, resp) = decode_response(&self.buf, shape)?;
+        if got != id {
+            return Err(ClientError::IdMismatch { sent: id, got });
+        }
+        Ok(resp)
+    }
+
+    fn query_outcome(resp: Response) -> QueryOutcome {
+        match resp {
+            Response::Groups { groups, stats } => QueryOutcome::Answer { groups, stats },
+            Response::Deadline => QueryOutcome::Deadline,
+            Response::Shed { retry_after_ms } => QueryOutcome::Shed { retry_after_ms },
+            Response::BadRequest(msg) => QueryOutcome::BadRequest(msg),
+            Response::IoFailed(msg) => QueryOutcome::IoFailed(msg),
+            Response::Stopped => QueryOutcome::Stopped,
+            // Stats/Swapped/Done cannot decode under OkShape::Groups;
+            // treat a confused server as a protocol-level refusal.
+            other => QueryOutcome::BadRequest(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    /// Issues `NWC(q, l, w, n)` under `scheme` with an optional
+    /// deadline (`deadline_ms = 0` means the server default applies).
+    #[allow(clippy::too_many_arguments)]
+    pub fn nwc(
+        &mut self,
+        scheme: Scheme,
+        qx: f64,
+        qy: f64,
+        l: f64,
+        w: f64,
+        n: u32,
+        deadline_ms: u32,
+    ) -> Result<QueryOutcome, ClientError> {
+        let spec = QuerySpec {
+            scheme_bits: encode_scheme(scheme),
+            qx,
+            qy,
+            l,
+            w,
+            n,
+            deadline_ms,
+        };
+        let resp = self.roundtrip(&Request::Nwc(spec), OkShape::Groups)?;
+        Ok(Self::query_outcome(resp))
+    }
+
+    /// Issues `kNWC(k, q, l, w, n, m)` under `scheme`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn knwc(
+        &mut self,
+        scheme: Scheme,
+        qx: f64,
+        qy: f64,
+        l: f64,
+        w: f64,
+        n: u32,
+        k: u32,
+        m: u32,
+        deadline_ms: u32,
+    ) -> Result<QueryOutcome, ClientError> {
+        let spec = QuerySpec {
+            scheme_bits: encode_scheme(scheme),
+            qx,
+            qy,
+            l,
+            w,
+            n,
+            deadline_ms,
+        };
+        let resp = self.roundtrip(&Request::Knwc { spec, k, m }, OkShape::Groups)?;
+        Ok(Self::query_outcome(resp))
+    }
+
+    /// Scrapes the server's metrics endpoint (stable `name value` text).
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Stats, OkShape::Stats)? {
+            Response::Stats(text) => Ok(text),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the server to hot-swap to the page file at `path`. Returns
+    /// `Ok(Ok(swap))` on a completed flip, `Ok(Err(msg))` when the
+    /// server refused (open failure; the served index is unchanged).
+    pub fn swap(&mut self, path: &str) -> Result<Result<SwapOutcome, String>, ClientError> {
+        match self.roundtrip(&Request::Swap(path.to_string()), OkShape::Swap)? {
+            Response::Swapped {
+                old_generation,
+                new_generation,
+                drain_us,
+                old_pinned,
+                drained,
+            } => Ok(Ok(SwapOutcome {
+                old_generation,
+                new_generation,
+                drain_us,
+                old_pinned,
+                drained,
+            })),
+            Response::IoFailed(msg) | Response::BadRequest(msg) => Ok(Err(msg)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Ping, OkShape::Done)? {
+            Response::Done => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the server to stop accepting, drain, and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown, OkShape::Done)? {
+            Response::Done | Response::Stopped => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> ClientError {
+    let what: &'static str = match resp {
+        Response::Groups { .. } => "unexpected groups response",
+        Response::Stats(_) => "unexpected stats response",
+        Response::Swapped { .. } => "unexpected swap response",
+        Response::Done => "unexpected ack",
+        Response::Deadline => "unexpected deadline response",
+        Response::Shed { .. } => "unexpected shed response",
+        Response::BadRequest(_) => "unexpected bad-request response",
+        Response::IoFailed(_) => "unexpected io-failed response",
+        Response::Stopped => "unexpected stopped response",
+    };
+    ClientError::Proto(ProtoError::Malformed(what))
+}
+
+/// What a hot-swap did, as reported over the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwapOutcome {
+    /// Generation served before the flip.
+    pub old_generation: u64,
+    /// Generation serving now.
+    pub new_generation: u64,
+    /// Microseconds spent draining the old generation.
+    pub drain_us: u64,
+    /// Pool frames still pinned at old-store close (0 = no leak).
+    pub old_pinned: u64,
+    /// Whether the drain completed before the timeout.
+    pub drained: bool,
+}

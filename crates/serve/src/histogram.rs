@@ -1,0 +1,178 @@
+//! Log-bucketed, lock-free latency histograms.
+//!
+//! Each worker owns a [`LatencyHistogram`] and records into it with one
+//! relaxed atomic increment — no locks, no allocation, no contention
+//! with other workers. A scrape [`merge`](LatencyHistogram::merge)s all
+//! workers' buckets into a [`MergedHistogram`] and reads quantiles off
+//! the merged counts.
+//!
+//! Buckets are powers of two of microseconds: bucket `i` covers
+//! `[2^(i-1), 2^i)` µs (bucket 0 is `< 1 µs`), so 50 buckets span
+//! sub-microsecond to ~35 years with ≤ 2× quantile error — the right
+//! trade for tail latencies, where the *magnitude* matters and exact
+//! microseconds do not.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets (enough for any latency that fits a
+/// `u64` of microseconds).
+pub const BUCKETS: usize = 50;
+
+/// A lock-free histogram of microsecond latencies. One per worker;
+/// merge at scrape time.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The bucket index for a microsecond value.
+fn bucket_of(us: u64) -> usize {
+    ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// The inclusive upper bound (µs) reported for a bucket.
+fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl LatencyHistogram {
+    /// A fresh, zeroed histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation. One relaxed atomic add.
+    #[inline]
+    pub fn record(&self, latency: std::time::Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Merges any number of per-worker histograms into one snapshot.
+    pub fn merge<'a>(parts: impl IntoIterator<Item = &'a LatencyHistogram>) -> MergedHistogram {
+        let mut counts = [0u64; BUCKETS];
+        for h in parts {
+            for (dst, src) in counts.iter_mut().zip(&h.buckets) {
+                *dst += src.load(Ordering::Relaxed);
+            }
+        }
+        MergedHistogram { counts }
+    }
+}
+
+/// A point-in-time merge of per-worker histograms; quantiles are read
+/// from this.
+#[derive(Clone, Copy, Debug)]
+pub struct MergedHistogram {
+    counts: [u64; BUCKETS],
+}
+
+impl MergedHistogram {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The upper bound (µs) of the bucket holding the `q`-quantile
+    /// observation (`q` in `[0, 1]`), or 0 when empty. Error is bounded
+    /// by the bucket width (≤ 2×).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the quantile observation, 1-based, clamped to total.
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(BUCKETS - 1)
+    }
+
+    /// Convenience: (p50, p99, p999) in microseconds.
+    pub fn p50_p99_p999(&self) -> (u64, u64, u64) {
+        (
+            self.quantile_us(0.50),
+            self.quantile_us(0.99),
+            self.quantile_us(0.999),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bound_true_values_within_2x() {
+        let h = LatencyHistogram::new();
+        // 1000 observations at 100 µs, 10 at 10 ms, 1 at 1 s.
+        for _ in 0..1000 {
+            h.record(Duration::from_micros(100));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(10));
+        }
+        h.record(Duration::from_secs(1));
+        let m = LatencyHistogram::merge([&h]);
+        assert_eq!(m.count(), 1011);
+        let (p50, p99, p999) = m.p50_p99_p999();
+        // True p50 = 100 µs; true p99 (rank 1001 of 1011) and p999
+        // (rank 1010) are both 10 ms samples; the max is the 1 s one.
+        // Reported bounds must be within 2× of the true values.
+        assert!((100..200).contains(&p50), "p50 = {p50}");
+        assert!((10_000..20_000).contains(&p99), "p99 = {p99}");
+        assert!((10_000..20_000).contains(&p999), "p999 = {p999}");
+        let max = m.quantile_us(1.0);
+        assert!((1_000_000..2_000_000).contains(&max), "max = {max}");
+    }
+
+    #[test]
+    fn merge_sums_workers() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record(Duration::from_micros(5));
+        b.record(Duration::from_micros(5));
+        b.record(Duration::from_micros(500));
+        let m = LatencyHistogram::merge([&a, &b]);
+        assert_eq!(m.count(), 3);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let m = LatencyHistogram::merge([]);
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.quantile_us(0.99), 0);
+    }
+}

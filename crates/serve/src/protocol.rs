@@ -1,0 +1,764 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every frame is a `u32` little-endian payload length followed by the
+//! payload; payloads are capped at [`MAX_FRAME`] bytes so a corrupt
+//! length prefix cannot make a peer allocate gigabytes. All integers
+//! are little-endian, all floats IEEE-754 `f64` bits.
+//!
+//! # Request payload
+//!
+//! ```text
+//! u32 request_id | u8 opcode | opcode-specific body
+//! ```
+//!
+//! | opcode | body |
+//! |--------|------|
+//! | 1 `Nwc`  | u8 scheme_bits, f64 qx, f64 qy, f64 l, f64 w, u32 n, u32 deadline_ms |
+//! | 2 `Knwc` | the `Nwc` body, then u32 k, u32 m |
+//! | 3 `Stats` | empty |
+//! | 4 `Swap` | u16 path_len, path bytes (UTF-8) |
+//! | 5 `Ping` | empty |
+//! | 6 `Shutdown` | empty |
+//!
+//! `scheme_bits`: bit 0 = SRR, bit 1 = DIP, bit 2 = DEP, bit 3 = IWP.
+//! `deadline_ms = 0` means "use the server default".
+//!
+//! # Response payload
+//!
+//! ```text
+//! u32 request_id | u8 status | status-specific body
+//! ```
+//!
+//! | status | meaning | body |
+//! |--------|---------|------|
+//! | 0 `Ok` (query) | answered | u32 group_count, groups, 15 × u64 search stats |
+//! | 0 `Ok` (stats) | scrape | u32 text_len, text bytes |
+//! | 0 `Ok` (swap)  | flipped | u64 old_gen, u64 new_gen, u64 drain_us, u64 old_pinned, u8 drained |
+//! | 0 `Ok` (ping/shutdown) | — | empty |
+//! | 1 `Deadline` | deadline exceeded mid-search | empty |
+//! | 2 `Shed` | rejected at admission | u32 retry_after_ms |
+//! | 3 `BadRequest` | malformed/unsupported | u16 len, message |
+//! | 4 `IoFailed` | unrecoverable page read | u16 len, message |
+//! | 5 `Stopped` | server draining / request cancelled | empty |
+//!
+//! A query group is `u32 len` then `len ×` (`u32 id, f64 x, f64 y`)
+//! followed by `f64 distance`. An NWC answer has 0 or 1 group; a kNWC
+//! answer up to `k`. The `request_id` is echoed verbatim, so clients may
+//! pipeline: responses to a connection can interleave across requests.
+//!
+//! Both sides decode defensively: every error is a typed
+//! [`ProtoError`], never a panic — this module is part of the server's
+//! no-panic surface.
+
+use nwc_core::SearchStats;
+use std::io::{Read, Write};
+
+/// Maximum frame payload size (16 MiB). Fits any realistic kNWC answer
+/// while bounding what a corrupt or hostile length prefix can allocate.
+pub const MAX_FRAME: u32 = 16 << 20;
+
+/// A malformed frame (either side), or the underlying socket failing.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The socket failed mid-frame.
+    Io(std::io::Error),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The frame violates the protocol (bad opcode, short body,
+    /// oversized length, non-UTF-8 path, ...).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "socket error: {e}"),
+            ProtoError::Closed => write!(f, "connection closed"),
+            ProtoError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Query parameters shared by the NWC and kNWC opcodes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuerySpec {
+    /// Scheme bits: bit 0 = SRR, 1 = DIP, 2 = DEP, 3 = IWP.
+    pub scheme_bits: u8,
+    /// Query location.
+    pub qx: f64,
+    /// Query location.
+    pub qy: f64,
+    /// Window length.
+    pub l: f64,
+    /// Window width.
+    pub w: f64,
+    /// Group size `n`.
+    pub n: u32,
+    /// Per-query deadline in milliseconds; 0 = server default.
+    pub deadline_ms: u32,
+}
+
+/// A decoded request frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// `NWC(q, l, w, n)` under the encoded scheme.
+    Nwc(QuerySpec),
+    /// `kNWC(k, q, l, w, n, m)` under the encoded scheme.
+    Knwc {
+        /// The shared query parameters.
+        spec: QuerySpec,
+        /// Number of groups.
+        k: u32,
+        /// Overlap bound.
+        m: u32,
+    },
+    /// Scrape the metrics snapshot (stable text form).
+    Stats,
+    /// Hot-swap the index to the page file at `path`.
+    Swap(String),
+    /// Liveness probe.
+    Ping,
+    /// Stop accepting, drain, exit.
+    Shutdown,
+}
+
+/// One object of a returned group.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WireObject {
+    /// Object id.
+    pub id: u32,
+    /// Location.
+    pub x: f64,
+    /// Location.
+    pub y: f64,
+}
+
+/// One group of a query answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireGroup {
+    /// The group's objects, ascending by distance to the query.
+    pub objects: Vec<WireObject>,
+    /// The group's score.
+    pub distance: f64,
+}
+
+/// A decoded response frame (without the echoed `request_id`, which
+/// [`read_response`] returns alongside).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// A query answer: 0 groups = NWC found nothing, otherwise the
+    /// NWC best group or the kNWC top-k. Stats describe the search.
+    Groups {
+        /// The answer groups.
+        groups: Vec<WireGroup>,
+        /// Per-query search counters.
+        stats: SearchStats,
+    },
+    /// A metrics scrape.
+    Stats(String),
+    /// A completed hot-swap.
+    Swapped {
+        /// Generation id served before the flip.
+        old_generation: u64,
+        /// Generation id serving now.
+        new_generation: u64,
+        /// Microseconds spent draining the old generation.
+        drain_us: u64,
+        /// Pool frames still pinned on the old generation at close
+        /// (0 = no pin leak).
+        old_pinned: u64,
+        /// Whether the old generation fully drained before the timeout.
+        drained: bool,
+    },
+    /// Ping/shutdown acknowledged.
+    Done,
+    /// The query exceeded its deadline mid-search (typed, per-query;
+    /// the worker survives).
+    Deadline,
+    /// Rejected at admission; retry after the given backoff.
+    Shed {
+        /// Suggested client backoff.
+        retry_after_ms: u32,
+    },
+    /// The request was malformed or asked for an unavailable scheme.
+    BadRequest(String),
+    /// An unrecoverable page read failed under the query.
+    IoFailed(String),
+    /// The server is draining; the request was not executed.
+    Stopped,
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_spec(buf: &mut Vec<u8>, s: &QuerySpec) {
+    buf.push(s.scheme_bits);
+    put_f64(buf, s.qx);
+    put_f64(buf, s.qy);
+    put_f64(buf, s.l);
+    put_f64(buf, s.w);
+    put_u32(buf, s.n);
+    put_u32(buf, s.deadline_ms);
+}
+
+/// Encodes a request payload (without the length prefix).
+pub fn encode_request(request_id: u32, req: &Request) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    put_u32(&mut buf, request_id);
+    match req {
+        Request::Nwc(spec) => {
+            buf.push(1);
+            put_spec(&mut buf, spec);
+        }
+        Request::Knwc { spec, k, m } => {
+            buf.push(2);
+            put_spec(&mut buf, spec);
+            put_u32(&mut buf, *k);
+            put_u32(&mut buf, *m);
+        }
+        Request::Stats => buf.push(3),
+        Request::Swap(path) => {
+            buf.push(4);
+            let bytes = path.as_bytes();
+            let len = bytes.len().min(u16::MAX as usize);
+            put_u16(&mut buf, len as u16);
+            buf.extend_from_slice(&bytes[..len]);
+        }
+        Request::Ping => buf.push(5),
+        Request::Shutdown => buf.push(6),
+    }
+    buf
+}
+
+fn put_stats(buf: &mut Vec<u8>, s: &SearchStats) {
+    for v in [
+        s.io_total,
+        s.io_traversal,
+        s.io_window_queries,
+        s.buffer_hits,
+        s.objects_visited,
+        s.window_queries,
+        s.skipped_by_srr,
+        s.skipped_by_dep,
+        s.nodes_pruned_by_dip,
+        s.nodes_pruned_by_dep,
+        s.candidate_windows,
+        s.qualified_windows,
+        s.best_updates,
+        s.retries,
+        s.transient_errors,
+    ] {
+        put_u64(buf, v);
+    }
+}
+
+fn put_message(buf: &mut Vec<u8>, msg: &str) {
+    let bytes = msg.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    put_u16(buf, len as u16);
+    buf.extend_from_slice(&bytes[..len]);
+}
+
+/// Encodes a response payload (without the length prefix).
+pub fn encode_response(request_id: u32, resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    put_u32(&mut buf, request_id);
+    match resp {
+        Response::Groups { groups, stats } => {
+            buf.push(0);
+            put_u32(&mut buf, groups.len() as u32);
+            for g in groups {
+                put_u32(&mut buf, g.objects.len() as u32);
+                for o in &g.objects {
+                    put_u32(&mut buf, o.id);
+                    put_f64(&mut buf, o.x);
+                    put_f64(&mut buf, o.y);
+                }
+                put_f64(&mut buf, g.distance);
+            }
+            put_stats(&mut buf, stats);
+        }
+        Response::Stats(text) => {
+            buf.push(0);
+            let bytes = text.as_bytes();
+            put_u32(&mut buf, bytes.len() as u32);
+            buf.extend_from_slice(bytes);
+        }
+        Response::Swapped {
+            old_generation,
+            new_generation,
+            drain_us,
+            old_pinned,
+            drained,
+        } => {
+            buf.push(0);
+            put_u64(&mut buf, *old_generation);
+            put_u64(&mut buf, *new_generation);
+            put_u64(&mut buf, *drain_us);
+            put_u64(&mut buf, *old_pinned);
+            buf.push(u8::from(*drained));
+        }
+        Response::Done => buf.push(0),
+        Response::Deadline => buf.push(1),
+        Response::Shed { retry_after_ms } => {
+            buf.push(2);
+            put_u32(&mut buf, *retry_after_ms);
+        }
+        Response::BadRequest(msg) => {
+            buf.push(3);
+            put_message(&mut buf, msg);
+        }
+        Response::IoFailed(msg) => {
+            buf.push(4);
+            put_message(&mut buf, msg);
+        }
+        Response::Stopped => buf.push(5),
+    }
+    buf
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// Cursor over a frame payload; every read is bounds-checked.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(ProtoError::Malformed("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(ProtoError::Malformed("truncated body"));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn done(&self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+fn read_spec(c: &mut Cursor<'_>) -> Result<QuerySpec, ProtoError> {
+    Ok(QuerySpec {
+        scheme_bits: c.u8()?,
+        qx: c.f64()?,
+        qy: c.f64()?,
+        l: c.f64()?,
+        w: c.f64()?,
+        n: c.u32()?,
+        deadline_ms: c.u32()?,
+    })
+}
+
+/// Decodes a request payload into `(request_id, request)`.
+pub fn decode_request(payload: &[u8]) -> Result<(u32, Request), ProtoError> {
+    let mut c = Cursor::new(payload);
+    let request_id = c.u32()?;
+    let opcode = c.u8()?;
+    let req = match opcode {
+        1 => Request::Nwc(read_spec(&mut c)?),
+        2 => {
+            let spec = read_spec(&mut c)?;
+            let k = c.u32()?;
+            let m = c.u32()?;
+            Request::Knwc { spec, k, m }
+        }
+        3 => Request::Stats,
+        4 => {
+            let len = c.u16()? as usize;
+            let bytes = c.take(len)?;
+            let path = std::str::from_utf8(bytes)
+                .map_err(|_| ProtoError::Malformed("swap path is not UTF-8"))?;
+            Request::Swap(path.to_string())
+        }
+        5 => Request::Ping,
+        6 => Request::Shutdown,
+        _ => return Err(ProtoError::Malformed("unknown opcode")),
+    };
+    c.done()?;
+    Ok((request_id, req))
+}
+
+fn read_stats(c: &mut Cursor<'_>) -> Result<SearchStats, ProtoError> {
+    Ok(SearchStats {
+        io_total: c.u64()?,
+        io_traversal: c.u64()?,
+        io_window_queries: c.u64()?,
+        buffer_hits: c.u64()?,
+        objects_visited: c.u64()?,
+        window_queries: c.u64()?,
+        skipped_by_srr: c.u64()?,
+        skipped_by_dep: c.u64()?,
+        nodes_pruned_by_dip: c.u64()?,
+        nodes_pruned_by_dep: c.u64()?,
+        candidate_windows: c.u64()?,
+        qualified_windows: c.u64()?,
+        best_updates: c.u64()?,
+        retries: c.u64()?,
+        transient_errors: c.u64()?,
+    })
+}
+
+fn read_message(c: &mut Cursor<'_>) -> Result<String, ProtoError> {
+    let len = c.u16()? as usize;
+    let bytes = c.take(len)?;
+    Ok(String::from_utf8_lossy(bytes).into_owned())
+}
+
+/// What the decoder should expect for a status-0 body — the protocol
+/// does not tag Ok bodies, the client knows what it asked per
+/// `request_id`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OkShape {
+    /// A query answer (groups + stats).
+    Groups,
+    /// A metrics scrape.
+    Stats,
+    /// A swap report.
+    Swap,
+    /// An empty acknowledgement (ping, shutdown).
+    Done,
+}
+
+/// Decodes a response payload into `(request_id, response)`, reading
+/// status-0 bodies as `shape` dictates.
+pub fn decode_response(payload: &[u8], shape: OkShape) -> Result<(u32, Response), ProtoError> {
+    let mut c = Cursor::new(payload);
+    let request_id = c.u32()?;
+    let status = c.u8()?;
+    let resp = match status {
+        0 => match shape {
+            OkShape::Groups => {
+                let n_groups = c.u32()? as usize;
+                if n_groups > MAX_FRAME as usize / 8 {
+                    return Err(ProtoError::Malformed("group count"));
+                }
+                let mut groups = Vec::with_capacity(n_groups.min(1024));
+                for _ in 0..n_groups {
+                    let len = c.u32()? as usize;
+                    if len > MAX_FRAME as usize / 20 {
+                        return Err(ProtoError::Malformed("group length"));
+                    }
+                    let mut objects = Vec::with_capacity(len.min(4096));
+                    for _ in 0..len {
+                        objects.push(WireObject {
+                            id: c.u32()?,
+                            x: c.f64()?,
+                            y: c.f64()?,
+                        });
+                    }
+                    let distance = c.f64()?;
+                    groups.push(WireGroup { objects, distance });
+                }
+                Response::Groups {
+                    groups,
+                    stats: read_stats(&mut c)?,
+                }
+            }
+            OkShape::Stats => {
+                let len = c.u32()? as usize;
+                let bytes = c.take(len)?;
+                Response::Stats(String::from_utf8_lossy(bytes).into_owned())
+            }
+            OkShape::Swap => Response::Swapped {
+                old_generation: c.u64()?,
+                new_generation: c.u64()?,
+                drain_us: c.u64()?,
+                old_pinned: c.u64()?,
+                drained: c.u8()? != 0,
+            },
+            OkShape::Done => Response::Done,
+        },
+        1 => Response::Deadline,
+        2 => Response::Shed {
+            retry_after_ms: c.u32()?,
+        },
+        3 => Response::BadRequest(read_message(&mut c)?),
+        4 => Response::IoFailed(read_message(&mut c)?),
+        5 => Response::Stopped,
+        _ => return Err(ProtoError::Malformed("unknown status")),
+    };
+    c.done()?;
+    Ok((request_id, resp))
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtoError> {
+    if payload.len() > MAX_FRAME as usize {
+        return Err(ProtoError::Malformed("frame too large"));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame into `buf` (reused across calls).
+/// Returns [`ProtoError::Closed`] on clean EOF between frames.
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<(), ProtoError> {
+    let mut len_bytes = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_bytes[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 {
+                    ProtoError::Closed
+                } else {
+                    ProtoError::Malformed("EOF inside length prefix")
+                });
+            }
+            Ok(k) => got += k,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(ProtoError::Malformed("frame too large"));
+    }
+    buf.clear();
+    buf.resize(len as usize, 0);
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ProtoError::Malformed("EOF inside frame body")
+        } else {
+            ProtoError::Io(e)
+        }
+    })?;
+    Ok(())
+}
+
+/// Decodes scheme bits into a [`Scheme`](nwc_core::Scheme); bits above
+/// 3 are rejected so future extensions fail loudly instead of silently
+/// degrading.
+pub fn decode_scheme(bits: u8) -> Result<nwc_core::Scheme, ProtoError> {
+    if bits & !0b1111 != 0 {
+        return Err(ProtoError::Malformed("unknown scheme bits"));
+    }
+    Ok(nwc_core::Scheme {
+        srr: bits & 1 != 0,
+        dip: bits & 2 != 0,
+        dep: bits & 4 != 0,
+        iwp: bits & 8 != 0,
+    })
+}
+
+/// Encodes a [`Scheme`](nwc_core::Scheme) into its wire bits.
+pub fn encode_scheme(s: nwc_core::Scheme) -> u8 {
+    u8::from(s.srr) | u8::from(s.dip) << 1 | u8::from(s.dep) << 2 | u8::from(s.iwp) << 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> QuerySpec {
+        QuerySpec {
+            scheme_bits: 0b1011,
+            qx: 12.5,
+            qy: -3.25,
+            l: 200.0,
+            w: 100.0,
+            n: 8,
+            deadline_ms: 250,
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for req in [
+            Request::Nwc(spec()),
+            Request::Knwc {
+                spec: spec(),
+                k: 4,
+                m: 1,
+            },
+            Request::Stats,
+            Request::Swap("/tmp/gen2.pages".to_string()),
+            Request::Ping,
+            Request::Shutdown,
+        ] {
+            let payload = encode_request(77, &req);
+            let (id, back) = decode_request(&payload).unwrap();
+            assert_eq!(id, 77);
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let stats = SearchStats {
+            io_total: 42,
+            window_queries: 7,
+            retries: 1,
+            ..Default::default()
+        };
+        let cases: Vec<(Response, OkShape)> = vec![
+            (
+                Response::Groups {
+                    groups: vec![WireGroup {
+                        objects: vec![
+                            WireObject { id: 3, x: 1.0, y: 2.0 },
+                            WireObject { id: 9, x: 4.0, y: 5.0 },
+                        ],
+                        distance: 6.5,
+                    }],
+                    stats,
+                },
+                OkShape::Groups,
+            ),
+            (
+                Response::Groups {
+                    groups: vec![],
+                    stats: SearchStats::default(),
+                },
+                OkShape::Groups,
+            ),
+            (Response::Stats("io_accesses 5\n".to_string()), OkShape::Stats),
+            (
+                Response::Swapped {
+                    old_generation: 1,
+                    new_generation: 2,
+                    drain_us: 1234,
+                    old_pinned: 0,
+                    drained: true,
+                },
+                OkShape::Swap,
+            ),
+            (Response::Done, OkShape::Done),
+            (Response::Deadline, OkShape::Groups),
+            (Response::Shed { retry_after_ms: 40 }, OkShape::Groups),
+            (Response::BadRequest("bad scheme".to_string()), OkShape::Groups),
+            (Response::IoFailed("page 7".to_string()), OkShape::Groups),
+            (Response::Stopped, OkShape::Groups),
+        ];
+        for (resp, shape) in cases {
+            let payload = encode_response(5, &resp);
+            let (id, back) = decode_response(&payload, shape).unwrap();
+            assert_eq!(id, 5);
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn framing_roundtrip_and_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = &wire[..];
+        let mut buf = Vec::new();
+        read_frame(&mut r, &mut buf).unwrap();
+        assert_eq!(buf, b"hello");
+        read_frame(&mut r, &mut buf).unwrap();
+        assert_eq!(buf, b"");
+        assert!(matches!(
+            read_frame(&mut r, &mut buf),
+            Err(ProtoError::Closed)
+        ));
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_rejected() {
+        let mut r: &[u8] = &[5, 0, 0, 0, b'a', b'b']; // claims 5, has 2
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame(&mut r, &mut buf),
+            Err(ProtoError::Malformed(_))
+        ));
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        let mut r: &[u8] = &huge;
+        assert!(matches!(
+            read_frame(&mut r, &mut buf),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[1, 0, 0, 0, 99]).is_err()); // bad opcode
+        let mut good = encode_request(1, &Request::Nwc(spec()));
+        good.push(0); // trailing byte
+        assert!(decode_request(&good).is_err());
+        let short = &encode_request(1, &Request::Nwc(spec()))[..10];
+        assert!(decode_request(short).is_err());
+    }
+
+    #[test]
+    fn scheme_bits_roundtrip() {
+        for s in nwc_core::Scheme::TABLE3 {
+            assert_eq!(decode_scheme(encode_scheme(s)).unwrap(), s);
+        }
+        assert!(decode_scheme(0b10000).is_err());
+    }
+}

@@ -1,0 +1,668 @@
+//! The TCP query server: admission control, a fixed worker pool with
+//! per-query deadlines, metrics, and hot-swap.
+//!
+//! # Architecture
+//!
+//! ```text
+//!            ┌────────────┐   bounded queue    ┌──────────┐
+//!  accept ──▶│ per-conn   │──▶ (shed when ────▶│ worker 0 │─┐
+//!  loop      │ reader     │    deep/slow)      │  ...     │ ├─▶ responses
+//!            │ threads    │                    │ worker N │─┘   (write mutex
+//!            └────────────┘                    └──────────┘     per conn)
+//! ```
+//!
+//! - **Readers** decode frames, answer control-plane ops (stats, ping,
+//!   swap, shutdown) inline, validate queries, and enqueue them.
+//!   Admission is where load is shed: a request is rejected with a
+//!   typed `Shed` + retry-after once the queue is full or the estimated
+//!   wait (depth × EMA latency ÷ workers) crosses the configured bound.
+//! - **Workers** pop queries, arm a [`CancelToken`] with the request
+//!   deadline plus the server stop flag, and run the `try_*` engine
+//!   paths on whatever generation [`IndexHandle::load`] returns. A
+//!   deadline firing surfaces as `QueryError::Deadline` → a typed
+//!   response; the worker, its scratch, and the index survive.
+//! - **Responses** are written under a per-connection mutex, so workers
+//!   finish out of order and clients may pipeline (the `request_id`
+//!   says which answer is whose).
+//!
+//! Everything is `std`: `TcpListener` + scoped-ish plain threads +
+//! `Mutex`/`Condvar`. The server side of this crate is panic-free by
+//! policy (enforced by `scripts/verify.sh`): every failure path is a
+//! typed response or a dropped connection, never a worker teardown.
+
+use crate::handle::IndexHandle;
+use crate::histogram::LatencyHistogram;
+use crate::protocol::{
+    decode_request, decode_scheme, encode_response, read_frame, write_frame, ProtoError, QuerySpec,
+    Request, Response, WireGroup, WireObject,
+};
+use nwc_core::{
+    CancelFlag, CancelToken, DiskIndexConfig, KnwcQuery, MetricsSnapshot, NwcQuery, QueryError,
+    QueryScratch, Scheme, SearchStats, WindowSpec,
+};
+use nwc_geom::pt;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tunables. The defaults suit a test or benchmark instance;
+/// production would size `workers` to cores and the queue to the
+/// latency budget.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Fixed worker pool size (min 1).
+    pub workers: usize,
+    /// Maximum queued (admitted, not yet executing) queries before
+    /// shedding.
+    pub queue_depth: usize,
+    /// Shed when `queued × EMA latency ÷ workers` exceeds this.
+    pub max_estimated_wait: Duration,
+    /// Deadline applied when a request carries `deadline_ms = 0`;
+    /// `None` = no default deadline.
+    pub default_deadline: Option<Duration>,
+    /// How hot-swapped page files are opened.
+    pub swap_config: DiskIndexConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 128,
+            max_estimated_wait: Duration::from_millis(500),
+            default_deadline: None,
+            swap_config: DiskIndexConfig::default(),
+        }
+    }
+}
+
+/// Server-side monotonically increasing counters, exported by the
+/// stats endpoint.
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    no_answer: AtomicU64,
+    deadline: AtomicU64,
+    shed: AtomicU64,
+    stopped: AtomicU64,
+    bad_request: AtomicU64,
+    io_failed: AtomicU64,
+    swaps: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// Per-worker observability: a lock-free latency histogram, merged at
+/// scrape time.
+#[derive(Debug, Default)]
+struct WorkerStats {
+    hist: LatencyHistogram,
+}
+
+/// What a query job needs to run: the decoded query, where to write
+/// the answer, and its latency budget.
+struct Job {
+    request_id: u32,
+    kind: JobKind,
+    scheme: Scheme,
+    deadline: Option<Instant>,
+    writer: Arc<Mutex<TcpStream>>,
+    enqueued: Instant,
+}
+
+enum JobKind {
+    Nwc(NwcQuery),
+    Knwc(KnwcQuery),
+}
+
+/// The bounded admission queue plus the latency EMA the shed policy
+/// reads.
+#[derive(Debug, Default)]
+struct Queue {
+    inner: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    /// Exponential moving average of query service time, microseconds
+    /// (α = 1/8). Seeded at 1 ms until real samples arrive.
+    ema_us: AtomicU64,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").field("request_id", &self.request_id).finish()
+    }
+}
+
+struct Shared {
+    handle: Arc<IndexHandle>,
+    config: ServerConfig,
+    queue: Queue,
+    stop: CancelFlag,
+    counters: Counters,
+    workers: Vec<WorkerStats>,
+}
+
+impl Shared {
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+        self.queue.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admission: enqueue, or shed with a suggested retry-after.
+    fn admit(&self, job: Job) -> Result<(), u32> {
+        let workers = self.config.workers.max(1) as u64;
+        let ema = self.queue.ema_us.load(Ordering::Relaxed);
+        let mut q = self.lock_queue();
+        let depth = q.len() as u64;
+        let est_wait_us = (depth + 1) * ema / workers;
+        if q.len() >= self.config.queue_depth
+            || est_wait_us > self.config.max_estimated_wait.as_micros() as u64
+        {
+            // Suggested backoff: the estimated wait, at least 1 ms.
+            return Err((est_wait_us / 1000).clamp(1, 60_000) as u32);
+        }
+        q.push_back(job);
+        drop(q);
+        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        self.queue.ready.notify_one();
+        Ok(())
+    }
+
+    /// Folds a completed query's service time into the EMA (α = 1/8).
+    fn observe_latency(&self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let old = self.queue.ema_us.load(Ordering::Relaxed);
+        let new = old - old / 8 + us / 8;
+        self.queue.ema_us.store(new.max(1), Ordering::Relaxed);
+    }
+
+    /// The stats-endpoint payload: the unified [`MetricsSnapshot`] of
+    /// the serving generation, then the server's own gauges, in a
+    /// stable order.
+    fn metrics_text(&self) -> String {
+        let generation = self.handle.load();
+        let mut out = MetricsSnapshot::capture(&generation.index).to_text();
+        let c = &self.counters;
+        let depth = self.lock_queue().len();
+        let merged = LatencyHistogram::merge(self.workers.iter().map(|w| &w.hist));
+        let (p50, p99, p999) = merged.p50_p99_p999();
+        for (name, value) in [
+            ("server_generation", generation.id),
+            ("server_queue_depth", depth as u64),
+            ("server_workers", self.config.workers as u64),
+            ("server_connections_total", c.connections.load(Ordering::Relaxed)),
+            ("server_accepted_total", c.accepted.load(Ordering::Relaxed)),
+            ("server_completed_total", c.completed.load(Ordering::Relaxed)),
+            ("server_no_answer_total", c.no_answer.load(Ordering::Relaxed)),
+            ("server_deadline_total", c.deadline.load(Ordering::Relaxed)),
+            ("server_shed_total", c.shed.load(Ordering::Relaxed)),
+            ("server_stopped_total", c.stopped.load(Ordering::Relaxed)),
+            ("server_bad_request_total", c.bad_request.load(Ordering::Relaxed)),
+            ("server_io_failed_total", c.io_failed.load(Ordering::Relaxed)),
+            ("server_swaps_total", c.swaps.load(Ordering::Relaxed)),
+            ("latency_count", merged.count()),
+            ("latency_p50_us", p50),
+            ("latency_p99_us", p99),
+            ("latency_p999_us", p999),
+            ("latency_ema_us", self.queue.ema_us.load(Ordering::Relaxed)),
+        ] {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A running server. Dropping it without [`Server::shutdown`] leaves
+/// the threads running until the process exits; call `shutdown` for an
+/// orderly drain.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept loop plus the worker pool over `handle`.
+    pub fn start(
+        handle: Arc<IndexHandle>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            handle,
+            config,
+            queue: Queue {
+                ema_us: AtomicU64::new(1000),
+                ..Queue::default()
+            },
+            stop: CancelFlag::new(),
+            counters: Counters::default(),
+            workers: (0..workers).map(|_| WorkerStats::default()).collect(),
+        });
+        let mut threads = Vec::with_capacity(workers + 1);
+        for wid in 0..workers {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || worker_loop(&shared, wid)));
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || accept_loop(&listener, &shared)));
+        }
+        Ok(Server {
+            addr: local,
+            shared,
+            threads,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The epoch handle this server queries (share it to swap
+    /// in-process).
+    pub fn handle(&self) -> Arc<IndexHandle> {
+        Arc::clone(&self.shared.handle)
+    }
+
+    /// The current stats-endpoint payload, scraped in-process.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_text()
+    }
+
+    /// Parks the caller until the stop flag rises — a client `Shutdown`
+    /// opcode, typically — then joins every server thread. This is how
+    /// a binary serves "forever".
+    pub fn shutdown_when_stopped(self) {
+        while !self.shared.stop.is_stopped() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.shutdown();
+    }
+
+    /// Raises the stop flag: stop accepting, cancel in-flight queries
+    /// via their tokens, answer queued-but-unstarted queries with
+    /// `Stopped`, and joins every server thread.
+    pub fn shutdown(mut self) {
+        self.shared.stop.stop();
+        self.shared.queue.ready.notify_all();
+        for t in self.threads.drain(..) {
+            // A panicked thread already tore itself down; joining is
+            // only for orderly exit, so a Err(_) is ignored here.
+            let _ = t.join();
+        }
+    }
+}
+
+/// Accepts connections until the stop flag rises; each connection gets
+/// a detached reader thread (it exits on disconnect or stop).
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.stop.is_stopped() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || reader_loop(stream, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Sends one response frame; a write failure means the client is gone,
+/// which is not the server's problem.
+fn respond(writer: &Arc<Mutex<TcpStream>>, request_id: u32, resp: &Response) {
+    let payload = encode_response(request_id, resp);
+    let mut stream = writer.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = write_frame(&mut *stream, &payload);
+}
+
+/// Per-connection reader: decodes frames, handles control ops inline,
+/// validates and enqueues queries.
+fn reader_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    // A read timeout lets the reader notice the stop flag between
+    // frames instead of blocking in `read` forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    let mut buf = Vec::new();
+    loop {
+        if shared.stop.is_stopped() {
+            return;
+        }
+        match read_frame(&mut reader, &mut buf) {
+            Ok(()) => {}
+            Err(ProtoError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            // Closed or hopeless: drop the connection.
+            Err(_) => return,
+        }
+        match decode_request(&buf) {
+            Ok((request_id, req)) => handle_request(shared, &writer, request_id, req),
+            Err(_) => {
+                // Without a decodable header there is no request_id to
+                // echo; answer on id 0 and drop the connection, since
+                // framing may be out of sync.
+                shared.counters.bad_request.fetch_add(1, Ordering::Relaxed);
+                respond(&writer, 0, &Response::BadRequest("undecodable request".to_string()));
+                return;
+            }
+        }
+    }
+}
+
+/// Validates a wire query spec into an engine query + deadline.
+fn build_query(
+    shared: &Shared,
+    spec: &QuerySpec,
+) -> Result<(NwcQuery, Scheme, Option<Instant>), Box<Response>> {
+    let scheme = decode_scheme(spec.scheme_bits)
+        .map_err(|_| Box::new(Response::BadRequest("unknown scheme bits".to_string())))?;
+    // The serving index is built with every structure, but guard anyway:
+    // a scheme the current generation cannot run must be a typed
+    // rejection, never the engine's panic.
+    let generation = shared.handle.load();
+    if scheme.needs_grid() && generation.index.grid().is_none() {
+        return Err(Box::new(Response::BadRequest("DEP needs a density grid".to_string())));
+    }
+    if scheme.needs_iwp() && generation.index.iwp().is_none() {
+        return Err(Box::new(Response::BadRequest("IWP augmentation not built".to_string())));
+    }
+    // `WindowSpec::new` asserts on bad dimensions; the wire carries
+    // arbitrary floats, so gate it here with a typed rejection.
+    if !(spec.l > 0.0 && spec.w > 0.0 && spec.l.is_finite() && spec.w.is_finite()) {
+        return Err(Box::new(Response::BadRequest(
+            "window dimensions must be positive and finite".to_string(),
+        )));
+    }
+    let query = NwcQuery::try_new(
+        pt(spec.qx, spec.qy),
+        WindowSpec::new(spec.l, spec.w),
+        spec.n as usize,
+        Default::default(),
+    )
+    .map_err(|e| Box::new(Response::BadRequest(e.to_string())))?;
+    let deadline = if spec.deadline_ms > 0 {
+        Some(Instant::now() + Duration::from_millis(u64::from(spec.deadline_ms)))
+    } else {
+        shared.config.default_deadline.map(|d| Instant::now() + d)
+    };
+    Ok((query, scheme, deadline))
+}
+
+fn handle_request(
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    request_id: u32,
+    req: Request,
+) {
+    match req {
+        Request::Ping => respond(writer, request_id, &Response::Done),
+        Request::Stats => {
+            respond(writer, request_id, &Response::Stats(shared.metrics_text()));
+        }
+        Request::Shutdown => {
+            respond(writer, request_id, &Response::Done);
+            shared.stop.stop();
+            shared.queue.ready.notify_all();
+        }
+        Request::Swap(path) => {
+            match shared.handle.swap_from_path(&path, shared.config.swap_config) {
+                Ok(report) => {
+                    shared.counters.swaps.fetch_add(1, Ordering::Relaxed);
+                    respond(
+                        writer,
+                        request_id,
+                        &Response::Swapped {
+                            old_generation: report.old_generation,
+                            new_generation: report.new_generation,
+                            drain_us: u64::try_from(report.drain.as_micros())
+                                .unwrap_or(u64::MAX),
+                            old_pinned: report.old_pinned,
+                            drained: report.drained,
+                        },
+                    );
+                }
+                Err(e) => {
+                    shared.counters.io_failed.fetch_add(1, Ordering::Relaxed);
+                    respond(writer, request_id, &Response::IoFailed(e.to_string()));
+                }
+            }
+        }
+        Request::Nwc(spec) => {
+            let (query, scheme, deadline) = match build_query(shared, &spec) {
+                Ok(q) => q,
+                Err(resp) => {
+                    shared.counters.bad_request.fetch_add(1, Ordering::Relaxed);
+                    respond(writer, request_id, &resp);
+                    return;
+                }
+            };
+            enqueue(shared, writer, request_id, JobKind::Nwc(query), scheme, deadline);
+        }
+        Request::Knwc { spec, k, m } => {
+            let (base, scheme, deadline) = match build_query(shared, &spec) {
+                Ok(q) => q,
+                Err(resp) => {
+                    shared.counters.bad_request.fetch_add(1, Ordering::Relaxed);
+                    respond(writer, request_id, &resp);
+                    return;
+                }
+            };
+            let query = match KnwcQuery::try_new(
+                base.q,
+                base.spec,
+                base.n,
+                k as usize,
+                m as usize,
+                base.measure,
+            ) {
+                Ok(q) => q,
+                Err(e) => {
+                    shared.counters.bad_request.fetch_add(1, Ordering::Relaxed);
+                    respond(writer, request_id, &Response::BadRequest(e.to_string()));
+                    return;
+                }
+            };
+            enqueue(shared, writer, request_id, JobKind::Knwc(query), scheme, deadline);
+        }
+    }
+}
+
+fn enqueue(
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    request_id: u32,
+    kind: JobKind,
+    scheme: Scheme,
+    deadline: Option<Instant>,
+) {
+    if shared.stop.is_stopped() {
+        shared.counters.stopped.fetch_add(1, Ordering::Relaxed);
+        respond(writer, request_id, &Response::Stopped);
+        return;
+    }
+    let job = Job {
+        request_id,
+        kind,
+        scheme,
+        deadline,
+        writer: Arc::clone(writer),
+        enqueued: Instant::now(),
+    };
+    if let Err(retry_after_ms) = shared.admit(job) {
+        shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        respond(writer, request_id, &Response::Shed { retry_after_ms });
+    }
+}
+
+/// Converts an engine answer into wire groups.
+fn wire_groups_nwc(result: Option<nwc_core::NwcResult>) -> Vec<WireGroup> {
+    result
+        .map(|r| WireGroup {
+            objects: r
+                .objects
+                .iter()
+                .map(|e| WireObject {
+                    id: e.id,
+                    x: e.point.x,
+                    y: e.point.y,
+                })
+                .collect(),
+            distance: r.distance,
+        })
+        .into_iter()
+        .collect()
+}
+
+fn wire_groups_knwc(result: nwc_core::KnwcResult) -> (Vec<WireGroup>, SearchStats) {
+    let stats = result.stats;
+    let groups = result
+        .groups
+        .into_iter()
+        .map(|g| WireGroup {
+            objects: g
+                .objects
+                .iter()
+                .map(|e| WireObject {
+                    id: e.id,
+                    x: e.point.x,
+                    y: e.point.y,
+                })
+                .collect(),
+            distance: g.distance,
+        })
+        .collect();
+    (groups, stats)
+}
+
+/// The fixed worker: pops queries, runs them with an armed token on
+/// the loaded generation, answers, repeats. Never tears down on a
+/// per-query failure.
+fn worker_loop(shared: &Arc<Shared>, wid: usize) {
+    let mut scratch = QueryScratch::new();
+    loop {
+        let job = {
+            let mut q = shared.lock_queue();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break Some(job);
+                }
+                if shared.stop.is_stopped() {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .queue
+                    .ready
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+            }
+        };
+        let Some(job) = job else {
+            // Stop flag up and the queue empty: the pool drains out.
+            return;
+        };
+        if shared.stop.is_stopped() {
+            // Admitted before the stop but never started: typed refusal.
+            shared.counters.stopped.fetch_add(1, Ordering::Relaxed);
+            respond(&job.writer, job.request_id, &Response::Stopped);
+            continue;
+        }
+        // Arm the token with the request deadline and the server stop
+        // flag; the engine checks it at every expand/window boundary.
+        let mut token = CancelToken::with_flag(&shared.stop);
+        if let Some(deadline) = job.deadline {
+            token = token.deadline(deadline);
+        }
+        // The generation is loaded *here*, pinned for exactly this
+        // query: a concurrent swap flips new admissions, not us.
+        let generation = shared.handle.load();
+        let resp = match &job.kind {
+            JobKind::Nwc(query) => {
+                match generation
+                    .index
+                    .try_nwc_full_cancel(query, job.scheme, &mut scratch, &token)
+                {
+                    Ok((result, stats)) => {
+                        if result.is_none() {
+                            shared.counters.no_answer.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Response::Groups {
+                            groups: wire_groups_nwc(result),
+                            stats,
+                        }
+                    }
+                    Err(e) => error_response(shared, e),
+                }
+            }
+            JobKind::Knwc(query) => {
+                match generation
+                    .index
+                    .try_knwc_cancel(query, job.scheme, &mut scratch, &token)
+                {
+                    Ok(result) => {
+                        let (groups, stats) = wire_groups_knwc(result);
+                        Response::Groups { groups, stats }
+                    }
+                    Err(e) => error_response(shared, e),
+                }
+            }
+        };
+        drop(generation);
+        let latency = job.enqueued.elapsed();
+        if matches!(resp, Response::Groups { .. }) {
+            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            shared.observe_latency(latency);
+        }
+        if let Some(stats) = shared.workers.get(wid) {
+            stats.hist.record(latency);
+        }
+        respond(&job.writer, job.request_id, &resp);
+    }
+}
+
+/// Maps an engine error to its wire response, counting it.
+fn error_response(shared: &Shared, e: QueryError) -> Response {
+    match e {
+        QueryError::Deadline => {
+            shared.counters.deadline.fetch_add(1, Ordering::Relaxed);
+            Response::Deadline
+        }
+        QueryError::Cancelled => {
+            shared.counters.stopped.fetch_add(1, Ordering::Relaxed);
+            Response::Stopped
+        }
+        QueryError::Io(e) => {
+            shared.counters.io_failed.fetch_add(1, Ordering::Relaxed);
+            Response::IoFailed(e.to_string())
+        }
+        // Validation errors were rejected at admission; anything left
+        // is still a typed refusal, not a panic.
+        other => {
+            shared.counters.bad_request.fetch_add(1, Ordering::Relaxed);
+            Response::BadRequest(other.to_string())
+        }
+    }
+}

@@ -25,10 +25,16 @@ cargo clippy --workspace -- -D warnings
 # deliberate panic site and are not query-read-path code). The I/O
 # executor is held to the same bar: its completion threads must never
 # unwind (a panicking worker would strand in-flight pages forever).
+# The serving layer joins the list: a panicking worker or reader thread
+# would silently strand client connections, so every serve source file
+# must route failures through typed responses instead.
 step "lint: no panic paths in the disk query read path"
 for f in crates/rtree/src/disk.rs crates/rtree/src/browser.rs \
          crates/rtree/src/query.rs crates/rtree/src/iwp.rs \
-         crates/store/src/executor.rs; do
+         crates/store/src/executor.rs \
+         crates/serve/src/protocol.rs crates/serve/src/histogram.rs \
+         crates/serve/src/handle.rs crates/serve/src/server.rs \
+         crates/serve/src/client.rs; do
   if sed '/#\[cfg(test)\]/,$d' "$f" | grep -nE 'panic!|unwrap\(\)|\.expect\(|unreachable!'; then
     echo "error: panic-capable call in non-test section of $f" >&2
     exit 1
@@ -84,6 +90,18 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
   grep -q '"backend"' results/BENCH_kernels.json
   grep -q '"overlap_us"' results/BENCH_kernels.json
   echo "ok: results/BENCH_kernels.json written (backend + overlap counters)"
+
+  step "smoke: serving layer (concurrent clients, deadlines, hot-swap)"
+  cargo run --release --bin nwc-serve -- --self-test
+  cargo test -q --release --test serve_swap
+  echo "ok: serve self-test and hot-swap suite passed"
+
+  step "smoke: serve load sweep (tiny scale)"
+  NWC_SCALE=0.02 NWC_QUERIES=3 cargo run --release -p nwc-bench -- serve
+  test -s results/BENCH_serve.json
+  grep -q '"capacity_qps"' results/BENCH_serve.json
+  grep -q '"p999_us"' results/BENCH_serve.json
+  echo "ok: results/BENCH_serve.json written (capacity + tail latency)"
 fi
 
 step "verify: all checks passed"

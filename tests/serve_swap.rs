@@ -1,0 +1,466 @@
+//! The serving layer's hard guarantees, end to end:
+//!
+//! - **generation atomicity** — queries racing a hot-swap return
+//!   answers valid for exactly one generation, never a torn mix of
+//!   both;
+//! - **store lifecycle** — the old generation's page file stays
+//!   advisory-locked until its last in-flight query finishes, then the
+//!   swap closes it (provably: the file can be reopened) with zero
+//!   pinned pool frames;
+//! - **resilience** — the flip works while a [`FaultStore`] injects
+//!   transient read faults under both generations;
+//! - **typed refusals over the wire** — deadline-exceeded and shed
+//!   requests produce typed responses, the workers survive, and the
+//!   pool shows no pin leaks afterwards;
+//! - **batch cancellation** — `QueryEngine`'s `*_cancel` batch APIs
+//!   observe an external stop flag without tearing down the scope.
+
+use nwc::prelude::*;
+use nwc_core::{CancelFlag, CancelToken, QueryEngine, QueryError};
+use nwc_serve::{IndexHandle, QueryOutcome, ServeClient, Server, ServerConfig};
+use nwc_store::{FaultPlan, FaultStore, FileStore, RetryPolicy, StoreError};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_pages(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nwc-serve-swap-{tag}-{}.pages", std::process::id()))
+}
+
+/// `count` deterministic points confined to `[lo, hi)²` — two calls
+/// with disjoint ranges make generations whose answers cannot be
+/// confused.
+fn region_points(count: usize, lo: f64, hi: f64, seed: u64) -> Vec<Point> {
+    let span = hi - lo;
+    (0..count)
+        .map(|i| {
+            let s = (i as u64 ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            Point::new(
+                lo + (s % 1_000_000) as f64 / 1_000_000.0 * span,
+                lo + ((s >> 20) % 1_000_000) as f64 / 1_000_000.0 * span,
+            )
+        })
+        .collect()
+}
+
+fn save_region(tag: &str, lo: f64, hi: f64, seed: u64) -> PathBuf {
+    let path = temp_pages(tag);
+    NwcIndex::build(region_points(4_000, lo, hi, seed))
+        .save_tree(&path)
+        .expect("saving page file");
+    path
+}
+
+/// Queries racing a hot-swap must answer from exactly one generation.
+/// Generation 1 lives entirely in `[0, 4500)²`, generation 2 entirely
+/// in `[5500, 10000)²`; any group mixing the two regions — or any
+/// untyped failure — is a torn swap.
+#[test]
+fn concurrent_queries_across_flip_answer_from_exactly_one_generation() {
+    let gen1 = save_region("atomic-g1", 0.0, 4_500.0, 1);
+    let gen2 = save_region("atomic-g2", 5_500.0, 10_000.0, 2);
+    // Generous admission bounds: this test races the swap, shedding is
+    // covered elsewhere and debug-mode queries are slow.
+    let config = ServerConfig {
+        workers: 3,
+        queue_depth: 1024,
+        max_estimated_wait: Duration::from_secs(120),
+        ..ServerConfig::default()
+    };
+    let index = NwcIndex::open_disk(&gen1, config.swap_config).expect("open generation 1");
+    let server = Server::start(Arc::new(IndexHandle::new(index)), "127.0.0.1:0", config)
+        .expect("start server");
+    let addr = server.local_addr();
+
+    let verdicts: Vec<Result<(usize, usize), String>> = std::thread::scope(|scope| {
+        let joins: Vec<_> = (0..4)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut client =
+                        ServeClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                    let (mut from_g1, mut from_g2) = (0usize, 0usize);
+                    // Queries everywhere in the space; the serving
+                    // generation decides which region answers (NWC
+                    // returns the nearest cluster however far away).
+                    for (i, q) in region_points(40, 500.0, 9_500.0, 77 + t).iter().enumerate() {
+                        match client
+                            .nwc(Scheme::NWC_STAR, q.x, q.y, 1_000.0, 1_000.0, 4, 30_000)
+                            .map_err(|e| format!("query {i}: {e}"))?
+                        {
+                            QueryOutcome::Answer { groups, .. } => {
+                                for g in &groups {
+                                    let g1 = g.objects.iter().all(|o| o.x < 4_500.0 && o.y < 4_500.0);
+                                    let g2 = g.objects.iter().all(|o| o.x >= 5_500.0 && o.y >= 5_500.0);
+                                    if g1 {
+                                        from_g1 += 1;
+                                    } else if g2 {
+                                        from_g2 += 1;
+                                    } else {
+                                        return Err(format!(
+                                            "torn group mixes generations: {:?}",
+                                            g.objects
+                                        ));
+                                    }
+                                }
+                            }
+                            other => return Err(format!("untyped outcome: {other:?}")),
+                        }
+                    }
+                    Ok((from_g1, from_g2))
+                })
+            })
+            .collect();
+        // Flip mid-load.
+        std::thread::sleep(Duration::from_millis(15));
+        let mut swapper = ServeClient::connect(addr).expect("swap connect");
+        let swap = swapper
+            .swap(&gen2.display().to_string())
+            .expect("swap request")
+            .expect("swap accepted");
+        assert_eq!(swap.old_generation, 1);
+        assert_eq!(swap.new_generation, 2);
+        assert_eq!(swap.old_pinned, 0, "pin leak across hot-swap");
+        joins
+            .into_iter()
+            .map(|j| j.join().unwrap_or_else(|_| Err("client panicked".into())))
+            .collect()
+    });
+
+    let (mut g1_total, mut g2_total) = (0, 0);
+    for v in verdicts {
+        let (g1, g2) = v.expect("every query answers, from one generation");
+        g1_total += g1;
+        g2_total += g2;
+    }
+    // After the flip, a fresh query must see generation 2 only.
+    let mut client = ServeClient::connect(addr).expect("reconnect");
+    match client
+        .nwc(Scheme::NWC_STAR, 7_000.0, 7_000.0, 1_000.0, 1_000.0, 4, 30_000)
+        .expect("post-swap query")
+    {
+        QueryOutcome::Answer { groups, .. } => {
+            assert!(groups[0].objects.iter().all(|o| o.x >= 5_500.0));
+        }
+        other => panic!("post-swap query failed: {other:?}"),
+    }
+    assert!(g2_total > 0, "no query observed the new generation");
+    // g1_total may be 0 only if the swap won every race; with a 15 ms
+    // head start that would mean no query ran at all.
+    assert!(g1_total > 0, "no query observed the old generation");
+
+    server.shutdown();
+    std::fs::remove_file(&gen1).ok();
+    std::fs::remove_file(&gen2).ok();
+}
+
+/// The swap must actually close the old store: its advisory lock is
+/// held while serving (a second open fails with `StoreError::Locked`)
+/// and released once the drained generation drops.
+#[test]
+fn swap_closes_old_store_and_releases_its_lock() {
+    let gen1 = save_region("lock-g1", 0.0, 4_500.0, 3);
+    let gen2 = save_region("lock-g2", 5_500.0, 10_000.0, 4);
+    let handle = IndexHandle::new(
+        NwcIndex::open_disk(&gen1, DiskIndexConfig::default()).expect("open generation 1"),
+    );
+
+    // Serving: the page file is exclusively locked.
+    match FileStore::open(&gen1) {
+        Err(StoreError::Locked { .. }) => {}
+        Err(e) => panic!("expected the served file to be locked, got {e}"),
+        Ok(_) => panic!("the served file must be locked"),
+    }
+
+    let report = handle.swap_index(
+        NwcIndex::open_disk(&gen2, DiskIndexConfig::default()).expect("open generation 2"),
+    );
+    assert!(report.drained, "idle swap must drain immediately");
+    assert_eq!(report.old_pinned, 0);
+
+    // Closed: the old file reopens cleanly; the new one is now locked.
+    FileStore::open(&gen1).expect("old store must be closed after the swap");
+    match FileStore::open(&gen2) {
+        Err(StoreError::Locked { .. }) => {}
+        Err(e) => panic!("expected the new file to be locked, got {e}"),
+        Ok(_) => panic!("the new file must be locked"),
+    }
+
+    drop(handle);
+    std::fs::remove_file(&gen1).ok();
+    std::fs::remove_file(&gen2).ok();
+}
+
+/// Opens a region dataset through a transient-fault-injecting store.
+fn fault_backed(tag: &str, lo: f64, hi: f64, seed: u64, rate: f64) -> NwcIndex {
+    let path = save_region(tag, lo, hi, seed);
+    let store = FileStore::open(&path).expect("reopen page file");
+    let fault = Arc::new(FaultStore::new(store, FaultPlan::default()));
+    let index = NwcIndex::open_disk_from_store(
+        Box::new(Arc::clone(&fault)),
+        DiskIndexConfig {
+            retry: RetryPolicy {
+                max_attempts: 6,
+                base_backoff: Duration::ZERO,
+                max_backoff: Duration::ZERO,
+            },
+            ..DiskIndexConfig::default()
+        },
+    )
+    .expect("open through a transparent fault store");
+    fault.set_plan(FaultPlan::transient(rate, 0xFA_17 ^ seed));
+    std::fs::remove_file(&path).ok();
+    index
+}
+
+/// The flip keeps working while both generations absorb injected
+/// transient read faults: queries racing the swap still only see typed
+/// outcomes and single-generation answers.
+#[test]
+fn hot_swap_survives_transient_store_faults_under_load() {
+    let handle = Arc::new(IndexHandle::new(fault_backed("faulty-g1", 0.0, 4_500.0, 5, 0.05)));
+    let flag = CancelFlag::new();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for t in 0..3 {
+            let handle = Arc::clone(&handle);
+            let flag = flag.clone();
+            joins.push(scope.spawn(move || {
+                let mut scratch = nwc_core::QueryScratch::new();
+                let queries = region_points(150, 500.0, 9_500.0, 99 + t);
+                let mut answered = 0usize;
+                for q in &queries {
+                    if flag.is_stopped() {
+                        break;
+                    }
+                    let generation = handle.load();
+                    let query = NwcQuery::new(*q, WindowSpec::square(1_000.0), 4);
+                    match generation.index.try_nwc_full_cancel(
+                        &query,
+                        Scheme::NWC_STAR,
+                        &mut scratch,
+                        &CancelToken::none(),
+                    ) {
+                        Ok((Some(result), _)) => {
+                            let lo = result.objects.iter().all(|o| o.point.x < 4_500.0);
+                            let hi = result.objects.iter().all(|o| o.point.x >= 5_500.0);
+                            assert!(
+                                lo || hi,
+                                "torn group under faults: {:?}",
+                                result.objects
+                            );
+                            answered += 1;
+                        }
+                        Ok((None, _)) => {}
+                        Err(e) => panic!("transient faults must stay invisible: {e}"),
+                    }
+                }
+                answered
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        let report = handle.swap_index(fault_backed("faulty-g2", 5_500.0, 10_000.0, 6, 0.05));
+        assert_eq!(report.old_pinned, 0, "pin leak swapping under faults");
+        flag.stop();
+        let answered: usize = joins.into_iter().map(|j| j.join().expect("no panic")).sum();
+        assert!(answered > 0, "the load never answered anything");
+    });
+    assert_eq!(handle.generation(), 2);
+}
+
+/// Over the wire: tight deadlines produce typed `Deadline`, a full
+/// admission queue produces typed `Shed` with a retry hint, the workers
+/// keep serving afterwards, and the pool ends with zero pinned frames.
+#[test]
+fn deadline_and_shed_are_typed_and_leak_no_pins() {
+    let path = save_region("typed", 0.0, 10_000.0, 7);
+    // One worker, a two-deep queue, and per-read latency injected via
+    // the fault store so queries are slow enough to pile up.
+    let store = FileStore::open(&path).expect("reopen page file");
+    let fault = Arc::new(FaultStore::new(store, FaultPlan::default()));
+    let index = NwcIndex::open_disk_from_store(
+        Box::new(Arc::clone(&fault)),
+        DiskIndexConfig {
+            pool_capacity: Some(4),
+            ..DiskIndexConfig::default()
+        },
+    )
+    .expect("open");
+    fault.set_plan(FaultPlan {
+        latency: Some(Duration::from_micros(300)),
+        ..FaultPlan::default()
+    });
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 2,
+        max_estimated_wait: Duration::from_secs(10),
+        default_deadline: None,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::new(IndexHandle::new(index)), "127.0.0.1:0", config)
+        .expect("start server");
+    let addr = server.local_addr();
+
+    // A tight deadline on a cold, latency-injected index: typed Deadline.
+    let mut client = ServeClient::connect(addr).expect("connect");
+    match client
+        .nwc(Scheme::NWC_STAR, 5_000.0, 5_000.0, 600.0, 600.0, 6, 1)
+        .expect("tight-deadline request")
+    {
+        QueryOutcome::Deadline | QueryOutcome::Answer { .. } => {}
+        other => panic!("expected Deadline (or a very fast answer), got {other:?}"),
+    }
+
+    // Flood from 8 connections: with one slow worker and a two-deep
+    // queue, some requests must shed — and every shed is typed with a
+    // non-zero retry hint.
+    let tallies: Vec<(usize, usize, usize)> = std::thread::scope(|scope| {
+        (0..8)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect(addr).expect("connect");
+                    let (mut ok, mut shed, mut deadline) = (0, 0, 0);
+                    for q in region_points(25, 500.0, 9_500.0, 7_000 + t) {
+                        match client
+                            .nwc(Scheme::NWC_STAR, q.x, q.y, 600.0, 600.0, 6, 5_000)
+                            .expect("request")
+                        {
+                            QueryOutcome::Answer { .. } => ok += 1,
+                            QueryOutcome::Shed { retry_after_ms } => {
+                                assert!(retry_after_ms > 0, "shed without a retry hint");
+                                shed += 1;
+                            }
+                            QueryOutcome::Deadline => deadline += 1,
+                            other => panic!("untyped outcome: {other:?}"),
+                        }
+                    }
+                    (ok, shed, deadline)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|j| j.join().expect("no panic"))
+            .collect()
+    });
+    let ok: usize = tallies.iter().map(|t| t.0).sum();
+    let shed: usize = tallies.iter().map(|t| t.1).sum();
+    assert!(ok > 0, "server stopped answering under load");
+    assert!(shed > 0, "two-deep queue under 8 connections never shed");
+
+    // The server is healthy afterwards: it answers, and the scrape
+    // proves zero pinned frames and typed accounting.
+    match client
+        .nwc(Scheme::NWC_STAR, 5_000.0, 5_000.0, 600.0, 600.0, 6, 5_000)
+        .expect("post-flood request")
+    {
+        QueryOutcome::Answer { .. } => {}
+        other => panic!("post-flood query failed: {other:?}"),
+    }
+    let stats = client.stats().expect("scrape");
+    let field = |name: &str| -> u64 {
+        stats
+            .lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|r| r.trim().parse().ok()))
+            .unwrap_or_else(|| panic!("scrape is missing `{name}`:\n{stats}"))
+    };
+    assert_eq!(field("pool_pinned "), 0, "pin leak after deadline/shed load");
+    assert!(field("server_shed_total ") >= shed as u64);
+    assert!(field("server_completed_total ") >= ok as u64);
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+/// The engine's batch APIs observe an external stop flag: a pre-stopped
+/// batch yields all-`Cancelled` without running anything, and an
+/// unarmed token reproduces `try_nwc_batch` exactly.
+#[test]
+fn engine_batches_accept_external_cancel_flag() {
+    let index = NwcIndex::build(region_points(3_000, 0.0, 10_000.0, 8));
+    let engine = QueryEngine::new(&index).with_threads(3);
+    let queries: Vec<NwcQuery> = region_points(24, 500.0, 9_500.0, 9)
+        .into_iter()
+        .map(|q| NwcQuery::new(q, WindowSpec::square(600.0), 5))
+        .collect();
+
+    // Unarmed token ≡ the plain batch API.
+    let plain = engine.try_nwc_batch(&queries, Scheme::NWC_STAR);
+    let unarmed = engine.try_nwc_batch_cancel(&queries, Scheme::NWC_STAR, &CancelToken::none());
+    assert_eq!(plain.len(), unarmed.len());
+    for (a, b) in plain.iter().zip(&unarmed) {
+        let a = a.as_ref().expect("in-memory batch cannot fail");
+        let b = b.as_ref().expect("unarmed cancel batch cannot fail");
+        assert_eq!(
+            a.0.as_ref().map(|r| r.ids()),
+            b.0.as_ref().map(|r| r.ids()),
+            "unarmed token changed an answer"
+        );
+    }
+
+    // A flag stopped before the batch starts: every slot is typed
+    // Cancelled, nothing panics, and the engine remains usable.
+    let flag = CancelFlag::new();
+    flag.stop();
+    let cancelled =
+        engine.try_nwc_batch_cancel(&queries, Scheme::NWC_STAR, &CancelToken::with_flag(&flag));
+    assert!(cancelled
+        .iter()
+        .all(|r| matches!(r, Err(QueryError::Cancelled))));
+
+    // kNWC path too.
+    let kq: Vec<KnwcQuery> = queries
+        .iter()
+        .take(6)
+        .map(|q| KnwcQuery::new(q.q, q.spec, 4, 3, 1))
+        .collect();
+    let cancelled = engine.try_knwc_batch_cancel(&kq, Scheme::NWC_PLUS, &CancelToken::with_flag(&flag));
+    assert!(cancelled
+        .iter()
+        .all(|r| matches!(r, Err(QueryError::Cancelled))));
+    let fine = engine.try_knwc_batch_cancel(&kq, Scheme::NWC_PLUS, &CancelToken::none());
+    assert!(fine.iter().all(Result::is_ok));
+}
+
+/// A deadline that fires mid-search over a disk-backed index surfaces
+/// as `QueryError::Deadline` with every pin released — the index
+/// answers the same query again afterwards.
+#[test]
+fn deadline_mid_search_releases_pins_and_index_survives() {
+    let path = save_region("midsearch", 0.0, 10_000.0, 10);
+    let store = FileStore::open(&path).expect("reopen");
+    let fault = Arc::new(FaultStore::new(store, FaultPlan::default()));
+    let index = NwcIndex::open_disk_from_store(
+        Box::new(Arc::clone(&fault)),
+        DiskIndexConfig {
+            pool_capacity: Some(4),
+            ..DiskIndexConfig::default()
+        },
+    )
+    .expect("open");
+    // 500 µs per physical read guarantees the 1 ms deadline fires
+    // mid-traversal, not before the search starts.
+    fault.set_plan(FaultPlan {
+        latency: Some(Duration::from_micros(500)),
+        ..FaultPlan::default()
+    });
+
+    let query = NwcQuery::new(Point::new(5_000.0, 5_000.0), WindowSpec::square(600.0), 6);
+    let mut scratch = nwc_core::QueryScratch::new();
+    let token =
+        CancelToken::with_deadline(std::time::Instant::now() + Duration::from_millis(1));
+    match index.try_nwc_full_cancel(&query, Scheme::NWC_STAR, &mut scratch, &token) {
+        Err(QueryError::Deadline) => {}
+        Ok(_) => panic!("a 1 ms budget at 500 µs/read cannot finish"),
+        Err(e) => panic!("expected Deadline, got {e}"),
+    }
+    let storage = index.tree().storage().expect("disk-backed");
+    assert_eq!(storage.pool_stats().pinned, 0, "cancelled search leaked pins");
+
+    // Same query, no deadline: the index is fully usable.
+    let (result, _) = index
+        .try_nwc_full_cancel(&query, Scheme::NWC_STAR, &mut scratch, &CancelToken::none())
+        .expect("index survives a cancelled search");
+    assert!(result.is_some());
+
+    drop(index);
+    std::fs::remove_file(&path).ok();
+}
