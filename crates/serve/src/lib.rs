@@ -34,5 +34,7 @@ pub mod server;
 pub use client::{ClientError, QueryOutcome, ServeClient, SwapOutcome};
 pub use handle::{Generation, IndexHandle, SwapReport};
 pub use histogram::{LatencyHistogram, MergedHistogram};
-pub use protocol::{OkShape, ProtoError, QuerySpec, Request, Response, WireGroup, WireObject};
+pub use protocol::{
+    FrameReader, OkShape, ProtoError, QuerySpec, Request, Response, WireGroup, WireObject,
+};
 pub use server::{Server, ServerConfig};

@@ -565,6 +565,11 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtoError>
 
 /// Reads one length-prefixed frame into `buf` (reused across calls).
 /// Returns [`ProtoError::Closed`] on clean EOF between frames.
+///
+/// For **blocking** sockets only: a read timeout firing mid-frame
+/// loses the bytes already consumed and desynchronizes the stream.
+/// Sockets with a read timeout (the server's per-connection readers)
+/// must use [`FrameReader`], which keeps partial progress.
 pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<(), ProtoError> {
     let mut len_bytes = [0u8; 4];
     let mut got = 0;
@@ -596,6 +601,91 @@ pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<(), ProtoError
         }
     })?;
     Ok(())
+}
+
+/// A resumable frame reader for sockets carrying a read timeout (or in
+/// nonblocking mode). Partial progress — length-prefix bytes and body
+/// bytes already consumed — survives a `WouldBlock`/`TimedOut` read,
+/// so a caller can poll a stop flag between attempts and then resume
+/// *exactly where the previous read stopped*: a frame whose bytes
+/// straddle timeouts is reassembled, never reinterpreted mid-stream as
+/// a fresh length prefix.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    len_bytes: [u8; 4],
+    len_got: usize,
+    /// `Some(len)` once the prefix is complete and `buf` is sized for
+    /// the body; `None` while (re)reading the prefix.
+    body_len: Option<usize>,
+    body_got: usize,
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// A reader with no partial frame.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// True when some bytes of the current frame have been consumed
+    /// but the frame is not complete — a timeout now means a slow
+    /// peer, not an idle one.
+    pub fn mid_frame(&self) -> bool {
+        self.len_got > 0 || self.body_len.is_some()
+    }
+
+    /// Reads until one frame completes and returns its payload. Every
+    /// error is returned with partial progress kept, so after a
+    /// `WouldBlock`/`TimedOut` the next call resumes the same frame;
+    /// a clean EOF between frames is [`ProtoError::Closed`].
+    pub fn read_frame(&mut self, r: &mut impl Read) -> Result<&[u8], ProtoError> {
+        // Phase 1: the length prefix.
+        while self.body_len.is_none() {
+            if self.len_got == 4 {
+                let len = u32::from_le_bytes(self.len_bytes);
+                if len > MAX_FRAME {
+                    return Err(ProtoError::Malformed("frame too large"));
+                }
+                self.buf.clear();
+                self.buf.resize(len as usize, 0);
+                self.body_got = 0;
+                self.body_len = Some(len as usize);
+                break;
+            }
+            match r.read(&mut self.len_bytes[self.len_got..4]) {
+                Ok(0) => {
+                    return Err(if self.len_got == 0 {
+                        ProtoError::Closed
+                    } else {
+                        ProtoError::Malformed("EOF inside length prefix")
+                    });
+                }
+                Ok(k) => self.len_got += k,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ProtoError::Io(e)),
+            }
+        }
+        // Phase 2: the body.
+        let len = match self.body_len {
+            Some(len) => len,
+            // Unreachable — phase 1 always sets `body_len` — but this
+            // module is panic-free by policy, so no unwrap.
+            None => return Err(ProtoError::Malformed("frame reader state")),
+        };
+        while self.body_got < len {
+            match r.read(&mut self.buf[self.body_got..len]) {
+                Ok(0) => return Err(ProtoError::Malformed("EOF inside frame body")),
+                Ok(k) => self.body_got += k,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ProtoError::Io(e)),
+            }
+        }
+        // Frame complete: reset for the next one, hand out the payload.
+        self.len_got = 0;
+        self.body_len = None;
+        self.body_got = 0;
+        Ok(&self.buf[..len])
+    }
 }
 
 /// Decodes scheme bits into a [`Scheme`](nwc_core::Scheme); bits above
@@ -752,6 +842,110 @@ mod tests {
         assert!(decode_request(&good).is_err());
         let short = &encode_request(1, &Request::Nwc(spec()))[..10];
         assert!(decode_request(short).is_err());
+    }
+
+    /// Yields one byte per `read`, interleaving a `WouldBlock` before
+    /// every byte — the worst case a read timeout can produce: every
+    /// prefix and body byte arrives in its own segment with a timeout
+    /// in between.
+    struct Trickle<'a> {
+        data: &'a [u8],
+        pos: usize,
+        ready: bool,
+        timeouts: usize,
+    }
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            if !self.ready {
+                self.ready = true;
+                self.timeouts += 1;
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            self.ready = false;
+            out[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_across_timeouts() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"world!").unwrap();
+        let mut r = Trickle {
+            data: &wire,
+            pos: 0,
+            ready: false,
+            timeouts: 0,
+        };
+        let mut frames = FrameReader::new();
+        let mut got = Vec::new();
+        loop {
+            match frames.read_frame(&mut r) {
+                Ok(payload) => got.push(payload.to_vec()),
+                Err(ProtoError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock => continue,
+                Err(ProtoError::Closed) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(got, vec![b"hello".to_vec(), b"".to_vec(), b"world!".to_vec()]);
+        // Every byte was preceded by a timeout, so partial prefixes and
+        // bodies were resumed many times over.
+        assert_eq!(r.timeouts, wire.len());
+        assert!(!frames.mid_frame());
+    }
+
+    #[test]
+    fn frame_reader_tracks_mid_frame_progress() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abc").unwrap();
+        // Feed two bytes of the prefix, then stall.
+        let mut frames = FrameReader::new();
+        let mut r: &[u8] = &wire[..2];
+        assert!(matches!(
+            frames.read_frame(&mut r),
+            Err(ProtoError::Malformed(_)) // EOF inside length prefix
+        ));
+        let mut frames = FrameReader::new();
+        let mut r = Trickle {
+            data: &wire[..2],
+            pos: 0,
+            ready: true, // one byte per call, no timeout on the first
+            timeouts: 0,
+        };
+        let _ = frames.read_frame(&mut r); // consumes byte 0, blocks
+        assert!(frames.mid_frame());
+        // The rest of the frame arrives: same reader finishes it.
+        let mut rest: &[u8] = &wire[2..];
+        // Drain the first-two-bytes source fully first.
+        let mut r2 = Trickle {
+            data: &wire[1..2],
+            pos: 0,
+            ready: true,
+            timeouts: 0,
+        };
+        let _ = frames.read_frame(&mut r2); // consumes byte 1, blocks
+        assert!(frames.mid_frame());
+        let payload = frames.read_frame(&mut rest).unwrap();
+        assert_eq!(payload, b"abc");
+        assert!(!frames.mid_frame());
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_frames() {
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        let mut r: &[u8] = &huge;
+        let mut frames = FrameReader::new();
+        assert!(matches!(
+            frames.read_frame(&mut r),
+            Err(ProtoError::Malformed(_))
+        ));
     }
 
     #[test]

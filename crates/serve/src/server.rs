@@ -11,11 +11,14 @@
 //!            └────────────┘                    └──────────┘     per conn)
 //! ```
 //!
-//! - **Readers** decode frames, answer control-plane ops (stats, ping,
-//!   swap, shutdown) inline, validate queries, and enqueue them.
-//!   Admission is where load is shed: a request is rejected with a
-//!   typed `Shed` + retry-after once the queue is full or the estimated
-//!   wait (depth × EMA latency ÷ workers) crosses the configured bound.
+//! - **Readers** decode frames resumably (a read timeout mid-frame
+//!   keeps partial progress — see [`FrameReader`]), answer
+//!   control-plane ops (stats, ping — and swap/shutdown when
+//!   [`ServerConfig::allow_control_plane`] is set) inline, validate
+//!   queries, and enqueue them. Admission is where load is shed: a
+//!   request is rejected with a typed `Shed` + retry-after once the
+//!   queue is full or the estimated wait (depth × EMA service time ÷
+//!   workers) crosses the configured bound.
 //! - **Workers** pop queries, arm a [`CancelToken`] with the request
 //!   deadline plus the server stop flag, and run the `try_*` engine
 //!   paths on whatever generation [`IndexHandle::load`] returns. A
@@ -33,8 +36,8 @@
 use crate::handle::IndexHandle;
 use crate::histogram::LatencyHistogram;
 use crate::protocol::{
-    decode_request, decode_scheme, encode_response, read_frame, write_frame, ProtoError, QuerySpec,
-    Request, Response, WireGroup, WireObject,
+    decode_request, decode_scheme, encode_response, write_frame, FrameReader, ProtoError,
+    QuerySpec, Request, Response, WireGroup, WireObject,
 };
 use nwc_core::{
     CancelFlag, CancelToken, DiskIndexConfig, KnwcQuery, MetricsSnapshot, NwcQuery, QueryError,
@@ -65,6 +68,15 @@ pub struct ServerConfig {
     pub default_deadline: Option<Duration>,
     /// How hot-swapped page files are opened.
     pub swap_config: DiskIndexConfig,
+    /// Whether the wire control plane (`Swap`, `Shutdown`) is served.
+    /// **Off by default**: those opcodes carry no authentication, so
+    /// any client that can reach the port could otherwise open an
+    /// arbitrary server-side path as the new index or stop the
+    /// process. Enable only for test/bench instances or behind a
+    /// trusted network boundary; when disabled, both opcodes get a
+    /// typed `BadRequest` and the served index is untouched (in-process
+    /// swaps via [`IndexHandle`] and [`Server::shutdown`] still work).
+    pub allow_control_plane: bool,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +87,7 @@ impl Default for ServerConfig {
             max_estimated_wait: Duration::from_millis(500),
             default_deadline: None,
             swap_config: DiskIndexConfig::default(),
+            allow_control_plane: false,
         }
     }
 }
@@ -124,8 +137,13 @@ enum JobKind {
 struct Queue {
     inner: Mutex<VecDeque<Job>>,
     ready: Condvar,
-    /// Exponential moving average of query service time, microseconds
-    /// (α = 1/8). Seeded at 1 ms until real samples arrive.
+    /// Exponential moving average of query *execution* time,
+    /// microseconds (α = 1/8), measured from worker pop to completion
+    /// — queue wait is deliberately excluded, since the shed estimate
+    /// multiplies this by the queue depth and folding wait back in
+    /// would double-count it (a positive feedback loop that sheds far
+    /// below the configured bound). Seeded at 1 ms until real samples
+    /// arrive.
     ema_us: AtomicU64,
 }
 
@@ -169,12 +187,18 @@ impl Shared {
         Ok(())
     }
 
-    /// Folds a completed query's service time into the EMA (α = 1/8).
-    fn observe_latency(&self, latency: Duration) {
-        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        let old = self.queue.ema_us.load(Ordering::Relaxed);
-        let new = old - old / 8 + us / 8;
-        self.queue.ema_us.store(new.max(1), Ordering::Relaxed);
+    /// Folds a completed query's execution time (worker pop →
+    /// completion, no queue wait) into the EMA (α = 1/8).
+    fn observe_service_time(&self, service: Duration) {
+        let us = u64::try_from(service.as_micros()).unwrap_or(u64::MAX);
+        // A CAS loop so concurrent workers never lose each other's
+        // samples to a torn load/store pair.
+        let _ = self
+            .queue
+            .ema_us
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+                Some((old - old / 8 + us / 8).max(1))
+            });
     }
 
     /// The stats-endpoint payload: the unified [`MetricsSnapshot`] of
@@ -334,7 +358,11 @@ fn respond(writer: &Arc<Mutex<TcpStream>>, request_id: u32, resp: &Response) {
 /// validates and enqueues queries.
 fn reader_loop(stream: TcpStream, shared: &Arc<Shared>) {
     // A read timeout lets the reader notice the stop flag between
-    // frames instead of blocking in `read` forever.
+    // reads instead of blocking in `read` forever. `FrameReader` keeps
+    // partial-frame progress across those timeouts, so a slow peer
+    // whose frame straddles a timeout (realistic: the length prefix
+    // and payload are separate writes on a TCP_NODELAY socket) is
+    // resumed, never desynchronized into garbage frames.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_nodelay(true);
     let writer = match stream.try_clone() {
@@ -342,23 +370,26 @@ fn reader_loop(stream: TcpStream, shared: &Arc<Shared>) {
         Err(_) => return,
     };
     let mut reader = stream;
-    let mut buf = Vec::new();
+    let mut frames = FrameReader::new();
     loop {
         if shared.stop.is_stopped() {
             return;
         }
-        match read_frame(&mut reader, &mut buf) {
-            Ok(()) => {}
+        let decoded = match frames.read_frame(&mut reader) {
+            Ok(payload) => decode_request(payload),
             Err(ProtoError::Io(e))
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
+                // Idle between frames, or a slow peer mid-frame: the
+                // reader's progress is intact, poll the stop flag and
+                // resume.
                 continue;
             }
             // Closed or hopeless: drop the connection.
             Err(_) => return,
-        }
-        match decode_request(&buf) {
+        };
+        match decoded {
             Ok((request_id, req)) => handle_request(shared, &writer, request_id, req),
             Err(_) => {
                 // Without a decodable header there is no request_id to
@@ -423,11 +454,17 @@ fn handle_request(
             respond(writer, request_id, &Response::Stats(shared.metrics_text()));
         }
         Request::Shutdown => {
+            if !control_plane_allowed(shared, writer, request_id) {
+                return;
+            }
             respond(writer, request_id, &Response::Done);
             shared.stop.stop();
             shared.queue.ready.notify_all();
         }
         Request::Swap(path) => {
+            if !control_plane_allowed(shared, writer, request_id) {
+                return;
+            }
             match shared.handle.swap_from_path(&path, shared.config.swap_config) {
                 Ok(report) => {
                     shared.counters.swaps.fetch_add(1, Ordering::Relaxed);
@@ -488,6 +525,25 @@ fn handle_request(
             enqueue(shared, writer, request_id, JobKind::Knwc(query), scheme, deadline);
         }
     }
+}
+
+/// Enforces [`ServerConfig::allow_control_plane`]: when the control
+/// plane is disabled, answers with a typed refusal and returns false.
+fn control_plane_allowed(
+    shared: &Shared,
+    writer: &Arc<Mutex<TcpStream>>,
+    request_id: u32,
+) -> bool {
+    if shared.config.allow_control_plane {
+        return true;
+    }
+    shared.counters.bad_request.fetch_add(1, Ordering::Relaxed);
+    respond(
+        writer,
+        request_id,
+        &Response::BadRequest("control plane disabled on this server".to_string()),
+    );
+    false
 }
 
 fn enqueue(
@@ -590,6 +646,12 @@ fn worker_loop(shared: &Arc<Shared>, wid: usize) {
             respond(&job.writer, job.request_id, &Response::Stopped);
             continue;
         }
+        // Execution starts here: `started` feeds the shed EMA (service
+        // time only — folding queue wait in would double-count it in
+        // the depth × EMA estimate), while `job.enqueued` feeds the
+        // latency histogram (what the client experienced, wait
+        // included).
+        let started = Instant::now();
         // Arm the token with the request deadline and the server stop
         // flag; the engine checks it at every expand/window boundary.
         let mut token = CancelToken::with_flag(&shared.stop);
@@ -631,10 +693,11 @@ fn worker_loop(shared: &Arc<Shared>, wid: usize) {
             }
         };
         drop(generation);
+        let service = started.elapsed();
         let latency = job.enqueued.elapsed();
         if matches!(resp, Response::Groups { .. }) {
             shared.counters.completed.fetch_add(1, Ordering::Relaxed);
-            shared.observe_latency(latency);
+            shared.observe_service_time(service);
         }
         if let Some(stats) = shared.workers.get(wid) {
             stats.hist.record(latency);

@@ -28,6 +28,9 @@ fn main() {
     // ---- serve generation 1 ------------------------------------------
     let config = ServerConfig {
         workers: 2,
+        // Opt in to wire-driven Swap/Shutdown — off by default because
+        // those opcodes carry no authentication.
+        allow_control_plane: true,
         ..ServerConfig::default()
     };
     let index = NwcIndex::open_disk(&gen1, config.swap_config).expect("opening generation 1");

@@ -60,7 +60,14 @@ fn parse<T: std::str::FromStr>(args: &[String], i: usize, what: &str) -> Result<
 fn serve(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("missing <pages-file>")?;
     let addr = args.get(1).cloned().unwrap_or_else(|| "127.0.0.1:7171".to_string());
-    let mut config = ServerConfig::default();
+    let mut config = ServerConfig {
+        // The CLI's documented workflow includes wire-driven hot-swap
+        // and shutdown, so the control plane is on — which means any
+        // client that can reach the port can swap the index or stop
+        // the process. Bind a loopback/trusted address accordingly.
+        allow_control_plane: true,
+        ..ServerConfig::default()
+    };
     if let Some(workers) = parse(args, 2, "workers")? {
         config.workers = workers;
     }
@@ -76,7 +83,8 @@ fn serve(args: &[String]) -> Result<(), String> {
     let server =
         Server::start(handle, &addr, config).map_err(|e| format!("binding {addr}: {e}"))?;
     println!(
-        "serving {path} on {} ({} workers); send Shutdown to stop",
+        "serving {path} on {} ({} workers); send Shutdown to stop \
+         (control plane open: any client may Swap/Shutdown)",
         server.local_addr(),
         config.workers
     );
@@ -129,6 +137,7 @@ fn self_test_in(dir: &std::path::Path) -> Result<(), String> {
         max_estimated_wait: Duration::from_secs(2),
         default_deadline: Some(Duration::from_secs(5)),
         swap_config: DiskIndexConfig::default(),
+        allow_control_plane: true,
     };
     let index = nwc_core::NwcIndex::open_disk(&gen1, config.swap_config)
         .map_err(|e| format!("opening generation 1: {e}"))?;

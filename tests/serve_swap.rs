@@ -65,6 +65,7 @@ fn concurrent_queries_across_flip_answer_from_exactly_one_generation() {
         workers: 3,
         queue_depth: 1024,
         max_estimated_wait: Duration::from_secs(120),
+        allow_control_plane: true, // this test swaps over the wire
         ..ServerConfig::default()
     };
     let index = NwcIndex::open_disk(&gen1, config.swap_config).expect("open generation 1");
@@ -418,6 +419,119 @@ fn engine_batches_accept_external_cancel_flag() {
         .all(|r| matches!(r, Err(QueryError::Cancelled))));
     let fine = engine.try_knwc_batch_cancel(&kq, Scheme::NWC_PLUS, &CancelToken::none());
     assert!(fine.iter().all(Result::is_ok));
+}
+
+/// A slow client whose frame straddles the server's 100 ms read
+/// timeout must not be desynchronized: the bytes of one request,
+/// dribbled in segments with inter-segment gaps longer than the
+/// timeout, still assemble into that request, and the connection stays
+/// framed for the next one. (Regression: the reader used to discard
+/// partially-read prefix/body bytes on a timeout and reinterpret
+/// mid-frame bytes as a new length prefix.)
+#[test]
+fn slow_client_frames_straddling_read_timeouts_stay_in_sync() {
+    use nwc_serve::protocol::{
+        decode_response, encode_request, encode_scheme, read_frame, OkShape, QuerySpec, Request,
+        Response,
+    };
+    use std::io::Write;
+
+    let path = save_region("slow", 0.0, 10_000.0, 13);
+    let config = ServerConfig::default();
+    let index = NwcIndex::open_disk(&path, config.swap_config).expect("open");
+    let server = Server::start(Arc::new(IndexHandle::new(index)), "127.0.0.1:0", config)
+        .expect("start server");
+    let addr = server.local_addr();
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let spec = QuerySpec {
+        scheme_bits: encode_scheme(Scheme::NWC_STAR),
+        qx: 5_000.0,
+        qy: 5_000.0,
+        l: 600.0,
+        w: 600.0,
+        n: 6,
+        deadline_ms: 30_000,
+    };
+    let payload = encode_request(1, &Request::Nwc(spec));
+    let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&payload);
+
+    // Dribble the frame: split inside the length prefix AND inside the
+    // body, pausing well past the server's 100 ms read timeout at each
+    // cut so every segment lands in a different timed-out read.
+    for chunk in [&frame[..2], &frame[2..6], &frame[6..20], &frame[20..]] {
+        stream.write_all(chunk).expect("segment write");
+        stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(150));
+    }
+
+    let mut buf = Vec::new();
+    read_frame(&mut stream, &mut buf).expect("response frame");
+    let (id, resp) = decode_response(&buf, OkShape::Groups).expect("decodable response");
+    assert_eq!(id, 1, "response for the dribbled request");
+    assert!(
+        matches!(resp, Response::Groups { .. }),
+        "the dribbled request must execute, got {resp:?}"
+    );
+
+    // The connection is still framed: a normally-written second request
+    // on the same socket answers too.
+    let payload = encode_request(2, &Request::Nwc(spec));
+    let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&payload);
+    stream.write_all(&frame).expect("second request");
+    read_frame(&mut stream, &mut buf).expect("second response frame");
+    let (id, resp) = decode_response(&buf, OkShape::Groups).expect("second decode");
+    assert_eq!(id, 2);
+    assert!(matches!(resp, Response::Groups { .. }));
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+/// The wire control plane is **off by default**: `Swap` and `Shutdown`
+/// get typed refusals, the served index and the process survive, and
+/// queries keep flowing.
+#[test]
+fn control_plane_disabled_by_default_refuses_swap_and_shutdown() {
+    let gen1 = save_region("ctl-g1", 0.0, 10_000.0, 14);
+    let gen2 = save_region("ctl-g2", 0.0, 10_000.0, 15);
+    let config = ServerConfig::default();
+    assert!(!config.allow_control_plane, "gate must default off");
+    let index = NwcIndex::open_disk(&gen1, config.swap_config).expect("open generation 1");
+    let server = Server::start(Arc::new(IndexHandle::new(index)), "127.0.0.1:0", config)
+        .expect("start server");
+    let addr = server.local_addr();
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+    match client.swap(&gen2.display().to_string()).expect("swap roundtrip") {
+        Err(msg) => assert!(msg.contains("control plane"), "unexpected refusal: {msg}"),
+        Ok(swap) => panic!("swap must be refused with the gate off, got {swap:?}"),
+    }
+    // Shutdown is refused too (the one-shot client surfaces the
+    // unexpected status as an error) and the server keeps serving.
+    assert!(client.shutdown().is_err(), "shutdown must be refused");
+
+    let mut client = ServeClient::connect(addr).expect("reconnect");
+    match client
+        .nwc(Scheme::NWC_STAR, 5_000.0, 5_000.0, 600.0, 600.0, 6, 30_000)
+        .expect("query after refused control ops")
+    {
+        QueryOutcome::Answer { .. } => {}
+        other => panic!("server must still answer after refusals: {other:?}"),
+    }
+    let stats = client.stats().expect("scrape");
+    assert!(
+        stats.contains("server_generation 1"),
+        "index swapped despite the gate:\n{stats}"
+    );
+    assert!(stats.contains("server_swaps_total 0"));
+
+    server.shutdown();
+    std::fs::remove_file(&gen1).ok();
+    std::fs::remove_file(&gen2).ok();
 }
 
 /// A deadline that fires mid-search over a disk-backed index surfaces
