@@ -1,0 +1,316 @@
+//! Streaming-ingest sweep over the writable disk mode (not from the
+//! paper).
+//!
+//! Seeds a writable page file from the CA dataset, then streams fresh
+//! points through a [`StreamingIngestor`] (sliding-window eviction, one
+//! shadow-paged commit every `COMMIT_EVERY` pushes) at several buffer
+//! pool capacities, measuring three things per cell:
+//!
+//! - **ingest throughput** — sustained pushes/second including eviction
+//!   and commit cost (`ingest_per_s` in the JSON);
+//! - **query latency while ingesting** — an NWC* query interleaved
+//!   every [`QUERY_EVERY`] pushes, answered from the live index (dirty
+//!   overlay + committed pages), exact p50/p99;
+//! - **crash-recovery time** — after the final commit the index is
+//!   dropped and the page file reopened cold, timing the full open
+//!   (validation scan + derived-structure rebuild), i.e. the time to
+//!   resume service after a crash.
+//!
+//! An `arena` row runs the identical stream against the in-memory index
+//! as the no-I/O ceiling. Besides the markdown table, the run writes
+//! machine-readable `results/BENCH_ingest.json`.
+
+use crate::context::ExperimentContext;
+use crate::table::Table;
+use nwc_core::{
+    DiskIndexConfig, IngestConfig, NwcIndex, NwcQuery, Scheme, StreamingIngestor, WindowSpec,
+};
+use nwc_geom::Point;
+use std::time::Instant;
+
+/// Pushes between interleaved probe queries.
+pub const QUERY_EVERY: usize = 32;
+
+/// Pushes between shadow-paged commits on disk-backed cells.
+pub const COMMIT_EVERY: usize = 64;
+
+/// One cell of the sweep.
+#[derive(Clone, Debug)]
+pub struct IngestPoint {
+    /// `"arena"` or the pool capacity in pages (`"unbounded"`, `"256"`, …).
+    pub pool: String,
+    /// Points streamed through the window.
+    pub pushes: u64,
+    /// Sliding-window evictions performed.
+    pub evicted: u64,
+    /// Commits performed (cadence + final).
+    pub commits: u64,
+    /// Sustained pushes per second, eviction and commit cost included.
+    pub ingest_per_s: f64,
+    /// Median interleaved-query latency, microseconds.
+    pub query_p50_us: u64,
+    /// 99th-percentile interleaved-query latency, microseconds.
+    pub query_p99_us: u64,
+    /// Cold reopen (crash recovery) after the final commit, milliseconds;
+    /// 0 for the arena row (nothing to reopen).
+    pub reopen_ms: f64,
+}
+
+/// Everything the ingest experiment measured.
+#[derive(Clone, Debug)]
+pub struct IngestReport {
+    /// Dataset seeding the window.
+    pub dataset: String,
+    /// Live objects retained by the sliding window.
+    pub window: usize,
+    /// Points streamed per cell.
+    pub stream_len: usize,
+    /// One row per backend/pool-capacity.
+    pub points: Vec<IngestPoint>,
+}
+
+/// Runs the sweep and renders the markdown table; also writes
+/// `results/BENCH_ingest.json` (errors writing the file are reported on
+/// stderr, not fatal — the measurement still prints).
+pub fn ingest(ctx: &ExperimentContext) -> String {
+    let report = measure(ctx);
+    let json = render_json(ctx, &report);
+    let path = "results/BENCH_ingest.json";
+    match std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &json)) {
+        Ok(()) => eprintln!("[ingest] wrote {path}"),
+        Err(e) => eprintln!("[ingest] could not write {path}: {e}"),
+    }
+    render_markdown(&report)
+}
+
+/// The measurement itself, separated from rendering for tests.
+pub fn measure(ctx: &ExperimentContext) -> IngestReport {
+    let ds = ctx.dataset("CA");
+    let window = ds.points.len();
+    let stream_len = (window / 2).max(64);
+    let stream = stream_points(stream_len, ctx.seed);
+    let probes = ctx.query_points();
+
+    let mut points = Vec::new();
+
+    // In-memory ceiling: the same stream with no page I/O at all.
+    {
+        let idx = NwcIndex::build(ds.points.clone());
+        let (point, _) = run_cell("arena", idx, window, &stream, &probes);
+        points.push(point);
+    }
+
+    // Disk-backed cells across pool capacities. `None` = unbounded.
+    for cap in [None, Some(256), Some(64)] {
+        let label = cap.map_or_else(|| "unbounded".to_string(), |c: usize| c.to_string());
+        let path = std::env::temp_dir().join(format!(
+            "nwc-ingest-bench-{}-{}.pages",
+            std::process::id(),
+            label
+        ));
+        let arena = NwcIndex::build(ds.points.clone());
+        arena
+            .save_tree_writable(&path)
+            .unwrap_or_else(|e| panic!("saving writable page file: {e}"));
+        drop(arena);
+        let config = DiskIndexConfig {
+            pool_capacity: cap,
+            ..DiskIndexConfig::default()
+        };
+        let idx = NwcIndex::open_disk(&path, config)
+            .unwrap_or_else(|e| panic!("opening writable page file: {e}"));
+        let (mut point, committed) = run_cell(&label, idx, window, &stream, &probes);
+        drop(committed);
+        // Crash-recovery: reopen the committed file cold, timing the
+        // full open (validation scan + grid/IWP rebuild).
+        let t = Instant::now();
+        let reopened = NwcIndex::open_disk(&path, config)
+            .unwrap_or_else(|e| panic!("reopening after commit: {e}"));
+        point.reopen_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(reopened.len(), window, "reopen lost objects");
+        drop(reopened);
+        let _ = std::fs::remove_file(&path);
+        points.push(point);
+    }
+
+    IngestReport {
+        dataset: ds.name,
+        window,
+        stream_len,
+        points,
+    }
+}
+
+/// Streams `stream` through a full window over `idx`, probing with NWC*
+/// queries along the way. Returns the measured cell and the (committed)
+/// index for reopen timing.
+fn run_cell(
+    pool: &str,
+    idx: NwcIndex,
+    window: usize,
+    stream: &[Point],
+    probes: &[Point],
+) -> (IngestPoint, NwcIndex) {
+    let mut ing = StreamingIngestor::new(
+        idx,
+        IngestConfig {
+            capacity: window,
+            commit_every: COMMIT_EVERY,
+        },
+    );
+    let mut query_lat_us: Vec<u64> = Vec::new();
+    let spec = WindowSpec::square(500.0);
+    let t0 = Instant::now();
+    for (i, &p) in stream.iter().enumerate() {
+        ing.push(p).unwrap_or_else(|e| panic!("push failed: {e}"));
+        if i % QUERY_EVERY == 0 {
+            let probe = probes[(i / QUERY_EVERY) % probes.len()];
+            let q = NwcQuery::new(probe, spec, 8);
+            let t = Instant::now();
+            // NWC+ (not *) so no IWP rebuild is forced mid-stream: the
+            // augmentation is invalidated by every push.
+            let _ = ing.index().nwc(&q, Scheme::NWC_PLUS);
+            query_lat_us.push(t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        }
+    }
+    ing.commit().unwrap_or_else(|e| panic!("final commit failed: {e}"));
+    let elapsed = t0.elapsed().as_secs_f64();
+    query_lat_us.sort_unstable();
+    let point = IngestPoint {
+        pool: pool.to_string(),
+        pushes: stream.len() as u64,
+        evicted: ing.evicted(),
+        commits: ing.commits(),
+        ingest_per_s: stream.len() as f64 / elapsed.max(1e-9),
+        query_p50_us: percentile(&query_lat_us, 0.50),
+        query_p99_us: percentile(&query_lat_us, 0.99),
+        reopen_ms: 0.0,
+    };
+    (point, ing.into_index())
+}
+
+/// Fresh arrivals: a drifting hot spot, the common shape of check-in
+/// streams (new activity clusters, old activity ages out).
+fn stream_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        // xorshift64*, plenty for benchmark point jitter.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n.max(1) as f64;
+            let cx = 2_000.0 + 6_000.0 * t;
+            let cy = 5_000.0 - 3_000.0 * t;
+            Point::new(cx + next() * 400.0, cy + next() * 400.0)
+        })
+        .collect()
+}
+
+/// Exact percentile over sorted microsecond latencies (ceil-rank).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn render_markdown(r: &IngestReport) -> String {
+    let mut t = Table::new(
+        "ingest",
+        format!(
+            "Streaming ingest with sliding-window retention — {} seed window of {} \
+             objects, {} fresh points streamed per cell, commit every {} pushes, one \
+             NWC+ probe query every {} pushes. `reopen` is the cold crash-recovery \
+             open of the committed page file.",
+            r.dataset, r.window, r.stream_len, COMMIT_EVERY, QUERY_EVERY,
+        ),
+        vec![
+            "pool", "pushes", "evicted", "commits", "ingest/s", "query p50 µs",
+            "query p99 µs", "reopen ms",
+        ],
+    );
+    for p in &r.points {
+        t.push_row(vec![
+            p.pool.clone(),
+            p.pushes.to_string(),
+            p.evicted.to_string(),
+            p.commits.to_string(),
+            format!("{:.0}", p.ingest_per_s),
+            p.query_p50_us.to_string(),
+            p.query_p99_us.to_string(),
+            if p.reopen_ms > 0.0 {
+                format!("{:.2}", p.reopen_ms)
+            } else {
+                "—".to_string()
+            },
+        ]);
+    }
+    t.to_markdown()
+}
+
+/// Hand-rolled JSON (the workspace has no serde): stable field order,
+/// numbers via `format!` so the file diffs cleanly between runs.
+fn render_json(ctx: &ExperimentContext, r: &IngestReport) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"ingest\",\n");
+    s.push_str(&format!("  \"dataset\": \"{}\",\n", r.dataset));
+    s.push_str(&format!("  \"scale\": {},\n", ctx.scale));
+    s.push_str(&format!("  \"seed\": {},\n", ctx.seed));
+    s.push_str(&format!("  \"window\": {},\n", r.window));
+    s.push_str(&format!("  \"stream_len\": {},\n", r.stream_len));
+    s.push_str(&format!("  \"commit_every\": {},\n", COMMIT_EVERY));
+    s.push_str("  \"sweep\": [\n");
+    for (i, p) in r.points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"pool\": \"{}\", \"pushes\": {}, \"evicted\": {}, \"commits\": {}, \
+             \"ingest_per_s\": {:.2}, \"query_p50_us\": {}, \"query_p99_us\": {}, \
+             \"reopen_ms\": {:.3}}}{}\n",
+            p.pool,
+            p.pushes,
+            p.evicted,
+            p.commits,
+            p.ingest_per_s,
+            p.query_p50_us,
+            p.query_p99_us,
+            p.reopen_ms,
+            if i + 1 == r.points.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_measures_all_backends_and_json_well_formed() {
+        let ctx = ExperimentContext::tiny();
+        let r = measure(&ctx);
+        assert_eq!(r.points.len(), 4, "arena + three pool capacities");
+        assert_eq!(r.points[0].pool, "arena");
+        for p in &r.points {
+            assert!(p.ingest_per_s > 0.0, "no throughput in cell {p:?}");
+            assert_eq!(p.pushes as usize, r.stream_len);
+            assert!(p.evicted > 0, "window never slid in cell {p:?}");
+            assert!(p.query_p50_us <= p.query_p99_us);
+        }
+        for p in &r.points[1..] {
+            assert!(p.commits > 0, "disk cell never committed: {p:?}");
+            assert!(p.reopen_ms > 0.0, "reopen not timed in cell {p:?}");
+        }
+        let json = render_json(&ctx, &r);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON"
+        );
+        assert!(json.contains("\"ingest_per_s\""));
+    }
+}

@@ -15,6 +15,7 @@ pub mod buffer;
 pub mod context;
 pub mod faults;
 pub mod figures;
+pub mod ingest;
 pub mod kernels;
 pub mod runner;
 pub mod serve;

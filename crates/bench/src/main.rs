@@ -7,7 +7,8 @@
 //!
 //! EXPERIMENT: all (default) | table2 | table3 | fig8 | fig9 | fig10 |
 //!             fig11 | fig12 | fig13 | fig14 | storage | model |
-//!             ablations | throughput | buffer | faults | kernels | serve
+//!             ablations | throughput | buffer | faults | kernels | serve |
+//!             ingest
 //!
 //! Environment:
 //!   NWC_SCALE    fraction of the paper's dataset cardinalities (0.2)
@@ -19,7 +20,7 @@
 //! `cargo run --release -p nwc-bench > EXPERIMENTS-run.md` captures a
 //! full report.
 
-use nwc_bench::{buffer, faults, figures, kernels, serve, throughput, ExperimentContext};
+use nwc_bench::{buffer, faults, figures, ingest, kernels, serve, throughput, ExperimentContext};
 
 fn main() {
     let ctx = ExperimentContext::from_env();
@@ -89,6 +90,9 @@ fn main() {
     }
     if want("serve") {
         println!("{}", serve::serve(&ctx));
+    }
+    if want("ingest") {
+        println!("{}", ingest::ingest(&ctx));
     }
     if want("ablations") {
         println!("{}", figures::ablation_measures(&ctx));

@@ -156,13 +156,16 @@ impl From<DiskError> for IndexOpenError {
 /// An error produced by [`NwcIndex::insert`] / [`NwcIndex::remove`].
 #[derive(Debug, PartialEq, Eq)]
 pub enum IndexUpdateError {
-    /// The index is disk-backed (see [`NwcIndex::open_disk`]) and
-    /// therefore read-only: rebuild in memory and
-    /// [`NwcIndex::save_tree`] instead. The index is unchanged.
+    /// The index is disk-backed over a store with no write path (a
+    /// version-1 page file, a read-only backend, or a file opened
+    /// without write permission). Save a writable file with
+    /// [`NwcIndex::save_tree_writable`] and reopen it to mutate on
+    /// disk, or rebuild in memory. The index is unchanged.
     ReadOnly,
-    /// A page read failed during the update. Unreachable today — updates
-    /// are refused on disk-backed indexes before any read — but kept so
-    /// every [`TreeError`] converts losslessly.
+    /// A page read failed during the update (a writable disk-backed
+    /// index faults tree nodes in while descending). The overlay may be
+    /// partially updated: drop the index without committing — the page
+    /// file still holds the last committed state — and reopen.
     Io(DiskReadError),
 }
 
@@ -170,7 +173,11 @@ impl std::fmt::Display for IndexUpdateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IndexUpdateError::ReadOnly => {
-                write!(f, "disk-backed indexes are read-only: rebuild and save_tree instead")
+                write!(
+                    f,
+                    "disk-backed index is read-only (reopen from a writable page file \
+                     written by save_tree_writable to mutate it)"
+                )
             }
             IndexUpdateError::Io(e) => write!(f, "disk read failed: {e}"),
         }
@@ -273,13 +280,35 @@ impl NwcIndex {
         self.tree.save_to_path_with_layout(path, layout)
     }
 
+    /// As [`NwcIndex::save_tree`], but writes a *writable* (v2) page
+    /// file: reopened with [`NwcIndex::open_disk`], the index accepts
+    /// [`NwcIndex::insert`] / [`NwcIndex::remove`], with durability
+    /// through [`NwcIndex::commit`]'s copy-on-write shadow paging (see
+    /// [`nwc_rtree::disk`], "Writable mode").
+    pub fn save_tree_writable(&self, path: impl AsRef<Path>) -> Result<(), DiskError> {
+        self.tree.save_to_path_writable(path)
+    }
+
+    /// As [`NwcIndex::save_tree_writable`], assigning page ids
+    /// according to `layout` (see [`PageLayout`]).
+    pub fn save_tree_writable_with_layout(
+        &self,
+        path: impl AsRef<Path>,
+        layout: PageLayout,
+    ) -> Result<(), DiskError> {
+        self.tree.save_to_path_writable_with_layout(path, layout)
+    }
+
     /// Opens a page file written by [`NwcIndex::save_tree`] as a
     /// disk-backed index: node accesses fault pages in through a buffer
     /// pool (misses are physical, checksum-verified page reads; the
     /// pool capacity — possibly tightened by
     /// [`DiskIndexConfig::memory_budget_bytes`] — bounds the resident
-    /// decoded nodes) and the tree is read-only — [`NwcIndex::insert`]
-    /// / [`NwcIndex::remove`] return [`IndexUpdateError::ReadOnly`].
+    /// decoded nodes). A file written by [`NwcIndex::save_tree`] opens
+    /// read-only — [`NwcIndex::insert`] / [`NwcIndex::remove`] return
+    /// [`IndexUpdateError::ReadOnly`] — while one written by
+    /// [`NwcIndex::save_tree_writable`] accepts updates, committed
+    /// durably through [`NwcIndex::commit`].
     ///
     /// The point table, bounds, density grid and IWP augmentation are
     /// reconstructed from the stored tree; none of that setup work is
@@ -415,8 +444,10 @@ impl NwcIndex {
 
     /// Adds an object, returning its id. Invalidates the IWP
     /// augmentation (if any) until [`NwcIndex::rebuild_iwp`]. On a
-    /// disk-backed index returns [`IndexUpdateError::ReadOnly`] with
-    /// every structure untouched.
+    /// *writable* disk-backed index the tree mutation lands in the
+    /// in-memory overlay — call [`NwcIndex::commit`] to make it
+    /// durable; on a read-only one this returns
+    /// [`IndexUpdateError::ReadOnly`] with every structure untouched.
     pub fn insert(&mut self, point: Point) -> Result<u32, IndexUpdateError> {
         assert!(point.is_finite(), "cannot index non-finite point {point:?}");
         let id = u32::try_from(self.points.len()).expect("object id overflow");
@@ -437,8 +468,9 @@ impl NwcIndex {
     /// Removes the object with the given id. Returns `Ok(false)` when
     /// the id is unknown or was already removed, and
     /// [`IndexUpdateError::ReadOnly`] — with every structure untouched —
-    /// on a disk-backed index. Invalidates the IWP augmentation (if
-    /// any).
+    /// on a read-only disk-backed index (a writable one mutates its
+    /// overlay, like [`NwcIndex::insert`]). Invalidates the IWP
+    /// augmentation (if any).
     pub fn remove(&mut self, id: u32) -> Result<bool, IndexUpdateError> {
         let Some(&point) = self.points.get(id as usize) else {
             return Ok(false);
@@ -463,6 +495,31 @@ impl NwcIndex {
     /// batch, not per update.
     pub fn rebuild_iwp(&mut self) {
         self.iwp = Some(IwpIndex::build(&self.tree));
+    }
+
+    /// Durably commits every pending [`NwcIndex::insert`] /
+    /// [`NwcIndex::remove`] of a *writable* disk-backed index: dirty
+    /// tree nodes are shadow-paged to disk and the committed root flips
+    /// atomically (see [`nwc_rtree::RStarTree::commit`]). A crash at
+    /// any point leaves the page file opening as exactly the old or the
+    /// new tree. No-op `Ok` on an in-memory index and on a clean tree;
+    /// [`IndexUpdateError::ReadOnly`] on a read-only disk-backed index.
+    ///
+    /// A commit that actually flushed dirty nodes invalidates the IWP
+    /// augmentation (like [`NwcIndex::insert`]): shadow paging assigns
+    /// fresh page ids to the flushed nodes, and the IWP's leaf pointers
+    /// are positional. Call [`NwcIndex::rebuild_iwp`] before the next
+    /// IWP/NWC* query.
+    pub fn commit(&mut self) -> Result<(), IndexUpdateError> {
+        let dirty = self
+            .tree
+            .storage()
+            .is_some_and(|s| s.dirty_nodes() > 0);
+        self.tree.commit().map_err(IndexUpdateError::from)?;
+        if dirty {
+            self.iwp = None;
+        }
+        Ok(())
     }
 }
 

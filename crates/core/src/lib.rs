@@ -50,6 +50,7 @@ mod candidates;
 mod constrained;
 pub mod engine;
 mod index;
+pub mod ingest;
 mod knwc;
 pub mod maxrs;
 mod measure;
@@ -63,6 +64,7 @@ pub mod weighted;
 
 pub use engine::QueryEngine;
 pub use index::{DiskIndexConfig, IndexConfig, IndexOpenError, IndexUpdateError, NwcIndex};
+pub use ingest::{IngestConfig, StreamingIngestor};
 pub use knwc::{KnwcGroup, KnwcResult};
 pub use measure::DistanceMeasure;
 pub use metrics::MetricsSnapshot;

@@ -14,15 +14,26 @@ use std::collections::VecDeque;
 
 impl RStarTree {
     /// Removes one entry matching `id` *and* `point`. Returns
-    /// `Ok(true)` when an entry was found and removed, `Ok(false)` when
-    /// nothing matched, and [`TreeError::ReadOnly`] on a disk-backed
-    /// tree (see [`crate::disk`]): the cached nodes would silently
-    /// diverge from the page file. The tree is untouched on error.
+    /// `Ok(true)` when an entry was found and removed and `Ok(false)`
+    /// when nothing matched.
+    ///
+    /// On a *writable* disk-backed tree (see [`crate::disk`], "Writable
+    /// mode") the mutation lands in the in-memory overlay; call
+    /// [`RStarTree::commit`] to make it durable. Returns
+    /// [`TreeError::ReadOnly`] on a disk-backed tree whose store has no
+    /// write path — the tree is untouched in that case. An
+    /// [`TreeError::Io`] mid-mutation can leave the overlay partially
+    /// updated: drop the tree without committing and reopen.
     pub fn delete(&mut self, id: ObjectId, point: Point) -> Result<bool, TreeError> {
         self.check_mutable()?;
-        let Some(path) = self.find_leaf_path(self.root, id, &point) else {
+        let Some(path) = self.find_leaf_path(self.root, id, &point)? else {
             return Ok(false);
         };
+        // Fault the whole found path before mutating anything, so the
+        // mutation body below only ever touches overlay-resident nodes.
+        for &nid in &path {
+            self.fault_for_write(nid)?;
+        }
         let leaf = *path.last().unwrap();
         let entries = self.node_mut(leaf).entries_mut();
         let pos = entries
@@ -31,40 +42,58 @@ impl RStarTree {
             .expect("find_leaf_path returned a leaf without the entry");
         entries.swap_remove(pos);
         self.len -= 1;
-        self.condense(path);
+        self.condense(path)?;
+        self.finish_mutation()?;
         Ok(true)
     }
 
-    /// Root-to-leaf path to a leaf containing the entry, if any.
-    fn find_leaf_path(&self, node: NodeId, id: ObjectId, point: &Point) -> Option<Vec<NodeId>> {
-        match &self.node(node).kind {
-            NodeKind::Leaf(entries) => entries
+    /// Root-to-leaf path to a leaf containing the entry, if any. A
+    /// read-only search: nodes are peeked (uncharged, unpinned), never
+    /// faulted for write.
+    fn find_leaf_path(
+        &self,
+        node: NodeId,
+        id: ObjectId,
+        point: &Point,
+    ) -> Result<Option<Vec<NodeId>>, TreeError> {
+        let n = self.try_peek_node(node)?;
+        match &n.kind {
+            NodeKind::Leaf(entries) => Ok(entries
                 .iter()
                 .any(|e| e.id == id && e.point == *point)
-                .then(|| vec![node]),
+                .then(|| vec![node])),
             NodeKind::Internal(branches) => {
-                for b in branches {
-                    if b.mbr.contains_point(point) {
-                        if let Some(mut path) = self.find_leaf_path(b.child, id, point) {
-                            path.insert(0, node);
-                            return Some(path);
-                        }
+                // The guard borrows the storage layer, so clone the
+                // branch list before recursing (short: ≤ max_entries).
+                let children: Vec<_> = branches
+                    .iter()
+                    .filter(|b| b.mbr.contains_point(point))
+                    .map(|b| b.child)
+                    .collect();
+                drop(n);
+                for child in children {
+                    if let Some(mut path) = self.find_leaf_path(child, id, point)? {
+                        path.insert(0, node);
+                        return Ok(Some(path));
                     }
                 }
-                None
+                Ok(None)
             }
         }
     }
 
     /// Dissolves underfull nodes along `path` (leaf last), reinserts
     /// their orphans, and collapses a single-child internal root.
-    fn condense(&mut self, path: Vec<NodeId>) {
+    fn condense(&mut self, path: Vec<NodeId>) -> Result<(), TreeError> {
         let mut orphans: Vec<ChildItem> = Vec::new();
         // Walk the path bottom-up, excluding the root.
         for idx in (1..path.len()).rev() {
             let nid = path[idx];
             if self.node(nid).len() < self.params.min_entries {
-                // Remove from parent, orphan the children.
+                // Remove from parent, orphan the children. Orphaned
+                // subtree roots are detached with their branch metadata
+                // (MBR + level) so reinsertion never reads them.
+                let node_level = self.node(nid).level;
                 let parent = path[idx - 1];
                 let branches = self.node_mut(parent).branches_mut();
                 let pos = branches.iter().position(|b| b.child == nid).unwrap();
@@ -74,7 +103,19 @@ impl RStarTree {
                         orphans.extend(entries.drain(..).map(ChildItem::Entry));
                     }
                     NodeKind::Internal(branches) => {
-                        orphans.extend(branches.drain(..).map(|b| ChildItem::Node(b.child)));
+                        let detached = std::mem::take(branches);
+                        // A detached branch's MBR copy is stale when
+                        // its child sits on the delete path (the walk
+                        // below already shrank it); capture the child's
+                        // *current* MBR instead.
+                        for b in detached {
+                            let mbr = self.child_mbr(&b);
+                            orphans.push(ChildItem::Node {
+                                id: b.child,
+                                mbr,
+                                level: node_level - 1,
+                            });
+                        }
                     }
                 }
                 self.dealloc(nid);
@@ -89,23 +130,37 @@ impl RStarTree {
         let mut items: Vec<ChildItem> = orphans;
         items.sort_by_key(|i| match i {
             ChildItem::Entry(_) => 0u32,
-            ChildItem::Node(n) => self.node(*n).level + 1,
+            ChildItem::Node { level, .. } => level + 1,
         });
         for item in items {
             let mut pending: VecDeque<ChildItem> = VecDeque::new();
             pending.push_back(item);
             let mut reinserted_levels: Vec<u32> = Vec::new();
             while let Some(it) = pending.pop_front() {
-                self.insert_item(it, &mut reinserted_levels, &mut pending);
+                self.insert_item(it, &mut reinserted_levels, &mut pending)?;
             }
         }
 
         // Collapse a root chain: internal root with one child.
-        while self.node(self.root).level > 0 && self.node(self.root).len() == 1 {
+        loop {
+            let next = {
+                let root = self.try_peek_node(self.root)?;
+                match &root.kind {
+                    NodeKind::Internal(b) if root.level > 0 && b.len() == 1 => Some(b[0].child),
+                    _ => None,
+                }
+            };
+            let Some(child) = next else { break };
             let old = self.root;
-            self.root = self.node(old).branches()[0].child;
+            self.root = child;
             self.dealloc(old);
+            // The new root may be a clean disk node while other state
+            // (the old root's page, the entry count) changed: fault it
+            // so the overlay is never empty after a real mutation and
+            // the next commit rewrites the header root.
+            self.fault_for_write(child)?;
         }
+        Ok(())
     }
 }
 

@@ -78,13 +78,45 @@
 //! adapter that panics — code that must keep serving under faults uses
 //! the `try_*` variants instead.
 //!
-//! Disk-backed trees are **read-only**: [`RStarTree::insert`] and
-//! [`RStarTree::delete`] return [`TreeError`](crate::TreeError)
-//! `::ReadOnly` rather than silently diverge from the file.
+//! # Writable mode: dirty-node overlay + shadow paging
+//!
+//! A tree opened over a *writable* store (a version-2 page file opened
+//! with write permission, or [`nwc_store::MemStore::new_writable`])
+//! supports [`RStarTree::insert`] and [`RStarTree::delete`] through a
+//! **dirty-node overlay** in [`TreeStorage`]:
+//!
+//! - the first mutation touching a node *faults* it into the overlay
+//!   (an `Arc<Node>` clone-on-write of the decoded page — resident
+//!   decodes are reused, nothing is copied until actually mutated);
+//! - every read — charged fetch or bookkeeping peek — checks the
+//!   overlay **first**, so uncommitted mutations are immediately
+//!   visible to queries on the same tree, exactly like the arena;
+//! - fresh nodes (splits, root growth) get temporary ids counted down
+//!   from `u32::MAX`, which can never collide with committed page ids;
+//! - [`RStarTree::commit`] writes each dirty node to a **shadow page**
+//!   (a page id unreachable from the committed root, recycled from the
+//!   free list or grown at the file tail), then atomically flips the
+//!   store's header root. A crash at any point leaves the previous
+//!   committed tree intact — see `nwc_store`'s dual-slot header format.
+//!   After the flip, the pages the dirty nodes used to live on become
+//!   free, their stale buffer-pool frames and cached decodes are
+//!   evicted, and any page quarantine is dropped (the flip may recycle
+//!   quarantined ids).
+//!
+//! Uncommitted mutations are **lost** on drop or crash: reopening the
+//! file yields the last committed tree. A mutation that fails mid-way
+//! with [`TreeError::Io`](crate::TreeError) may leave the overlay
+//! logically inconsistent — discard the tree (reopen) rather than
+//! commit after such an error.
+//!
+//! Trees over read-only stores (any version-1 file, or a v2 file
+//! without write permission) still return
+//! [`TreeError`](crate::TreeError)`::ReadOnly` from `insert`/`delete`
+//! rather than silently diverge from the file.
 
 use crate::node::{Node, NodeKind};
-use crate::page::{decode_node, PageLayout};
-use crate::tree::RStarTree;
+use crate::page::{decode_node, encode_node, PageLayout};
+use crate::tree::{RStarTree, TreeError};
 use crate::{IoStats, NodeId, PageError, TreeParams, PAGE_SIZE};
 use nwc_geom::{Point, Rect};
 use nwc_store::{
@@ -234,6 +266,13 @@ impl PagedNode<'_> {
     pub(crate) fn node(&self) -> &Node {
         &self.node
     }
+
+    /// A shared handle to the decoded node, for faulting it into the
+    /// write overlay without re-decoding.
+    #[inline]
+    pub(crate) fn arc(&self) -> Arc<Node> {
+        Arc::clone(&self.node)
+    }
 }
 
 impl Drop for PagedNode<'_> {
@@ -294,6 +333,43 @@ struct OverlappedIo {
     inflight: Arc<InflightTable>,
 }
 
+/// Copy-on-write mutation state of a *writable* disk-backed tree: the
+/// dirty-node overlay plus the shadow allocator's free lists. `None`
+/// when the underlying store is read-only. Mutated only through
+/// `&mut RStarTree`, read (overlay-first) by the `&self` fetch/peek
+/// paths.
+struct WriteState {
+    /// Dirty nodes by node id: clone-on-write copies of committed
+    /// pages (ids `< n_pages`) and freshly allocated nodes (temp ids
+    /// counted down from `u32::MAX`). Checked before the pool and the
+    /// store on every read.
+    overlay: HashMap<u32, Arc<Node>>,
+    /// Next temporary node id, allocated downward so temps can never
+    /// collide with committed page ids.
+    next_temp: u32,
+    /// Page ids unreachable from the *committed* root: writable now.
+    free_now: Vec<u32>,
+    /// Pages vacated by uncommitted mutations. Still reachable from
+    /// the committed root, so they join `free_now` only after the next
+    /// successful commit.
+    freed_pending: Vec<u32>,
+    /// Overlay ids whose SoA pruning view may be stale; rebuilt at the
+    /// end of each public mutation.
+    soa_dirty: Vec<u32>,
+}
+
+impl WriteState {
+    fn new(free_now: Vec<u32>) -> Self {
+        WriteState {
+            overlay: HashMap::new(),
+            next_temp: u32::MAX,
+            free_now,
+            freed_pending: Vec::new(),
+            soa_dirty: Vec::new(),
+        }
+    }
+}
+
 /// The storage half of a disk-backed tree: the page store, the buffer
 /// pool in front of it, the decoded-node cache evicted in lock-step
 /// with the pool, and the root metadata captured by the open scan.
@@ -326,8 +402,12 @@ pub struct TreeStorage {
     retry: RetryPolicy,
     /// Pages that exhausted their retry budget or failed to decode,
     /// with the rendered last error. Accesses fail fast here without
-    /// touching the device; cleared by [`TreeStorage::reset`].
+    /// touching the device; cleared by [`TreeStorage::reset`] and by a
+    /// successful commit (the root flip can recycle quarantined ids).
     quarantine: Mutex<HashMap<u32, String>>,
+    /// Copy-on-write mutation state; `Some` iff the store is writable
+    /// (see the module docs, "Writable mode").
+    write: Option<WriteState>,
 }
 
 impl TreeStorage {
@@ -347,6 +427,19 @@ impl TreeStorage {
         page: u32,
         stats: &IoStats,
     ) -> Result<PagedNode<'_>, DiskReadError> {
+        // Dirty nodes shadow their committed page (and any quarantine
+        // entry for it): the overlay is the truth until commit. An
+        // overlay hit is a logical access like any other; it is charged
+        // as a buffer hit since no physical I/O can back it.
+        if let Some(node) = self.overlay_node(page) {
+            stats.record_buffer_hit();
+            return Ok(PagedNode {
+                storage: self,
+                page,
+                node,
+                release: Release::None,
+            });
+        }
         if let Some(detail) = self.quarantined_detail(page) {
             return Err(DiskReadError { page, detail });
         }
@@ -472,6 +565,14 @@ impl TreeStorage {
         page: u32,
         stats: &IoStats,
     ) -> Result<PagedNode<'_>, DiskReadError> {
+        if let Some(node) = self.overlay_node(page) {
+            return Ok(PagedNode {
+                storage: self,
+                page,
+                node,
+                release: Release::None,
+            });
+        }
         if let Some(node) = self.cache.lock_map().get(&page).cloned() {
             return Ok(PagedNode {
                 storage: self,
@@ -572,6 +673,15 @@ impl TreeStorage {
         let limit = self.prefetch.min(self.pool.capacity() / 2);
         if limit == 0 || candidates.is_empty() {
             return;
+        }
+        if let Some(w) = &self.write {
+            // Overlay-resident nodes are served from memory, and temp
+            // ids (>= n_pages) have no backing page at all: neither may
+            // reach the device.
+            candidates.retain(|&p| p < self.n_pages && !w.overlay.contains_key(&p));
+            if candidates.is_empty() {
+                return;
+            }
         }
         candidates.truncate(limit);
         candidates.retain(|&p| !self.pool.contains(p));
@@ -755,6 +865,258 @@ impl TreeStorage {
         self.cache.resident_peak.store(0, Ordering::Relaxed);
         self.lock_quarantine().clear();
     }
+
+    // ------------------------------------------------------------------
+    // Writable mode: dirty-node overlay + shadow commit.
+    // ------------------------------------------------------------------
+
+    /// Whether this tree supports the mutation + commit path (the
+    /// backing store is writable; see the module docs, "Writable
+    /// mode").
+    pub fn is_writable(&self) -> bool {
+        self.write.is_some()
+    }
+
+    /// Dirty nodes awaiting [`RStarTree::commit`] (0 on a clean or
+    /// read-only tree).
+    pub fn dirty_nodes(&self) -> usize {
+        self.write.as_ref().map_or(0, |w| w.overlay.len())
+    }
+
+    /// Pages recyclable by the next commit without growing the file.
+    pub fn free_pages(&self) -> usize {
+        self.write.as_ref().map_or(0, |w| w.free_now.len())
+    }
+
+    /// The overlay's copy of a node, if dirty.
+    fn overlay_node(&self, page: u32) -> Option<Arc<Node>> {
+        self.write.as_ref().and_then(|w| w.overlay.get(&page).cloned())
+    }
+
+    /// Whether `page` is dirty (overlay-resident).
+    pub(crate) fn overlay_contains(&self, page: u32) -> bool {
+        self.write.as_ref().is_some_and(|w| w.overlay.contains_key(&page))
+    }
+
+    /// MBR of a dirty node; `None` when the node is clean (its exact
+    /// MBR then lives in the parent's branch, kept fresh by every
+    /// mutation sync point).
+    pub(crate) fn overlay_mbr(&self, page: u32) -> Option<Rect> {
+        self.write
+            .as_ref()
+            .and_then(|w| w.overlay.get(&page).map(|n| n.mbr))
+    }
+
+    /// Borrows a dirty node. The mutation layer faults every node it
+    /// touches *before* reading it through here; a miss is a bug in
+    /// that discipline, funneled through the crate's read-failure
+    /// adapter (this file stays panic-free).
+    pub(crate) fn overlay_ref(&self, page: u32) -> &Node {
+        match self.write.as_ref().and_then(|w| w.overlay.get(&page)) {
+            Some(node) => node,
+            None => crate::tree::read_failure(format!("node {page} was not faulted for write")),
+        }
+    }
+
+    /// Mutably borrows a dirty node, cloning on first write while the
+    /// decode is still shared with the node cache (clone-on-write).
+    pub(crate) fn overlay_mut(&mut self, page: u32) -> &mut Node {
+        match self.write.as_mut().and_then(|w| w.overlay.get_mut(&page)) {
+            Some(arc) => Arc::make_mut(arc),
+            None => crate::tree::read_failure(format!("node {page} was not faulted for write")),
+        }
+    }
+
+    /// Admits a committed node into the overlay. The `Arc` stays
+    /// shared with the node cache until the first real mutation; the
+    /// node's committed page is marked for recycling after the next
+    /// commit (shadow paging never overwrites it in place).
+    pub(crate) fn fault_node(&mut self, page: u32, node: Arc<Node>) {
+        if let Some(w) = self.write.as_mut() {
+            debug_assert!(!w.overlay.contains_key(&page), "double fault of node {page}");
+            w.overlay.insert(page, node);
+            w.freed_pending.push(page);
+            w.soa_dirty.push(page);
+        }
+    }
+
+    /// Allocates a fresh dirty node under a temporary id (counted down
+    /// from `u32::MAX`; committed page ids can never reach it).
+    pub(crate) fn alloc_temp(&mut self, node: Node) -> u32 {
+        self.node_count += 1;
+        match self.write.as_mut() {
+            Some(w) => {
+                let id = w.next_temp;
+                w.next_temp -= 1;
+                w.overlay.insert(id, Arc::new(node));
+                w.soa_dirty.push(id);
+                id
+            }
+            None => crate::tree::read_failure("node allocation on a read-only disk tree"),
+        }
+    }
+
+    /// Releases a node removed from the tree: a temp node vanishes, a
+    /// committed page joins the pending free list.
+    pub(crate) fn free_node(&mut self, page: u32) {
+        self.node_count -= 1;
+        let n_pages = self.n_pages;
+        if let Some(w) = self.write.as_mut() {
+            // A faulted page is already in `freed_pending` (pushed at
+            // fault time); a clean page freed wholesale gets added now.
+            if w.overlay.remove(&page).is_none() && page < n_pages {
+                w.freed_pending.push(page);
+            }
+        }
+    }
+
+    /// Rebuilds the SoA pruning view of every dirty internal node that
+    /// lost it to `branches_mut`. Called at the end of each public
+    /// mutation so queries between mutations keep the batched-kernel
+    /// pruning path.
+    pub(crate) fn rebuild_dirty_soa(&mut self) {
+        if let Some(w) = self.write.as_mut() {
+            while let Some(id) = w.soa_dirty.pop() {
+                if let Some(arc) = w.overlay.get_mut(&id) {
+                    if matches!(arc.kind, NodeKind::Internal(_)) && arc.soa.is_none() {
+                        Arc::make_mut(arc).build_branch_soa();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Refreshes the cached root metadata after a mutation (the root
+    /// id, level, and MBR can all change).
+    pub(crate) fn set_root_meta(&mut self, level: u32, mbr: Rect) {
+        self.root_level = level;
+        self.root_mbr = mbr;
+    }
+
+    /// Writes every dirty node to a shadow page, atomically flips the
+    /// store's committed root, and reconciles the caches. Returns the
+    /// new root page id.
+    ///
+    /// On error nothing is lost: the committed tree on disk is intact,
+    /// the overlay is untouched, and every shadow page written so far
+    /// is unreachable from the committed root — the commit can simply
+    /// be retried (or the tree discarded).
+    pub(crate) fn commit_overlay(
+        &mut self,
+        root: u32,
+        user: [u64; 4],
+    ) -> Result<u32, DiskReadError> {
+        if self.write.is_none() {
+            return Err(DiskReadError {
+                page: root,
+                detail: "tree is not writable".to_string(),
+            });
+        }
+        if self.write.as_ref().is_some_and(|w| w.overlay.is_empty()) {
+            return Ok(root); // clean tree: nothing to flip
+        }
+        // Assign a shadow page to every dirty node: recycle the free
+        // list first, grow the file tail for the shortfall. Both sides
+        // sorted, so the assignment is deterministic for a given
+        // mutation history.
+        let mut ids: Vec<u32> = Vec::new();
+        let mut pool: Vec<u32> = Vec::new();
+        if let Some(w) = self.write.as_mut() {
+            debug_assert!(w.overlay.contains_key(&root), "dirty tree with a clean root");
+            ids.extend(w.overlay.keys().copied());
+            pool = std::mem::take(&mut w.free_now);
+        }
+        ids.sort_unstable();
+        pool.sort_unstable();
+        let shortfall = ids.len().saturating_sub(pool.len());
+        if shortfall > 0 {
+            match self.store.grow(shortfall as u32) {
+                Ok(first) => pool.extend(first..first + shortfall as u32),
+                Err(e) => {
+                    if let Some(w) = self.write.as_mut() {
+                        w.free_now = pool;
+                    }
+                    return Err(DiskReadError {
+                        page: root,
+                        detail: format!("growing the file by {shortfall} pages: {e}"),
+                    });
+                }
+            }
+        }
+        let remap: HashMap<u32, u32> = ids.iter().copied().zip(pool.iter().copied()).collect();
+        let mut failed: Option<DiskReadError> = None;
+        let mut new_root = root;
+        if let Some(w) = self.write.as_ref() {
+            // The encoder resolves every child pointer through one map:
+            // dirty children to their shadow page, clean children to
+            // the page they already live on.
+            let mut page_of: HashMap<NodeId, u32> = HashMap::new();
+            for node in w.overlay.values() {
+                if let NodeKind::Internal(branches) = &node.kind {
+                    for b in branches {
+                        let dest = remap.get(&b.child.0).copied().unwrap_or(b.child.0);
+                        page_of.insert(b.child, dest);
+                    }
+                }
+            }
+            for &old in &ids {
+                let (Some(node), Some(&dest)) = (w.overlay.get(&old), remap.get(&old)) else {
+                    continue;
+                };
+                let buf = encode_node(node, &page_of);
+                if let Err(e) = self.store.write_page(dest, &buf) {
+                    failed = Some(DiskReadError {
+                        page: dest,
+                        detail: format!("shadow page write: {e}"),
+                    });
+                    break;
+                }
+            }
+            if failed.is_none() {
+                new_root = remap.get(&root).copied().unwrap_or(root);
+                if let Err(e) = self.store.commit(new_root, user) {
+                    failed = Some(DiskReadError {
+                        page: new_root,
+                        detail: format!("root flip: {e}"),
+                    });
+                }
+            }
+        }
+        if let Some(err) = failed {
+            // Restore the allocator: the grown and already-written
+            // shadow pages are unreachable from the committed root, so
+            // all of them stay recyclable. The overlay is untouched.
+            if let Some(w) = self.write.as_mut() {
+                w.free_now = pool;
+            }
+            return Err(err);
+        }
+        // The flip is durable; reconcile the in-memory state.
+        self.n_pages = self.store.meta().page_count;
+        let leftover = pool.split_off(ids.len()); // unused allocations
+        let mut freed: Vec<u32> = Vec::new();
+        if let Some(w) = self.write.as_mut() {
+            freed = std::mem::take(&mut w.freed_pending);
+            w.free_now = leftover;
+            w.free_now.extend(freed.iter().copied());
+            w.overlay.clear();
+            w.soa_dirty.clear();
+            w.next_temp = u32::MAX;
+        }
+        // Cache coherence: frames and decodes for the vacated pages
+        // describe the pre-commit tree — drop them (the pool's evict
+        // hook removes the decoded node in the same critical section).
+        // Shadow pages were written behind the pool, so recycled ids
+        // must not survive there either.
+        for &p in freed.iter().chain(pool.iter()) {
+            self.pool.evict_page(p);
+        }
+        // A durable flip also invalidates the quarantine: vacated ids
+        // can come back with fresh content (see ISSUE: recycled ids
+        // must not fail fast on a stale entry).
+        self.lock_quarantine().clear();
+        Ok(new_root)
+    }
 }
 
 impl RStarTree {
@@ -792,6 +1154,68 @@ impl RStarTree {
         ];
         FileStore::create(path.as_ref(), file.root_page(), user, &pages)?;
         Ok(())
+    }
+
+    /// As [`RStarTree::save_to_path`], but writes a *writable* (v2)
+    /// page file: dual ping-pong header slots and per-page checksum
+    /// trailers, so the file supports in-place mutation through
+    /// shadow-paged commits when reopened (see the module docs,
+    /// "Writable mode"). On a writable disk-backed tree this also
+    /// snapshots any uncommitted overlay state into the new file.
+    pub fn save_to_path_writable(&self, path: impl AsRef<Path>) -> Result<(), DiskError> {
+        self.save_to_path_writable_with_layout(path, PageLayout::BottomUp)
+    }
+
+    /// As [`RStarTree::save_to_path_writable`], assigning page ids
+    /// according to `layout` (see [`PageLayout`]).
+    pub fn save_to_path_writable_with_layout(
+        &self,
+        path: impl AsRef<Path>,
+        layout: PageLayout,
+    ) -> Result<(), DiskError> {
+        let file = self.to_page_file_with_layout(layout);
+        let pages: Vec<[u8; PAGE_SIZE]> =
+            (0..file.page_count()).map(|i| *file.page(i as u32)).collect();
+        let user = [
+            self.params.max_entries as u64,
+            self.params.min_entries as u64,
+            self.params.reinsert_count as u64 | ((layout.tag() as u64) << 56),
+            self.len() as u64,
+        ];
+        FileStore::create_writable(path.as_ref(), file.root_page(), user, &pages)?;
+        Ok(())
+    }
+
+    /// Durably commits every pending mutation of a writable disk-backed
+    /// tree: dirty nodes are written to freshly allocated shadow pages,
+    /// the committed root flips atomically in the file header, and the
+    /// vacated pages become recyclable by the next commit. A crash at
+    /// any point leaves the file opening as exactly the old or the new
+    /// tree, never a torn mix.
+    ///
+    /// No-op `Ok` on an arena tree (arena mutations need no commit) and
+    /// on a clean tree; [`TreeError::ReadOnly`] on a read-only
+    /// disk-backed tree. On `Err(Io)` the on-disk tree and the
+    /// in-memory overlay are both intact: the commit can be retried, or
+    /// the tree dropped and reopened at the last committed state.
+    pub fn commit(&mut self) -> Result<(), TreeError> {
+        let root = self.root.0;
+        let (max_e, min_e, reinsert, len) = (
+            self.params.max_entries as u64,
+            self.params.min_entries as u64,
+            self.params.reinsert_count as u64,
+            self.len as u64,
+        );
+        match self.storage.as_deref_mut() {
+            None => Ok(()),
+            Some(s) if !s.is_writable() => Err(TreeError::ReadOnly),
+            Some(s) => {
+                let user = [max_e, min_e, reinsert | ((s.layout().tag() as u64) << 56), len];
+                let new_root = s.commit_overlay(root, user).map_err(TreeError::Io)?;
+                self.root = NodeId(new_root);
+                Ok(())
+            }
+        }
     }
 
     /// Opens a page file written by [`RStarTree::save_to_path`] as a
@@ -917,12 +1341,19 @@ impl RStarTree {
                 }
             }
         }
-        // A page file written by `save_to_path` has no unreachable
-        // pages; checksum-verify any stragglers anyway so the open
-        // remains the integrity gate for the whole file.
-        for page in 0..n_pages {
-            if !seen[page as usize] {
-                store.read_page(page, &mut buf)?;
+        // On a writable store, unreachable pages are the *free list*:
+        // recyclable slack that may hold torn bytes from a crashed
+        // shadow commit. They are never read, only overwritten, so they
+        // are exempt from the integrity gate. A read-only page file has
+        // no legitimate unreachable pages; checksum-verify any
+        // stragglers so the open remains the integrity gate for the
+        // whole file.
+        let writable = store.is_writable();
+        if !writable {
+            for page in 0..n_pages {
+                if !seen[page as usize] {
+                    store.read_page(page, &mut buf)?;
+                }
             }
         }
         if stored_len != len as u64 {
@@ -967,6 +1398,9 @@ impl RStarTree {
             io_errors: AtomicU64::new(0),
             retry: options.retry,
             quarantine: Mutex::new(HashMap::new()),
+            write: writable.then(|| {
+                WriteState::new((0..n_pages).filter(|&p| !seen[p as usize]).collect())
+            }),
         }));
         Ok(tree)
     }
@@ -1515,6 +1949,140 @@ mod tests {
         let mut disk = RStarTree::open_from_store(Box::new(mem_store_of(&tree)), None).unwrap();
         assert_eq!(disk.delete(0, pt(0.0, 0.0)), Err(TreeError::ReadOnly));
         assert_eq!(disk.len(), 100, "failed delete must not change the tree");
+    }
+
+    /// A writable `MemStore` sharing the committed pages of `tree`,
+    /// wrapped in `Arc` so tests can reopen the same store after a
+    /// commit (simulating a process restart without a filesystem).
+    fn writable_store_of(tree: &RStarTree) -> Arc<MemStore> {
+        let file = tree.to_page_file_with_layout(PageLayout::BottomUp);
+        let pages: Vec<[u8; PAGE_SIZE]> =
+            (0..file.page_count()).map(|i| *file.page(i as u32)).collect();
+        let user = [
+            tree.params().max_entries as u64,
+            tree.params().min_entries as u64,
+            tree.params().reinsert_count as u64,
+            tree.len() as u64,
+        ];
+        Arc::new(MemStore::new_writable(pages, file.root_page(), user).unwrap())
+    }
+
+    fn ids_in(tree: &RStarTree, w: &Rect) -> Vec<u32> {
+        let mut ids: Vec<u32> = tree.window_query(w).iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn writable_tree_insert_delete_commit_reopen() {
+        let base = sample_tree(400);
+        let store = writable_store_of(&base);
+        let mut disk =
+            RStarTree::open_from_store(Box::new(Arc::clone(&store)), None).unwrap();
+        assert!(disk.storage().unwrap().is_writable());
+
+        // Mirror every mutation on an arena twin built from the same
+        // base so answers can be compared against ground truth.
+        let mut twin = RStarTree::bulk_load(
+            &(0..400)
+                .map(|i| pt(((i * 31) % 499) as f64, ((i * 57) % 491) as f64))
+                .collect::<Vec<_>>(),
+        );
+        for i in 0..80u32 {
+            let p = pt(600.0 + i as f64, 600.0 + ((i * 7) % 50) as f64);
+            disk.insert(10_000 + i, p).unwrap();
+            twin.insert(10_000 + i, p).unwrap();
+        }
+        for i in 0..40u32 {
+            let p = pt(((i * 31) % 499) as f64, ((i * 57) % 491) as f64);
+            assert!(disk.delete(i, p).unwrap());
+            assert!(twin.delete(i, p).unwrap());
+        }
+        crate::validate::check_invariants(&disk).unwrap();
+        let everything = rect(-10.0, -10.0, 1000.0, 1000.0);
+        assert_eq!(ids_in(&disk, &everything), ids_in(&twin, &everything));
+
+        disk.commit().unwrap();
+        crate::validate::check_invariants(&disk).unwrap();
+        assert_eq!(disk.storage().unwrap().dirty_nodes(), 0, "commit clears the overlay");
+        assert_eq!(ids_in(&disk, &everything), ids_in(&twin, &everything));
+
+        // "Restart": reopen the committed store from scratch.
+        drop(disk);
+        let reopened =
+            RStarTree::open_from_store(Box::new(Arc::clone(&store)), None).unwrap();
+        assert_eq!(reopened.len(), twin.len());
+        crate::validate::check_invariants(&reopened).unwrap();
+        assert_eq!(ids_in(&reopened, &everything), ids_in(&twin, &everything));
+        for w in [
+            rect(0.0, 0.0, 120.0, 120.0),
+            rect(200.0, 150.0, 340.0, 400.0),
+            rect(590.0, 590.0, 700.0, 700.0),
+        ] {
+            assert_eq!(ids_in(&reopened, &w), ids_in(&twin, &w));
+        }
+    }
+
+    #[test]
+    fn uncommitted_mutations_are_invisible_after_reopen() {
+        let base = sample_tree(300);
+        let store = writable_store_of(&base);
+        let mut disk =
+            RStarTree::open_from_store(Box::new(Arc::clone(&store)), None).unwrap();
+        disk.insert(9999, pt(777.0, 777.0)).unwrap();
+        assert!(disk.storage().unwrap().dirty_nodes() > 0);
+        drop(disk); // no commit
+
+        let reopened = RStarTree::open_from_store(Box::new(store), None).unwrap();
+        assert_eq!(reopened.len(), 300, "uncommitted insert must vanish");
+        assert!(ids_in(&reopened, &rect(770.0, 770.0, 780.0, 780.0)).is_empty());
+        crate::validate::check_invariants(&reopened).unwrap();
+    }
+
+    #[test]
+    fn commit_on_clean_tree_is_a_noop_and_read_only_rejects() {
+        let base = sample_tree(120);
+        let store = writable_store_of(&base);
+        let mut disk = RStarTree::open_from_store(Box::new(store), None).unwrap();
+        disk.commit().unwrap();
+        disk.commit().unwrap();
+
+        let mut ro = RStarTree::open_from_store(Box::new(mem_store_of(&base)), None).unwrap();
+        assert!(!ro.storage().unwrap().is_writable());
+        assert_eq!(ro.commit(), Err(TreeError::ReadOnly));
+
+        // Arena trees accept commit as a no-op (mutations are always
+        // live), so generic code can call it unconditionally.
+        let mut arena = sample_tree(10);
+        arena.commit().unwrap();
+    }
+
+    #[test]
+    fn commit_recycles_pages_instead_of_growing_forever() {
+        let base = sample_tree(500);
+        let store = writable_store_of(&base);
+        let mut disk =
+            RStarTree::open_from_store(Box::new(Arc::clone(&store)), None).unwrap();
+        let mut peak = 0u32;
+        for round in 0..6u32 {
+            for i in 0..20u32 {
+                let p = pt(900.0 + i as f64, 900.0 + round as f64);
+                disk.insert(50_000 + round * 100 + i, p).unwrap();
+            }
+            for i in 0..20u32 {
+                let p = pt(900.0 + i as f64, 900.0 + round as f64);
+                assert!(disk.delete(50_000 + round * 100 + i, p).unwrap());
+            }
+            disk.commit().unwrap();
+            peak = peak.max(store.meta().page_count);
+        }
+        // Every round ends at the same logical tree; shadow paging may
+        // grow the file once to double-buffer the dirty set, but the
+        // free list must absorb later rounds instead of growing again.
+        assert_eq!(store.meta().page_count, peak, "file stopped growing");
+        assert!(disk.storage().unwrap().free_pages() > 0);
+        assert_eq!(disk.len(), 500);
+        crate::validate::check_invariants(&disk).unwrap();
     }
 
     #[test]

@@ -8,10 +8,16 @@ use nwc_geom::{Point, Rect};
 use std::collections::VecDeque;
 
 /// A child awaiting (re)insertion: either a leaf entry or a whole subtree
-/// cut loose by forced reinsert.
+/// cut loose by forced reinsert (or by delete's condense).
+///
+/// A detached subtree carries its root's MBR and level, captured at
+/// detach time. Detached nodes are unreachable until requeued, so the
+/// metadata cannot go stale — and keeping it here means reinsertion
+/// placement never reads the subtree root itself, which on a writable
+/// disk-backed tree would otherwise fault a page just to plan a descent.
 pub(crate) enum ChildItem {
     Entry(Entry),
-    Node(NodeId),
+    Node { id: NodeId, mbr: Rect, level: u32 },
 }
 
 impl RStarTree {
@@ -21,9 +27,14 @@ impl RStarTree {
     /// `id` is the caller-chosen object identifier; duplicates are not
     /// detected (the tree is a multiset, like the original structure).
     ///
-    /// Returns [`TreeError::ReadOnly`] on a disk-backed tree (see
-    /// [`crate::disk`]): the cached nodes would silently diverge from
-    /// the page file. The tree is untouched in that case.
+    /// On a *writable* disk-backed tree (see [`crate::disk`], "Writable
+    /// mode") the mutation lands in the in-memory overlay; call
+    /// [`RStarTree::commit`] to make it durable. Returns
+    /// [`TreeError::ReadOnly`] on a disk-backed tree whose store has no
+    /// write path — the tree is untouched in that case. An
+    /// [`TreeError::Io`] mid-mutation can leave the overlay partially
+    /// updated: drop the tree without committing (the on-disk file
+    /// still holds the last committed state) and reopen.
     ///
     /// # Panics
     ///
@@ -36,10 +47,10 @@ impl RStarTree {
         // Forced reinsert fires at most once per level per insertion.
         let mut reinserted_levels: Vec<u32> = Vec::new();
         while let Some(item) = pending.pop_front() {
-            self.insert_item(item, &mut reinserted_levels, &mut pending);
+            self.insert_item(item, &mut reinserted_levels, &mut pending)?;
         }
         self.len += 1;
-        Ok(())
+        self.finish_mutation()
     }
 
     /// Inserts every point of `points`, with ids `0..points.len()`.
@@ -52,18 +63,18 @@ impl RStarTree {
         tree
     }
 
-    fn item_mbr(&self, item: &ChildItem) -> Rect {
+    fn item_mbr(item: &ChildItem) -> Rect {
         match item {
             ChildItem::Entry(e) => Rect::from_point(e.point),
-            ChildItem::Node(n) => self.node(*n).mbr,
+            ChildItem::Node { mbr, .. } => *mbr,
         }
     }
 
     /// Level of the node that should receive this item as a child.
-    fn target_level(&self, item: &ChildItem) -> u32 {
+    fn target_level(item: &ChildItem) -> u32 {
         match item {
             ChildItem::Entry(_) => 0,
-            ChildItem::Node(n) => self.node(*n).level + 1,
+            ChildItem::Node { level, .. } => level + 1,
         }
     }
 
@@ -72,9 +83,13 @@ impl RStarTree {
         item: ChildItem,
         reinserted_levels: &mut Vec<u32>,
         pending: &mut VecDeque<ChildItem>,
-    ) {
-        let into_level = self.target_level(&item);
-        let mbr = self.item_mbr(&item);
+    ) -> Result<(), TreeError> {
+        let into_level = Self::target_level(&item);
+        let mbr = Self::item_mbr(&item);
+        // Every node the descent will touch becomes overlay-resident
+        // before it is read: path nodes are faulted one step ahead, so
+        // the mutation body below never reaches a clean disk node.
+        self.fault_for_write(self.root)?;
         debug_assert!(
             self.node(self.root).level >= into_level,
             "root level sank below a pending item's level"
@@ -85,13 +100,14 @@ impl RStarTree {
         let mut path = vec![self.root];
         while self.node(*path.last().unwrap()).level > into_level {
             let next = self.choose_subtree(*path.last().unwrap(), &mbr, into_level);
+            self.fault_for_write(next)?;
             path.push(next);
         }
         let target = *path.last().unwrap();
         match item {
             ChildItem::Entry(e) => self.node_mut(target).entries_mut().push(e),
-            ChildItem::Node(n) => {
-                let branch = Branch { child: n, mbr };
+            ChildItem::Node { id, .. } => {
+                let branch = Branch { child: id, mbr };
                 self.node_mut(target).branches_mut().push(branch);
             }
         }
@@ -142,6 +158,7 @@ impl RStarTree {
         for &nid in path.iter().rev() {
             self.recompute_mbr(nid);
         }
+        Ok(())
     }
 
     /// R\* ChooseSubtree: overlap-minimizing choice one level above the
@@ -191,6 +208,7 @@ impl RStarTree {
     /// them for reinsertion, closest first (the R\* "close reinsert").
     fn forced_reinsert(&mut self, nid: NodeId, pending: &mut VecDeque<ChildItem>) {
         let center = self.node(nid).mbr.center();
+        let node_level = self.node(nid).level;
         let p = self.params.reinsert_count;
         let removed: Vec<ChildItem> = match &mut self.node_mut(nid).kind {
             NodeKind::Leaf(entries) => {
@@ -219,7 +237,11 @@ impl RStarTree {
                 branches
                     .split_off(branches.len() - p)
                     .into_iter()
-                    .map(|b| ChildItem::Node(b.child))
+                    .map(|b| ChildItem::Node {
+                        id: b.child,
+                        mbr: b.mbr,
+                        level: node_level - 1,
+                    })
                     .collect()
             }
         };

@@ -378,7 +378,7 @@ fn get_rect(buf: &[u8], off: &mut usize) -> Rect {
     Rect::new(Point::new(min_x, min_y), Point::new(max_x, max_y))
 }
 
-fn encode_node(node: &Node, page_of: &HashMap<NodeId, u32>) -> [u8; PAGE_SIZE] {
+pub(crate) fn encode_node(node: &Node, page_of: &HashMap<NodeId, u32>) -> [u8; PAGE_SIZE] {
     let mut buf = [0u8; PAGE_SIZE];
     let mut off;
     match &node.kind {

@@ -10,10 +10,12 @@ use std::sync::Arc;
 /// mutation of a read-only tree, or a disk-backed read that failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TreeError {
-    /// The tree is disk-backed (see [`crate::disk`]) and therefore
-    /// read-only: mutating the cached nodes would silently diverge from
-    /// the page file. Rebuild in memory and
-    /// [`RStarTree::save_to_path`] instead.
+    /// The tree is disk-backed over a store with no write path (a
+    /// version-1 page file, a read-only backend, or a file opened
+    /// without write permission): mutating the cached nodes would
+    /// silently diverge from the page file. Save a writable file with
+    /// [`RStarTree::save_to_path_writable`] and reopen it, or rebuild
+    /// in memory.
     ReadOnly,
     /// A disk-backed page read failed after open (retry budget
     /// exhausted, corruption, or a quarantined page). Returned by the
@@ -31,7 +33,8 @@ impl std::fmt::Display for TreeError {
         match self {
             TreeError::ReadOnly => write!(
                 f,
-                "disk-backed trees are read-only: rebuild and save_to_path instead"
+                "disk-backed tree is read-only (reopen from a writable page file \
+                 written by save_to_path_writable to mutate it)"
             ),
             TreeError::Io(e) => write!(f, "disk read failed: {e}"),
             TreeError::Cancelled(kind) => write!(f, "traversal cancelled: {kind}"),
@@ -119,7 +122,8 @@ pub struct RStarTree {
     pub(crate) stats: Arc<IoStats>,
     /// `Some` for a disk-backed tree (see [`crate::disk`]): the arena is
     /// empty, node ids are page ids, node accesses fault pages in
-    /// through the buffer pool, and the tree is read-only.
+    /// through the buffer pool, and mutations require a writable store
+    /// (rejected with [`TreeError::ReadOnly`] otherwise).
     pub(crate) storage: Option<Box<crate::disk::TreeStorage>>,
 }
 
@@ -253,14 +257,77 @@ impl RStarTree {
     // Arena plumbing (crate-internal).
     // ------------------------------------------------------------------
 
+    /// Direct mutable-path access to a node: the arena slot on an
+    /// in-memory tree, the *write overlay* on a writable disk-backed
+    /// tree. Mutation code must fault a disk node with
+    /// [`RStarTree::fault_for_write`] before reaching it through here —
+    /// an unfaulted id aborts through the crate's read-failure funnel.
     #[inline]
     pub(crate) fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+        match &self.storage {
+            Some(s) => s.overlay_ref(id.0),
+            None => &self.nodes[id.index()],
+        }
     }
 
     #[inline]
     pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
-        &mut self.nodes[id.index()]
+        match &mut self.storage {
+            Some(s) => s.overlay_mut(id.0),
+            None => &mut self.nodes[id.index()],
+        }
+    }
+
+    /// Ensures `id` is mutable in place: a no-op on an arena tree or an
+    /// already-dirty node, otherwise faults the committed node into the
+    /// write overlay as a clone-on-write copy (see [`crate::disk`],
+    /// "Writable mode").
+    pub(crate) fn fault_for_write(&mut self, id: NodeId) -> Result<(), TreeError> {
+        let Some(s) = self.storage.as_deref() else {
+            return Ok(());
+        };
+        if s.overlay_contains(id.0) {
+            return Ok(());
+        }
+        let arc = match self.try_peek_node(id)? {
+            NodeRef::Paged(p) => p.arc(),
+            NodeRef::Arena(_) => return Ok(()),
+        };
+        if let Some(s) = self.storage.as_deref_mut() {
+            s.fault_node(id.0, arc);
+        }
+        Ok(())
+    }
+
+    /// Current MBR of a branch's child during mutation, without
+    /// requiring the child to be resident: the overlay copy when the
+    /// child is dirty, else the branch's stored MBR (exact for clean
+    /// children — clean nodes never point at dirty ones, and every
+    /// mutation sync point refreshes the branch copies).
+    #[inline]
+    pub(crate) fn child_mbr(&self, b: &crate::node::Branch) -> Rect {
+        match &self.storage {
+            Some(s) => s.overlay_mbr(b.child.0).unwrap_or(b.mbr),
+            None => self.nodes[b.child.index()].mbr,
+        }
+    }
+
+    /// Post-mutation sync point: rebuilds the SoA pruning views of
+    /// dirty internal nodes and refreshes the cached root metadata of a
+    /// disk-backed tree (queries read both). A no-op on arena trees.
+    pub(crate) fn finish_mutation(&mut self) -> Result<(), TreeError> {
+        if self.storage.is_none() {
+            return Ok(());
+        }
+        let (level, mbr) = {
+            let root = self.try_peek_node(self.root)?;
+            (root.level, root.mbr)
+        };
+        if let Some(s) = self.storage.as_deref_mut() {
+            s.rebuild_dirty_soa();
+            s.set_root_meta(level, mbr);
+        }
+        Ok(())
     }
 
     /// Reads a node's contents for query purposes, charging one node
@@ -330,17 +397,20 @@ impl RStarTree {
         }
     }
 
-    /// `Err(TreeError::ReadOnly)` when this tree is disk-backed.
+    /// `Err(TreeError::ReadOnly)` when this tree is disk-backed over a
+    /// store with no write path (see [`crate::disk`], "Writable mode").
     #[inline]
     pub(crate) fn check_mutable(&self) -> Result<(), TreeError> {
-        if self.storage.is_some() {
-            Err(TreeError::ReadOnly)
-        } else {
-            Ok(())
+        match &self.storage {
+            Some(s) if !s.is_writable() => Err(TreeError::ReadOnly),
+            _ => Ok(()),
         }
     }
 
     pub(crate) fn alloc(&mut self, node: Node) -> NodeId {
+        if let Some(s) = self.storage.as_deref_mut() {
+            return NodeId(s.alloc_temp(node));
+        }
         if let Some(id) = self.free.pop() {
             self.nodes[id.index()] = node;
             id
@@ -352,6 +422,10 @@ impl RStarTree {
     }
 
     pub(crate) fn dealloc(&mut self, id: NodeId) {
+        if let Some(s) = self.storage.as_deref_mut() {
+            s.free_node(id.0);
+            return;
+        }
         // Leave a recognizably-empty husk; the slot is recycled later.
         self.nodes[id.index()] = Node::new_leaf();
         self.free.push(id);
@@ -366,10 +440,7 @@ impl RStarTree {
         let mbr = match &self.node(id).kind {
             NodeKind::Leaf(entries) => Rect::bounding(entries.iter().map(|e| e.point)),
             NodeKind::Internal(branches) => {
-                let fresh: Vec<Rect> = branches
-                    .iter()
-                    .map(|b| self.nodes[b.child.index()].mbr)
-                    .collect();
+                let fresh: Vec<Rect> = branches.iter().map(|b| self.child_mbr(b)).collect();
                 let union = fresh.iter().skip(1).fold(fresh.first().copied(), |acc, r| {
                     acc.map(|u| u.union(r))
                 });

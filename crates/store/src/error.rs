@@ -49,6 +49,10 @@ pub enum StoreError {
     },
     /// The store holds no pages (a page file must at least hold a root).
     Empty,
+    /// A write, grow, or commit was attempted on a store without a
+    /// write path: a read-only backend, a version-1 page file, or a
+    /// version-2 file opened without write permission.
+    ReadOnly,
     /// Another live process holds the advisory lock on this page file:
     /// opening (or re-creating) it now could corrupt a reader. The lock
     /// is a `<name>.lock` sibling; a crashed holder's stale lock is
@@ -80,6 +84,10 @@ impl std::fmt::Display for StoreError {
                 write!(f, "page {page} out of range (store holds {page_count} pages)")
             }
             StoreError::Empty => write!(f, "page store holds no pages"),
+            StoreError::ReadOnly => write!(
+                f,
+                "page store is read-only (no write path on this backend or file version)"
+            ),
             StoreError::Locked { lock_path } => {
                 write!(
                     f,

@@ -31,7 +31,7 @@ use crate::store::{PageStore, StoreMeta};
 use crate::PAGE_SIZE;
 use std::collections::{HashMap, HashSet};
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
@@ -148,6 +148,11 @@ pub struct FaultStore<S: PageStore> {
     permanent: AtomicU64,
     bitrot: AtomicU64,
     delayed: AtomicU64,
+    /// Remaining successful writes before the write path starts
+    /// failing (`i64::MAX` = unlimited). Counts `write_page` and
+    /// `commit` calls; reads are never charged.
+    write_budget: AtomicI64,
+    write_faults: AtomicU64,
 }
 
 /// What the injection decision said to do with one read.
@@ -185,6 +190,8 @@ impl<S: PageStore> FaultStore<S> {
             permanent: AtomicU64::new(0),
             bitrot: AtomicU64::new(0),
             delayed: AtomicU64::new(0),
+            write_budget: AtomicI64::new(i64::MAX),
+            write_faults: AtomicU64::new(0),
         }
     }
 
@@ -230,13 +237,43 @@ impl<S: PageStore> FaultStore<S> {
         self.lock_state().bitrot.insert(page);
     }
 
+    /// Scripts the write path to "die" after `n` more successful
+    /// writes: the next `n` [`PageStore::write_page`]/[`PageStore::commit`]
+    /// calls pass through, then every later one fails with an injected
+    /// I/O error. This is the kill-point lever for crash-consistency
+    /// tests — pick `n` to land the failure before the data sync,
+    /// between data sync and header flip, and so on.
+    pub fn fail_writes_after(&self, n: u64) {
+        let n = i64::try_from(n).unwrap_or(i64::MAX);
+        self.write_budget.store(n, Ordering::SeqCst);
+    }
+
+    /// Injected write failures so far.
+    pub fn write_faults(&self) -> u64 {
+        self.write_faults.load(Ordering::Relaxed)
+    }
+
+    /// One decision per write-path call: consume the budget or fail.
+    fn charge_write(&self, what: &str) -> Result<(), StoreError> {
+        if self.write_budget.fetch_sub(1, Ordering::SeqCst) <= 0 {
+            self.write_faults.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::Io(io::Error::other(format!(
+                "injected write fault ({what})"
+            ))));
+        }
+        Ok(())
+    }
+
     /// Clears every scripted fault (pending bursts, permanent set,
-    /// bit-rot set). Counters and the generator are left untouched.
+    /// bit-rot set, exhausted write budget). Counters and the
+    /// generator are left untouched.
     pub fn clear_faults(&self) {
         let mut st = self.lock_state();
         st.pending.clear();
         st.permanent.clear();
         st.bitrot.clear();
+        drop(st);
+        self.write_budget.store(i64::MAX, Ordering::SeqCst);
     }
 
     /// Exact injected-fault counts so far.
@@ -421,6 +458,26 @@ impl<S: PageStore> PageStore for FaultStore<S> {
 
     fn sync(&self) -> Result<(), StoreError> {
         self.inner.sync()
+    }
+
+    fn is_writable(&self) -> bool {
+        self.inner.is_writable()
+    }
+
+    fn write_page(&self, page: u32, buf: &[u8]) -> Result<(), StoreError> {
+        self.charge_write("write_page")?;
+        self.inner.write_page(page, buf)
+    }
+
+    fn grow(&self, additional: u32) -> Result<u32, StoreError> {
+        // Growth is metadata-only until a write lands in the new
+        // pages; it does not consume the write budget.
+        self.inner.grow(additional)
+    }
+
+    fn commit(&self, root_page: u32, user: [u64; 4]) -> Result<(), StoreError> {
+        self.charge_write("commit")?;
+        self.inner.commit(root_page, user)
     }
 }
 

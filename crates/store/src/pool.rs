@@ -445,6 +445,31 @@ impl BufferPool {
         Some(victim)
     }
 
+    /// Drops `page`'s frame if resident, firing the evict hook, and
+    /// returns whether a frame was dropped. This is the writable tree's
+    /// commit-time invalidation: page ids freed by a shadow commit may
+    /// be recycled by a later commit with different contents, so their
+    /// stale frames must leave the pool first. Touches no hit/miss/
+    /// eviction counter — invalidation is not a capacity eviction —
+    /// but an untouched prefetched frame still counts as waste. The
+    /// frame is dropped even if pinned (the caller guarantees no pins
+    /// are outstanding; a stale pin on a recycled id would serve wrong
+    /// data, which is strictly worse than an unbalanced unpin).
+    pub fn evict_page(&self, page: u32) -> bool {
+        let shard = self.shard_for(page);
+        let mut inner = self.lock_shard(shard);
+        let Some(idx) = inner.map.remove(&page) else {
+            return false;
+        };
+        if inner.frames[idx].prefetched {
+            self.prefetch_waste.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.frames[idx].pins = 0;
+        inner.free.push(idx);
+        self.fire_evict_hook(page);
+        true
+    }
+
     /// Loads (if needed) and pins `page`: a pinned page is never
     /// evicted until every pin is released with [`BufferPool::unpin`].
     /// Pins nest.

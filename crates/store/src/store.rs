@@ -3,12 +3,11 @@
 //! A page store is a flat array of fixed-size pages plus a small
 //! metadata record ([`StoreMeta`]). [`MemStore`] keeps the pages in a
 //! `Vec` (the arena behavior the reproduction started with, now behind
-//! the same interface); [`FileStore`] is a real on-disk page file with a
-//! magic/version header and a per-page CRC-32 checksum table, so every
-//! physical read is an actual `read` syscall verified against the
+//! the same interface); [`FileStore`] is a real on-disk page file, so
+//! every physical read is an actual `read` syscall verified against a
 //! checksum recorded at write time.
 //!
-//! # File layout (`FileStore`, little-endian)
+//! # Read-only file layout (version 1, little-endian)
 //!
 //! ```text
 //! offset            size              field
@@ -25,6 +24,48 @@
 //! …                 count · 4096      data pages
 //! ```
 //!
+//! # Writable file layout (version 2, little-endian)
+//!
+//! Version 2 supports in-place mutation with **copy-on-write shadow
+//! paging**: dirty pages are always written to freshly allocated page
+//! ids (never over a page reachable from the committed root), and a
+//! commit is an atomic root flip between two ping-pong header slots.
+//! The central checksum table of version 1 cannot be updated atomically
+//! alongside the root flip, so version 2 embeds each page's CRC-32 in
+//! the page itself instead.
+//!
+//! ```text
+//! offset            size              field
+//! 0                 4096              header slot 0
+//! 4096              4096              header slot 1
+//! 8192              count · 4096      data pages; bytes [4092..4096) of
+//!                                     each page hold the CRC-32 of
+//!                                     bytes [0..4092)
+//! ```
+//!
+//! Each header slot:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"NWCPAGE\x01"
+//! 8       4     format version (2)
+//! 12      4     page size (4096)
+//! 16      4     page count
+//! 20      4     root page id
+//! 24      32    user metadata (4 × u64, opaque)
+//! 56      8     commit generation (u64, strictly increasing)
+//! 64      4     CRC-32 of slot bytes 0..64
+//! ```
+//!
+//! Generation `g` lives in slot `(g + 1) % 2`, so successive commits
+//! alternate slots and a torn slot write can only hit the *previous*
+//! commit's inactive slot. [`FileStore::commit`] orders `sync_all`
+//! (data) → inactive-slot write → `sync_all` (header); open picks the
+//! valid slot with the highest generation and falls back to the other
+//! on a checksum mismatch, so a crash at any commit point reopens as
+//! exactly the old or the new tree — the same all-or-nothing discipline
+//! [`FileStore::create`]'s staged rename gives whole-file saves.
+//!
 //! Data pages start on a page-aligned offset, so the operating system's
 //! own page cache and read-ahead behave as they would for any database
 //! file.
@@ -35,12 +76,19 @@ use crate::PAGE_SIZE;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 const MAGIC: [u8; 8] = *b"NWCPAGE\x01";
 const VERSION: u32 = 1;
+const VERSION_WRITABLE: u32 = 2;
 const HEADER_LEN: usize = 64;
+/// Bytes of a version-2 header slot that carry content (the rest of the
+/// slot's page is padding): 64 header bytes + 4 CRC bytes.
+const SLOT_LEN: usize = 68;
+/// Per-page payload bytes in a version-2 file (the final 4 bytes hold
+/// the page's embedded CRC-32).
+const PAGE_PAYLOAD: usize = PAGE_SIZE - 4;
 
 /// Metadata describing a page store: its shape plus 32 opaque bytes for
 /// the client (the R\*-tree packs its `TreeParams` and length there —
@@ -132,6 +180,41 @@ pub trait PageStore: Send + Sync {
     /// Flushes any buffered writes to durable storage. A no-op for
     /// read-only and in-memory backends.
     fn sync(&self) -> Result<(), StoreError>;
+
+    /// Whether this store accepts [`PageStore::write_page`],
+    /// [`PageStore::grow`], and [`PageStore::commit`]. Read-only
+    /// backends (the default) return `false`.
+    fn is_writable(&self) -> bool {
+        false
+    }
+
+    /// Writes `buf` (exactly [`PAGE_SIZE`] bytes) to page `page`.
+    ///
+    /// The final 4 bytes of every page are reserved for backend
+    /// integrity metadata (the embedded CRC-32 of a writable
+    /// [`FileStore`]); callers must leave them zero. The write is
+    /// **not** durable until [`PageStore::commit`]; shadow-paging
+    /// callers only ever write pages unreachable from the committed
+    /// root, so a crash before commit cannot corrupt committed state.
+    fn write_page(&self, _page: u32, _buf: &[u8]) -> Result<(), StoreError> {
+        Err(StoreError::ReadOnly)
+    }
+
+    /// Appends `additional` zeroed pages, returning the id of the first
+    /// new page. Growth is provisional until the next
+    /// [`PageStore::commit`] records the enlarged page count.
+    fn grow(&self, _additional: u32) -> Result<u32, StoreError> {
+        Err(StoreError::ReadOnly)
+    }
+
+    /// Atomically publishes every write since the last commit: after
+    /// `commit` returns, [`PageStore::meta`] reports `root_page`,
+    /// `user`, and the grown page count, and a crash-reopen yields
+    /// exactly this state. On failure the previously committed state
+    /// remains intact and the caller may retry.
+    fn commit(&self, _root_page: u32, _user: [u64; 4]) -> Result<(), StoreError> {
+        Err(StoreError::ReadOnly)
+    }
 }
 
 // A shared handle is a store: callers keep an `Arc` to a wrapped store
@@ -165,6 +248,22 @@ impl<S: PageStore + ?Sized> PageStore for Arc<S> {
     fn sync(&self) -> Result<(), StoreError> {
         (**self).sync()
     }
+
+    fn is_writable(&self) -> bool {
+        (**self).is_writable()
+    }
+
+    fn write_page(&self, page: u32, buf: &[u8]) -> Result<(), StoreError> {
+        (**self).write_page(page, buf)
+    }
+
+    fn grow(&self, additional: u32) -> Result<u32, StoreError> {
+        (**self).grow(additional)
+    }
+
+    fn commit(&self, root_page: u32, user: [u64; 4]) -> Result<(), StoreError> {
+        (**self).commit(root_page, user)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -174,14 +273,24 @@ impl<S: PageStore + ?Sized> PageStore for Arc<S> {
 /// An in-memory [`PageStore`]: pages live in a `Vec`. This is the
 /// pre-storage-engine behavior behind the storage interface — useful for
 /// tests and for buffer-pool experiments without touching a filesystem.
+/// [`MemStore::new_writable`] opts into the write path (no durability —
+/// commit just republishes the in-memory metadata), which lets tests
+/// exercise shadow-paging clients without a filesystem.
 pub struct MemStore {
-    meta: StoreMeta,
-    pages: Vec<[u8; PAGE_SIZE]>,
+    state: Mutex<MemState>,
+    writable: bool,
     reads: AtomicU64,
 }
 
+struct MemState {
+    /// Committed metadata. `page_count` lags `pages.len()` between a
+    /// `grow` and the commit that publishes it.
+    meta: StoreMeta,
+    pages: Vec<[u8; PAGE_SIZE]>,
+}
+
 impl MemStore {
-    /// Builds a store over `pages` rooted at `root_page`.
+    /// Builds a read-only store over `pages` rooted at `root_page`.
     pub fn new(
         pages: Vec<[u8; PAGE_SIZE]>,
         root_page: u32,
@@ -194,21 +303,42 @@ impl MemStore {
         );
         meta.validate()?;
         Ok(MemStore {
-            meta,
-            pages,
+            state: Mutex::new(MemState { meta, pages }),
+            writable: false,
             reads: AtomicU64::new(0),
         })
     }
 
+    /// As [`MemStore::new`], but accepting writes, growth, and commits.
+    pub fn new_writable(
+        pages: Vec<[u8; PAGE_SIZE]>,
+        root_page: u32,
+        user: [u64; 4],
+    ) -> Result<MemStore, StoreError> {
+        let mut store = MemStore::new(pages, root_page, user)?;
+        store.writable = true;
+        Ok(store)
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, MemState> {
+        // Nothing in this module panics while holding the lock; recover
+        // rather than cascade a caller's unwind.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Mutable access to one page, for corruption-injection in tests.
     pub fn page_mut(&mut self, page: u32) -> &mut [u8; PAGE_SIZE] {
-        &mut self.pages[page as usize]
+        let state = self
+            .state
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
+        &mut state.pages[page as usize]
     }
 }
 
 impl PageStore for MemStore {
     fn meta(&self) -> StoreMeta {
-        self.meta
+        self.lock_state().meta
     }
 
     fn read_page(&self, page: u32, buf: &mut [u8]) -> Result<(), StoreError> {
@@ -219,12 +349,13 @@ impl PageStore for MemStore {
 
     fn read_page_uncounted(&self, page: u32, buf: &mut [u8]) -> Result<(), StoreError> {
         assert_eq!(buf.len(), PAGE_SIZE, "read buffer must be one page");
-        let src = self
+        let state = self.lock_state();
+        let src = state
             .pages
             .get(page as usize)
             .ok_or(StoreError::PageOutOfRange {
                 page,
-                page_count: self.meta.page_count,
+                page_count: state.pages.len() as u32,
             })?;
         buf.copy_from_slice(src);
         Ok(())
@@ -241,6 +372,50 @@ impl PageStore for MemStore {
     fn sync(&self) -> Result<(), StoreError> {
         Ok(())
     }
+
+    fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    fn write_page(&self, page: u32, buf: &[u8]) -> Result<(), StoreError> {
+        if !self.writable {
+            return Err(StoreError::ReadOnly);
+        }
+        assert_eq!(buf.len(), PAGE_SIZE, "write buffer must be one page");
+        let mut state = self.lock_state();
+        let count = state.pages.len() as u32;
+        let dst = state
+            .pages
+            .get_mut(page as usize)
+            .ok_or(StoreError::PageOutOfRange {
+                page,
+                page_count: count,
+            })?;
+        dst.copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn grow(&self, additional: u32) -> Result<u32, StoreError> {
+        if !self.writable {
+            return Err(StoreError::ReadOnly);
+        }
+        let mut state = self.lock_state();
+        let first = state.pages.len() as u32;
+        let new_len = state.pages.len() + additional as usize;
+        state.pages.resize(new_len, [0u8; PAGE_SIZE]);
+        Ok(first)
+    }
+
+    fn commit(&self, root_page: u32, user: [u64; 4]) -> Result<(), StoreError> {
+        if !self.writable {
+            return Err(StoreError::ReadOnly);
+        }
+        let mut state = self.lock_state();
+        let meta = StoreMeta::new(state.pages.len() as u32, root_page, user);
+        meta.validate()?;
+        state.meta = meta;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -248,17 +423,33 @@ impl PageStore for MemStore {
 // ---------------------------------------------------------------------
 
 /// An on-disk [`PageStore`]: a page file with a checksummed header and a
-/// CRC-32 per page (see the module docs for the layout). Open with
-/// [`FileStore::open`], create with [`FileStore::create`].
+/// CRC-32 per page (see the module docs for the two layouts). Open with
+/// [`FileStore::open`] (which detects the format), create a read-only
+/// version-1 file with [`FileStore::create`] or a writable
+/// shadow-paging version-2 file with [`FileStore::create_writable`].
 pub struct FileStore {
     // The pool serializes loads anyway, so a mutex (portable) costs no
     // extra contention over platform positioned-read APIs.
     file: Mutex<File>,
-    meta: StoreMeta,
-    /// CRC-32 per page, loaded and verified at open.
+    /// Committed metadata: what a crash-reopen would observe.
+    meta: Mutex<StoreMeta>,
+    /// Committed commit generation (version 2; 0 for version 1).
+    generation: AtomicU64,
+    /// Total pages in the file, **including** grown-but-uncommitted
+    /// ones — the bound for reads and writes. Equals the committed
+    /// page count except between a [`FileStore::grow`] and the next
+    /// commit.
+    pages_total: AtomicU32,
+    /// Version 1 only: the central CRC-32 table loaded and verified at
+    /// open. Empty for version 2, where each page embeds its own CRC.
     checksums: Vec<u32>,
+    /// On-disk format version (1 = read-only, 2 = writable).
+    version: u32,
     /// Byte offset of data page 0.
     data_offset: u64,
+    /// Whether the write path is available: a version-2 file opened
+    /// with write permission.
+    writable: bool,
     reads: AtomicU64,
     /// Advisory path lock, released when the store drops.
     _lock: PathLock,
@@ -284,6 +475,70 @@ fn encode_header(meta: &StoreMeta, table_crc: u32) -> [u8; PAGE_SIZE] {
     let header_crc = crc32(&h[0..60]);
     h[60..64].copy_from_slice(&header_crc.to_le_bytes());
     h
+}
+
+/// Encodes one version-2 header slot (a full page, content in the first
+/// [`SLOT_LEN`] bytes). Generation `g` always lands in slot
+/// `(g + 1) % 2`.
+fn encode_header_v2(meta: &StoreMeta, generation: u64) -> [u8; PAGE_SIZE] {
+    let mut h = [0u8; PAGE_SIZE];
+    h[0..8].copy_from_slice(&MAGIC);
+    h[8..12].copy_from_slice(&VERSION_WRITABLE.to_le_bytes());
+    h[12..16].copy_from_slice(&meta.page_size.to_le_bytes());
+    h[16..20].copy_from_slice(&meta.page_count.to_le_bytes());
+    h[20..24].copy_from_slice(&meta.root_page.to_le_bytes());
+    for (i, w) in meta.user.iter().enumerate() {
+        h[24 + i * 8..32 + i * 8].copy_from_slice(&w.to_le_bytes());
+    }
+    h[56..64].copy_from_slice(&generation.to_le_bytes());
+    let slot_crc = crc32(&h[0..64]);
+    h[64..68].copy_from_slice(&slot_crc.to_le_bytes());
+    h
+}
+
+/// The file offset of version-2 header slot `(generation + 1) % 2`.
+fn v2_slot_offset(generation: u64) -> u64 {
+    ((generation + 1) % 2) * PAGE_SIZE as u64
+}
+
+/// Decodes `buf` as a version-2 header slot; `None` when the magic,
+/// checksum, version, or metadata is invalid (a torn or never-written
+/// slot — the caller falls back to the sibling slot).
+fn parse_v2_slot(buf: &[u8]) -> Option<(StoreMeta, u64)> {
+    if buf.len() < SLOT_LEN || buf[0..8] != MAGIC {
+        return None;
+    }
+    let stored_crc = u32::from_le_bytes(buf[64..68].try_into().unwrap());
+    if crc32(&buf[0..64]) != stored_crc {
+        return None;
+    }
+    if u32::from_le_bytes(buf[8..12].try_into().unwrap()) != VERSION_WRITABLE {
+        return None;
+    }
+    let meta = StoreMeta {
+        page_size: u32::from_le_bytes(buf[12..16].try_into().unwrap()),
+        page_count: u32::from_le_bytes(buf[16..20].try_into().unwrap()),
+        root_page: u32::from_le_bytes(buf[20..24].try_into().unwrap()),
+        user: {
+            let mut user = [0u64; 4];
+            for (i, w) in user.iter_mut().enumerate() {
+                *w = u64::from_le_bytes(buf[24 + i * 8..32 + i * 8].try_into().unwrap());
+            }
+            user
+        },
+    };
+    meta.validate().ok()?;
+    let generation = u64::from_le_bytes(buf[56..64].try_into().unwrap());
+    Some((meta, generation))
+}
+
+/// Stamps the embedded CRC-32 trailer onto a copy of `page` (version-2
+/// page image). The payload region is everything before the trailer.
+fn stamp_page_crc(page: &[u8; PAGE_SIZE]) -> [u8; PAGE_SIZE] {
+    let mut stamped = *page;
+    let crc = crc32(&stamped[..PAGE_PAYLOAD]);
+    stamped[PAGE_PAYLOAD..].copy_from_slice(&crc.to_le_bytes());
+    stamped
 }
 
 /// The sibling temp path `create` stages its writes in: `<name>.tmp`
@@ -377,11 +632,20 @@ fn fsync_parent_dir(path: &Path) -> std::io::Result<()> {
         Some(p) if !p.as_os_str().is_empty() => p,
         _ => Path::new("."),
     };
-    // Directories cannot be opened for syncing on every platform; where
-    // they can't, the rename itself is the best available guarantee.
+    // Directories cannot be opened for syncing on every platform; only
+    // where the platform refuses the open is the rename itself the best
+    // available guarantee. Any other open failure — like any sync
+    // failure — is a real durability error and must surface.
     match File::open(parent) {
         Ok(dir) => dir.sync_all(),
-        Err(_) => Ok(()),
+        Err(e) if matches!(
+            e.kind(),
+            io::ErrorKind::Unsupported | io::ErrorKind::PermissionDenied
+        ) =>
+        {
+            Ok(())
+        }
+        Err(e) => Err(e),
     }
 }
 
@@ -448,17 +712,95 @@ impl FileStore {
 
         Ok(FileStore {
             file: Mutex::new(file),
-            meta,
+            meta: Mutex::new(meta),
+            generation: AtomicU64::new(0),
+            pages_total: AtomicU32::new(meta.page_count),
             checksums,
+            version: VERSION,
             data_offset: PAGE_SIZE as u64 + table_bytes(meta.page_count),
+            writable: false,
+            reads: AtomicU64::new(0),
+            _lock: lock,
+        })
+    }
+
+    /// Writes a new **writable** (version 2, shadow-paging) page file at
+    /// `path` and returns the opened store, with the same staged-rename
+    /// all-or-nothing discipline as [`FileStore::create`].
+    ///
+    /// Each page's final 4 bytes are overwritten with its embedded
+    /// CRC-32 trailer, so callers must leave them zero.
+    pub fn create_writable(
+        path: &Path,
+        root_page: u32,
+        user: [u64; 4],
+        pages: &[[u8; PAGE_SIZE]],
+    ) -> Result<FileStore, StoreError> {
+        let lock = PathLock::acquire(path)?;
+        let meta = StoreMeta::new(
+            u32::try_from(pages.len()).expect("page count overflows u32"),
+            root_page,
+            user,
+        );
+        meta.validate()?;
+        let generation = 1u64;
+        debug_assert_eq!(v2_slot_offset(generation), 0, "first commit lives in slot 0");
+        let header = encode_header_v2(&meta, generation);
+
+        let tmp = tmp_sibling(path);
+        let write_and_swap = |tmp: &Path| -> Result<File, StoreError> {
+            let mut file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(tmp)?;
+            file.write_all(&header)?;
+            // Slot 1 stays zeroed (invalid) until the first in-place
+            // commit writes generation 2 there.
+            file.write_all(&[0u8; PAGE_SIZE])?;
+            for p in pages {
+                debug_assert!(
+                    p[PAGE_PAYLOAD..].iter().all(|&b| b == 0),
+                    "page trailer bytes are reserved for the CRC"
+                );
+                file.write_all(&stamp_page_crc(p))?;
+            }
+            file.sync_all()?;
+            // The handle stays valid across the rename (same inode).
+            fs::rename(tmp, path)?;
+            fsync_parent_dir(path)?;
+            Ok(file)
+        };
+        let file = write_and_swap(&tmp).inspect_err(|_| {
+            fs::remove_file(&tmp).ok();
+        })?;
+
+        Ok(FileStore {
+            file: Mutex::new(file),
+            meta: Mutex::new(meta),
+            generation: AtomicU64::new(generation),
+            pages_total: AtomicU32::new(meta.page_count),
+            checksums: Vec::new(),
+            version: VERSION_WRITABLE,
+            data_offset: 2 * PAGE_SIZE as u64,
+            writable: true,
             reads: AtomicU64::new(0),
             _lock: lock,
         })
     }
 
     /// Opens an existing page file, validating the magic, version, page
-    /// size, header checksum, root page, file length, and checksum-table
-    /// checksum. Corrupt files are rejected with a typed [`StoreError`].
+    /// size, header checksum(s), root page, file length, and page
+    /// checksums' anchor (the central table for version 1; version 2
+    /// verifies its embedded per-page trailers on demand). Corrupt
+    /// files are rejected with a typed [`StoreError`].
+    ///
+    /// The format is detected from the header: version-1 files open
+    /// read-only, version-2 files open writable when the filesystem
+    /// permits (falling back to read-only otherwise). A version-2 file
+    /// whose most recent header slot was torn by a crash falls back to
+    /// the sibling slot — the previous committed state.
     ///
     /// Holds the path's advisory lock for the store's lifetime, so a
     /// concurrent [`FileStore::create`] cannot rewrite the file under
@@ -471,20 +813,51 @@ impl FileStore {
         // (e.g. something unrelated occupies the name).
         fs::remove_file(tmp_sibling(path)).ok();
         let mut file = File::open(path)?;
-        let mut header = [0u8; HEADER_LEN];
-        if file.read_exact(&mut header).is_err() {
-            return Err(StoreError::BadMagic); // too short to be a page file
-        }
-        if header[0..8] != MAGIC {
+        let read_slot = |file: &mut File, offset: u64| -> Option<[u8; SLOT_LEN]> {
+            let mut buf = [0u8; SLOT_LEN];
+            (file.seek(SeekFrom::Start(offset)).is_ok() && file.read_exact(&mut buf).is_ok())
+                .then_some(buf)
+        };
+        let slot0 = read_slot(&mut file, 0);
+        let slot1 = read_slot(&mut file, PAGE_SIZE as u64);
+
+        let Some(header) = slot0.filter(|s| s[0..8] == MAGIC) else {
+            // No valid magic at offset 0: either not a page file at
+            // all, or a version-2 file whose slot 0 was torn mid-write
+            // — the sibling slot still holds a committed state.
+            if let Some((meta, generation)) = slot1.and_then(|s| parse_v2_slot(&s)) {
+                return FileStore::open_v2(path, file, meta, generation, lock);
+            }
             return Err(StoreError::BadMagic);
+        };
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version == VERSION {
+            return FileStore::open_v1(file, &header[..HEADER_LEN], lock);
         }
+        // Version 2 (or a torn version field): pick the valid slot with
+        // the highest generation.
+        let best = [slot0, slot1]
+            .into_iter()
+            .flatten()
+            .filter_map(|s| parse_v2_slot(&s))
+            .max_by_key(|&(_, generation)| generation);
+        match best {
+            Some((meta, generation)) => FileStore::open_v2(path, file, meta, generation, lock),
+            None if version == VERSION_WRITABLE => Err(StoreError::HeaderChecksum),
+            None => Err(StoreError::BadVersion(version)),
+        }
+    }
+
+    /// Version-1 open: validate the header CRC and the central checksum
+    /// table, then serve reads from the read-only handle.
+    fn open_v1(
+        mut file: File,
+        header: &[u8],
+        lock: PathLock,
+    ) -> Result<FileStore, StoreError> {
         let stored_crc = u32::from_le_bytes(header[60..64].try_into().unwrap());
         if crc32(&header[0..60]) != stored_crc {
             return Err(StoreError::HeaderChecksum);
-        }
-        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
-        if version != VERSION {
-            return Err(StoreError::BadVersion(version));
         }
         let meta = StoreMeta {
             page_size: u32::from_le_bytes(header[12..16].try_into().unwrap()),
@@ -520,18 +893,97 @@ impl FileStore {
 
         Ok(FileStore {
             file: Mutex::new(file),
-            meta,
+            meta: Mutex::new(meta),
+            generation: AtomicU64::new(0),
+            pages_total: AtomicU32::new(meta.page_count),
             checksums,
+            version: VERSION,
             data_offset,
+            writable: false,
             reads: AtomicU64::new(0),
             _lock: lock,
         })
+    }
+
+    /// Version-2 open from an already-selected committed header slot:
+    /// check the file extent, reopen with write permission when
+    /// available, and trim crash garbage (grown-but-uncommitted tail
+    /// pages) back to the committed extent.
+    fn open_v2(
+        path: &Path,
+        file: File,
+        meta: StoreMeta,
+        generation: u64,
+        lock: PathLock,
+    ) -> Result<FileStore, StoreError> {
+        let data_offset = 2 * PAGE_SIZE as u64;
+        let expected = data_offset + meta.page_count as u64 * PAGE_SIZE as u64;
+        let actual = file.metadata()?.len();
+        if actual < expected {
+            return Err(StoreError::Truncated { expected, actual });
+        }
+        drop(file);
+        let (file, writable) = match OpenOptions::new().read(true).write(true).open(path) {
+            Ok(f) => (f, true),
+            // A read-only filesystem or permissions still serve queries.
+            Err(_) => (File::open(path)?, false),
+        };
+        if writable && actual > expected {
+            // Pages grown by a crashed, never-committed mutation batch:
+            // unreachable from the committed root by the shadow-paging
+            // discipline, so truncating them loses nothing.
+            file.set_len(expected)?;
+        }
+        Ok(FileStore {
+            file: Mutex::new(file),
+            meta: Mutex::new(meta),
+            generation: AtomicU64::new(generation),
+            pages_total: AtomicU32::new(meta.page_count),
+            checksums: Vec::new(),
+            version: VERSION_WRITABLE,
+            data_offset,
+            writable,
+            reads: AtomicU64::new(0),
+            _lock: lock,
+        })
+    }
+
+    /// The store's committed commit generation (0 for version-1 files).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    fn lock_file(&self) -> MutexGuard<'_, File> {
+        // A panic while holding the file lock (it cannot happen in
+        // this body, but a caller's unwind could in principle cross
+        // it) leaves no broken invariant: recover, don't propagate.
+        self.file.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_meta(&self) -> MutexGuard<'_, StoreMeta> {
+        self.meta.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Verifies one page's bytes against its recorded checksum — the
+    /// central table (version 1) or the embedded trailer (version 2).
+    fn verify_page(&self, page: u32, buf: &[u8]) -> Result<(), StoreError> {
+        let ok = if self.version == VERSION {
+            crc32(buf) == self.checksums[page as usize]
+        } else {
+            let stored = u32::from_le_bytes(buf[PAGE_PAYLOAD..PAGE_SIZE].try_into().unwrap());
+            crc32(&buf[..PAGE_PAYLOAD]) == stored
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(StoreError::PageChecksum { page })
+        }
     }
 }
 
 impl PageStore for FileStore {
     fn meta(&self) -> StoreMeta {
-        self.meta
+        *self.lock_meta()
     }
 
     fn read_page(&self, page: u32, buf: &mut [u8]) -> Result<(), StoreError> {
@@ -542,26 +994,21 @@ impl PageStore for FileStore {
 
     fn read_page_uncounted(&self, page: u32, buf: &mut [u8]) -> Result<(), StoreError> {
         assert_eq!(buf.len(), PAGE_SIZE, "read buffer must be one page");
-        if page >= self.meta.page_count {
+        let total = self.pages_total.load(Ordering::Relaxed);
+        if page >= total {
             return Err(StoreError::PageOutOfRange {
                 page,
-                page_count: self.meta.page_count,
+                page_count: total,
             });
         }
         {
-            // A panic while holding the file lock (it cannot happen in
-            // this body, but a caller's unwind could in principle cross
-            // it) leaves no broken invariant: recover, don't propagate.
-            let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut file = self.lock_file();
             file.seek(SeekFrom::Start(
                 self.data_offset + page as u64 * PAGE_SIZE as u64,
             ))?;
             file.read_exact(buf)?;
         }
-        if crc32(buf) != self.checksums[page as usize] {
-            return Err(StoreError::PageChecksum { page });
-        }
-        Ok(())
+        self.verify_page(page, buf)
     }
 
     fn read_run_uncounted(&self, first: u32, buf: &mut [u8]) -> Result<(), StoreError> {
@@ -570,27 +1017,25 @@ impl PageStore for FileStore {
         if count == 0 {
             return Ok(());
         }
+        let total = self.pages_total.load(Ordering::Relaxed);
         let last = first.saturating_add(count - 1);
-        if first.checked_add(count - 1).is_none() || last >= self.meta.page_count {
+        if first.checked_add(count - 1).is_none() || last >= total {
             return Err(StoreError::PageOutOfRange {
                 page: last,
-                page_count: self.meta.page_count,
+                page_count: total,
             });
         }
         {
             // One seek + one contiguous read for the whole run — this is
             // the syscall batching a clustered page layout buys.
-            let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut file = self.lock_file();
             file.seek(SeekFrom::Start(
                 self.data_offset + first as u64 * PAGE_SIZE as u64,
             ))?;
             file.read_exact(buf)?;
         }
         for (i, chunk) in buf.chunks(PAGE_SIZE).enumerate() {
-            let page = first + i as u32;
-            if crc32(chunk) != self.checksums[page as usize] {
-                return Err(StoreError::PageChecksum { page });
-            }
+            self.verify_page(first + i as u32, chunk)?;
         }
         Ok(())
     }
@@ -604,11 +1049,77 @@ impl PageStore for FileStore {
     }
 
     fn sync(&self) -> Result<(), StoreError> {
-        Ok(self
-            .file
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .sync_all()?)
+        Ok(self.lock_file().sync_all()?)
+    }
+
+    fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    fn write_page(&self, page: u32, buf: &[u8]) -> Result<(), StoreError> {
+        if !self.writable {
+            return Err(StoreError::ReadOnly);
+        }
+        assert_eq!(buf.len(), PAGE_SIZE, "write buffer must be one page");
+        let total = self.pages_total.load(Ordering::Relaxed);
+        if page >= total {
+            return Err(StoreError::PageOutOfRange {
+                page,
+                page_count: total,
+            });
+        }
+        let mut stamped = [0u8; PAGE_SIZE];
+        stamped.copy_from_slice(buf);
+        let stamped = stamp_page_crc(&stamped);
+        let mut file = self.lock_file();
+        file.seek(SeekFrom::Start(
+            self.data_offset + page as u64 * PAGE_SIZE as u64,
+        ))?;
+        file.write_all(&stamped)?;
+        Ok(())
+    }
+
+    fn grow(&self, additional: u32) -> Result<u32, StoreError> {
+        if !self.writable {
+            return Err(StoreError::ReadOnly);
+        }
+        // Hold the file lock so concurrent grows serialize their
+        // (load, set_len, store) sequences.
+        let file = self.lock_file();
+        let first = self.pages_total.load(Ordering::Relaxed);
+        let total = first
+            .checked_add(additional)
+            .expect("page count overflows u32");
+        file.set_len(self.data_offset + total as u64 * PAGE_SIZE as u64)?;
+        self.pages_total.store(total, Ordering::Relaxed);
+        Ok(first)
+    }
+
+    fn commit(&self, root_page: u32, user: [u64; 4]) -> Result<(), StoreError> {
+        if !self.writable {
+            return Err(StoreError::ReadOnly);
+        }
+        let total = self.pages_total.load(Ordering::Relaxed);
+        let meta = StoreMeta::new(total, root_page, user);
+        meta.validate()?;
+        let generation = self.generation.load(Ordering::Relaxed) + 1;
+        let header = encode_header_v2(&meta, generation);
+        {
+            let mut file = self.lock_file();
+            // Ordering is the crash-consistency contract: data pages
+            // durable *before* the root flip is written, the flip
+            // durable before the commit reports success. A crash
+            // between the syncs leaves the old slot authoritative (the
+            // new slot is either absent or torn, and torn slots fail
+            // their CRC at open).
+            file.sync_all()?;
+            file.seek(SeekFrom::Start(v2_slot_offset(generation)))?;
+            file.write_all(&header)?;
+            file.sync_all()?;
+        }
+        *self.lock_meta() = meta;
+        self.generation.store(generation, Ordering::Relaxed);
+        Ok(())
     }
 }
 

@@ -27,10 +27,13 @@ cargo clippy --workspace -- -D warnings
 # unwind (a panicking worker would strand in-flight pages forever).
 # The serving layer joins the list: a panicking worker or reader thread
 # would silently strand client connections, so every serve source file
-# must route failures through typed responses instead.
+# must route failures through typed responses instead. node.rs joins
+# too: its kind accessors sit under every disk read, so a decode bug
+# must degrade (debug assertion + empty view) rather than panic.
 step "lint: no panic paths in the disk query read path"
 for f in crates/rtree/src/disk.rs crates/rtree/src/browser.rs \
          crates/rtree/src/query.rs crates/rtree/src/iwp.rs \
+         crates/rtree/src/node.rs \
          crates/store/src/executor.rs \
          crates/serve/src/protocol.rs crates/serve/src/histogram.rs \
          crates/serve/src/handle.rs crates/serve/src/server.rs \
@@ -102,6 +105,18 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
   grep -q '"capacity_qps"' results/BENCH_serve.json
   grep -q '"p999_us"' results/BENCH_serve.json
   echo "ok: results/BENCH_serve.json written (capacity + tail latency)"
+
+  step "smoke: writable disk mode (mutate, commit, reopen ≡ arena)"
+  cargo test -q --release --test disk_equivalence writable
+  cargo test -q --release --test crash
+  echo "ok: mutate-save-reopen equivalence and crash kill-point matrix passed"
+
+  step "smoke: streaming ingest sweep (tiny scale)"
+  NWC_SCALE=0.02 NWC_QUERIES=3 cargo run --release -p nwc-bench -- ingest
+  test -s results/BENCH_ingest.json
+  grep -q '"ingest_per_s"' results/BENCH_ingest.json
+  grep -q '"reopen_ms"' results/BENCH_ingest.json
+  echo "ok: results/BENCH_ingest.json written (throughput + recovery time)"
 fi
 
 step "verify: all checks passed"

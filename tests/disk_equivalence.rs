@@ -247,6 +247,89 @@ fn overlapped_io_keeps_answers_and_logical_io_bit_identical() {
 }
 
 #[test]
+fn writable_disk_mutations_commit_and_reopen_match_the_mutated_arena() {
+    // The writable-mode acceptance bar: an identical insert/delete
+    // script applied to an in-memory index and a shadow-paged disk
+    // index must agree — while the disk overlay is still uncommitted,
+    // and again after commit + cold reopen — on every Table-3 scheme's
+    // answers *and* logical I/O, bit for bit.
+    let base = seeded_points(900, 29);
+    let mut arena = NwcIndex::build(base);
+    let path = temp_pages("writable");
+    arena.save_tree_writable(&path).expect("save writable");
+    let mut disk =
+        NwcIndex::open_disk(&path, DiskIndexConfig::default()).expect("open writable");
+
+    for (i, &p) in seeded_points(150, 101).iter().enumerate() {
+        let fresh = Point::new(p.x + 0.5, p.y + 0.5);
+        let ia = arena.insert(fresh).expect("arena insert");
+        let id = disk.insert(fresh).expect("disk insert");
+        assert_eq!(ia, id, "backends must assign identical ids");
+        if i % 3 == 0 {
+            let victim = (i * 37 % 900) as u32;
+            let ra = arena.remove(victim).expect("arena remove");
+            let rd = disk.remove(victim).expect("disk remove");
+            assert_eq!(ra, rd, "backends disagree on liveness of {victim}");
+        }
+    }
+    assert_eq!(arena.len(), disk.len());
+    // Mutations invalidate the IWP augmentation on both backends;
+    // rebuild it so the full Table-3 sweep (NWC* included) runs.
+    arena.rebuild_iwp();
+    disk.rebuild_iwp();
+
+    let sweep = |disk: &NwcIndex, stage: &str| {
+        let queries = Dataset::query_points(5, 29);
+        for scheme in Scheme::TABLE3 {
+            for (qi, &q) in queries.iter().enumerate() {
+                let query = NwcQuery::new(q, WindowSpec::square(60.0), 4);
+                let (ra, sa) = arena.nwc_full(&query, scheme);
+                let (rd, sd) = disk.nwc_full(&query, scheme);
+                match (&ra, &rd) {
+                    (None, None) => {}
+                    (Some(a), Some(d)) => {
+                        assert_eq!(a.ids(), d.ids(), "{stage}/{scheme}/q{qi}");
+                        assert_eq!(a.distance, d.distance, "{stage}/{scheme}/q{qi}");
+                        assert_eq!(a.window, d.window, "{stage}/{scheme}/q{qi}");
+                    }
+                    _ => panic!("{stage}/{scheme}/q{qi}: one mode found a result, one did not"),
+                }
+                assert_eq!(
+                    SearchStats { buffer_hits: 0, ..sd },
+                    sa,
+                    "{stage}/{scheme}/q{qi}: logical I/O diverges"
+                );
+            }
+        }
+    };
+
+    // Uncommitted: queries read through the dirty overlay.
+    sweep(&disk, "overlay");
+    let storage = disk.tree().storage().expect("disk-backed");
+    assert!(storage.dirty_nodes() > 0, "the script never dirtied a node");
+
+    disk.commit().expect("commit");
+    assert_eq!(
+        disk.tree().storage().expect("disk-backed").dirty_nodes(),
+        0,
+        "commit must drain the overlay"
+    );
+    // Shadow paging renumbered the flushed nodes, so commit dropped the
+    // IWP; rebuild it over the durable page ids.
+    assert!(disk.iwp().is_none(), "commit must invalidate the IWP");
+    disk.rebuild_iwp();
+    sweep(&disk, "committed");
+
+    // Cold reopen from the committed file: same contract, fresh pool,
+    // grid and IWP rebuilt from the durable pages alone.
+    drop(disk);
+    let disk = NwcIndex::open_disk(&path, DiskIndexConfig::default()).expect("reopen committed");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(arena.len(), disk.len());
+    sweep(&disk, "reopened");
+}
+
+#[test]
 fn disk_knwc_matches_arena() {
     let arena = NwcIndex::build(seeded_points(700, 43));
     let disk = reopen_disk(&arena, "knwc");
