@@ -19,6 +19,7 @@ pub mod ingest;
 pub mod kernels;
 pub mod runner;
 pub mod serve;
+pub mod shard;
 pub mod table;
 pub mod throughput;
 

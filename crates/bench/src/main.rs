@@ -8,7 +8,7 @@
 //! EXPERIMENT: all (default) | table2 | table3 | fig8 | fig9 | fig10 |
 //!             fig11 | fig12 | fig13 | fig14 | storage | model |
 //!             ablations | throughput | buffer | faults | kernels | serve |
-//!             ingest
+//!             ingest | shard
 //!
 //! Environment:
 //!   NWC_SCALE    fraction of the paper's dataset cardinalities (0.2)
@@ -20,7 +20,9 @@
 //! `cargo run --release -p nwc-bench > EXPERIMENTS-run.md` captures a
 //! full report.
 
-use nwc_bench::{buffer, faults, figures, ingest, kernels, serve, throughput, ExperimentContext};
+use nwc_bench::{
+    buffer, faults, figures, ingest, kernels, serve, shard, throughput, ExperimentContext,
+};
 
 fn main() {
     let ctx = ExperimentContext::from_env();
@@ -93,6 +95,9 @@ fn main() {
     }
     if want("ingest") {
         println!("{}", ingest::ingest(&ctx));
+    }
+    if want("shard") {
+        println!("{}", shard::shard(&ctx));
     }
     if want("ablations") {
         println!("{}", figures::ablation_measures(&ctx));

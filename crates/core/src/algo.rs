@@ -127,10 +127,7 @@ impl NwcIndex {
         scratch: &mut QueryScratch,
         cancel: &CancelToken,
     ) -> Result<(Option<NwcResult>, SearchStats), QueryError> {
-        let mut sink = BestSink {
-            dist_best: f64::INFINITY,
-            best: None,
-        };
+        let mut sink = BestSink::new();
         let stats = self.try_run_search_cancel(query, scheme, &mut sink, scratch, cancel)?;
         let result = sink.best.map(|(objects, window)| NwcResult {
             objects,
@@ -318,20 +315,106 @@ pub(crate) fn unrecoverable(e: QueryError) -> ! {
     panic!("unrecoverable disk read failure during search (use the try_* query APIs to handle this): {e}")
 }
 
+/// One ulp above `x` for finite non-negative `x` (identity on `+inf`).
+/// Used to make pruning thresholds *tie-inclusive*: pruning with
+/// `tie_inclusive(bound)` keeps every candidate that could still **tie**
+/// the bound, so the canonical tie-break below sees all tied groups no
+/// matter the traversal order — the answer becomes independent of visit
+/// order, which the sharded scatter-gather planner relies on (shards
+/// interleave arbitrarily) and which pins single-tree answers to the
+/// oracle's `(distance, id_set)` canonical order.
+pub(crate) fn tie_inclusive(x: f64) -> f64 {
+    if x.is_finite() {
+        f64::from_bits(x.to_bits() + 1)
+    } else {
+        x
+    }
+}
+
+/// Canonical order over equal-score groups: ascending sorted-id set,
+/// then window coordinates (`total_cmp`, so any bit pattern orders).
+/// Matches the oracle's `(distance, id_set)` sort; the window key only
+/// disambiguates one set reachable through distinct equal-score windows.
+pub(crate) fn canonical_less(
+    a_ids: &[u32],
+    a_win: &Rect,
+    b_ids: &[u32],
+    b_win: &Rect,
+) -> bool {
+    use std::cmp::Ordering;
+    match a_ids.cmp(b_ids) {
+        Ordering::Less => true,
+        Ordering::Greater => false,
+        Ordering::Equal => {
+            let key = |w: &Rect| [w.min.x, w.min.y, w.max.x, w.max.y];
+            let (ka, kb) = (key(a_win), key(b_win));
+            for (x, y) in ka.iter().zip(kb.iter()) {
+                match x.total_cmp(y) {
+                    Ordering::Less => return true,
+                    Ordering::Greater => return false,
+                    Ordering::Equal => {}
+                }
+            }
+            false
+        }
+    }
+}
+
+/// Sorted object ids of a candidate group (set identity, tie-break key).
+pub(crate) fn sorted_ids(group: &[Entry]) -> Vec<u32> {
+    let mut ids: Vec<u32> = group.iter().map(|e| e.id).collect();
+    ids.sort_unstable();
+    ids
+}
+
 /// Sink keeping the single best group (`objs` / `dist_best` of the
-/// problem transformation, §2.1).
-struct BestSink {
-    dist_best: f64,
-    best: Option<(Vec<Entry>, Rect)>,
+/// problem transformation, §2.1). Ties on the score resolve canonically
+/// (smallest sorted-id set, then window) so the answer is a function of
+/// the offered *set* of groups, not their discovery order.
+pub(crate) struct BestSink {
+    pub(crate) dist_best: f64,
+    pub(crate) best: Option<(Vec<Entry>, Rect)>,
+    /// Sorted ids of `best` (canonical tie-break key).
+    pub(crate) best_ids: Vec<u32>,
+}
+
+impl BestSink {
+    pub(crate) fn new() -> Self {
+        BestSink {
+            dist_best: f64::INFINITY,
+            best: None,
+            best_ids: Vec::new(),
+        }
+    }
 }
 
 impl GroupSink for BestSink {
     fn threshold(&self) -> f64 {
-        self.dist_best
+        tie_inclusive(self.dist_best)
     }
 
     fn offer(&mut self, group: Vec<Entry>, score: f64, window: Rect, stats: &mut SearchStats) {
-        if score < self.dist_best {
+        let take = if score < self.dist_best {
+            true
+        } else if score == self.dist_best {
+            match &self.best {
+                Some((_, win)) => {
+                    let ids = sorted_ids(&group);
+                    let better = canonical_less(&ids, &window, &self.best_ids, win);
+                    if better {
+                        self.best_ids = ids;
+                    }
+                    better
+                }
+                None => false, // score == +inf cannot happen for finite groups
+            }
+        } else {
+            false
+        };
+        if take {
+            if score < self.dist_best {
+                self.best_ids = sorted_ids(&group);
+            }
             self.dist_best = score;
             self.best = Some((group, window));
             stats.best_updates += 1;

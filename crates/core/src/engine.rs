@@ -182,36 +182,57 @@ impl<'i> QueryEngine<'i> {
         R: Send,
         F: Fn(&Q, &mut QueryScratch) -> R + Sync,
     {
-        let workers = self.threads.min(queries.len());
-        if workers <= 1 {
-            // Sequential fast path: still one warm scratch for the batch.
-            let mut scratch = QueryScratch::new();
-            return queries.iter().map(|q| run(q, &mut scratch)).collect();
-        }
-        let cursor = AtomicUsize::new(0);
-        let mut merged: Vec<(usize, R)> = Vec::with_capacity(queries.len());
-        thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(|| {
-                        let mut scratch = QueryScratch::new();
-                        let mut out = Vec::new();
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(query) = queries.get(i) else { break };
-                            out.push((i, run(query, &mut scratch)));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            for h in handles {
-                merged.extend(h.join().expect("query worker panicked"));
-            }
-        });
-        merged.sort_unstable_by_key(|&(i, _)| i);
-        merged.into_iter().map(|(_, r)| r).collect()
+        scatter_map(self.threads, queries.len(), |i, scratch| {
+            run(&queries[i], scratch)
+        })
     }
+}
+
+/// The engine's scoped-thread work-distribution core, factored out so
+/// the sharded scatter-gather planner ([`crate::shard`]) fans its
+/// per-shard searches out through exactly the same machinery: an atomic
+/// cursor hands out item indices `0..count`, each worker owns one
+/// [`QueryScratch`], and results come back in index order.
+///
+/// With `workers <= 1` (or one item) this degenerates to a sequential
+/// in-order loop over one scratch — fully deterministic, no threads
+/// spawned.
+pub(crate) fn scatter_map<R, F>(workers: usize, count: usize, run: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &mut QueryScratch) -> R + Sync,
+{
+    let workers = workers.max(1).min(count);
+    if workers <= 1 {
+        // Sequential fast path: still one warm scratch for the batch.
+        let mut scratch = QueryScratch::new();
+        return (0..count).map(|i| run(i, &mut scratch)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut merged: Vec<(usize, R)> = Vec::with_capacity(count);
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut scratch = QueryScratch::new();
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        out.push((i, run(i, &mut scratch)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            merged.extend(h.join().expect("query worker panicked"));
+        }
+    });
+    merged.sort_unstable_by_key(|&(i, _)| i);
+    merged.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]

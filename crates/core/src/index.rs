@@ -259,6 +259,49 @@ impl NwcIndex {
         }
     }
 
+    /// Builds an index over pre-built entries whose object ids are
+    /// assigned by the caller (the sharded index stores **global** ids
+    /// in every shard tree, so cross-shard candidate groups merge
+    /// without translation). The id → location table is sized by the
+    /// largest id; ids absent from `entries` are dead slots, exactly as
+    /// after [`NwcIndex::open_disk`] on a tree with removals.
+    ///
+    /// `config.bulk_load` is ignored (entries always bulk-load: STR's
+    /// stable sorts make the result a pure function of the entry
+    /// sequence, which the sharded K=1 fast path relies on).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `entries` is empty or contains non-finite points.
+    pub(crate) fn from_entries(entries: Vec<nwc_rtree::Entry>, config: IndexConfig) -> Self {
+        assert!(!entries.is_empty(), "cannot index an empty entry set");
+        let max_id = entries.iter().map(|e| e.id).max().expect("non-empty") as usize;
+        let mut points = vec![Point::new(0.0, 0.0); max_id + 1];
+        let mut live = vec![false; max_id + 1];
+        for e in &entries {
+            assert!(e.point.is_finite(), "cannot index non-finite point {:?}", e.point);
+            points[e.id as usize] = e.point;
+            live[e.id as usize] = true;
+        }
+        let live_points: Vec<Point> = entries.iter().map(|e| e.point).collect();
+        let bounds = Rect::bounding(live_points.iter().copied()).expect("non-empty");
+        let live_count = entries.len();
+        let tree = RStarTree::bulk_load_entries(entries, config.tree_params);
+        let grid = config
+            .grid_cell_size
+            .map(|cell| DensityGrid::from_cell_size(grid_bounds(&bounds), cell, &live_points));
+        let iwp = config.build_iwp.then(|| IwpIndex::build(&tree));
+        NwcIndex {
+            points,
+            live,
+            live_count,
+            bounds,
+            tree,
+            grid,
+            iwp,
+        }
+    }
+
     /// Saves the R\*-tree to an on-disk page file (see
     /// [`RStarTree::save_to_path`]). The density grid and IWP
     /// augmentation are derived structures and are rebuilt at open.
@@ -465,6 +508,33 @@ impl NwcIndex {
         Ok(id)
     }
 
+    /// As [`NwcIndex::insert`], but the object id is assigned by the
+    /// caller (the sharded index allocates ids globally so shards never
+    /// collide). The id must not be live in this index. The id → point
+    /// table grows to cover `id`, leaving any intervening ids dead.
+    pub(crate) fn insert_assigned(
+        &mut self,
+        id: u32,
+        point: Point,
+    ) -> Result<(), IndexUpdateError> {
+        assert!(point.is_finite(), "cannot index non-finite point {point:?}");
+        assert!(!self.is_live(id), "id {id} is already live in this shard");
+        self.tree.insert(id, point)?;
+        if self.points.len() <= id as usize {
+            self.points.resize(id as usize + 1, Point::new(0.0, 0.0));
+            self.live.resize(id as usize + 1, false);
+        }
+        self.points[id as usize] = point;
+        self.live[id as usize] = true;
+        self.live_count += 1;
+        self.bounds = self.bounds.expand_to(point);
+        if let Some(grid) = &mut self.grid {
+            grid.add_point(&point);
+        }
+        self.iwp = None;
+        Ok(())
+    }
+
     /// Removes the object with the given id. Returns `Ok(false)` when
     /// the id is unknown or was already removed, and
     /// [`IndexUpdateError::ReadOnly`] — with every structure untouched —
@@ -536,8 +606,9 @@ impl std::fmt::Debug for NwcIndex {
 
 /// The grid covers the paper's normalized space when the data fits in
 /// it, else the data's own bounding box (slightly inflated so border
-/// points fall inside cells, not on the open edge).
-fn grid_bounds(data_bounds: &Rect) -> Rect {
+/// points fall inside cells, not on the open edge). `pub(crate)` so the
+/// sharded index builds its *global* density grid with the same rule.
+pub(crate) fn grid_bounds(data_bounds: &Rect) -> Rect {
     let space = Rect::new(Point::new(0.0, 0.0), Point::new(10_000.0, 10_000.0));
     if space.contains_rect(data_bounds) {
         space

@@ -138,6 +138,18 @@ impl NwcIndex {
         self.knwc_impl(query, scheme, false, &mut QueryScratch::default())
     }
 
+    /// Fallible [`NwcIndex::knwc_exact`] with scratch reuse — the
+    /// panic-free delegation target for the sharded planner's K = 1
+    /// fast path.
+    pub(crate) fn try_knwc_exact_with(
+        &self,
+        query: &KnwcQuery,
+        scheme: crate::Scheme,
+        scratch: &mut QueryScratch,
+    ) -> Result<KnwcResult, crate::QueryError> {
+        self.try_knwc_impl(query, scheme, false, scratch, &nwc_rtree::CancelToken::none())
+    }
+
     /// Answers a kNWC query with the paper's §3.4 Steps 1–5 implemented
     /// *verbatim* (in-place insertion with eviction, no candidate
     /// buffer). Kept as an ablation reference: on typical workloads it
@@ -190,11 +202,7 @@ impl NwcIndex {
         // checks; the traversal buffers stay with the scratch. Returned
         // below so the capacity survives into the next query.
         let mut sink = GroupsSink {
-            k: query.k,
-            m: query.m,
-            prune,
-            buffer: Vec::new(),
-            selected: Vec::new(),
+            core: GroupsCore::new(query.k, query.m, prune),
             idbuf: std::mem::take(&mut scratch.ids),
         };
         let searched = self.try_run_search_cancel(&query.base, scheme, &mut sink, scratch, cancel);
@@ -203,44 +211,46 @@ impl NwcIndex {
         sink.idbuf.clear();
         scratch.ids = std::mem::take(&mut sink.idbuf);
         let stats = searched?;
-        let groups = sink
-            .selected
-            .iter()
-            .map(|&i| {
-                let g = &sink.buffer[i];
-                KnwcGroup {
-                    objects: g.entries.clone(),
-                    distance: g.score,
-                    window: g.window,
-                }
-            })
-            .collect();
-        Ok(KnwcResult { groups, stats })
+        Ok(KnwcResult {
+            groups: sink.core.groups(),
+            stats,
+        })
     }
 }
 
-struct StoredGroup {
-    ids: Vec<ObjectId>, // sorted — the group's set identity
-    entries: Vec<Entry>,
-    score: f64,
-    window: Rect,
+pub(crate) struct StoredGroup {
+    pub(crate) ids: Vec<ObjectId>, // sorted — the group's set identity
+    pub(crate) entries: Vec<Entry>,
+    pub(crate) score: f64,
+    pub(crate) window: Rect,
 }
 
-/// Sink maintaining the greedy top-k selection over all offered groups.
-struct GroupsSink {
-    k: usize,
-    m: usize,
-    prune: bool,
+/// The buffered greedy top-k state, factored out of [`GroupsSink`] so
+/// the sharded scatter-gather planner can share one instance (behind a
+/// mutex) across every shard's traversal. Holds no scratch borrows —
+/// callers pass the reusable sorted-id buffer into
+/// [`GroupsCore::offer_group`].
+pub(crate) struct GroupsCore {
+    pub(crate) k: usize,
+    pub(crate) m: usize,
+    pub(crate) prune: bool,
     /// All distinct offered groups, ascending by (score, ids).
-    buffer: Vec<StoredGroup>,
+    pub(crate) buffer: Vec<StoredGroup>,
     /// Indices into `buffer` forming the current greedy selection.
-    selected: Vec<usize>,
-    /// Reused sorted-id buffer: duplicate offers (the common case near a
-    /// hot window) are rejected without allocating.
-    idbuf: Vec<ObjectId>,
+    pub(crate) selected: Vec<usize>,
 }
 
-impl GroupsSink {
+impl GroupsCore {
+    pub(crate) fn new(k: usize, m: usize, prune: bool) -> Self {
+        GroupsCore {
+            k,
+            m,
+            prune,
+            buffer: Vec::new(),
+            selected: Vec::new(),
+        }
+    }
+
     /// Recomputes the greedy selection: scan the buffer in ascending
     /// score order, keep groups compatible with everything kept so far,
     /// stop at k.
@@ -259,43 +269,67 @@ impl GroupsSink {
             }
         }
     }
-}
 
-impl GroupSink for GroupsSink {
-    fn threshold(&self) -> f64 {
+    /// The §3.4 pruning bound, tie-inclusive: one ulp above the k-th
+    /// selected score (∞ until k groups exist or when pruning is off).
+    /// Tie-inclusion keeps equal-score groups discoverable so the
+    /// canonical `(score, ids)` buffer order — not traversal order —
+    /// decides the selection.
+    pub(crate) fn threshold(&self) -> f64 {
         if !self.prune {
             return f64::INFINITY;
         }
-        // dist(q, objs_k) once k groups exist, else ∞ (§3.4).
         if self.selected.len() == self.k {
-            self.buffer[*self.selected.last().unwrap()].score
+            crate::algo::tie_inclusive(self.buffer[*self.selected.last().unwrap()].score)
         } else {
             f64::INFINITY
         }
     }
 
-    fn offer(&mut self, group: Vec<Entry>, score: f64, window: Rect, stats: &mut SearchStats) {
-        // Fast reject: cannot affect the greedy selection.
-        if self.prune && self.selected.len() == self.k && score >= self.threshold() {
-            return;
+    /// Offers one candidate group. `idbuf` is the caller's reusable
+    /// sorted-id buffer (left holding the group's sorted ids).
+    pub(crate) fn offer_group(
+        &mut self,
+        group: Vec<Entry>,
+        score: f64,
+        window: Rect,
+        idbuf: &mut Vec<ObjectId>,
+        stats: &mut SearchStats,
+    ) {
+        // Fast reject: strictly beyond the k-th score cannot affect the
+        // greedy selection; exact ties enter the buffer so the canonical
+        // order decides.
+        if self.prune && self.selected.len() == self.k {
+            let kth = self.buffer[*self.selected.last().unwrap()].score;
+            if score > kth {
+                return;
+            }
         }
         // Build the sorted id set in the reused buffer; only clone it
         // into owned storage when the group is actually kept.
-        self.idbuf.clear();
-        self.idbuf.extend(group.iter().map(|e| e.id));
-        self.idbuf.sort_unstable();
+        idbuf.clear();
+        idbuf.extend(group.iter().map(|e| e.id));
+        idbuf.sort_unstable();
         // Deduplicate by set identity (same place rediscovered through a
-        // shifted window scores identically).
+        // shifted window scores identically). An equal-(score, ids)
+        // rediscovery through a different window keeps the canonically
+        // smaller window, so the stored window is order-independent too.
         let pos = self
             .buffer
-            .partition_point(|g| (g.score, &g.ids) < (score, &self.idbuf));
-        if self.buffer.get(pos).is_some_and(|g| g.ids == self.idbuf) {
-            return;
+            .partition_point(|g| (g.score, &g.ids) < (score, &*idbuf));
+        if let Some(g) = self.buffer.get_mut(pos) {
+            if g.ids == *idbuf {
+                if crate::algo::canonical_less(idbuf, &window, &g.ids, &g.window) {
+                    g.entries = group;
+                    g.window = window;
+                }
+                return;
+            }
         }
         self.buffer.insert(
             pos,
             StoredGroup {
-                ids: self.idbuf.clone(),
+                ids: idbuf.clone(),
                 entries: group,
                 score,
                 window,
@@ -303,6 +337,39 @@ impl GroupSink for GroupsSink {
         );
         self.reselect();
         stats.best_updates += 1;
+    }
+
+    /// Materializes the current greedy selection as result groups.
+    pub(crate) fn groups(&self) -> Vec<KnwcGroup> {
+        self.selected
+            .iter()
+            .map(|&i| {
+                let g = &self.buffer[i];
+                KnwcGroup {
+                    objects: g.entries.clone(),
+                    distance: g.score,
+                    window: g.window,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Sink maintaining the greedy top-k selection over all offered groups.
+struct GroupsSink {
+    core: GroupsCore,
+    /// Reused sorted-id buffer: duplicate offers (the common case near a
+    /// hot window) are rejected without allocating.
+    idbuf: Vec<ObjectId>,
+}
+
+impl GroupSink for GroupsSink {
+    fn threshold(&self) -> f64 {
+        self.core.threshold()
+    }
+
+    fn offer(&mut self, group: Vec<Entry>, score: f64, window: Rect, stats: &mut SearchStats) {
+        self.core.offer_group(group, score, window, &mut self.idbuf, stats);
     }
 }
 

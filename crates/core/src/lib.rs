@@ -60,6 +60,7 @@ mod query;
 mod result;
 mod scheme;
 mod scratch;
+pub mod shard;
 pub mod weighted;
 
 pub use engine::QueryEngine;
@@ -72,6 +73,10 @@ pub use query::{KnwcQuery, NwcQuery, QueryError};
 pub use result::{NwcResult, SearchStats};
 pub use scheme::Scheme;
 pub use scratch::QueryScratch;
+pub use shard::{
+    ShardAssemblyError, ShardScatterError, ShardedKnwcAnswer, ShardedNwcAnswer, ShardedNwcIndex,
+    ShardedStoreError,
+};
 
 // Re-export the vocabulary types callers need to use the API.
 pub use nwc_geom::{window::WindowSpec, Point, Rect};

@@ -75,6 +75,28 @@ pub struct MetricsSnapshot {
     pub faults: Option<FaultStats>,
 }
 
+impl IoCounters {
+    /// Adds `other`'s counters into `self`, field by field (used to
+    /// aggregate per-shard captures).
+    pub fn accumulate(&mut self, other: &IoCounters) {
+        self.accesses += other.accesses;
+        self.node_reads += other.node_reads;
+        self.buffer_hits += other.buffer_hits;
+        self.prefetch_reads += other.prefetch_reads;
+        self.prefetch_hits += other.prefetch_hits;
+        self.prefetch_errors += other.prefetch_errors;
+        self.prefetch_batches += other.prefetch_batches;
+        self.inflight_hits += other.inflight_hits;
+        self.overlap_us += other.overlap_us;
+        self.retries += other.retries;
+        self.transient_errors += other.transient_errors;
+        self.quarantined_pages += other.quarantined_pages;
+        self.physical_reads += other.physical_reads;
+        self.io_errors += other.io_errors;
+        self.peak_resident_nodes += other.peak_resident_nodes;
+    }
+}
+
 impl MetricsSnapshot {
     /// Captures the index's I/O and (when disk-backed) pool counters.
     pub fn capture(index: &NwcIndex) -> Self {
@@ -106,6 +128,34 @@ impl MetricsSnapshot {
             pool,
             faults: None,
         }
+    }
+
+    /// Captures the aggregate across every shard of a
+    /// [`ShardedNwcIndex`](crate::ShardedNwcIndex): I/O counters are
+    /// summed per shard (`peak_resident_nodes` sums to an upper bound —
+    /// the shard peaks need not coincide), and pool gauges sum across
+    /// the shard pools (`Some` when any shard is disk-backed; capacity
+    /// saturates so one unbounded shard pool reports an unbounded
+    /// total).
+    pub fn capture_sharded(index: &crate::ShardedNwcIndex) -> Self {
+        let mut agg = MetricsSnapshot::default();
+        for shard in index.shards() {
+            let snap = Self::capture(shard);
+            agg.io.accumulate(&snap.io);
+            if let Some(p) = snap.pool {
+                let total = agg.pool.get_or_insert_with(PoolStats::default);
+                total.hits += p.hits;
+                total.misses += p.misses;
+                total.evictions += p.evictions;
+                total.capacity = total.capacity.saturating_add(p.capacity);
+                total.resident += p.resident;
+                total.pinned += p.pinned;
+                total.prefetched += p.prefetched;
+                total.prefetch_hits += p.prefetch_hits;
+                total.prefetch_waste += p.prefetch_waste;
+            }
+        }
+        agg
     }
 
     /// Returns the snapshot with accumulated query counters folded in.

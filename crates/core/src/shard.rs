@@ -1,0 +1,1448 @@
+//! Spatial sharding and the scatter-gather NWC/kNWC planner.
+//!
+//! The single-tree search prunes with one global `dist_best` bound that
+//! tightens only as fast as one best-first descent can go. This module
+//! cuts the dataset into K spatial tiles (the bulk loader's own STR
+//! discipline, [`nwc_rtree::str_partition`]), builds one R\*-tree per
+//! tile, and browses **all shards concurrently** while *sharing* the
+//! bound: every candidate group any shard scores is published into one
+//! atomic `dist_best` (f64-bits CAS-min — for non-negative floats the
+//! bit pattern orders exactly like the value), and every shard's
+//! SRR/DIP pruning reads the shared bound before each expand. One
+//! shard's early answer shrinks every other shard's search region, so
+//! the scatter is work-efficient, not just parallel.
+//!
+//! # Why the answer equals the single-tree oracle
+//!
+//! - **Traversal**: every object lives in exactly one shard, so the
+//!   union of the per-shard best-first streams visits each object once,
+//!   exactly like the single tree (order differs; see below).
+//! - **Window queries**: a candidate window is evaluated against the
+//!   union of all shard trees' window-query results. Window queries
+//!   append, shard contents are disjoint, and the candidate scan is
+//!   invariant to neighbor *order* given the same neighbor *set* — so
+//!   each evaluated window sees exactly the single-tree neighbor set.
+//! - **SRR/DIP bounds are shard-agnostic**: both prune against
+//!   `dist_best`, a property of the *query answer*, not of any tree.
+//!   Sharing the bound can only make pruning earlier, never wrong,
+//!   because every published score is the score of a real group.
+//! - **DEP**: density counts must cover the *whole* dataset, so a K>1
+//!   sharded index keeps one **global** density grid (per-shard grids
+//!   would undercount and prune wrongly). IWP stays per-shard: the
+//!   owner shard's leaf-anchored incremental query runs on its own
+//!   tree; the other shards answer from their roots.
+//! - **Determinism of the merge**: all sinks are *tie-inclusive*
+//!   (pruning thresholds sit one ulp above the bound) and resolve
+//!   equal-score groups canonically by `(sorted ids, window)` — the
+//!   same canonical order the brute-force oracle sorts by. The merged
+//!   answer is therefore a function of the offered group *set*, not of
+//!   shard interleaving or thread count.
+//!
+//! The kNWC scatter shares the buffered greedy top-k state
+//! ([`GroupsCore`]) behind a mutex with a lock-free cached threshold.
+//! Its §3.4 distance pruning inherits the paper's (documented) cascade
+//! caveat, which under K>1 additionally makes the *pruned* variant
+//! order-sensitive on adversarial conflict structures; the unpruned
+//! [`ShardedNwcIndex::try_knwc_exact`] is exactly order-independent.
+//!
+//! # K = 1 fast path
+//!
+//! A 1-shard index is built (or opened) exactly like an unsharded
+//! [`NwcIndex`] — STR partitioning with K = 1 returns the input
+//! unchanged — and every query delegates to the single-tree code, so
+//! answers *and* [`SearchStats`] are bit-identical to the unsharded
+//! path.
+//!
+//! # One buffer-pool budget
+//!
+//! Disk-backed shards live in per-shard page files under one directory
+//! manifest. One total pool capacity is budgeted across the shard pools
+//! with [`nwc_store::split_capacity`] — the same monotone split the
+//! lock-striped pool uses internally, so growing the total budget never
+//! shrinks any shard's share.
+//!
+//! Everything outside `#[cfg(test)]` in this module is panic-free by
+//! policy (same bar as the serving layer): failures surface as typed
+//! errors, and a scheme requesting a structure the index was built
+//! without (density grid, IWP) degrades by skipping that optimization
+//! instead of panicking — the K = 1 delegation path keeps the
+//! single-tree panic semantics.
+
+use crate::algo::{canonical_less, tie_inclusive, BestSink};
+use crate::candidates::{scan_candidates, GroupSink};
+use crate::engine::scatter_map;
+use crate::index::{grid_bounds, DiskIndexConfig, IndexConfig, IndexOpenError, IndexUpdateError};
+use crate::knwc::{GroupsCore, KnwcResult};
+use crate::query::{KnwcQuery, NwcQuery, QueryError};
+use crate::result::{NwcResult, SearchStats};
+use crate::scheme::Scheme;
+use crate::scratch::QueryScratch;
+use crate::NwcIndex;
+use nwc_geom::window::{
+    extended_mbr, node_window_lower_bound, reduced_search_region, search_region,
+};
+use nwc_geom::{Point, Quadrant, Rect};
+use nwc_grid::DensityGrid;
+use nwc_rtree::{str_partition, BrowseItem, CancelKind, CancelToken, DiskError, Entry, ObjectId};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Sentinel in the id → shard owner table for dead/unknown ids.
+const NO_OWNER: u32 = u32::MAX;
+
+/// Manifest file name inside a sharded index directory.
+const MANIFEST: &str = "MANIFEST";
+
+/// A spatially sharded NWC index: K disjoint tiles, one R\*-tree each,
+/// queried by the scatter-gather planner with a shared `dist_best`
+/// bound. See the module docs.
+pub struct ShardedNwcIndex {
+    shards: Vec<NwcIndex>,
+    /// Global density grid (K > 1 only; a 1-shard index delegates to
+    /// its shard's own grid).
+    grid: Option<DensityGrid>,
+    /// id → owning shard (NO_OWNER = dead).
+    owner: Vec<u32>,
+    /// Next globally unique object id for [`ShardedNwcIndex::insert`].
+    next_id: u32,
+    bounds: Rect,
+    threads: usize,
+}
+
+/// Per-shard detail of one scatter-gather NWC search.
+#[derive(Clone, Debug)]
+pub struct ShardedNwcAnswer {
+    /// The merged answer (`None` when no window qualifies anywhere).
+    pub result: Option<NwcResult>,
+    /// Exact aggregate of every shard's counters.
+    pub stats: SearchStats,
+    /// Per-shard counters, indexed by shard (window-query I/O a shard
+    /// issues against *other* shards' trees is attributed to the shard
+    /// running the search, so the aggregate is exact).
+    pub per_shard: Vec<SearchStats>,
+}
+
+/// Per-shard detail of one scatter-gather kNWC search.
+#[derive(Clone, Debug)]
+pub struct ShardedKnwcAnswer {
+    /// The merged top-k answer.
+    pub result: KnwcResult,
+    /// Per-shard counters, indexed by shard.
+    pub per_shard: Vec<SearchStats>,
+}
+
+/// One or more shards failed mid-scatter. The gather still completes:
+/// every healthy shard's counters are retained, every pin taken by the
+/// failed shard's search has been released, and the failing pages are
+/// quarantined — the index remains fully usable.
+#[derive(Debug)]
+pub struct ShardScatterError {
+    /// `(shard, error)` for every shard that failed.
+    pub failures: Vec<(usize, QueryError)>,
+    /// `(shard, stats)` for every shard that completed.
+    pub completed: Vec<(usize, SearchStats)>,
+}
+
+impl std::fmt::Display for ShardScatterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} of {} shards failed during scatter-gather",
+            self.failures.len(),
+            self.failures.len() + self.completed.len()
+        )?;
+        if let Some((shard, e)) = self.failures.first() {
+            write!(f, " (shard {shard}: {e})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ShardScatterError {}
+
+impl From<ShardScatterError> for QueryError {
+    /// Collapses to the first failing shard's error (deadline/cancel
+    /// outrank I/O so a shed query never masquerades as a disk fault).
+    fn from(e: ShardScatterError) -> Self {
+        let mut first: Option<QueryError> = None;
+        for (_, err) in e.failures {
+            match err {
+                QueryError::Deadline | QueryError::Cancelled => return err,
+                other => {
+                    if first.is_none() {
+                        first = Some(other);
+                    }
+                }
+            }
+        }
+        first.unwrap_or(QueryError::Cancelled)
+    }
+}
+
+/// An error assembling a sharded index from pre-built shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardAssemblyError {
+    /// No shards were given.
+    NoShards,
+    /// Two shards both hold a live object with this id.
+    DuplicateId(u32),
+    /// Every given shard is empty.
+    Empty,
+}
+
+impl std::fmt::Display for ShardAssemblyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardAssemblyError::NoShards => write!(f, "no shards given"),
+            ShardAssemblyError::DuplicateId(id) => {
+                write!(f, "object id {id} is live in two shards")
+            }
+            ShardAssemblyError::Empty => write!(f, "every shard is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ShardAssemblyError {}
+
+/// An error opening or saving a sharded index directory.
+#[derive(Debug)]
+pub enum ShardedStoreError {
+    /// Directory or manifest I/O failed.
+    Io(std::io::Error),
+    /// The manifest exists but does not parse.
+    Manifest(String),
+    /// One shard's page file failed to open.
+    Open {
+        /// Shard ordinal.
+        shard: usize,
+        /// The underlying open failure.
+        error: IndexOpenError,
+    },
+    /// One shard's page file failed to save.
+    Save {
+        /// Shard ordinal.
+        shard: usize,
+        /// The underlying save failure.
+        error: DiskError,
+    },
+}
+
+impl std::fmt::Display for ShardedStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardedStoreError::Io(e) => write!(f, "sharded index directory I/O failed: {e}"),
+            ShardedStoreError::Manifest(what) => write!(f, "bad sharded index manifest: {what}"),
+            ShardedStoreError::Open { shard, error } => {
+                write!(f, "shard {shard} failed to open: {error}")
+            }
+            ShardedStoreError::Save { shard, error } => {
+                write!(f, "shard {shard} failed to save: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardedStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardedStoreError::Io(e) => Some(e),
+            ShardedStoreError::Manifest(_) => None,
+            ShardedStoreError::Open { error, .. } => Some(error),
+            ShardedStoreError::Save { error, .. } => Some(error),
+        }
+    }
+}
+
+impl From<std::io::Error> for ShardedStoreError {
+    fn from(e: std::io::Error) -> Self {
+        ShardedStoreError::Io(e)
+    }
+}
+
+impl ShardedNwcIndex {
+    // ------------------------------------------------------------------
+    // Construction.
+    // ------------------------------------------------------------------
+
+    /// Builds a sharded index over `points` with at most `shards` tiles
+    /// and default per-shard configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `points` is empty or contains non-finite coordinates
+    /// (construction shares [`NwcIndex::build`]'s contract; queries are
+    /// panic-free).
+    pub fn build(points: Vec<Point>, shards: usize) -> Self {
+        Self::build_with(points, shards, IndexConfig::default())
+    }
+
+    /// As [`ShardedNwcIndex::build`] with explicit per-shard
+    /// configuration. Fewer than `shards` tiles are built when the
+    /// dataset is smaller than the tile count (tiles are never empty).
+    /// With `shards <= 1` the single shard is built exactly like an
+    /// unsharded [`NwcIndex::build_with`] — bit-identical tree, grid
+    /// and IWP — and every query delegates to it.
+    pub fn build_with(points: Vec<Point>, shards: usize, config: IndexConfig) -> Self {
+        let threads = default_threads();
+        let n = points.len();
+        if shards <= 1 || n <= 1 {
+            let single = NwcIndex::build_with(points, config);
+            return Self::from_single(single, threads);
+        }
+        let bounds = Rect::bounding(points.iter().copied()).unwrap_or_else(|| {
+            // Unreachable (n >= 2 here); an empty Rect would only arise
+            // from an empty iterator, which build_with rejects above.
+            Rect::new(Point::new(0.0, 0.0), Point::new(0.0, 0.0))
+        });
+        let entries: Vec<Entry> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Entry::new(i as ObjectId, p))
+            .collect();
+        let tiles = str_partition(entries, shards);
+        let shard_cfg = IndexConfig {
+            grid_cell_size: None, // the grid is global — see module docs
+            ..config
+        };
+        let mut owner = vec![NO_OWNER; n];
+        let shard_indexes: Vec<NwcIndex> = tiles
+            .into_iter()
+            .enumerate()
+            .map(|(s, tile)| {
+                for e in &tile {
+                    owner[e.id as usize] = s as u32;
+                }
+                NwcIndex::from_entries(tile, shard_cfg)
+            })
+            .collect();
+        let grid = config
+            .grid_cell_size
+            .map(|cell| DensityGrid::from_cell_size(grid_bounds(&bounds), cell, &points));
+        ShardedNwcIndex {
+            shards: shard_indexes,
+            grid,
+            owner,
+            next_id: n as u32,
+            bounds,
+            threads,
+        }
+    }
+
+    /// Assembles a sharded index from pre-built shards — custom tilings,
+    /// or shards opened through instrumented stores (the fault-injection
+    /// tests use this). Shards must hold pairwise-disjoint object ids.
+    /// The global density grid is rebuilt from the shard point tables
+    /// when `grid_cell_size` is given (ignored for a single shard,
+    /// which delegates to its own structures).
+    pub fn from_shards(
+        shards: Vec<NwcIndex>,
+        grid_cell_size: Option<f64>,
+    ) -> Result<Self, ShardAssemblyError> {
+        let threads = default_threads();
+        if shards.is_empty() {
+            return Err(ShardAssemblyError::NoShards);
+        }
+        if shards.len() == 1 {
+            let mut it = shards.into_iter();
+            let Some(single) = it.next() else {
+                return Err(ShardAssemblyError::NoShards); // unreachable: len checked
+            };
+            return Ok(Self::from_single(single, threads));
+        }
+        let mut all_points = Vec::new();
+        let mut max_id = 0u32;
+        for shard in &shards {
+            for (id, &p) in shard.points().iter().enumerate() {
+                if shard.is_live(id as u32) {
+                    all_points.push(p);
+                    max_id = max_id.max(id as u32);
+                }
+            }
+        }
+        let Some(bounds) = Rect::bounding(all_points.iter().copied()) else {
+            return Err(ShardAssemblyError::Empty);
+        };
+        let mut owner = vec![NO_OWNER; max_id as usize + 1];
+        for (s, shard) in shards.iter().enumerate() {
+            for id in 0..shard.points().len() as u32 {
+                if shard.is_live(id) {
+                    if owner[id as usize] != NO_OWNER {
+                        return Err(ShardAssemblyError::DuplicateId(id));
+                    }
+                    owner[id as usize] = s as u32;
+                }
+            }
+        }
+        let grid = grid_cell_size
+            .map(|cell| DensityGrid::from_cell_size(grid_bounds(&bounds), cell, &all_points));
+        Ok(ShardedNwcIndex {
+            next_id: owner.len() as u32,
+            shards,
+            grid,
+            owner,
+            bounds,
+            threads,
+        })
+    }
+
+    fn from_single(single: NwcIndex, threads: usize) -> Self {
+        let bounds = single.bounds();
+        let mut owner = vec![NO_OWNER; single.points().len()];
+        for (id, slot) in owner.iter_mut().enumerate() {
+            if single.is_live(id as u32) {
+                *slot = 0;
+            }
+        }
+        let next_id = owner.len() as u32;
+        ShardedNwcIndex {
+            shards: vec![single],
+            grid: None,
+            owner,
+            next_id,
+            bounds,
+            threads,
+        }
+    }
+
+    /// Sets the scatter width: how many OS threads browse shards
+    /// concurrently (capped at the shard count; 1 = fully sequential
+    /// and deterministic even for pruned kNWC). Defaults to the
+    /// available parallelism.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors.
+    // ------------------------------------------------------------------
+
+    /// Number of shards (tiles actually built — at most the requested
+    /// count, fewer on tiny datasets).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard indexes, in tile order.
+    pub fn shards(&self) -> &[NwcIndex] {
+        &self.shards
+    }
+
+    /// Configured scatter width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Total live objects across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the index holds no live objects.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bounding box of the full dataset.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// The density grid DEP prunes with: the global grid for K > 1, the
+    /// single shard's own grid for K = 1. `None` when built without.
+    pub fn grid(&self) -> Option<&DensityGrid> {
+        match self.grid.as_ref() {
+            Some(g) => Some(g),
+            None => self.shards.first().and_then(|s| s.grid()),
+        }
+    }
+
+    /// Whether every shard currently has its IWP augmentation (shards
+    /// invalidate it on mutation; see [`ShardedNwcIndex::rebuild_iwp`]).
+    pub fn iwp_ready(&self) -> bool {
+        self.shards.iter().all(|s| s.iwp().is_some())
+    }
+
+    /// The shard owning object `id`, if it is live.
+    pub fn owner_of(&self, id: u32) -> Option<usize> {
+        match self.owner.get(id as usize) {
+            Some(&s) if s != NO_OWNER => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // NWC queries.
+    // ------------------------------------------------------------------
+
+    /// Answers `NWC(q, l, w, n)` by scatter-gather. Equivalent to the
+    /// single-tree [`NwcIndex::try_nwc`] on the same dataset (same
+    /// answer under the canonical tie-break), differing only in I/O
+    /// accounting for K > 1.
+    pub fn try_nwc(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+    ) -> Result<Option<NwcResult>, QueryError> {
+        Ok(self.try_nwc_full(query, scheme)?.0)
+    }
+
+    /// As [`ShardedNwcIndex::try_nwc`], also returning the aggregate
+    /// search statistics even when the query has no answer.
+    pub fn try_nwc_full(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+    ) -> Result<(Option<NwcResult>, SearchStats), QueryError> {
+        self.try_nwc_full_cancel(query, scheme, &mut QueryScratch::new(), &CancelToken::none())
+    }
+
+    /// As [`ShardedNwcIndex::try_nwc_full`] with a cooperative
+    /// [`CancelToken`] (the cancellation contract of
+    /// [`NwcIndex::try_nwc_full_cancel`], checked per shard). `scratch`
+    /// serves the K = 1 delegation path; a K > 1 scatter gives each
+    /// worker its own scratch.
+    pub fn try_nwc_full_cancel(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+        scratch: &mut QueryScratch,
+        cancel: &CancelToken,
+    ) -> Result<(Option<NwcResult>, SearchStats), QueryError> {
+        if let [single] = self.shards.as_slice() {
+            // K = 1: bit-identical to the unsharded path, stats included.
+            return single.try_nwc_full_cancel(query, scheme, scratch, cancel);
+        }
+        let answer = self.try_nwc_scatter_cancel(query, scheme, cancel)?;
+        Ok((answer.result, answer.stats))
+    }
+
+    /// The fully detailed scatter: per-shard [`SearchStats`] alongside
+    /// the merged answer (the bench harness reports per-shard logical
+    /// I/O from this).
+    pub fn try_nwc_scatter(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+    ) -> Result<ShardedNwcAnswer, ShardScatterError> {
+        self.try_nwc_scatter_cancel(query, scheme, &CancelToken::none())
+    }
+
+    /// As [`ShardedNwcIndex::try_nwc_scatter`] with cancellation.
+    pub fn try_nwc_scatter_cancel(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+        cancel: &CancelToken,
+    ) -> Result<ShardedNwcAnswer, ShardScatterError> {
+        if let [single] = self.shards.as_slice() {
+            let (result, stats) = single
+                .try_nwc_full_cancel(query, scheme, &mut QueryScratch::new(), cancel)
+                .map_err(|e| ShardScatterError {
+                    failures: vec![(0, e)],
+                    completed: Vec::new(),
+                })?;
+            return Ok(ShardedNwcAnswer {
+                result,
+                stats,
+                per_shard: vec![stats],
+            });
+        }
+        // Shared bound: f64 bits under CAS-min. Non-negative doubles
+        // order identically to their bit patterns, so fetch_min on the
+        // bits IS min on the scores.
+        let bound = AtomicU64::new(f64::INFINITY.to_bits());
+        let outcome = self.scatter(query, scheme, cancel, || SharedBestSink {
+            bound: &bound,
+            local: BestSink::new(),
+        })?;
+        // Deterministic merge: min score, ties by canonical
+        // (sorted ids, window) — independent of shard order.
+        let mut best: Option<(f64, Vec<u32>, Vec<Entry>, Rect)> = None;
+        for (_, _, sink) in &outcome {
+            let local = &sink.local;
+            if let Some((group, window)) = &local.best {
+                let take = match &best {
+                    None => true,
+                    Some((score, ids, _, win)) => {
+                        local.dist_best < *score
+                            || (local.dist_best == *score
+                                && canonical_less(&local.best_ids, window, ids, win))
+                    }
+                };
+                if take {
+                    best = Some((
+                        local.dist_best,
+                        local.best_ids.clone(),
+                        group.clone(),
+                        *window,
+                    ));
+                }
+            }
+        }
+        let mut per_shard = vec![SearchStats::default(); self.shards.len()];
+        let mut stats = SearchStats::default();
+        for (shard, s, _) in &outcome {
+            per_shard[*shard] = *s;
+            stats.accumulate(s);
+        }
+        let result = best.map(|(distance, _, objects, window)| NwcResult {
+            objects,
+            distance,
+            window,
+            stats,
+        });
+        Ok(ShardedNwcAnswer {
+            result,
+            stats,
+            per_shard,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // kNWC queries.
+    // ------------------------------------------------------------------
+
+    /// Answers `kNWC(k, q, l, w, n, m)` by scatter-gather with the
+    /// §3.4 distance pruning. See the module docs for the pruned
+    /// variant's order-sensitivity caveat under K > 1 (run with
+    /// `with_threads(1)` for a fully deterministic pruned search).
+    pub fn try_knwc(
+        &self,
+        query: &KnwcQuery,
+        scheme: Scheme,
+    ) -> Result<KnwcResult, QueryError> {
+        self.try_knwc_cancel(query, scheme, &mut QueryScratch::new(), &CancelToken::none())
+    }
+
+    /// As [`ShardedNwcIndex::try_knwc`] with cancellation and a scratch
+    /// for the K = 1 delegation path.
+    pub fn try_knwc_cancel(
+        &self,
+        query: &KnwcQuery,
+        scheme: Scheme,
+        scratch: &mut QueryScratch,
+        cancel: &CancelToken,
+    ) -> Result<KnwcResult, QueryError> {
+        if let [single] = self.shards.as_slice() {
+            return single.try_knwc_cancel(query, scheme, scratch, cancel);
+        }
+        Ok(self.knwc_scatter(query, scheme, true, cancel)?.result)
+    }
+
+    /// As [`ShardedNwcIndex::try_knwc`] with distance pruning disabled:
+    /// every qualified window is considered, so the answer is exactly
+    /// the greedy Definition-3 selection — order-independent across any
+    /// shard count and thread count (cf. [`NwcIndex::knwc_exact`]).
+    pub fn try_knwc_exact(
+        &self,
+        query: &KnwcQuery,
+        scheme: Scheme,
+    ) -> Result<KnwcResult, QueryError> {
+        if let [single] = self.shards.as_slice() {
+            let mut scratch = QueryScratch::new();
+            // Delegate through the cancel-free exact path.
+            return single.try_knwc_exact_with(query, scheme, &mut scratch);
+        }
+        Ok(self.knwc_scatter(query, scheme, false, &CancelToken::none())?.result)
+    }
+
+    /// The fully detailed kNWC scatter (per-shard counters), pruned.
+    pub fn try_knwc_scatter(
+        &self,
+        query: &KnwcQuery,
+        scheme: Scheme,
+    ) -> Result<ShardedKnwcAnswer, ShardScatterError> {
+        self.knwc_scatter(query, scheme, true, &CancelToken::none())
+    }
+
+    fn knwc_scatter(
+        &self,
+        query: &KnwcQuery,
+        scheme: Scheme,
+        prune: bool,
+        cancel: &CancelToken,
+    ) -> Result<ShardedKnwcAnswer, ShardScatterError> {
+        if let [single] = self.shards.as_slice() {
+            let mut scratch = QueryScratch::new();
+            let result = if prune {
+                single.try_knwc_cancel(query, scheme, &mut scratch, cancel)
+            } else {
+                single.try_knwc_exact_with(query, scheme, &mut scratch)
+            }
+            .map_err(|e| ShardScatterError {
+                failures: vec![(0, e)],
+                completed: Vec::new(),
+            })?;
+            let per_shard = vec![result.stats];
+            return Ok(ShardedKnwcAnswer { result, per_shard });
+        }
+        let core = Mutex::new(GroupsCore::new(query.k, query.m, prune));
+        let cached = AtomicU64::new(f64::INFINITY.to_bits());
+        let outcome = self.scatter(&query.base, scheme, cancel, || SharedGroupsSink {
+            core: &core,
+            cached: &cached,
+            idbuf: Vec::new(),
+        })?;
+        let mut per_shard = vec![SearchStats::default(); self.shards.len()];
+        let mut stats = SearchStats::default();
+        for (shard, s, _) in &outcome {
+            per_shard[*shard] = *s;
+            stats.accumulate(s);
+        }
+        let core = match core.into_inner() {
+            Ok(c) => c,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        Ok(ShardedKnwcAnswer {
+            result: KnwcResult {
+                groups: core.groups(),
+                stats,
+            },
+            per_shard,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // The scatter driver.
+    // ------------------------------------------------------------------
+
+    /// Runs one per-shard search per shard through the engine's scoped
+    /// worker pool ([`scatter_map`]: atomic-cursor distribution, one
+    /// warm [`QueryScratch`] per worker). A shard that fails does not
+    /// abort the others — the gather completes and reports partial
+    /// typed errors.
+    fn scatter<'b, S, MkS>(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+        cancel: &CancelToken,
+        mk_sink: MkS,
+    ) -> Result<Vec<(usize, SearchStats, S)>, ShardScatterError>
+    where
+        S: GroupSink + Send,
+        MkS: Fn() -> S + Sync,
+        S: 'b,
+    {
+        let shards = &self.shards;
+        // DEP prunes with the *global* grid only; a scheme asking for a
+        // structure the index lacks degrades to not applying it.
+        let grid = if scheme.needs_grid() {
+            self.grid.as_ref()
+        } else {
+            None
+        };
+        // Schedule shards in ascending distance from the query point:
+        // the tile containing `q` runs first and establishes a
+        // near-final `dist_best`, so farther shards browse under a
+        // tight shared bound and SRR/DIP/DEP prune nearly everything.
+        // Pure scheduling — the gather merge is canonical, so the
+        // answer does not depend on this order.
+        let mindist: Vec<f64> = shards
+            .iter()
+            .map(|s| s.bounds().mindist2(&query.q))
+            .collect();
+        let mut order: Vec<usize> = (0..shards.len()).collect();
+        order.sort_by(|&a, &b| mindist[a].total_cmp(&mindist[b]).then(a.cmp(&b)));
+        let slots = scatter_map(self.threads, shards.len(), |j, scratch| {
+            let i = order[j];
+            let mut sink = mk_sink();
+            match shard_search(i, shards, grid, query, scheme, &mut sink, scratch, cancel) {
+                Ok(stats) => Ok((i, stats, sink)),
+                Err(e) => Err((i, e)),
+            }
+        });
+        let mut completed = Vec::with_capacity(slots.len());
+        let mut failures = Vec::new();
+        for slot in slots {
+            match slot {
+                Ok(ok) => completed.push(ok),
+                Err(err) => failures.push(err),
+            }
+        }
+        if failures.is_empty() {
+            Ok(completed)
+        } else {
+            Err(ShardScatterError {
+                failures,
+                completed: completed.into_iter().map(|(i, s, _)| (i, s)).collect(),
+            })
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence: per-shard page files under one directory manifest.
+    // ------------------------------------------------------------------
+
+    /// Saves every shard tree as a read-only page file under `dir`
+    /// (created if needed), plus a `MANIFEST` naming them. Reopen with
+    /// [`ShardedNwcIndex::open_dir`].
+    pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> Result<(), ShardedStoreError> {
+        self.save_dir_impl(dir.as_ref(), false)
+    }
+
+    /// As [`ShardedNwcIndex::save_to_dir`], writing *writable* (v2)
+    /// page files: the reopened index accepts
+    /// [`ShardedNwcIndex::insert`] / [`ShardedNwcIndex::remove`], made
+    /// durable per shard by [`ShardedNwcIndex::commit_all`].
+    pub fn save_to_dir_writable(&self, dir: impl AsRef<Path>) -> Result<(), ShardedStoreError> {
+        self.save_dir_impl(dir.as_ref(), true)
+    }
+
+    fn save_dir_impl(&self, dir: &Path, writable: bool) -> Result<(), ShardedStoreError> {
+        std::fs::create_dir_all(dir)?;
+        let mut manifest = format!(
+            "nwc-sharded v1\nshards {}\nwritable {}\n",
+            self.shards.len(),
+            u8::from(writable)
+        );
+        for (i, shard) in self.shards.iter().enumerate() {
+            let name = shard_file_name(i);
+            let path = dir.join(&name);
+            let saved = if writable {
+                shard.save_tree_writable(&path)
+            } else {
+                shard.save_tree(&path)
+            };
+            saved.map_err(|error| ShardedStoreError::Save { shard: i, error })?;
+            manifest.push_str(&format!("shard {i} {name}\n"));
+        }
+        // Manifest last, via rename, so a torn save never yields a
+        // manifest naming files that were not fully written.
+        let tmp = dir.join(format!("{MANIFEST}.tmp"));
+        std::fs::write(&tmp, manifest)?;
+        std::fs::rename(&tmp, dir.join(MANIFEST))?;
+        Ok(())
+    }
+
+    /// Opens a directory written by [`ShardedNwcIndex::save_to_dir`]
+    /// (or `_writable`). `config` applies per shard, except the pool
+    /// budget: [`DiskIndexConfig::pool_capacity`] /
+    /// [`DiskIndexConfig::memory_budget_bytes`] describe the **total**
+    /// across all shards, split monotonically with
+    /// [`nwc_store::split_capacity`] (one shared frame budget, PR 4's
+    /// lock-striping split). The global density grid and the id → shard
+    /// table are rebuilt from the stored trees, uncharged. A 1-shard
+    /// directory opens bit-identically to [`NwcIndex::open_disk`].
+    pub fn open_dir(
+        dir: impl AsRef<Path>,
+        config: DiskIndexConfig,
+    ) -> Result<ShardedNwcIndex, ShardedStoreError> {
+        let dir = dir.as_ref();
+        let files = read_manifest(dir)?;
+        let threads = default_threads();
+        if files.len() == 1 {
+            let single = NwcIndex::open_disk(&files[0], config)
+                .map_err(|error| ShardedStoreError::Open { shard: 0, error })?;
+            return Ok(Self::from_single(single, threads));
+        }
+        let shares: Vec<Option<usize>> = match config.effective_pool_capacity() {
+            Some(total) => nwc_store::split_capacity(total.max(files.len()), files.len())
+                .into_iter()
+                .map(Some)
+                .collect(),
+            None => vec![None; files.len()],
+        };
+        let mut shards = Vec::with_capacity(files.len());
+        for (i, path) in files.iter().enumerate() {
+            let shard_cfg = DiskIndexConfig {
+                pool_capacity: shares[i],
+                memory_budget_bytes: None,
+                grid_cell_size: None, // the grid is global
+                ..config
+            };
+            let shard = NwcIndex::open_disk(path, shard_cfg)
+                .map_err(|error| ShardedStoreError::Open { shard: i, error })?;
+            shards.push(shard);
+        }
+        // Rebuild the global structures from the shard point tables.
+        let mut all_points = Vec::new();
+        let mut max_id = 0u32;
+        for shard in &shards {
+            for (id, &p) in shard.points().iter().enumerate() {
+                if shard.is_live(id as u32) {
+                    all_points.push(p);
+                    max_id = max_id.max(id as u32);
+                }
+            }
+        }
+        let mut owner = vec![NO_OWNER; max_id as usize + 1];
+        for (s, shard) in shards.iter().enumerate() {
+            for (id, slot) in owner.iter_mut().enumerate().take(shard.points().len()) {
+                if shard.is_live(id as u32) {
+                    *slot = s as u32;
+                }
+            }
+        }
+        let bounds = Rect::bounding(all_points.iter().copied()).ok_or_else(|| {
+            ShardedStoreError::Manifest("manifest names shards but no shard holds objects".into())
+        })?;
+        let grid = config
+            .grid_cell_size
+            .map(|cell| DensityGrid::from_cell_size(grid_bounds(&bounds), cell, &all_points));
+        Ok(ShardedNwcIndex {
+            next_id: owner.len() as u32,
+            shards,
+            grid,
+            owner,
+            bounds,
+            threads,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation (writable shards).
+    // ------------------------------------------------------------------
+
+    /// Adds an object, returning its globally unique id. The point is
+    /// routed to the shard whose tile it falls in (nearest shard bounds
+    /// on a tie/outside point). Same contract as [`NwcIndex::insert`]:
+    /// on writable disk shards the mutation lands in the shard overlay
+    /// (call [`ShardedNwcIndex::commit_all`]); read-only shards return
+    /// [`IndexUpdateError::ReadOnly`] untouched. Invalidates that
+    /// shard's IWP until [`ShardedNwcIndex::rebuild_iwp`].
+    pub fn insert(&mut self, point: Point) -> Result<u32, IndexUpdateError> {
+        let shard = self.route(point);
+        let id = self.next_id;
+        self.shards[shard].insert_assigned(id, point)?;
+        self.next_id += 1;
+        if self.owner.len() <= id as usize {
+            self.owner.resize(id as usize + 1, NO_OWNER);
+        }
+        self.owner[id as usize] = shard as u32;
+        self.bounds = self.bounds.expand_to(point);
+        if let Some(grid) = &mut self.grid {
+            grid.add_point(&point);
+        }
+        Ok(id)
+    }
+
+    /// Removes the object with the given id (routed through the
+    /// id → shard table). `Ok(false)` for unknown/already-removed ids.
+    pub fn remove(&mut self, id: u32) -> Result<bool, IndexUpdateError> {
+        let Some(shard) = self.owner_of(id) else {
+            return Ok(false);
+        };
+        let point = self.shards[shard].points().get(id as usize).copied();
+        if !self.shards[shard].remove(id)? {
+            return Ok(false);
+        }
+        self.owner[id as usize] = NO_OWNER;
+        if let (Some(grid), Some(p)) = (self.grid.as_mut(), point) {
+            grid.remove_point(&p);
+        }
+        Ok(true)
+    }
+
+    /// Durably commits every shard's pending mutations (shadow paging
+    /// per shard; see [`NwcIndex::commit`]). Shards commit in order;
+    /// the first failure stops the walk — already-committed shards stay
+    /// committed (each page file is independently crash-consistent).
+    pub fn commit_all(&mut self) -> Result<(), IndexUpdateError> {
+        for shard in &mut self.shards {
+            shard.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the IWP augmentation on every shard that lost it to a
+    /// mutation (cheap no-op on shards that still have it).
+    pub fn rebuild_iwp(&mut self) {
+        for shard in &mut self.shards {
+            if shard.iwp().is_none() {
+                shard.rebuild_iwp();
+            }
+        }
+    }
+
+    /// The shard an inserted point routes to: the first shard whose
+    /// bounds contain it, else the shard with the nearest bounds —
+    /// deterministic in shard order.
+    fn route(&self, point: Point) -> usize {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let d = shard.bounds().mindist2(&point);
+            if d == 0.0 {
+                return i;
+            }
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl std::fmt::Debug for ShardedNwcIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedNwcIndex")
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .field("threads", &self.threads)
+            .field("global_grid", &self.grid.is_some())
+            .finish()
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn shard_file_name(i: usize) -> String {
+    format!("shard-{i:03}.pages")
+}
+
+/// Parses the directory manifest into shard page-file paths, in shard
+/// order.
+fn read_manifest(dir: &Path) -> Result<Vec<PathBuf>, ShardedStoreError> {
+    let text = std::fs::read_to_string(dir.join(MANIFEST))?;
+    let mut lines = text.lines();
+    match lines.next() {
+        Some("nwc-sharded v1") => {}
+        other => {
+            return Err(ShardedStoreError::Manifest(format!(
+                "unrecognized header {other:?}"
+            )))
+        }
+    }
+    let mut declared: Option<usize> = None;
+    let mut files: Vec<(usize, PathBuf)> = Vec::new();
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("shards") => {
+                declared = parts.next().and_then(|s| s.parse().ok());
+            }
+            Some("shard") => {
+                let idx: Option<usize> = parts.next().and_then(|s| s.parse().ok());
+                let name = parts.next();
+                match (idx, name) {
+                    (Some(i), Some(name)) => files.push((i, dir.join(name))),
+                    _ => {
+                        return Err(ShardedStoreError::Manifest(format!(
+                            "bad shard line {line:?}"
+                        )))
+                    }
+                }
+            }
+            // Unknown keys (e.g. `writable`) are informational.
+            _ => {}
+        }
+    }
+    files.sort_by_key(|&(i, _)| i);
+    if files.is_empty() {
+        return Err(ShardedStoreError::Manifest("no shard entries".into()));
+    }
+    if let Some(n) = declared {
+        if n != files.len() {
+            return Err(ShardedStoreError::Manifest(format!(
+                "declared {n} shards but listed {}",
+                files.len()
+            )));
+        }
+    }
+    for (want, (got, _)) in files.iter().enumerate() {
+        if *got != want {
+            return Err(ShardedStoreError::Manifest(format!(
+                "shard ordinals not contiguous (expected {want}, found {got})"
+            )));
+        }
+    }
+    Ok(files.into_iter().map(|(_, p)| p).collect())
+}
+
+// ----------------------------------------------------------------------
+// The per-shard search loop.
+// ----------------------------------------------------------------------
+
+/// One shard's best-first search: the owner's tree drives the
+/// traversal; every candidate window is answered by the **union** of
+/// all shard trees' window queries (owner through its IWP when the
+/// scheme asks and the shard has it). Mirrors the single-tree loop of
+/// [`crate::algo`], with the sink carrying the cross-shard bound.
+///
+/// I/O attribution relies on the tree I/O counters being *per thread*,
+/// not per tree: the `snapshot()`/`since()` window around the union
+/// query charges this shard's [`SearchStats`] for the accesses it
+/// caused on other shards' trees too, so the per-shard counters sum to
+/// the scatter's exact total.
+#[allow(clippy::too_many_arguments)]
+fn shard_search<S: GroupSink>(
+    owner: usize,
+    shards: &[NwcIndex],
+    grid: Option<&DensityGrid>,
+    query: &NwcQuery,
+    scheme: Scheme,
+    sink: &mut S,
+    scratch: &mut QueryScratch,
+    cancel: &CancelToken,
+) -> Result<SearchStats, QueryError> {
+    let Some(own) = shards.get(owner) else {
+        return Ok(SearchStats::default()); // unreachable: scatter indexes 0..len
+    };
+    let tree = own.tree();
+    let io = tree.stats();
+    let mut stats = SearchStats::default();
+    let hits0 = io.hits_snapshot();
+    let errors0 = io.error_snapshot();
+    let q = query.q;
+    let spec = query.spec;
+    let n = query.n;
+    // Degrade, never panic: a scheme whose structure is missing simply
+    // skips that optimization (the K = 1 delegation path keeps the
+    // single-tree panic semantics instead).
+    let iwp = if scheme.needs_iwp() { own.iwp() } else { None };
+
+    let mut browser = tree.browse_with(q, &mut scratch.browser);
+    if cancel.is_armed() {
+        browser.set_cancel(cancel.clone());
+    }
+    let neighbors = &mut scratch.neighbors;
+    while let Some(item) = browser.next() {
+        match item {
+            BrowseItem::Node { id, mbr, .. } => {
+                if scheme.dip && node_window_lower_bound(&q, &mbr, &spec) > sink.threshold() {
+                    stats.nodes_pruned_by_dip += 1;
+                    continue;
+                }
+                if let Some(grid) = grid {
+                    if grid.count_upper_bound(&extended_mbr(&q, &mbr, &spec)) < n {
+                        stats.nodes_pruned_by_dep += 1;
+                        continue;
+                    }
+                }
+                let snap = io.snapshot();
+                browser.try_expand(id)?;
+                stats.io_traversal += io.since(snap);
+            }
+            BrowseItem::Object { entry, leaf, .. } => {
+                stats.objects_visited += 1;
+                let quad = Quadrant::of(&q, &entry.point);
+                let sr: Option<Rect> = if scheme.srr {
+                    reduced_search_region(&q, &entry.point, &spec, sink.threshold())
+                } else {
+                    Some(search_region(&entry.point, quad, &spec))
+                };
+                let Some(sr) = sr else {
+                    stats.skipped_by_srr += 1;
+                    continue;
+                };
+                if let Some(grid) = grid {
+                    if grid.count_upper_bound(&sr) < n {
+                        stats.skipped_by_dep += 1;
+                        continue;
+                    }
+                }
+                if let Some(kind) = cancel.cancelled() {
+                    return Err(match kind {
+                        CancelKind::Deadline => QueryError::Deadline,
+                        CancelKind::Stopped => QueryError::Cancelled,
+                    });
+                }
+                stats.window_queries += 1;
+                neighbors.clear();
+                let snap = io.snapshot();
+                // Owner first (leaf-anchored IWP when available), then
+                // the union over every other shard from its root —
+                // shard contents are disjoint, so the append-union has
+                // no duplicates and equals the single-tree result set.
+                // Shards whose live-point bounding box misses `sr` are
+                // skipped without touching their tree: every live point
+                // lies inside its shard's bounds (insert expands them,
+                // remove never shrinks), so a non-intersecting shard
+                // cannot contribute a neighbor. STR tiles are near
+                // disjoint, so candidate windows — much smaller than a
+                // tile — cross into other shards only near tile seams,
+                // and the cross-shard root re-descents that would
+                // otherwise dominate sharded I/O almost all vanish.
+                match iwp {
+                    Some(iwp) => iwp.try_window_query_into(tree, leaf, &sr, neighbors)?,
+                    None => tree.try_window_query_into(&sr, neighbors)?,
+                }
+                for (j, other) in shards.iter().enumerate() {
+                    if j != owner && other.bounds().intersects(&sr) {
+                        other.tree().try_window_query_into(&sr, neighbors)?;
+                    }
+                }
+                stats.io_window_queries += io.since(snap);
+                scan_candidates(
+                    &q,
+                    &spec,
+                    n,
+                    query.measure,
+                    &entry,
+                    quad,
+                    neighbors,
+                    &mut scratch.by_dist,
+                    sink,
+                    &mut stats,
+                );
+            }
+        }
+    }
+    browser.recycle(&mut scratch.browser);
+    stats.io_total = stats.io_traversal + stats.io_window_queries;
+    stats.buffer_hits = io.hits_since(hits0);
+    let errors = io.errors_since(errors0);
+    stats.retries = errors.retries;
+    stats.transient_errors = errors.transient_errors;
+    Ok(stats)
+}
+
+// ----------------------------------------------------------------------
+// Cross-shard sinks.
+// ----------------------------------------------------------------------
+
+/// NWC sink sharing `dist_best` across shards: offers publish their
+/// score into the shared CAS-min *before* local bookkeeping (so sibling
+/// shards prune on it at their very next threshold read), while the
+/// canonical-tie-break local best supplies this shard's contribution to
+/// the gather merge.
+struct SharedBestSink<'a> {
+    bound: &'a AtomicU64,
+    local: BestSink,
+}
+
+impl GroupSink for SharedBestSink<'_> {
+    fn threshold(&self) -> f64 {
+        tie_inclusive(f64::from_bits(self.bound.load(Ordering::Acquire)))
+    }
+
+    fn offer(&mut self, group: Vec<Entry>, score: f64, window: Rect, stats: &mut SearchStats) {
+        if score >= 0.0 {
+            // Non-negative f64 bit patterns order like the values.
+            self.bound.fetch_min(score.to_bits(), Ordering::AcqRel);
+        }
+        self.local.offer(group, score, window, stats);
+    }
+}
+
+/// kNWC sink sharing one buffered-greedy [`GroupsCore`] across shards.
+/// The pruning threshold is cached in a lock-free atomic refreshed on
+/// every offer, so the hot threshold reads (every SRR build, every DIP
+/// check) never touch the mutex.
+struct SharedGroupsSink<'a> {
+    core: &'a Mutex<GroupsCore>,
+    /// f64 bits of `core.threshold()` (already tie-inclusive).
+    cached: &'a AtomicU64,
+    idbuf: Vec<ObjectId>,
+}
+
+impl GroupSink for SharedGroupsSink<'_> {
+    fn threshold(&self) -> f64 {
+        f64::from_bits(self.cached.load(Ordering::Acquire))
+    }
+
+    fn offer(&mut self, group: Vec<Entry>, score: f64, window: Rect, stats: &mut SearchStats) {
+        let mut core = match self.core.lock() {
+            Ok(guard) => guard,
+            // The buffer has no invariant a poisoned unwind can break
+            // (same recovery policy as the buffer pool).
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        core.offer_group(group, score, window, &mut self.idbuf, stats);
+        self.cached
+            .store(core.threshold().to_bits(), Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WindowSpec;
+    use nwc_geom::pt;
+
+    fn world(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                pt(
+                    ((i * 37) % 211) as f64 * 3.0,
+                    ((i * 53) % 197) as f64 * 3.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_covers_all_points() {
+        let pts = world(500);
+        for k in [1usize, 2, 4, 7] {
+            let idx = ShardedNwcIndex::build(pts.clone(), k);
+            assert_eq!(idx.len(), 500, "k={k}");
+            assert!(idx.shard_count() <= k);
+            let mut seen = vec![false; 500];
+            for (s, shard) in idx.shards().iter().enumerate() {
+                for id in 0..shard.points().len() as u32 {
+                    if shard.is_live(id) {
+                        assert!(!seen[id as usize], "object {id} in two shards");
+                        seen[id as usize] = true;
+                        assert_eq!(idx.owner_of(id), Some(s));
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn k1_matches_unsharded_bit_for_bit() {
+        let pts = world(400);
+        let single = NwcIndex::build(pts.clone());
+        let sharded = ShardedNwcIndex::build(pts, 1);
+        let query = NwcQuery::new(pt(200.0, 200.0), WindowSpec::square(40.0), 6);
+        for scheme in Scheme::TABLE3 {
+            let (want, want_stats) = single.nwc_full(&query, scheme);
+            let (got, got_stats) = sharded.try_nwc_full(&query, scheme).unwrap();
+            assert_eq!(want_stats, got_stats, "{scheme}");
+            assert_eq!(
+                want.as_ref().map(|r| r.ids()),
+                got.as_ref().map(|r| r.ids()),
+                "{scheme}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_matches_single_tree_answers() {
+        let pts = world(600);
+        let single = NwcIndex::build(pts.clone());
+        let query = NwcQuery::new(pt(310.0, 280.0), WindowSpec::square(35.0), 5);
+        for k in [2usize, 4] {
+            for threads in [1usize, 4] {
+                let sharded = ShardedNwcIndex::build(pts.clone(), k).with_threads(threads);
+                for scheme in Scheme::TABLE3 {
+                    let want = single.nwc(&query, scheme);
+                    let got = sharded.try_nwc(&query, scheme).unwrap();
+                    match (&want, &got) {
+                        (None, None) => {}
+                        (Some(a), Some(b)) => {
+                            assert_eq!(a.ids(), b.ids(), "k={k} t={threads} {scheme}");
+                            assert!((a.distance - b.distance).abs() < 1e-12);
+                        }
+                        _ => panic!("k={k} t={threads} {scheme}: {want:?} vs {got:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_shard_stats_sum_to_aggregate() {
+        let pts = world(600);
+        let sharded = ShardedNwcIndex::build(pts, 4).with_threads(1);
+        let query = NwcQuery::new(pt(150.0, 400.0), WindowSpec::square(30.0), 4);
+        let answer = sharded.try_nwc_scatter(&query, Scheme::NWC_STAR).unwrap();
+        let mut sum = SearchStats::default();
+        for s in &answer.per_shard {
+            sum.accumulate(s);
+        }
+        assert_eq!(sum, answer.stats);
+        assert!(answer.stats.io_total > 0);
+    }
+
+    #[test]
+    fn knwc_sharded_matches_single_tree() {
+        // Well-separated clusters: no pruning-cascade sensitivity.
+        let mut pts = Vec::new();
+        for (cx, cy) in [(20.0, 20.0), (120.0, 30.0), (60.0, 140.0), (160.0, 160.0)] {
+            for i in 0..6 {
+                pts.push(pt(cx + (i % 3) as f64, cy + (i / 3) as f64));
+            }
+        }
+        let single = NwcIndex::build(pts.clone());
+        let query = KnwcQuery::new(pt(0.0, 0.0), WindowSpec::square(6.0), 4, 3, 0);
+        let want = single.knwc(&query, Scheme::NWC_STAR);
+        for k in [2usize, 4] {
+            let sharded = ShardedNwcIndex::build(pts.clone(), k).with_threads(1);
+            let got = sharded.try_knwc(&query, Scheme::NWC_STAR).unwrap();
+            assert_eq!(want.groups.len(), got.groups.len(), "k={k}");
+            for (a, b) in want.groups.iter().zip(&got.groups) {
+                assert_eq!(a.id_set(), b.id_set(), "k={k}");
+                assert!((a.distance - b.distance).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_objects() {
+        let pts = world(3);
+        let idx = ShardedNwcIndex::build(pts.clone(), 16);
+        assert!(idx.shard_count() <= 3);
+        assert_eq!(idx.len(), 3);
+        let single = NwcIndex::build(pts);
+        let query = NwcQuery::new(pt(0.0, 0.0), WindowSpec::square(700.0), 2);
+        let want = single.nwc(&query, Scheme::NWC);
+        let got = idx.try_nwc(&query, Scheme::NWC).unwrap();
+        assert_eq!(want.map(|r| r.ids()), got.map(|r| r.ids()));
+    }
+
+    #[test]
+    fn insert_routes_and_queries_see_it() {
+        let pts = world(200);
+        let mut idx = ShardedNwcIndex::build(pts, 4);
+        let id = idx.insert(pt(90.0, 90.0)).unwrap();
+        assert!(idx.owner_of(id).is_some());
+        assert_eq!(idx.len(), 201);
+        idx.rebuild_iwp();
+        let query = NwcQuery::new(pt(90.0, 90.0), WindowSpec::square(4.0), 1);
+        let got = idx.try_nwc(&query, Scheme::NWC_STAR).unwrap().unwrap();
+        assert_eq!(got.ids(), vec![id]);
+        assert!(idx.remove(id).unwrap());
+        assert!(!idx.remove(id).unwrap());
+        assert_eq!(idx.owner_of(id), None);
+        assert_eq!(idx.len(), 200);
+    }
+
+    #[test]
+    fn manifest_round_trip_and_errors() {
+        let dir = std::env::temp_dir().join(format!(
+            "nwc-shard-manifest-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let idx = ShardedNwcIndex::build(world(300), 3);
+        idx.save_to_dir(&dir).unwrap();
+        let files = read_manifest(&dir).unwrap();
+        assert_eq!(files.len(), idx.shard_count());
+        // Corrupt: header
+        std::fs::write(dir.join(MANIFEST), "bogus\n").unwrap();
+        assert!(matches!(
+            read_manifest(&dir),
+            Err(ShardedStoreError::Manifest(_))
+        ));
+        // Corrupt: count mismatch
+        std::fs::write(
+            dir.join(MANIFEST),
+            "nwc-sharded v1\nshards 5\nshard 0 shard-000.pages\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            read_manifest(&dir),
+            Err(ShardedStoreError::Manifest(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scatter_error_prefers_cancellation() {
+        let e = ShardScatterError {
+            failures: vec![
+                (
+                    0,
+                    QueryError::Io(nwc_rtree::DiskReadError {
+                        page: 7,
+                        detail: "x".into(),
+                    }),
+                ),
+                (1, QueryError::Deadline),
+            ],
+            completed: vec![],
+        };
+        assert_eq!(QueryError::from(e), QueryError::Deadline);
+    }
+}

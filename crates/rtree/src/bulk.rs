@@ -108,6 +108,54 @@ impl RStarTree {
     }
 }
 
+/// Cuts `entries` into at most `k` spatially coherent tiles using the
+/// same Sort-Tile-Recursive discipline as the bulk loader: vertical
+/// slabs by `x`, then horizontal runs by `y` within each slab. Tiles
+/// are disjoint, cover every entry exactly once, and are returned in
+/// slab-major order; empty tiles are dropped, so the result holds
+/// `min(k, …)` non-empty tiles (fewer than `k` when there are fewer
+/// entries than tiles). `k == 0` is treated as `k == 1`.
+///
+/// With `k == 1` the input is returned as the single tile **unchanged**
+/// (same order), so a 1-shard build is bit-identical to an unsharded
+/// one — sharded-index code relies on this for its K=1 fast path.
+///
+/// All sorts use `total_cmp` and are stable, so the tiling is fully
+/// deterministic in the input order (non-finite coordinates tile
+/// safely, as in [`RStarTree::bulk_load_entries`]).
+pub fn str_partition(entries: Vec<Entry>, k: usize) -> Vec<Vec<Entry>> {
+    let k = k.max(1);
+    if k == 1 || entries.len() <= 1 {
+        return if entries.is_empty() {
+            Vec::new()
+        } else {
+            vec![entries]
+        };
+    }
+    let mut entries = entries;
+    // Same slab shape as the bulk loader: ~sqrt(k) vertical slabs, each
+    // carrying an equal share of the requested tiles (monotone split —
+    // the first `k % slabs` slabs take one extra tile).
+    let slabs = (k as f64).sqrt().ceil() as usize;
+    let slabs = slabs.clamp(1, k);
+    let per_slab = entries.len().div_ceil(slabs);
+    entries.sort_by(|a, b| a.point.x.total_cmp(&b.point.x));
+
+    let base_tiles = k / slabs;
+    let extra_tiles = k % slabs;
+    let mut tiles: Vec<Vec<Entry>> = Vec::with_capacity(k);
+    for (i, slab) in entries.chunks_mut(per_slab).enumerate() {
+        let want = base_tiles + usize::from(i < extra_tiles);
+        let want = want.clamp(1, slab.len().max(1));
+        slab.sort_by(|a, b| a.point.y.total_cmp(&b.point.y));
+        let per_tile = slab.len().div_ceil(want);
+        for run in slab.chunks(per_tile) {
+            tiles.push(run.to_vec());
+        }
+    }
+    tiles
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +247,72 @@ mod tests {
             RStarTree::bulk_load_with_params(&grid_points(1000), TreeParams::with_max_entries(4));
         assert_eq!(t.len(), 1000);
         check_invariants(&t).unwrap();
+    }
+
+    fn partition_entries(n: usize) -> Vec<Entry> {
+        grid_points(n)
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Entry::new(i as ObjectId, p))
+            .collect()
+    }
+
+    fn assert_exact_cover(tiles: &[Vec<Entry>], n: usize) {
+        let mut ids: Vec<u32> = tiles.iter().flatten().map(|e| e.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..n as u32).collect::<Vec<_>>());
+        assert!(tiles.iter().all(|t| !t.is_empty()), "empty tile returned");
+    }
+
+    #[test]
+    fn str_partition_k1_is_identity() {
+        let entries = partition_entries(100);
+        let tiles = str_partition(entries.clone(), 1);
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0], entries, "k=1 must not reorder");
+        assert!(str_partition(Vec::new(), 1).is_empty());
+        // k=0 behaves as k=1.
+        assert_eq!(str_partition(entries.clone(), 0), vec![entries]);
+    }
+
+    #[test]
+    fn str_partition_covers_exactly_once() {
+        for k in [2, 3, 4, 7, 16] {
+            let tiles = str_partition(partition_entries(500), k);
+            assert!(tiles.len() <= k, "k={k} produced {} tiles", tiles.len());
+            assert!(!tiles.is_empty());
+            assert_exact_cover(&tiles, 500);
+        }
+    }
+
+    #[test]
+    fn str_partition_more_tiles_than_entries() {
+        let tiles = str_partition(partition_entries(3), 8);
+        assert!(tiles.len() <= 3);
+        assert_exact_cover(&tiles, 3);
+    }
+
+    #[test]
+    fn str_partition_degenerate_all_same_point() {
+        // Every point identical: all cuts are degenerate but the cover
+        // must still be exact and tiles non-empty.
+        let entries: Vec<Entry> = (0..64)
+            .map(|i| Entry::new(i as ObjectId, pt(5.0, 5.0)))
+            .collect();
+        let tiles = str_partition(entries, 4);
+        assert!(tiles.len() <= 4 && !tiles.is_empty());
+        assert_exact_cover(&tiles, 64);
+    }
+
+    #[test]
+    fn str_partition_tiles_are_spatially_disjointish() {
+        // STR slabs are x-disjoint by construction: every entry of an
+        // earlier slab has x <= every entry of a later slab.
+        let tiles = str_partition(partition_entries(1000), 4);
+        // With k=4 -> 2 slabs of 2 tiles each.
+        assert_eq!(tiles.len(), 4);
+        let max_x = |t: &Vec<Entry>| t.iter().map(|e| e.point.x).fold(f64::MIN, f64::max);
+        let min_x = |t: &Vec<Entry>| t.iter().map(|e| e.point.x).fold(f64::MAX, f64::min);
+        assert!(max_x(&tiles[1]) <= min_x(&tiles[2]) || min_x(&tiles[2]) == min_x(&tiles[1]));
     }
 }

@@ -57,6 +57,7 @@ mod tree;
 pub mod validate;
 
 pub use browser::{BrowseItem, Browser, BrowserScratch};
+pub use bulk::str_partition;
 pub use cancel::{CancelFlag, CancelKind, CancelToken};
 pub use disk::{DiskError, DiskOptions, DiskReadError, TreeStorage};
 pub use entry::{Entry, ObjectId};

@@ -20,10 +20,138 @@
 //! generation, so the flip is wait-free for readers and the old store
 //! closes exactly when its last query finishes.
 
-use nwc_core::{DiskIndexConfig, IndexOpenError, NwcIndex};
+use nwc_core::{
+    DiskIndexConfig, IndexOpenError, KnwcQuery, KnwcResult, MetricsSnapshot, NwcIndex, NwcQuery,
+    NwcResult, QueryError, QueryScratch, Scheme, SearchStats, ShardedNwcIndex, ShardedStoreError,
+};
+use nwc_rtree::CancelToken;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 use std::time::{Duration, Instant};
+
+/// The index a generation serves: a single tree or a spatially sharded
+/// scatter-gather index — the worker loop and control plane are
+/// agnostic, going through this enum's forwarding methods.
+// One value per generation behind an Arc, never in collections, so
+// the variant size gap costs nothing; boxing would only add a hop.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum ServedIndex {
+    /// One R\*-tree (`NwcIndex`).
+    Single(NwcIndex),
+    /// K spatial shards with the scatter-gather planner.
+    Sharded(ShardedNwcIndex),
+}
+
+impl From<NwcIndex> for ServedIndex {
+    fn from(index: NwcIndex) -> Self {
+        ServedIndex::Single(index)
+    }
+}
+
+impl From<ShardedNwcIndex> for ServedIndex {
+    fn from(index: ShardedNwcIndex) -> Self {
+        ServedIndex::Sharded(index)
+    }
+}
+
+impl ServedIndex {
+    /// Live objects served.
+    pub fn len(&self) -> usize {
+        match self {
+            ServedIndex::Single(i) => i.len(),
+            ServedIndex::Sharded(i) => i.len(),
+        }
+    }
+
+    /// Whether the index holds no live objects.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shard count (1 for a single tree).
+    pub fn shard_count(&self) -> usize {
+        match self {
+            ServedIndex::Single(_) => 1,
+            ServedIndex::Sharded(i) => i.shard_count(),
+        }
+    }
+
+    /// Whether DEP schemes can run (a density grid exists).
+    pub fn has_grid(&self) -> bool {
+        match self {
+            ServedIndex::Single(i) => i.grid().is_some(),
+            ServedIndex::Sharded(i) => i.grid().is_some(),
+        }
+    }
+
+    /// Whether IWP schemes can run (the augmentation exists — on every
+    /// shard, for a sharded index).
+    pub fn has_iwp(&self) -> bool {
+        match self {
+            ServedIndex::Single(i) => i.iwp().is_some(),
+            ServedIndex::Sharded(i) => i.iwp_ready(),
+        }
+    }
+
+    /// Forwarded [`NwcIndex::try_nwc_full_cancel`] (scatter-gather on a
+    /// sharded generation; the scratch serves the single/K=1 path).
+    pub fn try_nwc_full_cancel(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+        scratch: &mut QueryScratch,
+        cancel: &CancelToken,
+    ) -> Result<(Option<NwcResult>, SearchStats), QueryError> {
+        match self {
+            ServedIndex::Single(i) => i.try_nwc_full_cancel(query, scheme, scratch, cancel),
+            ServedIndex::Sharded(i) => i.try_nwc_full_cancel(query, scheme, scratch, cancel),
+        }
+    }
+
+    /// Forwarded [`NwcIndex::try_knwc_cancel`].
+    pub fn try_knwc_cancel(
+        &self,
+        query: &KnwcQuery,
+        scheme: Scheme,
+        scratch: &mut QueryScratch,
+        cancel: &CancelToken,
+    ) -> Result<KnwcResult, QueryError> {
+        match self {
+            ServedIndex::Single(i) => i.try_knwc_cancel(query, scheme, scratch, cancel),
+            ServedIndex::Sharded(i) => i.try_knwc_cancel(query, scheme, scratch, cancel),
+        }
+    }
+
+    /// The metrics snapshot for the `/metrics` surface (per-shard
+    /// aggregate on a sharded generation).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        match self {
+            ServedIndex::Single(i) => MetricsSnapshot::capture(i),
+            ServedIndex::Sharded(i) => MetricsSnapshot::capture_sharded(i),
+        }
+    }
+
+    /// Currently pinned pool frames, summed across shard pools (0 for
+    /// arena-backed indexes) — the swap drain's pin-leak evidence.
+    pub fn pinned(&self) -> u64 {
+        match self {
+            ServedIndex::Single(i) => i
+                .tree()
+                .storage()
+                .map_or(0, |s| s.pool_stats().pinned as u64),
+            ServedIndex::Sharded(i) => i
+                .shards()
+                .iter()
+                .map(|s| {
+                    s.tree()
+                        .storage()
+                        .map_or(0, |st| st.pool_stats().pinned as u64)
+                })
+                .sum(),
+        }
+    }
+}
 
 /// One index generation: the index plus its epoch id.
 #[derive(Debug)]
@@ -31,7 +159,7 @@ pub struct Generation {
     /// Monotonic generation id (the first is 1).
     pub id: u64,
     /// The index this generation serves.
-    pub index: NwcIndex,
+    pub index: ServedIndex,
 }
 
 /// What a swap did. Returned by [`IndexHandle::swap_index`].
@@ -63,11 +191,14 @@ pub struct IndexHandle {
 }
 
 impl IndexHandle {
-    /// A handle serving `index` as generation 1, with a 30 s drain
-    /// timeout.
-    pub fn new(index: NwcIndex) -> Self {
+    /// A handle serving `index` (single or sharded) as generation 1,
+    /// with a 30 s drain timeout.
+    pub fn new(index: impl Into<ServedIndex>) -> Self {
         IndexHandle {
-            current: RwLock::new(Arc::new(Generation { id: 1, index })),
+            current: RwLock::new(Arc::new(Generation {
+                id: 1,
+                index: index.into(),
+            })),
             next_id: AtomicU64::new(2),
             drain_timeout: Duration::from_secs(30),
         }
@@ -103,9 +234,12 @@ impl IndexHandle {
     /// loaded generation and finish normally; queries admitted after
     /// the flip see the new one. Never blocks readers beyond the
     /// write-lock flip itself.
-    pub fn swap_index(&self, index: NwcIndex) -> SwapReport {
+    pub fn swap_index(&self, index: impl Into<ServedIndex>) -> SwapReport {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let fresh = Arc::new(Generation { id, index });
+        let fresh = Arc::new(Generation {
+            id,
+            index: index.into(),
+        });
         let old = {
             let mut cur = self.current.write().unwrap_or_else(PoisonError::into_inner);
             std::mem::replace(&mut *cur, fresh)
@@ -121,13 +255,9 @@ impl IndexHandle {
         }
         let drain = start.elapsed();
         // Pin-leak evidence, captured before the store closes: with the
-        // drain complete no query holds a page guard, so the pool must
-        // report zero pinned frames.
-        let old_pinned = old
-            .index
-            .tree()
-            .storage()
-            .map_or(0, |s| s.pool_stats().pinned as u64);
+        // drain complete no query holds a page guard, so the pools must
+        // report zero pinned frames (summed across shards).
+        let old_pinned = old.index.pinned();
         drop(old); // closes the store, releasing its advisory file lock
         SwapReport {
             old_generation,
@@ -138,16 +268,52 @@ impl IndexHandle {
         }
     }
 
-    /// Opens the page file at `path` as a new generation and swaps to
-    /// it (see [`IndexHandle::swap_index`]). On an open error the
-    /// served generation is untouched.
+    /// Opens the index at `path` as a new generation and swaps to it
+    /// (see [`IndexHandle::swap_index`]). A directory holding a sharded
+    /// `MANIFEST` (written by `ShardedNwcIndex::save_to_dir`) opens as
+    /// a sharded generation; anything else opens as a single page file.
+    /// On an open error the served generation is untouched.
     pub fn swap_from_path(
         &self,
         path: impl AsRef<std::path::Path>,
         config: DiskIndexConfig,
-    ) -> Result<SwapReport, IndexOpenError> {
-        let index = NwcIndex::open_disk(path, config)?;
-        Ok(self.swap_index(index))
+    ) -> Result<SwapReport, SwapOpenError> {
+        let path = path.as_ref();
+        if path.join("MANIFEST").is_file() {
+            let index = ShardedNwcIndex::open_dir(path, config).map_err(SwapOpenError::Sharded)?;
+            Ok(self.swap_index(index))
+        } else {
+            let index = NwcIndex::open_disk(path, config).map_err(SwapOpenError::Single)?;
+            Ok(self.swap_index(index))
+        }
+    }
+}
+
+/// An error opening the replacement index during
+/// [`IndexHandle::swap_from_path`].
+#[derive(Debug)]
+pub enum SwapOpenError {
+    /// A single page file failed to open.
+    Single(IndexOpenError),
+    /// A sharded index directory failed to open.
+    Sharded(ShardedStoreError),
+}
+
+impl std::fmt::Display for SwapOpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwapOpenError::Single(e) => write!(f, "{e}"),
+            SwapOpenError::Sharded(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SwapOpenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SwapOpenError::Single(e) => Some(e),
+            SwapOpenError::Sharded(e) => Some(e),
+        }
     }
 }
 
@@ -211,5 +377,59 @@ mod tests {
             assert_eq!(r.new_generation, want);
             assert_eq!(r.old_generation, want - 1);
         }
+    }
+
+    #[test]
+    fn swap_to_a_sharded_generation_from_a_saved_dir() {
+        let handle = IndexHandle::new(index(0.0));
+        // A sharded index can be swapped in directly...
+        let pts: Vec<_> = (0..400)
+            .map(|i| pt(((i * 37) % 211) as f64, ((i * 53) % 197) as f64))
+            .collect();
+        let sharded = ShardedNwcIndex::build(pts.clone(), 4);
+        let report = handle.swap_index(sharded);
+        assert!(report.drained);
+        let generation = handle.load();
+        assert_eq!(generation.index.shard_count(), 4);
+        assert_eq!(generation.index.len(), 400);
+        assert!(generation.index.has_grid() && generation.index.has_iwp());
+        drop(generation);
+        // ...and from a saved directory through the path-based swap
+        // (the wire control plane's entry point), pool budget split.
+        let dir = std::env::temp_dir().join(format!(
+            "nwc-serve-shard-swap-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ShardedNwcIndex::build(pts, 2)
+            .save_to_dir(&dir)
+            .expect("save sharded dir");
+        let report = handle
+            .swap_from_path(
+                &dir,
+                DiskIndexConfig {
+                    pool_capacity: Some(64),
+                    ..DiskIndexConfig::default()
+                },
+            )
+            .expect("swap from sharded dir");
+        assert!(report.drained);
+        assert_eq!(report.old_pinned, 0);
+        let generation = handle.load();
+        assert_eq!(generation.index.shard_count(), 2);
+        // The served sharded generation answers queries.
+        let query = nwc_core::NwcQuery::new(
+            pt(100.0, 100.0),
+            nwc_core::WindowSpec::square(40.0),
+            4,
+        );
+        let mut scratch = QueryScratch::new();
+        let (result, _) = generation
+            .index
+            .try_nwc_full_cancel(&query, Scheme::NWC_PLUS, &mut scratch, &CancelToken::none())
+            .expect("sharded generation answers");
+        assert!(result.is_some());
+        drop(generation);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -32,7 +32,7 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{ClientError, QueryOutcome, ServeClient, SwapOutcome};
-pub use handle::{Generation, IndexHandle, SwapReport};
+pub use handle::{Generation, IndexHandle, ServedIndex, SwapOpenError, SwapReport};
 pub use histogram::{LatencyHistogram, MergedHistogram};
 pub use protocol::{
     FrameReader, OkShape, ProtoError, QuerySpec, Request, Response, WireGroup, WireObject,

@@ -40,8 +40,8 @@ use crate::protocol::{
     QuerySpec, Request, Response, WireGroup, WireObject,
 };
 use nwc_core::{
-    CancelFlag, CancelToken, DiskIndexConfig, KnwcQuery, MetricsSnapshot, NwcQuery, QueryError,
-    QueryScratch, Scheme, SearchStats, WindowSpec,
+    CancelFlag, CancelToken, DiskIndexConfig, KnwcQuery, NwcQuery, QueryError, QueryScratch,
+    Scheme, SearchStats, WindowSpec,
 };
 use nwc_geom::pt;
 use std::collections::VecDeque;
@@ -206,7 +206,7 @@ impl Shared {
     /// stable order.
     fn metrics_text(&self) -> String {
         let generation = self.handle.load();
-        let mut out = MetricsSnapshot::capture(&generation.index).to_text();
+        let mut out = generation.index.metrics().to_text();
         let c = &self.counters;
         let depth = self.lock_queue().len();
         let merged = LatencyHistogram::merge(self.workers.iter().map(|w| &w.hist));
@@ -414,10 +414,10 @@ fn build_query(
     // a scheme the current generation cannot run must be a typed
     // rejection, never the engine's panic.
     let generation = shared.handle.load();
-    if scheme.needs_grid() && generation.index.grid().is_none() {
+    if scheme.needs_grid() && !generation.index.has_grid() {
         return Err(Box::new(Response::BadRequest("DEP needs a density grid".to_string())));
     }
-    if scheme.needs_iwp() && generation.index.iwp().is_none() {
+    if scheme.needs_iwp() && !generation.index.has_iwp() {
         return Err(Box::new(Response::BadRequest("IWP augmentation not built".to_string())));
     }
     // `WindowSpec::new` asserts on bad dimensions; the wire carries

@@ -47,6 +47,6 @@ pub use checksum::crc32;
 pub use error::StoreError;
 pub use executor::{InflightTable, IoExecutor, ReadRunCompletion};
 pub use fault::{FaultPlan, FaultStats, FaultStore};
-pub use pool::{Access, BufferPool, PoolStats};
+pub use pool::{split_capacity, Access, BufferPool, PoolStats};
 pub use retry::RetryPolicy;
 pub use store::{FileStore, MemStore, PageStore, StoreMeta};

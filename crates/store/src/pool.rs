@@ -153,6 +153,30 @@ struct Shard {
 /// the pool.
 pub type EvictHook = Box<dyn Fn(u32) + Send + Sync>;
 
+/// Splits a total frame budget of `capacity` pages as evenly as
+/// possible into `parts` shares: part `i` receives `capacity / n`
+/// frames plus one of the remainder when `i < capacity % n`, where
+/// `n = parts.clamp(1, capacity)` (never more parts than frames, so
+/// every share is at least 1).
+///
+/// Every share is **monotone in the total**: growing `capacity` never
+/// shrinks any share, which is what lets the LRU inclusion property
+/// survive both the pool's internal lock striping
+/// ([`BufferPool::with_shards`] uses exactly this split) and the
+/// sharded-index layer that budgets one capacity across several
+/// per-shard pools.
+///
+/// # Panics
+///
+/// Panics when `capacity` is zero — there is nothing to split.
+pub fn split_capacity(capacity: usize, parts: usize) -> Vec<usize> {
+    assert!(capacity >= 1, "cannot split a zero frame budget");
+    let n = parts.clamp(1, capacity);
+    let base = capacity / n;
+    let rem = capacity % n;
+    (0..n).map(|i| base + usize::from(i < rem)).collect()
+}
+
 /// A fixed-capacity page buffer. See the module docs.
 pub struct BufferPool {
     capacity: usize,
@@ -191,12 +215,11 @@ impl BufferPool {
     /// Panics when `capacity` is zero.
     pub fn with_shards(capacity: usize, shards: usize) -> Self {
         assert!(capacity >= 1, "buffer pool capacity must be at least 1");
-        let n = shards.clamp(1, capacity);
-        let base = capacity / n;
-        let rem = capacity % n;
-        let shards: Box<[Shard]> = (0..n)
-            .map(|i| Shard {
-                capacity: base + usize::from(i < rem),
+        let shares = split_capacity(capacity, shards);
+        let shards: Box<[Shard]> = shares
+            .into_iter()
+            .map(|cap| Shard {
+                capacity: cap,
                 inner: Mutex::new(Inner::default()),
             })
             .collect();
@@ -560,6 +583,27 @@ impl BufferPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn split_capacity_exact_and_monotone() {
+        assert_eq!(split_capacity(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(split_capacity(4, 4), vec![1, 1, 1, 1]);
+        // Never more parts than frames.
+        assert_eq!(split_capacity(3, 8), vec![1, 1, 1]);
+        assert_eq!(split_capacity(7, 1), vec![7]);
+        // Shares sum to the total and are monotone in it.
+        for parts in 1..9 {
+            let mut prev = vec![0usize; parts];
+            for cap in 1..64 {
+                let shares = split_capacity(cap, parts);
+                assert_eq!(shares.iter().sum::<usize>(), cap);
+                for (i, &s) in shares.iter().enumerate() {
+                    assert!(s >= prev.get(i).copied().unwrap_or(0), "share shrank");
+                }
+                prev = shares;
+            }
+        }
+    }
 
     /// A loader that stamps the page id into the buffer and counts calls.
     fn stamping_loader(count: &std::cell::Cell<u32>, page: u32) -> impl FnOnce(&mut [u8]) -> Result<(), StoreError> + '_ {

@@ -29,12 +29,17 @@ cargo clippy --workspace -- -D warnings
 # would silently strand client connections, so every serve source file
 # must route failures through typed responses instead. node.rs joins
 # too: its kind accessors sit under every disk read, so a decode bug
-# must degrade (debug assertion + empty view) rather than panic.
+# must degrade (debug assertion + empty view) rather than panic. The
+# scatter-gather planner joins too: a panicking shard worker would
+# poison the shared kNWC core and strand the gather, so shard.rs is
+# try_-only outside tests (missing structures degrade, partial shard
+# failures surface as typed ShardScatterError).
 step "lint: no panic paths in the disk query read path"
 for f in crates/rtree/src/disk.rs crates/rtree/src/browser.rs \
          crates/rtree/src/query.rs crates/rtree/src/iwp.rs \
          crates/rtree/src/node.rs \
          crates/store/src/executor.rs \
+         crates/core/src/shard.rs \
          crates/serve/src/protocol.rs crates/serve/src/histogram.rs \
          crates/serve/src/handle.rs crates/serve/src/server.rs \
          crates/serve/src/client.rs; do
@@ -117,6 +122,15 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
   grep -q '"ingest_per_s"' results/BENCH_ingest.json
   grep -q '"reopen_ms"' results/BENCH_ingest.json
   echo "ok: results/BENCH_ingest.json written (throughput + recovery time)"
+
+  step "smoke: sharded scatter-gather (oracle equivalence, faults, disk dirs)"
+  cargo test -q --release --test shard_equivalence
+  NWC_SCALE=0.02 NWC_QUERIES=3 cargo run --release -p nwc-bench -- shard
+  test -s results/BENCH_shard.json
+  grep -q '"pool_split"' results/BENCH_shard.json
+  grep -q '"io_ratio_vs_unsharded"' results/BENCH_shard.json
+  grep -q '"cores"' results/BENCH_shard.json
+  echo "ok: results/BENCH_shard.json written (split + I/O ratio + core honesty)"
 fi
 
 step "verify: all checks passed"
