@@ -1,0 +1,400 @@
+//! Anytime/approximate sweep: answer quality vs budget (not from the
+//! paper).
+//!
+//! The paper's algorithms run to completion; this experiment measures
+//! what their anytime variants give back when they cannot. It sweeps
+//! `ε ∈ {0, 0.1, 0.5}` against a budget grid — unlimited, two logical
+//! I/O allowances, and a wall-clock deadline — and scores every
+//! `(ε, budget, scheme)` cell against the exact answer from the same
+//! index: recall (via [`nwc_core::oracle::nwc_recall`]), how many
+//! queries completed inside the budget, the reported error bound, and —
+//! the soundness contract — how often a returned bound failed to
+//! bracket the exact score (always 0, asserted by the smoke test). The
+//! `ε = 0` / unlimited cells double as a bit-identity check: answer,
+//! distance bits and [`SearchStats`] must equal the exact path's.
+//!
+//! Besides the markdown table, the run writes machine-readable
+//! `results/BENCH_approx.json` with a top-level `"exact_recall"` marker
+//! (`1` iff every exact-mode cell matched bit-for-bit) that
+//! `scripts/verify.sh` greps.
+
+use crate::context::ExperimentContext;
+use crate::runner::build_index;
+use crate::table::Table;
+use nwc_core::oracle::nwc_recall;
+use nwc_core::{
+    Approx, Budget, NwcQuery, QueryScratch, Scheme, SearchStats, WindowSpec,
+};
+use std::time::{Duration, Instant};
+
+/// Approximation factors swept (`0` = exact thresholds).
+pub const EPSILONS: [f64; 3] = [0.0, 0.1, 0.5];
+
+/// One budget shape of the sweep grid.
+#[derive(Clone, Copy, Debug)]
+pub struct BudgetSpec {
+    /// Row label ("unlimited", "io 8", …).
+    pub name: &'static str,
+    /// Logical node-access allowance (`None` = unmetered).
+    pub io: Option<u64>,
+    /// Wall-clock allowance (`None` = no deadline).
+    pub time: Option<Duration>,
+}
+
+/// Budgets swept: unmetered, tight and loose I/O allowances, and a
+/// wall-clock deadline tight enough to trip on larger scales.
+pub const BUDGETS: [BudgetSpec; 4] = [
+    BudgetSpec {
+        name: "unlimited",
+        io: None,
+        time: None,
+    },
+    BudgetSpec {
+        name: "io 8",
+        io: Some(8),
+        time: None,
+    },
+    BudgetSpec {
+        name: "io 64",
+        io: Some(64),
+        time: None,
+    },
+    BudgetSpec {
+        name: "200 µs",
+        io: None,
+        time: Some(Duration::from_micros(200)),
+    },
+];
+
+/// One `(ε, budget, scheme)` cell of the sweep.
+#[derive(Clone, Debug)]
+pub struct ApproxPoint {
+    /// Approximation factor.
+    pub epsilon: f64,
+    /// Budget row label (see [`BUDGETS`]).
+    pub budget: String,
+    /// Table-3 scheme name.
+    pub scheme: String,
+    /// Mean recall against the exact answer from the same index.
+    pub recall: f64,
+    /// Queries that finished inside the budget (no exhaustion).
+    pub complete: usize,
+    /// Queries cut off by the budget (typed partial, never an error).
+    pub partial: usize,
+    /// Mean logical I/O actually spent per query.
+    pub avg_io: f64,
+    /// Cells whose reported `error_bound` is finite (an answer plus a
+    /// finite frontier bound survived the cutoff).
+    pub finite_bounds: usize,
+    /// Mean `error_bound` over those finite cells (0 when none).
+    pub avg_bound: f64,
+    /// Returned bounds that failed to bracket the exact score. The
+    /// anytime contract makes this 0 in every cell.
+    pub bound_violations: usize,
+    /// Only meaningful in `ε = 0` / unlimited cells: queries whose
+    /// answer, distance bits, or [`SearchStats`] diverged from the
+    /// exact path. The bit-identity contract makes this 0.
+    pub exact_divergences: usize,
+}
+
+/// Everything the approx experiment measured.
+#[derive(Clone, Debug)]
+pub struct ApproxReport {
+    /// Dataset the index was built from.
+    pub dataset: String,
+    /// Queries per cell.
+    pub queries: usize,
+    /// Group size `n`.
+    pub n: usize,
+    /// Sweep cells: scheme-major (Table-3 order), then ε, then budget.
+    pub points: Vec<ApproxPoint>,
+}
+
+impl ApproxReport {
+    /// True iff every `ε = 0` / unlimited cell reproduced the exact
+    /// path bit-for-bit (recall 1, zero divergences).
+    pub fn exact_ok(&self) -> bool {
+        self.points
+            .iter()
+            .filter(|p| p.epsilon == 0.0 && p.budget == "unlimited")
+            .all(|p| p.recall == 1.0 && p.exact_divergences == 0 && p.partial == 0)
+    }
+}
+
+/// Runs the experiment and renders the markdown table; also writes
+/// `results/BENCH_approx.json` (errors writing the file are reported on
+/// stderr, not fatal — the measurement still prints).
+pub fn approx(ctx: &ExperimentContext) -> String {
+    let report = measure(ctx);
+    let json = render_json(ctx, &report);
+    let path = "results/BENCH_approx.json";
+    match std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &json)) {
+        Ok(()) => eprintln!("[approx] wrote {path}"),
+        Err(e) => eprintln!("[approx] could not write {path}: {e}"),
+    }
+    render_markdown(&report)
+}
+
+/// Sorted ids + score of an optional group, in the oracle's shape.
+fn key(result: Option<(&[nwc_core::Entry], f64)>) -> Option<(f64, Vec<u32>)> {
+    result.map(|(objects, distance)| {
+        let mut ids: Vec<u32> = objects.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        (distance, ids)
+    })
+}
+
+/// Per-query exact baseline: canonical `(distance, sorted ids)` answer
+/// key plus the stats the exact-mode cells must reproduce bit-for-bit.
+type ExactCell = (Option<(f64, Vec<u32>)>, SearchStats);
+
+/// The measurement itself, separated from rendering for tests.
+pub fn measure(ctx: &ExperimentContext) -> ApproxReport {
+    let ds = ctx.dataset("CA");
+    let index = build_index(&ds);
+    let query_points = ctx.query_points();
+    let spec = WindowSpec::square(200.0);
+    let n = 8;
+
+    let mut points = Vec::new();
+    let mut scratch = QueryScratch::new();
+    for scheme in Scheme::TABLE3 {
+        // Exact baseline, once per scheme: the scoring target for every
+        // (ε, budget) cell and the bit-identity reference for exact mode.
+        let mut exact: Vec<ExactCell> = Vec::new();
+        for &q in &query_points {
+            let query = NwcQuery::new(q, spec, n);
+            let (result, stats) = index
+                .try_nwc_full_with(&query, scheme, &mut scratch)
+                .unwrap_or_else(|e| panic!("exact baseline failed: {e}"));
+            exact.push((
+                key(result.as_ref().map(|r| (r.objects.as_slice(), r.distance))),
+                stats,
+            ));
+        }
+
+        for &epsilon in &EPSILONS {
+            let approx =
+                Approx::new(epsilon).unwrap_or_else(|e| panic!("bad sweep epsilon: {e}"));
+            for b in &BUDGETS {
+                let mut recall_sum = 0.0;
+                let mut complete = 0;
+                let mut partial = 0;
+                let mut io_sum = 0u64;
+                let mut finite_bounds = 0;
+                let mut bound_sum = 0.0;
+                let mut bound_violations = 0;
+                let mut exact_divergences = 0;
+                for (&q, (exact_key, exact_stats)) in query_points.iter().zip(&exact) {
+                    let query = NwcQuery::new(q, spec, n);
+                    let mut budget = Budget::none();
+                    if let Some(io) = b.io {
+                        budget = budget.io_limit(io);
+                    }
+                    if let Some(t) = b.time {
+                        budget = budget.deadline(Instant::now() + t);
+                    }
+                    let a = index
+                        .try_nwc_anytime_with(&query, scheme, &mut scratch, &budget, approx)
+                        .unwrap_or_else(|e| panic!("anytime query failed: {e}"));
+                    let got = key(
+                        a.answer
+                            .as_ref()
+                            .map(|r| (r.objects.as_slice(), r.distance)),
+                    );
+                    recall_sum += nwc_recall(
+                        exact_key.as_ref().map(|(d, ids)| (*d, ids.as_slice())),
+                        got.as_ref().map(|(d, ids)| (*d, ids.as_slice())),
+                    );
+                    if a.exhausted.is_none() {
+                        complete += 1;
+                    } else {
+                        partial += 1;
+                    }
+                    io_sum += a.spent.io;
+                    if a.error_bound.is_finite() {
+                        finite_bounds += 1;
+                        bound_sum += a.error_bound;
+                    }
+                    // Soundness: the reported bounds must bracket the
+                    // exact score from below (tolerating fp noise).
+                    if let Some((d_star, _)) = exact_key {
+                        let tol = 1e-9 * d_star.abs().max(1.0);
+                        if a.lower_bound > d_star + tol {
+                            bound_violations += 1;
+                        }
+                        if let Some(r) = &a.answer {
+                            if r.distance - a.error_bound > d_star + tol {
+                                bound_violations += 1;
+                            }
+                        }
+                    }
+                    // Bit-identity in exact mode: same group, same
+                    // distance bits, same logical work.
+                    if epsilon == 0.0 && b.io.is_none() && b.time.is_none() {
+                        let same_answer = match (exact_key, &got) {
+                            (None, None) => true,
+                            (Some((ed, eids)), Some((gd, gids))) => {
+                                ed.to_bits() == gd.to_bits() && eids == gids
+                            }
+                            _ => false,
+                        };
+                        if !same_answer || a.stats != *exact_stats {
+                            exact_divergences += 1;
+                        }
+                    }
+                }
+                let q = query_points.len();
+                points.push(ApproxPoint {
+                    epsilon,
+                    budget: b.name.to_string(),
+                    scheme: scheme.to_string(),
+                    recall: recall_sum / q as f64,
+                    complete,
+                    partial,
+                    avg_io: io_sum as f64 / q as f64,
+                    finite_bounds,
+                    avg_bound: if finite_bounds == 0 {
+                        0.0
+                    } else {
+                        bound_sum / finite_bounds as f64
+                    },
+                    bound_violations,
+                    exact_divergences,
+                });
+            }
+        }
+    }
+
+    ApproxReport {
+        dataset: ds.name.clone(),
+        queries: query_points.len(),
+        n,
+        points,
+    }
+}
+
+fn render_markdown(r: &ApproxReport) -> String {
+    let mut t = Table::new(
+        "Anytime/approximate sweep",
+        format!(
+            "{} dataset, {} queries, w = 200 × 200, n = {}; recall is scored against the \
+             exact answer from the same index; `violations` counts bounds that failed to \
+             bracket the exact score (contractually 0); exact mode bit-identical: {}",
+            r.dataset,
+            r.queries,
+            r.n,
+            if r.exact_ok() { "yes" } else { "NO" }
+        ),
+        vec![
+            "scheme",
+            "ε",
+            "budget",
+            "recall",
+            "complete",
+            "partial",
+            "avg IO",
+            "finite bounds",
+            "avg bound",
+            "violations",
+        ],
+    );
+    for p in &r.points {
+        t.push_row(vec![
+            p.scheme.clone(),
+            format!("{}", p.epsilon),
+            p.budget.clone(),
+            format!("{:.3}", p.recall),
+            p.complete.to_string(),
+            p.partial.to_string(),
+            format!("{:.1}", p.avg_io),
+            p.finite_bounds.to_string(),
+            format!("{:.1}", p.avg_bound),
+            p.bound_violations.to_string(),
+        ]);
+    }
+    t.to_markdown()
+}
+
+/// Hand-rolled JSON (the workspace has no serde): stable field order,
+/// numbers via `format!` so the file diffs cleanly between runs.
+fn render_json(ctx: &ExperimentContext, r: &ApproxReport) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"approx\",\n");
+    s.push_str(&format!("  \"dataset\": \"{}\",\n", r.dataset));
+    s.push_str(&format!("  \"scale\": {},\n", ctx.scale));
+    s.push_str(&format!("  \"seed\": {},\n", ctx.seed));
+    s.push_str(&format!("  \"queries\": {},\n", r.queries));
+    s.push_str(&format!("  \"n\": {},\n", r.n));
+    s.push_str(&format!(
+        "  \"exact_recall\": {},\n",
+        if r.exact_ok() { 1 } else { 0 }
+    ));
+    s.push_str("  \"sweep\": [\n");
+    for (i, p) in r.points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"epsilon\": {}, \"budget\": \"{}\", \
+             \"recall\": {:.4}, \"complete\": {}, \"partial\": {}, \"avg_io\": {:.2}, \
+             \"finite_bounds\": {}, \"avg_bound\": {:.4}, \"bound_violations\": {}, \
+             \"exact_divergences\": {}}}{}\n",
+            p.scheme,
+            p.epsilon,
+            p.budget,
+            p.recall,
+            p.complete,
+            p.partial,
+            p.avg_io,
+            p.finite_bounds,
+            p.avg_bound,
+            p.bound_violations,
+            p.exact_divergences,
+            if i + 1 == r.points.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_mode_bit_identical_and_bounds_sound() {
+        let ctx = ExperimentContext::tiny();
+        let r = measure(&ctx);
+        assert_eq!(
+            r.points.len(),
+            EPSILONS.len() * BUDGETS.len() * Scheme::TABLE3.len()
+        );
+        // The soundness contract holds in every cell of the grid.
+        for p in &r.points {
+            assert_eq!(
+                p.bound_violations, 0,
+                "{} ε={} {}: bound failed to bracket the exact score",
+                p.scheme, p.epsilon, p.budget
+            );
+            assert_eq!(p.complete + p.partial, r.queries);
+            assert!((0.0..=1.0).contains(&p.recall));
+        }
+        // ε = 0 / unlimited is the exact path, bit for bit.
+        assert!(r.exact_ok(), "exact-mode cells diverged from the exact path");
+        // A tight I/O allowance must actually cut something off, and the
+        // cutoff must surface as typed partials, never errors (measure
+        // would have panicked on an error).
+        let tight: usize = r
+            .points
+            .iter()
+            .filter(|p| p.budget == "io 8")
+            .map(|p| p.partial)
+            .sum();
+        assert!(tight > 0, "io 8 budget never tripped");
+        let json = render_json(&ctx, &r);
+        assert!(json.contains("\"experiment\": \"approx\""));
+        assert!(json.contains("\"exact_recall\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let md = render_markdown(&r);
+        assert!(md.contains("Anytime/approximate sweep"));
+    }
+}

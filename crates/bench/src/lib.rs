@@ -11,6 +11,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod approx;
 pub mod buffer;
 pub mod context;
 pub mod faults;

@@ -8,7 +8,7 @@
 //! EXPERIMENT: all (default) | table2 | table3 | fig8 | fig9 | fig10 |
 //!             fig11 | fig12 | fig13 | fig14 | storage | model |
 //!             ablations | throughput | buffer | faults | kernels | serve |
-//!             ingest | shard
+//!             ingest | shard | approx
 //!
 //! Environment:
 //!   NWC_SCALE    fraction of the paper's dataset cardinalities (0.2)
@@ -21,7 +21,7 @@
 //! full report.
 
 use nwc_bench::{
-    buffer, faults, figures, ingest, kernels, serve, shard, throughput, ExperimentContext,
+    approx, buffer, faults, figures, ingest, kernels, serve, shard, throughput, ExperimentContext,
 };
 
 fn main() {
@@ -98,6 +98,9 @@ fn main() {
     }
     if want("shard") {
         println!("{}", shard::shard(&ctx));
+    }
+    if want("approx") {
+        println!("{}", approx::approx(&ctx));
     }
     if want("ablations") {
         println!("{}", figures::ablation_measures(&ctx));

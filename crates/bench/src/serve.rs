@@ -298,7 +298,9 @@ fn conn_loop(
                 let us = scheduled.elapsed().as_micros();
                 tally.latencies_us.push(u64::try_from(us).unwrap_or(u64::MAX));
             }
-            Ok(QueryOutcome::Deadline) => tally.deadline += 1,
+            // Legacy requests never receive Partial; count one as a
+            // deadline if a future server ever sends it here.
+            Ok(QueryOutcome::Deadline | QueryOutcome::Partial { .. }) => tally.deadline += 1,
             Ok(QueryOutcome::Shed { .. }) => tally.shed += 1,
             // The server never drains mid-cell; if a Stopped does
             // arrive, drop the request from the tally entirely.

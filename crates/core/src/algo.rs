@@ -8,6 +8,7 @@
 //! scanned. The sink abstraction lets the same loop serve the single-best
 //! NWC query and the top-k kNWC query.
 
+use crate::anytime::{AnytimeNwc, Approx};
 use crate::candidates::{scan_candidates, GroupSink};
 use crate::index::NwcIndex;
 use crate::query::{NwcQuery, QueryError};
@@ -18,7 +19,26 @@ use nwc_geom::window::{
     extended_mbr, node_window_lower_bound, reduced_search_region, search_region,
 };
 use nwc_geom::{Quadrant, Rect};
-use nwc_rtree::{BrowseItem, CancelKind, CancelToken, Entry};
+use nwc_rtree::{BrowseItem, Budget, CancelKind, CancelToken, Entry};
+
+/// How the shared traversal loop stopped.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum SearchEnd {
+    /// The frontier drained: the sink saw every candidate the scheme's
+    /// pruning admits.
+    Complete,
+    /// The budget expired mid-search. `frontier` is the best-first key
+    /// (`MINDIST`/distance) of the item being processed when the budget
+    /// tripped — a sound lower bound on the score of every group the
+    /// search did not cover, because each such group's nearest object is
+    /// anchored at or behind that frontier position.
+    Exhausted {
+        /// Which limit fired.
+        kind: CancelKind,
+        /// Lower bound on every uncovered group's score.
+        frontier: f64,
+    },
+}
 
 impl NwcIndex {
     /// Answers `NWC(q, l, w, n)` under the given optimization scheme.
@@ -184,7 +204,10 @@ impl NwcIndex {
     /// [`NwcIndex::try_run_search_with`] plus a cooperative
     /// [`CancelToken`]: checked by the [`Browser`](nwc_rtree::Browser)
     /// before every node expansion and by this loop before every window
-    /// query, the two I/O-bearing steps of the search.
+    /// query, the two I/O-bearing steps of the search. A tripped token
+    /// surfaces as [`QueryError::Deadline`] / [`QueryError::Cancelled`]
+    /// (the anytime APIs use [`NwcIndex::try_run_search_budget`] instead
+    /// to keep the best-so-far state).
     pub(crate) fn try_run_search_cancel<S: GroupSink>(
         &self,
         query: &NwcQuery,
@@ -193,6 +216,28 @@ impl NwcIndex {
         scratch: &mut QueryScratch,
         cancel: &CancelToken,
     ) -> Result<SearchStats, QueryError> {
+        let budget = Budget::from(cancel.clone());
+        match self.try_run_search_budget(query, scheme, sink, scratch, &budget)? {
+            (stats, SearchEnd::Complete) => Ok(stats),
+            (_, SearchEnd::Exhausted { kind, .. }) => Err(budget_error(kind)),
+        }
+    }
+
+    /// The budgeted traversal loop behind everything. Runs until the
+    /// frontier drains or `budget` expires; an expired budget is **not**
+    /// an error — the search stops where it is (pins released, scratch
+    /// intact, stats finalized for the covered prefix) and the caller
+    /// receives [`SearchEnd::Exhausted`] with the frontier key, from
+    /// which the anytime APIs derive their quality bound. Disk failures
+    /// still surface as `Err`.
+    pub(crate) fn try_run_search_budget<S: GroupSink>(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+        sink: &mut S,
+        scratch: &mut QueryScratch,
+        budget: &Budget,
+    ) -> Result<(SearchStats, SearchEnd), QueryError> {
         let grid = if scheme.needs_grid() {
             Some(self.grid().unwrap_or_else(|| {
                 panic!("scheme {scheme} needs the density grid; build the index with one")
@@ -217,12 +262,20 @@ impl NwcIndex {
         let spec = query.spec;
         let n = query.n;
 
+        // The loop and the browser each diff this thread's access tally
+        // from their own base, so the I/O allowance covers traversal and
+        // window queries alike.
+        let budget_base = io.snapshot();
         let mut browser = tree.browse_with(q, &mut scratch.browser);
-        if cancel.is_armed() {
-            browser.set_cancel(cancel.clone());
+        if budget.is_armed() {
+            browser.set_budget(budget.clone());
         }
+        let mut end = SearchEnd::Complete;
         let neighbors = &mut scratch.neighbors;
-        while let Some(item) = browser.next() {
+        'search: while let Some(item) = browser.next() {
+            // Best-first key of the item in hand: the frontier lower
+            // bound should the budget expire while processing it.
+            let key = item.key();
             match item {
                 BrowseItem::Node { id, mbr, .. } => {
                     if scheme.dip
@@ -238,7 +291,14 @@ impl NwcIndex {
                         }
                     }
                     let snap = io.snapshot();
-                    browser.try_expand(id)?;
+                    match browser.try_expand(id) {
+                        Ok(()) => {}
+                        Err(nwc_rtree::TreeError::Cancelled(kind)) => {
+                            end = SearchEnd::Exhausted { kind, frontier: key };
+                            break 'search;
+                        }
+                        Err(other) => return Err(other.into()),
+                    }
                     stats.io_traversal += io.since(snap);
                 }
                 BrowseItem::Object { entry, leaf, .. } => {
@@ -260,11 +320,9 @@ impl NwcIndex {
                             continue;
                         }
                     }
-                    if let Some(kind) = cancel.cancelled() {
-                        return Err(match kind {
-                            CancelKind::Deadline => QueryError::Deadline,
-                            CancelKind::Stopped => QueryError::Cancelled,
-                        });
+                    if let Some(kind) = budget.exceeded(|| io.since(budget_base)) {
+                        end = SearchEnd::Exhausted { kind, frontier: key };
+                        break 'search;
                     }
                     stats.window_queries += 1;
                     neighbors.clear();
@@ -302,7 +360,76 @@ impl NwcIndex {
         let errors = io.errors_since(errors0);
         stats.retries = errors.retries;
         stats.transient_errors = errors.transient_errors;
-        Ok(stats)
+        Ok((stats, end))
+    }
+
+    /// Anytime `NWC(q, l, w, n)`: runs until `budget` expires and
+    /// returns the best group found so far with a proven quality bound
+    /// (see [`AnytimeNwc`]) instead of erroring. With
+    /// [`Approx::exact`] and [`Budget::none`] the answer and logical
+    /// I/O are bit-identical to [`NwcIndex::try_nwc_full`].
+    pub fn try_nwc_anytime(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+        budget: &Budget,
+        approx: Approx,
+    ) -> Result<AnytimeNwc, QueryError> {
+        self.try_nwc_anytime_with(query, scheme, &mut QueryScratch::default(), budget, approx)
+    }
+
+    /// As [`NwcIndex::try_nwc_anytime`] with scratch reuse.
+    pub fn try_nwc_anytime_with(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+        scratch: &mut QueryScratch,
+        budget: &Budget,
+        approx: Approx,
+    ) -> Result<AnytimeNwc, QueryError> {
+        let started = std::time::Instant::now();
+        let io = self.tree().stats();
+        let io0 = io.snapshot();
+        let mut sink = BestSink::approx(approx.shrink());
+        let (stats, end) = self.try_run_search_budget(query, scheme, &mut sink, scratch, budget)?;
+        let spent = crate::anytime::BudgetSpent {
+            elapsed_us: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            io: io.since(io0),
+        };
+        let (frontier_key, exhausted) = match end {
+            SearchEnd::Complete => (f64::INFINITY, None),
+            SearchEnd::Exhausted { kind, frontier } => (frontier, Some(kind)),
+        };
+        let slack = crate::anytime::frontier_slack(query.measure, &query.spec);
+        let frontier = crate::anytime::frontier_lower_bound(frontier_key, slack);
+        let dist_best = sink.dist_best;
+        let lower_bound = crate::anytime::combine_lower_bound(dist_best, approx.shrink(), frontier);
+        let error_bound = crate::anytime::gap(dist_best, lower_bound);
+        let answer = sink.best.map(|(objects, window)| NwcResult {
+            objects,
+            distance: dist_best,
+            window,
+            stats,
+        });
+        Ok(AnytimeNwc {
+            answer,
+            stats,
+            lower_bound,
+            error_bound,
+            spent,
+            exhausted,
+        })
+    }
+}
+
+/// Maps a budget trip to the legacy error the pre-anytime `try_*_cancel`
+/// APIs promise. An I/O allowance can only reach these APIs through a
+/// `Budget`-derived token, where it plays the role of a spent deadline.
+pub(crate) fn budget_error(kind: CancelKind) -> QueryError {
+    match kind {
+        CancelKind::Deadline => QueryError::Deadline,
+        CancelKind::Stopped => QueryError::Cancelled,
+        CancelKind::IoBudget => QueryError::Deadline,
     }
 }
 
@@ -376,21 +503,30 @@ pub(crate) struct BestSink {
     pub(crate) best: Option<(Vec<Entry>, Rect)>,
     /// Sorted ids of `best` (canonical tie-break key).
     pub(crate) best_ids: Vec<u32>,
+    /// Pruning-threshold factor `1/(1+ε)`; `1.0` = exact. Only the
+    /// threshold shrinks — acceptance in `offer` stays exact, so the
+    /// sink always holds the best group actually *seen*.
+    pub(crate) shrink: f64,
 }
 
 impl BestSink {
     pub(crate) fn new() -> Self {
+        BestSink::approx(1.0)
+    }
+
+    pub(crate) fn approx(shrink: f64) -> Self {
         BestSink {
             dist_best: f64::INFINITY,
             best: None,
             best_ids: Vec::new(),
+            shrink,
         }
     }
 }
 
 impl GroupSink for BestSink {
     fn threshold(&self) -> f64 {
-        tie_inclusive(self.dist_best)
+        tie_inclusive(self.dist_best * self.shrink)
     }
 
     fn offer(&mut self, group: Vec<Entry>, score: f64, window: Rect, stats: &mut SearchStats) {

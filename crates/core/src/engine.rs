@@ -33,23 +33,16 @@
 //! assert_eq!(results.len(), queries.len());
 //! ```
 
+use crate::anytime::{AnytimeKnwc, AnytimeNwc, Approx};
 use crate::index::NwcIndex;
 use crate::knwc::KnwcResult;
 use crate::query::{KnwcQuery, NwcQuery, QueryError};
 use crate::result::{NwcResult, SearchStats};
 use crate::scheme::Scheme;
 use crate::scratch::QueryScratch;
-use nwc_rtree::{CancelKind, CancelToken};
+use nwc_rtree::{Budget, CancelToken};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
-
-/// Maps a fired token to the per-query error a batch slot reports.
-fn cancel_error(kind: CancelKind) -> QueryError {
-    match kind {
-        CancelKind::Deadline => QueryError::Deadline,
-        CancelKind::Stopped => QueryError::Cancelled,
-    }
-}
 
 /// Answers batches of NWC/kNWC queries over one shared index with a
 /// pool of scoped worker threads. See the module docs.
@@ -138,38 +131,64 @@ impl<'i> QueryEngine<'i> {
     }
 
     /// As [`QueryEngine::try_nwc_batch`], additionally observing a
-    /// cooperative [`CancelToken`]. Once the token fires, in-flight
-    /// queries stop at their next cancellation point and every
-    /// not-yet-started query is skipped outright, so a shed or
-    /// disconnected request stops consuming worker time mid-batch.
-    /// Affected slots hold [`QueryError::Deadline`] /
-    /// [`QueryError::Cancelled`]; slots finished before the token fired
-    /// keep their answers. The workers and the index stay fully usable.
+    /// cooperative [`CancelToken`]. Once the token fires, each query —
+    /// in-flight or not yet started — stops at its next cancellation
+    /// point and reports its own typed [`AnytimeNwc`] partial: the
+    /// best-so-far answer it had at that moment with an individually
+    /// valid `error_bound`, rather than one blanket error for the whole
+    /// batch. Slots finished before the token fired are complete
+    /// (`exhausted == None`) and bit-identical to
+    /// [`QueryEngine::try_nwc_batch`]; `Err` slots are reserved for
+    /// disk failures. The workers and the index stay fully usable.
     pub fn try_nwc_batch_cancel(
         &self,
         queries: &[NwcQuery],
         scheme: Scheme,
         cancel: &CancelToken,
-    ) -> Vec<Result<(Option<NwcResult>, SearchStats), QueryError>> {
+    ) -> Vec<Result<AnytimeNwc, QueryError>> {
+        self.try_nwc_batch_budget(queries, scheme, &Budget::from(cancel.clone()), Approx::exact())
+    }
+
+    /// As [`QueryEngine::try_nwc_batch_cancel`] with the full anytime
+    /// contract: each query runs under `budget` (the wall-clock
+    /// deadline and stop flag are shared; an I/O allowance applies to
+    /// each query separately) in `(1+ε)` mode `approx`, and every slot
+    /// reports its own [`AnytimeNwc`] with a per-query quality bound.
+    pub fn try_nwc_batch_budget(
+        &self,
+        queries: &[NwcQuery],
+        scheme: Scheme,
+        budget: &Budget,
+        approx: Approx,
+    ) -> Vec<Result<AnytimeNwc, QueryError>> {
         let index = self.index;
-        self.run_batch(queries, move |q, scratch| match cancel.cancelled() {
-            Some(kind) => Err(cancel_error(kind)),
-            None => index.try_nwc_full_cancel(q, scheme, scratch, cancel),
+        self.run_batch(queries, move |q, scratch| {
+            index.try_nwc_anytime_with(q, scheme, scratch, budget, approx)
         })
     }
 
-    /// As [`QueryEngine::try_knwc_batch`] with the cancellation contract
-    /// of [`QueryEngine::try_nwc_batch_cancel`].
+    /// As [`QueryEngine::try_knwc_batch`] with the per-query partial
+    /// contract of [`QueryEngine::try_nwc_batch_cancel`].
     pub fn try_knwc_batch_cancel(
         &self,
         queries: &[KnwcQuery],
         scheme: Scheme,
         cancel: &CancelToken,
-    ) -> Vec<Result<KnwcResult, QueryError>> {
+    ) -> Vec<Result<AnytimeKnwc, QueryError>> {
+        self.try_knwc_batch_budget(queries, scheme, &Budget::from(cancel.clone()), Approx::exact())
+    }
+
+    /// As [`QueryEngine::try_nwc_batch_budget`] for kNWC queries.
+    pub fn try_knwc_batch_budget(
+        &self,
+        queries: &[KnwcQuery],
+        scheme: Scheme,
+        budget: &Budget,
+        approx: Approx,
+    ) -> Vec<Result<AnytimeKnwc, QueryError>> {
         let index = self.index;
-        self.run_batch(queries, move |q, scratch| match cancel.cancelled() {
-            Some(kind) => Err(cancel_error(kind)),
-            None => index.try_knwc_cancel(q, scheme, scratch, cancel),
+        self.run_batch(queries, move |q, scratch| {
+            index.try_knwc_anytime_with(q, scheme, scratch, budget, approx)
         })
     }
 

@@ -128,6 +128,73 @@ impl NwcIndex {
         self.try_knwc_impl(query, scheme, true, scratch, cancel)
     }
 
+    /// Anytime `kNWC`: runs until `budget` expires and returns the
+    /// groups found so far with a proven quality bound (see
+    /// [`AnytimeKnwc`](crate::AnytimeKnwc)) instead of erroring. With
+    /// [`Approx::exact`](crate::Approx::exact) and
+    /// [`Budget::none`](nwc_rtree::Budget::none) the groups and logical
+    /// I/O are bit-identical to [`NwcIndex::try_knwc`].
+    pub fn try_knwc_anytime(
+        &self,
+        query: &KnwcQuery,
+        scheme: crate::Scheme,
+        budget: &nwc_rtree::Budget,
+        approx: crate::Approx,
+    ) -> Result<crate::AnytimeKnwc, crate::QueryError> {
+        self.try_knwc_anytime_with(query, scheme, &mut QueryScratch::default(), budget, approx)
+    }
+
+    /// As [`NwcIndex::try_knwc_anytime`] with scratch reuse.
+    pub fn try_knwc_anytime_with(
+        &self,
+        query: &KnwcQuery,
+        scheme: crate::Scheme,
+        scratch: &mut QueryScratch,
+        budget: &nwc_rtree::Budget,
+        approx: crate::Approx,
+    ) -> Result<crate::AnytimeKnwc, crate::QueryError> {
+        let started = std::time::Instant::now();
+        let io = self.tree().stats();
+        let io0 = io.snapshot();
+        let mut sink = GroupsSink {
+            core: GroupsCore::approx(query.k, query.m, true, approx.shrink()),
+            idbuf: std::mem::take(&mut scratch.ids),
+        };
+        let searched =
+            self.try_run_search_budget(&query.base, scheme, &mut sink, scratch, budget);
+        sink.idbuf.clear();
+        scratch.ids = std::mem::take(&mut sink.idbuf);
+        let (stats, end) = searched?;
+        let spent = crate::BudgetSpent {
+            elapsed_us: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            io: io.since(io0),
+        };
+        let groups = sink.core.groups();
+        // The bound brackets the k-th selected score; with fewer than k
+        // groups it is infinite unless the search completed (in which
+        // case no k-th group exists at all and the gap is zero).
+        let kth = if groups.len() == query.k {
+            groups.last().map_or(f64::INFINITY, |g| g.distance)
+        } else {
+            f64::INFINITY
+        };
+        let (frontier_key, exhausted) = match end {
+            crate::algo::SearchEnd::Complete => (f64::INFINITY, None),
+            crate::algo::SearchEnd::Exhausted { kind, frontier } => (frontier, Some(kind)),
+        };
+        let slack = crate::anytime::frontier_slack(query.base.measure, &query.base.spec);
+        let frontier = crate::anytime::frontier_lower_bound(frontier_key, slack);
+        let lower_bound = crate::anytime::combine_lower_bound(kth, approx.shrink(), frontier);
+        let error_bound = crate::anytime::gap(kth, lower_bound);
+        Ok(crate::AnytimeKnwc {
+            result: KnwcResult { groups, stats },
+            lower_bound,
+            error_bound,
+            spent,
+            exhausted,
+        })
+    }
+
     /// As [`NwcIndex::knwc`] but with distance pruning disabled: every
     /// qualified window is considered, so the answer is exactly the
     /// greedy Definition-3 selection (matching
@@ -234,6 +301,11 @@ pub(crate) struct GroupsCore {
     pub(crate) k: usize,
     pub(crate) m: usize,
     pub(crate) prune: bool,
+    /// Pruning-threshold factor `1/(1+ε)`; `1.0` = exact. Only the
+    /// §3.4 threshold shrinks — acceptance into the buffer stays exact,
+    /// so the selection is the true greedy answer over everything the
+    /// (relaxed) traversal actually offered.
+    pub(crate) shrink: f64,
     /// All distinct offered groups, ascending by (score, ids).
     pub(crate) buffer: Vec<StoredGroup>,
     /// Indices into `buffer` forming the current greedy selection.
@@ -242,10 +314,15 @@ pub(crate) struct GroupsCore {
 
 impl GroupsCore {
     pub(crate) fn new(k: usize, m: usize, prune: bool) -> Self {
+        GroupsCore::approx(k, m, prune, 1.0)
+    }
+
+    pub(crate) fn approx(k: usize, m: usize, prune: bool, shrink: f64) -> Self {
         GroupsCore {
             k,
             m,
             prune,
+            shrink,
             buffer: Vec::new(),
             selected: Vec::new(),
         }
@@ -280,7 +357,8 @@ impl GroupsCore {
             return f64::INFINITY;
         }
         if self.selected.len() == self.k {
-            crate::algo::tie_inclusive(self.buffer[*self.selected.last().unwrap()].score)
+            let kth = self.buffer[*self.selected.last().unwrap()].score;
+            crate::algo::tie_inclusive(kth * self.shrink)
         } else {
             f64::INFINITY
         }

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod algo;
+mod anytime;
 mod candidates;
 mod constrained;
 pub mod engine;
@@ -63,6 +64,7 @@ mod scratch;
 pub mod shard;
 pub mod weighted;
 
+pub use anytime::{frontier_slack, AnytimeKnwc, AnytimeNwc, Approx, BudgetSpent};
 pub use engine::QueryEngine;
 pub use index::{DiskIndexConfig, IndexConfig, IndexOpenError, IndexUpdateError, NwcIndex};
 pub use ingest::{IngestConfig, StreamingIngestor};
@@ -74,13 +76,13 @@ pub use result::{NwcResult, SearchStats};
 pub use scheme::Scheme;
 pub use scratch::QueryScratch;
 pub use shard::{
-    ShardAssemblyError, ShardScatterError, ShardedKnwcAnswer, ShardedNwcAnswer, ShardedNwcIndex,
-    ShardedStoreError,
+    ShardAssemblyError, ShardScatterError, ShardedAnytimeKnwc, ShardedAnytimeNwc,
+    ShardedKnwcAnswer, ShardedNwcAnswer, ShardedNwcIndex, ShardedStoreError,
 };
 
 // Re-export the vocabulary types callers need to use the API.
 pub use nwc_geom::{window::WindowSpec, Point, Rect};
 pub use nwc_rtree::{
-    CancelFlag, CancelKind, CancelToken, DiskError, DiskReadError, Entry, ObjectId, PageLayout,
-    PageStore, RetryPolicy,
+    Budget, CancelFlag, CancelKind, CancelToken, DiskError, DiskReadError, Entry, ObjectId,
+    PageLayout, PageStore, RetryPolicy,
 };

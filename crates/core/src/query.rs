@@ -36,6 +36,10 @@ pub enum QueryError {
     /// shed mid-batch, server drain). Same guarantees as
     /// [`QueryError::Deadline`].
     Cancelled,
+    /// An approximation factor `ε` was NaN, infinite, or negative
+    /// (rejected by [`Approx::new`](crate::Approx::new) and by the wire
+    /// protocol at decode time).
+    InvalidEpsilon,
 }
 
 impl fmt::Display for QueryError {
@@ -49,6 +53,9 @@ impl fmt::Display for QueryError {
             QueryError::Io(e) => write!(f, "disk read failed during search: {e}"),
             QueryError::Deadline => write!(f, "query deadline exceeded during search"),
             QueryError::Cancelled => write!(f, "query cancelled by caller"),
+            QueryError::InvalidEpsilon => {
+                write!(f, "approximation factor must be finite and non-negative")
+            }
         }
     }
 }
@@ -64,6 +71,13 @@ impl From<nwc_rtree::TreeError> for QueryError {
             }
             nwc_rtree::TreeError::Cancelled(nwc_rtree::CancelKind::Stopped) => {
                 QueryError::Cancelled
+            }
+            // The anytime paths intercept I/O-budget trips before they
+            // become errors; this arm only fires when a legacy `try_*`
+            // API is handed a Budget-derived token, where "budget spent"
+            // is closest to a spent deadline.
+            nwc_rtree::TreeError::Cancelled(nwc_rtree::CancelKind::IoBudget) => {
+                QueryError::Deadline
             }
             // The search path never mutates; a ReadOnly refusal cannot
             // reach a query. Map it to its page-less Io shape rather

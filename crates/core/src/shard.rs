@@ -68,7 +68,8 @@
 //! instead of panicking — the K = 1 delegation path keeps the
 //! single-tree panic semantics.
 
-use crate::algo::{canonical_less, tie_inclusive, BestSink};
+use crate::algo::{budget_error, canonical_less, tie_inclusive, BestSink, SearchEnd};
+use crate::anytime::{AnytimeKnwc, AnytimeNwc, Approx, BudgetSpent};
 use crate::candidates::{scan_candidates, GroupSink};
 use crate::engine::scatter_map;
 use crate::index::{grid_bounds, DiskIndexConfig, IndexConfig, IndexOpenError, IndexUpdateError};
@@ -83,7 +84,9 @@ use nwc_geom::window::{
 };
 use nwc_geom::{Point, Quadrant, Rect};
 use nwc_grid::DensityGrid;
-use nwc_rtree::{str_partition, BrowseItem, CancelKind, CancelToken, DiskError, Entry, ObjectId};
+use nwc_rtree::{
+    str_partition, BrowseItem, Budget, CancelKind, CancelToken, DiskError, Entry, ObjectId,
+};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -130,6 +133,51 @@ pub struct ShardedKnwcAnswer {
     pub result: KnwcResult,
     /// Per-shard counters, indexed by shard.
     pub per_shard: Vec<SearchStats>,
+}
+
+/// Per-shard detail of one *anytime* scatter-gather NWC search: the
+/// merged best-so-far answer with its combined quality bound, plus
+/// which shards could not finish. A degraded shard never fails the
+/// query — its unexplored territory is folded into
+/// [`AnytimeNwc::lower_bound`] instead.
+#[derive(Clone, Debug)]
+pub struct ShardedAnytimeNwc {
+    /// The merged answer, bound, and aggregate spend.
+    pub anytime: AnytimeNwc,
+    /// Per-shard counters, indexed by shard (zeroed for a shard that
+    /// failed before reporting).
+    pub per_shard: Vec<SearchStats>,
+    /// `(shard, error)` for every shard whose search failed outright;
+    /// each contributes the `MINDIST` from the query point to its
+    /// bounds (minus the window slack) to the merged lower bound.
+    pub degraded: Vec<(usize, QueryError)>,
+}
+
+impl ShardedAnytimeNwc {
+    /// Whether every shard ran its frontier dry: the answer is exact
+    /// for `ε = 0`, `(1+ε)`-approximate otherwise.
+    pub fn is_complete(&self) -> bool {
+        self.anytime.is_complete() && self.degraded.is_empty()
+    }
+}
+
+/// Per-shard detail of one anytime scatter-gather kNWC search (the
+/// kNWC counterpart of [`ShardedAnytimeNwc`]).
+#[derive(Clone, Debug)]
+pub struct ShardedAnytimeKnwc {
+    /// The merged groups, bound, and aggregate spend.
+    pub anytime: AnytimeKnwc,
+    /// Per-shard counters, indexed by shard.
+    pub per_shard: Vec<SearchStats>,
+    /// `(shard, error)` for every shard whose search failed outright.
+    pub degraded: Vec<(usize, QueryError)>,
+}
+
+impl ShardedAnytimeKnwc {
+    /// Whether every shard ran its frontier dry.
+    pub fn is_complete(&self) -> bool {
+        self.anytime.is_complete() && self.degraded.is_empty()
+    }
 }
 
 /// One or more shards failed mid-scatter. The gather still completes:
@@ -554,33 +602,21 @@ impl ShardedNwcIndex {
         // order identically to their bit patterns, so fetch_min on the
         // bits IS min on the scores.
         let bound = AtomicU64::new(f64::INFINITY.to_bits());
-        let outcome = self.scatter(query, scheme, cancel, || SharedBestSink {
-            bound: &bound,
-            local: BestSink::new(),
-        })?;
+        let outcome = gather_strict(self.scatter(
+            query,
+            scheme,
+            &Budget::from(cancel.clone()),
+            || SharedBestSink {
+                bound: &bound,
+                shrink: 1.0,
+                local: BestSink::new(),
+            },
+        ))?;
         // Deterministic merge: min score, ties by canonical
         // (sorted ids, window) — independent of shard order.
         let mut best: Option<(f64, Vec<u32>, Vec<Entry>, Rect)> = None;
         for (_, _, sink) in &outcome {
-            let local = &sink.local;
-            if let Some((group, window)) = &local.best {
-                let take = match &best {
-                    None => true,
-                    Some((score, ids, _, win)) => {
-                        local.dist_best < *score
-                            || (local.dist_best == *score
-                                && canonical_less(&local.best_ids, window, ids, win))
-                    }
-                };
-                if take {
-                    best = Some((
-                        local.dist_best,
-                        local.best_ids.clone(),
-                        group.clone(),
-                        *window,
-                    ));
-                }
-            }
+            merge_best(&mut best, &sink.local);
         }
         let mut per_shard = vec![SearchStats::default(); self.shards.len()];
         let mut stats = SearchStats::default();
@@ -599,6 +635,223 @@ impl ShardedNwcIndex {
             stats,
             per_shard,
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Anytime / approximate queries.
+    // ------------------------------------------------------------------
+
+    /// Anytime scatter-gather `NWC`: every shard contributes what it
+    /// found within `budget`, and a shard that ran out of budget — or
+    /// failed outright — **degrades the merged answer's bound instead
+    /// of failing the query**.
+    ///
+    /// Bound merge: a budget-exhausted shard contributes its
+    /// slack-adjusted best-first frontier key; a failed shard
+    /// contributes the `MINDIST` from the query point to its bounds
+    /// minus the window slack (every group it could still hide is
+    /// anchored at least that far away); a completed shard contributes
+    /// nothing (`+inf`). The merged lower bound is the minimum of those
+    /// contributions and the `(1+ε)` certificate `best/(1+ε)`, which is
+    /// sound because every group's anchor object lives in exactly one
+    /// shard and that shard's search covers it. Groups found by a shard
+    /// that later tripped or failed still merge into the answer — they
+    /// are real groups regardless of how their shard ended.
+    ///
+    /// Only the K = 1 delegation path can return `Err` (a lone failing
+    /// shard leaves nothing to degrade toward). With [`Approx::exact`]
+    /// and [`Budget::none`] the merged answer is identical to
+    /// [`ShardedNwcIndex::try_nwc_scatter`].
+    pub fn try_nwc_anytime(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+        budget: &Budget,
+        approx: Approx,
+    ) -> Result<ShardedAnytimeNwc, QueryError> {
+        if let [single] = self.shards.as_slice() {
+            let anytime = single.try_nwc_anytime_with(
+                query,
+                scheme,
+                &mut QueryScratch::new(),
+                budget,
+                approx,
+            )?;
+            let per_shard = vec![anytime.stats];
+            return Ok(ShardedAnytimeNwc {
+                anytime,
+                per_shard,
+                degraded: Vec::new(),
+            });
+        }
+        let started = std::time::Instant::now();
+        let shrink = approx.shrink();
+        let bound = AtomicU64::new(f64::INFINITY.to_bits());
+        let outcomes = self.scatter(query, scheme, budget, || SharedBestSink {
+            bound: &bound,
+            shrink,
+            local: BestSink::approx(shrink),
+        });
+        let slack = crate::anytime::frontier_slack(query.measure, &query.spec);
+        let mut per_shard = vec![SearchStats::default(); self.shards.len()];
+        let mut stats = SearchStats::default();
+        let mut frontier = f64::INFINITY;
+        let mut exhausted: Option<CancelKind> = None;
+        let mut degraded = Vec::new();
+        let mut best: Option<(f64, Vec<u32>, Vec<Entry>, Rect)> = None;
+        for o in outcomes {
+            merge_best(&mut best, &o.sink.local);
+            match o.result {
+                Ok((s, end)) => {
+                    if let Some(slot) = per_shard.get_mut(o.shard) {
+                        *slot = s;
+                    }
+                    stats.accumulate(&s);
+                    if let SearchEnd::Exhausted {
+                        kind,
+                        frontier: key,
+                    } = end
+                    {
+                        exhausted = prefer_kind(exhausted, kind);
+                        frontier =
+                            frontier.min(crate::anytime::frontier_lower_bound(key, slack));
+                    }
+                }
+                Err(e) => {
+                    frontier = frontier.min(self.shard_fallback_bound(o.shard, query, slack));
+                    degraded.push((o.shard, e));
+                }
+            }
+        }
+        let dist_best = best.as_ref().map_or(f64::INFINITY, |(d, ..)| *d);
+        let lower_bound = crate::anytime::combine_lower_bound(dist_best, shrink, frontier);
+        let error_bound = crate::anytime::gap(dist_best, lower_bound);
+        let spent = BudgetSpent {
+            elapsed_us: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            io: stats.io_total,
+        };
+        let answer = best.map(|(distance, _, objects, window)| NwcResult {
+            objects,
+            distance,
+            window,
+            stats,
+        });
+        Ok(ShardedAnytimeNwc {
+            anytime: AnytimeNwc {
+                answer,
+                stats,
+                lower_bound,
+                error_bound,
+                spent,
+                exhausted,
+            },
+            per_shard,
+            degraded,
+        })
+    }
+
+    /// Anytime scatter-gather `kNWC` (the kNWC counterpart of
+    /// [`ShardedNwcIndex::try_nwc_anytime`], pruned semantics as
+    /// [`ShardedNwcIndex::try_knwc`]).
+    pub fn try_knwc_anytime(
+        &self,
+        query: &KnwcQuery,
+        scheme: Scheme,
+        budget: &Budget,
+        approx: Approx,
+    ) -> Result<ShardedAnytimeKnwc, QueryError> {
+        if let [single] = self.shards.as_slice() {
+            let anytime = single.try_knwc_anytime_with(
+                query,
+                scheme,
+                &mut QueryScratch::new(),
+                budget,
+                approx,
+            )?;
+            let per_shard = vec![anytime.result.stats];
+            return Ok(ShardedAnytimeKnwc {
+                anytime,
+                per_shard,
+                degraded: Vec::new(),
+            });
+        }
+        let started = std::time::Instant::now();
+        let shrink = approx.shrink();
+        let core = Mutex::new(GroupsCore::approx(query.k, query.m, true, shrink));
+        let cached = AtomicU64::new(f64::INFINITY.to_bits());
+        let outcomes = self.scatter(&query.base, scheme, budget, || SharedGroupsSink {
+            core: &core,
+            cached: &cached,
+            idbuf: Vec::new(),
+        });
+        let slack = crate::anytime::frontier_slack(query.base.measure, &query.base.spec);
+        let mut per_shard = vec![SearchStats::default(); self.shards.len()];
+        let mut stats = SearchStats::default();
+        let mut frontier = f64::INFINITY;
+        let mut exhausted: Option<CancelKind> = None;
+        let mut degraded = Vec::new();
+        for o in outcomes {
+            match o.result {
+                Ok((s, end)) => {
+                    if let Some(slot) = per_shard.get_mut(o.shard) {
+                        *slot = s;
+                    }
+                    stats.accumulate(&s);
+                    if let SearchEnd::Exhausted {
+                        kind,
+                        frontier: key,
+                    } = end
+                    {
+                        exhausted = prefer_kind(exhausted, kind);
+                        frontier =
+                            frontier.min(crate::anytime::frontier_lower_bound(key, slack));
+                    }
+                }
+                Err(e) => {
+                    frontier =
+                        frontier.min(self.shard_fallback_bound(o.shard, &query.base, slack));
+                    degraded.push((o.shard, e));
+                }
+            }
+        }
+        let core = match core.into_inner() {
+            Ok(c) => c,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let groups = core.groups();
+        let kth = if groups.len() == query.k {
+            groups.last().map_or(f64::INFINITY, |g| g.distance)
+        } else {
+            f64::INFINITY
+        };
+        let lower_bound = crate::anytime::combine_lower_bound(kth, shrink, frontier);
+        let error_bound = crate::anytime::gap(kth, lower_bound);
+        let spent = BudgetSpent {
+            elapsed_us: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            io: stats.io_total,
+        };
+        Ok(ShardedAnytimeKnwc {
+            anytime: AnytimeKnwc {
+                result: KnwcResult { groups, stats },
+                lower_bound,
+                error_bound,
+                spent,
+                exhausted,
+            },
+            per_shard,
+            degraded,
+        })
+    }
+
+    /// The bound contribution of a shard that failed before reporting a
+    /// frontier: every group it could still hide is anchored inside its
+    /// bounds, hence scores at least `MINDIST(q, bounds) - slack`.
+    /// Falls back to `0` (the vacuous bound) for an out-of-range shard
+    /// index — this module never panics.
+    fn shard_fallback_bound(&self, shard: usize, query: &NwcQuery, slack: f64) -> f64 {
+        self.shards
+            .get(shard)
+            .map_or(0.0, |s| (s.bounds().mindist(&query.q) - slack).max(0.0))
     }
 
     // ------------------------------------------------------------------
@@ -681,11 +934,16 @@ impl ShardedNwcIndex {
         }
         let core = Mutex::new(GroupsCore::new(query.k, query.m, prune));
         let cached = AtomicU64::new(f64::INFINITY.to_bits());
-        let outcome = self.scatter(&query.base, scheme, cancel, || SharedGroupsSink {
-            core: &core,
-            cached: &cached,
-            idbuf: Vec::new(),
-        })?;
+        let outcome = gather_strict(self.scatter(
+            &query.base,
+            scheme,
+            &Budget::from(cancel.clone()),
+            || SharedGroupsSink {
+                core: &core,
+                cached: &cached,
+                idbuf: Vec::new(),
+            },
+        ))?;
         let mut per_shard = vec![SearchStats::default(); self.shards.len()];
         let mut stats = SearchStats::default();
         for (shard, s, _) in &outcome {
@@ -711,16 +969,17 @@ impl ShardedNwcIndex {
 
     /// Runs one per-shard search per shard through the engine's scoped
     /// worker pool ([`scatter_map`]: atomic-cursor distribution, one
-    /// warm [`QueryScratch`] per worker). A shard that fails does not
-    /// abort the others — the gather completes and reports partial
-    /// typed errors.
+    /// warm [`QueryScratch`] per worker). Nothing aborts the gather:
+    /// every shard reports its own outcome — complete, budget-exhausted
+    /// at a frontier key, or failed — with its sink (whose partial
+    /// contents stay usable either way).
     fn scatter<'b, S, MkS>(
         &self,
         query: &NwcQuery,
         scheme: Scheme,
-        cancel: &CancelToken,
+        budget: &Budget,
         mk_sink: MkS,
-    ) -> Result<Vec<(usize, SearchStats, S)>, ShardScatterError>
+    ) -> Vec<ShardOutcome<S>>
     where
         S: GroupSink + Send,
         MkS: Fn() -> S + Sync,
@@ -739,37 +998,25 @@ impl ShardedNwcIndex {
         // near-final `dist_best`, so farther shards browse under a
         // tight shared bound and SRR/DIP/DEP prune nearly everything.
         // Pure scheduling — the gather merge is canonical, so the
-        // answer does not depend on this order.
+        // answer does not depend on this order. (Under a budget this
+        // also spends the allowance nearest-first, where the answer
+        // most likely lives.)
         let mindist: Vec<f64> = shards
             .iter()
             .map(|s| s.bounds().mindist2(&query.q))
             .collect();
         let mut order: Vec<usize> = (0..shards.len()).collect();
         order.sort_by(|&a, &b| mindist[a].total_cmp(&mindist[b]).then(a.cmp(&b)));
-        let slots = scatter_map(self.threads, shards.len(), |j, scratch| {
+        scatter_map(self.threads, shards.len(), |j, scratch| {
             let i = order[j];
             let mut sink = mk_sink();
-            match shard_search(i, shards, grid, query, scheme, &mut sink, scratch, cancel) {
-                Ok(stats) => Ok((i, stats, sink)),
-                Err(e) => Err((i, e)),
+            let result = shard_search(i, shards, grid, query, scheme, &mut sink, scratch, budget);
+            ShardOutcome {
+                shard: i,
+                result,
+                sink,
             }
-        });
-        let mut completed = Vec::with_capacity(slots.len());
-        let mut failures = Vec::new();
-        for slot in slots {
-            match slot {
-                Ok(ok) => completed.push(ok),
-                Err(err) => failures.push(err),
-            }
-        }
-        if failures.is_empty() {
-            Ok(completed)
-        } else {
-            Err(ShardScatterError {
-                failures,
-                completed: completed.into_iter().map(|(i, s, _)| (i, s)).collect(),
-            })
-        }
+        })
     }
 
     // ------------------------------------------------------------------
@@ -1065,11 +1312,18 @@ fn read_manifest(dir: &Path) -> Result<Vec<PathBuf>, ShardedStoreError> {
 /// scheme asks and the shard has it). Mirrors the single-tree loop of
 /// [`crate::algo`], with the sink carrying the cross-shard bound.
 ///
+/// An expired [`Budget`] is not an error: the search stops and reports
+/// [`SearchEnd::Exhausted`] with its best-first frontier key, exactly
+/// like [`NwcIndex::try_run_search_budget`]. Only disk failures return
+/// `Err`.
+///
 /// I/O attribution relies on the tree I/O counters being *per thread*,
 /// not per tree: the `snapshot()`/`since()` window around the union
 /// query charges this shard's [`SearchStats`] for the accesses it
 /// caused on other shards' trees too, so the per-shard counters sum to
-/// the scatter's exact total.
+/// the scatter's exact total. The same property makes an I/O allowance
+/// a *per-worker* budget under K > 1 — each scatter worker meters the
+/// accesses of the shard searches it runs.
 #[allow(clippy::too_many_arguments)]
 fn shard_search<S: GroupSink>(
     owner: usize,
@@ -1079,16 +1333,18 @@ fn shard_search<S: GroupSink>(
     scheme: Scheme,
     sink: &mut S,
     scratch: &mut QueryScratch,
-    cancel: &CancelToken,
-) -> Result<SearchStats, QueryError> {
+    budget: &Budget,
+) -> Result<(SearchStats, SearchEnd), QueryError> {
     let Some(own) = shards.get(owner) else {
-        return Ok(SearchStats::default()); // unreachable: scatter indexes 0..len
+        // Unreachable: scatter indexes 0..len.
+        return Ok((SearchStats::default(), SearchEnd::Complete));
     };
     let tree = own.tree();
     let io = tree.stats();
     let mut stats = SearchStats::default();
     let hits0 = io.hits_snapshot();
     let errors0 = io.error_snapshot();
+    let budget_base = io.snapshot();
     let q = query.q;
     let spec = query.spec;
     let n = query.n;
@@ -1098,11 +1354,15 @@ fn shard_search<S: GroupSink>(
     let iwp = if scheme.needs_iwp() { own.iwp() } else { None };
 
     let mut browser = tree.browse_with(q, &mut scratch.browser);
-    if cancel.is_armed() {
-        browser.set_cancel(cancel.clone());
+    if budget.is_armed() {
+        browser.set_budget(budget.clone());
     }
     let neighbors = &mut scratch.neighbors;
-    while let Some(item) = browser.next() {
+    let mut end = SearchEnd::Complete;
+    'search: while let Some(item) = browser.next() {
+        // Best-first key of the item in hand: the frontier position a
+        // budget trip hands to the anytime bound arithmetic.
+        let key = item.key();
         match item {
             BrowseItem::Node { id, mbr, .. } => {
                 if scheme.dip && node_window_lower_bound(&q, &mbr, &spec) > sink.threshold() {
@@ -1116,7 +1376,18 @@ fn shard_search<S: GroupSink>(
                     }
                 }
                 let snap = io.snapshot();
-                browser.try_expand(id)?;
+                match browser.try_expand(id) {
+                    Ok(()) => {}
+                    Err(nwc_rtree::TreeError::Cancelled(kind)) => {
+                        end = SearchEnd::Exhausted {
+                            kind,
+                            frontier: key,
+                        };
+                        stats.io_traversal += io.since(snap);
+                        break 'search;
+                    }
+                    Err(other) => return Err(other.into()),
+                }
                 stats.io_traversal += io.since(snap);
             }
             BrowseItem::Object { entry, leaf, .. } => {
@@ -1137,11 +1408,12 @@ fn shard_search<S: GroupSink>(
                         continue;
                     }
                 }
-                if let Some(kind) = cancel.cancelled() {
-                    return Err(match kind {
-                        CancelKind::Deadline => QueryError::Deadline,
-                        CancelKind::Stopped => QueryError::Cancelled,
-                    });
+                if let Some(kind) = budget.exceeded(|| io.since(budget_base)) {
+                    end = SearchEnd::Exhausted {
+                        kind,
+                        frontier: key,
+                    };
+                    break 'search;
                 }
                 stats.window_queries += 1;
                 neighbors.clear();
@@ -1190,7 +1462,87 @@ fn shard_search<S: GroupSink>(
     let errors = io.errors_since(errors0);
     stats.retries = errors.retries;
     stats.transient_errors = errors.transient_errors;
-    Ok(stats)
+    Ok((stats, end))
+}
+
+// ----------------------------------------------------------------------
+// Scatter outcomes and gather helpers.
+// ----------------------------------------------------------------------
+
+/// What one shard's search produced: its end state (or failure) plus
+/// its sink, whose partial contents stay usable either way.
+struct ShardOutcome<S> {
+    shard: usize,
+    result: Result<(SearchStats, SearchEnd), QueryError>,
+    sink: S,
+}
+
+/// The legacy all-or-nothing gather: budget trips are failures (mapped
+/// by [`budget_error`]) exactly as the pre-anytime scatter promised,
+/// and any failure fails the whole scatter with per-shard detail.
+fn gather_strict<S>(
+    outcomes: Vec<ShardOutcome<S>>,
+) -> Result<Vec<(usize, SearchStats, S)>, ShardScatterError> {
+    let mut completed = Vec::with_capacity(outcomes.len());
+    let mut failures = Vec::new();
+    for o in outcomes {
+        match o.result {
+            Ok((stats, SearchEnd::Complete)) => completed.push((o.shard, stats, o.sink)),
+            Ok((_, SearchEnd::Exhausted { kind, .. })) => {
+                failures.push((o.shard, budget_error(kind)))
+            }
+            Err(e) => failures.push((o.shard, e)),
+        }
+    }
+    if failures.is_empty() {
+        Ok(completed)
+    } else {
+        Err(ShardScatterError {
+            failures,
+            completed: completed.into_iter().map(|(i, s, _)| (i, s)).collect(),
+        })
+    }
+}
+
+/// Folds one shard's local best into the running canonical merge: min
+/// score, ties broken by (sorted ids, window) — independent of shard
+/// order.
+fn merge_best(best: &mut Option<(f64, Vec<u32>, Vec<Entry>, Rect)>, local: &BestSink) {
+    if let Some((group, window)) = &local.best {
+        let take = match best {
+            None => true,
+            Some((score, ids, _, win)) => {
+                local.dist_best < *score
+                    || (local.dist_best == *score
+                        && canonical_less(&local.best_ids, window, ids, win))
+            }
+        };
+        if take {
+            *best = Some((
+                local.dist_best,
+                local.best_ids.clone(),
+                group.clone(),
+                *window,
+            ));
+        }
+    }
+}
+
+/// Merge priority for budget-trip kinds across shards: an external stop
+/// outranks a deadline, which outranks an I/O allowance (the same
+/// ranking [`ShardScatterError`]'s `QueryError` collapse uses).
+fn prefer_kind(current: Option<CancelKind>, new: CancelKind) -> Option<CancelKind> {
+    fn rank(k: CancelKind) -> u8 {
+        match k {
+            CancelKind::Stopped => 2,
+            CancelKind::Deadline => 1,
+            CancelKind::IoBudget => 0,
+        }
+    }
+    match current {
+        Some(cur) if rank(cur) >= rank(new) => Some(cur),
+        _ => Some(new),
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -1201,15 +1553,19 @@ fn shard_search<S: GroupSink>(
 /// score into the shared CAS-min *before* local bookkeeping (so sibling
 /// shards prune on it at their very next threshold read), while the
 /// canonical-tie-break local best supplies this shard's contribution to
-/// the gather merge.
+/// the gather merge. `shrink` applies the `(1+ε)` certificate to the
+/// shared pruning threshold (`1.0` in exact mode — the bitwise
+/// identity); offers always publish the *raw* score, so the merged
+/// answer is the true best of everything any shard saw.
 struct SharedBestSink<'a> {
     bound: &'a AtomicU64,
+    shrink: f64,
     local: BestSink,
 }
 
 impl GroupSink for SharedBestSink<'_> {
     fn threshold(&self) -> f64 {
-        tie_inclusive(f64::from_bits(self.bound.load(Ordering::Acquire)))
+        tie_inclusive(f64::from_bits(self.bound.load(Ordering::Acquire)) * self.shrink)
     }
 
     fn offer(&mut self, group: Vec<Entry>, score: f64, window: Rect, stats: &mut SearchStats) {

@@ -122,9 +122,13 @@ pub struct Browser<'t> {
     tree: &'t RStarTree,
     query: Point,
     heap: BinaryHeap<HeapItem>,
-    /// Cooperative cancellation, checked at every [`Browser::try_expand`]
-    /// (the traversal's I/O boundary). Unarmed by default.
-    cancel: crate::CancelToken,
+    /// Cooperative budget (deadline / stop flag / logical-I/O
+    /// allowance), checked at every [`Browser::try_expand`] (the
+    /// traversal's I/O boundary). Unarmed by default.
+    budget: crate::Budget,
+    /// The calling thread's access tally when the budget was armed; the
+    /// I/O allowance is measured as accesses since this point.
+    io_base: u64,
 }
 
 impl<'t> Browser<'t> {
@@ -160,7 +164,8 @@ impl<'t> Browser<'t> {
             tree,
             query,
             heap,
-            cancel: crate::CancelToken::none(),
+            budget: crate::Budget::none(),
+            io_base: 0,
         }
     }
 
@@ -170,7 +175,17 @@ impl<'t> Browser<'t> {
     /// and the frontier intact — once it fires. See
     /// [`CancelToken`](crate::CancelToken).
     pub fn set_cancel(&mut self, token: crate::CancelToken) {
-        self.cancel = token;
+        self.set_budget(crate::Budget::from(token));
+    }
+
+    /// Arms a cooperative [`Budget`](crate::Budget): deadline, stop
+    /// flag, and/or logical-I/O allowance. The allowance is measured
+    /// from this call (the calling thread's access tally), so arm the
+    /// budget on the thread that runs the traversal, before it starts
+    /// charging I/O.
+    pub fn set_budget(&mut self, budget: crate::Budget) {
+        self.io_base = self.tree.stats().snapshot();
+        self.budget = budget;
     }
 
     /// Ends the traversal and returns the heap's storage to `scratch`
@@ -214,7 +229,7 @@ impl<'t> Browser<'t> {
     /// drop the failed subtree and keep draining the frontier, or abort
     /// the whole search.
     pub fn try_expand(&mut self, id: NodeId) -> Result<(), crate::TreeError> {
-        if let Some(kind) = self.cancel.cancelled() {
+        if let Some(kind) = self.budget.exceeded(|| self.tree.stats().since(self.io_base)) {
             return Err(crate::TreeError::Cancelled(kind));
         }
         let node = self.tree.try_read_node(id)?;

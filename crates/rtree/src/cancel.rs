@@ -28,7 +28,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Why a traversal was cancelled.
+/// Why a traversal was cancelled (or, for a [`Budget`], which budget
+/// dimension ran out).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CancelKind {
     /// The token's deadline passed: the query exceeded its latency
@@ -37,6 +38,9 @@ pub enum CancelKind {
     /// The token's stop flag was raised: the caller no longer wants the
     /// answer (disconnect, shed, shutdown).
     Stopped,
+    /// The budget's logical-I/O allowance was spent: the query charged
+    /// as many node accesses as the caller was willing to pay for.
+    IoBudget,
 }
 
 impl std::fmt::Display for CancelKind {
@@ -44,6 +48,7 @@ impl std::fmt::Display for CancelKind {
         match self {
             CancelKind::Deadline => write!(f, "deadline exceeded"),
             CancelKind::Stopped => write!(f, "stopped by caller"),
+            CancelKind::IoBudget => write!(f, "I/O budget exhausted"),
         }
     }
 }
@@ -146,6 +151,143 @@ impl CancelToken {
     }
 }
 
+/// What a traversal may spend before it must stop: the generalization
+/// of [`CancelToken`] behind the anytime/budgeted query APIs.
+///
+/// A budget carries up to three independent limits:
+///
+/// - a **wall-clock deadline** (the token's deadline),
+/// - an **external stop flag** (the token's flag), and
+/// - a **logical I/O allowance** — a maximum number of charged node
+///   accesses, measured against the calling thread's access tally
+///   (physical reads and buffer hits alike, the paper's metric).
+///
+/// Like the token it generalizes, a budget is cooperative: traversals
+/// check it at their I/O boundaries, and an expired budget unwinds
+/// through the ordinary error path with every pin released. The
+/// difference is what the *caller* does with the trip: the legacy
+/// `try_*_cancel` APIs turn it into a typed error, while the anytime
+/// APIs catch it and return the best answer found so far together with
+/// a proven error bound. `Budget::default()` (= [`Budget::none`])
+/// never expires, and an unarmed budget costs the hot path nothing
+/// beyond the unarmed token's two branch-predicted tests.
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    token: CancelToken,
+    io_limit: Option<u64>,
+}
+
+impl Budget {
+    /// A budget that never expires (the default for every in-process
+    /// query API).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A budget expiring once the monotonic clock passes `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Budget {
+            token: CancelToken::with_deadline(deadline),
+            io_limit: None,
+        }
+    }
+
+    /// A budget observing an external stop flag.
+    pub fn with_flag(flag: &CancelFlag) -> Self {
+        Budget {
+            token: CancelToken::with_flag(flag),
+            io_limit: None,
+        }
+    }
+
+    /// A budget allowing at most `limit` charged logical node accesses.
+    /// A limit of 0 expires before the first access: the query returns
+    /// an empty bounded answer without touching the tree.
+    pub fn with_io_limit(limit: u64) -> Self {
+        Budget {
+            token: CancelToken::none(),
+            io_limit: Some(limit),
+        }
+    }
+
+    /// Adds (or replaces) a deadline on this budget.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.token = self.token.deadline(deadline);
+        self
+    }
+
+    /// Adds (or replaces) a stop flag on this budget.
+    #[must_use]
+    pub fn flag(mut self, flag: &CancelFlag) -> Self {
+        self.token = self.token.flag(flag);
+        self
+    }
+
+    /// Adds (or replaces) a logical-I/O allowance on this budget.
+    #[must_use]
+    pub fn io_limit(mut self, limit: u64) -> Self {
+        self.io_limit = Some(limit);
+        self
+    }
+
+    /// Whether the budget can ever expire (false for [`Budget::none`]).
+    pub fn is_armed(&self) -> bool {
+        self.token.is_armed() || self.io_limit.is_some()
+    }
+
+    /// The armed deadline, if any.
+    pub fn deadline_at(&self) -> Option<Instant> {
+        self.token.deadline_at()
+    }
+
+    /// The armed logical-I/O allowance, if any.
+    pub fn io_allowance(&self) -> Option<u64> {
+        self.io_limit
+    }
+
+    /// The flag/deadline portion of the budget, for code paths that
+    /// only understand tokens.
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Checks the budget: `Some(kind)` when the traversal should stop.
+    /// `io_spent` reports the logical accesses charged so far; it is a
+    /// closure so an unbudgeted check never pays for the tally read.
+    /// The stop flag wins over both resource limits (a stop is an
+    /// explicit instruction); the I/O check precedes the deadline
+    /// because it costs one integer compare versus a clock read.
+    #[inline]
+    pub fn exceeded<F: FnOnce() -> u64>(&self, io_spent: F) -> Option<CancelKind> {
+        if let Some(flag) = &self.token.flag {
+            if flag.is_stopped() {
+                return Some(CancelKind::Stopped);
+            }
+        }
+        if let Some(limit) = self.io_limit {
+            if io_spent() >= limit {
+                return Some(CancelKind::IoBudget);
+            }
+        }
+        if let Some(deadline) = self.token.deadline {
+            if Instant::now() >= deadline {
+                return Some(CancelKind::Deadline);
+            }
+        }
+        None
+    }
+}
+
+impl From<CancelToken> for Budget {
+    fn from(token: CancelToken) -> Self {
+        Budget {
+            token,
+            io_limit: None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +325,50 @@ mod tests {
     fn kinds_render() {
         assert!(CancelKind::Deadline.to_string().contains("deadline"));
         assert!(CancelKind::Stopped.to_string().contains("stopped"));
+        assert!(CancelKind::IoBudget.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn unarmed_budget_never_expires_and_never_reads_the_tally() {
+        let b = Budget::none();
+        assert!(!b.is_armed());
+        assert_eq!(b.exceeded(|| panic!("tally read without an I/O limit")), None);
+    }
+
+    #[test]
+    fn io_budget_trips_at_the_limit() {
+        let b = Budget::with_io_limit(10);
+        assert!(b.is_armed());
+        assert_eq!(b.io_allowance(), Some(10));
+        assert_eq!(b.exceeded(|| 9), None);
+        assert_eq!(b.exceeded(|| 10), Some(CancelKind::IoBudget));
+        // A zero allowance expires before the first access.
+        assert_eq!(
+            Budget::with_io_limit(0).exceeded(|| 0),
+            Some(CancelKind::IoBudget)
+        );
+    }
+
+    #[test]
+    fn budget_composes_all_three_limits_with_flag_priority() {
+        let flag = CancelFlag::new();
+        let b = Budget::with_io_limit(5)
+            .deadline(Instant::now() - Duration::from_millis(1))
+            .flag(&flag);
+        // Deadline already passed but the I/O check comes first.
+        assert_eq!(b.exceeded(|| 5), Some(CancelKind::IoBudget));
+        assert_eq!(b.exceeded(|| 0), Some(CancelKind::Deadline));
+        flag.stop();
+        assert_eq!(b.exceeded(|| 5), Some(CancelKind::Stopped));
+    }
+
+    #[test]
+    fn budget_from_token_preserves_the_token_limits() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        let b = Budget::from(t);
+        assert!(b.is_armed());
+        assert!(b.deadline_at().is_some());
+        assert_eq!(b.io_allowance(), None);
+        assert_eq!(b.exceeded(|| 0), Some(CancelKind::Deadline));
     }
 }

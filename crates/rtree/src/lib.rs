@@ -58,7 +58,7 @@ pub mod validate;
 
 pub use browser::{BrowseItem, Browser, BrowserScratch};
 pub use bulk::str_partition;
-pub use cancel::{CancelFlag, CancelKind, CancelToken};
+pub use cancel::{Budget, CancelFlag, CancelKind, CancelToken};
 pub use disk::{DiskError, DiskOptions, DiskReadError, TreeStorage};
 pub use entry::{Entry, ObjectId};
 pub use iwp::{IwpIndex, IwpStorage};

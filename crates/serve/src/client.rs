@@ -12,8 +12,8 @@
 //! typed [`ClientError`].
 
 use crate::protocol::{
-    decode_response, encode_request, encode_scheme, read_frame, write_frame, OkShape, ProtoError,
-    QuerySpec, Request, Response, WireGroup,
+    decode_response, encode_request, encode_scheme, read_frame, write_frame, AnytimeSpec, OkShape,
+    PartialReason, ProtoError, QuerySpec, Request, Response, WireGroup,
 };
 use nwc_core::{Scheme, SearchStats};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -70,6 +70,27 @@ pub enum QueryOutcome {
         groups: Vec<WireGroup>,
         /// What the search did.
         stats: SearchStats,
+    },
+    /// A budget expired mid-search (anytime requests only): the best
+    /// answer found so far plus its proven quality bound. The exact
+    /// optimum `d*` satisfies `lower_bound <= d*` and, when a group was
+    /// found, `d* >= best_distance - error_bound`.
+    Partial {
+        /// The best-so-far groups (possibly empty).
+        groups: Vec<WireGroup>,
+        /// What the search did up to the stop.
+        stats: SearchStats,
+        /// Distance gap the answer is proven to be within (`+inf`
+        /// when the budget expired before any group was found).
+        error_bound: f64,
+        /// Proven lower bound on the exact optimum score.
+        lower_bound: f64,
+        /// Wall-clock microseconds spent.
+        elapsed_us: u64,
+        /// Logical node accesses charged.
+        io: u64,
+        /// Which budget dimension expired.
+        reason: PartialReason,
     },
     /// The query exceeded its deadline mid-search.
     Deadline,
@@ -129,6 +150,23 @@ impl ServeClient {
     fn query_outcome(resp: Response) -> QueryOutcome {
         match resp {
             Response::Groups { groups, stats } => QueryOutcome::Answer { groups, stats },
+            Response::Partial {
+                groups,
+                stats,
+                error_bound,
+                lower_bound,
+                elapsed_us,
+                io,
+                reason,
+            } => QueryOutcome::Partial {
+                groups,
+                stats,
+                error_bound,
+                lower_bound,
+                elapsed_us,
+                io,
+                reason,
+            },
             Response::Deadline => QueryOutcome::Deadline,
             Response::Shed { retry_after_ms } => QueryOutcome::Shed { retry_after_ms },
             Response::BadRequest(msg) => QueryOutcome::BadRequest(msg),
@@ -162,7 +200,50 @@ impl ServeClient {
             n,
             deadline_ms,
         };
-        let resp = self.roundtrip(&Request::Nwc(spec), OkShape::Groups)?;
+        let resp = self.roundtrip(
+            &Request::Nwc {
+                spec,
+                anytime: None,
+            },
+            OkShape::Groups,
+        )?;
+        Ok(Self::query_outcome(resp))
+    }
+
+    /// Issues an anytime/budgeted `NWC(q, l, w, n)`: the request
+    /// carries the wire extension, so a budget expiry comes back as a
+    /// bounded [`QueryOutcome::Partial`] instead of a bare `Deadline`.
+    /// `epsilon = 0.0` and `io_budget = u64::MAX` make it an exact,
+    /// deadline-only anytime query.
+    #[allow(clippy::too_many_arguments)]
+    pub fn nwc_anytime(
+        &mut self,
+        scheme: Scheme,
+        qx: f64,
+        qy: f64,
+        l: f64,
+        w: f64,
+        n: u32,
+        deadline_ms: u32,
+        epsilon: f64,
+        io_budget: u64,
+    ) -> Result<QueryOutcome, ClientError> {
+        let spec = QuerySpec {
+            scheme_bits: encode_scheme(scheme),
+            qx,
+            qy,
+            l,
+            w,
+            n,
+            deadline_ms,
+        };
+        let resp = self.roundtrip(
+            &Request::Nwc {
+                spec,
+                anytime: Some(AnytimeSpec { epsilon, io_budget }),
+            },
+            OkShape::Groups,
+        )?;
         Ok(Self::query_outcome(resp))
     }
 
@@ -189,7 +270,52 @@ impl ServeClient {
             n,
             deadline_ms,
         };
-        let resp = self.roundtrip(&Request::Knwc { spec, k, m }, OkShape::Groups)?;
+        let resp = self.roundtrip(
+            &Request::Knwc {
+                spec,
+                k,
+                m,
+                anytime: None,
+            },
+            OkShape::Groups,
+        )?;
+        Ok(Self::query_outcome(resp))
+    }
+
+    /// Issues an anytime/budgeted `kNWC`; see [`ServeClient::nwc_anytime`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn knwc_anytime(
+        &mut self,
+        scheme: Scheme,
+        qx: f64,
+        qy: f64,
+        l: f64,
+        w: f64,
+        n: u32,
+        k: u32,
+        m: u32,
+        deadline_ms: u32,
+        epsilon: f64,
+        io_budget: u64,
+    ) -> Result<QueryOutcome, ClientError> {
+        let spec = QuerySpec {
+            scheme_bits: encode_scheme(scheme),
+            qx,
+            qy,
+            l,
+            w,
+            n,
+            deadline_ms,
+        };
+        let resp = self.roundtrip(
+            &Request::Knwc {
+                spec,
+                k,
+                m,
+                anytime: Some(AnytimeSpec { epsilon, io_budget }),
+            },
+            OkShape::Groups,
+        )?;
         Ok(Self::query_outcome(resp))
     }
 
@@ -252,6 +378,7 @@ fn unexpected(resp: Response) -> ClientError {
         Response::BadRequest(_) => "unexpected bad-request response",
         Response::IoFailed(_) => "unexpected io-failed response",
         Response::Stopped => "unexpected stopped response",
+        Response::Partial { .. } => "unexpected partial response",
     };
     ClientError::Proto(ProtoError::Malformed(what))
 }

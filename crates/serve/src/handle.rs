@@ -21,10 +21,11 @@
 //! closes exactly when its last query finishes.
 
 use nwc_core::{
-    DiskIndexConfig, IndexOpenError, KnwcQuery, KnwcResult, MetricsSnapshot, NwcIndex, NwcQuery,
-    NwcResult, QueryError, QueryScratch, Scheme, SearchStats, ShardedNwcIndex, ShardedStoreError,
+    AnytimeKnwc, AnytimeNwc, Approx, DiskIndexConfig, IndexOpenError, KnwcQuery, KnwcResult,
+    MetricsSnapshot, NwcIndex, NwcQuery, NwcResult, QueryError, QueryScratch, Scheme, SearchStats,
+    ShardedNwcIndex, ShardedStoreError,
 };
-use nwc_rtree::CancelToken;
+use nwc_rtree::{Budget, CancelToken};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 use std::time::{Duration, Instant};
@@ -120,6 +121,48 @@ impl ServedIndex {
         match self {
             ServedIndex::Single(i) => i.try_knwc_cancel(query, scheme, scratch, cancel),
             ServedIndex::Sharded(i) => i.try_knwc_cancel(query, scheme, scratch, cancel),
+        }
+    }
+
+    /// Forwarded anytime `NWC`: runs until `budget` expires and returns
+    /// the best-so-far answer with a proven bound instead of erroring.
+    /// The second value counts shards that failed or tripped and were
+    /// merged around (always 0 on a single tree — a single tree's
+    /// budget trip is reported in the answer itself, not here).
+    pub fn try_nwc_anytime(
+        &self,
+        query: &NwcQuery,
+        scheme: Scheme,
+        scratch: &mut QueryScratch,
+        budget: &Budget,
+        approx: Approx,
+    ) -> Result<(AnytimeNwc, usize), QueryError> {
+        match self {
+            ServedIndex::Single(i) => i
+                .try_nwc_anytime_with(query, scheme, scratch, budget, approx)
+                .map(|a| (a, 0)),
+            ServedIndex::Sharded(i) => i
+                .try_nwc_anytime(query, scheme, budget, approx)
+                .map(|s| (s.anytime, s.degraded.len())),
+        }
+    }
+
+    /// Forwarded anytime `kNWC`; see [`ServedIndex::try_nwc_anytime`].
+    pub fn try_knwc_anytime(
+        &self,
+        query: &KnwcQuery,
+        scheme: Scheme,
+        scratch: &mut QueryScratch,
+        budget: &Budget,
+        approx: Approx,
+    ) -> Result<(AnytimeKnwc, usize), QueryError> {
+        match self {
+            ServedIndex::Single(i) => i
+                .try_knwc_anytime_with(query, scheme, scratch, budget, approx)
+                .map(|a| (a, 0)),
+            ServedIndex::Sharded(i) => i
+                .try_knwc_anytime(query, scheme, budget, approx)
+                .map(|s| (s.anytime, s.degraded.len())),
         }
     }
 

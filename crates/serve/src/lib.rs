@@ -35,6 +35,7 @@ pub use client::{ClientError, QueryOutcome, ServeClient, SwapOutcome};
 pub use handle::{Generation, IndexHandle, ServedIndex, SwapOpenError, SwapReport};
 pub use histogram::{LatencyHistogram, MergedHistogram};
 pub use protocol::{
-    FrameReader, OkShape, ProtoError, QuerySpec, Request, Response, WireGroup, WireObject,
+    AnytimeSpec, FrameReader, OkShape, PartialReason, ProtoError, QuerySpec, Request, Response,
+    WireGroup, WireObject,
 };
 pub use server::{Server, ServerConfig};

@@ -23,6 +23,17 @@
 //! `scheme_bits`: bit 0 = SRR, bit 1 = DIP, bit 2 = DEP, bit 3 = IWP.
 //! `deadline_ms = 0` means "use the server default".
 //!
+//! A query body (`Nwc`, `Knwc`) may carry an **optional trailing
+//! anytime extension**: `f64 epsilon, u64 io_budget` appended after
+//! the legacy body. A frame without the extension is byte-identical to
+//! the pre-anytime protocol, so old clients keep working unchanged;
+//! its presence opts the request into budgeted execution and tells the
+//! server the client understands the `Partial` status. `epsilon` must
+//! be finite and non-negative (NaN/negative/infinite are rejected at
+//! decode); `io_budget` is a logical node-access allowance, with
+//! `u64::MAX` meaning "no I/O limit" and `0` meaning "spend nothing"
+//! (the server answers immediately with an empty bounded `Partial`).
+//!
 //! # Response payload
 //!
 //! ```text
@@ -40,6 +51,13 @@
 //! | 3 `BadRequest` | malformed/unsupported | u16 len, message |
 //! | 4 `IoFailed` | unrecoverable page read | u16 len, message |
 //! | 5 `Stopped` | server draining / request cancelled | empty |
+//! | 6 `Partial` | budget expired; best-so-far answer | the `Ok` query body, then f64 error_bound, f64 lower_bound, u64 elapsed_us, u64 io, u8 reason |
+//!
+//! `Partial` (status 6) is only ever sent to a request that carried
+//! the anytime extension — a legacy client never sees it. Its `reason`
+//! byte says which budget dimension expired: 1 = deadline, 2 = I/O
+//! allowance, 3 = stop flag, 4 = a degraded shard (the answer merged
+//! from the surviving shards).
 //!
 //! A query group is `u32 len` then `len ×` (`u32 id, f64 x, f64 y`)
 //! followed by `f64 distance`. An NWC answer has 0 or 1 group; a kNWC
@@ -106,11 +124,76 @@ pub struct QuerySpec {
     pub deadline_ms: u32,
 }
 
+/// The optional anytime/approximate extension a query request may
+/// carry (see the module docs for the wire layout and compatibility
+/// contract). Sending it opts the client into `Partial` responses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnytimeSpec {
+    /// Approximation slack: the answer is within `(1 + epsilon)` of the
+    /// optimum. Must be finite and non-negative; `0.0` = exact.
+    pub epsilon: f64,
+    /// Logical node-access allowance. `u64::MAX` = unlimited, `0` =
+    /// spend nothing (an immediate empty bounded answer).
+    pub io_budget: u64,
+}
+
+impl AnytimeSpec {
+    /// An exact, unbudgeted extension — still opts into `Partial`
+    /// responses for deadline expiry.
+    pub fn exact() -> Self {
+        AnytimeSpec {
+            epsilon: 0.0,
+            io_budget: u64::MAX,
+        }
+    }
+}
+
+/// Why a [`Response::Partial`] stopped short of the exact answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartialReason {
+    /// The wall-clock deadline passed mid-search.
+    Deadline,
+    /// The logical I/O allowance was spent.
+    IoBudget,
+    /// The stop flag rose (server draining) after the search had
+    /// already banked an answer.
+    Stopped,
+    /// One or more shards failed or were degraded; the answer merged
+    /// from the survivors with a widened bound.
+    Degraded,
+}
+
+impl PartialReason {
+    fn to_byte(self) -> u8 {
+        match self {
+            PartialReason::Deadline => 1,
+            PartialReason::IoBudget => 2,
+            PartialReason::Stopped => 3,
+            PartialReason::Degraded => 4,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, ProtoError> {
+        match b {
+            1 => Ok(PartialReason::Deadline),
+            2 => Ok(PartialReason::IoBudget),
+            3 => Ok(PartialReason::Stopped),
+            4 => Ok(PartialReason::Degraded),
+            _ => Err(ProtoError::Malformed("unknown partial reason")),
+        }
+    }
+}
+
 /// A decoded request frame.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// `NWC(q, l, w, n)` under the encoded scheme.
-    Nwc(QuerySpec),
+    Nwc {
+        /// The query parameters.
+        spec: QuerySpec,
+        /// The optional anytime extension (absent on legacy frames).
+        anytime: Option<AnytimeSpec>,
+    },
     /// `kNWC(k, q, l, w, n, m)` under the encoded scheme.
     Knwc {
         /// The shared query parameters.
@@ -119,6 +202,8 @@ pub enum Request {
         k: u32,
         /// Overlap bound.
         m: u32,
+        /// The optional anytime extension (absent on legacy frames).
+        anytime: Option<AnytimeSpec>,
     },
     /// Scrape the metrics snapshot (stable text form).
     Stats,
@@ -194,6 +279,27 @@ pub enum Response {
     IoFailed(String),
     /// The server is draining; the request was not executed.
     Stopped,
+    /// A budget expired mid-search: the best answer found so far plus a
+    /// proven quality bound. Only sent to requests that carried the
+    /// anytime extension.
+    Partial {
+        /// The best-so-far groups (possibly empty).
+        groups: Vec<WireGroup>,
+        /// Per-query search counters up to the stop.
+        stats: SearchStats,
+        /// How far the answer may be from the optimum:
+        /// `optimum >= answer - error_bound` (`+inf` when no answer
+        /// was banked before the budget expired).
+        error_bound: f64,
+        /// A proven lower bound on the exact optimum.
+        lower_bound: f64,
+        /// Wall-clock microseconds the query spent.
+        elapsed_us: u64,
+        /// Logical node accesses the query charged.
+        io: u64,
+        /// Which budget dimension expired.
+        reason: PartialReason,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -226,20 +332,30 @@ fn put_spec(buf: &mut Vec<u8>, s: &QuerySpec) {
     put_u32(buf, s.deadline_ms);
 }
 
-/// Encodes a request payload (without the length prefix).
+fn put_anytime(buf: &mut Vec<u8>, anytime: &Option<AnytimeSpec>) {
+    if let Some(a) = anytime {
+        put_f64(buf, a.epsilon);
+        put_u64(buf, a.io_budget);
+    }
+}
+
+/// Encodes a request payload (without the length prefix). A request
+/// with `anytime: None` is byte-identical to the pre-anytime protocol.
 pub fn encode_request(request_id: u32, req: &Request) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
     put_u32(&mut buf, request_id);
     match req {
-        Request::Nwc(spec) => {
+        Request::Nwc { spec, anytime } => {
             buf.push(1);
             put_spec(&mut buf, spec);
+            put_anytime(&mut buf, anytime);
         }
-        Request::Knwc { spec, k, m } => {
+        Request::Knwc { spec, k, m, anytime } => {
             buf.push(2);
             put_spec(&mut buf, spec);
             put_u32(&mut buf, *k);
             put_u32(&mut buf, *m);
+            put_anytime(&mut buf, anytime);
         }
         Request::Stats => buf.push(3),
         Request::Swap(path) => {
@@ -284,6 +400,19 @@ fn put_message(buf: &mut Vec<u8>, msg: &str) {
     buf.extend_from_slice(&bytes[..len]);
 }
 
+fn put_groups(buf: &mut Vec<u8>, groups: &[WireGroup]) {
+    put_u32(buf, groups.len() as u32);
+    for g in groups {
+        put_u32(buf, g.objects.len() as u32);
+        for o in &g.objects {
+            put_u32(buf, o.id);
+            put_f64(buf, o.x);
+            put_f64(buf, o.y);
+        }
+        put_f64(buf, g.distance);
+    }
+}
+
 /// Encodes a response payload (without the length prefix).
 pub fn encode_response(request_id: u32, resp: &Response) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
@@ -291,16 +420,7 @@ pub fn encode_response(request_id: u32, resp: &Response) -> Vec<u8> {
     match resp {
         Response::Groups { groups, stats } => {
             buf.push(0);
-            put_u32(&mut buf, groups.len() as u32);
-            for g in groups {
-                put_u32(&mut buf, g.objects.len() as u32);
-                for o in &g.objects {
-                    put_u32(&mut buf, o.id);
-                    put_f64(&mut buf, o.x);
-                    put_f64(&mut buf, o.y);
-                }
-                put_f64(&mut buf, g.distance);
-            }
+            put_groups(&mut buf, groups);
             put_stats(&mut buf, stats);
         }
         Response::Stats(text) => {
@@ -338,6 +458,24 @@ pub fn encode_response(request_id: u32, resp: &Response) -> Vec<u8> {
             put_message(&mut buf, msg);
         }
         Response::Stopped => buf.push(5),
+        Response::Partial {
+            groups,
+            stats,
+            error_bound,
+            lower_bound,
+            elapsed_us,
+            io,
+            reason,
+        } => {
+            buf.push(6);
+            put_groups(&mut buf, groups);
+            put_stats(&mut buf, stats);
+            put_f64(&mut buf, *error_bound);
+            put_f64(&mut buf, *lower_bound);
+            put_u64(&mut buf, *elapsed_us);
+            put_u64(&mut buf, *io);
+            buf.push(reason.to_byte());
+        }
     }
     buf
 }
@@ -416,18 +554,42 @@ fn read_spec(c: &mut Cursor<'_>) -> Result<QuerySpec, ProtoError> {
     })
 }
 
+/// Reads the optional trailing anytime extension: absent when the
+/// legacy body consumed the whole payload, otherwise exactly
+/// `f64 epsilon, u64 io_budget`. The wire carries arbitrary bits, so
+/// `epsilon` is validated here — a NaN, negative, or infinite value is
+/// a malformed frame, never a panic or a hung search downstream.
+fn read_anytime(c: &mut Cursor<'_>) -> Result<Option<AnytimeSpec>, ProtoError> {
+    if c.pos == c.buf.len() {
+        return Ok(None);
+    }
+    let epsilon = c.f64()?;
+    let io_budget = c.u64()?;
+    if !epsilon.is_finite() || epsilon < 0.0 {
+        return Err(ProtoError::Malformed(
+            "epsilon must be finite and non-negative",
+        ));
+    }
+    Ok(Some(AnytimeSpec { epsilon, io_budget }))
+}
+
 /// Decodes a request payload into `(request_id, request)`.
 pub fn decode_request(payload: &[u8]) -> Result<(u32, Request), ProtoError> {
     let mut c = Cursor::new(payload);
     let request_id = c.u32()?;
     let opcode = c.u8()?;
     let req = match opcode {
-        1 => Request::Nwc(read_spec(&mut c)?),
+        1 => {
+            let spec = read_spec(&mut c)?;
+            let anytime = read_anytime(&mut c)?;
+            Request::Nwc { spec, anytime }
+        }
         2 => {
             let spec = read_spec(&mut c)?;
             let k = c.u32()?;
             let m = c.u32()?;
-            Request::Knwc { spec, k, m }
+            let anytime = read_anytime(&mut c)?;
+            Request::Knwc { spec, k, m, anytime }
         }
         3 => Request::Stats,
         4 => {
@@ -486,6 +648,31 @@ pub enum OkShape {
     Done,
 }
 
+fn read_groups(c: &mut Cursor<'_>) -> Result<Vec<WireGroup>, ProtoError> {
+    let n_groups = c.u32()? as usize;
+    if n_groups > MAX_FRAME as usize / 8 {
+        return Err(ProtoError::Malformed("group count"));
+    }
+    let mut groups = Vec::with_capacity(n_groups.min(1024));
+    for _ in 0..n_groups {
+        let len = c.u32()? as usize;
+        if len > MAX_FRAME as usize / 20 {
+            return Err(ProtoError::Malformed("group length"));
+        }
+        let mut objects = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            objects.push(WireObject {
+                id: c.u32()?,
+                x: c.f64()?,
+                y: c.f64()?,
+            });
+        }
+        let distance = c.f64()?;
+        groups.push(WireGroup { objects, distance });
+    }
+    Ok(groups)
+}
+
 /// Decodes a response payload into `(request_id, response)`, reading
 /// status-0 bodies as `shape` dictates.
 pub fn decode_response(payload: &[u8], shape: OkShape) -> Result<(u32, Response), ProtoError> {
@@ -494,33 +681,10 @@ pub fn decode_response(payload: &[u8], shape: OkShape) -> Result<(u32, Response)
     let status = c.u8()?;
     let resp = match status {
         0 => match shape {
-            OkShape::Groups => {
-                let n_groups = c.u32()? as usize;
-                if n_groups > MAX_FRAME as usize / 8 {
-                    return Err(ProtoError::Malformed("group count"));
-                }
-                let mut groups = Vec::with_capacity(n_groups.min(1024));
-                for _ in 0..n_groups {
-                    let len = c.u32()? as usize;
-                    if len > MAX_FRAME as usize / 20 {
-                        return Err(ProtoError::Malformed("group length"));
-                    }
-                    let mut objects = Vec::with_capacity(len.min(4096));
-                    for _ in 0..len {
-                        objects.push(WireObject {
-                            id: c.u32()?,
-                            x: c.f64()?,
-                            y: c.f64()?,
-                        });
-                    }
-                    let distance = c.f64()?;
-                    groups.push(WireGroup { objects, distance });
-                }
-                Response::Groups {
-                    groups,
-                    stats: read_stats(&mut c)?,
-                }
-            }
+            OkShape::Groups => Response::Groups {
+                groups: read_groups(&mut c)?,
+                stats: read_stats(&mut c)?,
+            },
             OkShape::Stats => {
                 let len = c.u32()? as usize;
                 let bytes = c.take(len)?;
@@ -542,6 +706,15 @@ pub fn decode_response(payload: &[u8], shape: OkShape) -> Result<(u32, Response)
         3 => Response::BadRequest(read_message(&mut c)?),
         4 => Response::IoFailed(read_message(&mut c)?),
         5 => Response::Stopped,
+        6 => Response::Partial {
+            groups: read_groups(&mut c)?,
+            stats: read_stats(&mut c)?,
+            error_bound: c.f64()?,
+            lower_bound: c.f64()?,
+            elapsed_us: c.u64()?,
+            io: c.u64()?,
+            reason: PartialReason::from_byte(c.u8()?)?,
+        },
         _ => return Err(ProtoError::Malformed("unknown status")),
     };
     c.done()?;
@@ -727,11 +900,28 @@ mod tests {
     #[test]
     fn request_roundtrip() {
         for req in [
-            Request::Nwc(spec()),
+            Request::Nwc {
+                spec: spec(),
+                anytime: None,
+            },
+            Request::Nwc {
+                spec: spec(),
+                anytime: Some(AnytimeSpec {
+                    epsilon: 0.25,
+                    io_budget: 5000,
+                }),
+            },
             Request::Knwc {
                 spec: spec(),
                 k: 4,
                 m: 1,
+                anytime: None,
+            },
+            Request::Knwc {
+                spec: spec(),
+                k: 4,
+                m: 1,
+                anytime: Some(AnytimeSpec::exact()),
             },
             Request::Stats,
             Request::Swap("/tmp/gen2.pages".to_string()),
@@ -743,6 +933,136 @@ mod tests {
             assert_eq!(id, 77);
             assert_eq!(back, req);
         }
+    }
+
+    /// A request without the anytime extension must be byte-identical
+    /// to the pre-anytime protocol: old clients and servers keep
+    /// interoperating frame-for-frame.
+    #[test]
+    fn legacy_request_bytes_unchanged() {
+        // Hand-rolled legacy Nwc frame: id, opcode, scheme, 4 × f64,
+        // n, deadline_ms — and nothing after.
+        let s = spec();
+        let mut legacy = Vec::new();
+        legacy.extend_from_slice(&77u32.to_le_bytes());
+        legacy.push(1);
+        legacy.push(s.scheme_bits);
+        for v in [s.qx, s.qy, s.l, s.w] {
+            legacy.extend_from_slice(&v.to_le_bytes());
+        }
+        legacy.extend_from_slice(&s.n.to_le_bytes());
+        legacy.extend_from_slice(&s.deadline_ms.to_le_bytes());
+        assert_eq!(
+            encode_request(
+                77,
+                &Request::Nwc {
+                    spec: s,
+                    anytime: None
+                }
+            ),
+            legacy
+        );
+        // And the legacy bytes decode with no extension attached.
+        let (_, back) = decode_request(&legacy).unwrap();
+        assert_eq!(
+            back,
+            Request::Nwc {
+                spec: s,
+                anytime: None
+            }
+        );
+    }
+
+    #[test]
+    fn anytime_extension_validated_at_decode() {
+        let base = |anytime| Request::Nwc {
+            spec: spec(),
+            anytime,
+        };
+        for bad_eps in [f64::NAN, -0.5, f64::INFINITY, f64::NEG_INFINITY] {
+            let payload = encode_request(
+                1,
+                &base(Some(AnytimeSpec {
+                    epsilon: bad_eps,
+                    io_budget: u64::MAX,
+                })),
+            );
+            assert!(
+                matches!(decode_request(&payload), Err(ProtoError::Malformed(_))),
+                "epsilon {bad_eps} must be rejected"
+            );
+        }
+        // A truncated extension (some trailing bytes, fewer than 16) is
+        // malformed, not silently accepted as legacy.
+        let mut payload = encode_request(1, &base(None));
+        payload.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            decode_request(&payload),
+            Err(ProtoError::Malformed(_))
+        ));
+        // Zero epsilon and zero budget are valid wire values (the
+        // server answers the latter with an empty bounded Partial).
+        let payload = encode_request(
+            1,
+            &base(Some(AnytimeSpec {
+                epsilon: 0.0,
+                io_budget: 0,
+            })),
+        );
+        assert!(decode_request(&payload).is_ok());
+        // Non-query opcodes still reject trailing bytes outright.
+        let mut payload = encode_request(1, &Request::Ping);
+        payload.extend_from_slice(&0.5f64.to_le_bytes());
+        payload.extend_from_slice(&100u64.to_le_bytes());
+        assert!(matches!(
+            decode_request(&payload),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn partial_response_roundtrip_and_bad_reason() {
+        let resp = Response::Partial {
+            groups: vec![WireGroup {
+                objects: vec![WireObject { id: 3, x: 1.0, y: 2.0 }],
+                distance: 6.5,
+            }],
+            stats: SearchStats {
+                io_total: 17,
+                ..Default::default()
+            },
+            error_bound: 1.25,
+            lower_bound: 5.25,
+            elapsed_us: 900,
+            io: 17,
+            reason: PartialReason::IoBudget,
+        };
+        let payload = encode_response(9, &resp);
+        let (id, back) = decode_response(&payload, OkShape::Groups).unwrap();
+        assert_eq!(id, 9);
+        assert_eq!(back, resp);
+        // An empty partial (budget spent before any answer) carries an
+        // infinite error bound and still roundtrips.
+        let empty = Response::Partial {
+            groups: vec![],
+            stats: SearchStats::default(),
+            error_bound: f64::INFINITY,
+            lower_bound: 0.0,
+            elapsed_us: 0,
+            io: 0,
+            reason: PartialReason::Deadline,
+        };
+        let payload = encode_response(10, &empty);
+        let (_, back) = decode_response(&payload, OkShape::Groups).unwrap();
+        assert_eq!(back, empty);
+        // A reason byte outside 1..=4 is malformed.
+        let mut payload = encode_response(9, &resp);
+        let last = payload.len() - 1;
+        payload[last] = 7;
+        assert!(matches!(
+            decode_response(&payload, OkShape::Groups),
+            Err(ProtoError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -837,10 +1157,14 @@ mod tests {
     fn malformed_payloads_rejected() {
         assert!(decode_request(&[]).is_err());
         assert!(decode_request(&[1, 0, 0, 0, 99]).is_err()); // bad opcode
-        let mut good = encode_request(1, &Request::Nwc(spec()));
-        good.push(0); // trailing byte
+        let nwc = Request::Nwc {
+            spec: spec(),
+            anytime: None,
+        };
+        let mut good = encode_request(1, &nwc);
+        good.push(0); // trailing byte: not a whole anytime extension
         assert!(decode_request(&good).is_err());
-        let short = &encode_request(1, &Request::Nwc(spec()))[..10];
+        let short = &encode_request(1, &nwc)[..10];
         assert!(decode_request(short).is_err());
     }
 

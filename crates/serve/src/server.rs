@@ -33,15 +33,15 @@
 //! policy (enforced by `scripts/verify.sh`): every failure path is a
 //! typed response or a dropped connection, never a worker teardown.
 
-use crate::handle::IndexHandle;
+use crate::handle::{IndexHandle, ServedIndex};
 use crate::histogram::LatencyHistogram;
 use crate::protocol::{
-    decode_request, decode_scheme, encode_response, write_frame, FrameReader, ProtoError,
-    QuerySpec, Request, Response, WireGroup, WireObject,
+    decode_request, decode_scheme, encode_response, write_frame, AnytimeSpec, FrameReader,
+    PartialReason, ProtoError, QuerySpec, Request, Response, WireGroup, WireObject,
 };
 use nwc_core::{
-    CancelFlag, CancelToken, DiskIndexConfig, KnwcQuery, NwcQuery, QueryError, QueryScratch,
-    Scheme, SearchStats, WindowSpec,
+    Approx, Budget, CancelFlag, CancelKind, CancelToken, DiskIndexConfig, KnwcQuery, NwcQuery,
+    QueryError, QueryScratch, Scheme, SearchStats, WindowSpec,
 };
 use nwc_geom::pt;
 use std::collections::VecDeque;
@@ -77,6 +77,14 @@ pub struct ServerConfig {
     /// typed `BadRequest` and the served index is untouched (in-process
     /// swaps via [`IndexHandle`] and [`Server::shutdown`] still work).
     pub allow_control_plane: bool,
+    /// Overload degradation: when the *estimated-wait* shed bound
+    /// trips (the queue itself is not yet full) and the request opted
+    /// into anytime execution, admit it anyway with its `epsilon`
+    /// raised to at least this value instead of shedding — the client
+    /// gets a `(1+ε)`-bounded answer now rather than a retry-after.
+    /// `None` (the default) sheds as before. A hard-full queue always
+    /// sheds; legacy requests (no anytime extension) always shed.
+    pub shed_degrade_epsilon: Option<f64>,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +96,7 @@ impl Default for ServerConfig {
             default_deadline: None,
             swap_config: DiskIndexConfig::default(),
             allow_control_plane: false,
+            shed_degrade_epsilon: None,
         }
     }
 }
@@ -100,6 +109,8 @@ struct Counters {
     completed: AtomicU64,
     no_answer: AtomicU64,
     deadline: AtomicU64,
+    partial: AtomicU64,
+    degraded: AtomicU64,
     shed: AtomicU64,
     stopped: AtomicU64,
     bad_request: AtomicU64,
@@ -122,6 +133,10 @@ struct Job {
     kind: JobKind,
     scheme: Scheme,
     deadline: Option<Instant>,
+    /// The anytime extension the request carried, if any: its presence
+    /// switches the worker to the budgeted engine path and licenses
+    /// `Partial` responses.
+    anytime: Option<AnytimeSpec>,
     writer: Arc<Mutex<TcpStream>>,
     enqueued: Instant,
 }
@@ -167,22 +182,45 @@ impl Shared {
         self.queue.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Admission: enqueue, or shed with a suggested retry-after.
-    fn admit(&self, job: Job) -> Result<(), u32> {
+    /// Admission: enqueue, or hand the job back with a suggested
+    /// retry-after and whether the rejection was *hard* (queue full)
+    /// or *soft* (estimated wait over the bound — the queue still has
+    /// room, which [`Shared::admit_degraded`] may use).
+    #[allow(clippy::result_large_err)] // Err hands the Job back, it is not an error type
+    fn admit(&self, job: Job) -> Result<(), (Job, u32, bool)> {
         let workers = self.config.workers.max(1) as u64;
         let ema = self.queue.ema_us.load(Ordering::Relaxed);
         let mut q = self.lock_queue();
         let depth = q.len() as u64;
         let est_wait_us = (depth + 1) * ema / workers;
-        if q.len() >= self.config.queue_depth
-            || est_wait_us > self.config.max_estimated_wait.as_micros() as u64
-        {
+        let hard = q.len() >= self.config.queue_depth;
+        if hard || est_wait_us > self.config.max_estimated_wait.as_micros() as u64 {
+            drop(q);
             // Suggested backoff: the estimated wait, at least 1 ms.
-            return Err((est_wait_us / 1000).clamp(1, 60_000) as u32);
+            return Err((job, (est_wait_us / 1000).clamp(1, 60_000) as u32, hard));
         }
         q.push_back(job);
         drop(q);
         self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        self.queue.ready.notify_one();
+        Ok(())
+    }
+
+    /// Second-chance admission for a soft-shed anytime request with a
+    /// degraded `epsilon`: only the hard queue-depth cap applies (the
+    /// wait estimate was the reason it is here). Returns the job back
+    /// when even the hard cap rejects it.
+    #[allow(clippy::result_large_err)] // Err hands the Job back, it is not an error type
+    fn admit_degraded(&self, job: Job) -> Result<(), Job> {
+        let mut q = self.lock_queue();
+        if q.len() >= self.config.queue_depth {
+            drop(q);
+            return Err(job);
+        }
+        q.push_back(job);
+        drop(q);
+        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        self.counters.degraded.fetch_add(1, Ordering::Relaxed);
         self.queue.ready.notify_one();
         Ok(())
     }
@@ -220,6 +258,8 @@ impl Shared {
             ("server_completed_total", c.completed.load(Ordering::Relaxed)),
             ("server_no_answer_total", c.no_answer.load(Ordering::Relaxed)),
             ("server_deadline_total", c.deadline.load(Ordering::Relaxed)),
+            ("server_partial_total", c.partial.load(Ordering::Relaxed)),
+            ("server_degraded_total", c.degraded.load(Ordering::Relaxed)),
             ("server_shed_total", c.shed.load(Ordering::Relaxed)),
             ("server_stopped_total", c.stopped.load(Ordering::Relaxed)),
             ("server_bad_request_total", c.bad_request.load(Ordering::Relaxed)),
@@ -487,7 +527,7 @@ fn handle_request(
                 }
             }
         }
-        Request::Nwc(spec) => {
+        Request::Nwc { spec, anytime } => {
             let (query, scheme, deadline) = match build_query(shared, &spec) {
                 Ok(q) => q,
                 Err(resp) => {
@@ -496,9 +536,17 @@ fn handle_request(
                     return;
                 }
             };
-            enqueue(shared, writer, request_id, JobKind::Nwc(query), scheme, deadline);
+            enqueue(
+                shared,
+                writer,
+                request_id,
+                JobKind::Nwc(query),
+                scheme,
+                deadline,
+                anytime,
+            );
         }
-        Request::Knwc { spec, k, m } => {
+        Request::Knwc { spec, k, m, anytime } => {
             let (base, scheme, deadline) = match build_query(shared, &spec) {
                 Ok(q) => q,
                 Err(resp) => {
@@ -522,7 +570,15 @@ fn handle_request(
                     return;
                 }
             };
-            enqueue(shared, writer, request_id, JobKind::Knwc(query), scheme, deadline);
+            enqueue(
+                shared,
+                writer,
+                request_id,
+                JobKind::Knwc(query),
+                scheme,
+                deadline,
+                anytime,
+            );
         }
     }
 }
@@ -546,6 +602,7 @@ fn control_plane_allowed(
     false
 }
 
+#[allow(clippy::too_many_arguments)]
 fn enqueue(
     shared: &Arc<Shared>,
     writer: &Arc<Mutex<TcpStream>>,
@@ -553,6 +610,7 @@ fn enqueue(
     kind: JobKind,
     scheme: Scheme,
     deadline: Option<Instant>,
+    anytime: Option<AnytimeSpec>,
 ) {
     if shared.stop.is_stopped() {
         shared.counters.stopped.fetch_add(1, Ordering::Relaxed);
@@ -564,13 +622,32 @@ fn enqueue(
         kind,
         scheme,
         deadline,
+        anytime,
         writer: Arc::clone(writer),
         enqueued: Instant::now(),
     };
-    if let Err(retry_after_ms) = shared.admit(job) {
-        shared.counters.shed.fetch_add(1, Ordering::Relaxed);
-        respond(writer, request_id, &Response::Shed { retry_after_ms });
+    let (mut job, retry_after_ms, hard) = match shared.admit(job) {
+        Ok(()) => return,
+        Err(rejected) => rejected,
+    };
+    // Overload degradation: a *soft* shed (wait estimate, not a full
+    // queue) of an anytime-capable request can be admitted anyway with
+    // a coarser epsilon — the client asked for graceful degradation
+    // and the server is configured to offer it.
+    if !hard {
+        if let (Some(floor), Some(any)) =
+            (shared.config.shed_degrade_epsilon, job.anytime.as_mut())
+        {
+            any.epsilon = any.epsilon.max(floor);
+            match shared.admit_degraded(job) {
+                Ok(()) => return,
+                Err(back) => job = back,
+            }
+        }
     }
+    let _ = job;
+    shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+    respond(writer, request_id, &Response::Shed { retry_after_ms });
 }
 
 /// Converts an engine answer into wire groups.
@@ -652,45 +729,12 @@ fn worker_loop(shared: &Arc<Shared>, wid: usize) {
         // latency histogram (what the client experienced, wait
         // included).
         let started = Instant::now();
-        // Arm the token with the request deadline and the server stop
-        // flag; the engine checks it at every expand/window boundary.
-        let mut token = CancelToken::with_flag(&shared.stop);
-        if let Some(deadline) = job.deadline {
-            token = token.deadline(deadline);
-        }
         // The generation is loaded *here*, pinned for exactly this
         // query: a concurrent swap flips new admissions, not us.
         let generation = shared.handle.load();
-        let resp = match &job.kind {
-            JobKind::Nwc(query) => {
-                match generation
-                    .index
-                    .try_nwc_full_cancel(query, job.scheme, &mut scratch, &token)
-                {
-                    Ok((result, stats)) => {
-                        if result.is_none() {
-                            shared.counters.no_answer.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Response::Groups {
-                            groups: wire_groups_nwc(result),
-                            stats,
-                        }
-                    }
-                    Err(e) => error_response(shared, e),
-                }
-            }
-            JobKind::Knwc(query) => {
-                match generation
-                    .index
-                    .try_knwc_cancel(query, job.scheme, &mut scratch, &token)
-                {
-                    Ok(result) => {
-                        let (groups, stats) = wire_groups_knwc(result);
-                        Response::Groups { groups, stats }
-                    }
-                    Err(e) => error_response(shared, e),
-                }
-            }
+        let resp = match job.anytime {
+            Some(any) => run_anytime(shared, &generation.index, &job, any, &mut scratch),
+            None => run_legacy(shared, &generation.index, &job, &mut scratch),
         };
         drop(generation);
         let service = started.elapsed();
@@ -699,10 +743,161 @@ fn worker_loop(shared: &Arc<Shared>, wid: usize) {
             shared.counters.completed.fetch_add(1, Ordering::Relaxed);
             shared.observe_service_time(service);
         }
+        if matches!(resp, Response::Partial { .. }) {
+            shared.counters.partial.fetch_add(1, Ordering::Relaxed);
+        }
         if let Some(stats) = shared.workers.get(wid) {
             stats.hist.record(latency);
         }
         respond(&job.writer, job.request_id, &resp);
+    }
+}
+
+/// The pre-anytime worker path: an armed [`CancelToken`], a deadline
+/// trip surfacing as a typed `Deadline` response. Requests without the
+/// anytime extension keep this behavior bit-for-bit.
+fn run_legacy(
+    shared: &Shared,
+    index: &ServedIndex,
+    job: &Job,
+    scratch: &mut QueryScratch,
+) -> Response {
+    // Arm the token with the request deadline and the server stop
+    // flag; the engine checks it at every expand/window boundary.
+    let mut token = CancelToken::with_flag(&shared.stop);
+    if let Some(deadline) = job.deadline {
+        token = token.deadline(deadline);
+    }
+    match &job.kind {
+        JobKind::Nwc(query) => {
+            match index.try_nwc_full_cancel(query, job.scheme, scratch, &token) {
+                Ok((result, stats)) => {
+                    if result.is_none() {
+                        shared.counters.no_answer.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Response::Groups {
+                        groups: wire_groups_nwc(result),
+                        stats,
+                    }
+                }
+                Err(e) => error_response(shared, e),
+            }
+        }
+        JobKind::Knwc(query) => {
+            match index.try_knwc_cancel(query, job.scheme, scratch, &token) {
+                Ok(result) => {
+                    let (groups, stats) = wire_groups_knwc(result);
+                    Response::Groups { groups, stats }
+                }
+                Err(e) => error_response(shared, e),
+            }
+        }
+    }
+}
+
+/// Maps how an anytime search ended to the wire's partial reason:
+/// `None` means it completed (a plain `Groups` answer).
+fn partial_reason(exhausted: Option<CancelKind>, degraded_shards: usize) -> Option<PartialReason> {
+    match exhausted {
+        Some(CancelKind::Deadline) => Some(PartialReason::Deadline),
+        Some(CancelKind::IoBudget) => Some(PartialReason::IoBudget),
+        Some(CancelKind::Stopped) => Some(PartialReason::Stopped),
+        None if degraded_shards > 0 => Some(PartialReason::Degraded),
+        None => None,
+    }
+}
+
+/// The anytime worker path: runs the budgeted engine and answers a
+/// budget expiry with a bounded `Partial` instead of a bare `Deadline`.
+fn run_anytime(
+    shared: &Shared,
+    index: &ServedIndex,
+    job: &Job,
+    any: AnytimeSpec,
+    scratch: &mut QueryScratch,
+) -> Response {
+    // The decoder already rejected NaN/negative epsilon; a second
+    // typed gate here keeps this path panic-free even if a future
+    // caller bypasses the wire.
+    let approx = match Approx::new(any.epsilon) {
+        Ok(a) => a,
+        Err(e) => {
+            shared.counters.bad_request.fetch_add(1, Ordering::Relaxed);
+            return Response::BadRequest(e.to_string());
+        }
+    };
+    if any.io_budget == 0 {
+        // A zero allowance buys nothing: answer immediately with the
+        // vacuous bound rather than spinning up a search that trips at
+        // the root.
+        return Response::Partial {
+            groups: Vec::new(),
+            stats: SearchStats::default(),
+            error_bound: f64::INFINITY,
+            lower_bound: 0.0,
+            elapsed_us: 0,
+            io: 0,
+            reason: PartialReason::IoBudget,
+        };
+    }
+    let mut budget = Budget::with_flag(&shared.stop);
+    if let Some(deadline) = job.deadline {
+        budget = budget.deadline(deadline);
+    }
+    if any.io_budget != u64::MAX {
+        budget = budget.io_limit(any.io_budget);
+    }
+    match &job.kind {
+        JobKind::Nwc(query) => {
+            match index.try_nwc_anytime(query, job.scheme, scratch, &budget, approx) {
+                Ok((a, degraded)) => match partial_reason(a.exhausted, degraded) {
+                    None => {
+                        if a.answer.is_none() {
+                            shared.counters.no_answer.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Response::Groups {
+                            groups: wire_groups_nwc(a.answer),
+                            stats: a.stats,
+                        }
+                    }
+                    Some(reason) => Response::Partial {
+                        groups: wire_groups_nwc(a.answer),
+                        stats: a.stats,
+                        error_bound: a.error_bound,
+                        lower_bound: a.lower_bound,
+                        elapsed_us: a.spent.elapsed_us,
+                        io: a.spent.io,
+                        reason,
+                    },
+                },
+                Err(e) => error_response(shared, e),
+            }
+        }
+        JobKind::Knwc(query) => {
+            match index.try_knwc_anytime(query, job.scheme, scratch, &budget, approx) {
+                Ok((a, degraded)) => match partial_reason(a.exhausted, degraded) {
+                    None => {
+                        let (groups, stats) = wire_groups_knwc(a.result);
+                        Response::Groups { groups, stats }
+                    }
+                    Some(reason) => {
+                        let (error_bound, lower_bound, spent) =
+                            (a.error_bound, a.lower_bound, a.spent);
+                        let (groups, stats) = wire_groups_knwc(a.result);
+                        Response::Partial {
+                            groups,
+                            stats,
+                            error_bound,
+                            lower_bound,
+                            elapsed_us: spent.elapsed_us,
+                            io: spent.io,
+                            reason,
+                        }
+                    }
+                },
+                Err(e) => error_response(shared, e),
+            }
+        }
     }
 }
 

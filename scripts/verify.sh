@@ -33,13 +33,16 @@ cargo clippy --workspace -- -D warnings
 # scatter-gather planner joins too: a panicking shard worker would
 # poison the shared kNWC core and strand the gather, so shard.rs is
 # try_-only outside tests (missing structures degrade, partial shard
-# failures surface as typed ShardScatterError).
+# failures surface as typed ShardScatterError). The anytime layer joins
+# too: cancel.rs sits under every budget check on the hot descent, and
+# anytime.rs computes the bounds a partial answer's soundness rests on
+# — a panic there would turn graceful degradation into a crash.
 step "lint: no panic paths in the disk query read path"
 for f in crates/rtree/src/disk.rs crates/rtree/src/browser.rs \
          crates/rtree/src/query.rs crates/rtree/src/iwp.rs \
-         crates/rtree/src/node.rs \
+         crates/rtree/src/node.rs crates/rtree/src/cancel.rs \
          crates/store/src/executor.rs \
-         crates/core/src/shard.rs \
+         crates/core/src/shard.rs crates/core/src/anytime.rs \
          crates/serve/src/protocol.rs crates/serve/src/histogram.rs \
          crates/serve/src/handle.rs crates/serve/src/server.rs \
          crates/serve/src/client.rs; do
@@ -131,6 +134,13 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
   grep -q '"io_ratio_vs_unsharded"' results/BENCH_shard.json
   grep -q '"cores"' results/BENCH_shard.json
   echo "ok: results/BENCH_shard.json written (split + I/O ratio + core honesty)"
+
+  step "smoke: anytime/approximate sweep (tiny scale)"
+  NWC_SCALE=0.02 NWC_QUERIES=3 cargo run --release -p nwc-bench -- approx
+  test -s results/BENCH_approx.json
+  grep -q '"exact_recall": 1' results/BENCH_approx.json
+  grep -q '"bound_violations": 0' results/BENCH_approx.json
+  echo "ok: results/BENCH_approx.json written (exact mode bit-identical, bounds sound)"
 fi
 
 step "verify: all checks passed"

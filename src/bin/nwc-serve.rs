@@ -138,6 +138,7 @@ fn self_test_in(dir: &std::path::Path) -> Result<(), String> {
         default_deadline: Some(Duration::from_secs(5)),
         swap_config: DiskIndexConfig::default(),
         allow_control_plane: true,
+        shed_degrade_epsilon: None,
     };
     let index = nwc_core::NwcIndex::open_disk(&gen1, config.swap_config)
         .map_err(|e| format!("opening generation 1: {e}"))?;
@@ -231,7 +232,7 @@ fn client_load(addr: std::net::SocketAddr, thread: usize) -> Result<Tally, Strin
         match outcome.map_err(|e| format!("query {i}: {e}"))? {
             QueryOutcome::Answer { groups, .. } if groups.is_empty() => tally.empty += 1,
             QueryOutcome::Answer { .. } => tally.answers += 1,
-            QueryOutcome::Deadline => tally.deadline += 1,
+            QueryOutcome::Deadline | QueryOutcome::Partial { .. } => tally.deadline += 1,
             QueryOutcome::Shed { .. } => tally.shed += 1,
             QueryOutcome::Stopped => tally.stopped += 1,
             QueryOutcome::BadRequest(_) | QueryOutcome::IoFailed(_) => tally.bad += 1,

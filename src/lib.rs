@@ -51,8 +51,9 @@ pub use nwc_store as store;
 pub mod prelude {
     pub use nwc_core::weighted::{WeightedNwcIndex, WeightedQuery};
     pub use nwc_core::{
-        DiskIndexConfig, DistanceMeasure, IndexUpdateError, KnwcQuery, KnwcResult, NwcIndex,
-        NwcQuery, NwcResult, QueryEngine, QueryScratch, Scheme, SearchStats, ShardedNwcIndex,
+        AnytimeKnwc, AnytimeNwc, Approx, Budget, DiskIndexConfig, DistanceMeasure,
+        IndexUpdateError, KnwcQuery, KnwcResult, NwcIndex, NwcQuery, NwcResult, QueryEngine,
+        QueryScratch, Scheme, SearchStats, ShardedNwcIndex,
     };
     pub use nwc_datagen::Dataset;
     pub use nwc_geom::{window::WindowSpec, Point, Rect};

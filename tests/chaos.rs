@@ -10,13 +10,14 @@
 //! 4-thread batch engine, where one bad page must never tear down the
 //! worker scope.
 
+use nwc::core::{oracle, ShardedNwcIndex};
 use nwc::prelude::*;
 use nwc_core::QueryError;
 use nwc_rtree::BrowseItem;
 use nwc_store::{FaultPlan, FaultStore, FileStore, RetryPolicy};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn temp_pages(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("nwc-chaos-{tag}-{}.pages", std::process::id()))
@@ -328,6 +329,254 @@ fn permanent_fault_returns_typed_errors_and_leaves_the_index_usable() {
         let got = disk.try_nwc(q, Scheme::NWC_STAR).expect("healthy again");
         assert_eq!(want.map(|r| r.ids()), got.map(|r| r.ids()), "q{qi} after recovery");
     }
+}
+
+#[test]
+fn budget_exhaustion_mid_descent_under_faults_returns_sound_partials() {
+    // A budget tripping mid-descent on a fault-injected disk index must
+    // come back as a typed partial whose bounds bracket the brute-force
+    // optimum — with every pin released, and the index healthy enough to
+    // answer the exact query right afterwards. The point set is small so
+    // the O(n²)-ish oracle stays cheap.
+    let points = chaos_points(400);
+    let arena = NwcIndex::build(points.clone());
+    let (disk, fault) = fault_backed(
+        &arena,
+        "budget",
+        DiskIndexConfig {
+            pool_capacity: Some(16),
+            pool_shards: Some(1),
+            retry: fast_retry(8),
+            ..DiskIndexConfig::default()
+        },
+    );
+    // Transient bursts on 5% of reads plus 50 µs of device latency, so
+    // both the I/O allowance and the wall-clock deadline genuinely trip
+    // in the middle of faulted descents.
+    fault.set_plan(FaultPlan {
+        transient_rate: 0.05,
+        transient_burst: 2,
+        latency: Some(Duration::from_micros(50)),
+        seed: 0xBAD_B0DE,
+        ..FaultPlan::default()
+    });
+    let storage = disk.tree().storage().expect("disk-backed");
+
+    let queries = Dataset::query_points(6, 17)
+        .into_iter()
+        .map(|q| NwcQuery::new(q, WindowSpec::square(2_000.0), 4))
+        .collect::<Vec<_>>();
+    let mut scratch = QueryScratch::new();
+    let mut exhausted_runs = 0;
+    for (qi, query) in queries.iter().enumerate() {
+        let d_star = oracle::nwc_brute_force(&points, query).map(|r| r.distance);
+        let budgets: Vec<Budget> = vec![
+            Budget::none().io_limit(0),
+            Budget::none().io_limit(4),
+            Budget::none().io_limit(16),
+            Budget::with_deadline(Instant::now() + Duration::from_micros(120)),
+        ];
+        for (bi, budget) in budgets.iter().enumerate() {
+            let a = disk
+                .try_nwc_anytime_with(query, Scheme::NWC_STAR, &mut scratch, budget, Approx::exact())
+                .unwrap_or_else(|e| panic!("q{qi}/b{bi}: budget trip leaked as an error: {e}"));
+            if a.exhausted.is_some() {
+                exhausted_runs += 1;
+            }
+            assert!(a.error_bound >= 0.0, "q{qi}/b{bi}");
+            assert!(a.lower_bound >= 0.0, "q{qi}/b{bi}");
+            match d_star {
+                None => assert!(a.answer.is_none(), "q{qi}/b{bi}: invented a group"),
+                Some(d_star) => {
+                    let tol = 1e-9 * d_star.abs().max(1.0);
+                    assert!(
+                        a.lower_bound <= d_star + tol,
+                        "q{qi}/b{bi}: lower bound {} above the oracle optimum {}",
+                        a.lower_bound,
+                        d_star
+                    );
+                    if let Some(r) = &a.answer {
+                        assert!(r.distance >= d_star - tol, "q{qi}/b{bi}: beat the oracle");
+                        assert!(
+                            r.distance - a.error_bound <= d_star + tol,
+                            "q{qi}/b{bi}: error bound {} fails {} vs {}",
+                            a.error_bound,
+                            r.distance,
+                            d_star
+                        );
+                    }
+                }
+            }
+            // Every cut-off descent released its frames.
+            assert_eq!(
+                storage.pool_stats().pinned,
+                0,
+                "q{qi}/b{bi}: budget exhaustion leaked a pin"
+            );
+        }
+    }
+    assert!(exhausted_runs > 0, "no budget ever tripped — the test is vacuous");
+    assert!(
+        storage.quarantine().is_empty(),
+        "budget trips and transient faults must never quarantine"
+    );
+
+    // Clean re-run: lift the fault plan and the same index answers the
+    // exact query bit-identically to the arena, budget machinery gone.
+    fault.set_plan(FaultPlan::default());
+    storage.reset();
+    disk.tree().stats().reset();
+    for (qi, query) in queries.iter().enumerate() {
+        let (want, ws) = arena.nwc_full(query, Scheme::NWC_STAR);
+        let a = disk
+            .try_nwc_anytime_with(
+                query,
+                Scheme::NWC_STAR,
+                &mut scratch,
+                &Budget::none(),
+                Approx::exact(),
+            )
+            .unwrap_or_else(|e| panic!("q{qi}: clean re-run failed: {e}"));
+        assert!(a.exhausted.is_none(), "q{qi}: unarmed budget expired");
+        assert_eq!(
+            want.map(|r| (r.ids(), r.distance.to_bits())),
+            a.answer.map(|r| (r.ids(), r.distance.to_bits())),
+            "q{qi}: clean re-run diverged from the arena"
+        );
+        assert_eq!(
+            SearchStats { buffer_hits: 0, retries: 0, transient_errors: 0, ..a.stats },
+            ws,
+            "q{qi}: clean re-run did different logical work"
+        );
+    }
+}
+
+#[test]
+fn budget_exhaustion_mid_scatter_degrades_the_merged_bound() {
+    // Sharded scatter with shard 0 behind a fault store: a budget trip
+    // or a dead page mid-scatter must degrade the merged answer's bound
+    // (typed partial, shard listed in `degraded`) instead of failing the
+    // query, with no pins left on any shard pool and a clean recovery.
+    let points = chaos_points(400);
+    let built = ShardedNwcIndex::build(points.clone(), 4);
+    let dir = std::env::temp_dir().join(format!("nwc-chaos-scatter-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let no_retry = DiskIndexConfig {
+        retry: fast_retry(1),
+        ..DiskIndexConfig::default()
+    };
+    let mut shards = Vec::new();
+    let mut fault = None;
+    for (i, shard) in built.shards().iter().enumerate() {
+        let path = dir.join(format!("shard-{i}.pages"));
+        shard.save_tree(&path).expect("save shard");
+        if i == 0 {
+            let store = FileStore::open(&path).expect("reopen shard 0");
+            let f = Arc::new(FaultStore::new(store, FaultPlan::default()));
+            shards.push(
+                NwcIndex::open_disk_from_store(Box::new(Arc::clone(&f)), no_retry)
+                    .expect("open shard 0 through fault store"),
+            );
+            fault = Some(f);
+        } else {
+            shards.push(NwcIndex::open_disk(&path, no_retry).expect("open shard"));
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    let fault = fault.expect("shard 0 is fault-backed");
+    let sharded = ShardedNwcIndex::from_shards(shards, None)
+        .expect("assemble")
+        .with_threads(2);
+
+    let query = NwcQuery::new(Point::new(4_000.0, 4_000.0), WindowSpec::square(2_000.0), 4);
+    let d_star = oracle::nwc_brute_force(&points, &query)
+        .map(|r| r.distance)
+        .expect("the wide chaos query always has an answer");
+    let tol = 1e-9 * d_star.abs().max(1.0);
+    let check_bounds = |a: &AnytimeNwc, ctx: &str| {
+        assert!(a.error_bound >= 0.0, "{ctx}");
+        assert!(
+            a.lower_bound <= d_star + tol,
+            "{ctx}: lower bound {} above the oracle optimum {d_star}",
+            a.lower_bound
+        );
+        if let Some(r) = &a.answer {
+            assert!(r.distance >= d_star - tol, "{ctx}: beat the oracle");
+            assert!(
+                r.distance - a.error_bound <= d_star + tol,
+                "{ctx}: error bound {} fails {} vs {d_star}",
+                a.error_bound,
+                r.distance
+            );
+        }
+    };
+    let assert_no_pins = |ctx: &str| {
+        for (si, shard) in sharded.shards().iter().enumerate() {
+            let storage = shard.tree().storage().expect("disk-backed");
+            assert_eq!(storage.pool_stats().pinned, 0, "{ctx}: shard {si} leaked a pin");
+        }
+    };
+
+    // Tiny I/O allowance: some shard trips mid-scatter; the merge still
+    // produces a typed partial with sound bounds.
+    let tight = sharded
+        .try_nwc_anytime(&query, Scheme::NWC_STAR, &Budget::none().io_limit(3), Approx::exact())
+        .expect("budget trip mid-scatter must not fail the query");
+    assert!(
+        tight.anytime.exhausted.is_some(),
+        "a 3-node allowance cannot cover a 4-shard scatter"
+    );
+    check_bounds(&tight.anytime, "tight budget");
+    assert_no_pins("tight budget");
+
+    // Kill a page in shard 0 outright: the scatter degrades around it —
+    // shard 0 shows up in `degraded`, the other shards' answer merges,
+    // and the bound accounts for everything shard 0 could still hide.
+    let dead_leaf = {
+        let shard0 = &sharded.shards()[0];
+        let mut browser = shard0.tree().browse(query.q);
+        let leaf = loop {
+            match browser.next() {
+                Some(BrowseItem::Node { id, .. }) => browser.expand(id),
+                Some(BrowseItem::Object { leaf, .. }) => break leaf,
+                None => panic!("shard 0 browsed dry"),
+            }
+        };
+        shard0.tree().stats().reset();
+        shard0.tree().storage().expect("disk-backed").reset();
+        leaf.raw()
+    };
+    fault.fail_page_permanently(dead_leaf);
+    let degraded = sharded
+        .try_nwc_anytime(&query, Scheme::NWC_STAR, &Budget::none(), Approx::exact())
+        .expect("a dead shard degrades the bound, it does not fail the query");
+    assert!(
+        degraded
+            .degraded
+            .iter()
+            .any(|(s, e)| *s == 0 && matches!(e, QueryError::Io(_))),
+        "shard 0 must be listed as degraded with a typed I/O error, got {:?}",
+        degraded.degraded
+    );
+    check_bounds(&degraded.anytime, "dead shard");
+    assert_no_pins("dead shard");
+
+    // Clean recovery: lift the fault and the exact anytime scatter
+    // agrees with the exact scatter path again.
+    fault.clear_faults();
+    sharded.shards()[0].tree().storage().expect("disk-backed").reset();
+    sharded.shards()[0].tree().stats().reset();
+    let want = sharded.try_nwc(&query, Scheme::NWC_STAR).expect("healthy scatter");
+    let got = sharded
+        .try_nwc_anytime(&query, Scheme::NWC_STAR, &Budget::none(), Approx::exact())
+        .expect("healthy anytime scatter");
+    assert!(got.degraded.is_empty(), "recovered scatter still degraded");
+    assert_eq!(
+        want.map(|r| r.ids()),
+        got.anytime.answer.map(|r| r.ids()),
+        "recovered anytime scatter diverged"
+    );
+    assert!((got.anytime.lower_bound - d_star).abs() <= tol || got.anytime.lower_bound >= d_star - tol);
 }
 
 #[test]

@@ -9,7 +9,7 @@
 //! `SearchStats` (a field-for-field `Eq` comparison, including every
 //! I/O counter) must come out identical.
 
-use nwc::core::QueryScratch;
+use nwc::core::{CancelFlag, CancelKind, CancelToken, QueryScratch};
 use nwc::prelude::*;
 use proptest::prelude::*;
 
@@ -82,6 +82,74 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    /// The anytime batch path in exact mode is the plain batch path,
+    /// slot for slot — and a pre-tripped cancel flag turns every slot
+    /// into a typed partial with an individually valid bound, never a
+    /// blanket error.
+    #[test]
+    fn engine_anytime_batches_match_and_trip_per_query((points, qs, l, w, n) in scenario()) {
+        let index = NwcIndex::build(points);
+        let spec = WindowSpec::new(l, w);
+        let queries: Vec<NwcQuery> = qs.iter().map(|&q| NwcQuery::new(q, spec, n)).collect();
+        let want: Vec<_> = queries.iter().map(|q| index.nwc_full(q, Scheme::NWC_STAR)).collect();
+        let engine = QueryEngine::new(&index).with_threads(3);
+
+        // Exact mode, unarmed budget: bit-identical to the plain batch.
+        let exact = engine.try_nwc_batch_cancel(&queries, Scheme::NWC_STAR, &CancelToken::none());
+        prop_assert_eq!(exact.len(), want.len());
+        for (i, (slot, (wr, ws))) in exact.iter().zip(&want).enumerate() {
+            let a = slot.as_ref().expect("arena batches cannot fail");
+            prop_assert!(a.exhausted.is_none(), "slot {}: unarmed token fired", i);
+            prop_assert_eq!(&a.stats, ws, "slot {} stats diverged", i);
+            prop_assert_eq!(
+                a.answer.as_ref().map(|r| (r.ids(), r.distance.to_bits())),
+                wr.as_ref().map(|r| (r.ids(), r.distance.to_bits())),
+                "slot {} diverged", i
+            );
+        }
+
+        // Pre-tripped flag: every slot is its own typed partial whose
+        // bound brackets that query's true optimum from below.
+        let flag = CancelFlag::new();
+        flag.stop();
+        let tripped =
+            engine.try_nwc_batch_cancel(&queries, Scheme::NWC_STAR, &CancelToken::with_flag(&flag));
+        prop_assert_eq!(tripped.len(), want.len());
+        for (i, (slot, (wr, _))) in tripped.iter().zip(&want).enumerate() {
+            let a = slot.as_ref().expect("a tripped flag is a partial, not an error");
+            prop_assert_eq!(a.exhausted, Some(CancelKind::Stopped), "slot {}", i);
+            prop_assert!(a.error_bound >= 0.0);
+            match wr {
+                None => prop_assert!(a.answer.is_none(), "slot {}: invented a group", i),
+                Some(w_) => {
+                    let tol = 1e-9 * w_.distance.abs().max(1.0);
+                    prop_assert!(
+                        a.lower_bound <= w_.distance + tol,
+                        "slot {}: lower bound {} above optimum {}", i, a.lower_bound, w_.distance
+                    );
+                    if let Some(r) = &a.answer {
+                        prop_assert!(r.distance >= w_.distance - tol);
+                        prop_assert!(r.distance - a.error_bound <= w_.distance + tol);
+                    }
+                }
+            }
+        }
+
+        // A per-query I/O allowance applies to each slot separately.
+        let budget = Budget::none().io_limit(2);
+        for (i, slot) in engine
+            .try_nwc_batch_budget(&queries, Scheme::NWC_STAR, &budget, Approx::exact())
+            .iter()
+            .enumerate()
+        {
+            let a = slot.as_ref().expect("budget trips are partials");
+            prop_assert!(
+                a.exhausted.is_some() || a.stats.io_total <= 2,
+                "slot {}: ran past its own allowance silently", i
+            );
         }
     }
 

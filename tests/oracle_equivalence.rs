@@ -96,6 +96,102 @@ proptest! {
     }
 
     #[test]
+    fn exact_anytime_is_bit_identical((points, q, l, w, n) in scenario()) {
+        // ε = 0 with an unarmed budget is not "approximately exact": the
+        // anytime path must reproduce the exact search bit for bit —
+        // same group, same distance bits, same logical I/O profile.
+        let index = NwcIndex::build(points);
+        let mut scratch = QueryScratch::new();
+        for measure in DistanceMeasure::ALL {
+            let query = NwcQuery::new(q, WindowSpec::new(l, w), n).with_measure(measure);
+            for scheme in Scheme::TABLE3 {
+                let (exact, exact_stats) = index
+                    .try_nwc_full_with(&query, scheme, &mut scratch)
+                    .expect("arena query cannot fail");
+                let a = index
+                    .try_nwc_anytime_with(&query, scheme, &mut scratch, &Budget::none(), Approx::exact())
+                    .expect("arena query cannot fail");
+                prop_assert!(a.exhausted.is_none(), "{scheme} {measure:?}: unarmed budget expired");
+                prop_assert_eq!(
+                    a.stats, exact_stats,
+                    "{} {:?}: anytime did different work than exact", scheme, measure
+                );
+                match (&exact, &a.answer) {
+                    (None, None) => {
+                        prop_assert_eq!(a.error_bound, 0.0);
+                    }
+                    (Some(e), Some(g)) => {
+                        prop_assert_eq!(e.distance.to_bits(), g.distance.to_bits());
+                        prop_assert_eq!(e.ids(), g.ids());
+                        prop_assert_eq!(e.window, g.window);
+                        // A complete exact run has nothing left to bound.
+                        prop_assert_eq!(a.error_bound, 0.0);
+                        prop_assert!(a.lower_bound >= e.distance - 1e-12);
+                    }
+                    _ => prop_assert!(
+                        false,
+                        "{scheme} {measure:?}: exact {:?} vs anytime {:?}",
+                        exact.as_ref().map(|x| x.distance),
+                        a.answer.as_ref().map(|x| x.distance)
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_anytime_brackets_the_oracle((points, q, l, w, n) in scenario()) {
+        // Under any (ε, I/O budget) cell the returned bounds must
+        // bracket the true optimum d*: lower_bound ≤ d*, and any
+        // returned answer scores ≥ d* with distance − error_bound ≤ d*.
+        let index = NwcIndex::build(points.clone());
+        let mut scratch = QueryScratch::new();
+        let query = NwcQuery::new(q, WindowSpec::new(l, w), n);
+        let oracle_best = oracle::nwc_brute_force(&points, &query).map(|r| r.distance);
+        for scheme in Scheme::TABLE3 {
+            for epsilon in [0.0, 0.25, 1.0] {
+                let approx = Approx::new(epsilon).expect("valid sweep epsilon");
+                for io in [0u64, 2, 8, 32, u64::MAX] {
+                    let budget = if io == u64::MAX { Budget::none() } else { Budget::none().io_limit(io) };
+                    let a = index
+                        .try_nwc_anytime_with(&query, scheme, &mut scratch, &budget, approx)
+                        .expect("budget expiry is a typed partial, not an error");
+                    prop_assert!(a.error_bound >= 0.0);
+                    prop_assert!(a.lower_bound >= 0.0);
+                    if let Some(lim) = budget.io_allowance() {
+                        prop_assert!(
+                            a.exhausted.is_some() || a.stats.io_total <= lim,
+                            "ε={epsilon} io={io}: ran past the allowance without reporting exhaustion"
+                        );
+                    }
+                    match oracle_best {
+                        None => prop_assert!(
+                            a.answer.is_none(),
+                            "ε={epsilon} io={io}: invented a group the oracle says cannot exist"
+                        ),
+                        Some(d_star) => {
+                            let tol = 1e-9 * d_star.abs().max(1.0);
+                            prop_assert!(
+                                a.lower_bound <= d_star + tol,
+                                "ε={epsilon} io={io}: lower bound {} exceeds optimum {}",
+                                a.lower_bound, d_star
+                            );
+                            if let Some(r) = &a.answer {
+                                prop_assert!(r.distance >= d_star - tol, "answer beat the oracle");
+                                prop_assert!(
+                                    r.distance - a.error_bound <= d_star + tol,
+                                    "ε={epsilon} io={io}: error bound {} does not bracket {} vs {}",
+                                    a.error_bound, r.distance, d_star
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn insertion_built_index_agrees((points, q, l, w, n) in scenario()) {
         // The answer must not depend on how the tree was built.
         let bulk = NwcIndex::build(points.clone());

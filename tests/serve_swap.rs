@@ -16,7 +16,7 @@
 //!   observe an external stop flag without tearing down the scope.
 
 use nwc::prelude::*;
-use nwc_core::{CancelFlag, CancelToken, QueryEngine, QueryError};
+use nwc_core::{CancelFlag, CancelKind, CancelToken, QueryEngine, QueryError};
 use nwc_serve::{IndexHandle, QueryOutcome, ServeClient, Server, ServerConfig};
 use nwc_store::{FaultPlan, FaultStore, FileStore, RetryPolicy, StoreError};
 use std::path::PathBuf;
@@ -371,9 +371,206 @@ fn deadline_and_shed_are_typed_and_leak_no_pins() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Anytime requests over the wire: a budget expiry delivers a typed
+/// `Partial` carrying a valid bound instead of a bare `Deadline`, a
+/// zero I/O budget answers immediately with the vacuous bound, an
+/// exact unlimited anytime request is indistinguishable from a plain
+/// answer — and none of it leaks a pin.
+#[test]
+fn anytime_requests_deliver_bounded_partials_over_the_wire() {
+    use nwc_serve::PartialReason;
+
+    let path = save_region("anytime", 0.0, 10_000.0, 21);
+    let store = FileStore::open(&path).expect("reopen page file");
+    let fault = Arc::new(FaultStore::new(store, FaultPlan::default()));
+    let index = NwcIndex::open_disk_from_store(
+        Box::new(Arc::clone(&fault)),
+        DiskIndexConfig {
+            pool_capacity: Some(4),
+            ..DiskIndexConfig::default()
+        },
+    )
+    .expect("open");
+    let server = Server::start(
+        Arc::new(IndexHandle::new(index)),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+    let mut client = ServeClient::connect(addr).expect("connect");
+
+    // Exact + unlimited: the anytime extension must not change the
+    // answer — same groups as the legacy request.
+    let exact = client
+        .nwc(Scheme::NWC_STAR, 5_000.0, 5_000.0, 600.0, 600.0, 6, 30_000)
+        .expect("legacy request");
+    let QueryOutcome::Answer { groups: exact_groups, .. } = exact else {
+        panic!("legacy request failed: {exact:?}");
+    };
+    match client
+        .nwc_anytime(
+            Scheme::NWC_STAR,
+            5_000.0,
+            5_000.0,
+            600.0,
+            600.0,
+            6,
+            30_000,
+            0.0,
+            u64::MAX,
+        )
+        .expect("exact anytime request")
+    {
+        QueryOutcome::Answer { groups, .. } => {
+            assert_eq!(groups, exact_groups, "exact anytime answer differs");
+        }
+        other => panic!("exact unlimited anytime must complete: {other:?}"),
+    }
+    let exact_distance = exact_groups.first().map(|g| g.distance);
+
+    // A zero I/O budget: an immediate empty Partial with the vacuous
+    // bound, never a hang or a panic.
+    match client
+        .nwc_anytime(
+            Scheme::NWC_STAR,
+            5_000.0,
+            5_000.0,
+            600.0,
+            600.0,
+            6,
+            30_000,
+            0.0,
+            0,
+        )
+        .expect("zero-budget request")
+    {
+        QueryOutcome::Partial {
+            groups,
+            error_bound,
+            lower_bound,
+            io,
+            reason,
+            ..
+        } => {
+            assert!(groups.is_empty(), "zero budget bought an answer?");
+            assert_eq!(error_bound, f64::INFINITY);
+            assert_eq!(lower_bound, 0.0);
+            assert_eq!(io, 0);
+            assert_eq!(reason, PartialReason::IoBudget);
+        }
+        other => panic!("zero budget must yield an empty Partial: {other:?}"),
+    }
+
+    // A small-but-positive I/O budget under injected latency: either
+    // the query finishes inside the allowance (tiny index in cache) or
+    // the Partial's bound arithmetic must hold against the exact
+    // answer from above.
+    fault.set_plan(FaultPlan {
+        latency: Some(Duration::from_micros(200)),
+        ..FaultPlan::default()
+    });
+    for io_budget in [1u64, 2, 4, 8, 16] {
+        match client
+            .nwc_anytime(
+                Scheme::NWC_STAR,
+                5_000.0,
+                5_000.0,
+                600.0,
+                600.0,
+                6,
+                30_000,
+                0.0,
+                io_budget,
+            )
+            .expect("budgeted request")
+        {
+            QueryOutcome::Partial {
+                groups,
+                error_bound,
+                lower_bound,
+                io,
+                reason,
+                ..
+            } => {
+                assert_eq!(reason, PartialReason::IoBudget);
+                // The budget is checked between work units (node
+                // expansions, candidate passes), so the unit in flight
+                // when the check fires can land a few reads past the
+                // allowance — bounded by one candidate evaluation,
+                // never a runaway search.
+                assert!(
+                    io <= io_budget.saturating_add(32),
+                    "spent {io} ran away past allowance {io_budget}"
+                );
+                assert!(lower_bound >= 0.0);
+                assert!(error_bound >= 0.0 || error_bound.is_infinite());
+                if let Some(d_star) = exact_distance {
+                    assert!(
+                        lower_bound <= d_star + 1e-9,
+                        "lower bound {lower_bound} exceeds optimum {d_star}"
+                    );
+                    if let Some(g) = groups.first() {
+                        assert!(
+                            g.distance + 1e-9 >= d_star,
+                            "partial answer beats the optimum"
+                        );
+                        assert!(
+                            g.distance - error_bound <= d_star + 1e-9,
+                            "error bound fails to bracket the optimum"
+                        );
+                    }
+                }
+            }
+            QueryOutcome::Answer { groups, .. } => {
+                assert_eq!(groups, exact_groups, "budgeted completion differs");
+            }
+            other => panic!("untyped outcome: {other:?}"),
+        }
+    }
+
+    // A 1 ms deadline with the extension: a Partial (reason Deadline),
+    // or a fast completion — never a bare `Deadline` refusal.
+    match client
+        .nwc_anytime(
+            Scheme::NWC_STAR,
+            5_000.0,
+            5_000.0,
+            600.0,
+            600.0,
+            6,
+            1,
+            0.0,
+            u64::MAX,
+        )
+        .expect("tight-deadline anytime request")
+    {
+        QueryOutcome::Partial { reason, lower_bound, .. } => {
+            assert_eq!(reason, PartialReason::Deadline);
+            assert!(lower_bound >= 0.0);
+        }
+        QueryOutcome::Answer { .. } => {}
+        other => panic!("anytime deadline must be a bounded Partial: {other:?}"),
+    }
+
+    // No pins leaked by any of the partial paths.
+    let stats = client.stats().expect("scrape");
+    let field = |name: &str| -> u64 {
+        stats
+            .lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|r| r.trim().parse().ok()))
+            .unwrap_or_else(|| panic!("scrape is missing `{name}`:\n{stats}"))
+    };
+    assert_eq!(field("pool_pinned "), 0, "pin leak after anytime load");
+    assert!(field("server_partial_total ") >= 6);
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
 /// The engine's batch APIs observe an external stop flag: a pre-stopped
-/// batch yields all-`Cancelled` without running anything, and an
-/// unarmed token reproduces `try_nwc_batch` exactly.
+/// batch yields a typed partial per query (not one blanket error), and
+/// an unarmed token reproduces `try_nwc_batch` exactly.
 #[test]
 fn engine_batches_accept_external_cancel_flag() {
     let index = NwcIndex::build(region_points(3_000, 0.0, 10_000.0, 8));
@@ -390,22 +587,30 @@ fn engine_batches_accept_external_cancel_flag() {
     for (a, b) in plain.iter().zip(&unarmed) {
         let a = a.as_ref().expect("in-memory batch cannot fail");
         let b = b.as_ref().expect("unarmed cancel batch cannot fail");
+        assert!(b.is_complete(), "unarmed token cannot exhaust");
+        assert_eq!(b.error_bound, 0.0, "complete exact search has no gap");
         assert_eq!(
             a.0.as_ref().map(|r| r.ids()),
-            b.0.as_ref().map(|r| r.ids()),
+            b.answer.as_ref().map(|r| r.ids()),
             "unarmed token changed an answer"
         );
     }
 
-    // A flag stopped before the batch starts: every slot is typed
-    // Cancelled, nothing panics, and the engine remains usable.
+    // A flag stopped before the batch starts: every slot is its own
+    // typed partial with an individually valid (vacuous) bound, nothing
+    // panics, and the engine remains usable.
     let flag = CancelFlag::new();
     flag.stop();
     let cancelled =
         engine.try_nwc_batch_cancel(&queries, Scheme::NWC_STAR, &CancelToken::with_flag(&flag));
-    assert!(cancelled
-        .iter()
-        .all(|r| matches!(r, Err(QueryError::Cancelled))));
+    assert_eq!(cancelled.len(), queries.len());
+    for slot in &cancelled {
+        let p = slot.as_ref().expect("a tripped flag is not an error");
+        assert_eq!(p.exhausted, Some(CancelKind::Stopped));
+        assert!(p.answer.is_none(), "nothing ran, nothing found");
+        assert_eq!(p.error_bound, f64::INFINITY);
+        assert!(p.lower_bound >= 0.0);
+    }
 
     // kNWC path too.
     let kq: Vec<KnwcQuery> = queries
@@ -413,12 +618,18 @@ fn engine_batches_accept_external_cancel_flag() {
         .take(6)
         .map(|q| KnwcQuery::new(q.q, q.spec, 4, 3, 1))
         .collect();
-    let cancelled = engine.try_knwc_batch_cancel(&kq, Scheme::NWC_PLUS, &CancelToken::with_flag(&flag));
-    assert!(cancelled
-        .iter()
-        .all(|r| matches!(r, Err(QueryError::Cancelled))));
+    let cancelled =
+        engine.try_knwc_batch_cancel(&kq, Scheme::NWC_PLUS, &CancelToken::with_flag(&flag));
+    for slot in &cancelled {
+        let p = slot.as_ref().expect("a tripped flag is not an error");
+        assert_eq!(p.exhausted, Some(CancelKind::Stopped));
+        assert!(p.result.groups.is_empty());
+        assert_eq!(p.error_bound, f64::INFINITY);
+    }
     let fine = engine.try_knwc_batch_cancel(&kq, Scheme::NWC_PLUS, &CancelToken::none());
-    assert!(fine.iter().all(Result::is_ok));
+    assert!(fine
+        .iter()
+        .all(|r| r.as_ref().is_ok_and(|p| p.is_complete())));
 }
 
 /// A slow client whose frame straddles the server's 100 ms read
@@ -454,7 +665,7 @@ fn slow_client_frames_straddling_read_timeouts_stay_in_sync() {
         n: 6,
         deadline_ms: 30_000,
     };
-    let payload = encode_request(1, &Request::Nwc(spec));
+    let payload = encode_request(1, &Request::Nwc { spec, anytime: None });
     let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
     frame.extend_from_slice(&payload);
 
@@ -478,7 +689,7 @@ fn slow_client_frames_straddling_read_timeouts_stay_in_sync() {
 
     // The connection is still framed: a normally-written second request
     // on the same socket answers too.
-    let payload = encode_request(2, &Request::Nwc(spec));
+    let payload = encode_request(2, &Request::Nwc { spec, anytime: None });
     let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
     frame.extend_from_slice(&payload);
     stream.write_all(&frame).expect("second request");

@@ -269,6 +269,121 @@ fn all_points_on_one_spot_survives_degenerate_cuts() {
 }
 
 // ---------------------------------------------------------------------
+// Anytime scatter-gather.
+// ---------------------------------------------------------------------
+
+#[test]
+fn sharded_anytime_exact_mode_matches_the_scatter_path() {
+    // ε = 0 with an unarmed budget must collapse to the exact scatter:
+    // same merged answer, no degradation, nothing left to bound.
+    let points = seeded_points(900, 53);
+    let queries = Dataset::query_points(4, 53);
+    for shards in [1usize, 2, 4] {
+        for threads in [1usize, 4] {
+            let sharded = ShardedNwcIndex::build(points.clone(), shards).with_threads(threads);
+            for scheme in Scheme::TABLE3 {
+                for &q in &queries {
+                    let query = NwcQuery::new(q, WindowSpec::square(70.0), 4);
+                    let want = sharded.try_nwc(&query, scheme).expect("exact scatter");
+                    let got = sharded
+                        .try_nwc_anytime(&query, scheme, &Budget::none(), Approx::exact())
+                        .expect("anytime scatter");
+                    assert!(got.degraded.is_empty(), "K{shards}: healthy shards degraded");
+                    assert!(
+                        got.anytime.exhausted.is_none(),
+                        "K{shards}: unarmed budget expired"
+                    );
+                    assert_same(&want, &got.anytime.answer, &format!("anytime/K{shards}/{scheme}"));
+                    assert_eq!(
+                        got.anytime.error_bound, 0.0,
+                        "K{shards}/{scheme}: a complete exact scatter has nothing left to bound"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_anytime_knwc_exact_mode_matches_the_scatter_path() {
+    let points = seeded_points(700, 59);
+    let queries = Dataset::query_points(3, 59);
+    for shards in [1usize, 2, 4] {
+        let sharded = ShardedNwcIndex::build(points.clone(), shards).with_threads(2);
+        for &q in &queries {
+            let query = KnwcQuery::new(q, WindowSpec::square(80.0), 4, 3, 1);
+            let want = sharded.try_knwc(&query, Scheme::NWC_STAR).expect("scatter");
+            let got = sharded
+                .try_knwc_anytime(&query, Scheme::NWC_STAR, &Budget::none(), Approx::exact())
+                .expect("anytime scatter");
+            assert!(got.degraded.is_empty());
+            assert!(got.anytime.exhausted.is_none());
+            assert_eq!(want.groups.len(), got.anytime.result.groups.len(), "K{shards}");
+            for (a, b) in want.groups.iter().zip(&got.anytime.result.groups) {
+                assert_eq!(a.id_set(), b.id_set(), "K{shards}");
+                assert_eq!(a.distance, b.distance, "K{shards}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_anytime_budget_grid_brackets_the_exact_answer() {
+    // Across an (ε, io-budget) grid every merged partial must bracket
+    // the exact scatter's answer: lower_bound ≤ d* ≤ any returned
+    // answer's score, with distance − error_bound ≤ d*.
+    let points = seeded_points(1100, 61);
+    let queries = Dataset::query_points(4, 61);
+    for shards in [2usize, 4] {
+        let sharded = ShardedNwcIndex::build(points.clone(), shards).with_threads(2);
+        for &q in &queries {
+            let query = NwcQuery::new(q, WindowSpec::square(70.0), 4);
+            let exact = sharded
+                .try_nwc(&query, Scheme::NWC_STAR)
+                .expect("exact scatter")
+                .map(|r| r.distance);
+            for epsilon in [0.0, 0.5] {
+                let approx = Approx::new(epsilon).expect("valid epsilon");
+                for io in [0u64, 4, 16, 64] {
+                    let budget = Budget::none().io_limit(io);
+                    let a = sharded
+                        .try_nwc_anytime(&query, Scheme::NWC_STAR, &budget, approx)
+                        .expect("budget expiry degrades, never errors")
+                        .anytime;
+                    assert!(a.error_bound >= 0.0);
+                    assert!(a.lower_bound >= 0.0);
+                    match exact {
+                        None => assert!(
+                            a.answer.is_none(),
+                            "K{shards} ε={epsilon} io={io}: invented a group"
+                        ),
+                        Some(d_star) => {
+                            let tol = 1e-9 * d_star.abs().max(1.0);
+                            assert!(
+                                a.lower_bound <= d_star + tol,
+                                "K{shards} ε={epsilon} io={io}: lower bound {} above optimum {}",
+                                a.lower_bound,
+                                d_star
+                            );
+                            if let Some(r) = &a.answer {
+                                assert!(r.distance >= d_star - tol, "answer beat the scatter");
+                                assert!(
+                                    r.distance - a.error_bound <= d_star + tol,
+                                    "K{shards} ε={epsilon} io={io}: bound {} fails {} vs {}",
+                                    a.error_bound,
+                                    r.distance,
+                                    d_star
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Partial-shard failures through the scatter path.
 // ---------------------------------------------------------------------
 
